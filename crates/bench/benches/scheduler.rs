@@ -1,0 +1,145 @@
+//! Real-thread microbenchmarks of the PIOMan core library.
+//!
+//! These measure the actual Rust implementation on the host (they are not
+//! the paper's Tables — those need 8/16-core NUMA machines and are
+//! regenerated in simulation by `piom-harness table1 table2`). What they
+//! pin down instead:
+//!
+//! * the submit→schedule→complete round-trip per queue level (the real
+//!   analogue of one Table I row, single-threaded on the host);
+//! * the spinlock vs lock-free queue ablation (paper §VI future work);
+//! * Algorithm 2's unlocked-empty fast path vs a forced lock acquisition;
+//! * the cpuset/topology operations on the submit hot path.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pioman::{ManagerConfig, QueueBackend, TaskManager, TaskOptions, TaskStatus};
+use piom_cpuset::CpuSet;
+use piom_topology::presets;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_submit_schedule_levels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("submit_schedule_roundtrip");
+    let topo = Arc::new(presets::kwak());
+    for (label, cpuset, core) in [
+        ("per_core_local", CpuSet::single(0), 0usize),
+        ("per_core_remote", CpuSet::single(12), 12),
+        ("per_numa", CpuSet::range(4..8), 5),
+        ("global", CpuSet::first_n(16), 9),
+    ] {
+        let mgr = TaskManager::new(topo.clone());
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let h = mgr.submit(
+                    |_| TaskStatus::Done,
+                    black_box(cpuset),
+                    TaskOptions::oneshot(),
+                );
+                mgr.schedule(core);
+                assert!(h.is_complete());
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_backend_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("queue_backend");
+    let topo = Arc::new(presets::kwak());
+    for (label, backend) in [
+        ("spinlock", QueueBackend::Spinlock),
+        ("lockfree", QueueBackend::LockFree),
+    ] {
+        let mgr = TaskManager::with_config(topo.clone(), ManagerConfig { backend });
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let h = mgr.submit(
+                    |_| TaskStatus::Done,
+                    CpuSet::single(0),
+                    TaskOptions::oneshot(),
+                );
+                mgr.schedule(0);
+                assert!(h.is_complete());
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_empty_scan(c: &mut Criterion) {
+    // Algorithm 2's point: scanning a hierarchy of empty queues costs no
+    // lock acquisitions at all. This is the keypoint-hook fast path.
+    let mut g = c.benchmark_group("empty_scan");
+    let topo = Arc::new(presets::kwak());
+    let mgr = TaskManager::new(topo.clone());
+    g.bench_function("schedule_all_empty", |b| {
+        b.iter(|| black_box(mgr.schedule(black_box(7))))
+    });
+    let stats = mgr.stats();
+    assert_eq!(
+        stats.queues.iter().map(|q| q.lock_acquisitions).sum::<u64>(),
+        0,
+        "empty scan must not lock (Algorithm 2)"
+    );
+    g.finish();
+}
+
+fn bench_repeat_polling_task(c: &mut Criterion) {
+    let mut g = c.benchmark_group("repeat_task");
+    let topo = Arc::new(presets::kwak());
+    let mgr = TaskManager::new(topo.clone());
+    g.bench_function("poll_until_done_10", |b| {
+        b.iter_batched(
+            || {
+                let mut left = 10u32;
+                mgr.submit(
+                    move |_| {
+                        left -= 1;
+                        if left == 0 {
+                            TaskStatus::Done
+                        } else {
+                            TaskStatus::Again
+                        }
+                    },
+                    CpuSet::single(0),
+                    TaskOptions::repeat(),
+                )
+            },
+            |h| {
+                while !h.is_complete() {
+                    mgr.schedule(0);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_cpuset_topology_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("submit_path_queries");
+    let topo = presets::kwak();
+    let set = CpuSet::range(4..8);
+    g.bench_function("smallest_covering", |b| {
+        b.iter(|| black_box(topo.smallest_covering(black_box(&set))))
+    });
+    g.bench_function("cpuset_union_count", |b| {
+        let a = CpuSet::range(0..8);
+        let z = CpuSet::range(4..12);
+        b.iter(|| black_box((black_box(a) | black_box(z)).count()))
+    });
+    g.bench_function("cores_by_distance", |b| {
+        b.iter(|| black_box(topo.cores_by_distance(black_box(5), &topo.all_cores())))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_submit_schedule_levels,
+    bench_backend_ablation,
+    bench_empty_scan,
+    bench_repeat_polling_task,
+    bench_cpuset_topology_ops
+);
+criterion_main!(benches);

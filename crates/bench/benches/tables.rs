@@ -1,0 +1,52 @@
+//! Wall-clock cost of regenerating the paper's simulated experiments —
+//! one Criterion benchmark per table, exercising the full DES stack.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use piom_machine::simsched::microbench;
+use piom_machine::CostModel;
+use piom_topology::presets;
+use std::hint::black_box;
+
+fn bench_table_rows(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulated_tables");
+    g.sample_size(20);
+    let borderline = presets::borderline();
+    let kwak = presets::kwak();
+    g.bench_function("table1_global_row", |b| {
+        b.iter(|| {
+            black_box(microbench(
+                &borderline,
+                &CostModel::borderline(),
+                borderline.root(),
+                100,
+                7,
+            ))
+        })
+    });
+    g.bench_function("table2_global_row", |b| {
+        b.iter(|| {
+            black_box(microbench(
+                &kwak,
+                &CostModel::kwak(),
+                kwak.root(),
+                100,
+                7,
+            ))
+        })
+    });
+    g.bench_function("table2_percore_row", |b| {
+        b.iter(|| {
+            black_box(microbench(
+                &kwak,
+                &CostModel::kwak(),
+                kwak.core_node(12),
+                100,
+                7,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table_rows);
+criterion_main!(benches);

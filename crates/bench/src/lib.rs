@@ -1,0 +1,8 @@
+//! Benchmark-only crate: see `benches/`.
+//!
+//! * `benches/scheduler.rs` — real-thread microbenchmarks of the core
+//!   library (submit/schedule round-trips per queue level, spinlock vs
+//!   lock-free ablation, Algorithm 2's unlocked-empty fast path, cpuset and
+//!   topology query costs).
+//! * `benches/tables.rs` — end-to-end regeneration cost of the simulated
+//!   Table I/II microbenchmarks (how fast the DES reproduces the paper).

@@ -1,0 +1,81 @@
+//! Iteration over the CPU ids of a [`CpuSet`](crate::CpuSet).
+
+/// Ascending iterator over the CPU ids contained in a `CpuSet`.
+///
+/// Produced by [`CpuSet::iter`](crate::CpuSet::iter). The iterator is a
+/// snapshot: it owns a copy of the backing words, so mutating the original
+/// set during iteration has no effect on it.
+#[derive(Clone, Debug)]
+pub struct CpuIter {
+    words: [u64; 4],
+    /// Index of the word currently being drained.
+    word_idx: usize,
+}
+
+impl CpuIter {
+    pub(crate) fn new(words: [u64; 4]) -> Self {
+        CpuIter { words, word_idx: 0 }
+    }
+}
+
+impl Iterator for CpuIter {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.word_idx < self.words.len() {
+            let word = &mut self.words[self.word_idx];
+            if *word != 0 {
+                let bit = word.trailing_zeros() as usize;
+                *word &= *word - 1; // clear lowest set bit
+                return Some(self.word_idx * 64 + bit);
+            }
+            self.word_idx += 1;
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining: u32 = self.words[self.word_idx..]
+            .iter()
+            .map(|w| w.count_ones())
+            .sum();
+        (remaining as usize, Some(remaining as usize))
+    }
+}
+
+impl ExactSizeIterator for CpuIter {}
+impl core::iter::FusedIterator for CpuIter {}
+
+#[cfg(test)]
+mod tests {
+    use crate::CpuSet;
+
+    #[test]
+    fn iterates_in_ascending_order() {
+        let s = CpuSet::from_iter([200, 0, 64, 3, 127]);
+        let v: Vec<_> = s.iter().collect();
+        assert_eq!(v, vec![0, 3, 64, 127, 200]);
+    }
+
+    #[test]
+    fn exact_size() {
+        let s = CpuSet::range(10..50);
+        let mut it = s.iter();
+        assert_eq!(it.len(), 40);
+        it.next();
+        assert_eq!(it.len(), 39);
+    }
+
+    #[test]
+    fn fused_after_exhaustion() {
+        let mut it = CpuSet::single(1).iter();
+        assert_eq!(it.next(), Some(1));
+        assert_eq!(it.next(), None);
+        assert_eq!(it.next(), None);
+    }
+
+    #[test]
+    fn empty_iterates_nothing() {
+        assert_eq!(CpuSet::EMPTY.iter().count(), 0);
+    }
+}

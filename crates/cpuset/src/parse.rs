@@ -1,0 +1,137 @@
+//! Parsing of Linux-style `cpulist` strings (e.g. `0-3,8,10-11`).
+
+use crate::CpuSet;
+use core::fmt;
+use core::str::FromStr;
+
+/// Error returned when parsing a cpulist string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseCpuSetError {
+    /// A component was not a number or `a-b` range.
+    InvalidComponent(String),
+    /// A range had `start > end`.
+    ReversedRange(usize, usize),
+    /// A CPU id was `>= CpuSet::MAX_CPUS`.
+    OutOfRange(usize),
+}
+
+impl fmt::Display for ParseCpuSetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseCpuSetError::InvalidComponent(s) => {
+                write!(f, "invalid cpulist component: {s:?}")
+            }
+            ParseCpuSetError::ReversedRange(a, b) => {
+                write!(f, "reversed cpu range: {a}-{b}")
+            }
+            ParseCpuSetError::OutOfRange(cpu) => {
+                write!(f, "cpu id {cpu} exceeds maximum {}", CpuSet::MAX_CPUS - 1)
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseCpuSetError {}
+
+impl FromStr for CpuSet {
+    type Err = ParseCpuSetError;
+
+    /// Parses a Linux `cpulist`: comma-separated CPU ids or inclusive ranges.
+    /// The empty string (or all-whitespace) parses to the empty set.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut set = CpuSet::new();
+        let trimmed = s.trim();
+        if trimmed.is_empty() {
+            return Ok(set);
+        }
+        for comp in trimmed.split(',') {
+            let comp = comp.trim();
+            if comp.is_empty() {
+                return Err(ParseCpuSetError::InvalidComponent(comp.to_owned()));
+            }
+            let parse_id = |t: &str| -> Result<usize, ParseCpuSetError> {
+                let id: usize = t
+                    .trim()
+                    .parse()
+                    .map_err(|_| ParseCpuSetError::InvalidComponent(comp.to_owned()))?;
+                if id >= CpuSet::MAX_CPUS {
+                    return Err(ParseCpuSetError::OutOfRange(id));
+                }
+                Ok(id)
+            };
+            match comp.split_once('-') {
+                Some((a, b)) => {
+                    let (start, end) = (parse_id(a)?, parse_id(b)?);
+                    if start > end {
+                        return Err(ParseCpuSetError::ReversedRange(start, end));
+                    }
+                    for cpu in start..=end {
+                        set.insert(cpu);
+                    }
+                }
+                None => {
+                    set.insert(parse_id(comp)?);
+                }
+            }
+        }
+        Ok(set)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_singletons_and_ranges() {
+        let s: CpuSet = "0-3,8,10-11".parse().unwrap();
+        assert_eq!(s, CpuSet::from_iter([0, 1, 2, 3, 8, 10, 11]));
+    }
+
+    #[test]
+    fn parses_empty() {
+        assert_eq!("".parse::<CpuSet>().unwrap(), CpuSet::EMPTY);
+        assert_eq!("  ".parse::<CpuSet>().unwrap(), CpuSet::EMPTY);
+    }
+
+    #[test]
+    fn tolerates_spaces() {
+        let s: CpuSet = " 1 , 3 - 5 ".parse().unwrap();
+        assert_eq!(s, CpuSet::from_iter([1, 3, 4, 5]));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(
+            "a,b".parse::<CpuSet>(),
+            Err(ParseCpuSetError::InvalidComponent(_))
+        ));
+        assert!(matches!(
+            "1,,2".parse::<CpuSet>(),
+            Err(ParseCpuSetError::InvalidComponent(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_reversed_range() {
+        assert_eq!(
+            "5-2".parse::<CpuSet>(),
+            Err(ParseCpuSetError::ReversedRange(5, 2))
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert_eq!(
+            "999".parse::<CpuSet>(),
+            Err(ParseCpuSetError::OutOfRange(999))
+        );
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        let s = CpuSet::from_iter([0, 2, 3, 4, 60, 64, 65, 255]);
+        let text = s.to_string();
+        assert_eq!(text.parse::<CpuSet>().unwrap(), s);
+    }
+}

@@ -1,0 +1,23 @@
+//! CLI entry: `piom-harness <experiment>` prints one (or `all`) of the
+//! paper's tables/figures regenerated on the simulated testbeds.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: piom-harness <experiment>");
+        eprintln!("experiments: {}", piom_harness::EXPERIMENTS.join(", "));
+        std::process::exit(2);
+    }
+    for what in &args {
+        match piom_harness::run(what) {
+            Some(report) => println!("{report}"),
+            None => {
+                eprintln!(
+                    "unknown experiment {what:?}; known: {}",
+                    piom_harness::EXPERIMENTS.join(", ")
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+}

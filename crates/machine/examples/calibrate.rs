@@ -1,0 +1,21 @@
+//! Quick calibration probe: print simulated Table I / II values.
+use piom_machine::simsched::bench_table;
+use piom_machine::CostModel;
+use piom_topology::presets;
+
+fn main() {
+    for (topo, cost) in [
+        (presets::borderline(), CostModel::borderline()),
+        (presets::kwak(), CostModel::kwak()),
+    ] {
+        println!("== {} ==", topo.name());
+        for row in bench_table(&topo, &cost, 400, 42) {
+            let vals: Vec<String> = row
+                .entries
+                .iter()
+                .map(|(_, r)| format!("{:.0}", r.mean_ns()))
+                .collect();
+            println!("{:?}: {}", row.level, vals.join(" "));
+        }
+    }
+}

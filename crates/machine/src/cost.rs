@@ -1,0 +1,176 @@
+//! Cost model: how long memory-system operations take on a simulated machine.
+//!
+//! All costs are in nanoseconds of simulated time. The presets are
+//! calibrated so the §V-A microbenchmark lands in the ranges the paper
+//! reports (see `EXPERIMENTS.md` for paper-vs-measured); the *structure* —
+//! which operations pay which distance — is what carries the result, not
+//! the constants.
+
+use piom_des::SimTime;
+use piom_topology::{Locality, Topology};
+
+/// Latency parameters of a simulated machine's memory system.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// Cache-line transfer latency indexed by [`Locality`] discriminant
+    /// (self, shared cache, same chip, same NUMA node, cross NUMA).
+    pub transfer_ns: [u64; 5],
+    /// Fixed cost of creating + locally scheduling + completing an empty
+    /// task (the paper's ~700 ns reference, §V-A).
+    pub base_local_ns: u64,
+    /// Extra cost when the submitting core also executes the task (the
+    /// paper measured ~25 ns on core #0, §V-A).
+    pub self_execution_overhead_ns: u64,
+    /// Uncontended lock acquire/release round.
+    pub lock_base_ns: u64,
+    /// Fraction of the cache-line transfer latency paid by an *uncontended*
+    /// acquire. An uncontended CAS mostly overlaps with the line movement of
+    /// the emptiness check that preceded it, so this is near zero; contended
+    /// handoffs always pay the full transfer.
+    pub uncontended_transfer_fraction: f64,
+    /// Time a spinning waiter "steals" from the handoff (cache-line
+    /// interference per additional active spinner).
+    pub spin_interference_ns: u64,
+    /// Cost added to an enqueue for each *other* core continuously polling
+    /// the same queue: their shared copies of the queue's cache lines must
+    /// be invalidated and re-fetched on every write (steady-state MESI
+    /// traffic on a shared queue).
+    pub poll_pressure_ns: u64,
+    /// Granularity at which an idle core re-polls its queues.
+    pub poll_interval_ns: u64,
+    /// Cost of a context switch (used by the thread-scheduler model).
+    pub context_switch_ns: u64,
+    /// Timer interrupt period (thread-scheduler model).
+    pub timer_slice_ns: u64,
+    /// Multiplicative jitter spread applied to transfers (0 = none).
+    pub jitter: f64,
+}
+
+impl CostModel {
+    /// Model for `borderline`: 4-socket dual-core, no L3, single memory
+    /// domain per socket. Inter-chip traffic is cheap HyperTransport
+    /// (~100 ns observed overhead in Table I).
+    pub fn borderline() -> Self {
+        CostModel {
+            //            self, cache, chip, numa, xnuma
+            transfer_ns: [0, 40, 55, 95, 950],
+            base_local_ns: 640,
+            self_execution_overhead_ns: 25,
+            lock_base_ns: 15,
+            uncontended_transfer_fraction: 0.0,
+            spin_interference_ns: 110,
+            poll_pressure_ns: 250,
+            poll_interval_ns: 40,
+            context_switch_ns: 1_500,
+            timer_slice_ns: 10_000_000, // 10 ms Linux-ish tick
+            jitter: 0.04,
+        }
+    }
+
+    /// Model for `kwak`: 4 NUMA nodes, shared L3 per socket. Cross-NUMA
+    /// transfers cost ~1 µs (Table II's remote per-core overhead).
+    pub fn kwak() -> Self {
+        CostModel {
+            transfer_ns: [0, 45, 60, 80, 1_030],
+            base_local_ns: 590,
+            self_execution_overhead_ns: 25,
+            lock_base_ns: 15,
+            uncontended_transfer_fraction: 0.0,
+            spin_interference_ns: 130,
+            poll_pressure_ns: 230,
+            poll_interval_ns: 40,
+            context_switch_ns: 1_500,
+            timer_slice_ns: 10_000_000,
+            jitter: 0.04,
+        }
+    }
+
+    /// A neutral model for generic scaling studies.
+    pub fn generic() -> Self {
+        CostModel {
+            transfer_ns: [0, 40, 80, 120, 800],
+            base_local_ns: 700,
+            self_execution_overhead_ns: 25,
+            lock_base_ns: 15,
+            uncontended_transfer_fraction: 0.0,
+            spin_interference_ns: 100,
+            poll_pressure_ns: 220,
+            poll_interval_ns: 40,
+            context_switch_ns: 1_500,
+            timer_slice_ns: 10_000_000,
+            jitter: 0.04,
+        }
+    }
+
+    /// Cache-line transfer latency between two cores of `topo`.
+    pub fn transfer(&self, topo: &Topology, from: usize, to: usize) -> SimTime {
+        SimTime::from_ns(self.transfer_ns[topo.locality(from, to).distance()])
+    }
+
+    /// Transfer latency for a pre-computed locality class.
+    pub fn transfer_for(&self, locality: Locality) -> SimTime {
+        SimTime::from_ns(self.transfer_ns[locality.distance()])
+    }
+
+    /// Uncontended lock round-trip.
+    pub fn lock_base(&self) -> SimTime {
+        SimTime::from_ns(self.lock_base_ns)
+    }
+
+    /// Idle-core poll period.
+    pub fn poll_interval(&self) -> SimTime {
+        SimTime::from_ns(self.poll_interval_ns)
+    }
+
+    /// Context-switch cost.
+    pub fn context_switch(&self) -> SimTime {
+        SimTime::from_ns(self.context_switch_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use piom_topology::presets;
+
+    #[test]
+    fn transfer_monotone_in_distance() {
+        for model in [CostModel::borderline(), CostModel::kwak(), CostModel::generic()] {
+            for w in model.transfer_ns.windows(2) {
+                assert!(w[0] <= w[1], "transfer cost must grow with distance");
+            }
+        }
+    }
+
+    #[test]
+    fn kwak_cross_numa_is_expensive() {
+        let m = CostModel::kwak();
+        let t = presets::kwak();
+        let local = m.transfer(&t, 0, 1);
+        let remote = m.transfer(&t, 0, 12);
+        assert!(remote.as_ns() > 10 * local.as_ns());
+        assert_eq!(m.transfer(&t, 3, 3), SimTime::ZERO);
+    }
+
+    #[test]
+    fn borderline_interchip_is_cheap() {
+        let m = CostModel::borderline();
+        let t = presets::borderline();
+        // Inter-chip on borderline stays within one memory domain: ~100 ns.
+        let cross = m.transfer(&t, 0, 5);
+        assert!(cross.as_ns() < 200, "got {cross}");
+    }
+
+    #[test]
+    fn locality_indexing_matches_enum() {
+        let m = CostModel::generic();
+        assert_eq!(
+            m.transfer_for(Locality::SelfCore),
+            SimTime::ZERO
+        );
+        assert_eq!(
+            m.transfer_for(Locality::CrossNuma).as_ns(),
+            m.transfer_ns[4]
+        );
+    }
+}

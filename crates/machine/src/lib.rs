@@ -1,0 +1,31 @@
+//! Simulated multicore NUMA machine.
+//!
+//! The paper evaluates PIOMan on two real machines — `borderline` (4-socket
+//! dual-core Opteron) and `kwak` (4-socket quad-core Opteron, 4 NUMA nodes)
+//! — that this environment does not have. Per the substitution policy in
+//! `DESIGN.md`, this crate models the *mechanisms the paper attributes its
+//! numbers to*, on top of the [`piom_des`] kernel:
+//!
+//! * [`CostModel`] — cache-line transfer latencies by topological distance,
+//!   lock handoff costs, poll granularity; presets calibrated per machine;
+//! * [`SimSpinLock`] — a discrete-event spinlock whose arbitration exhibits
+//!   the two phenomena driving Tables I–II: handoff cost scales with the
+//!   topological distance between consecutive owners, and waiters close to
+//!   the releasing core win the next acquisition (the NUMA-unfair handoff
+//!   the paper uses to explain the skewed task distribution, §V-A);
+//! * [`simsched`] — the paper's hierarchical task scheduler (Algorithms 1–2)
+//!   instantiated on the simulated machine, including the §V-A microbenchmark
+//!   that regenerates Tables I and II;
+//! * [`threads`] — a simulated thread scheduler (run queues, context
+//!   switches, timer ticks, idle detection) with PIOMan keypoint hooks: the
+//!   MARCEL substitute used by the latency/overlap experiments.
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod simsched;
+pub mod spinlock_model;
+pub mod threads;
+
+pub use cost::CostModel;
+pub use spinlock_model::SimSpinLock;

@@ -1,0 +1,58 @@
+//! Property tests on the simulated-machine models.
+
+use piom_machine::simsched::microbench;
+use piom_machine::CostModel;
+use piom_topology::presets;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The microbenchmark conserves tasks: every round is executed exactly
+    /// once by exactly one allowed core, for any seed and queue.
+    #[test]
+    fn microbench_conserves_tasks(seed in any::<u64>(), node_pick in 0usize..21) {
+        let topo = presets::kwak();
+        let cost = CostModel::kwak();
+        let node = topo.node_ids().nth(node_pick).unwrap();
+        let iters = 100;
+        let r = microbench(&topo, &cost, node, iters, seed);
+        prop_assert_eq!(r.executed_by_core.iter().sum::<u64>(), iters);
+        let allowed = topo.node(node).cpuset;
+        for (core, &n) in r.executed_by_core.iter().enumerate() {
+            if n > 0 {
+                prop_assert!(allowed.contains(core), "core {core} outside queue span");
+            }
+        }
+        prop_assert_eq!(r.stats.count(), iters);
+    }
+
+    /// Hierarchy ordering is seed-independent: per-core <= per-NUMA <= global.
+    #[test]
+    fn level_ordering_holds_for_any_seed(seed in any::<u64>()) {
+        let topo = presets::kwak();
+        let cost = CostModel::kwak();
+        let core0 = microbench(&topo, &cost, topo.core_node(0), 120, seed).mean_ns();
+        let numa = microbench(
+            &topo,
+            &cost,
+            topo.nodes_at_level(piom_topology::Level::NumaNode)[0],
+            120,
+            seed,
+        )
+        .mean_ns();
+        let global = microbench(&topo, &cost, topo.root(), 120, seed).mean_ns();
+        prop_assert!(core0 < numa, "{core0} !< {numa}");
+        prop_assert!(numa < global, "{numa} !< {global}");
+    }
+
+    /// Determinism: equal seeds give bit-equal means.
+    #[test]
+    fn microbench_deterministic(seed in any::<u64>()) {
+        let topo = presets::borderline();
+        let cost = CostModel::borderline();
+        let a = microbench(&topo, &cost, topo.root(), 60, seed).mean_ns();
+        let b = microbench(&topo, &cost, topo.root(), 60, seed).mean_ns();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,443 @@
+//! Simulated high-performance cluster network.
+//!
+//! The paper's experiments ran on InfiniBand ConnectX and Myri-10G NICs.
+//! This crate substitutes a discrete-event model of that class of fabric:
+//!
+//! * [`NetParams`] — per-message latency, per-byte bandwidth, NIC occupancy
+//!   (the per-packet engine busy time that message aggregation amortizes),
+//!   and RDMA costs; presets for IB/Myri-10G/TCP-class links;
+//! * [`Network`] — `n` nodes × `r` rails; each (node, rail) pair owns a
+//!   [`Nic`] with a serializing send engine and an rx-handler callback;
+//! * packet delivery into the receiving node's engine after
+//!   `occupancy + size·per_byte + latency`;
+//! * [`Network::rdma_read`] — one-sided transfer that completes without any
+//!   remote CPU involvement, the mechanism MVAPICH/OpenMPI-class rendezvous
+//!   uses to overlap on the sender side (paper §II-B, [10]).
+//!
+//! Payload bytes are optional ([`Message::data`]): protocol experiments care
+//! about sizes and timing; correctness tests can attach real `Bytes` and
+//! check end-to-end integrity.
+
+#![warn(missing_docs)]
+
+use bytes::Bytes;
+use piom_des::{Sim, SimTime};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+mod params;
+pub use params::NetParams;
+
+/// A message (or protocol control packet) in flight.
+#[derive(Debug, Clone)]
+pub struct Message {
+    /// Sending node.
+    pub src: usize,
+    /// Destination node.
+    pub dst: usize,
+    /// Rail the message was sent on.
+    pub rail: usize,
+    /// Protocol tag (opaque to the network).
+    pub tag: u64,
+    /// Payload size in bytes (drives the bandwidth term).
+    pub size: usize,
+    /// Optional real payload for integrity checks.
+    pub data: Option<Bytes>,
+}
+
+/// Handler invoked on the receiving side when a message arrives.
+pub type RxHandler = Rc<dyn Fn(&mut Sim, Message)>;
+
+struct NicState {
+    /// Send engine busy until this time.
+    busy_until: SimTime,
+    /// Packets queued behind the engine.
+    backlog: VecDeque<Message>,
+    /// Messages fully transmitted.
+    tx_count: u64,
+    /// Bytes fully transmitted.
+    tx_bytes: u64,
+    rx_handler: Option<RxHandler>,
+    rx_count: u64,
+}
+
+/// One simulated network interface (a (node, rail) endpoint).
+#[derive(Clone)]
+pub struct Nic {
+    st: Rc<RefCell<NicState>>,
+}
+
+impl Nic {
+    fn new() -> Self {
+        Nic {
+            st: Rc::new(RefCell::new(NicState {
+                busy_until: SimTime::ZERO,
+                backlog: VecDeque::new(),
+                tx_count: 0,
+                tx_bytes: 0,
+                rx_handler: None,
+                rx_count: 0,
+            })),
+        }
+    }
+
+    /// Installs the receive handler (the communication engine's entry).
+    pub fn set_rx_handler(&self, h: RxHandler) {
+        self.st.borrow_mut().rx_handler = Some(h);
+    }
+
+    /// Messages transmitted so far.
+    pub fn tx_count(&self) -> u64 {
+        self.st.borrow().tx_count
+    }
+
+    /// Bytes transmitted so far.
+    pub fn tx_bytes(&self) -> u64 {
+        self.st.borrow().tx_bytes
+    }
+
+    /// Messages received so far.
+    pub fn rx_count(&self) -> u64 {
+        self.st.borrow().rx_count
+    }
+
+    /// Send-engine backlog length (racy diagnostic).
+    pub fn backlog_len(&self) -> usize {
+        self.st.borrow().backlog.len()
+    }
+
+    /// Simulated time at which the send engine frees up.
+    pub fn busy_until(&self) -> SimTime {
+        self.st.borrow().busy_until
+    }
+}
+
+/// A cluster: `n_nodes` nodes, each with `n_rails` NICs, full crossbar.
+pub struct Network {
+    params: NetParams,
+    /// `nics[node][rail]`.
+    nics: Vec<Vec<Nic>>,
+}
+
+impl Network {
+    /// Builds the fabric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_nodes == 0` or `n_rails == 0`.
+    pub fn new(n_nodes: usize, n_rails: usize, params: NetParams) -> Rc<Self> {
+        assert!(n_nodes > 0 && n_rails > 0, "empty network");
+        Rc::new(Network {
+            params,
+            nics: (0..n_nodes)
+                .map(|_| (0..n_rails).map(|_| Nic::new()).collect())
+                .collect(),
+        })
+    }
+
+    /// Link/NIC parameters.
+    pub fn params(&self) -> &NetParams {
+        &self.params
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.nics.len()
+    }
+
+    /// Number of rails.
+    pub fn n_rails(&self) -> usize {
+        self.nics[0].len()
+    }
+
+    /// The NIC of `(node, rail)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn nic(&self, node: usize, rail: usize) -> &Nic {
+        &self.nics[node][rail]
+    }
+
+    /// Submits `msg` to the source NIC's send engine. The engine transmits
+    /// packets in FIFO order, each occupying it for
+    /// `occupancy + size * per_byte`; the packet then arrives at the
+    /// destination after the wire latency and is handed to the rx handler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if src/dst/rail are out of range or `src == dst`.
+    pub fn send(self: &Rc<Self>, sim: &mut Sim, msg: Message) {
+        assert!(msg.src != msg.dst, "loopback not modelled");
+        assert!(msg.src < self.n_nodes() && msg.dst < self.n_nodes());
+        assert!(msg.rail < self.n_rails());
+        let nic = self.nics[msg.src][msg.rail].clone();
+        let start_engine = {
+            let mut st = nic.st.borrow_mut();
+            st.backlog.push_back(msg);
+            // Engine idle => kick it; otherwise the running chain drains it.
+            st.backlog.len() == 1 && st.busy_until <= sim.now()
+        };
+        if start_engine {
+            self.engine_step(sim, nic);
+        }
+    }
+
+    /// Transmits the next backlog entry of `nic`, then re-arms.
+    fn engine_step(self: &Rc<Self>, sim: &mut Sim, nic: Nic) {
+        let (msg, tx_time) = {
+            let mut st = nic.st.borrow_mut();
+            let Some(msg) = st.backlog.pop_front() else {
+                return;
+            };
+            let tx = self.params.occupancy() + self.params.byte_time(msg.size);
+            st.busy_until = sim.now() + tx;
+            (msg, tx)
+        };
+        let this = self.clone();
+        let latency = self.params.latency();
+        sim.schedule(tx_time, move |sim| {
+            {
+                let mut st = nic.st.borrow_mut();
+                st.tx_count += 1;
+                st.tx_bytes += msg.size as u64;
+            }
+            // Wire flight, then delivery on the destination NIC.
+            let rx_nic = this.nics[msg.dst][msg.rail].clone();
+            sim.schedule(latency, move |sim| {
+                let handler = {
+                    let mut st = rx_nic.st.borrow_mut();
+                    st.rx_count += 1;
+                    st.rx_handler.clone()
+                };
+                match handler {
+                    Some(h) => h(sim, msg),
+                    None => panic!(
+                        "message delivered to node {} rail {} with no rx handler",
+                        msg.dst, msg.rail
+                    ),
+                }
+            });
+            // Keep draining the backlog.
+            this.engine_step(sim, nic);
+        });
+    }
+
+    /// One-sided RDMA read: `reader` pulls `size` bytes from `target`
+    /// without involving the target's CPU. `on_complete` runs on the reader
+    /// side when the data has landed.
+    ///
+    /// Cost: request descriptor flight (`latency + rdma_setup`) + data
+    /// streamed back (`size * per_byte + latency`).
+    pub fn rdma_read<F: FnOnce(&mut Sim) + 'static>(
+        self: &Rc<Self>,
+        sim: &mut Sim,
+        reader: usize,
+        target: usize,
+        rail: usize,
+        size: usize,
+        on_complete: F,
+    ) {
+        assert!(reader != target, "rdma loopback not modelled");
+        assert!(reader < self.n_nodes() && target < self.n_nodes());
+        assert!(rail < self.n_rails());
+        let total = self.params.rdma_setup()
+            + self.params.latency() // read request reaches the target NIC
+            + self.params.byte_time(size) // data streams back
+            + self.params.latency(); // last byte's wire flight
+        sim.schedule(total, on_complete);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    fn net() -> (Rc<Network>, Sim) {
+        (Network::new(2, 2, NetParams::infiniband()), Sim::new())
+    }
+
+    fn collect_arrivals(net: &Rc<Network>, node: usize, rail: usize) -> Rc<RefCell<Vec<(SimTime, Message)>>> {
+        let log: Rc<RefCell<Vec<(SimTime, Message)>>> = Rc::new(RefCell::new(Vec::new()));
+        let l = log.clone();
+        net.nic(node, rail).set_rx_handler(Rc::new(move |sim, msg| {
+            l.borrow_mut().push((sim.now(), msg));
+        }));
+        log
+    }
+
+    #[test]
+    fn small_message_arrives_after_latency_plus_occupancy() {
+        let (net, mut sim) = net();
+        let log = collect_arrivals(&net, 1, 0);
+        net.send(
+            &mut sim,
+            Message {
+                src: 0,
+                dst: 1,
+                rail: 0,
+                tag: 7,
+                size: 4,
+                data: None,
+            },
+        );
+        sim.run();
+        let log = log.borrow();
+        assert_eq!(log.len(), 1);
+        let p = &net.params();
+        let expected = p.occupancy() + p.byte_time(4) + p.latency();
+        assert_eq!(log[0].0, expected);
+        assert_eq!(log[0].1.tag, 7);
+    }
+
+    #[test]
+    fn large_message_time_is_bandwidth_dominated() {
+        let (net, mut sim) = net();
+        let log = collect_arrivals(&net, 1, 0);
+        let size = 1 << 20; // 1 MB
+        net.send(
+            &mut sim,
+            Message {
+                src: 0,
+                dst: 1,
+                rail: 0,
+                tag: 0,
+                size,
+                data: None,
+            },
+        );
+        sim.run();
+        let arrival = log.borrow()[0].0;
+        let bw_term = net.params().byte_time(size);
+        assert!(
+            arrival.as_ns() > bw_term.as_ns(),
+            "arrival precedes bandwidth term"
+        );
+        assert!(
+            (arrival - net.params().latency() - net.params().occupancy()) == bw_term,
+            "decomposition broken"
+        );
+        // 1 MB at ~1.2 GB/s is on the order of a millisecond.
+        assert!(arrival > SimTime::from_us(500) && arrival < SimTime::from_ms(2));
+    }
+
+    #[test]
+    fn nic_engine_serializes_sends_fifo() {
+        let (net, mut sim) = net();
+        let log = collect_arrivals(&net, 1, 0);
+        for tag in 0..5 {
+            net.send(
+                &mut sim,
+                Message {
+                    src: 0,
+                    dst: 1,
+                    rail: 0,
+                    tag,
+                    size: 1024,
+                    data: None,
+                },
+            );
+        }
+        sim.run();
+        let log = log.borrow();
+        assert_eq!(log.len(), 5);
+        let tags: Vec<u64> = log.iter().map(|(_, m)| m.tag).collect();
+        assert_eq!(tags, vec![0, 1, 2, 3, 4], "FIFO violated");
+        // Arrivals spaced by at least the per-packet engine time.
+        let step = net.params().occupancy() + net.params().byte_time(1024);
+        for w in log.windows(2) {
+            assert_eq!(w[1].0 - w[0].0, step);
+        }
+        assert_eq!(net.nic(0, 0).tx_count(), 5);
+        assert_eq!(net.nic(1, 0).rx_count(), 5);
+    }
+
+    #[test]
+    fn rails_transmit_in_parallel() {
+        let (net, mut sim) = net();
+        let log0 = collect_arrivals(&net, 1, 0);
+        let log1 = collect_arrivals(&net, 1, 1);
+        let size = 1 << 20;
+        for rail in 0..2 {
+            net.send(
+                &mut sim,
+                Message {
+                    src: 0,
+                    dst: 1,
+                    rail,
+                    tag: rail as u64,
+                    size,
+                    data: None,
+                },
+            );
+        }
+        sim.run();
+        let a0 = log0.borrow()[0].0;
+        let a1 = log1.borrow()[0].0;
+        assert_eq!(a0, a1, "two rails should stream simultaneously");
+    }
+
+    #[test]
+    fn payload_bytes_survive_transit() {
+        let (net, mut sim) = net();
+        let log = collect_arrivals(&net, 1, 0);
+        let payload = Bytes::from(vec![0xAB; 256]);
+        net.send(
+            &mut sim,
+            Message {
+                src: 0,
+                dst: 1,
+                rail: 0,
+                tag: 1,
+                size: 256,
+                data: Some(payload.clone()),
+            },
+        );
+        sim.run();
+        assert_eq!(log.borrow()[0].1.data.as_ref().unwrap(), &payload);
+    }
+
+    #[test]
+    fn rdma_read_cost_model() {
+        let (net, mut sim) = net();
+        let done_at = Rc::new(Cell::new(SimTime::ZERO));
+        let d = done_at.clone();
+        let size = 32 * 1024;
+        net.rdma_read(&mut sim, 1, 0, 0, size, move |sim| d.set(sim.now()));
+        sim.run();
+        let p = NetParams::infiniband();
+        let expected = p.rdma_setup() + p.latency() * 2 + p.byte_time(size);
+        assert_eq!(done_at.get(), expected);
+    }
+
+    #[test]
+    fn bidirectional_traffic_no_interference() {
+        let (net, mut sim) = net();
+        let log_at_1 = collect_arrivals(&net, 1, 0);
+        let log_at_0 = collect_arrivals(&net, 0, 0);
+        net.send(&mut sim, Message { src: 0, dst: 1, rail: 0, tag: 1, size: 4, data: None });
+        net.send(&mut sim, Message { src: 1, dst: 0, rail: 0, tag: 2, size: 4, data: None });
+        sim.run();
+        assert_eq!(log_at_1.borrow().len(), 1);
+        assert_eq!(log_at_0.borrow().len(), 1);
+        // Full duplex: both arrive at the same instant.
+        assert_eq!(log_at_1.borrow()[0].0, log_at_0.borrow()[0].0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no rx handler")]
+    fn delivery_without_handler_panics() {
+        let (net, mut sim) = net();
+        net.send(&mut sim, Message { src: 0, dst: 1, rail: 0, tag: 0, size: 4, data: None });
+        sim.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "loopback")]
+    fn loopback_send_panics() {
+        let (net, mut sim) = net();
+        net.send(&mut sim, Message { src: 0, dst: 0, rail: 0, tag: 0, size: 4, data: None });
+    }
+}

@@ -1,0 +1,703 @@
+//! NewMadeleine-style communication engine on the simulated network.
+//!
+//! NEWMADELEINE "aims at applying dynamic scheduling optimizations on
+//! multiple communication flows such as reordering, aggregation, multirail
+//! distribution" (paper §IV-B). This crate reproduces that engine on top of
+//! [`piom_net`]:
+//!
+//! * **eager protocol** for small messages, with an optional *optimization
+//!   layer* that packs several pending messages to the same destination
+//!   into one NIC packet and spreads packets across rails (Fig. 1);
+//! * **rendezvous protocol** for large messages, in two flavours:
+//!   two-sided RTS/CTS/DATA (what NewMadeleine's progression engine
+//!   drives in the background) and RDMA-read RTS/FIN (the
+//!   MVAPICH/OpenMPI-class protocol of [10], where the receiver pulls the
+//!   data and the sender only learns of completion from the FIN);
+//! * **poll-driven progress**: incoming packets sit in the NIC receive
+//!   queue until someone calls [`CommEngine::poll`]. *Who* polls and *when*
+//!   is the whole subject of the paper — PIOMan polls from scheduler
+//!   keypoints (idle cores), MPICH-class libraries poll only inside MPI
+//!   calls. The engine takes no position; the `madmpi` crate wires both.
+//!
+//! Requests are [`ReqHandle`]s: completion is observable by flag or by
+//! registered callback (used to notify simulated condition variables).
+
+#![warn(missing_docs)]
+
+use piom_des::{Sim, SimTime};
+use piom_net::{Message, Network};
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+pub mod filters;
+pub mod wire;
+use wire::{EagerPart, Wire};
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Messages up to this size go eager; larger ones use rendezvous.
+    pub eager_threshold: usize,
+    /// Use the RDMA-read rendezvous (baseline MPI style) instead of the
+    /// two-sided RTS/CTS/DATA rendezvous.
+    pub rdma_rendezvous: bool,
+    /// Enable the optimization layer: pack pending eager messages for the
+    /// same destination into aggregate packets (Fig. 1).
+    pub aggregation: bool,
+    /// Maximum aggregate packet payload.
+    pub max_packet: usize,
+    /// Split rendezvous DATA across all rails (multirail distribution).
+    pub multirail_data: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            eager_threshold: 16 * 1024,
+            rdma_rendezvous: false,
+            aggregation: true,
+            max_packet: 64 * 1024,
+            multirail_data: true,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// NewMadeleine-style configuration (two-sided rendezvous, aggregation,
+    /// multirail).
+    pub fn newmadeleine() -> Self {
+        Self::default()
+    }
+
+    /// Baseline MPI-class configuration: RDMA-read rendezvous, no
+    /// aggregation, single-rail data.
+    pub fn baseline_mpi() -> Self {
+        EngineConfig {
+            eager_threshold: 16 * 1024,
+            rdma_rendezvous: true,
+            aggregation: false,
+            max_packet: 64 * 1024,
+            multirail_data: false,
+        }
+    }
+}
+
+/// Observable state of a send/recv request.
+#[derive(Default)]
+struct ReqState {
+    complete: bool,
+    completed_at: Option<SimTime>,
+    callbacks: Vec<Box<dyn FnOnce(&mut Sim)>>,
+}
+
+/// Handle to an asynchronous operation (the `MPI_Request` analogue).
+#[derive(Clone)]
+pub struct ReqHandle {
+    st: Rc<RefCell<ReqState>>,
+}
+
+impl ReqHandle {
+    fn new() -> Self {
+        ReqHandle {
+            st: Rc::new(RefCell::new(ReqState::default())),
+        }
+    }
+
+    /// Creates a detached handle completed by [`complete_public`]
+    /// (building block for composite operations like filtered sends).
+    ///
+    /// [`complete_public`]: ReqHandle::complete_public
+    pub fn new_public() -> Self {
+        Self::new()
+    }
+
+    /// Completes a handle created with [`ReqHandle::new_public`].
+    pub fn complete_public(&self, sim: &mut Sim) {
+        self.complete(sim);
+    }
+
+    /// `true` once the operation finished.
+    pub fn is_complete(&self) -> bool {
+        self.st.borrow().complete
+    }
+
+    /// Simulated completion instant, if complete.
+    pub fn completed_at(&self) -> Option<SimTime> {
+        self.st.borrow().completed_at
+    }
+
+    /// Registers a callback run at completion (immediately if already done).
+    pub fn on_complete<F: FnOnce(&mut Sim) + 'static>(&self, sim: &mut Sim, f: F) {
+        let already = self.st.borrow().complete;
+        if already {
+            f(sim);
+        } else {
+            self.st.borrow_mut().callbacks.push(Box::new(f));
+        }
+    }
+
+    fn complete(&self, sim: &mut Sim) {
+        let cbs = {
+            let mut st = self.st.borrow_mut();
+            if st.complete {
+                return;
+            }
+            st.complete = true;
+            st.completed_at = Some(sim.now());
+            std::mem::take(&mut st.callbacks)
+        };
+        for cb in cbs {
+            cb(sim);
+        }
+    }
+}
+
+struct PostedRecv {
+    src: usize,
+    app_tag: u64,
+    req: ReqHandle,
+}
+
+struct PendingEager {
+    dst: usize,
+    app_tag: u64,
+    size: usize,
+}
+
+enum SendRndv {
+    /// Two-sided: waiting for the CTS.
+    AwaitCts { dst: usize, size: usize },
+    /// RDMA-read: waiting for the FIN.
+    AwaitFin,
+}
+
+struct RecvRndv {
+    req: ReqHandle,
+    chunks_left: u32,
+}
+
+/// Unexpected-message record (arrived before a matching recv was posted).
+enum Unexpected {
+    Eager { src: usize, app_tag: u64 },
+    Rts {
+        src: usize,
+        app_tag: u64,
+        sender_req: u32,
+        size: u64,
+        rdma: bool,
+    },
+}
+
+/// Aggregate engine statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Wire packets submitted to NICs.
+    pub packets_sent: u64,
+    /// Eager messages carried inside aggregates.
+    pub aggregated_messages: u64,
+    /// Aggregate packets among `packets_sent`.
+    pub aggregate_packets: u64,
+    /// Rendezvous transfers started as sender.
+    pub rendezvous_started: u64,
+    /// Packets processed by [`CommEngine::poll`].
+    pub packets_processed: u64,
+    /// Poll invocations that found nothing to do.
+    pub empty_polls: u64,
+}
+
+struct Eng {
+    node: usize,
+    net: Rc<Network>,
+    cfg: EngineConfig,
+    /// Arrived, waiting for a poll to be processed (the NIC rx queue).
+    rx_pending: VecDeque<Message>,
+    posted: Vec<PostedRecv>,
+    unexpected: Vec<Unexpected>,
+    /// Eager messages waiting in the optimization layer's per-dst pools.
+    send_pool: Vec<PendingEager>,
+    next_req: u32,
+    send_rndv: HashMap<u32, (ReqHandle, SendRndv)>,
+    recv_rndv: HashMap<(usize, u32), RecvRndv>,
+    next_rail: usize,
+    stats: EngineStats,
+}
+
+/// One node's communication engine.
+#[derive(Clone)]
+pub struct CommEngine {
+    eng: Rc<RefCell<Eng>>,
+}
+
+impl CommEngine {
+    /// Creates the engine for `node` and installs its NIC receive handlers
+    /// (arrivals are buffered until [`poll`](Self::poll)).
+    pub fn new(node: usize, net: Rc<Network>, cfg: EngineConfig) -> Self {
+        let engine = CommEngine {
+            eng: Rc::new(RefCell::new(Eng {
+                node,
+                net: net.clone(),
+                cfg,
+                rx_pending: VecDeque::new(),
+                posted: Vec::new(),
+                unexpected: Vec::new(),
+                send_pool: Vec::new(),
+                next_req: 1,
+                send_rndv: HashMap::new(),
+                recv_rndv: HashMap::new(),
+                next_rail: 0,
+                stats: EngineStats::default(),
+            })),
+        };
+        for rail in 0..net.n_rails() {
+            let eng = engine.eng.clone();
+            net.nic(node, rail).set_rx_handler(Rc::new(move |_sim, msg| {
+                eng.borrow_mut().rx_pending.push_back(msg);
+            }));
+        }
+        engine
+    }
+
+    /// This engine's node id.
+    pub fn node(&self) -> usize {
+        self.eng.borrow().node
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> EngineStats {
+        self.eng.borrow().stats
+    }
+
+    /// Arrived-but-unprocessed packet count (what polling would find).
+    pub fn rx_backlog(&self) -> usize {
+        self.eng.borrow().rx_pending.len()
+    }
+
+    /// Non-blocking send of `size` bytes tagged `app_tag` to `dst`.
+    ///
+    /// Small messages go through the eager path (and the aggregation pool
+    /// when enabled); large ones start a rendezvous. The returned handle
+    /// completes when the payload has left this node (eager / two-sided) or
+    /// when the receiver's FIN is processed (RDMA-read rendezvous).
+    pub fn isend(&self, sim: &mut Sim, dst: usize, app_tag: u64, size: usize) -> ReqHandle {
+        let eager = size <= self.eng.borrow().cfg.eager_threshold;
+        if eager {
+            let req = ReqHandle::new();
+            {
+                let mut e = self.eng.borrow_mut();
+                e.send_pool.push(PendingEager { dst, app_tag, size });
+            }
+            // Submission flushes immediately; poll() also flushes, which is
+            // what batches flows when the NIC is saturated.
+            self.flush_sends(sim);
+            // Eager sends complete at submission (buffered semantics).
+            req.complete(sim);
+            req
+        } else {
+            let req = ReqHandle::new();
+            let (rts, rail) = {
+                let mut e = self.eng.borrow_mut();
+                let id = e.next_req;
+                e.next_req += 1;
+                e.stats.rendezvous_started += 1;
+                let rdma = e.cfg.rdma_rendezvous;
+                let state = if rdma {
+                    SendRndv::AwaitFin
+                } else {
+                    SendRndv::AwaitCts { dst, size }
+                };
+                e.send_rndv.insert(id, (req.clone(), state));
+                let rail = e.pick_rail();
+                (
+                    Wire::Rts {
+                        req: id,
+                        app_tag,
+                        size: size as u64,
+                        rdma,
+                    },
+                    rail,
+                )
+            };
+            self.send_wire(sim, dst, rail, rts, 0);
+            req
+        }
+    }
+
+    /// Non-blocking receive matching `(src, app_tag)`.
+    pub fn irecv(&self, sim: &mut Sim, src: usize, app_tag: u64) -> ReqHandle {
+        let req = ReqHandle::new();
+        // Check the unexpected queue first.
+        let hit = {
+            let mut e = self.eng.borrow_mut();
+            let pos = e.unexpected.iter().position(|u| match u {
+                Unexpected::Eager { src: s, app_tag: t } => *s == src && *t == app_tag,
+                Unexpected::Rts {
+                    src: s, app_tag: t, ..
+                } => *s == src && *t == app_tag,
+            });
+            pos.map(|i| e.unexpected.remove(i))
+        };
+        match hit {
+            Some(Unexpected::Eager { .. }) => req.complete(sim),
+            Some(Unexpected::Rts {
+                src,
+                sender_req,
+                size,
+                rdma,
+                ..
+            }) => self.accept_rts(sim, src, sender_req, size, rdma, req.clone()),
+            None => self.eng.borrow_mut().posted.push(PostedRecv {
+                src,
+                app_tag,
+                req: req.clone(),
+            }),
+        }
+        req
+    }
+
+    /// Makes progress: processes every packet in the NIC receive queues and
+    /// flushes the send pools. Returns `true` if any packet was processed.
+    ///
+    /// This is the entry point a PIOMan polling task (or an MPI wait loop)
+    /// calls repeatedly.
+    pub fn poll(&self, sim: &mut Sim) -> bool {
+        let mut did = false;
+        loop {
+            let msg = self.eng.borrow_mut().rx_pending.pop_front();
+            let Some(msg) = msg else { break };
+            did = true;
+            self.eng.borrow_mut().stats.packets_processed += 1;
+            self.process(sim, msg);
+        }
+        self.flush_sends(sim);
+        if !did {
+            self.eng.borrow_mut().stats.empty_polls += 1;
+        }
+        did
+    }
+
+    fn process(&self, sim: &mut Sim, msg: Message) {
+        let Some(wire) = msg.data.clone().and_then(Wire::decode) else {
+            panic!("undecodable packet from node {}", msg.src);
+        };
+        match wire {
+            Wire::Eager { app_tag, .. } => {
+                self.deliver_eager(sim, msg.src, app_tag);
+            }
+            Wire::EagerAggregate { parts } => {
+                for p in parts {
+                    self.deliver_eager(sim, msg.src, p.app_tag);
+                }
+            }
+            Wire::Rts {
+                req,
+                app_tag,
+                size,
+                rdma,
+            } => {
+                let posted = {
+                    let mut e = self.eng.borrow_mut();
+                    let pos = e
+                        .posted
+                        .iter()
+                        .position(|r| r.src == msg.src && r.app_tag == app_tag);
+                    pos.map(|i| e.posted.remove(i))
+                };
+                match posted {
+                    Some(r) => self.accept_rts(sim, msg.src, req, size, rdma, r.req),
+                    None => self.eng.borrow_mut().unexpected.push(Unexpected::Rts {
+                        src: msg.src,
+                        app_tag,
+                        sender_req: req,
+                        size,
+                        rdma,
+                    }),
+                }
+            }
+            Wire::Cts { req } => {
+                let entry = self.eng.borrow_mut().send_rndv.remove(&req);
+                let Some((handle, SendRndv::AwaitCts { dst, size })) = entry else {
+                    panic!("CTS for unknown/incompatible request {req}");
+                };
+                self.send_rndv_data(sim, dst, req, size, handle);
+            }
+            Wire::Data { req, chunk: _, of } => {
+                let done = {
+                    let mut e = self.eng.borrow_mut();
+                    let key = (msg.src, req);
+                    let st = e
+                        .recv_rndv
+                        .get_mut(&key)
+                        .unwrap_or_else(|| panic!("DATA for unknown rendezvous {key:?}"));
+                    debug_assert_eq!(st.chunks_left <= of, true);
+                    st.chunks_left -= 1;
+                    if st.chunks_left == 0 {
+                        Some(e.recv_rndv.remove(&key).expect("present").req)
+                    } else {
+                        None
+                    }
+                };
+                if let Some(req) = done {
+                    req.complete(sim);
+                }
+            }
+            Wire::Fin { req } => {
+                let entry = self.eng.borrow_mut().send_rndv.remove(&req);
+                let Some((handle, SendRndv::AwaitFin)) = entry else {
+                    panic!("FIN for unknown/incompatible request {req}");
+                };
+                handle.complete(sim);
+            }
+        }
+    }
+
+    fn deliver_eager(&self, sim: &mut Sim, src: usize, app_tag: u64) {
+        let posted = {
+            let mut e = self.eng.borrow_mut();
+            let pos = e
+                .posted
+                .iter()
+                .position(|r| r.src == src && r.app_tag == app_tag);
+            pos.map(|i| e.posted.remove(i))
+        };
+        match posted {
+            Some(r) => r.req.complete(sim),
+            None => self
+                .eng
+                .borrow_mut()
+                .unexpected
+                .push(Unexpected::Eager { src, app_tag }),
+        }
+    }
+
+    /// Receiver side of an RTS: reply CTS (two-sided) or pull via RDMA.
+    fn accept_rts(
+        &self,
+        sim: &mut Sim,
+        src: usize,
+        sender_req: u32,
+        size: u64,
+        rdma: bool,
+        recv_req: ReqHandle,
+    ) {
+        if rdma {
+            // RDMA-read rendezvous: the receiver pulls the payload; no
+            // sender CPU involved. FIN tells the sender it may reuse the
+            // buffer.
+            let (net, node, rail) = {
+                let mut e = self.eng.borrow_mut();
+                let rail = e.pick_rail();
+                (e.net.clone(), e.node, rail)
+            };
+            let this = self.clone();
+            net.rdma_read(sim, node, src, rail, size as usize, move |sim| {
+                recv_req.complete(sim);
+                this.send_wire(sim, src, rail, Wire::Fin { req: sender_req }, 0);
+            });
+        } else {
+            let rail = {
+                let mut e = self.eng.borrow_mut();
+                let chunks = if e.cfg.multirail_data {
+                    e.net.n_rails() as u32
+                } else {
+                    1
+                };
+                e.recv_rndv.insert(
+                    (src, sender_req),
+                    RecvRndv {
+                        req: recv_req,
+                        chunks_left: chunks,
+                    },
+                );
+                e.pick_rail()
+            };
+            self.send_wire(sim, src, rail, Wire::Cts { req: sender_req }, 0);
+        }
+    }
+
+    /// Sender side after CTS: stream the payload, multirail if configured.
+    fn send_rndv_data(
+        &self,
+        sim: &mut Sim,
+        dst: usize,
+        req: u32,
+        size: usize,
+        handle: ReqHandle,
+    ) {
+        let (n_rails, multirail, net) = {
+            let e = self.eng.borrow();
+            (e.net.n_rails(), e.cfg.multirail_data, e.net.clone())
+        };
+        let chunks = if multirail { n_rails } else { 1 };
+        let chunk_size = size.div_ceil(chunks);
+        for c in 0..chunks {
+            let this_size = chunk_size.min(size - c * chunk_size);
+            self.send_wire_sized(
+                sim,
+                dst,
+                c % n_rails,
+                Wire::Data {
+                    req,
+                    chunk: c as u32,
+                    of: chunks as u32,
+                },
+                this_size,
+            );
+        }
+        // The sender's buffer is free once the NIC engines have streamed
+        // everything out; completion when the last rail's engine drains.
+        let done_at = (0..chunks)
+            .map(|c| net.nic(self.node(), c % n_rails).busy_until())
+            .max()
+            .expect("at least one chunk");
+        let delay = done_at.saturating_sub(sim.now());
+        sim.schedule(delay, move |sim| handle.complete(sim));
+    }
+
+    /// `true` if some rail's send engine is idle right now.
+    fn any_rail_idle(&self, sim: &Sim) -> bool {
+        let e = self.eng.borrow();
+        (0..e.net.n_rails()).any(|r| e.net.nic(e.node, r).busy_until() <= sim.now())
+    }
+
+    /// Flushes the aggregation pools: per destination, pack everything
+    /// pending into as few packets as possible (or send singletons when
+    /// aggregation is off), spreading packets across rails.
+    ///
+    /// Packing happens "when a NIC becomes idle" (paper §IV-B): while every
+    /// rail is busy, submissions accumulate in the pool — that queueing is
+    /// precisely the aggregation opportunity of Fig. 1. The pool drains at
+    /// the next poll once an engine frees up.
+    fn flush_sends(&self, sim: &mut Sim) {
+        loop {
+            if !self.any_rail_idle(sim) {
+                break; // collect layer keeps pooling until a NIC frees up
+            }
+            // Take one destination's pool per iteration.
+            let batch: Vec<PendingEager> = {
+                let mut e = self.eng.borrow_mut();
+                let Some(first_dst) = e.send_pool.first().map(|p| p.dst) else {
+                    break;
+                };
+                let mut batch = Vec::new();
+                let mut i = 0;
+                while i < e.send_pool.len() {
+                    if e.send_pool[i].dst == first_dst {
+                        batch.push(e.send_pool.remove(i));
+                    } else {
+                        i += 1;
+                    }
+                }
+                batch
+            };
+            let dst = batch[0].dst;
+            let aggregate = self.eng.borrow().cfg.aggregation;
+            if !aggregate || batch.len() == 1 {
+                for p in batch {
+                    let rail = self.eng.borrow_mut().pick_rail();
+                    self.send_wire_sized(
+                        sim,
+                        dst,
+                        rail,
+                        Wire::Eager {
+                            app_tag: p.app_tag,
+                            size: p.size as u32,
+                        },
+                        p.size,
+                    );
+                }
+            } else {
+                // Pack greedily up to max_packet per wire packet.
+                let max = self.eng.borrow().cfg.max_packet;
+                let mut parts: Vec<EagerPart> = Vec::new();
+                let mut bytes = 0usize;
+                let emit = |parts: &mut Vec<EagerPart>, bytes: &mut usize, sim: &mut Sim| {
+                    if parts.is_empty() {
+                        return;
+                    }
+                    let (rail, n) = {
+                        let mut e = self.eng.borrow_mut();
+                        e.stats.aggregate_packets += 1;
+                        e.stats.aggregated_messages += parts.len() as u64;
+                        (e.pick_rail(), parts.len())
+                    };
+                    let _ = n;
+                    self.send_wire_sized(
+                        sim,
+                        dst,
+                        rail,
+                        Wire::EagerAggregate {
+                            parts: std::mem::take(parts),
+                        },
+                        *bytes,
+                    );
+                    *bytes = 0;
+                };
+                for p in batch {
+                    if bytes + p.size > max && !parts.is_empty() {
+                        emit(&mut parts, &mut bytes, sim);
+                    }
+                    parts.push(EagerPart {
+                        app_tag: p.app_tag,
+                        size: p.size as u32,
+                    });
+                    bytes += p.size;
+                }
+                emit(&mut parts, &mut bytes, sim);
+            }
+        }
+    }
+
+    /// Sends a pure control packet (payload folded into the header size).
+    fn send_wire(&self, sim: &mut Sim, dst: usize, rail: usize, wire: Wire, extra: usize) {
+        self.send_wire_sized(sim, dst, rail, wire, extra);
+    }
+
+    fn send_wire_sized(&self, sim: &mut Sim, dst: usize, rail: usize, wire: Wire, payload: usize) {
+        let (net, node) = {
+            let mut e = self.eng.borrow_mut();
+            e.stats.packets_sent += 1;
+            (e.net.clone(), e.node)
+        };
+        let data = wire.encode();
+        let size = payload + data.len();
+        net.send(
+            sim,
+            Message {
+                src: node,
+                dst,
+                rail,
+                tag: 0,
+                size,
+                data: Some(data),
+            },
+        );
+    }
+}
+
+impl Eng {
+    fn pick_rail(&mut self) -> usize {
+        let r = self.next_rail;
+        self.next_rail = (self.next_rail + 1) % self.net.n_rails();
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests;
+
+#[cfg(test)]
+pub(crate) mod tests_support {
+    use super::*;
+    use piom_net::NetParams;
+
+    pub(crate) fn pair_with_params(
+        cfg: EngineConfig,
+        params: NetParams,
+    ) -> (Rc<Network>, CommEngine, CommEngine, Sim) {
+        let net = Network::new(2, 2, params);
+        let a = CommEngine::new(0, net.clone(), cfg.clone());
+        let b = CommEngine::new(1, net.clone(), cfg);
+        (net, a, b, Sim::new())
+    }
+}

@@ -1,0 +1,195 @@
+//! Task completion tracking: poll, block, or actively schedule while waiting.
+
+use core::sync::atomic::{AtomicU8, Ordering};
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+
+const PENDING: u8 = 0;
+const DONE: u8 = 1;
+const PANICKED: u8 = 2;
+
+/// Error returned by [`TaskHandle::wait`] family when the task body panicked.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskError {
+    /// Panic payload rendered to a string, when it was a string.
+    pub message: String,
+}
+
+impl core::fmt::Display for TaskError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "task panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for TaskError {}
+
+/// Shared completion state between a task and its handle.
+pub(crate) struct Completion {
+    state: AtomicU8,
+    // The mutex/condvar pair is only touched by blocking waiters; the fast
+    // path (poll / active wait) is a single atomic load.
+    mutex: Mutex<Option<String>>,
+    condvar: Condvar,
+}
+
+impl Completion {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(Completion {
+            state: AtomicU8::new(PENDING),
+            mutex: Mutex::new(None),
+            condvar: Condvar::new(),
+        })
+    }
+
+    pub(crate) fn complete(&self) {
+        // Release: the task's side effects happen-before a handle observing
+        // completion with an Acquire load.
+        let _guard = self.mutex.lock();
+        self.state.store(DONE, Ordering::Release);
+        self.condvar.notify_all();
+    }
+
+    pub(crate) fn complete_panicked(&self, message: String) {
+        let mut guard = self.mutex.lock();
+        *guard = Some(message);
+        self.state.store(PANICKED, Ordering::Release);
+        self.condvar.notify_all();
+    }
+
+    fn state(&self) -> u8 {
+        self.state.load(Ordering::Acquire)
+    }
+
+    fn result_now(&self) -> Option<Result<(), TaskError>> {
+        match self.state() {
+            PENDING => None,
+            DONE => Some(Ok(())),
+            _ => Some(Err(TaskError {
+                message: self
+                    .mutex
+                    .lock()
+                    .clone()
+                    .unwrap_or_else(|| "<non-string panic payload>".to_owned()),
+            })),
+        }
+    }
+}
+
+/// Handle to a submitted task.
+///
+/// Cloneable; all clones observe the same completion. Dropping handles does
+/// not cancel the task.
+#[derive(Clone)]
+pub struct TaskHandle {
+    pub(crate) completion: Arc<Completion>,
+}
+
+impl TaskHandle {
+    /// `true` once the task has run to completion (or panicked).
+    pub fn is_complete(&self) -> bool {
+        self.completion.state() != PENDING
+    }
+
+    /// Non-blocking check: `None` while pending, otherwise the outcome.
+    pub fn poll(&self) -> Option<Result<(), TaskError>> {
+        self.completion.result_now()
+    }
+
+    /// Blocks the calling thread until completion.
+    ///
+    /// This is the *passive* wait — the paper's receiving threads "wait
+    /// their data using a blocking condition" while idle cores make the
+    /// progress (§V-B). Somebody else must run the task; see
+    /// [`TaskHandle::wait_active`] for the self-progressing variant.
+    pub fn wait(&self) -> Result<(), TaskError> {
+        if let Some(r) = self.completion.result_now() {
+            return r;
+        }
+        let mut guard = self.completion.mutex.lock();
+        while self.completion.state() == PENDING {
+            self.completion.condvar.wait(&mut guard);
+        }
+        drop(guard);
+        self.completion.result_now().expect("state is final")
+    }
+
+    /// Actively waits: repeatedly runs the scheduler for `core` until this
+    /// task completes. This mirrors the paper's §IV-B: "a thread waits for
+    /// the end of the communication — the task is processed and the
+    /// communication may overlap".
+    pub fn wait_active(&self, manager: &crate::TaskManager, core: usize) -> Result<(), TaskError> {
+        loop {
+            if let Some(r) = self.completion.result_now() {
+                return r;
+            }
+            if !manager.schedule(core) {
+                // Nothing runnable from this core: yield rather than burn.
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+impl core::fmt::Debug for TaskHandle {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("TaskHandle")
+            .field("complete", &self.is_complete())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn poll_transitions() {
+        let c = Completion::new();
+        let h = TaskHandle {
+            completion: c.clone(),
+        };
+        assert!(!h.is_complete());
+        assert!(h.poll().is_none());
+        c.complete();
+        assert!(h.is_complete());
+        assert_eq!(h.poll(), Some(Ok(())));
+        assert_eq!(h.wait(), Ok(()));
+    }
+
+    #[test]
+    fn panicked_reports_error() {
+        let c = Completion::new();
+        let h = TaskHandle {
+            completion: c.clone(),
+        };
+        c.complete_panicked("boom".into());
+        let err = h.wait().unwrap_err();
+        assert_eq!(err.message, "boom");
+        assert!(err.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn blocking_wait_wakes_on_complete() {
+        let c = Completion::new();
+        let h = TaskHandle {
+            completion: c.clone(),
+        };
+        let waiter = thread::spawn(move || h.wait());
+        thread::sleep(Duration::from_millis(20));
+        c.complete();
+        assert_eq!(waiter.join().unwrap(), Ok(()));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let c = Completion::new();
+        let h1 = TaskHandle {
+            completion: c.clone(),
+        };
+        let h2 = h1.clone();
+        c.complete();
+        assert!(h1.is_complete() && h2.is_complete());
+    }
+}

@@ -1,0 +1,68 @@
+//! PIOMan: a scalable, generic task scheduling system for communication
+//! libraries.
+//!
+//! This crate is a faithful real-thread implementation of the system
+//! described by Trahay & Denis, *"A scalable and generic task scheduling
+//! system for communication libraries"*, IEEE Cluster 2009. A communication
+//! library (or any I/O runtime) delegates its internal chores — polling a
+//! network, submitting a packet, running a rendezvous handshake — to a
+//! [`TaskManager`]:
+//!
+//! * a **task** is a function plus a [`CpuSet`] restricting which cores may
+//!   run it, and an optional *repeat* behaviour for chores that must run
+//!   until they succeed (network polling) — see [`Task`] and [`TaskStatus`];
+//! * tasks are stored in **hierarchical queues** mapped onto the machine
+//!   topology (per-core → per-cache → per-chip → per-NUMA → global), so
+//!   locality is preserved and lock contention stays between neighbouring
+//!   cores (paper §III-A, Fig. 2);
+//! * dequeueing uses the paper's **Algorithm 2**: test emptiness without the
+//!   lock, lock only when the queue looks non-empty, re-check under the lock;
+//! * execution follows **Algorithm 1**: a core scans from its own per-core
+//!   queue up to the global queue, running everything it may;
+//! * the thread scheduler calls the task manager at **keypoints** — CPU
+//!   idleness, context switches, timer interrupts — so communication makes
+//!   progress inside scheduling holes and overlaps with computation
+//!   ([`HookPoint`], [`Progression`]).
+//!
+//! # Quick start
+//!
+//! ```
+//! use pioman::{TaskManager, TaskOptions};
+//! use piom_cpuset::CpuSet;
+//! use piom_topology::presets;
+//!
+//! let mgr = TaskManager::new(presets::kwak().into());
+//! // Submit a one-shot task runnable by any core of NUMA node #1.
+//! let handle = mgr.submit(
+//!     |_ctx| pioman::TaskStatus::Done,
+//!     CpuSet::range(4..8),
+//!     TaskOptions::oneshot(),
+//! );
+//! // Cores execute tasks when the scheduler reaches a keypoint; here we
+//! // drive core 5 by hand.
+//! mgr.schedule(5);
+//! assert!(handle.is_complete());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod lockfree;
+pub mod spinlock;
+
+mod completion;
+mod manager;
+mod progression;
+mod queue;
+mod stats;
+mod task;
+
+pub use completion::{TaskError, TaskHandle};
+pub use manager::{HookPoint, ManagerConfig, QueueBackend, TaskManager};
+pub use progression::{Progression, ProgressionConfig};
+pub use queue::QueueId;
+pub use stats::{ManagerStats, QueueStats};
+pub use task::{Task, TaskContext, TaskOptions, TaskStatus};
+
+// Re-export foundation types so downstream users need only this crate.
+pub use piom_cpuset::CpuSet;
+pub use piom_topology::{presets, Level, Topology};

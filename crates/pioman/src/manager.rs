@@ -1,0 +1,658 @@
+//! The task manager: hierarchical queues + Algorithms 1 and 2.
+
+use crate::completion::Completion;
+use crate::queue::{QueueId, TaskQueue};
+use crate::stats::{ManagerStats, QueueStats};
+use crate::task::{Task, TaskContext, TaskFn, TaskOptions, TaskStatus};
+use crate::TaskHandle;
+use core::sync::atomic::{AtomicU64, Ordering};
+use parking_lot::Mutex;
+use piom_cpuset::CpuSet;
+use piom_topology::Topology;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::Thread;
+
+/// Which storage backs the task queues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueBackend {
+    /// FIFO list + TTAS spinlock with double-checked dequeue (the paper's
+    /// implementation, §IV-A).
+    #[default]
+    Spinlock,
+    /// Lock-free segmented queue (the paper's §VI "short term" future work;
+    /// compared against spinlocks by the ablation benches).
+    LockFree,
+}
+
+/// Task-manager construction options.
+#[derive(Debug, Clone, Default)]
+pub struct ManagerConfig {
+    /// Queue storage choice.
+    pub backend: QueueBackend,
+}
+
+/// Thread-scheduler keypoints at which the task manager is invoked
+/// (paper §III: "CPU idleness, context switches, timer interrupts").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HookPoint {
+    /// A core ran out of ready threads.
+    Idle,
+    /// The thread scheduler switched contexts on a core.
+    ContextSwitch,
+    /// The periodic timer fired on a core.
+    TimerInterrupt,
+}
+
+impl HookPoint {
+    fn index(self) -> usize {
+        match self {
+            HookPoint::Idle => 0,
+            HookPoint::ContextSwitch => 1,
+            HookPoint::TimerInterrupt => 2,
+        }
+    }
+}
+
+/// The scalable task scheduling system: one queue per topology node,
+/// submission by CPU set, execution by upward queue scan.
+///
+/// See the [crate docs](crate) for an overview and the paper mapping.
+pub struct TaskManager {
+    topo: Arc<Topology>,
+    /// One queue per topology node, indexed by node arena index.
+    queues: Vec<TaskQueue>,
+    /// Tasks executed per core (the paper's task-distribution measurements).
+    executed_by_core: Vec<AtomicU64>,
+    /// Hook invocation counters, indexed by `HookPoint::index`.
+    hook_counts: [AtomicU64; 3],
+    /// Progression workers to unpark when work arrives, one slot per core.
+    wakers: Vec<Mutex<Option<Thread>>>,
+    config: ManagerConfig,
+}
+
+impl TaskManager {
+    /// Creates a manager with default configuration (spinlock queues).
+    pub fn new(topo: Arc<Topology>) -> Arc<Self> {
+        Self::with_config(topo, ManagerConfig::default())
+    }
+
+    /// Creates a manager with explicit configuration.
+    pub fn with_config(topo: Arc<Topology>, config: ManagerConfig) -> Arc<Self> {
+        let queues = topo
+            .iter()
+            .map(|(id, node)| {
+                let qid = QueueId(id.index() as u32);
+                match config.backend {
+                    QueueBackend::Spinlock => {
+                        TaskQueue::new_spin(qid, node.level, node.cpuset)
+                    }
+                    QueueBackend::LockFree => {
+                        TaskQueue::new_lockfree(qid, node.level, node.cpuset)
+                    }
+                }
+            })
+            .collect();
+        let executed_by_core = (0..topo.n_cores()).map(|_| AtomicU64::new(0)).collect();
+        let wakers = (0..topo.n_cores()).map(|_| Mutex::new(None)).collect();
+        Arc::new(TaskManager {
+            topo,
+            queues,
+            executed_by_core,
+            hook_counts: Default::default(),
+            wakers,
+            config,
+        })
+    }
+
+    /// The topology the queues are mapped onto.
+    pub fn topology(&self) -> &Arc<Topology> {
+        &self.topo
+    }
+
+    /// The configuration used at construction.
+    pub fn config(&self) -> &ManagerConfig {
+        &self.config
+    }
+
+    /// Submits a task runnable by any core in `cpuset`.
+    ///
+    /// The CPU set "is examinated to find the corresponding task queue and
+    /// the task is inserted in this list" (§III-A): the queue is the
+    /// smallest topology node covering the set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpuset` contains no core of this machine.
+    pub fn submit<F>(&self, body: F, cpuset: CpuSet, options: TaskOptions) -> TaskHandle
+    where
+        F: FnMut(&TaskContext<'_>) -> TaskStatus + Send + 'static,
+    {
+        self.submit_boxed(Box::new(body), cpuset, options)
+    }
+
+    /// [`submit`](Self::submit) for an already-boxed body (avoids double
+    /// boxing when the caller stores `TaskFn`s).
+    pub fn submit_boxed(&self, body: TaskFn, cpuset: CpuSet, options: TaskOptions) -> TaskHandle {
+        let effective = cpuset & self.topo.all_cores();
+        let node = self
+            .topo
+            .smallest_covering(&effective)
+            .unwrap_or_else(|| panic!("cpuset {cpuset} selects no core of this machine"));
+        let home = QueueId(node.index() as u32);
+        let completion = Completion::new();
+        let handle = TaskHandle {
+            completion: completion.clone(),
+        };
+        self.queues[home.index()].enqueue(Task {
+            body,
+            options,
+            cpuset: effective,
+            home,
+            completion,
+        });
+        self.wake_cores(effective);
+        handle
+    }
+
+    /// Submits to the Global Queue: runnable by every core. Used when no
+    /// idle core was found at submission time (§IV-B).
+    pub fn submit_global<F>(&self, body: F, options: TaskOptions) -> TaskHandle
+    where
+        F: FnMut(&TaskContext<'_>) -> TaskStatus + Send + 'static,
+    {
+        self.submit(body, self.topo.all_cores(), options)
+    }
+
+    /// The paper's **Algorithm 1** (`Task Schedule`), invoked from scheduler
+    /// keypoints: starting at `core`'s Per-Core Queue and walking up to the
+    /// Global Queue, run every task found. Repeat tasks that report
+    /// [`TaskStatus::Again`] are re-enqueued into the same queue.
+    ///
+    /// Each queue is drained at most one *pass* (its length at arrival) per
+    /// call, so repetitive polling tasks cannot livelock the keypoint: they
+    /// get exactly one attempt per invocation, matching the paper's "PIOMan
+    /// first processes local tasks and scans upper queues" description.
+    ///
+    /// Returns `true` if at least one task body was executed.
+    pub fn schedule(&self, core: usize) -> bool {
+        debug_assert!(core < self.topo.n_cores(), "core id out of range");
+        let mut ran_any = false;
+        for node in self.topo.path_to_root(core) {
+            let queue = &self.queues[node.index()];
+            let pass = queue.len_hint();
+            for _ in 0..pass {
+                let Some(task) = queue.try_dequeue() else {
+                    break; // another core drained it first
+                };
+                ran_any |= self.run_task(task, core, queue);
+            }
+        }
+        ran_any
+    }
+
+    /// Runs at most one task visible from `core` (deepest queue first).
+    /// Returns `true` if a task body was executed.
+    pub fn schedule_one(&self, core: usize) -> bool {
+        for node in self.topo.path_to_root(core) {
+            let queue = &self.queues[node.index()];
+            // Bounded retry: skip over tasks this core may not run.
+            let pass = queue.len_hint();
+            for _ in 0..pass {
+                let Some(task) = queue.try_dequeue() else { break };
+                if self.run_task(task, core, queue) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Executes `task` on `core` if allowed; requeues it otherwise.
+    /// Returns `true` if the body ran.
+    fn run_task(&self, mut task: Task, core: usize, queue: &TaskQueue) -> bool {
+        if !task.cpuset.contains(core) {
+            // The queue's span covers the task's cpuset, but this particular
+            // core was excluded by the submitter. Put it back for a sibling.
+            queue.requeue(task);
+            return false;
+        }
+        let ctx = TaskContext {
+            core,
+            manager: self,
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(|| (task.body)(&ctx)));
+        queue.note_executed();
+        self.executed_by_core[core].fetch_add(1, Ordering::Relaxed);
+        match outcome {
+            Ok(TaskStatus::Done) => task.completion.complete(),
+            Ok(TaskStatus::Again) if task.options.repeat => {
+                self.queues[task.home.index()].requeue(task);
+            }
+            Ok(TaskStatus::Again) => task.completion.complete(),
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_owned())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "<non-string panic payload>".to_owned());
+                task.completion.complete_panicked(msg);
+            }
+        }
+        true
+    }
+
+    /// Scheduler-keypoint entry: records which hook fired and schedules.
+    pub fn hook(&self, point: HookPoint, core: usize) -> bool {
+        self.hook_counts[point.index()].fetch_add(1, Ordering::Relaxed);
+        self.schedule(core)
+    }
+
+    /// Total tasks currently enqueued anywhere (racy hint).
+    pub fn pending_tasks(&self) -> usize {
+        self.queues.iter().map(|q| q.len_hint()).sum()
+    }
+
+    /// `true` if some queue visible from `core` holds work (racy hint).
+    pub fn has_work_for(&self, core: usize) -> bool {
+        self.topo
+            .path_to_root(core)
+            .any(|node| self.queues[node.index()].len_hint() > 0)
+    }
+
+    /// Snapshot of per-queue and per-core counters.
+    pub fn stats(&self) -> ManagerStats {
+        ManagerStats {
+            queues: self
+                .queues
+                .iter()
+                .map(|q| {
+                    let (lock_acquisitions, lock_contended) =
+                        q.lock_stats().unwrap_or((0, 0));
+                    QueueStats {
+                        id: q.id,
+                        level: q.level,
+                        cpuset: q.cpuset,
+                        submitted: q.submitted(),
+                        executed: q.executed(),
+                        pending: q.len_hint(),
+                        lock_acquisitions,
+                        lock_contended,
+                    }
+                })
+                .collect(),
+            executed_by_core: self
+                .executed_by_core
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            hook_idle: self.hook_counts[0].load(Ordering::Relaxed),
+            hook_context_switch: self.hook_counts[1].load(Ordering::Relaxed),
+            hook_timer: self.hook_counts[2].load(Ordering::Relaxed),
+        }
+    }
+
+    /// Registers the calling progression worker as the runner for `core`
+    /// so submissions can unpark it. Returns the previous registrant.
+    pub(crate) fn register_waker(&self, core: usize, thread: Thread) -> Option<Thread> {
+        self.wakers[core].lock().replace(thread)
+    }
+
+    /// Removes the waker registration for `core`.
+    pub(crate) fn unregister_waker(&self, core: usize) {
+        self.wakers[core].lock().take();
+    }
+
+    /// Unparks every registered worker whose core may run a new task.
+    fn wake_cores(&self, cpuset: CpuSet) {
+        for core in cpuset.iter() {
+            if core >= self.wakers.len() {
+                break;
+            }
+            if let Some(t) = self.wakers[core].lock().as_ref() {
+                t.unpark();
+            }
+        }
+    }
+}
+
+impl core::fmt::Debug for TaskManager {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("TaskManager")
+            .field("topology", &self.topo.name())
+            .field("queues", &self.queues.len())
+            .field("backend", &self.config.backend)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use piom_topology::presets;
+    use std::sync::atomic::AtomicUsize;
+
+    fn kwak_mgr() -> Arc<TaskManager> {
+        TaskManager::new(presets::kwak().into())
+    }
+
+    #[test]
+    fn oneshot_runs_once_on_allowed_core() {
+        let mgr = kwak_mgr();
+        let ran_on = Arc::new(AtomicUsize::new(usize::MAX));
+        let r = ran_on.clone();
+        let h = mgr.submit(
+            move |ctx| {
+                r.store(ctx.core, Ordering::SeqCst);
+                TaskStatus::Done
+            },
+            CpuSet::single(3),
+            TaskOptions::oneshot(),
+        );
+        assert!(!mgr.schedule(2), "core 2 sees nothing in its path");
+        assert!(!h.is_complete());
+        assert!(mgr.schedule(3));
+        assert!(h.is_complete());
+        assert_eq!(ran_on.load(Ordering::SeqCst), 3);
+        assert!(!mgr.schedule(3), "nothing left");
+    }
+
+    #[test]
+    fn numa_level_task_runs_on_any_node_core() {
+        let mgr = kwak_mgr();
+        let h = mgr.submit(
+            |_| TaskStatus::Done,
+            CpuSet::range(4..8),
+            TaskOptions::oneshot(),
+        );
+        // Core 9 is on NUMA #2: its path does not include NUMA #1's queue.
+        assert!(!mgr.schedule(9));
+        assert!(mgr.schedule(6));
+        assert!(h.is_complete());
+    }
+
+    #[test]
+    fn strict_cpuset_is_honoured_within_shared_queue() {
+        let mgr = kwak_mgr();
+        // Cores {4, 6}: smallest covering queue is NUMA #1 (cores 4-7),
+        // but core 5 must NOT run the task.
+        let h = mgr.submit(
+            |_| TaskStatus::Done,
+            CpuSet::from_iter([4, 6]),
+            TaskOptions::oneshot(),
+        );
+        assert!(!mgr.schedule(5), "excluded core skips the task");
+        assert!(!h.is_complete());
+        assert_eq!(mgr.pending_tasks(), 1, "task was requeued, not lost");
+        assert!(mgr.schedule(6));
+        assert!(h.is_complete());
+    }
+
+    #[test]
+    fn repeat_task_reenqueues_until_done() {
+        let mgr = kwak_mgr();
+        let mut polls_left = 3;
+        let h = mgr.submit(
+            move |_| {
+                polls_left -= 1;
+                if polls_left == 0 {
+                    TaskStatus::Done
+                } else {
+                    TaskStatus::Again
+                }
+            },
+            CpuSet::single(0),
+            TaskOptions::repeat(),
+        );
+        assert!(mgr.schedule(0));
+        assert!(!h.is_complete(), "first poll fails, task requeued");
+        assert!(mgr.schedule(0));
+        assert!(!h.is_complete());
+        assert!(mgr.schedule(0));
+        assert!(h.is_complete(), "third poll succeeds");
+        assert_eq!(mgr.stats().queues[mgr.topology().core_node(0).index()].executed, 3);
+    }
+
+    #[test]
+    fn oneshot_returning_again_completes() {
+        let mgr = kwak_mgr();
+        let h = mgr.submit(
+            |_| TaskStatus::Again,
+            CpuSet::single(0),
+            TaskOptions::oneshot(),
+        );
+        mgr.schedule(0);
+        assert!(h.is_complete());
+    }
+
+    #[test]
+    fn panicking_task_reports_error_and_scheduler_survives() {
+        let mgr = kwak_mgr();
+        let h = mgr.submit(
+            |_| panic!("injected failure"),
+            CpuSet::single(0),
+            TaskOptions::oneshot(),
+        );
+        let h2 = mgr.submit(|_| TaskStatus::Done, CpuSet::single(0), TaskOptions::oneshot());
+        mgr.schedule(0);
+        let err = h.wait().unwrap_err();
+        assert!(err.message.contains("injected failure"));
+        assert_eq!(h2.wait(), Ok(()), "subsequent task unaffected");
+    }
+
+    #[test]
+    fn global_submission_visible_from_every_core() {
+        let mgr = kwak_mgr();
+        for core in [0, 7, 15] {
+            let h = mgr.submit_global(|_| TaskStatus::Done, TaskOptions::oneshot());
+            assert!(mgr.schedule(core));
+            assert!(h.is_complete());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "selects no core")]
+    fn empty_cpuset_panics() {
+        let mgr = kwak_mgr();
+        let _ = mgr.submit(|_| TaskStatus::Done, CpuSet::EMPTY, TaskOptions::oneshot());
+    }
+
+    #[test]
+    fn foreign_cores_are_masked() {
+        let mgr = kwak_mgr();
+        // Core 100 does not exist on kwak; the effective set is {1}.
+        let h = mgr.submit(
+            |_| TaskStatus::Done,
+            CpuSet::from_iter([1, 100]),
+            TaskOptions::oneshot(),
+        );
+        assert!(mgr.schedule(1));
+        assert!(h.is_complete());
+    }
+
+    #[test]
+    fn per_core_queue_priority_over_global() {
+        // Algorithm 1 processes local tasks before upper queues.
+        let mgr = kwak_mgr();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let o1 = order.clone();
+        mgr.submit_global(
+            move |_| {
+                o1.lock().push("global");
+                TaskStatus::Done
+            },
+            TaskOptions::oneshot(),
+        );
+        let o2 = order.clone();
+        mgr.submit(
+            move |_| {
+                o2.lock().push("local");
+                TaskStatus::Done
+            },
+            CpuSet::single(2),
+            TaskOptions::oneshot(),
+        );
+        mgr.schedule(2);
+        assert_eq!(*order.lock(), vec!["local", "global"]);
+    }
+
+    #[test]
+    fn schedule_one_runs_exactly_one() {
+        let mgr = kwak_mgr();
+        let h1 = mgr.submit(|_| TaskStatus::Done, CpuSet::single(0), TaskOptions::oneshot());
+        let h2 = mgr.submit(|_| TaskStatus::Done, CpuSet::single(0), TaskOptions::oneshot());
+        assert!(mgr.schedule_one(0));
+        assert!(h1.is_complete());
+        assert!(!h2.is_complete());
+        assert!(mgr.schedule_one(0));
+        assert!(h2.is_complete());
+        assert!(!mgr.schedule_one(0));
+    }
+
+    #[test]
+    fn tasks_can_submit_tasks() {
+        let mgr = kwak_mgr();
+        let h = mgr.submit(
+            |ctx| {
+                // A request submission that must be polled afterwards
+                // submits a polling task (paper §IV-B).
+                ctx.manager.submit(
+                    |_| TaskStatus::Done,
+                    CpuSet::single(0),
+                    TaskOptions::oneshot(),
+                );
+                TaskStatus::Done
+            },
+            CpuSet::single(0),
+            TaskOptions::oneshot(),
+        );
+        mgr.schedule(0);
+        assert!(h.is_complete());
+        assert_eq!(mgr.pending_tasks(), 1);
+        mgr.schedule(0);
+        assert_eq!(mgr.pending_tasks(), 0);
+    }
+
+    #[test]
+    fn hooks_count_and_schedule() {
+        let mgr = kwak_mgr();
+        mgr.submit(|_| TaskStatus::Done, CpuSet::single(0), TaskOptions::oneshot());
+        assert!(mgr.hook(HookPoint::Idle, 0));
+        mgr.hook(HookPoint::TimerInterrupt, 1);
+        mgr.hook(HookPoint::ContextSwitch, 2);
+        mgr.hook(HookPoint::ContextSwitch, 3);
+        let stats = mgr.stats();
+        assert_eq!(stats.hook_idle, 1);
+        assert_eq!(stats.hook_timer, 1);
+        assert_eq!(stats.hook_context_switch, 2);
+    }
+
+    #[test]
+    fn lockfree_backend_runs_tasks() {
+        let mgr = TaskManager::with_config(
+            presets::kwak().into(),
+            ManagerConfig {
+                backend: QueueBackend::LockFree,
+            },
+        );
+        let h = mgr.submit(
+            |_| TaskStatus::Done,
+            CpuSet::range(0..4),
+            TaskOptions::oneshot(),
+        );
+        assert!(mgr.schedule(2));
+        assert!(h.is_complete());
+        let qstats = &mgr.stats().queues;
+        assert!(qstats.iter().all(|q| q.lock_acquisitions == 0));
+    }
+
+    #[test]
+    fn wait_active_self_progresses() {
+        let mgr = kwak_mgr();
+        let h = mgr.submit(|_| TaskStatus::Done, CpuSet::single(4), TaskOptions::oneshot());
+        h.wait_active(&mgr, 4).unwrap();
+        assert!(h.is_complete());
+    }
+
+    #[test]
+    fn urgent_task_preempts_queue_order() {
+        // Preemptive tasks (§VI): submitted last, executed first.
+        let mgr = kwak_mgr();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..3 {
+            let o = order.clone();
+            mgr.submit(
+                move |_| {
+                    o.lock().push(format!("normal{i}"));
+                    TaskStatus::Done
+                },
+                CpuSet::single(0),
+                TaskOptions::oneshot(),
+            );
+        }
+        let o = order.clone();
+        mgr.submit(
+            move |_| {
+                o.lock().push("urgent".to_owned());
+                TaskStatus::Done
+            },
+            CpuSet::single(0),
+            TaskOptions::oneshot().urgent(),
+        );
+        mgr.schedule(0);
+        assert_eq!(
+            *order.lock(),
+            vec!["urgent", "normal0", "normal1", "normal2"]
+        );
+    }
+
+    #[test]
+    fn urgent_repeat_requeues_at_tail() {
+        // Once an urgent polling task has had its immediate shot, its
+        // re-enqueues go to the tail like any repeat task (no starvation).
+        let mgr = kwak_mgr();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let o = order.clone();
+        let mut polls = 0;
+        mgr.submit(
+            move |_| {
+                polls += 1;
+                o.lock().push("urgent-poll");
+                if polls == 2 {
+                    TaskStatus::Done
+                } else {
+                    TaskStatus::Again
+                }
+            },
+            CpuSet::single(0),
+            TaskOptions::repeat().urgent(),
+        );
+        let o = order.clone();
+        mgr.submit(
+            move |_| {
+                o.lock().push("normal");
+                TaskStatus::Done
+            },
+            CpuSet::single(0),
+            TaskOptions::oneshot(),
+        );
+        // One pass runs each pending task once (the requeued poll waits for
+        // the next keypoint).
+        mgr.schedule(0);
+        assert_eq!(*order.lock(), vec!["urgent-poll", "normal"]);
+        mgr.schedule(0);
+        assert_eq!(*order.lock(), vec!["urgent-poll", "normal", "urgent-poll"]);
+    }
+
+    #[test]
+    fn executed_by_core_distribution() {
+        let mgr = kwak_mgr();
+        for _ in 0..10 {
+            mgr.submit(|_| TaskStatus::Done, CpuSet::single(3), TaskOptions::oneshot());
+        }
+        mgr.schedule(3);
+        let stats = mgr.stats();
+        assert_eq!(stats.executed_by_core[3], 10);
+        assert_eq!(stats.executed_by_core.iter().sum::<u64>(), 10);
+    }
+}

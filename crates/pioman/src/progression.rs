@@ -1,0 +1,249 @@
+//! The progression runtime: background workers standing in for the MARCEL
+//! thread scheduler's keypoints.
+//!
+//! In the paper, PIOMan is invoked by the thread scheduler when a CPU goes
+//! idle, at context switches, and on timer interrupts (§III, §IV-A). On
+//! stock OS threads there is no scheduler to hook, so this module provides
+//! the equivalent service: one worker thread per (virtual) core that invokes
+//! the task manager whenever work may be available, parking itself when its
+//! queues are empty — an idle core in the paper's sense. Submissions unpark
+//! exactly the workers whose cores may run the new task, and an optional
+//! timer thread plays the role of the timer interrupt, bounding the latency
+//! of event detection even when wake-ups race.
+
+use crate::manager::{HookPoint, TaskManager};
+use core::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Configuration for [`Progression::start`].
+#[derive(Debug, Clone)]
+pub struct ProgressionConfig {
+    /// Virtual cores to run workers for. Each worker executes the tasks
+    /// visible from that core's queue path.
+    pub cores: Vec<usize>,
+    /// Upper bound on how long an idle worker sleeps before re-checking its
+    /// queues (the "timer interrupt" period of last resort).
+    pub park_timeout: Duration,
+    /// Optional dedicated timer thread that unparks every worker at this
+    /// period, independent of submissions.
+    pub timer_period: Option<Duration>,
+}
+
+impl ProgressionConfig {
+    /// Workers for every core of the manager's topology, 100 µs park
+    /// timeout, no dedicated timer thread.
+    pub fn all_cores(mgr: &TaskManager) -> Self {
+        ProgressionConfig {
+            cores: (0..mgr.topology().n_cores()).collect(),
+            park_timeout: Duration::from_micros(100),
+            timer_period: None,
+        }
+    }
+
+    /// Workers for an explicit core list.
+    pub fn for_cores(cores: impl Into<Vec<usize>>) -> Self {
+        ProgressionConfig {
+            cores: cores.into(),
+            park_timeout: Duration::from_micros(100),
+            timer_period: None,
+        }
+    }
+}
+
+/// Handle to the running progression workers. Shutting down (explicitly or
+/// on drop) stops and joins every worker.
+pub struct Progression {
+    mgr: Arc<TaskManager>,
+    shutdown: Arc<AtomicBool>,
+    workers: Vec<JoinHandle<()>>,
+    timer: Option<JoinHandle<()>>,
+    idle_loops: Arc<AtomicU64>,
+    cores: Vec<usize>,
+}
+
+impl Progression {
+    /// Spawns the workers (and timer thread, if configured).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a configured core id is outside the manager's topology.
+    pub fn start(mgr: Arc<TaskManager>, config: ProgressionConfig) -> Progression {
+        let n = mgr.topology().n_cores();
+        for &c in &config.cores {
+            assert!(c < n, "progression core {c} outside topology ({n} cores)");
+        }
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let idle_loops = Arc::new(AtomicU64::new(0));
+        let workers: Vec<JoinHandle<()>> = config
+            .cores
+            .iter()
+            .map(|&core| {
+                let mgr = mgr.clone();
+                let shutdown = shutdown.clone();
+                let idle_loops = idle_loops.clone();
+                let park = config.park_timeout;
+                std::thread::Builder::new()
+                    .name(format!("piom-worker-{core}"))
+                    .spawn(move || {
+                        mgr.register_waker(core, std::thread::current());
+                        while !shutdown.load(Ordering::Acquire) {
+                            // The worker *is* the idle loop: invoke the idle
+                            // keypoint; park when nothing was runnable.
+                            let ran = mgr.hook(HookPoint::Idle, core);
+                            if !ran {
+                                idle_loops.fetch_add(1, Ordering::Relaxed);
+                                if !mgr.has_work_for(core) {
+                                    std::thread::park_timeout(park);
+                                }
+                            }
+                        }
+                        mgr.unregister_waker(core);
+                    })
+                    .expect("spawn progression worker")
+            })
+            .collect();
+
+        let timer = config.timer_period.map(|period| {
+            let mgr = mgr.clone();
+            let shutdown = shutdown.clone();
+            let cores = config.cores.clone();
+            std::thread::Builder::new()
+                .name("piom-timer".to_owned())
+                .spawn(move || {
+                    while !shutdown.load(Ordering::Acquire) {
+                        std::thread::sleep(period);
+                        // Unpark everyone: the cheap software analogue of a
+                        // broadcast timer interrupt.
+                        for &core in &cores {
+                            mgr.hook(HookPoint::TimerInterrupt, core);
+                        }
+                    }
+                })
+                .expect("spawn progression timer")
+        });
+
+        Progression {
+            cores: config.cores,
+            mgr,
+            shutdown,
+            workers,
+            timer,
+            idle_loops,
+        }
+    }
+
+    /// The manager the workers progress.
+    pub fn manager(&self) -> &Arc<TaskManager> {
+        &self.mgr
+    }
+
+    /// Cores with a running worker.
+    pub fn cores(&self) -> &[usize] {
+        &self.cores
+    }
+
+    /// Worker loop iterations that found nothing to run (activity metric).
+    pub fn idle_loops(&self) -> u64 {
+        self.idle_loops.load(Ordering::Relaxed)
+    }
+
+    /// Stops and joins every worker. Idempotent; also called on drop.
+    pub fn shutdown(&mut self) {
+        if self.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        for w in &self.workers {
+            w.thread().unpark();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        if let Some(t) = self.timer.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Progression {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{TaskOptions, TaskStatus};
+    use piom_cpuset::CpuSet;
+    use piom_topology::presets;
+
+    #[test]
+    fn background_worker_completes_tasks() {
+        let mgr = TaskManager::new(presets::symmetric(1, 1, 2).into());
+        let mut prog = Progression::start(mgr.clone(), ProgressionConfig::all_cores(&mgr));
+        let h = mgr.submit(
+            |_| TaskStatus::Done,
+            CpuSet::from_iter([0, 1]),
+            TaskOptions::oneshot(),
+        );
+        assert_eq!(h.wait(), Ok(()), "worker ran the task without help");
+        prog.shutdown();
+    }
+
+    #[test]
+    fn repeat_polling_task_progresses_in_background() {
+        let mgr = TaskManager::new(presets::symmetric(1, 1, 2).into());
+        let _prog = Progression::start(mgr.clone(), ProgressionConfig::all_cores(&mgr));
+        let mut countdown = 50;
+        let h = mgr.submit(
+            move |_| {
+                countdown -= 1;
+                if countdown == 0 {
+                    TaskStatus::Done
+                } else {
+                    TaskStatus::Again
+                }
+            },
+            CpuSet::single(0),
+            TaskOptions::repeat(),
+        );
+        assert_eq!(h.wait(), Ok(()));
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_drop_safe() {
+        let mgr = TaskManager::new(presets::uniprocessor().into());
+        let mut prog = Progression::start(mgr.clone(), ProgressionConfig::for_cores(vec![0]));
+        prog.shutdown();
+        prog.shutdown();
+        drop(prog);
+    }
+
+    #[test]
+    fn timer_thread_drives_progress_without_submission_wakeups() {
+        let mgr = TaskManager::new(presets::uniprocessor().into());
+        let config = ProgressionConfig {
+            cores: vec![0],
+            park_timeout: Duration::from_secs(3600), // park "forever"
+            timer_period: Some(Duration::from_millis(1)),
+        };
+        let _prog = Progression::start(mgr.clone(), config);
+        // Let the worker park first, then rely on the timer to run the task.
+        std::thread::sleep(Duration::from_millis(10));
+        let h = mgr.submit(
+            |_| TaskStatus::Done,
+            CpuSet::single(0),
+            TaskOptions::oneshot(),
+        );
+        assert_eq!(h.wait(), Ok(()));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside topology")]
+    fn bad_core_panics() {
+        let mgr = TaskManager::new(presets::uniprocessor().into());
+        let _ = Progression::start(mgr, ProgressionConfig::for_cores(vec![5]));
+    }
+}

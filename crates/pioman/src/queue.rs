@@ -1,0 +1,242 @@
+//! Task queues: one per topology node, spinlock-protected or lock-free.
+
+use crate::spinlock::SpinLock;
+use crate::task::Task;
+use core::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use crossbeam::queue::SegQueue;
+use piom_cpuset::CpuSet;
+use piom_topology::Level;
+use std::collections::VecDeque;
+
+/// Identifier of a task queue — the arena index of the topology node owning
+/// it (per-core queue for leaves, global queue for the root).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueueId(pub(crate) u32);
+
+impl QueueId {
+    /// Arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Storage backing one queue.
+enum Backend {
+    /// The paper's implementation: FIFO list + spinlock, dequeued with the
+    /// double-checked Algorithm 2 (`len` is the unlocked emptiness hint).
+    Spin {
+        list: SpinLock<VecDeque<Task>>,
+        len: AtomicUsize,
+    },
+    /// §VI future work: a lock-free queue (crossbeam's Michael-Scott-style
+    /// segmented queue) — used by the ablation benchmarks.
+    LockFree { list: SegQueue<Task> },
+}
+
+/// One hierarchical task queue.
+pub(crate) struct TaskQueue {
+    pub(crate) id: QueueId,
+    pub(crate) level: Level,
+    pub(crate) cpuset: CpuSet,
+    backend: Backend,
+    submitted: AtomicU64,
+    executed: AtomicU64,
+}
+
+impl TaskQueue {
+    pub(crate) fn new_spin(id: QueueId, level: Level, cpuset: CpuSet) -> Self {
+        TaskQueue {
+            id,
+            level,
+            cpuset,
+            backend: Backend::Spin {
+                list: SpinLock::new(VecDeque::new()),
+                len: AtomicUsize::new(0),
+            },
+            submitted: AtomicU64::new(0),
+            executed: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn new_lockfree(id: QueueId, level: Level, cpuset: CpuSet) -> Self {
+        TaskQueue {
+            id,
+            level,
+            cpuset,
+            backend: Backend::LockFree {
+                list: SegQueue::new(),
+            },
+            submitted: AtomicU64::new(0),
+            executed: AtomicU64::new(0),
+        }
+    }
+
+    /// Appends a task (FIFO order within the queue). Urgent tasks are
+    /// prepended instead, so the next scheduling pass runs them first
+    /// (preemptive tasks, paper §VI).
+    pub(crate) fn enqueue(&self, task: Task) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        match &self.backend {
+            Backend::Spin { list, len } => {
+                let mut guard = list.lock();
+                if task.options.urgent {
+                    guard.push_front(task);
+                } else {
+                    guard.push_back(task);
+                }
+                // Publish the new length *while holding the lock* so the
+                // unlocked hint can never claim empty while an element is
+                // present and unobservable.
+                len.store(guard.len(), Ordering::Release);
+            }
+            // The lock-free backend has no two-ended variant; urgency only
+            // affects wake-ups there.
+            Backend::LockFree { list } => list.push(task),
+        }
+    }
+
+    /// Re-enqueue a repeat task without counting a new submission.
+    pub(crate) fn requeue(&self, task: Task) {
+        match &self.backend {
+            Backend::Spin { list, len } => {
+                let mut guard = list.lock();
+                guard.push_back(task);
+                len.store(guard.len(), Ordering::Release);
+            }
+            Backend::LockFree { list } => list.push(task),
+        }
+    }
+
+    /// The paper's **Algorithm 2** (`Get_Task`): evaluate the queue content
+    /// without holding the mutex; if non-empty, acquire and re-check.
+    /// "This technique permits to avoid race conditions with a minimal
+    /// overhead since the mutex is only held when the list contains tasks."
+    pub(crate) fn try_dequeue(&self) -> Option<Task> {
+        match &self.backend {
+            Backend::Spin { list, len } => {
+                // notempty(Queue) — unlocked peek.
+                if len.load(Ordering::Acquire) == 0 {
+                    return None;
+                }
+                // LOCK(Queue); re-check; dequeue; UNLOCK(Queue).
+                let mut guard = list.lock();
+                let task = guard.pop_front();
+                len.store(guard.len(), Ordering::Release);
+                task
+            }
+            Backend::LockFree { list } => list.pop(),
+        }
+    }
+
+    /// Current length (hint; racy by nature).
+    pub(crate) fn len_hint(&self) -> usize {
+        match &self.backend {
+            Backend::Spin { len, .. } => len.load(Ordering::Acquire),
+            Backend::LockFree { list } => list.len(),
+        }
+    }
+
+    pub(crate) fn note_executed(&self) {
+        self.executed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn submitted(&self) -> u64 {
+        self.submitted.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn executed(&self) -> u64 {
+        self.executed.load(Ordering::Relaxed)
+    }
+
+    /// Lock statistics, when the backend has a lock.
+    pub(crate) fn lock_stats(&self) -> Option<(u64, u64)> {
+        match &self.backend {
+            Backend::Spin { list, .. } => {
+                Some((list.acquisitions(), list.contended_acquisitions()))
+            }
+            Backend::LockFree { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::completion::Completion;
+    use crate::task::{TaskOptions, TaskStatus};
+
+    fn dummy_task(home: QueueId) -> Task {
+        Task {
+            body: Box::new(|_| TaskStatus::Done),
+            options: TaskOptions::oneshot(),
+            cpuset: CpuSet::single(0),
+            home,
+            completion: Completion::new(),
+        }
+    }
+
+    fn spin_queue() -> TaskQueue {
+        TaskQueue::new_spin(QueueId(0), Level::Core, CpuSet::single(0))
+    }
+
+    fn lockfree_queue() -> TaskQueue {
+        TaskQueue::new_lockfree(QueueId(0), Level::Core, CpuSet::single(0))
+    }
+
+    #[test]
+    fn fifo_order_spin() {
+        let q = spin_queue();
+        for _ in 0..3 {
+            q.enqueue(dummy_task(q.id));
+        }
+        assert_eq!(q.len_hint(), 3);
+        let mut n = 0;
+        while q.try_dequeue().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 3);
+        assert_eq!(q.len_hint(), 0);
+        assert!(q.try_dequeue().is_none());
+    }
+
+    #[test]
+    fn fifo_order_lockfree() {
+        let q = lockfree_queue();
+        q.enqueue(dummy_task(q.id));
+        q.enqueue(dummy_task(q.id));
+        assert_eq!(q.len_hint(), 2);
+        assert!(q.try_dequeue().is_some());
+        assert!(q.try_dequeue().is_some());
+        assert!(q.try_dequeue().is_none());
+    }
+
+    #[test]
+    fn empty_dequeue_never_locks() {
+        let q = spin_queue();
+        assert!(q.try_dequeue().is_none());
+        // Algorithm 2's whole point: an empty queue is detected without a
+        // single lock acquisition.
+        assert_eq!(q.lock_stats().unwrap().0, 0);
+    }
+
+    #[test]
+    fn requeue_does_not_count_as_submission() {
+        let q = spin_queue();
+        q.enqueue(dummy_task(q.id));
+        let t = q.try_dequeue().unwrap();
+        q.requeue(t);
+        assert_eq!(q.submitted(), 1);
+        assert_eq!(q.len_hint(), 1);
+    }
+
+    #[test]
+    fn counters() {
+        let q = spin_queue();
+        q.enqueue(dummy_task(q.id));
+        q.note_executed();
+        assert_eq!(q.submitted(), 1);
+        assert_eq!(q.executed(), 1);
+        assert!(q.lock_stats().is_some());
+        assert!(lockfree_queue().lock_stats().is_none());
+    }
+}

@@ -1,0 +1,98 @@
+//! Counter snapshots exposed by [`TaskManager::stats`](crate::TaskManager::stats).
+
+use crate::queue::QueueId;
+use piom_cpuset::CpuSet;
+use piom_topology::Level;
+
+/// Counters of one hierarchical queue.
+#[derive(Debug, Clone)]
+pub struct QueueStats {
+    /// Queue id (the topology node index).
+    pub id: QueueId,
+    /// Topology level of the owning node.
+    pub level: Level,
+    /// Cores this queue serves.
+    pub cpuset: CpuSet,
+    /// Tasks submitted directly to this queue.
+    pub submitted: u64,
+    /// Task executions drawn from this queue (repeat runs count each time).
+    pub executed: u64,
+    /// Tasks currently enqueued (racy snapshot).
+    pub pending: usize,
+    /// Spinlock acquisitions (0 for the lock-free backend).
+    pub lock_acquisitions: u64,
+    /// Acquisitions that found the lock held (contention indicator).
+    pub lock_contended: u64,
+}
+
+/// Snapshot of every manager counter.
+#[derive(Debug, Clone)]
+pub struct ManagerStats {
+    /// Per-queue counters, indexed like the topology arena.
+    pub queues: Vec<QueueStats>,
+    /// Task executions per core — the paper reports this distribution for
+    /// the per-chip and global-queue experiments (§V-A).
+    pub executed_by_core: Vec<u64>,
+    /// Invocations of the idle hook.
+    pub hook_idle: u64,
+    /// Invocations of the context-switch hook.
+    pub hook_context_switch: u64,
+    /// Invocations of the timer hook.
+    pub hook_timer: u64,
+}
+
+impl ManagerStats {
+    /// Total task executions across all queues.
+    pub fn total_executed(&self) -> u64 {
+        self.queues.iter().map(|q| q.executed).sum()
+    }
+
+    /// Total submissions across all queues.
+    pub fn total_submitted(&self) -> u64 {
+        self.queues.iter().map(|q| q.submitted).sum()
+    }
+
+    /// Share of task executions done by each core, as fractions of 1.
+    /// Empty if nothing ran. Mirrors the paper's observation that "each of
+    /// them executes roughly 25% of the submitted tasks" for a 4-core
+    /// per-chip queue.
+    pub fn execution_shares(&self) -> Vec<f64> {
+        let total: u64 = self.executed_by_core.iter().sum();
+        if total == 0 {
+            return vec![0.0; self.executed_by_core.len()];
+        }
+        self.executed_by_core
+            .iter()
+            .map(|&c| c as f64 / total as f64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(executed_by_core: Vec<u64>) -> ManagerStats {
+        ManagerStats {
+            queues: vec![],
+            executed_by_core,
+            hook_idle: 0,
+            hook_context_switch: 0,
+            hook_timer: 0,
+        }
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let s = mk(vec![25, 25, 25, 25]);
+        let shares = s.execution_shares();
+        assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(shares.iter().all(|&x| (x - 0.25).abs() < 1e-12));
+    }
+
+    #[test]
+    fn shares_empty_when_nothing_ran() {
+        let s = mk(vec![0, 0]);
+        assert_eq!(s.execution_shares(), vec![0.0, 0.0]);
+    }
+}

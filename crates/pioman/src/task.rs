@@ -1,0 +1,127 @@
+//! Tasks: the unit of work delegated to the task manager.
+//!
+//! "A task consists in running a function with a given parameter. A CPU set
+//! is attached to the task so as to avoid unwanted cores to execute it. As
+//! some treatments need to be performed repeatedly (polling a network for
+//! example), an option is also added to a task." (paper §III)
+
+use crate::completion::Completion;
+use crate::manager::TaskManager;
+use crate::queue::QueueId;
+use piom_cpuset::CpuSet;
+use std::sync::Arc;
+
+/// What a task body reports after one execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskStatus {
+    /// The task completed; notify waiters, never run again.
+    Done,
+    /// The task made no conclusive progress (e.g. the network poll found
+    /// nothing). A *repeat* task returning `Again` is re-enqueued into the
+    /// same queue, exactly as Algorithm 1's `Enqueue(Queue, Task)`.
+    /// A one-shot task returning `Again` is treated as `Done`.
+    Again,
+}
+
+/// Options attached to a task at submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TaskOptions {
+    /// Repetitive task: re-enqueue after each run until the body returns
+    /// [`TaskStatus::Done`]. This is the paper's polling option — "it is
+    /// considered completed once the corresponding network polling succeeds"
+    /// (§IV-B).
+    pub repeat: bool,
+    /// Preemptive task (paper §VI future work: "tasks that can be executed
+    /// immediately, even on a distant CPU where a thread is computing").
+    /// Urgent tasks jump to the *front* of their queue (so the very next
+    /// keypoint on any allowed core runs them before older work) and
+    /// progression workers are woken eagerly, exactly as for a fresh
+    /// submission.
+    pub urgent: bool,
+}
+
+impl TaskOptions {
+    /// A task executed at most once.
+    pub const fn oneshot() -> Self {
+        TaskOptions {
+            repeat: false,
+            urgent: false,
+        }
+    }
+
+    /// A repetitive (polling) task: re-run until it reports `Done`.
+    pub const fn repeat() -> Self {
+        TaskOptions {
+            repeat: true,
+            urgent: false,
+        }
+    }
+
+    /// Marks the task preemptive (see [`TaskOptions::urgent`]).
+    pub const fn urgent(mut self) -> Self {
+        self.urgent = true;
+        self
+    }
+}
+
+/// Execution context handed to a task body.
+///
+/// Carries the executing core and the manager, so bodies can submit
+/// follow-up tasks (e.g. a request submission that did not complete
+/// immediately submits a polling task, §IV-B).
+pub struct TaskContext<'a> {
+    /// The (virtual) core executing this task.
+    pub core: usize,
+    /// The manager running the task.
+    pub manager: &'a TaskManager,
+}
+
+/// The boxed task body type.
+///
+/// `FnMut` because repetitive tasks carry state between attempts (e.g. a
+/// countdown until a poll succeeds).
+pub type TaskFn = Box<dyn FnMut(&TaskContext<'_>) -> TaskStatus + Send>;
+
+/// A schedulable task, as stored in the hierarchical queues.
+pub struct Task {
+    pub(crate) body: TaskFn,
+    pub(crate) options: TaskOptions,
+    pub(crate) cpuset: CpuSet,
+    /// Queue the task lives in; repeat tasks re-enqueue here.
+    pub(crate) home: QueueId,
+    pub(crate) completion: Arc<Completion>,
+}
+
+impl Task {
+    /// The CPU set the submitter attached.
+    pub fn cpuset(&self) -> CpuSet {
+        self.cpuset
+    }
+
+    /// The options the submitter attached.
+    pub fn options(&self) -> TaskOptions {
+        self.options
+    }
+}
+
+impl core::fmt::Debug for Task {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Task")
+            .field("options", &self.options)
+            .field("cpuset", &self.cpuset)
+            .field("home", &self.home)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn options_constructors() {
+        assert!(!TaskOptions::oneshot().repeat);
+        assert!(TaskOptions::repeat().repeat);
+        assert_eq!(TaskOptions::default(), TaskOptions::oneshot());
+    }
+}

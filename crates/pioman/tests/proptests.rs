@@ -1,0 +1,168 @@
+//! Property tests: no task is ever lost, duplicated, or run on a forbidden
+//! core, across random topologies, cpusets, and backends.
+
+use pioman::{ManagerConfig, QueueBackend, TaskManager, TaskOptions, TaskStatus};
+use piom_cpuset::CpuSet;
+use piom_topology::TopologyBuilder;
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+struct Shape {
+    numa: usize,
+    chips: usize,
+    cores: usize,
+}
+
+fn arb_shape() -> impl Strategy<Value = Shape> {
+    (1usize..=3, 1usize..=2, 1usize..=4).prop_map(|(numa, chips, cores)| Shape {
+        numa,
+        chips,
+        cores,
+    })
+}
+
+fn arb_backend() -> impl Strategy<Value = QueueBackend> {
+    prop_oneof![Just(QueueBackend::Spinlock), Just(QueueBackend::LockFree)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Submit a batch of tasks with random cpusets; drive every core until
+    /// quiescent; every task must complete exactly once, on an allowed core.
+    #[test]
+    fn no_task_lost_or_misplaced(
+        shape in arb_shape(),
+        backend in arb_backend(),
+        seeds in proptest::collection::vec(any::<u64>(), 1..40),
+    ) {
+        let topo = Arc::new(
+            TopologyBuilder::new("prop")
+                .numa_nodes(shape.numa)
+                .chips_per_numa(shape.chips)
+                .cores_per_cache(shape.cores)
+                .build(),
+        );
+        let n = topo.n_cores();
+        let mgr = TaskManager::with_config(topo.clone(), ManagerConfig { backend });
+
+        let run_counts: Vec<Arc<AtomicU64>> =
+            (0..seeds.len()).map(|_| Arc::new(AtomicU64::new(0))).collect();
+        let mut handles = Vec::new();
+        let mut cpusets = Vec::new();
+
+        for (i, &seed) in seeds.iter().enumerate() {
+            // Random nonempty cpuset from the seed.
+            let mut set = CpuSet::new();
+            let mut s = seed;
+            for cpu in 0..n {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                if s & 1 == 1 { set.insert(cpu); }
+            }
+            if set.is_empty() { set.insert(seed as usize % n); }
+            cpusets.push(set);
+
+            let count = run_counts[i].clone();
+            let set_copy = set;
+            let h = mgr.submit(
+                move |ctx| {
+                    count.fetch_add(1, Ordering::SeqCst);
+                    assert!(set_copy.contains(ctx.core), "ran on forbidden core");
+                    TaskStatus::Done
+                },
+                set,
+                TaskOptions::oneshot(),
+            );
+            handles.push(h);
+        }
+
+        // Drive all cores round-robin until quiescent.
+        let mut spins = 0;
+        while mgr.pending_tasks() > 0 {
+            for core in 0..n {
+                mgr.schedule(core);
+            }
+            spins += 1;
+            prop_assert!(spins < 10_000, "scheduler failed to quiesce");
+        }
+
+        for (i, h) in handles.iter().enumerate() {
+            prop_assert!(h.is_complete(), "task {i} never completed");
+            prop_assert_eq!(run_counts[i].load(Ordering::SeqCst), 1, "task {} ran != once", i);
+        }
+        let stats = mgr.stats();
+        prop_assert_eq!(stats.total_submitted() as usize, seeds.len());
+        prop_assert_eq!(stats.total_executed() as usize, seeds.len());
+    }
+
+    /// Repeat tasks run exactly `k` times (k-1 Again + 1 Done), regardless
+    /// of which allowed cores pick them up.
+    #[test]
+    fn repeat_tasks_run_exact_count(
+        shape in arb_shape(),
+        backend in arb_backend(),
+        k in 1u64..20,
+    ) {
+        let topo = Arc::new(
+            TopologyBuilder::new("prop")
+                .numa_nodes(shape.numa)
+                .chips_per_numa(shape.chips)
+                .cores_per_cache(shape.cores)
+                .build(),
+        );
+        let n = topo.n_cores();
+        let mgr = TaskManager::with_config(topo, ManagerConfig { backend });
+        let runs = Arc::new(AtomicU64::new(0));
+        let r = runs.clone();
+        let h = mgr.submit(
+            move |_| {
+                if r.fetch_add(1, Ordering::SeqCst) + 1 == k {
+                    TaskStatus::Done
+                } else {
+                    TaskStatus::Again
+                }
+            },
+            CpuSet::first_n(n),
+            TaskOptions::repeat(),
+        );
+        let mut spins = 0;
+        while !h.is_complete() {
+            for core in 0..n {
+                mgr.schedule(core);
+            }
+            spins += 1;
+            prop_assert!(spins < 10_000);
+        }
+        prop_assert_eq!(runs.load(Ordering::SeqCst), k);
+    }
+
+    /// Concurrent submission + multi-threaded progression: all tasks finish.
+    /// (Kept small: the test host has a single CPU.)
+    #[test]
+    fn concurrent_progression_completes_everything(
+        backend in arb_backend(),
+        n_tasks in 1usize..60,
+    ) {
+        let topo = Arc::new(TopologyBuilder::new("p").cores_per_cache(4).build());
+        let mgr = TaskManager::with_config(topo, ManagerConfig { backend });
+        let prog = pioman::Progression::start(
+            mgr.clone(),
+            pioman::ProgressionConfig::all_cores(&mgr),
+        );
+        let handles: Vec<_> = (0..n_tasks)
+            .map(|i| {
+                mgr.submit(
+                    |_| TaskStatus::Done,
+                    CpuSet::single(i % 4),
+                    TaskOptions::oneshot(),
+                )
+            })
+            .collect();
+        for h in handles {
+            prop_assert_eq!(h.wait(), Ok(()));
+        }
+        drop(prog);
+    }
+}

@@ -1,0 +1,127 @@
+//! Topological distance between cores.
+//!
+//! Cost models (and the nearest-idle-core offload policy, paper §IV-B) need
+//! to know "how far" two cores are: same core, sharing a cache, sharing a
+//! chip, sharing a NUMA node, or only sharing the machine. [`Locality`]
+//! classifies a pair of cores; [`Topology::distance`] gives a small integer
+//! usable as a sort key or cost-table index.
+
+use crate::{Level, Topology};
+
+/// Classification of the relationship between two cores, from closest to
+/// farthest. The discriminant doubles as a distance value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Locality {
+    /// The same core.
+    SelfCore = 0,
+    /// Different cores sharing a cache.
+    SharedCache = 1,
+    /// Different cores on the same chip (no shared cache level between them).
+    SameChip = 2,
+    /// Different chips within the same NUMA node.
+    SameNuma = 3,
+    /// Different NUMA nodes: traffic crosses the interconnect.
+    CrossNuma = 4,
+}
+
+impl Locality {
+    /// Distance value (0 = same core, 4 = cross-NUMA).
+    #[inline]
+    pub fn distance(self) -> usize {
+        self as usize
+    }
+}
+
+impl Topology {
+    /// Locality class of the pair `(a, b)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either core id is out of range.
+    pub fn locality(&self, a: usize, b: usize) -> Locality {
+        if a == b {
+            return Locality::SelfCore;
+        }
+        let anc = self.common_ancestor(a, b);
+        match self.node(anc).level {
+            Level::Core => Locality::SelfCore,
+            Level::Cache => Locality::SharedCache,
+            Level::Chip => Locality::SameChip,
+            Level::NumaNode => Locality::SameNuma,
+            Level::Machine => {
+                // On machines with a single NUMA node the root *is* the only
+                // memory domain; treat root-level meetings as cross-NUMA only
+                // when the tree actually has NUMA nodes.
+                if self.nodes_at_level(Level::NumaNode).is_empty() {
+                    Locality::SameNuma
+                } else {
+                    Locality::CrossNuma
+                }
+            }
+        }
+    }
+
+    /// Integer distance between two cores (see [`Locality::distance`]).
+    #[inline]
+    pub fn distance(&self, a: usize, b: usize) -> usize {
+        self.locality(a, b).distance()
+    }
+
+    /// Full `n_cores x n_cores` distance matrix. Row-major.
+    pub fn distance_matrix(&self) -> Vec<Vec<usize>> {
+        let n = self.n_cores();
+        (0..n)
+            .map(|a| (0..n).map(|b| self.distance(a, b)).collect())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn kwak_localities() {
+        let t = presets::kwak();
+        assert_eq!(t.locality(3, 3), Locality::SelfCore);
+        // Cores 0..4 share NUMA node (chip+cache collapsed into it).
+        assert_eq!(t.locality(0, 3), Locality::SameNuma);
+        assert_eq!(t.locality(0, 4), Locality::CrossNuma);
+        assert_eq!(t.locality(12, 15), Locality::SameNuma);
+    }
+
+    #[test]
+    fn borderline_localities() {
+        let t = presets::borderline();
+        // Single NUMA domain: chip siblings are SameChip, strangers SameNuma.
+        assert_eq!(t.locality(0, 1), Locality::SameChip);
+        assert_eq!(t.locality(0, 2), Locality::SameNuma);
+        assert_eq!(t.locality(6, 7), Locality::SameChip);
+    }
+
+    #[test]
+    fn cache_level_detected() {
+        let t = crate::TopologyBuilder::new("c")
+            .numa_nodes(2)
+            .caches_per_chip(2)
+            .cores_per_cache(2)
+            .build();
+        assert_eq!(t.locality(0, 1), Locality::SharedCache);
+        // Cores 0 and 2: different caches, chip collapsed -> meet at NUMA.
+        assert_eq!(t.locality(0, 2), Locality::SameNuma);
+        assert_eq!(t.locality(0, 4), Locality::CrossNuma);
+    }
+
+    #[test]
+    fn distance_matrix_is_symmetric_with_zero_diagonal() {
+        let t = presets::kwak();
+        let m = t.distance_matrix();
+        for a in 0..t.n_cores() {
+            assert_eq!(m[a][a], 0);
+            for b in 0..t.n_cores() {
+                assert_eq!(m[a][b], m[b][a]);
+            }
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! ASCII rendering of topology trees (the shape of the paper's Figs. 2–3).
+
+use crate::{Topology, NodeId};
+use core::fmt::Write as _;
+
+impl Topology {
+    /// Renders the tree as indented ASCII, one node per line, annotated with
+    /// the queue each node would own. Reproduces the information content of
+    /// the paper's Fig. 2 (hierarchical lists mapped onto a topology) and
+    /// Fig. 3 (the kwak machine).
+    ///
+    /// ```
+    /// let t = piom_topology::presets::borderline();
+    /// let s = t.render_ascii();
+    /// assert!(s.contains("Global Queue"));
+    /// assert!(s.contains("chip #0"));
+    /// ```
+    pub fn render_ascii(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{} ({} cores)", self.name, self.n_cores());
+        self.render_node(self.root, &mut out);
+        out
+    }
+
+    fn render_node(&self, id: NodeId, out: &mut String) {
+        let node = self.node(id);
+        let indent = "  ".repeat(node.depth);
+        let _ = writeln!(
+            out,
+            "{indent}{} #{} [cpus {}] -> {}",
+            node.level, node.ordinal, node.cpuset, node.level.queue_name()
+        );
+        for &child in &node.children {
+            self.render_node(child, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::presets;
+
+    #[test]
+    fn render_mentions_every_level_present() {
+        let s = presets::kwak().render_ascii();
+        assert!(s.contains("kwak (16 cores)"));
+        assert!(s.contains("Global Queue"));
+        assert!(s.contains("Per-NUMA Node Queue"));
+        assert!(s.contains("Per-Core Queue"));
+        assert_eq!(s.lines().count(), 1 + 21);
+    }
+
+    #[test]
+    fn render_borderline_has_chips_not_numa() {
+        let s = presets::borderline().render_ascii();
+        assert!(s.contains("Per-Chip Queue"));
+        assert!(!s.contains("Per-NUMA Node Queue"));
+    }
+}

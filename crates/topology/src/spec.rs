@@ -1,0 +1,119 @@
+//! Spec-string topology construction, e.g. `"numa:4 chip:1 cache:1 core:4"`.
+
+use crate::{Topology, TopologyBuilder};
+use core::fmt;
+
+/// Error from [`Topology::from_spec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopoSpecError {
+    /// A component was not of the form `key:count`.
+    Malformed(String),
+    /// An unknown key (not one of `numa`, `chip`, `cache`, `core`).
+    UnknownKey(String),
+    /// A count failed to parse or was zero.
+    BadCount(String),
+    /// The shape describes more cores than a `CpuSet` can hold.
+    TooManyCores(usize),
+}
+
+impl fmt::Display for TopoSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopoSpecError::Malformed(s) => write!(f, "malformed component {s:?}"),
+            TopoSpecError::UnknownKey(s) => write!(f, "unknown topology key {s:?}"),
+            TopoSpecError::BadCount(s) => write!(f, "bad count in {s:?}"),
+            TopoSpecError::TooManyCores(n) => write!(
+                f,
+                "{n} cores exceed CpuSet capacity {}",
+                piom_cpuset::CpuSet::MAX_CPUS
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TopoSpecError {}
+
+impl Topology {
+    /// Builds a topology from a whitespace-separated spec string.
+    ///
+    /// Recognised keys: `numa`, `chip`, `cache`, `core`; each takes a count
+    /// `key:N`. Omitted keys default to 1. Example: the paper's kwak machine
+    /// is `"numa:4 core:4"`.
+    ///
+    /// ```
+    /// use piom_topology::Topology;
+    /// let t = Topology::from_spec("numa:4 core:4").unwrap();
+    /// assert_eq!(t.n_cores(), 16);
+    /// ```
+    pub fn from_spec(spec: &str) -> Result<Topology, TopoSpecError> {
+        let mut b = TopologyBuilder::new(format!("spec({})", spec.trim()));
+        for comp in spec.split_whitespace() {
+            let (key, count) = comp
+                .split_once(':')
+                .ok_or_else(|| TopoSpecError::Malformed(comp.to_owned()))?;
+            let n: usize = count
+                .parse()
+                .map_err(|_| TopoSpecError::BadCount(comp.to_owned()))?;
+            if n == 0 {
+                return Err(TopoSpecError::BadCount(comp.to_owned()));
+            }
+            b = match key {
+                "numa" => b.numa_nodes(n),
+                "chip" => b.chips_per_numa(n),
+                "cache" => b.caches_per_chip(n),
+                "core" => b.cores_per_cache(n),
+                _ => return Err(TopoSpecError::UnknownKey(key.to_owned())),
+            };
+        }
+        if b.total_cores() > piom_cpuset::CpuSet::MAX_CPUS {
+            return Err(TopoSpecError::TooManyCores(b.total_cores()));
+        }
+        Ok(b.build())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_kwak_shape() {
+        let t = Topology::from_spec("numa:4 core:4").unwrap();
+        assert_eq!(t.n_cores(), 16);
+        assert_eq!(t.nodes_at_level(crate::Level::NumaNode).len(), 4);
+    }
+
+    #[test]
+    fn defaults_to_uniprocessor() {
+        let t = Topology::from_spec("").unwrap();
+        assert_eq!(t.n_cores(), 1);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(matches!(
+            Topology::from_spec("numa=4"),
+            Err(TopoSpecError::Malformed(_))
+        ));
+        assert!(matches!(
+            Topology::from_spec("sockets:2"),
+            Err(TopoSpecError::UnknownKey(_))
+        ));
+        assert!(matches!(
+            Topology::from_spec("core:0"),
+            Err(TopoSpecError::BadCount(_))
+        ));
+        assert!(matches!(
+            Topology::from_spec("core:zero"),
+            Err(TopoSpecError::BadCount(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized() {
+        assert!(matches!(
+            Topology::from_spec("numa:64 core:64"),
+            Err(TopoSpecError::TooManyCores(_))
+        ));
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests on topology invariants.
+
+use piom_cpuset::CpuSet;
+use piom_topology::{Level, Topology, TopologyBuilder};
+use proptest::prelude::*;
+
+fn arb_topology() -> impl Strategy<Value = Topology> {
+    (1usize..=4, 1usize..=3, 1usize..=2, 1usize..=4).prop_map(|(numa, chips, caches, cores)| {
+        TopologyBuilder::new("prop")
+            .numa_nodes(numa)
+            .chips_per_numa(chips)
+            .caches_per_chip(caches)
+            .cores_per_cache(cores)
+            .build()
+    })
+}
+
+proptest! {
+    #[test]
+    fn every_core_path_reaches_global_queue(t in arb_topology()) {
+        for cpu in 0..t.n_cores() {
+            let path: Vec<_> = t.path_to_root(cpu).collect();
+            prop_assert_eq!(t.node(path[0]).level, Level::Core);
+            prop_assert_eq!(*path.last().unwrap(), t.root());
+            // cpusets grow along the path; strictly so between internal
+            // nodes (dedup collapses duplicate internal spans). The core
+            // leaf itself may equal its parent's span on degenerate shapes
+            // (e.g. one core per NUMA node).
+            for w in path.windows(2) {
+                let inner = t.node(w[0]).cpuset;
+                let outer = t.node(w[1]).cpuset;
+                prop_assert!(inner.is_subset(&outer));
+                if t.node(w[0]).level != Level::Core {
+                    prop_assert!(inner != outer, "duplicate span survived dedup");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn smallest_covering_is_minimal(t in arb_topology(), seed in any::<u64>()) {
+        // Build a random nonempty subset of the machine's cores.
+        let n = t.n_cores();
+        let mut set = CpuSet::new();
+        let mut s = seed;
+        for cpu in 0..n {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            if s >> 63 == 1 { set.insert(cpu); }
+        }
+        if set.is_empty() { set.insert(seed as usize % n); }
+
+        let id = t.smallest_covering(&set).unwrap();
+        let node = t.node(id);
+        prop_assert!(set.is_subset(&node.cpuset));
+        // Minimality: no child of the chosen node also covers the set.
+        for &child in &node.children {
+            prop_assert!(!set.is_subset(&t.node(child).cpuset));
+        }
+    }
+
+    #[test]
+    fn locality_is_symmetric_metriclike(t in arb_topology()) {
+        let n = t.n_cores();
+        for a in 0..n {
+            prop_assert_eq!(t.distance(a, a), 0);
+            for b in 0..n {
+                prop_assert_eq!(t.distance(a, b), t.distance(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn node_arena_parents_precede_children(t in arb_topology()) {
+        for (id, node) in t.iter() {
+            if let Some(p) = node.parent {
+                prop_assert!(p < id);
+                prop_assert!(t.node(p).children.contains(&id));
+            }
+        }
+    }
+
+    #[test]
+    fn core_nodes_are_leaves_numbered_in_order(t in arb_topology()) {
+        for cpu in 0..t.n_cores() {
+            let leaf = t.node(t.core_node(cpu));
+            prop_assert_eq!(leaf.level, Level::Core);
+            prop_assert_eq!(leaf.ordinal, cpu);
+            prop_assert_eq!(leaf.cpuset, CpuSet::single(cpu));
+            prop_assert!(leaf.children.is_empty());
+        }
+    }
+
+    #[test]
+    fn common_ancestor_agrees_with_smallest_covering(t in arb_topology()) {
+        let n = t.n_cores();
+        for a in 0..n.min(6) {
+            for b in 0..n.min(6) {
+                let anc = t.common_ancestor(a, b);
+                let cover = t
+                    .smallest_covering(&CpuSet::from_iter([a, b]))
+                    .unwrap();
+                prop_assert_eq!(anc, cover);
+            }
+        }
+    }
+}

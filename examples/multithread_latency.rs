@@ -1,0 +1,21 @@
+//! OSU-style multithreaded latency on the simulated cluster (Fig. 4).
+//!
+//! One sender pingpongs 4-byte messages against N receiver threads.
+//! Baseline MPI receivers spin-poll and fight for CPU and the completion
+//! queue; PIOMan receivers block on a condition while idle cores poll.
+//!
+//! Run with: `cargo run --release --example multithread_latency`
+
+use piom_suite::madmpi::{mtlat, MpiImpl};
+
+fn main() {
+    println!("{:<10}{:>16}{:>16}", "threads", "MVAPICH-like µs", "PIOMan µs");
+    for threads in [1usize, 2, 4, 8, 16, 32, 64, 128] {
+        let mv = mtlat::run_mtlat(MpiImpl::MvapichLike, threads, 60, 7);
+        let pm = mtlat::run_mtlat(MpiImpl::MadMpi, threads, 60, 7);
+        println!(
+            "{:<10}{:>16.2}{:>16.2}",
+            threads, mv.mean_latency_us, pm.mean_latency_us
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! Renders the paper's machine topologies and the queue hierarchy mapped
+//! onto them (Figs. 2-3), plus this host's detected shape.
+//!
+//! Run with: `cargo run --example topology_tour`
+
+use piom_suite::cpuset::CpuSet;
+use piom_suite::topology::{presets, Topology};
+
+fn tour(t: &Topology) {
+    println!("{}", t.render_ascii());
+    // Show the submit-time level resolution on a few cpusets.
+    for set in [
+        CpuSet::single(0),
+        CpuSet::first_n(2.min(t.n_cores())),
+        t.all_cores(),
+    ] {
+        if let Some(node) = t.smallest_covering(&set) {
+            println!(
+                "  cpuset {{{set}}} -> {} (queue of {} #{})",
+                t.node(node).level.queue_name(),
+                t.node(node).level,
+                t.node(node).ordinal
+            );
+        }
+    }
+    println!();
+}
+
+fn main() {
+    tour(&presets::borderline());
+    tour(&presets::kwak());
+    tour(&presets::host());
+}

@@ -1,0 +1,23 @@
+//! PIOMan reproduction suite — facade crate.
+//!
+//! Re-exports every crate of the workspace so examples and downstream users
+//! can depend on one name. The interesting entry points:
+//!
+//! * [`pioman`] — the real-thread task scheduling library (the paper's core
+//!   contribution): [`pioman::TaskManager`], [`pioman::Progression`];
+//! * [`topology`] — machine trees ([`topology::presets::kwak`], ...);
+//! * [`machine`] — the simulated NUMA machine regenerating Tables I–II;
+//! * [`net`] / [`newmad`] / [`madmpi`] — the simulated cluster, the
+//!   NewMadeleine-style engine, and the MPI-like layer with baselines
+//!   regenerating Figs. 4–7.
+//!
+//! See `README.md` for a guided tour and `DESIGN.md` for the paper mapping.
+
+pub use madmpi;
+pub use newmadeleine as newmad;
+pub use piom_cpuset as cpuset;
+pub use piom_des as des;
+pub use piom_machine as machine;
+pub use piom_net as net;
+pub use piom_topology as topology;
+pub use pioman;
