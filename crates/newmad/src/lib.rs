@@ -83,12 +83,15 @@ impl EngineConfig {
     }
 }
 
+/// Completion callback attached to a request.
+type ReqCallback = Box<dyn FnOnce(&mut Sim)>;
+
 /// Observable state of a send/recv request.
 #[derive(Default)]
 struct ReqState {
     complete: bool,
     completed_at: Option<SimTime>,
-    callbacks: Vec<Box<dyn FnOnce(&mut Sim)>>,
+    callbacks: Vec<ReqCallback>,
 }
 
 /// Handle to an asynchronous operation (the `MPI_Request` analogue).
@@ -429,7 +432,7 @@ impl CommEngine {
                         .recv_rndv
                         .get_mut(&key)
                         .unwrap_or_else(|| panic!("DATA for unknown rendezvous {key:?}"));
-                    debug_assert_eq!(st.chunks_left <= of, true);
+                    debug_assert!(st.chunks_left <= of);
                     st.chunks_left -= 1;
                     if st.chunks_left == 0 {
                         Some(e.recv_rndv.remove(&key).expect("present").req)

@@ -5,7 +5,6 @@ use newmadeleine::{CommEngine, EngineConfig};
 use piom_des::{Sim, SimTime};
 use piom_net::{NetParams, Network};
 use proptest::prelude::*;
-use std::rc::Rc;
 
 #[derive(Debug, Clone)]
 struct Msg {

@@ -117,10 +117,10 @@ mod tests {
     fn distance_matrix_is_symmetric_with_zero_diagonal() {
         let t = presets::kwak();
         let m = t.distance_matrix();
-        for a in 0..t.n_cores() {
-            assert_eq!(m[a][a], 0);
-            for b in 0..t.n_cores() {
-                assert_eq!(m[a][b], m[b][a]);
+        for (a, row) in m.iter().enumerate() {
+            assert_eq!(row[a], 0);
+            for (b, &d) in row.iter().enumerate() {
+                assert_eq!(d, m[b][a]);
             }
         }
     }

@@ -85,7 +85,9 @@ fn request_submission_offload_chain() {
                 CpuSet::first_n(8),
                 TaskOptions::repeat(),
             );
-            p.store(1, Ordering::Release);
+            // The chained task may already have completed (phase 2) on
+            // another core by the time we get here; never move phase back.
+            p.fetch_max(1, Ordering::AcqRel);
             TaskStatus::Done
         },
         CpuSet::first_n(8),

@@ -1,0 +1,59 @@
+//! Test configuration and the deterministic RNG driving generation.
+
+/// Configuration for a `proptest!` block (shim: case count only).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Matches the real crate's default.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Deterministic generator state: SplitMix64 seeded from the test name, so
+/// every run of a given test explores the identical input sequence.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the RNG from a test name (FNV-1a hash).
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        // SplitMix64 (public domain, Vigna).
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`. `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty sample range");
+        // Multiply-shift rejection-free mapping; bias is < 2^-64 per draw,
+        // irrelevant for test-input generation.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+}
