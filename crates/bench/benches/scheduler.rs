@@ -9,9 +9,19 @@
 //!   analogue of one Table I row, single-threaded on the host);
 //! * the spinlock vs lock-free queue ablation (paper §VI future work);
 //! * Algorithm 2's unlocked-empty fast path vs a forced lock acquisition;
-//! * the cpuset/topology operations on the submit hot path.
+//! * the cpuset/topology operations on the submit hot path;
+//! * batched dequeue: draining a backlog per-task vs per-pass
+//!   (`TaskManager::schedule_batch`);
+//! * steal-vs-spin under skewed load: tasks homed on one core, siblings
+//!   either steal the backlog or only the home core drains it;
+//! * contended submit/schedule from real threads, global queue vs
+//!   per-core queues;
+//! * a NewMadeleine pingpong progressed by the engine (simulated cluster,
+//!   same path `piom-harness bench` records in `BENCH_pioman.json`).
 
+use bench::scenarios;
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use madmpi::{mtlat, MpiImpl};
 use pioman::{ManagerConfig, QueueBackend, TaskManager, TaskOptions, TaskStatus};
 use piom_cpuset::CpuSet;
 use piom_topology::presets;
@@ -50,7 +60,13 @@ fn bench_backend_ablation(c: &mut Criterion) {
         ("spinlock", QueueBackend::Spinlock),
         ("lockfree", QueueBackend::LockFree),
     ] {
-        let mgr = TaskManager::with_config(topo.clone(), ManagerConfig { backend });
+        let mgr = TaskManager::with_config(
+            topo.clone(),
+            ManagerConfig {
+                backend,
+                ..ManagerConfig::default()
+            },
+        );
         g.bench_function(label, |b| {
             b.iter(|| {
                 let h = mgr.submit(
@@ -134,12 +150,110 @@ fn bench_cpuset_topology_ops(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_batched_dequeue(c: &mut Criterion) {
+    // The tentpole win: a backlog of n tasks costs one lock acquisition to
+    // drain instead of n. `drain_1` is the degenerate case (equal to the
+    // per-task path); the gap to `drain_64` is the batching payoff.
+    let mut g = c.benchmark_group("batched_dequeue");
+    let topo = Arc::new(presets::kwak());
+    for n in [1usize, 8, 64] {
+        let mgr = TaskManager::new(topo.clone());
+        g.bench_function(&format!("drain_{n}"), |b| {
+            b.iter_batched(
+                || {
+                    for _ in 0..n {
+                        mgr.submit(|_| TaskStatus::Done, CpuSet::single(0), TaskOptions::oneshot());
+                    }
+                },
+                |()| {
+                    assert_eq!(mgr.schedule_batch(0, n), n);
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_steal_vs_spin(c: &mut Criterion) {
+    // Skewed load (scenarios::submit_skewed): 64 tasks homed on core 0's
+    // queue, cpuset {0..4}. With stealing, cores 1-3 drain the backlog even
+    // though core 0 never schedules (the starved-core scenario). Without
+    // stealing, only core 0 can make progress and the sibling keypoints are
+    // wasted spins.
+    let mut g = c.benchmark_group("steal_vs_spin");
+    let topo = Arc::new(presets::kwak());
+    let steal_on = TaskManager::new(topo.clone());
+    g.bench_function("steal_on_starved_home", |b| {
+        b.iter_batched(
+            || scenarios::submit_skewed(&steal_on),
+            |handles| {
+                // Core 0 is "busy computing": only its siblings schedule.
+                scenarios::drain_until_complete(&steal_on, 1..4, &handles);
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let steal_off = TaskManager::with_config(
+        topo.clone(),
+        ManagerConfig {
+            steal: false,
+            ..ManagerConfig::default()
+        },
+    );
+    g.bench_function("spin_home_drains_alone", |b| {
+        b.iter_batched(
+            || scenarios::submit_skewed(&steal_off),
+            |handles| {
+                // Siblings spin uselessly; the home core does all the work.
+                scenarios::drain_until_complete(&steal_off, 0..4, &handles);
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_contended_queues(c: &mut Criterion) {
+    // Real-thread contention (scenarios::contended_round): 4 threads each
+    // submit+drain a burst. With a shared all-cores cpuset every operation
+    // hits the Global Queue's lock; with per-core cpusets each thread stays
+    // on its own queue (the paper's whole argument for the hierarchy,
+    // measured on the host).
+    let mut g = c.benchmark_group("contended");
+    g.sample_size(20);
+    let topo = Arc::new(presets::kwak());
+    for (label, per_core) in [("global_queue", false), ("per_core_queues", true)] {
+        let mgr = TaskManager::new(topo.clone());
+        g.bench_function(label, |b| {
+            b.iter(|| black_box(scenarios::contended_round(&mgr, per_core)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_newmad_pingpong(c: &mut Criterion) {
+    // The simulated 4-byte pingpong progressed by PIOMan keypoints (one
+    // Fig. 4 point). Measures regeneration cost on the host; the simulated
+    // latency itself is deterministic.
+    let mut g = c.benchmark_group("newmad_pingpong");
+    g.sample_size(20);
+    g.bench_function("mtlat_1_thread", |b| {
+        b.iter(|| black_box(mtlat::run_mtlat(MpiImpl::MadMpi, 1, 20, 42)))
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_submit_schedule_levels,
     bench_backend_ablation,
     bench_empty_scan,
     bench_repeat_polling_task,
-    bench_cpuset_topology_ops
+    bench_cpuset_topology_ops,
+    bench_batched_dequeue,
+    bench_steal_vs_spin,
+    bench_contended_queues,
+    bench_newmad_pingpong
 );
 criterion_main!(benches);

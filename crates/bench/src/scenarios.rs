@@ -1,0 +1,84 @@
+//! Shared scheduler workload shapes, used by both `benches/scheduler.rs`
+//! (criterion, exploratory) and `piom-harness bench` (the recorded
+//! `BENCH_pioman.json` trajectory). One definition per scenario: changing
+//! a load size or drain bound here changes both instruments together.
+
+use pioman::{TaskHandle, TaskManager, TaskOptions, TaskStatus};
+use piom_cpuset::CpuSet;
+
+/// Backlog size of the skewed-load (steal-vs-spin) scenarios.
+pub const SKEWED_LOAD: usize = 64;
+
+/// Tasks per thread in one contended round.
+pub const CONTENDED_OPS: usize = 16;
+
+/// Threads in one contended round.
+pub const CONTENDED_THREADS: usize = 4;
+
+/// Submits [`SKEWED_LOAD`] one-shot tasks all homed on core 0's Per-Core
+/// Queue, runnable by cores 0–3 — the skewed load behind the steal-vs-spin
+/// comparison.
+pub fn submit_skewed(mgr: &TaskManager) -> Vec<TaskHandle> {
+    (0..SKEWED_LOAD)
+        .map(|_| {
+            mgr.submit_on(
+                |_| TaskStatus::Done,
+                0,
+                CpuSet::range(0..4),
+                TaskOptions::oneshot(),
+            )
+        })
+        .collect()
+}
+
+/// Drives keypoints on `cores` round-robin until every handle completes.
+///
+/// # Panics
+///
+/// Panics if the backlog fails to drain within `10 * handles.len()`
+/// rounds — in the starved-home arm (`cores = 1..4`) that means work
+/// stealing failed.
+pub fn drain_until_complete(
+    mgr: &TaskManager,
+    cores: core::ops::Range<usize>,
+    handles: &[TaskHandle],
+) {
+    let mut rounds = 0;
+    while handles.iter().any(|h| !h.is_complete()) {
+        for core in cores.clone() {
+            mgr.schedule(core);
+        }
+        rounds += 1;
+        assert!(
+            rounds <= 10 * handles.len(),
+            "scheduler failed to drain the backlog via cores {cores:?}"
+        );
+    }
+}
+
+/// One contended round: [`CONTENDED_THREADS`] real threads each
+/// submit+drain [`CONTENDED_OPS`] one-shot tasks. With `per_core`, thread
+/// *i* stays on core *i*'s own queue; otherwise every operation goes
+/// through the Global Queue's lock (the contention the hierarchy removes).
+///
+/// Returns the total number of operations, for per-op normalization.
+pub fn contended_round(mgr: &TaskManager, per_core: bool) -> usize {
+    std::thread::scope(|s| {
+        for core in 0..CONTENDED_THREADS {
+            s.spawn(move || {
+                for _ in 0..CONTENDED_OPS {
+                    let set = if per_core {
+                        CpuSet::single(core)
+                    } else {
+                        CpuSet::first_n(16)
+                    };
+                    let h = mgr.submit(|_| TaskStatus::Done, set, TaskOptions::oneshot());
+                    while !h.is_complete() {
+                        mgr.schedule(core);
+                    }
+                }
+            });
+        }
+    });
+    CONTENDED_THREADS * CONTENDED_OPS
+}

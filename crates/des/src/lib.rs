@@ -16,6 +16,21 @@
 //! Events are boxed `FnOnce(&mut Sim)` closures. Model state lives in
 //! `Rc<RefCell<...>>` captured by the closures — the kernel itself is
 //! single-threaded and allocation-light.
+//!
+//! # Quick start
+//!
+//! ```
+//! use piom_des::{Sim, SimTime};
+//!
+//! let mut sim = Sim::new();
+//! // An event may schedule follow-up events relative to its own time.
+//! sim.schedule(SimTime::from_us(3), |sim| {
+//!     sim.schedule(SimTime::from_us(2), |_| {});
+//! });
+//! let end = sim.run();
+//! assert_eq!(end, SimTime::from_us(5));
+//! assert_eq!(sim.events_executed(), 2);
+//! ```
 
 #![warn(missing_docs)]
 

@@ -1,0 +1,313 @@
+//! The perf-trajectory recorder: `piom-harness bench [--json]`.
+//!
+//! Unlike the table/figure regenerators (simulated, bit-deterministic),
+//! these measure the *real-thread* scheduler hot paths on the host and one
+//! simulated pingpong, and write them to `BENCH_pioman.json` so successive
+//! PRs accumulate a comparable perf trajectory. The benchmark *set* and the
+//! JSON structure are deterministic; the `mean_ns` values are wall-clock
+//! measurements and vary with the host (methodology in `EXPERIMENTS.md`).
+//!
+//! Each scenario also asserts its own correctness invariant (e.g. the
+//! starved-core steal scenario panics if the backlog does not drain), so a
+//! bench run doubles as a smoke test of the scheduling fast paths.
+
+use bench::scenarios;
+use madmpi::{mtlat, MpiImpl};
+use pioman::{ManagerConfig, TaskManager, TaskOptions, TaskStatus};
+use piom_cpuset::CpuSet;
+use piom_topology::presets;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Options for one suite run.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchOptions {
+    /// Timed iterations per benchmark.
+    pub iters: u64,
+    /// Seed recorded in the output (and fed to the simulated pingpong).
+    pub seed: u64,
+}
+
+impl BenchOptions {
+    /// The full preset recorded into the committed trajectory.
+    pub fn full() -> Self {
+        BenchOptions {
+            iters: 2_000,
+            seed: crate::SEED,
+        }
+    }
+
+    /// A small preset for CI smoke runs (`--quick`): same benchmark set,
+    /// fewer iterations.
+    pub fn quick() -> Self {
+        BenchOptions {
+            iters: 50,
+            seed: crate::SEED,
+        }
+    }
+}
+
+/// One measured benchmark: the unit of the `BENCH_pioman.json` schema
+/// (`name → {mean_ns, iters, seed}`).
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Stable benchmark identifier (the JSON key).
+    pub name: &'static str,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Iterations averaged over.
+    pub iters: u64,
+    /// Seed the run was configured with.
+    pub seed: u64,
+}
+
+/// Times `iters` runs of `routine` (after `setup`) and returns the mean.
+fn measure<S, R>(
+    name: &'static str,
+    opts: &BenchOptions,
+    mut setup: S,
+    mut routine: R,
+) -> BenchResult
+where
+    S: FnMut(),
+    R: FnMut(),
+{
+    // One untimed warmup pays lazy-init costs outside the measurement.
+    setup();
+    routine();
+    let mut total_ns = 0u128;
+    for _ in 0..opts.iters {
+        setup();
+        let t0 = Instant::now();
+        routine();
+        total_ns += t0.elapsed().as_nanos();
+    }
+    BenchResult {
+        name,
+        mean_ns: total_ns as f64 / opts.iters as f64,
+        iters: opts.iters,
+        seed: opts.seed,
+    }
+}
+
+/// Submit→schedule→complete round-trip on a Per-Core Queue.
+fn submit_schedule_percore(opts: &BenchOptions) -> BenchResult {
+    let mgr = TaskManager::new(presets::kwak().into());
+    measure("submit_schedule_percore", opts, || (), || {
+        let h = mgr.submit(|_| TaskStatus::Done, CpuSet::single(0), TaskOptions::oneshot());
+        mgr.schedule(0);
+        assert!(h.is_complete());
+    })
+}
+
+/// The same round-trip through the Global Queue (all-cores cpuset).
+fn submit_schedule_global(opts: &BenchOptions) -> BenchResult {
+    let mgr = TaskManager::new(presets::kwak().into());
+    measure("submit_schedule_global", opts, || (), || {
+        let h = mgr.submit(|_| TaskStatus::Done, CpuSet::first_n(16), TaskOptions::oneshot());
+        mgr.schedule(9);
+        assert!(h.is_complete());
+    })
+}
+
+/// Draining a 64-task backlog with batched dequeue (one lock acquisition
+/// per pass instead of one per task).
+fn schedule_batch_drain(opts: &BenchOptions) -> BenchResult {
+    const LOAD: usize = 64;
+    let mgr = TaskManager::new(presets::kwak().into());
+    measure(
+        "schedule_batch_drain_64",
+        opts,
+        || {
+            for _ in 0..LOAD {
+                mgr.submit(|_| TaskStatus::Done, CpuSet::single(0), TaskOptions::oneshot());
+            }
+        },
+        || {
+            assert_eq!(mgr.schedule_batch(0, LOAD), LOAD);
+        },
+    )
+}
+
+/// The starved-core scenario ([`scenarios::submit_skewed`]): 64 tasks
+/// homed on core 0 (cpuset `{0..4}`), but core 0 never schedules — its
+/// NUMA siblings must finish everything by stealing. Panics (failing the
+/// bench) if the backlog does not drain, so the recorded number is also
+/// evidence the scenario completes.
+fn steal_starved_core(opts: &BenchOptions) -> BenchResult {
+    let mgr = TaskManager::new(presets::kwak().into());
+    let handles = std::cell::RefCell::new(Vec::new());
+    let result = measure(
+        "steal_starved_core",
+        opts,
+        || *handles.borrow_mut() = scenarios::submit_skewed(&mgr),
+        || {
+            // Core 0 is "busy computing": only its siblings schedule.
+            scenarios::drain_until_complete(&mgr, 1..4, &handles.borrow());
+        },
+    );
+    let stats = mgr.stats();
+    assert!(
+        stats.total_stolen() > 0 && stats.executed_by_core[0] == 0,
+        "the starved core must complete via steals only"
+    );
+    result
+}
+
+/// The control arm: same skewed load, stealing disabled, every core
+/// scheduled — the home core drains its backlog alone while the siblings'
+/// keypoints find nothing.
+fn spin_home_drains_alone(opts: &BenchOptions) -> BenchResult {
+    let mgr = TaskManager::with_config(
+        Arc::new(presets::kwak()),
+        ManagerConfig {
+            steal: false,
+            ..ManagerConfig::default()
+        },
+    );
+    let handles = std::cell::RefCell::new(Vec::new());
+    measure(
+        "spin_home_drains_alone",
+        opts,
+        || *handles.borrow_mut() = scenarios::submit_skewed(&mgr),
+        || scenarios::drain_until_complete(&mgr, 0..4, &handles.borrow()),
+    )
+}
+
+/// Contended submit/schedule: 4 real threads hammering the Global Queue.
+fn contended_global(opts: &BenchOptions) -> BenchResult {
+    contended("contended_global_queue", opts, false)
+}
+
+/// The hierarchy counterpart: 4 real threads, each on its own Per-Core
+/// Queue — the contention the hierarchy removes.
+fn contended_percore(opts: &BenchOptions) -> BenchResult {
+    contended("contended_percore_queues", opts, true)
+}
+
+fn contended(name: &'static str, opts: &BenchOptions, per_core: bool) -> BenchResult {
+    // Thread spawn/join dominates a single round-trip, so contended runs
+    // use fewer, heavier iterations; the recorded mean is per inner op.
+    let iters = (opts.iters / 10).max(5);
+    let scaled = BenchOptions { iters, ..*opts };
+    let mgr = TaskManager::new(presets::kwak().into());
+    let mut ops = 0;
+    let mut r = measure(name, &scaled, || (), || {
+        ops = scenarios::contended_round(&mgr, per_core);
+    });
+    r.mean_ns /= ops as f64;
+    r
+}
+
+/// One Fig. 4 point: the simulated 4-byte pingpong progressed by PIOMan
+/// keypoints (regeneration cost on the host; the simulated latency itself
+/// is deterministic).
+fn newmad_pingpong(opts: &BenchOptions) -> BenchResult {
+    let seed = opts.seed;
+    let scaled = BenchOptions {
+        iters: (opts.iters / 10).max(5),
+        ..*opts
+    };
+    measure("newmad_pingpong", &scaled, || (), || {
+        let r = mtlat::run_mtlat(MpiImpl::MadMpi, 1, 20, seed);
+        assert!(r.mean_latency_us > 0.0);
+    })
+}
+
+/// Runs the whole suite. The returned vector's order and names are stable:
+/// they are the `BENCH_pioman.json` keys future PRs diff against.
+pub fn run_suite(opts: &BenchOptions) -> Vec<BenchResult> {
+    vec![
+        submit_schedule_percore(opts),
+        submit_schedule_global(opts),
+        schedule_batch_drain(opts),
+        steal_starved_core(opts),
+        spin_home_drains_alone(opts),
+        contended_global(opts),
+        contended_percore(opts),
+        newmad_pingpong(opts),
+    ]
+}
+
+/// Human-readable table of one suite run.
+pub fn render_text(results: &[BenchResult]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "BENCH — real-thread scheduler hot paths (host-dependent; trajectory in BENCH_pioman.json)"
+    );
+    let _ = writeln!(out, "{:<28}{:>14}{:>10}{:>8}", "benchmark", "mean (ns)", "iters", "seed");
+    for r in results {
+        let _ = writeln!(
+            out,
+            "{:<28}{:>14.1}{:>10}{:>8}",
+            r.name, r.mean_ns, r.iters, r.seed
+        );
+    }
+    out
+}
+
+/// The `BENCH_pioman.json` document: a map from benchmark name to
+/// `{"mean_ns": …, "iters": …, "seed": …}`. Hand-rolled (the workspace is
+/// offline, no serde); names are plain identifiers so no escaping is
+/// needed.
+pub fn render_json(results: &[BenchResult]) -> String {
+    let mut out = String::from("{\n");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "  \"{}\": {{ \"mean_ns\": {:.1}, \"iters\": {}, \"seed\": {} }}{}",
+            r.name, r.mean_ns, r.iters, r.seed, comma
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_covers_the_required_scenarios_and_completes() {
+        let results = run_suite(&BenchOptions { iters: 3, seed: 42 });
+        assert!(results.len() >= 4, "trajectory needs at least 4 benchmarks");
+        let names: Vec<_> = results.iter().map(|r| r.name).collect();
+        for required in [
+            "submit_schedule_percore",
+            "schedule_batch_drain_64",
+            "steal_starved_core",
+            "contended_global_queue",
+            "newmad_pingpong",
+        ] {
+            assert!(names.contains(&required), "missing benchmark {required:?}");
+        }
+        let mut unique = names.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), names.len(), "duplicate benchmark names");
+        for r in &results {
+            assert!(r.mean_ns > 0.0, "{} measured nothing", r.name);
+            assert!(r.iters > 0);
+        }
+    }
+
+    #[test]
+    fn json_structure_is_stable_and_well_formed() {
+        let a = run_suite(&BenchOptions { iters: 2, seed: 42 });
+        let b = run_suite(&BenchOptions { iters: 2, seed: 42 });
+        // The key set (the schema) must not vary run to run, even though
+        // the measured values do.
+        let keys = |rs: &[BenchResult]| rs.iter().map(|r| r.name).collect::<Vec<_>>();
+        assert_eq!(keys(&a), keys(&b));
+        let json = render_json(&a);
+        assert!(json.starts_with("{\n") && json.ends_with("}\n"));
+        assert_eq!(json.matches("mean_ns").count(), a.len());
+        assert_eq!(json.matches("\"iters\"").count(), a.len());
+        assert_eq!(json.matches("\"seed\"").count(), a.len());
+        // No trailing comma before the closing brace.
+        assert!(!json.contains(",\n}"));
+    }
+}

@@ -6,6 +6,8 @@
 
 #![warn(missing_docs)]
 
+pub mod bench;
+
 use madmpi::overlap::{sweep, ComputeSide};
 use madmpi::{mtlat, MpiImpl};
 use piom_des::{Sim, SimTime};

@@ -1,12 +1,63 @@
 //! CLI entry: `piom-harness <experiment>` prints one (or `all`) of the
-//! paper's tables/figures regenerated on the simulated testbeds.
+//! paper's tables/figures regenerated on the simulated testbeds, and
+//! `piom-harness bench [--json] [--quick] [--out PATH]` measures the
+//! real-thread scheduler hot paths (writing the `BENCH_pioman.json`
+//! perf trajectory with `--json`).
+
+use piom_harness::bench;
+
+fn usage() -> ! {
+    eprintln!("usage: piom-harness <experiment>");
+    eprintln!("       piom-harness bench [--json] [--quick] [--out PATH]");
+    eprintln!("experiments: {}", piom_harness::EXPERIMENTS.join(", "));
+    std::process::exit(2);
+}
+
+fn run_bench(args: &[String]) {
+    let mut json = false;
+    let mut opts = bench::BenchOptions::full();
+    let mut out_path = String::from("BENCH_pioman.json");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--quick" => opts = bench::BenchOptions::quick(),
+            "--out" => match it.next() {
+                Some(p) => {
+                    out_path = p.clone();
+                    // Naming an output file is asking for the file.
+                    json = true;
+                }
+                None => {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown bench flag {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let results = bench::run_suite(&opts);
+    print!("{}", bench::render_text(&results));
+    if json {
+        if let Err(e) = std::fs::write(&out_path, bench::render_json(&results)) {
+            eprintln!("cannot write {out_path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {out_path}");
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: piom-harness <experiment>");
-        eprintln!("experiments: {}", piom_harness::EXPERIMENTS.join(", "));
-        std::process::exit(2);
+        usage();
+    }
+    if args[0] == "bench" {
+        run_bench(&args[1..]);
+        return;
     }
     for what in &args {
         match piom_harness::run(what) {

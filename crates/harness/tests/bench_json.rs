@@ -1,0 +1,67 @@
+//! Integration coverage for `piom-harness bench --json`: the binary must
+//! emit a well-formed `BENCH_pioman.json` whose schema (benchmark name →
+//! mean_ns/iters/seed) is stable across runs.
+
+use std::process::Command;
+
+fn bench_json_at(path: &std::path::Path) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_piom-harness"))
+        .args(["bench", "--json", "--quick", "--out"])
+        .arg(path)
+        .output()
+        .expect("spawn piom-harness bench");
+    assert!(
+        out.status.success(),
+        "bench exited {:?}: {}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("BENCH"), "missing text report:\n{stdout}");
+    std::fs::read_to_string(path).expect("BENCH_pioman.json written")
+}
+
+#[test]
+fn bench_binary_writes_trajectory_json() {
+    let dir = std::env::temp_dir().join(format!("piom-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("BENCH_pioman.json");
+
+    let json = bench_json_at(&path);
+    // Schema: one entry per benchmark, each carrying the three fields.
+    let entries = json.matches("mean_ns").count();
+    assert!(entries >= 4, "trajectory needs >= 4 benchmarks:\n{json}");
+    assert_eq!(json.matches("\"iters\"").count(), entries);
+    assert_eq!(json.matches("\"seed\"").count(), entries);
+    for name in [
+        "submit_schedule_percore",
+        "schedule_batch_drain_64",
+        "steal_starved_core",
+        "contended_global_queue",
+    ] {
+        assert!(json.contains(&format!("\"{name}\"")), "missing {name}:\n{json}");
+    }
+    assert!(json.trim_start().starts_with('{') && json.trim_end().ends_with('}'));
+    assert!(!json.contains(",\n}"), "trailing comma before closing brace");
+
+    // The schema is deterministic: a second run yields the same key lines
+    // modulo the measured numbers.
+    let keys = |s: &str| {
+        s.lines()
+            .filter_map(|l| l.split('"').nth(1).map(str::to_owned))
+            .collect::<Vec<_>>()
+    };
+    let again = bench_json_at(&path);
+    assert_eq!(keys(&json), keys(&again));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bench_rejects_unknown_flags() {
+    let out = Command::new(env!("CARGO_BIN_EXE_piom-harness"))
+        .args(["bench", "--frobnicate"])
+        .output()
+        .expect("spawn piom-harness bench");
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -19,6 +19,23 @@
 //! * [`threads`] — a simulated thread scheduler (run queues, context
 //!   switches, timer ticks, idle detection) with PIOMan keypoint hooks: the
 //!   MARCEL substitute used by the latency/overlap experiments.
+//!
+//! # Quick start
+//!
+//! Regenerate one Table I cell: the mean cost of submitting from core 0
+//! and executing through a given queue, on the simulated `borderline`
+//! machine (costs grow with the queue's topological span):
+//!
+//! ```
+//! use piom_machine::{simsched, CostModel};
+//! use piom_topology::presets;
+//!
+//! let topo = presets::borderline();
+//! let cost = CostModel::borderline();
+//! let per_core = simsched::microbench(&topo, &cost, topo.core_node(0), 50, 42);
+//! let global = simsched::microbench(&topo, &cost, topo.root(), 50, 42);
+//! assert!(per_core.mean_ns() < global.mean_ns());
+//! ```
 
 #![warn(missing_docs)]
 

@@ -1,6 +1,6 @@
 //! The communication/computation overlap benchmark (paper Figs. 5–7).
 //!
-//! Method of Shet et al. [15], as used in §V-C: post a non-blocking
+//! Method of Shet et al. \[15\], as used in §V-C: post a non-blocking
 //! operation, compute for `T`, then wait; the overlap ratio is
 //! `T / T_total` where `T_total` is the time from the non-blocking call to
 //! the return of the wait. A ratio near 1 means the transfer was fully

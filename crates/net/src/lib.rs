@@ -12,11 +12,37 @@
 //!   `occupancy + size·per_byte + latency`;
 //! * [`Network::rdma_read`] — one-sided transfer that completes without any
 //!   remote CPU involvement, the mechanism MVAPICH/OpenMPI-class rendezvous
-//!   uses to overlap on the sender side (paper §II-B, [10]).
+//!   uses to overlap on the sender side (paper §II-B, \[10\]).
 //!
 //! Payload bytes are optional ([`Message::data`]): protocol experiments care
 //! about sizes and timing; correctness tests can attach real `Bytes` and
 //! check end-to-end integrity.
+//!
+//! # Quick start
+//!
+//! ```
+//! use piom_des::Sim;
+//! use piom_net::{Message, NetParams, Network};
+//! use std::cell::Cell;
+//! use std::rc::Rc;
+//!
+//! let net = Network::new(2, 1, NetParams::infiniband());
+//! let delivered = Rc::new(Cell::new(0u32));
+//! let d = delivered.clone();
+//! net.nic(1, 0).set_rx_handler(Rc::new(move |_sim, msg: Message| {
+//!     assert_eq!(msg.size, 1024);
+//!     d.set(d.get() + 1);
+//! }));
+//!
+//! let mut sim = Sim::new();
+//! net.send(
+//!     &mut sim,
+//!     Message { src: 0, dst: 1, rail: 0, tag: 7, size: 1024, data: None },
+//! );
+//! sim.run();
+//! assert_eq!(delivered.get(), 1);
+//! assert_eq!(net.nic(0, 0).tx_count(), 1);
+//! ```
 
 #![warn(missing_docs)]
 

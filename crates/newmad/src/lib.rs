@@ -11,7 +11,7 @@
 //! * **rendezvous protocol** for large messages, in two flavours:
 //!   two-sided RTS/CTS/DATA (what NewMadeleine's progression engine
 //!   drives in the background) and RDMA-read RTS/FIN (the
-//!   MVAPICH/OpenMPI-class protocol of [10], where the receiver pulls the
+//!   MVAPICH/OpenMPI-class protocol of \[10\], where the receiver pulls the
 //!   data and the sender only learns of completion from the FIN);
 //! * **poll-driven progress**: incoming packets sit in the NIC receive
 //!   queue until someone calls [`CommEngine::poll`]. *Who* polls and *when*

@@ -31,7 +31,7 @@ pub enum Wire {
         /// Full payload size.
         size: u64,
         /// `true` if the sender exposes the buffer for RDMA read
-        /// (the MVAPICH/OpenMPI-class protocol of [10]).
+        /// (the MVAPICH/OpenMPI-class protocol of \[10\]).
         rdma: bool,
     },
     /// Clear-to-send: the receiver matched the RTS and is ready.

@@ -22,7 +22,13 @@
 //! * the thread scheduler calls the task manager at **keypoints** — CPU
 //!   idleness, context switches, timer interrupts — so communication makes
 //!   progress inside scheduling holes and overlaps with computation
-//!   ([`HookPoint`], [`Progression`]).
+//!   ([`HookPoint`], [`Progression`]);
+//! * beyond the paper, the scan is **batched** — a keypoint that finds a
+//!   backlog drains a whole pass under one lock acquisition
+//!   ([`TaskManager::schedule_batch`]) — and idle cores **steal** work
+//!   from the nearest sibling queue by topological distance instead of
+//!   spinning, honoring each task's `CpuSet` ([`ManagerConfig::steal`],
+//!   [`TaskManager::submit_on`]; policy rationale in `DESIGN.md` §5).
 //!
 //! # Quick start
 //!
@@ -58,7 +64,7 @@ mod task;
 
 pub use completion::{TaskError, TaskHandle};
 pub use manager::{HookPoint, ManagerConfig, QueueBackend, TaskManager};
-pub use progression::{Progression, ProgressionConfig};
+pub use progression::{Progression, ProgressionConfig, DEFAULT_BATCH};
 pub use queue::QueueId;
 pub use stats::{ManagerStats, QueueStats};
 pub use task::{Task, TaskContext, TaskOptions, TaskStatus};

@@ -26,10 +26,25 @@ pub enum QueueBackend {
 }
 
 /// Task-manager construction options.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ManagerConfig {
     /// Queue storage choice.
     pub backend: QueueBackend,
+    /// Locality-aware work stealing: when a core's own hierarchy scan
+    /// (Algorithm 1) finds nothing runnable, it probes the other queues in
+    /// [`Topology::steal_order`] — nearest sibling first — and takes the
+    /// oldest task whose [`CpuSet`] admits it. Enabled by default; the
+    /// steal-vs-spin benchmarks flip it off for comparison.
+    pub steal: bool,
+}
+
+impl Default for ManagerConfig {
+    fn default() -> Self {
+        ManagerConfig {
+            backend: QueueBackend::default(),
+            steal: true,
+        }
+    }
 }
 
 /// Thread-scheduler keypoints at which the task manager is invoked
@@ -68,6 +83,13 @@ pub struct TaskManager {
     hook_counts: [AtomicU64; 3],
     /// Progression workers to unpark when work arrives, one slot per core.
     wakers: Vec<Mutex<Option<Thread>>>,
+    /// Per-core victim queue order (nearest sibling first), precomputed
+    /// from [`Topology::steal_order`] at construction.
+    steal_order: Vec<Vec<u32>>,
+    /// Successful steals per thief core.
+    steals: Vec<AtomicU64>,
+    /// Steal probes per thief core (a probe is one empty hierarchy scan).
+    steal_attempts: Vec<AtomicU64>,
     config: ManagerConfig,
 }
 
@@ -93,14 +115,28 @@ impl TaskManager {
                 }
             })
             .collect();
-        let executed_by_core = (0..topo.n_cores()).map(|_| AtomicU64::new(0)).collect();
-        let wakers = (0..topo.n_cores()).map(|_| Mutex::new(None)).collect();
+        let n_cores = topo.n_cores();
+        let executed_by_core = (0..n_cores).map(|_| AtomicU64::new(0)).collect();
+        let wakers = (0..n_cores).map(|_| Mutex::new(None)).collect();
+        let steal_order = (0..n_cores)
+            .map(|c| {
+                topo.steal_order(c)
+                    .into_iter()
+                    .map(|id| id.index() as u32)
+                    .collect()
+            })
+            .collect();
+        let steals = (0..n_cores).map(|_| AtomicU64::new(0)).collect();
+        let steal_attempts = (0..n_cores).map(|_| AtomicU64::new(0)).collect();
         Arc::new(TaskManager {
             topo,
             queues,
             executed_by_core,
             hook_counts: Default::default(),
             wakers,
+            steal_order,
+            steals,
+            steal_attempts,
             config,
         })
     }
@@ -139,7 +175,18 @@ impl TaskManager {
             .topo
             .smallest_covering(&effective)
             .unwrap_or_else(|| panic!("cpuset {cpuset} selects no core of this machine"));
-        let home = QueueId(node.index() as u32);
+        self.enqueue_task(body, QueueId(node.index() as u32), effective, options)
+    }
+
+    /// Common submission tail: build the task, enqueue it on `home`, wake
+    /// the cores that may run it.
+    fn enqueue_task(
+        &self,
+        body: TaskFn,
+        home: QueueId,
+        effective: CpuSet,
+        options: TaskOptions,
+    ) -> TaskHandle {
         let completion = Completion::new();
         let handle = TaskHandle {
             completion: completion.clone(),
@@ -164,6 +211,51 @@ impl TaskManager {
         self.submit(body, self.topo.all_cores(), options)
     }
 
+    /// Submits a task with a *home-core placement hint*: the task is
+    /// enqueued on `home`'s Per-Core Queue instead of the smallest node
+    /// covering `cpuset`.
+    ///
+    /// This is the work-stealing counterpart of [`submit`](Self::submit):
+    /// `home` names the core expected to run the task (it dequeues from its
+    /// local queue with an uncontended lock), while `cpuset` names every
+    /// core *allowed* to — if `home` falls behind, those cores steal the
+    /// backlog in [`Topology::steal_order`] (nearest sibling first). With
+    /// plain `submit`, a multi-core cpuset lands in a shared queue whose
+    /// lock every allowed core hits on the fast path; `submit_on` keeps the
+    /// fast path private and pays the shared-lock cost only when stealing
+    /// actually happens.
+    ///
+    /// A repeat task re-enqueues on its home queue after every run, even a
+    /// stolen one, so a transient imbalance does not permanently migrate
+    /// polling work away from its preferred core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `home` is outside the topology or not contained in
+    /// `cpuset` (a home the task may never run on would strand it).
+    pub fn submit_on<F>(
+        &self,
+        body: F,
+        home: usize,
+        cpuset: CpuSet,
+        options: TaskOptions,
+    ) -> TaskHandle
+    where
+        F: FnMut(&TaskContext<'_>) -> TaskStatus + Send + 'static,
+    {
+        assert!(
+            home < self.topo.n_cores(),
+            "home core {home} outside topology"
+        );
+        let effective = cpuset & self.topo.all_cores();
+        assert!(
+            effective.contains(home),
+            "home core {home} not in cpuset {cpuset}"
+        );
+        let home_queue = QueueId(self.topo.core_node(home).index() as u32);
+        self.enqueue_task(Box::new(body), home_queue, effective, options)
+    }
+
     /// The paper's **Algorithm 1** (`Task Schedule`), invoked from scheduler
     /// keypoints: starting at `core`'s Per-Core Queue and walking up to the
     /// Global Queue, run every task found. Repeat tasks that report
@@ -174,24 +266,80 @@ impl TaskManager {
     /// get exactly one attempt per invocation, matching the paper's "PIOMan
     /// first processes local tasks and scans upper queues" description.
     ///
+    /// When the scan runs dry and stealing is enabled, the core probes the
+    /// other queues nearest-first and takes one eligible task (see
+    /// [`ManagerConfig::steal`]).
+    ///
     /// Returns `true` if at least one task body was executed.
     pub fn schedule(&self, core: usize) -> bool {
-        debug_assert!(core < self.topo.n_cores(), "core id out of range");
-        let mut ran_any = false;
-        for node in self.topo.path_to_root(core) {
-            let queue = &self.queues[node.index()];
-            let pass = queue.len_hint();
-            for _ in 0..pass {
-                let Some(task) = queue.try_dequeue() else {
-                    break; // another core drained it first
-                };
-                ran_any |= self.run_task(task, core, queue);
-            }
-        }
-        ran_any
+        self.schedule_batch(core, usize::MAX) > 0
     }
 
-    /// Runs at most one task visible from `core` (deepest queue first).
+    /// [`schedule`](Self::schedule) with a task budget and batched
+    /// dequeueing: each queue on `core`'s path is drained up to
+    /// `min(pass, budget)` tasks under a **single** lock acquisition,
+    /// instead of re-locking per task. Returns the number of task bodies
+    /// executed (at most `max`).
+    ///
+    /// If the whole hierarchy scan executes nothing and stealing is
+    /// enabled, one steal probe runs before returning, so a starved core
+    /// helps a loaded neighbor instead of reporting idleness.
+    ///
+    /// ```
+    /// use pioman::{TaskManager, TaskOptions, TaskStatus};
+    /// use piom_cpuset::CpuSet;
+    /// use piom_topology::presets;
+    ///
+    /// let mgr = TaskManager::new(presets::kwak().into());
+    /// for _ in 0..8 {
+    ///     mgr.submit(|_| TaskStatus::Done, CpuSet::single(0), TaskOptions::oneshot());
+    /// }
+    /// // One keypoint drains the whole backlog, one lock acquisition for
+    /// // all eight tasks; the budget caps how much one keypoint may run.
+    /// assert_eq!(mgr.schedule_batch(0, 6), 6);
+    /// assert_eq!(mgr.schedule_batch(0, 6), 2);
+    /// assert_eq!(mgr.schedule_batch(0, 6), 0);
+    /// ```
+    pub fn schedule_batch(&self, core: usize, max: usize) -> usize {
+        debug_assert!(core < self.topo.n_cores(), "core id out of range");
+        // Reused per thread so steady-state keypoints never allocate. Taken
+        // (not borrowed): a task body that re-enters the scheduler simply
+        // sees an empty scratch instead of a reentrancy panic.
+        thread_local! {
+            static SCRATCH: core::cell::Cell<Vec<Task>> =
+                const { core::cell::Cell::new(Vec::new()) };
+        }
+        let mut ran = 0;
+        let mut batch = SCRATCH.take();
+        for node in self.topo.path_to_root(core) {
+            if ran >= max {
+                break;
+            }
+            let queue = &self.queues[node.index()];
+            // One *pass* (the queue length at arrival) per queue per call,
+            // so repetitive polling tasks cannot livelock the keypoint.
+            let pass = queue.len_hint().min(max - ran);
+            if pass == 0 {
+                continue;
+            }
+            batch.clear();
+            queue.dequeue_batch(pass, &mut batch);
+            for task in batch.drain(..) {
+                if self.run_task(task, core, queue) {
+                    ran += 1;
+                }
+            }
+        }
+        batch.clear();
+        SCRATCH.set(batch);
+        if ran == 0 && self.config.steal {
+            ran += self.steal_once(core);
+        }
+        ran
+    }
+
+    /// Runs at most one task visible from `core` (deepest queue first),
+    /// with the same steal fallback as [`schedule`](Self::schedule).
     /// Returns `true` if a task body was executed.
     pub fn schedule_one(&self, core: usize) -> bool {
         for node in self.topo.path_to_root(core) {
@@ -205,7 +353,27 @@ impl TaskManager {
                 }
             }
         }
-        false
+        self.config.steal && self.steal_once(core) > 0
+    }
+
+    /// One steal probe for `core`: visit the victim queues nearest-first,
+    /// take and run the oldest task whose cpuset admits `core`. Steals one
+    /// task at a time — batching is for the local fast path; a thief that
+    /// grabbed a whole pass would trade one imbalance for another.
+    /// Returns 1 if a task was stolen and executed, 0 otherwise.
+    fn steal_once(&self, core: usize) -> usize {
+        self.steal_attempts[core].fetch_add(1, Ordering::Relaxed);
+        for &qi in &self.steal_order[core] {
+            let queue = &self.queues[qi as usize];
+            if let Some(task) = queue.try_steal(core) {
+                self.steals[core].fetch_add(1, Ordering::Relaxed);
+                // try_steal only yields tasks whose cpuset admits `core`,
+                // so this never takes run_task's requeue path.
+                self.run_task(task, core, queue);
+                return 1;
+            }
+        }
+        0
     }
 
     /// Executes `task` on `core` if allowed; requeues it otherwise.
@@ -244,8 +412,16 @@ impl TaskManager {
 
     /// Scheduler-keypoint entry: records which hook fired and schedules.
     pub fn hook(&self, point: HookPoint, core: usize) -> bool {
+        self.hook_batch(point, core, usize::MAX) > 0
+    }
+
+    /// [`hook`](Self::hook) with a task budget: records the keypoint and
+    /// runs [`schedule_batch`](Self::schedule_batch). Progression workers
+    /// use this so one keypoint invocation cannot monopolize a core when a
+    /// large backlog arrives at once.
+    pub fn hook_batch(&self, point: HookPoint, core: usize, max: usize) -> usize {
         self.hook_counts[point.index()].fetch_add(1, Ordering::Relaxed);
-        self.schedule(core)
+        self.schedule_batch(core, max)
     }
 
     /// Total tasks currently enqueued anywhere (racy hint).
@@ -283,6 +459,16 @@ impl TaskManager {
                 .collect(),
             executed_by_core: self
                 .executed_by_core
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            stolen_by_core: self
+                .steals
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            steal_attempts_by_core: self
+                .steal_attempts
                 .iter()
                 .map(|c| c.load(Ordering::Relaxed))
                 .collect(),
@@ -553,6 +739,7 @@ mod tests {
             presets::kwak().into(),
             ManagerConfig {
                 backend: QueueBackend::LockFree,
+                ..ManagerConfig::default()
             },
         );
         let h = mgr.submit(
@@ -642,6 +829,193 @@ mod tests {
         assert_eq!(*order.lock(), vec!["urgent-poll", "normal"]);
         mgr.schedule(0);
         assert_eq!(*order.lock(), vec!["urgent-poll", "normal", "urgent-poll"]);
+    }
+
+    fn no_steal_mgr() -> Arc<TaskManager> {
+        TaskManager::with_config(
+            presets::kwak().into(),
+            ManagerConfig {
+                steal: false,
+                ..ManagerConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn schedule_batch_respects_budget_and_drains_in_one_lock() {
+        let mgr = kwak_mgr();
+        for _ in 0..10 {
+            mgr.submit(|_| TaskStatus::Done, CpuSet::single(0), TaskOptions::oneshot());
+        }
+        let locks_before = mgr.stats().queues[mgr.topology().core_node(0).index()]
+            .lock_acquisitions;
+        assert_eq!(mgr.schedule_batch(0, 4), 4);
+        let q = &mgr.stats().queues[mgr.topology().core_node(0).index()];
+        assert_eq!(q.pending, 6);
+        assert_eq!(
+            q.lock_acquisitions - locks_before,
+            1,
+            "one batch, one lock acquisition"
+        );
+        assert_eq!(mgr.schedule_batch(0, usize::MAX), 6);
+    }
+
+    #[test]
+    fn schedule_batch_scans_whole_hierarchy_within_budget() {
+        let mgr = kwak_mgr();
+        let local = mgr.submit(|_| TaskStatus::Done, CpuSet::single(2), TaskOptions::oneshot());
+        let global = mgr.submit_global(|_| TaskStatus::Done, TaskOptions::oneshot());
+        assert_eq!(mgr.schedule_batch(2, 8), 2);
+        assert!(local.is_complete());
+        assert!(global.is_complete());
+    }
+
+    #[test]
+    fn starved_core_completes_backlog_via_steal() {
+        // The satellite scenario: every task is homed on core 1's queue but
+        // cores {0, 1} may run them. Core 1 never schedules (it is "busy
+        // computing"); core 0's keypoints must finish everything by
+        // stealing. Deterministic: single-threaded, driven by hand.
+        let mgr = kwak_mgr();
+        let handles: Vec<_> = (0..16)
+            .map(|_| {
+                mgr.submit_on(
+                    |_| TaskStatus::Done,
+                    1,
+                    CpuSet::from_iter([0, 1]),
+                    TaskOptions::oneshot(),
+                )
+            })
+            .collect();
+        // Core 0's own path is empty: each schedule call steals one task.
+        for round in 0..16 {
+            assert!(mgr.schedule(0), "steal round {round} found nothing");
+        }
+        assert!(handles.iter().all(|h| h.is_complete()));
+        assert!(!mgr.schedule(0), "backlog fully drained");
+        let stats = mgr.stats();
+        assert_eq!(stats.stolen_by_core[0], 16);
+        assert_eq!(stats.executed_by_core[0], 16);
+        assert!(stats.steal_attempts_by_core[0] >= 16);
+        assert_eq!(stats.total_stolen(), 16);
+    }
+
+    #[test]
+    fn steal_never_takes_a_task_whose_cpuset_excludes_the_thief() {
+        // The other satellite scenario: core 2 is idle, core 3's queue is
+        // loaded, but every task's cpuset is {3} — nothing may move.
+        let mgr = kwak_mgr();
+        for _ in 0..4 {
+            mgr.submit(|_| TaskStatus::Done, CpuSet::single(3), TaskOptions::oneshot());
+        }
+        for _ in 0..10 {
+            assert!(!mgr.schedule(2), "core 2 must not run core-3-only work");
+        }
+        let stats = mgr.stats();
+        assert_eq!(stats.stolen_by_core[2], 0);
+        assert!(stats.steal_attempts_by_core[2] >= 10, "probes were made");
+        assert_eq!(mgr.pending_tasks(), 4, "no task lost or displaced");
+        assert_eq!(mgr.schedule_batch(3, usize::MAX), 4);
+    }
+
+    #[test]
+    fn steal_prefers_the_nearest_sibling() {
+        let mgr = kwak_mgr();
+        // Two stealable tasks: one homed on core 5 (same NUMA node as the
+        // thief, core 4), one homed on core 12 (across the interconnect).
+        let near = mgr.submit_on(
+            |_| TaskStatus::Done,
+            5,
+            CpuSet::from_iter([4, 5]),
+            TaskOptions::oneshot(),
+        );
+        let far = mgr.submit_on(
+            |_| TaskStatus::Done,
+            12,
+            CpuSet::from_iter([4, 12]),
+            TaskOptions::oneshot(),
+        );
+        assert!(mgr.schedule(4));
+        assert!(near.is_complete(), "nearest victim first");
+        assert!(!far.is_complete());
+        assert!(mgr.schedule(4));
+        assert!(far.is_complete());
+    }
+
+    #[test]
+    fn stealing_disabled_leaves_foreign_backlogs_alone() {
+        let mgr = no_steal_mgr();
+        let h = mgr.submit_on(
+            |_| TaskStatus::Done,
+            1,
+            CpuSet::from_iter([0, 1]),
+            TaskOptions::oneshot(),
+        );
+        assert!(!mgr.schedule(0), "steal disabled: core 0 spins");
+        assert!(!h.is_complete());
+        let stats = mgr.stats();
+        assert_eq!(stats.stolen_by_core[0], 0);
+        assert_eq!(stats.steal_attempts_by_core[0], 0);
+        assert!(mgr.schedule(1), "home core drains its own queue");
+        assert!(h.is_complete());
+    }
+
+    #[test]
+    fn stolen_repeat_task_requeues_on_its_home_queue() {
+        let mgr = kwak_mgr();
+        let mut polls = 0;
+        let h = mgr.submit_on(
+            move |_| {
+                polls += 1;
+                if polls == 2 {
+                    TaskStatus::Done
+                } else {
+                    TaskStatus::Again
+                }
+            },
+            1,
+            CpuSet::from_iter([0, 1]),
+            TaskOptions::repeat(),
+        );
+        assert!(mgr.schedule(0), "first poll runs stolen on core 0");
+        assert!(!h.is_complete());
+        // The re-enqueue went back to core 1's queue, not the thief's.
+        let home_q = mgr.topology().core_node(1).index();
+        assert_eq!(mgr.stats().queues[home_q].pending, 1);
+        assert!(mgr.schedule(1), "home core finishes it locally");
+        assert!(h.is_complete());
+    }
+
+    #[test]
+    fn lockfree_backend_steals_too() {
+        let mgr = TaskManager::with_config(
+            presets::kwak().into(),
+            ManagerConfig {
+                backend: QueueBackend::LockFree,
+                steal: true,
+            },
+        );
+        let h = mgr.submit_on(
+            |_| TaskStatus::Done,
+            1,
+            CpuSet::from_iter([0, 1]),
+            TaskOptions::oneshot(),
+        );
+        assert!(mgr.schedule(0));
+        assert!(h.is_complete());
+        assert_eq!(mgr.stats().stolen_by_core[0], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in cpuset")]
+    fn submit_on_rejects_home_outside_cpuset() {
+        let mgr = kwak_mgr();
+        let _ = mgr.submit_on(
+            |_| TaskStatus::Done,
+            2,
+            CpuSet::single(3),
+            TaskOptions::oneshot(),
+        );
     }
 
     #[test]

@@ -29,17 +29,22 @@ pub struct ProgressionConfig {
     /// Optional dedicated timer thread that unparks every worker at this
     /// period, independent of submissions.
     pub timer_period: Option<Duration>,
+    /// Task budget per keypoint invocation (see
+    /// [`TaskManager::hook_batch`]): a worker drains at most this many
+    /// tasks per loop iteration, so a flood on one queue cannot keep a
+    /// worker away from its shutdown/park checks indefinitely. Queues are
+    /// drained in batches of up to this size under one lock acquisition.
+    pub batch: usize,
 }
+
+/// Default per-keypoint task budget for progression workers.
+pub const DEFAULT_BATCH: usize = 32;
 
 impl ProgressionConfig {
     /// Workers for every core of the manager's topology, 100 µs park
     /// timeout, no dedicated timer thread.
     pub fn all_cores(mgr: &TaskManager) -> Self {
-        ProgressionConfig {
-            cores: (0..mgr.topology().n_cores()).collect(),
-            park_timeout: Duration::from_micros(100),
-            timer_period: None,
-        }
+        Self::for_cores((0..mgr.topology().n_cores()).collect::<Vec<_>>())
     }
 
     /// Workers for an explicit core list.
@@ -48,6 +53,7 @@ impl ProgressionConfig {
             cores: cores.into(),
             park_timeout: Duration::from_micros(100),
             timer_period: None,
+            batch: DEFAULT_BATCH,
         }
     }
 }
@@ -84,6 +90,7 @@ impl Progression {
                 let shutdown = shutdown.clone();
                 let idle_loops = idle_loops.clone();
                 let park = config.park_timeout;
+                let batch = config.batch.max(1);
                 std::thread::Builder::new()
                     .name(format!("piom-worker-{core}"))
                     .spawn(move || {
@@ -91,7 +98,7 @@ impl Progression {
                         while !shutdown.load(Ordering::Acquire) {
                             // The worker *is* the idle loop: invoke the idle
                             // keypoint; park when nothing was runnable.
-                            let ran = mgr.hook(HookPoint::Idle, core);
+                            let ran = mgr.hook_batch(HookPoint::Idle, core, batch) > 0;
                             if !ran {
                                 idle_loops.fetch_add(1, Ordering::Relaxed);
                                 if !mgr.has_work_for(core) {
@@ -225,9 +232,9 @@ mod tests {
     fn timer_thread_drives_progress_without_submission_wakeups() {
         let mgr = TaskManager::new(presets::uniprocessor().into());
         let config = ProgressionConfig {
-            cores: vec![0],
-            park_timeout: Duration::from_secs(3600), // park "forever"
             timer_period: Some(Duration::from_millis(1)),
+            park_timeout: Duration::from_secs(3600), // park "forever"
+            ..ProgressionConfig::for_cores(vec![0])
         };
         let _prog = Progression::start(mgr.clone(), config);
         // Let the worker park first, then rely on the timer to run the task.

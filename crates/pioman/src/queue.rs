@@ -128,6 +128,73 @@ impl TaskQueue {
         }
     }
 
+    /// Batched Algorithm 2: drains up to `max` tasks into `out` under a
+    /// *single* lock acquisition (the unlocked emptiness test still guards
+    /// the lock). Returns the number of tasks drained.
+    ///
+    /// This is the schedule-side half of batching: where `try_dequeue`
+    /// re-acquires the spinlock once per task, a keypoint that finds a
+    /// backlog of `n` tasks pays one acquisition for all of them.
+    pub(crate) fn dequeue_batch(&self, max: usize, out: &mut Vec<Task>) -> usize {
+        match &self.backend {
+            Backend::Spin { list, len } => {
+                if len.load(Ordering::Acquire) == 0 {
+                    return 0;
+                }
+                let mut guard = list.lock();
+                let take = guard.len().min(max);
+                out.extend(guard.drain(..take));
+                len.store(guard.len(), Ordering::Release);
+                take
+            }
+            Backend::LockFree { list } => {
+                let mut n = 0;
+                while n < max {
+                    let Some(task) = list.pop() else { break };
+                    out.push(task);
+                    n += 1;
+                }
+                n
+            }
+        }
+    }
+
+    /// Steals the oldest task that `thief` is allowed to run, skipping
+    /// tasks whose CPU set excludes it. Unlike `try_dequeue` + requeue,
+    /// ineligible tasks keep their queue position (spinlock backend), so a
+    /// probing thief never reorders work it cannot take.
+    ///
+    /// The lock-free backend cannot scan in place; it pops at most one
+    /// bounded pass, re-pushing ineligible tasks (which moves them to the
+    /// tail — acceptable for the ablation backend, documented in
+    /// `DESIGN.md`).
+    pub(crate) fn try_steal(&self, thief: usize) -> Option<Task> {
+        match &self.backend {
+            Backend::Spin { list, len } => {
+                if len.load(Ordering::Acquire) == 0 {
+                    return None;
+                }
+                let mut guard = list.lock();
+                let pos = guard.iter().position(|t| t.cpuset.contains(thief))?;
+                let task = guard.remove(pos);
+                len.store(guard.len(), Ordering::Release);
+                task
+            }
+            Backend::LockFree { list } => {
+                let mut scan = list.len();
+                while scan > 0 {
+                    scan -= 1;
+                    let task = list.pop()?;
+                    if task.cpuset.contains(thief) {
+                        return Some(task);
+                    }
+                    list.push(task);
+                }
+                None
+            }
+        }
+    }
+
     /// Current length (hint; racy by nature).
     pub(crate) fn len_hint(&self) -> usize {
         match &self.backend {
@@ -166,10 +233,14 @@ mod tests {
     use crate::task::{TaskOptions, TaskStatus};
 
     fn dummy_task(home: QueueId) -> Task {
+        task_for(home, CpuSet::single(0))
+    }
+
+    fn task_for(home: QueueId, cpuset: CpuSet) -> Task {
         Task {
             body: Box::new(|_| TaskStatus::Done),
             options: TaskOptions::oneshot(),
-            cpuset: CpuSet::single(0),
+            cpuset,
             home,
             completion: Completion::new(),
         }
@@ -227,6 +298,79 @@ mod tests {
         q.requeue(t);
         assert_eq!(q.submitted(), 1);
         assert_eq!(q.len_hint(), 1);
+    }
+
+    #[test]
+    fn batch_drains_in_one_lock_acquisition() {
+        let q = spin_queue();
+        for _ in 0..5 {
+            q.enqueue(dummy_task(q.id));
+        }
+        let locks_before = q.lock_stats().unwrap().0;
+        let mut out = Vec::new();
+        assert_eq!(q.dequeue_batch(8, &mut out), 5);
+        assert_eq!(out.len(), 5);
+        assert_eq!(q.len_hint(), 0);
+        assert_eq!(
+            q.lock_stats().unwrap().0 - locks_before,
+            1,
+            "a batch drain must lock exactly once"
+        );
+        // Draining an empty queue takes the unlocked fast path.
+        assert_eq!(q.dequeue_batch(8, &mut out), 0);
+        assert_eq!(q.lock_stats().unwrap().0 - locks_before, 1);
+    }
+
+    #[test]
+    fn batch_respects_max() {
+        let q = spin_queue();
+        for _ in 0..5 {
+            q.enqueue(dummy_task(q.id));
+        }
+        let mut out = Vec::new();
+        assert_eq!(q.dequeue_batch(2, &mut out), 2);
+        assert_eq!(q.len_hint(), 3);
+
+        let lf = lockfree_queue();
+        for _ in 0..5 {
+            lf.enqueue(dummy_task(lf.id));
+        }
+        let mut out = Vec::new();
+        assert_eq!(lf.dequeue_batch(2, &mut out), 2);
+        assert_eq!(lf.len_hint(), 3);
+    }
+
+    #[test]
+    fn steal_skips_ineligible_tasks_without_reordering() {
+        let q = spin_queue();
+        q.enqueue(task_for(q.id, CpuSet::single(0)));
+        q.enqueue(task_for(q.id, CpuSet::from_iter([0, 3])));
+        q.enqueue(task_for(q.id, CpuSet::single(0)));
+        // Thief core 3 takes the (only) eligible task...
+        let stolen = q.try_steal(3).expect("eligible task present");
+        assert!(stolen.cpuset().contains(3));
+        // ...and the two ineligible ones stay, in order, still dequeuable.
+        assert_eq!(q.len_hint(), 2);
+        assert!(q.try_steal(3).is_none());
+        assert!(q.try_dequeue().is_some());
+        assert!(q.try_dequeue().is_some());
+    }
+
+    #[test]
+    fn steal_on_empty_queue_never_locks() {
+        let q = spin_queue();
+        assert!(q.try_steal(1).is_none());
+        assert_eq!(q.lock_stats().unwrap().0, 0);
+    }
+
+    #[test]
+    fn steal_lockfree_backend() {
+        let q = lockfree_queue();
+        q.enqueue(task_for(q.id, CpuSet::single(0)));
+        q.enqueue(task_for(q.id, CpuSet::from_iter([0, 3])));
+        assert!(q.try_steal(3).is_some());
+        assert!(q.try_steal(3).is_none());
+        assert_eq!(q.len_hint(), 1, "ineligible task survives the pass");
     }
 
     #[test]

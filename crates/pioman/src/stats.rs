@@ -33,6 +33,13 @@ pub struct ManagerStats {
     /// Task executions per core — the paper reports this distribution for
     /// the per-chip and global-queue experiments (§V-A).
     pub executed_by_core: Vec<u64>,
+    /// Tasks each core stole from a queue outside its own hierarchy path
+    /// (and then executed). Always zero with stealing disabled.
+    pub stolen_by_core: Vec<u64>,
+    /// Steal probes per core: hierarchy scans that ran dry and went looking
+    /// at victim queues, successful or not. The ratio of steals to attempts
+    /// measures how often idleness found displaceable work.
+    pub steal_attempts_by_core: Vec<u64>,
     /// Invocations of the idle hook.
     pub hook_idle: u64,
     /// Invocations of the context-switch hook.
@@ -50,6 +57,11 @@ impl ManagerStats {
     /// Total submissions across all queues.
     pub fn total_submitted(&self) -> u64 {
         self.queues.iter().map(|q| q.submitted).sum()
+    }
+
+    /// Total tasks stolen across all cores.
+    pub fn total_stolen(&self) -> u64 {
+        self.stolen_by_core.iter().sum()
     }
 
     /// Share of task executions done by each core, as fractions of 1.
@@ -73,9 +85,12 @@ mod tests {
     use super::*;
 
     fn mk(executed_by_core: Vec<u64>) -> ManagerStats {
+        let n = executed_by_core.len();
         ManagerStats {
             queues: vec![],
             executed_by_core,
+            stolen_by_core: vec![0; n],
+            steal_attempts_by_core: vec![0; n],
             hook_idle: 0,
             hook_context_switch: 0,
             hook_timer: 0,

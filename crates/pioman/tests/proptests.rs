@@ -46,7 +46,7 @@ proptest! {
                 .build(),
         );
         let n = topo.n_cores();
-        let mgr = TaskManager::with_config(topo.clone(), ManagerConfig { backend });
+        let mgr = TaskManager::with_config(topo.clone(), ManagerConfig { backend, ..ManagerConfig::default() });
 
         let run_counts: Vec<Arc<AtomicU64>> =
             (0..seeds.len()).map(|_| Arc::new(AtomicU64::new(0))).collect();
@@ -113,7 +113,7 @@ proptest! {
                 .build(),
         );
         let n = topo.n_cores();
-        let mgr = TaskManager::with_config(topo, ManagerConfig { backend });
+        let mgr = TaskManager::with_config(topo, ManagerConfig { backend, ..ManagerConfig::default() });
         let runs = Arc::new(AtomicU64::new(0));
         let r = runs.clone();
         let h = mgr.submit(
@@ -146,7 +146,7 @@ proptest! {
         n_tasks in 1usize..60,
     ) {
         let topo = Arc::new(TopologyBuilder::new("p").cores_per_cache(4).build());
-        let mgr = TaskManager::with_config(topo, ManagerConfig { backend });
+        let mgr = TaskManager::with_config(topo, ManagerConfig { backend, ..ManagerConfig::default() });
         let prog = pioman::Progression::start(
             mgr.clone(),
             pioman::ProgressionConfig::all_cores(&mgr),

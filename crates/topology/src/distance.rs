@@ -6,7 +6,7 @@
 //! classifies a pair of cores; [`Topology::distance`] gives a small integer
 //! usable as a sort key or cost-table index.
 
-use crate::{Level, Topology};
+use crate::{Level, NodeId, Topology};
 
 /// Classification of the relationship between two cores, from closest to
 /// farthest. The discriminant doubles as a distance value.
@@ -74,6 +74,41 @@ impl Topology {
             .map(|a| (0..n).map(|b| self.distance(a, b)).collect())
             .collect()
     }
+
+    /// Victim order for work stealing from `core`: every node *not* on
+    /// `core`'s path to the root (those queues were already scanned by
+    /// Algorithm 1), sorted nearest-first.
+    ///
+    /// "Nearest" is the [`Locality`] distance from `core` to the closest
+    /// core the node spans, so a thief visits its siblings' Per-Core Queues
+    /// before crossing a chip and long before crossing the NUMA
+    /// interconnect — lock traffic from stealing stays as local as the
+    /// hierarchy itself. Ties prefer deeper nodes (a sibling's Per-Core
+    /// Queue over the cache queue spanning it), then lower node ids, so
+    /// the order is fully deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn steal_order(&self, core: usize) -> Vec<NodeId> {
+        let on_path: Vec<NodeId> = self.path_to_root(core).collect();
+        let mut victims: Vec<NodeId> = self
+            .node_ids()
+            .filter(|id| !on_path.contains(id))
+            .collect();
+        victims.sort_by_key(|&id| {
+            let node = self.node(id);
+            let nearest = node
+                .cpuset
+                .iter()
+                .filter(|&c| c < self.n_cores())
+                .map(|c| self.distance(core, c))
+                .min()
+                .unwrap_or(usize::MAX);
+            (nearest, core::cmp::Reverse(node.depth), id.index())
+        });
+        victims
+    }
 }
 
 #[cfg(test)]
@@ -111,6 +146,48 @@ mod tests {
         // Cores 0 and 2: different caches, chip collapsed -> meet at NUMA.
         assert_eq!(t.locality(0, 2), Locality::SameNuma);
         assert_eq!(t.locality(0, 4), Locality::CrossNuma);
+    }
+
+    #[test]
+    fn steal_order_visits_siblings_before_remote_nodes() {
+        let t = presets::kwak();
+        let order = t.steal_order(5);
+        // No node on core 5's own path appears.
+        for id in t.path_to_root(5) {
+            assert!(!order.contains(&id), "own path must not be a victim");
+        }
+        // Every other node appears exactly once.
+        assert_eq!(order.len(), t.n_nodes() - t.path_to_root(5).count());
+        // The first victims are the sibling per-core queues on NUMA #1
+        // (cores 4, 6, 7), in core order.
+        let first_cores: Vec<_> = order
+            .iter()
+            .take(3)
+            .map(|&id| t.node(id).cpuset.first().unwrap())
+            .collect();
+        assert_eq!(first_cores, vec![4, 6, 7]);
+        // Victims never get closer again as we walk the list.
+        let dist_of = |id: &NodeId| {
+            t.node(*id)
+                .cpuset
+                .iter()
+                .map(|c| t.distance(5, c))
+                .min()
+                .unwrap()
+        };
+        for w in order.windows(2) {
+            assert!(dist_of(&w[0]) <= dist_of(&w[1]));
+        }
+    }
+
+    #[test]
+    fn steal_order_prefers_deeper_nodes_on_ties() {
+        let t = presets::borderline();
+        // From core 0, its chip sibling core 1's per-core queue must come
+        // before any other chip's node.
+        let order = t.steal_order(0);
+        assert_eq!(t.node(order[0]).cpuset.first().unwrap(), 1);
+        assert_eq!(t.node(order[0]).level, Level::Core);
     }
 
     #[test]

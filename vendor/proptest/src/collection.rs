@@ -4,7 +4,7 @@ use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 use std::ops::{Range, RangeInclusive};
 
-/// Length bound for [`vec`]: converted from plain ranges or a fixed size.
+/// Length bound for [`vec()`]: converted from plain ranges or a fixed size.
 #[derive(Debug, Clone)]
 pub struct SizeRange {
     lo: usize,
@@ -48,7 +48,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
-/// Strategy returned by [`vec`].
+/// Strategy returned by [`vec()`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,
