@@ -22,9 +22,9 @@
 use bench::scenarios;
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use madmpi::{mtlat, MpiImpl};
-use pioman::{ManagerConfig, QueueBackend, TaskManager, TaskOptions, TaskStatus};
 use piom_cpuset::CpuSet;
 use piom_topology::presets;
+use pioman::{ManagerConfig, QueueBackend, TaskManager, TaskOptions, TaskStatus};
 use std::hint::black_box;
 use std::sync::Arc;
 
@@ -59,11 +59,12 @@ fn bench_backend_ablation(c: &mut Criterion) {
     for (label, backend) in [
         ("spinlock", QueueBackend::Spinlock),
         ("lockfree", QueueBackend::LockFree),
+        ("mutex", QueueBackend::Mutex),
     ] {
         let mgr = TaskManager::with_config(
             topo.clone(),
             ManagerConfig {
-                backend,
+                queue_backend: backend,
                 ..ManagerConfig::default()
             },
         );
@@ -93,7 +94,11 @@ fn bench_empty_scan(c: &mut Criterion) {
     });
     let stats = mgr.stats();
     assert_eq!(
-        stats.queues.iter().map(|q| q.lock_acquisitions).sum::<u64>(),
+        stats
+            .queues
+            .iter()
+            .map(|q| q.lock_acquisitions)
+            .sum::<u64>(),
         0,
         "empty scan must not lock (Algorithm 2)"
     );
@@ -162,7 +167,11 @@ fn bench_batched_dequeue(c: &mut Criterion) {
             b.iter_batched(
                 || {
                     for _ in 0..n {
-                        mgr.submit(|_| TaskStatus::Done, CpuSet::single(0), TaskOptions::oneshot());
+                        mgr.submit(
+                            |_| TaskStatus::Done,
+                            CpuSet::single(0),
+                            TaskOptions::oneshot(),
+                        );
                     }
                 },
                 |()| {

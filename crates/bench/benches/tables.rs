@@ -24,15 +24,7 @@ fn bench_table_rows(c: &mut Criterion) {
         })
     });
     g.bench_function("table2_global_row", |b| {
-        b.iter(|| {
-            black_box(microbench(
-                &kwak,
-                &CostModel::kwak(),
-                kwak.root(),
-                100,
-                7,
-            ))
-        })
+        b.iter(|| black_box(microbench(&kwak, &CostModel::kwak(), kwak.root(), 100, 7)))
     });
     g.bench_function("table2_percore_row", |b| {
         b.iter(|| {

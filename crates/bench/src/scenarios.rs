@@ -3,8 +3,8 @@
 //! `BENCH_pioman.json` trajectory). One definition per scenario: changing
 //! a load size or drain bound here changes both instruments together.
 
-use pioman::{TaskHandle, TaskManager, TaskOptions, TaskStatus};
 use piom_cpuset::CpuSet;
+use pioman::{TaskHandle, TaskManager, TaskOptions, TaskStatus};
 
 /// Backlog size of the skewed-load (steal-vs-spin) scenarios.
 pub const SKEWED_LOAD: usize = 64;
@@ -53,6 +53,41 @@ pub fn drain_until_complete(
             rounds <= 10 * handles.len(),
             "scheduler failed to drain the backlog via cores {cores:?}"
         );
+    }
+}
+
+/// Backlog size of the adaptive-batch ramp scenario: large enough that a
+/// fixed [`pioman::DEFAULT_BATCH`] budget needs many passes, while the
+/// adaptive budget sizes itself to the observed depth.
+pub const ADAPTIVE_RAMP_LOAD: usize = 256;
+
+/// Submits [`ADAPTIVE_RAMP_LOAD`] one-shot tasks on `core`'s Per-Core
+/// Queue — the deep-backlog half of the adaptive-batch scenario.
+pub fn submit_ramp(mgr: &TaskManager, core: usize) -> Vec<TaskHandle> {
+    (0..ADAPTIVE_RAMP_LOAD)
+        .map(|_| {
+            mgr.submit(
+                |_| TaskStatus::Done,
+                CpuSet::single(core),
+                TaskOptions::oneshot(),
+            )
+        })
+        .collect()
+}
+
+/// Drains `core`'s hierarchy the way an adaptive progression worker does:
+/// each keypoint asks [`TaskManager::adaptive_budget`] for its budget and
+/// drains at most that much, until a keypoint runs nothing. Returns the
+/// total number of tasks executed.
+pub fn adaptive_drain(mgr: &TaskManager, core: usize) -> usize {
+    let mut ran = 0;
+    loop {
+        let budget = mgr.adaptive_budget(core);
+        let n = mgr.schedule_batch(core, budget);
+        if n == 0 {
+            return ran;
+        }
+        ran += n;
     }
 }
 

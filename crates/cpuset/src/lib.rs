@@ -359,9 +359,9 @@ impl fmt::Display for CpuSet {
         let mut run_start: Option<usize> = None;
         let mut prev: Option<usize> = None;
         let flush = |f: &mut fmt::Formatter<'_>,
-                         start: usize,
-                         end: usize,
-                         first: &mut bool|
+                     start: usize,
+                     end: usize,
+                     first: &mut bool|
          -> fmt::Result {
             if !*first {
                 write!(f, ",")?;

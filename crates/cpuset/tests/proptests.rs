@@ -4,8 +4,7 @@ use piom_cpuset::CpuSet;
 use proptest::prelude::*;
 
 fn arb_cpuset() -> impl Strategy<Value = CpuSet> {
-    proptest::collection::vec(0usize..CpuSet::MAX_CPUS, 0..64)
-        .prop_map(|v| v.into_iter().collect())
+    proptest::collection::vec(0usize..CpuSet::MAX_CPUS, 0..64).prop_map(|v| v.into_iter().collect())
 }
 
 proptest! {

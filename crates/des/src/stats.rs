@@ -89,9 +89,7 @@ impl OnlineStats {
         let n = self.n + other.n;
         let delta = other.mean - self.mean;
         let mean = self.mean + delta * other.n as f64 / n as f64;
-        let m2 = self.m2
-            + other.m2
-            + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
         self.n = n;
         self.mean = mean;
         self.m2 = m2;
@@ -146,8 +144,7 @@ impl Percentiles {
                 .sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
             self.sorted = true;
         }
-        let rank = ((self.samples.len() as f64 * q).ceil() as usize)
-            .clamp(1, self.samples.len());
+        let rank = ((self.samples.len() as f64 * q).ceil() as usize).clamp(1, self.samples.len());
         Some(self.samples[rank - 1])
     }
 

@@ -164,7 +164,11 @@ mod tests {
         assert_eq!(SimTime::from_ns(100).scale(1.5), SimTime::from_ns(150));
         assert_eq!(SimTime::from_ns(100).scale(0.0), SimTime::ZERO);
         assert_eq!(SimTime::from_ns(100).scale(-2.0), SimTime::ZERO);
-        assert_eq!(SimTime::from_ns(3).scale(0.5), SimTime::from_ns(2), "rounds");
+        assert_eq!(
+            SimTime::from_ns(3).scale(0.5),
+            SimTime::from_ns(2),
+            "rounds"
+        );
     }
 
     #[test]

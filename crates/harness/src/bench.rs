@@ -13,9 +13,9 @@
 
 use bench::scenarios;
 use madmpi::{mtlat, MpiImpl};
-use pioman::{ManagerConfig, TaskManager, TaskOptions, TaskStatus};
 use piom_cpuset::CpuSet;
 use piom_topology::presets;
+use pioman::{ManagerConfig, QueueBackend, TaskManager, TaskOptions, TaskStatus};
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
@@ -94,21 +94,39 @@ where
 /// Submit→schedule→complete round-trip on a Per-Core Queue.
 fn submit_schedule_percore(opts: &BenchOptions) -> BenchResult {
     let mgr = TaskManager::new(presets::kwak().into());
-    measure("submit_schedule_percore", opts, || (), || {
-        let h = mgr.submit(|_| TaskStatus::Done, CpuSet::single(0), TaskOptions::oneshot());
-        mgr.schedule(0);
-        assert!(h.is_complete());
-    })
+    measure(
+        "submit_schedule_percore",
+        opts,
+        || (),
+        || {
+            let h = mgr.submit(
+                |_| TaskStatus::Done,
+                CpuSet::single(0),
+                TaskOptions::oneshot(),
+            );
+            mgr.schedule(0);
+            assert!(h.is_complete());
+        },
+    )
 }
 
 /// The same round-trip through the Global Queue (all-cores cpuset).
 fn submit_schedule_global(opts: &BenchOptions) -> BenchResult {
     let mgr = TaskManager::new(presets::kwak().into());
-    measure("submit_schedule_global", opts, || (), || {
-        let h = mgr.submit(|_| TaskStatus::Done, CpuSet::first_n(16), TaskOptions::oneshot());
-        mgr.schedule(9);
-        assert!(h.is_complete());
-    })
+    measure(
+        "submit_schedule_global",
+        opts,
+        || (),
+        || {
+            let h = mgr.submit(
+                |_| TaskStatus::Done,
+                CpuSet::first_n(16),
+                TaskOptions::oneshot(),
+            );
+            mgr.schedule(9);
+            assert!(h.is_complete());
+        },
+    )
 }
 
 /// Draining a 64-task backlog with batched dequeue (one lock acquisition
@@ -121,7 +139,11 @@ fn schedule_batch_drain(opts: &BenchOptions) -> BenchResult {
         opts,
         || {
             for _ in 0..LOAD {
-                mgr.submit(|_| TaskStatus::Done, CpuSet::single(0), TaskOptions::oneshot());
+                mgr.submit(
+                    |_| TaskStatus::Done,
+                    CpuSet::single(0),
+                    TaskOptions::oneshot(),
+                );
             }
         },
         || {
@@ -177,27 +199,119 @@ fn spin_home_drains_alone(opts: &BenchOptions) -> BenchResult {
 
 /// Contended submit/schedule: 4 real threads hammering the Global Queue.
 fn contended_global(opts: &BenchOptions) -> BenchResult {
-    contended("contended_global_queue", opts, false)
+    contended(
+        "contended_global_queue",
+        opts,
+        false,
+        QueueBackend::Spinlock,
+    )
 }
 
 /// The hierarchy counterpart: 4 real threads, each on its own Per-Core
 /// Queue — the contention the hierarchy removes.
 fn contended_percore(opts: &BenchOptions) -> BenchResult {
-    contended("contended_percore_queues", opts, true)
+    contended(
+        "contended_percore_queues",
+        opts,
+        true,
+        QueueBackend::Spinlock,
+    )
 }
 
-fn contended(name: &'static str, opts: &BenchOptions, per_core: bool) -> BenchResult {
+/// The queue-backend head-to-head: the *identical* contended global-queue
+/// workload run once over the real lock-free Michael–Scott backend and
+/// once over the old mutexed shim (kept as `QueueBackend::Mutex`). The
+/// two adjacent trajectory entries are the ablation the paper's §VI
+/// speculated about: `lockfree_vs_mutex` at parity or better than
+/// `lockfree_vs_mutex_baseline` means replacing the shim paid off.
+fn lockfree_vs_mutex(opts: &BenchOptions) -> [BenchResult; 2] {
+    [
+        contended("lockfree_vs_mutex", opts, false, QueueBackend::LockFree),
+        contended(
+            "lockfree_vs_mutex_baseline",
+            opts,
+            false,
+            QueueBackend::Mutex,
+        ),
+    ]
+}
+
+fn contended(
+    name: &'static str,
+    opts: &BenchOptions,
+    per_core: bool,
+    queue_backend: QueueBackend,
+) -> BenchResult {
     // Thread spawn/join dominates a single round-trip, so contended runs
     // use fewer, heavier iterations; the recorded mean is per inner op.
     let iters = (opts.iters / 10).max(5);
     let scaled = BenchOptions { iters, ..*opts };
-    let mgr = TaskManager::new(presets::kwak().into());
+    let mgr = TaskManager::with_config(
+        Arc::new(presets::kwak()),
+        ManagerConfig {
+            queue_backend,
+            ..ManagerConfig::default()
+        },
+    );
     let mut ops = 0;
-    let mut r = measure(name, &scaled, || (), || {
-        ops = scenarios::contended_round(&mgr, per_core);
-    });
+    let mut r = measure(
+        name,
+        &scaled,
+        || (),
+        || {
+            ops = scenarios::contended_round(&mgr, per_core);
+        },
+    );
     r.mean_ns /= ops as f64;
     r
+}
+
+/// Steal-half under a skewed load: the 64-task backlog homed on core 0,
+/// drained by a *single* thief (core 1) whose every probe takes half the
+/// remaining eligible backlog — 7 probes instead of 64. Compare with
+/// `steal_starved_core` (three thieves racing) and
+/// `spin_home_drains_alone` (the no-steal local drain floor).
+fn steal_half_backlog(opts: &BenchOptions) -> BenchResult {
+    let mgr = TaskManager::new(presets::kwak().into());
+    let handles = std::cell::RefCell::new(Vec::new());
+    let result = measure(
+        "steal_half_backlog",
+        opts,
+        || *handles.borrow_mut() = scenarios::submit_skewed(&mgr),
+        || scenarios::drain_until_complete(&mgr, 1..2, &handles.borrow()),
+    );
+    let stats = mgr.stats();
+    assert!(
+        stats.executed_by_core[0] == 0 && stats.total_stolen() > 0,
+        "the lone thief must complete the backlog via steals only"
+    );
+    assert!(
+        stats.total_stolen() > stats.total_steal_batches(),
+        "steal-half must amortize probes (mean batch > 1 task)"
+    );
+    result
+}
+
+/// A deep backlog drained with per-keypoint budgets sized by
+/// [`TaskManager::adaptive_budget`] instead of the fixed default: the
+/// budget tracks observed queue depth, so the 256-task ramp drains in a
+/// few keypoints rather than `256 / 32` fixed-budget passes.
+fn adaptive_batch_ramp(opts: &BenchOptions) -> BenchResult {
+    let mgr = TaskManager::new(presets::kwak().into());
+    measure(
+        "adaptive_batch_ramp",
+        opts,
+        || {
+            scenarios::submit_ramp(&mgr, 0);
+        },
+        || {
+            assert_eq!(
+                scenarios::adaptive_drain(&mgr, 0),
+                scenarios::ADAPTIVE_RAMP_LOAD,
+                "adaptive budgets must drain the whole ramp"
+            );
+        },
+    )
 }
 
 /// One Fig. 4 point: the simulated 4-byte pingpong progressed by PIOMan
@@ -209,15 +323,21 @@ fn newmad_pingpong(opts: &BenchOptions) -> BenchResult {
         iters: (opts.iters / 10).max(5),
         ..*opts
     };
-    measure("newmad_pingpong", &scaled, || (), || {
-        let r = mtlat::run_mtlat(MpiImpl::MadMpi, 1, 20, seed);
-        assert!(r.mean_latency_us > 0.0);
-    })
+    measure(
+        "newmad_pingpong",
+        &scaled,
+        || (),
+        || {
+            let r = mtlat::run_mtlat(MpiImpl::MadMpi, 1, 20, seed);
+            assert!(r.mean_latency_us > 0.0);
+        },
+    )
 }
 
 /// Runs the whole suite. The returned vector's order and names are stable:
 /// they are the `BENCH_pioman.json` keys future PRs diff against.
 pub fn run_suite(opts: &BenchOptions) -> Vec<BenchResult> {
+    let [lockfree, mutex_baseline] = lockfree_vs_mutex(opts);
     vec![
         submit_schedule_percore(opts),
         submit_schedule_global(opts),
@@ -227,6 +347,10 @@ pub fn run_suite(opts: &BenchOptions) -> Vec<BenchResult> {
         contended_global(opts),
         contended_percore(opts),
         newmad_pingpong(opts),
+        lockfree,
+        mutex_baseline,
+        steal_half_backlog(opts),
+        adaptive_batch_ramp(opts),
     ]
 }
 
@@ -237,7 +361,11 @@ pub fn render_text(results: &[BenchResult]) -> String {
         out,
         "BENCH — real-thread scheduler hot paths (host-dependent; trajectory in BENCH_pioman.json)"
     );
-    let _ = writeln!(out, "{:<28}{:>14}{:>10}{:>8}", "benchmark", "mean (ns)", "iters", "seed");
+    let _ = writeln!(
+        out,
+        "{:<28}{:>14}{:>10}{:>8}",
+        "benchmark", "mean (ns)", "iters", "seed"
+    );
     for r in results {
         let _ = writeln!(
             out,
@@ -281,6 +409,10 @@ mod tests {
             "steal_starved_core",
             "contended_global_queue",
             "newmad_pingpong",
+            "lockfree_vs_mutex",
+            "lockfree_vs_mutex_baseline",
+            "steal_half_backlog",
+            "adaptive_batch_ramp",
         ] {
             assert!(names.contains(&required), "missing benchmark {required:?}");
         }

@@ -1,0 +1,459 @@
+//! The bench-regression gate: `piom-harness bench --compare <old.json>`.
+//!
+//! `BENCH_pioman.json` is a committed perf trajectory — every PR appends a
+//! run, so the numbers tell a story instead of asserting one. This module
+//! closes the loop: it diffs a fresh suite run against a baseline file,
+//! prints per-scenario percentage deltas, and **fails** (nonzero exit in
+//! the CLI) when any scenario's `mean_ns` grew past a threshold (default
+//! [`DEFAULT_THRESHOLD_PCT`]).
+//!
+//! Policy choices, spelled out because a gate is only useful when its
+//! verdicts are explainable (`EXPERIMENTS.md` walks a failure end-to-end):
+//!
+//! * **new scenarios pass** — a PR adding benchmarks must not be punished
+//!   for having no baseline; the row is reported as `new`;
+//! * **removed scenarios warn but do not fail** — dropping a scenario is
+//!   a review concern, not a perf regression; the report lists them;
+//! * **only `mean_ns` is gated** — `iters`/`seed` describe methodology,
+//!   not performance.
+//!
+//! The parser handles exactly the schema `render_json` emits (a JSON
+//! object of `name → {field: number}`) plus arbitrary whitespace, so a
+//! hand-edited baseline still parses; anything else is a hard error —
+//! silently comparing against garbage would make the gate lie.
+
+use crate::bench::BenchResult;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Default regression threshold: a scenario may be up to this many percent
+/// slower than the baseline before the gate fails. Generous on purpose —
+/// quick-mode runs on shared CI runners are noisy; the committed
+/// trajectory is regenerated with full iterations when it matters.
+pub const DEFAULT_THRESHOLD_PCT: f64 = 20.0;
+
+/// One scenario row of a comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioDelta {
+    /// Benchmark name (the JSON key).
+    pub name: String,
+    /// Baseline `mean_ns`, if the scenario existed in the baseline.
+    pub baseline_ns: Option<f64>,
+    /// Freshly measured `mean_ns`.
+    pub current_ns: f64,
+    /// Percentage change vs baseline (positive = slower); `None` for new
+    /// scenarios.
+    pub delta_pct: Option<f64>,
+}
+
+impl ScenarioDelta {
+    /// `true` when this row alone trips a gate at `threshold_pct`.
+    pub fn regressed(&self, threshold_pct: f64) -> bool {
+        self.delta_pct.is_some_and(|d| d > threshold_pct)
+    }
+}
+
+/// The full result of comparing a suite run against a baseline file.
+#[derive(Debug, Clone)]
+pub struct CompareReport {
+    /// Per-scenario rows, in suite order.
+    pub rows: Vec<ScenarioDelta>,
+    /// Scenarios present in the baseline but absent from the current run
+    /// (reported, never failed on).
+    pub removed: Vec<String>,
+    /// The gate threshold the report was built with.
+    pub threshold_pct: f64,
+}
+
+impl CompareReport {
+    /// Rows that exceed the threshold.
+    pub fn regressions(&self) -> Vec<&ScenarioDelta> {
+        self.rows
+            .iter()
+            .filter(|r| r.regressed(self.threshold_pct))
+            .collect()
+    }
+
+    /// `true` when no scenario regressed past the threshold.
+    pub fn gate_passes(&self) -> bool {
+        self.regressions().is_empty()
+    }
+
+    /// Human-readable table plus verdict, the CLI's whole output.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "BENCH COMPARE — current vs baseline (gate: mean_ns regression > {:.1}%)",
+            self.threshold_pct
+        );
+        let _ = writeln!(
+            out,
+            "{:<28}{:>14}{:>14}{:>10}",
+            "scenario", "baseline (ns)", "current (ns)", "delta"
+        );
+        for row in &self.rows {
+            match (row.baseline_ns, row.delta_pct) {
+                (Some(base), Some(delta)) => {
+                    let _ = writeln!(
+                        out,
+                        "{:<28}{:>14.1}{:>14.1}{:>+9.1}%{}",
+                        row.name,
+                        base,
+                        row.current_ns,
+                        delta,
+                        if row.regressed(self.threshold_pct) {
+                            "  << REGRESSION"
+                        } else {
+                            ""
+                        }
+                    );
+                }
+                _ => {
+                    let _ = writeln!(
+                        out,
+                        "{:<28}{:>14}{:>14.1}{:>10}",
+                        row.name, "—", row.current_ns, "new"
+                    );
+                }
+            }
+        }
+        for name in &self.removed {
+            let _ = writeln!(
+                out,
+                "note: baseline scenario {name:?} missing from this run (not gated)"
+            );
+        }
+        let regressions = self.regressions();
+        if regressions.is_empty() {
+            let _ = writeln!(out, "gate: PASS ({} scenarios compared)", self.rows.len());
+        } else {
+            let _ = writeln!(
+                out,
+                "gate: FAIL — {} scenario(s) regressed past +{:.1}%",
+                regressions.len(),
+                self.threshold_pct
+            );
+        }
+        out
+    }
+}
+
+/// Compares a fresh suite run against a parsed baseline.
+pub fn compare(
+    baseline: &BTreeMap<String, f64>,
+    current: &[BenchResult],
+    threshold_pct: f64,
+) -> CompareReport {
+    report_from_pairs(
+        baseline,
+        current
+            .iter()
+            .map(|r| (r.name.to_owned(), r.mean_ns))
+            .collect(),
+        threshold_pct,
+    )
+}
+
+/// Compares two *parsed trajectory files* (`current` vs `baseline`) —
+/// the file-vs-file mode behind `piom-harness compare OLD NEW`, which
+/// lets CI gate the exact numbers an earlier bench step already
+/// recorded instead of paying for (and drifting from) a second suite
+/// run. Rows follow the current file's (alphabetical) key order.
+pub fn compare_parsed(
+    baseline: &BTreeMap<String, f64>,
+    current: &BTreeMap<String, f64>,
+    threshold_pct: f64,
+) -> CompareReport {
+    report_from_pairs(
+        baseline,
+        current.iter().map(|(k, &v)| (k.clone(), v)).collect(),
+        threshold_pct,
+    )
+}
+
+fn report_from_pairs(
+    baseline: &BTreeMap<String, f64>,
+    current: Vec<(String, f64)>,
+    threshold_pct: f64,
+) -> CompareReport {
+    let removed = baseline
+        .keys()
+        .filter(|name| current.iter().all(|(n, _)| n != *name))
+        .cloned()
+        .collect();
+    let rows = current
+        .into_iter()
+        .map(|(name, current_ns)| {
+            let baseline_ns = baseline.get(&name).copied();
+            let delta_pct = baseline_ns
+                .filter(|&b| b > 0.0)
+                .map(|b| (current_ns - b) / b * 100.0);
+            ScenarioDelta {
+                name,
+                baseline_ns,
+                current_ns,
+                delta_pct,
+            }
+        })
+        .collect();
+    CompareReport {
+        rows,
+        removed,
+        threshold_pct,
+    }
+}
+
+/// Parses a `BENCH_pioman.json` document into `name → mean_ns`.
+///
+/// Accepts the schema [`render_json`](crate::bench::render_json) emits —
+/// one outer JSON object whose values are flat objects of numeric fields —
+/// with arbitrary whitespace. Rejects anything else with a description of
+/// where parsing stopped.
+pub fn parse_trajectory(json: &str) -> Result<BTreeMap<String, f64>, String> {
+    let mut p = Parser {
+        bytes: json.as_bytes(),
+        pos: 0,
+    };
+    let mut map = BTreeMap::new();
+    p.expect(b'{')?;
+    if !p.peek_is(b'}') {
+        loop {
+            let name = p.string()?;
+            p.expect(b':')?;
+            let fields = p.flat_object()?;
+            let mean = *fields
+                .get("mean_ns")
+                .ok_or_else(|| format!("scenario {name:?} has no mean_ns field"))?;
+            if map.insert(name.clone(), mean).is_some() {
+                return Err(format!("duplicate scenario {name:?}"));
+            }
+            if !p.eat(b',') {
+                break;
+            }
+        }
+    }
+    p.expect(b'}')?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing content at byte {}", p.pos));
+    }
+    Ok(map)
+}
+
+/// Minimal recursive-descent parser for the trajectory schema (the
+/// workspace is offline — no serde).
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek_is(&mut self, want: u8) -> bool {
+        self.skip_ws();
+        self.bytes.get(self.pos) == Some(&want)
+    }
+
+    fn eat(&mut self, want: u8) -> bool {
+        if self.peek_is(want) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        if self.eat(want) {
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", want as char, self.pos))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b'"' {
+                let s =
+                    std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+                if s.contains('\\') {
+                    return Err("escape sequences are not part of the schema".into());
+                }
+                self.pos += 1;
+                return Ok(s.to_owned());
+            }
+            self.pos += 1;
+        }
+        Err("unterminated string".into())
+    }
+
+    fn number(&mut self) -> Result<f64, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("expected a number at byte {start}"))
+    }
+
+    /// `{ "key": number, ... }` with no nesting.
+    fn flat_object(&mut self) -> Result<BTreeMap<String, f64>, String> {
+        let mut fields = BTreeMap::new();
+        self.expect(b'{')?;
+        if !self.peek_is(b'}') {
+            loop {
+                let key = self.string()?;
+                self.expect(b':')?;
+                fields.insert(key, self.number()?);
+                if !self.eat(b',') {
+                    break;
+                }
+            }
+        }
+        self.expect(b'}')?;
+        Ok(fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(name: &'static str, mean_ns: f64) -> BenchResult {
+        BenchResult {
+            name,
+            mean_ns,
+            iters: 10,
+            seed: 42,
+        }
+    }
+
+    fn baseline(entries: &[(&str, f64)]) -> BTreeMap<String, f64> {
+        entries.iter().map(|&(n, v)| (n.to_owned(), v)).collect()
+    }
+
+    #[test]
+    fn improvement_and_noise_pass_the_gate() {
+        let base = baseline(&[("fast", 1000.0), ("steady", 500.0)]);
+        let current = [result("fast", 700.0), result("steady", 540.0)];
+        let report = compare(&base, &current, DEFAULT_THRESHOLD_PCT);
+        assert!(report.gate_passes());
+        assert_eq!(report.rows[0].delta_pct, Some(-30.0));
+        // +8% is within the default 20% budget.
+        assert!((report.rows[1].delta_pct.unwrap() - 8.0).abs() < 1e-9);
+        assert!(report.render().contains("gate: PASS"));
+    }
+
+    #[test]
+    fn regression_past_threshold_fails_the_gate() {
+        let base = baseline(&[("hot", 1000.0), ("fine", 100.0)]);
+        let current = [result("hot", 1300.0), result("fine", 100.0)];
+        let report = compare(&base, &current, DEFAULT_THRESHOLD_PCT);
+        assert!(!report.gate_passes());
+        let regs = report.regressions();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].name, "hot");
+        let rendered = report.render();
+        assert!(rendered.contains("REGRESSION"));
+        assert!(rendered.contains("gate: FAIL"));
+        // A tighter threshold catches more; a looser one passes.
+        assert!(!compare(&base, &current, 10.0).gate_passes());
+        assert!(compare(&base, &current, 40.0).gate_passes());
+    }
+
+    #[test]
+    fn new_scenario_is_reported_not_failed() {
+        let base = baseline(&[("old", 100.0)]);
+        let current = [result("old", 90.0), result("brand_new", 5000.0)];
+        let report = compare(&base, &current, DEFAULT_THRESHOLD_PCT);
+        assert!(report.gate_passes(), "no baseline, no verdict");
+        let new_row = &report.rows[1];
+        assert_eq!(new_row.baseline_ns, None);
+        assert_eq!(new_row.delta_pct, None);
+        assert!(report.render().contains("new"));
+    }
+
+    #[test]
+    fn removed_scenario_warns_without_failing() {
+        let base = baseline(&[("kept", 100.0), ("dropped", 100.0)]);
+        let current = [result("kept", 100.0)];
+        let report = compare(&base, &current, DEFAULT_THRESHOLD_PCT);
+        assert!(report.gate_passes());
+        assert_eq!(report.removed, vec!["dropped".to_owned()]);
+        assert!(report.render().contains("missing from this run"));
+    }
+
+    #[test]
+    fn parse_roundtrips_render_json() {
+        let results = [result("a_bench", 123.4), result("b_bench", 5.0)];
+        let json = crate::bench::render_json(&results);
+        let parsed = parse_trajectory(&json).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert!((parsed["a_bench"] - 123.4).abs() < 1e-9);
+        assert!((parsed["b_bench"] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parse_accepts_the_committed_schema_shape() {
+        let json = r#"{
+  "submit_schedule_percore": { "mean_ns": 639.0, "iters": 2000, "seed": 42 },
+  "newmad_pingpong": { "mean_ns": 1886199.8, "iters": 200, "seed": 42 }
+}"#;
+        let parsed = parse_trajectory(json).unwrap();
+        assert!((parsed["submit_schedule_percore"] - 639.0).abs() < 1e-9);
+        assert!((parsed["newmad_pingpong"] - 1_886_199.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        assert!(parse_trajectory("").is_err());
+        assert!(parse_trajectory("[]").is_err());
+        assert!(
+            parse_trajectory(r#"{ "x": { "iters": 3 } }"#).is_err(),
+            "no mean_ns"
+        );
+        assert!(parse_trajectory(r#"{ "x": { "mean_ns": 1 } } trailing"#).is_err());
+        assert!(
+            parse_trajectory(r#"{ "x": { "mean_ns": 1 }, "x": { "mean_ns": 2 } }"#).is_err(),
+            "duplicate keys"
+        );
+    }
+
+    #[test]
+    fn compare_parsed_matches_the_suite_path() {
+        let base = baseline(&[("hot", 1000.0), ("gone", 10.0)]);
+        let current = baseline(&[("hot", 1300.0), ("fresh", 1.0)]);
+        let report = compare_parsed(&base, &current, DEFAULT_THRESHOLD_PCT);
+        assert!(!report.gate_passes());
+        assert_eq!(report.regressions()[0].name, "hot");
+        assert_eq!(report.removed, vec!["gone".to_owned()]);
+        assert_eq!(report.rows.len(), 2);
+        assert_eq!(report.rows[0].delta_pct, None, "fresh is new");
+    }
+
+    #[test]
+    fn empty_baseline_treats_everything_as_new() {
+        let report = compare(&BTreeMap::new(), &[result("only", 10.0)], 20.0);
+        assert!(report.gate_passes());
+        assert_eq!(report.rows[0].delta_pct, None);
+    }
+}

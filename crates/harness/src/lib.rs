@@ -7,6 +7,7 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod compare;
 
 use madmpi::overlap::{sweep, ComputeSide};
 use madmpi::{mtlat, MpiImpl};
@@ -70,11 +71,7 @@ fn format_table(topo: &Topology, cost: &CostModel, title: &str) -> String {
                     })
                     .collect();
                 if !per_node.is_empty() {
-                    let _ = writeln!(
-                        out,
-                        "  task distribution: {}",
-                        per_node.join("  ")
-                    );
+                    let _ = writeln!(out, "  task distribution: {}", per_node.join("  "));
                 }
             }
             level => {
@@ -83,13 +80,7 @@ fn format_table(topo: &Topology, cost: &CostModel, title: &str) -> String {
                 let vals: String = row
                     .entries
                     .iter()
-                    .map(|(id, r)| {
-                        format!(
-                            "#{}: {:<9.0}",
-                            topo.node(*id).ordinal,
-                            r.mean_ns()
-                        )
-                    })
+                    .map(|(id, r)| format!("#{}: {:<9.0}", topo.node(*id).ordinal, r.mean_ns()))
                     .collect();
                 let cores_per = topo.node(row.entries[0].0).cpuset.count();
                 let _ = writeln!(out, "{level} queues, {cores_per} cores  {vals}");
@@ -124,7 +115,6 @@ pub fn table2() -> String {
 pub fn fig1() -> String {
     use newmadeleine::{CommEngine, EngineConfig};
     use piom_net::{NetParams, Network};
-    
 
     let mut out = String::new();
     let _ = writeln!(
@@ -238,7 +228,10 @@ fn overlap_figure(title: &str, side: ComputeSide) -> String {
             [0u64, 250, 500, 750, 1000, 1500, 2000].as_slice(),
         ),
     ] {
-        let _ = writeln!(out, "  message size {label}: overlap ratio vs computation time (µs)");
+        let _ = writeln!(
+            out,
+            "  message size {label}: overlap ratio vs computation time (µs)"
+        );
         let _ = writeln!(
             out,
             "  {:<12}{:>10}{:>10}{:>10}",
@@ -308,7 +301,11 @@ pub fn ablation_hierarchy() -> String {
         SEED,
     );
     let global = microbench(&topo, &cost, topo.root(), TABLE_ITERS, SEED);
-    let _ = writeln!(out, "{:<28}{:>12}{:>16}", "queue placement", "mean (ns)", "lock contended");
+    let _ = writeln!(
+        out,
+        "{:<28}{:>12}{:>16}",
+        "queue placement", "mean (ns)", "lock contended"
+    );
     for (label, r) in [
         ("per-core (hierarchy leaf)", &local),
         ("per-NUMA (hierarchy mid)", &numa),
@@ -432,13 +429,7 @@ mod tests {
         let counts: Vec<u64> = f
             .lines()
             .filter(|l| l.starts_with("direct") || l.starts_with("aggregating"))
-            .map(|l| {
-                l.split_whitespace()
-                    .nth(1)
-                    .unwrap()
-                    .parse()
-                    .unwrap()
-            })
+            .map(|l| l.split_whitespace().nth(1).unwrap().parse().unwrap())
             .collect();
         assert_eq!(counts.len(), 2);
         assert!(

@@ -1,22 +1,80 @@
 //! CLI entry: `piom-harness <experiment>` prints one (or `all`) of the
-//! paper's tables/figures regenerated on the simulated testbeds, and
-//! `piom-harness bench [--json] [--quick] [--out PATH]` measures the
-//! real-thread scheduler hot paths (writing the `BENCH_pioman.json`
-//! perf trajectory with `--json`).
+//! paper's tables/figures regenerated on the simulated testbeds;
+//! `piom-harness bench [--json] [--quick] [--out PATH] [--compare OLD.json
+//! [--threshold PCT]]` measures the real-thread scheduler hot paths
+//! (writing the `BENCH_pioman.json` perf trajectory with `--json`, and
+//! gating against a baseline trajectory with `--compare` — exit 1 when any
+//! scenario regressed past the threshold); `piom-harness compare OLD NEW`
+//! applies the same gate to two already-recorded trajectory files without
+//! re-running the suite.
 
-use piom_harness::bench;
+use piom_harness::{bench, compare};
 
 fn usage() -> ! {
     eprintln!("usage: piom-harness <experiment>");
-    eprintln!("       piom-harness bench [--json] [--quick] [--out PATH]");
+    eprintln!(
+        "       piom-harness bench [--json] [--quick] [--out PATH] \
+         [--compare OLD.json] [--threshold PCT]"
+    );
+    eprintln!("       piom-harness compare OLD.json NEW.json [--threshold PCT]");
     eprintln!("experiments: {}", piom_harness::EXPERIMENTS.join(", "));
     std::process::exit(2);
+}
+
+/// Reads and parses a trajectory file, exiting 2 on any failure.
+fn load_trajectory(path: &str) -> std::collections::BTreeMap<String, f64> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read baseline {path}: {e}");
+        std::process::exit(2);
+    });
+    compare::parse_trajectory(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse baseline {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// `piom-harness compare OLD NEW [--threshold PCT]`: diff two recorded
+/// trajectory files without re-running the suite (CI gates the numbers
+/// its bench step just wrote). Exit 1 when the gate fails.
+fn run_compare(args: &[String]) {
+    let mut paths = Vec::new();
+    let mut threshold_pct = compare::DEFAULT_THRESHOLD_PCT;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threshold" => match it.next().and_then(|p| p.parse::<f64>().ok()) {
+                Some(pct) if pct >= 0.0 => threshold_pct = pct,
+                _ => {
+                    eprintln!("--threshold requires a non-negative percentage");
+                    std::process::exit(2);
+                }
+            },
+            p if !p.starts_with("--") => paths.push(p.to_owned()),
+            other => {
+                eprintln!("unknown compare flag {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let [old_path, new_path] = paths.as_slice() else {
+        eprintln!("compare needs exactly two trajectory files (old, new)");
+        std::process::exit(2);
+    };
+    let baseline = load_trajectory(old_path);
+    let current = load_trajectory(new_path);
+    let report = compare::compare_parsed(&baseline, &current, threshold_pct);
+    print!("{}", report.render());
+    if !report.gate_passes() {
+        std::process::exit(1);
+    }
 }
 
 fn run_bench(args: &[String]) {
     let mut json = false;
     let mut opts = bench::BenchOptions::full();
     let mut out_path = String::from("BENCH_pioman.json");
+    let mut baseline_path: Option<String> = None;
+    let mut threshold_pct = compare::DEFAULT_THRESHOLD_PCT;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -33,12 +91,29 @@ fn run_bench(args: &[String]) {
                     std::process::exit(2);
                 }
             },
+            "--compare" => match it.next() {
+                Some(p) => baseline_path = Some(p.clone()),
+                None => {
+                    eprintln!("--compare requires a baseline JSON path");
+                    std::process::exit(2);
+                }
+            },
+            "--threshold" => match it.next().and_then(|p| p.parse::<f64>().ok()) {
+                Some(pct) if pct >= 0.0 => threshold_pct = pct,
+                _ => {
+                    eprintln!("--threshold requires a non-negative percentage");
+                    std::process::exit(2);
+                }
+            },
             other => {
                 eprintln!("unknown bench flag {other:?}");
                 std::process::exit(2);
             }
         }
     }
+    // Read the baseline *before* the (slow) suite run, so a bad path or a
+    // corrupt file fails in milliseconds.
+    let baseline = baseline_path.map(|path| load_trajectory(&path));
     let results = bench::run_suite(&opts);
     print!("{}", bench::render_text(&results));
     if json {
@@ -47,6 +122,13 @@ fn run_bench(args: &[String]) {
             std::process::exit(1);
         }
         println!("wrote {out_path}");
+    }
+    if let Some(baseline) = baseline {
+        let report = compare::compare(&baseline, &results, threshold_pct);
+        print!("{}", report.render());
+        if !report.gate_passes() {
+            std::process::exit(1);
+        }
     }
 }
 
@@ -57,6 +139,10 @@ fn main() {
     }
     if args[0] == "bench" {
         run_bench(&args[1..]);
+        return;
+    }
+    if args[0] == "compare" {
+        run_compare(&args[1..]);
         return;
     }
     for what in &args {

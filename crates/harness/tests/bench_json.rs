@@ -39,10 +39,16 @@ fn bench_binary_writes_trajectory_json() {
         "steal_starved_core",
         "contended_global_queue",
     ] {
-        assert!(json.contains(&format!("\"{name}\"")), "missing {name}:\n{json}");
+        assert!(
+            json.contains(&format!("\"{name}\"")),
+            "missing {name}:\n{json}"
+        );
     }
     assert!(json.trim_start().starts_with('{') && json.trim_end().ends_with('}'));
-    assert!(!json.contains(",\n}"), "trailing comma before closing brace");
+    assert!(
+        !json.contains(",\n}"),
+        "trailing comma before closing brace"
+    );
 
     // The schema is deterministic: a second run yields the same key lines
     // modulo the measured numbers.
@@ -53,6 +59,122 @@ fn bench_binary_writes_trajectory_json() {
     };
     let again = bench_json_at(&path);
     assert_eq!(keys(&json), keys(&again));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bench_compare_gates_on_regression() {
+    let dir = std::env::temp_dir().join(format!("piom-compare-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // A baseline claiming one scenario used to be absurdly fast: the fresh
+    // run must regress past any threshold and exit 1.
+    let regressing = dir.join("regressing.json");
+    std::fs::write(
+        &regressing,
+        "{\n  \"submit_schedule_percore\": { \"mean_ns\": 0.001, \"iters\": 1, \"seed\": 42 }\n}\n",
+    )
+    .unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_piom-harness"))
+        .args(["bench", "--quick", "--compare"])
+        .arg(&regressing)
+        .output()
+        .expect("spawn piom-harness bench --compare");
+    assert_eq!(out.status.code(), Some(1), "regression must exit nonzero");
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(stdout.contains("gate: FAIL"), "missing verdict:\n{stdout}");
+    assert!(stdout.contains("REGRESSION"), "missing marker:\n{stdout}");
+
+    // A baseline claiming everything was absurdly slow: every known
+    // scenario improves, unknown ones are new — gate passes, exit 0.
+    // (`removed` covers the baseline-only scenario: reported, not fatal.)
+    let permissive = dir.join("permissive.json");
+    std::fs::write(
+        &permissive,
+        "{\n  \"submit_schedule_percore\": { \"mean_ns\": 9e12, \"iters\": 1, \"seed\": 42 },\n  \
+           \"long_gone_scenario\": { \"mean_ns\": 1.0, \"iters\": 1, \"seed\": 42 }\n}\n",
+    )
+    .unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_piom-harness"))
+        .args(["bench", "--quick", "--compare"])
+        .arg(&permissive)
+        .output()
+        .expect("spawn piom-harness bench --compare");
+    assert!(
+        out.status.success(),
+        "improvements+new must pass: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(stdout.contains("gate: PASS"), "missing verdict:\n{stdout}");
+    assert!(
+        stdout.contains("long_gone_scenario"),
+        "removed scenario must be reported:\n{stdout}"
+    );
+
+    // A corrupt baseline fails fast (exit 2), before any measuring.
+    let corrupt = dir.join("corrupt.json");
+    std::fs::write(&corrupt, "not json at all").unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_piom-harness"))
+        .args(["bench", "--quick", "--compare"])
+        .arg(&corrupt)
+        .output()
+        .expect("spawn piom-harness bench --compare");
+    assert_eq!(out.status.code(), Some(2));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn compare_subcommand_diffs_two_files_without_benching() {
+    let dir = std::env::temp_dir().join(format!("piom-cmpfiles-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let old = dir.join("old.json");
+    let new = dir.join("new.json");
+    std::fs::write(
+        &old,
+        "{\n  \"a\": { \"mean_ns\": 100.0, \"iters\": 1, \"seed\": 42 },\n  \
+           \"b\": { \"mean_ns\": 100.0, \"iters\": 1, \"seed\": 42 }\n}\n",
+    )
+    .unwrap();
+    std::fs::write(
+        &new,
+        "{\n  \"a\": { \"mean_ns\": 90.0, \"iters\": 1, \"seed\": 42 },\n  \
+           \"b\": { \"mean_ns\": 180.0, \"iters\": 1, \"seed\": 42 }\n}\n",
+    )
+    .unwrap();
+
+    // b regressed +80%: default gate fails...
+    let out = Command::new(env!("CARGO_BIN_EXE_piom-harness"))
+        .arg("compare")
+        .args([&old, &new])
+        .output()
+        .expect("spawn piom-harness compare");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(stdout.contains("gate: FAIL"), "{stdout}");
+    assert!(
+        !stdout.contains("BENCH —"),
+        "file mode must not run the suite:\n{stdout}"
+    );
+
+    // ...but a looser threshold passes.
+    let out = Command::new(env!("CARGO_BIN_EXE_piom-harness"))
+        .arg("compare")
+        .args([&old, &new])
+        .args(["--threshold", "100"])
+        .output()
+        .expect("spawn piom-harness compare");
+    assert!(out.status.success());
+
+    // Wrong arity is a usage error.
+    let out = Command::new(env!("CARGO_BIN_EXE_piom-harness"))
+        .arg("compare")
+        .arg(&old)
+        .output()
+        .expect("spawn piom-harness compare");
+    assert_eq!(out.status.code(), Some(2));
 
     std::fs::remove_dir_all(&dir).ok();
 }

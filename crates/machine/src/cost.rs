@@ -135,7 +135,11 @@ mod tests {
 
     #[test]
     fn transfer_monotone_in_distance() {
-        for model in [CostModel::borderline(), CostModel::kwak(), CostModel::generic()] {
+        for model in [
+            CostModel::borderline(),
+            CostModel::kwak(),
+            CostModel::generic(),
+        ] {
             for w in model.transfer_ns.windows(2) {
                 assert!(w[0] <= w[1], "transfer cost must grow with distance");
             }
@@ -164,10 +168,7 @@ mod tests {
     #[test]
     fn locality_indexing_matches_enum() {
         let m = CostModel::generic();
-        assert_eq!(
-            m.transfer_for(Locality::SelfCore),
-            SimTime::ZERO
-        );
+        assert_eq!(m.transfer_for(Locality::SelfCore), SimTime::ZERO);
         assert_eq!(
             m.transfer_for(Locality::CrossNuma).as_ns(),
             m.transfer_ns[4]

@@ -288,7 +288,11 @@ mod tests {
             sim.schedule(SimTime::from_ns(50), move |sim| lr.release(sim, 0));
         });
         sim.run();
-        assert_eq!(*order.borrow(), vec![1, 12], "NUMA-near waiter preempts FIFO");
+        assert_eq!(
+            *order.borrow(),
+            vec![1, 12],
+            "NUMA-near waiter preempts FIFO"
+        );
         assert_eq!(lock.contended(), 2);
         assert_eq!(lock.acquisitions(), 3);
     }

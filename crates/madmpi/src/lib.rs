@@ -168,7 +168,10 @@ mod tests {
                 .spawn(&mut sim, 0, Box::new(move |_, _| Step::Block(cond)));
         }
         sim.run_until(SimTime::from_us(100));
-        assert!(r.is_complete(), "idle-core polling should complete the recv");
+        assert!(
+            r.is_complete(),
+            "idle-core polling should complete the recv"
+        );
     }
 
     #[test]

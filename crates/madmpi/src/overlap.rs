@@ -53,12 +53,7 @@ struct Waiter {
 }
 
 impl Waiter {
-    fn new(
-        req: ReqHandle,
-        engine: CommEngine,
-        sched: ThreadSched,
-        impl_: MpiImpl,
-    ) -> Waiter {
+    fn new(req: ReqHandle, engine: CommEngine, sched: ThreadSched, impl_: MpiImpl) -> Waiter {
         let cond = sched.new_cond();
         Waiter {
             req,
@@ -133,12 +128,8 @@ pub fn run_overlap(
                         phase = 1;
                         started = sim.now();
                         let req = engine.isend(sim, 1, 1, size);
-                        *waiter.borrow_mut() = Some(Waiter::new(
-                            req,
-                            engine.clone(),
-                            sched.clone(),
-                            impl_,
-                        ));
+                        *waiter.borrow_mut() =
+                            Some(Waiter::new(req, engine.clone(), sched.clone(), impl_));
                         if computes && compute > SimTime::ZERO {
                             return Step::Compute(compute);
                         }
@@ -170,31 +161,25 @@ pub fn run_overlap(
         cluster.nodes[1].sched.spawn(
             &mut sim,
             0,
-            Box::new(move |sim, _| {
-                match phase {
-                    0 => {
-                        phase = 1;
-                        started = sim.now();
-                        let req = engine.irecv(sim, 0, 1);
-                        *waiter.borrow_mut() = Some(Waiter::new(
-                            req,
-                            engine.clone(),
-                            sched.clone(),
-                            impl_,
-                        ));
-                        if computes && compute > SimTime::ZERO {
-                            return Step::Compute(compute);
-                        }
-                        Step::Yield
+            Box::new(move |sim, _| match phase {
+                0 => {
+                    phase = 1;
+                    started = sim.now();
+                    let req = engine.irecv(sim, 0, 1);
+                    *waiter.borrow_mut() =
+                        Some(Waiter::new(req, engine.clone(), sched.clone(), impl_));
+                    if computes && compute > SimTime::ZERO {
+                        return Step::Compute(compute);
                     }
-                    _ => match waiter.borrow_mut().as_mut().unwrap().step(sim) {
-                        Some(step) => step,
-                        None => {
-                            total.set(Some(sim.now() - started));
-                            Step::Exit
-                        }
-                    },
+                    Step::Yield
                 }
+                _ => match waiter.borrow_mut().as_mut().unwrap().step(sim) {
+                    Some(step) => step,
+                    None => {
+                        total.set(Some(sim.now() - started));
+                        Step::Exit
+                    }
+                },
             }),
         );
     }

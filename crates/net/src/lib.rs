@@ -285,7 +285,11 @@ mod tests {
         (Network::new(2, 2, NetParams::infiniband()), Sim::new())
     }
 
-    fn collect_arrivals(net: &Rc<Network>, node: usize, rail: usize) -> Rc<RefCell<Vec<(SimTime, Message)>>> {
+    fn collect_arrivals(
+        net: &Rc<Network>,
+        node: usize,
+        rail: usize,
+    ) -> Rc<RefCell<Vec<(SimTime, Message)>>> {
         let log: Rc<RefCell<Vec<(SimTime, Message)>>> = Rc::new(RefCell::new(Vec::new()));
         let l = log.clone();
         net.nic(node, rail).set_rx_handler(Rc::new(move |sim, msg| {
@@ -443,8 +447,28 @@ mod tests {
         let (net, mut sim) = net();
         let log_at_1 = collect_arrivals(&net, 1, 0);
         let log_at_0 = collect_arrivals(&net, 0, 0);
-        net.send(&mut sim, Message { src: 0, dst: 1, rail: 0, tag: 1, size: 4, data: None });
-        net.send(&mut sim, Message { src: 1, dst: 0, rail: 0, tag: 2, size: 4, data: None });
+        net.send(
+            &mut sim,
+            Message {
+                src: 0,
+                dst: 1,
+                rail: 0,
+                tag: 1,
+                size: 4,
+                data: None,
+            },
+        );
+        net.send(
+            &mut sim,
+            Message {
+                src: 1,
+                dst: 0,
+                rail: 0,
+                tag: 2,
+                size: 4,
+                data: None,
+            },
+        );
         sim.run();
         assert_eq!(log_at_1.borrow().len(), 1);
         assert_eq!(log_at_0.borrow().len(), 1);
@@ -456,7 +480,17 @@ mod tests {
     #[should_panic(expected = "no rx handler")]
     fn delivery_without_handler_panics() {
         let (net, mut sim) = net();
-        net.send(&mut sim, Message { src: 0, dst: 1, rail: 0, tag: 0, size: 4, data: None });
+        net.send(
+            &mut sim,
+            Message {
+                src: 0,
+                dst: 1,
+                rail: 0,
+                tag: 0,
+                size: 4,
+                data: None,
+            },
+        );
         sim.run();
     }
 
@@ -464,6 +498,16 @@ mod tests {
     #[should_panic(expected = "loopback")]
     fn loopback_send_panics() {
         let (net, mut sim) = net();
-        net.send(&mut sim, Message { src: 0, dst: 0, rail: 0, tag: 0, size: 4, data: None });
+        net.send(
+            &mut sim,
+            Message {
+                src: 0,
+                dst: 0,
+                rail: 0,
+                tag: 0,
+                size: 4,
+                data: None,
+            },
+        );
     }
 }

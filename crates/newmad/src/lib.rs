@@ -182,7 +182,10 @@ struct RecvRndv {
 
 /// Unexpected-message record (arrived before a matching recv was posted).
 enum Unexpected {
-    Eager { src: usize, app_tag: u64 },
+    Eager {
+        src: usize,
+        app_tag: u64,
+    },
     Rts {
         src: usize,
         app_tag: u64,
@@ -254,9 +257,10 @@ impl CommEngine {
         };
         for rail in 0..net.n_rails() {
             let eng = engine.eng.clone();
-            net.nic(node, rail).set_rx_handler(Rc::new(move |_sim, msg| {
-                eng.borrow_mut().rx_pending.push_back(msg);
-            }));
+            net.nic(node, rail)
+                .set_rx_handler(Rc::new(move |_sim, msg| {
+                    eng.borrow_mut().rx_pending.push_back(msg);
+                }));
         }
         engine
     }
@@ -519,14 +523,7 @@ impl CommEngine {
     }
 
     /// Sender side after CTS: stream the payload, multirail if configured.
-    fn send_rndv_data(
-        &self,
-        sim: &mut Sim,
-        dst: usize,
-        req: u32,
-        size: usize,
-        handle: ReqHandle,
-    ) {
+    fn send_rndv_data(&self, sim: &mut Sim, dst: usize, req: u32, size: usize, handle: ReqHandle) {
         let (n_rails, multirail, net) = {
             let e = self.eng.borrow();
             (e.net.n_rails(), e.cfg.multirail_data, e.net.clone())

@@ -20,14 +20,15 @@ fn arb_msgs() -> impl Strategy<Value = Vec<Msg>> {
 }
 
 fn arb_config() -> impl Strategy<Value = EngineConfig> {
-    (any::<bool>(), any::<bool>(), any::<bool>(), 1usize..64)
-        .prop_map(|(rdma, agg, multirail, thresh_kb)| EngineConfig {
+    (any::<bool>(), any::<bool>(), any::<bool>(), 1usize..64).prop_map(
+        |(rdma, agg, multirail, thresh_kb)| EngineConfig {
             eager_threshold: thresh_kb * 1024,
             rdma_rendezvous: rdma,
             aggregation: agg,
             max_packet: 64 * 1024,
             multirail_data: multirail,
-        })
+        },
+    )
 }
 
 proptest! {

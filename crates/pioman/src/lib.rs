@@ -25,10 +25,13 @@
 //!   ([`HookPoint`], [`Progression`]);
 //! * beyond the paper, the scan is **batched** — a keypoint that finds a
 //!   backlog drains a whole pass under one lock acquisition
-//!   ([`TaskManager::schedule_batch`]) — and idle cores **steal** work
-//!   from the nearest sibling queue by topological distance instead of
-//!   spinning, honoring each task's `CpuSet` ([`ManagerConfig::steal`],
-//!   [`TaskManager::submit_on`]; policy rationale in `DESIGN.md` §5).
+//!   ([`TaskManager::schedule_batch`]), with the per-keypoint budget sized
+//!   adaptively from observed queue depth and lock contention
+//!   ([`TaskManager::adaptive_budget`], [`BatchPolicy`]) — and idle cores
+//!   **steal half** of the nearest eligible backlog by topological
+//!   distance instead of spinning, honoring each task's `CpuSet`
+//!   ([`ManagerConfig::steal`], [`TaskManager::submit_on`]; policy
+//!   rationale in `DESIGN.md` §5–6).
 //!
 //! # Quick start
 //!
@@ -63,8 +66,10 @@ mod stats;
 mod task;
 
 pub use completion::{TaskError, TaskHandle};
-pub use manager::{HookPoint, ManagerConfig, QueueBackend, TaskManager};
-pub use progression::{Progression, ProgressionConfig, DEFAULT_BATCH};
+pub use manager::{
+    HookPoint, ManagerConfig, QueueBackend, TaskManager, DEFAULT_BATCH, MAX_BATCH, MIN_BATCH,
+};
+pub use progression::{BatchPolicy, Progression, ProgressionConfig};
 pub use queue::QueueId;
 pub use stats::{ManagerStats, QueueStats};
 pub use task::{Task, TaskContext, TaskOptions, TaskStatus};

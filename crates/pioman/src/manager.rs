@@ -20,20 +20,44 @@ pub enum QueueBackend {
     /// implementation, §IV-A).
     #[default]
     Spinlock,
-    /// Lock-free segmented queue (the paper's §VI "short term" future work;
-    /// compared against spinlocks by the ablation benches).
+    /// True lock-free Michael–Scott queue with epoch-based reclamation
+    /// (the paper's §VI "short term" future work; compared against
+    /// spinlocks and the mutexed baseline by the ablation benches).
     LockFree,
+    /// OS mutex around a `VecDeque`, locked on every operation — the
+    /// shim that previously backed [`QueueBackend::LockFree`], kept as an
+    /// ablation baseline so `lockfree_vs_mutex` measures what replacing
+    /// it bought.
+    Mutex,
 }
+
+/// Smallest per-keypoint budget [`TaskManager::adaptive_budget`] returns:
+/// even an apparently-empty hierarchy gets a few slots, because work can
+/// land between the depth probe and the drain.
+pub const MIN_BATCH: usize = 4;
+
+/// Largest budget [`TaskManager::adaptive_budget`] returns: one keypoint
+/// never monopolizes its core beyond this many tasks, however deep the
+/// backlog, so shutdown/park checks stay responsive.
+pub const MAX_BATCH: usize = 256;
+
+/// The fixed per-keypoint budget used when adaptivity is off
+/// ([`BatchPolicy::Fixed`](crate::BatchPolicy)), and the cap
+/// [`TaskManager::adaptive_budget`] applies to cores that mostly run dry.
+pub const DEFAULT_BATCH: usize = 32;
 
 /// Task-manager construction options.
 #[derive(Debug, Clone)]
 pub struct ManagerConfig {
-    /// Queue storage choice.
-    pub backend: QueueBackend,
+    /// Queue storage choice, compared head-to-head by the
+    /// `lockfree_vs_mutex` bench scenarios.
+    pub queue_backend: QueueBackend,
     /// Locality-aware work stealing: when a core's own hierarchy scan
     /// (Algorithm 1) finds nothing runnable, it probes the other queues in
-    /// [`Topology::steal_order`] — nearest sibling first — and takes the
-    /// oldest task whose [`CpuSet`] admits it. Enabled by default; the
+    /// [`Topology::steal_order`] — nearest sibling first, deepest backlog
+    /// first within a distance tier — and takes **half** of the eligible
+    /// backlog of the first victim that has any (steal-half; every stolen
+    /// task's [`CpuSet`] admits the thief). Enabled by default; the
     /// steal-vs-spin benchmarks flip it off for comparison.
     pub steal: bool,
 }
@@ -41,7 +65,7 @@ pub struct ManagerConfig {
 impl Default for ManagerConfig {
     fn default() -> Self {
         ManagerConfig {
-            backend: QueueBackend::default(),
+            queue_backend: QueueBackend::default(),
             steal: true,
         }
     }
@@ -57,6 +81,14 @@ pub enum HookPoint {
     ContextSwitch,
     /// The periodic timer fired on a core.
     TimerInterrupt,
+}
+
+// Reused per thread so steady-state keypoints never allocate. Taken (not
+// borrowed): a task body that re-enters the scheduler simply sees an empty
+// scratch instead of a reentrancy panic.
+thread_local! {
+    static SCRATCH: core::cell::Cell<Vec<Task>> =
+        const { core::cell::Cell::new(Vec::new()) };
 }
 
 impl HookPoint {
@@ -83,13 +115,18 @@ pub struct TaskManager {
     hook_counts: [AtomicU64; 3],
     /// Progression workers to unpark when work arrives, one slot per core.
     wakers: Vec<Mutex<Option<Thread>>>,
-    /// Per-core victim queue order (nearest sibling first), precomputed
-    /// from [`Topology::steal_order`] at construction.
-    steal_order: Vec<Vec<u32>>,
-    /// Successful steals per thief core.
+    /// Per-core victim queue order with its locality distance (nearest
+    /// sibling first), precomputed from
+    /// [`Topology::steal_order_with_distance`] at construction. Equal
+    /// distances form a *tier*; the steal path re-ranks a tier by observed
+    /// queue depth at probe time.
+    steal_order: Vec<Vec<(u32, u8)>>,
+    /// Tasks stolen per thief core.
     steals: Vec<AtomicU64>,
     /// Steal probes per thief core (a probe is one empty hierarchy scan).
     steal_attempts: Vec<AtomicU64>,
+    /// Successful steal-half batches per thief core (each took ≥ 1 task).
+    steal_batches: Vec<AtomicU64>,
     config: ManagerConfig,
 }
 
@@ -105,13 +142,10 @@ impl TaskManager {
             .iter()
             .map(|(id, node)| {
                 let qid = QueueId(id.index() as u32);
-                match config.backend {
-                    QueueBackend::Spinlock => {
-                        TaskQueue::new_spin(qid, node.level, node.cpuset)
-                    }
-                    QueueBackend::LockFree => {
-                        TaskQueue::new_lockfree(qid, node.level, node.cpuset)
-                    }
+                match config.queue_backend {
+                    QueueBackend::Spinlock => TaskQueue::new_spin(qid, node.level, node.cpuset),
+                    QueueBackend::LockFree => TaskQueue::new_lockfree(qid, node.level, node.cpuset),
+                    QueueBackend::Mutex => TaskQueue::new_mutex(qid, node.level, node.cpuset),
                 }
             })
             .collect();
@@ -120,14 +154,15 @@ impl TaskManager {
         let wakers = (0..n_cores).map(|_| Mutex::new(None)).collect();
         let steal_order = (0..n_cores)
             .map(|c| {
-                topo.steal_order(c)
+                topo.steal_order_with_distance(c)
                     .into_iter()
-                    .map(|id| id.index() as u32)
+                    .map(|(id, dist)| (id.index() as u32, dist.min(u8::MAX as usize) as u8))
                     .collect()
             })
             .collect();
         let steals = (0..n_cores).map(|_| AtomicU64::new(0)).collect();
         let steal_attempts = (0..n_cores).map(|_| AtomicU64::new(0)).collect();
+        let steal_batches = (0..n_cores).map(|_| AtomicU64::new(0)).collect();
         Arc::new(TaskManager {
             topo,
             queues,
@@ -137,6 +172,7 @@ impl TaskManager {
             steal_order,
             steals,
             steal_attempts,
+            steal_batches,
             config,
         })
     }
@@ -302,13 +338,6 @@ impl TaskManager {
     /// ```
     pub fn schedule_batch(&self, core: usize, max: usize) -> usize {
         debug_assert!(core < self.topo.n_cores(), "core id out of range");
-        // Reused per thread so steady-state keypoints never allocate. Taken
-        // (not borrowed): a task body that re-enters the scheduler simply
-        // sees an empty scratch instead of a reentrancy panic.
-        thread_local! {
-            static SCRATCH: core::cell::Cell<Vec<Task>> =
-                const { core::cell::Cell::new(Vec::new()) };
-        }
         let mut ran = 0;
         let mut batch = SCRATCH.take();
         for node in self.topo.path_to_root(core) {
@@ -333,9 +362,82 @@ impl TaskManager {
         batch.clear();
         SCRATCH.set(batch);
         if ran == 0 && self.config.steal {
-            ran += self.steal_once(core);
+            ran += self.steal_batch(core, max);
         }
         ran
+    }
+
+    /// Computes an adaptive per-keypoint task budget for `core`, replacing
+    /// the fixed [`DEFAULT_BATCH`]: sized from the observed depth of the
+    /// queues on `core`'s hierarchy path, widened when their locks show
+    /// contention, and capped low for cores whose steal history says they
+    /// mostly run dry. Always within [`MIN_BATCH`]`..=`[`MAX_BATCH`].
+    ///
+    /// The signals and the reasoning:
+    ///
+    /// * **queue depth** — the budget should cover the backlog actually
+    ///   visible, not a guess: a keypoint facing 3 tasks has no business
+    ///   reserving 32 slots, and one facing 200 should not need 7 passes;
+    /// * **`lock_contended / lock_acquisitions`** on the path — when the
+    ///   queues' locks are fought over, each acquisition is expensive, so
+    ///   the batch widens to amortize more tasks per acquisition;
+    /// * **`steal_attempts_by_core` vs executions** — a core that probes
+    ///   victims more often than it runs tasks is chronically starved;
+    ///   it keeps a small cap ([`DEFAULT_BATCH`]) so it parks quickly
+    ///   instead of reserving budget it will not use.
+    ///
+    /// A core whose own path is *empty* does not get the floor: its
+    /// keypoint falls through to the steal-half probe, and a budget of
+    /// [`MIN_BATCH`] would clamp every stolen half-backlog to 4 tasks,
+    /// re-introducing the per-probe premium steal-half exists to remove.
+    /// With stealing enabled the empty-path budget is [`DEFAULT_BATCH`]
+    /// (a budget is a cap, not reserved work — an idle keypoint still
+    /// runs nothing and parks just as fast).
+    ///
+    /// ```
+    /// use pioman::{TaskManager, TaskOptions, TaskStatus, DEFAULT_BATCH};
+    /// use piom_cpuset::CpuSet;
+    /// use piom_topology::presets;
+    ///
+    /// let mgr = TaskManager::new(presets::kwak().into());
+    /// // Empty hierarchy: budget covers a steal-half batch.
+    /// assert_eq!(mgr.adaptive_budget(0), DEFAULT_BATCH);
+    /// for _ in 0..100 {
+    ///     mgr.submit(|_| TaskStatus::Done, CpuSet::single(0), TaskOptions::oneshot());
+    /// }
+    /// assert!(mgr.adaptive_budget(0) >= 100); // budget tracks the backlog
+    /// ```
+    pub fn adaptive_budget(&self, core: usize) -> usize {
+        debug_assert!(core < self.topo.n_cores(), "core id out of range");
+        let mut depth = 0usize;
+        let mut acquisitions = 0u64;
+        let mut contended = 0u64;
+        for node in self.topo.path_to_root(core) {
+            let queue = &self.queues[node.index()];
+            depth += queue.len_hint();
+            if let Some((a, c)) = queue.lock_stats() {
+                acquisitions += a;
+                contended += c;
+            }
+        }
+        if depth == 0 {
+            return if self.config.steal {
+                DEFAULT_BATCH
+            } else {
+                MIN_BATCH
+            };
+        }
+        // Cumulative contended/total ratio as a cheap stand-in for a
+        // windowed contention rate: ×1 when uncontended, up to ×9 when
+        // every acquisition was fought over.
+        let boost = 1 + (8 * contended).checked_div(acquisitions).unwrap_or(0) as usize;
+        let starved = {
+            let probes = self.steal_attempts[core].load(Ordering::Relaxed);
+            let executed = self.executed_by_core[core].load(Ordering::Relaxed);
+            probes > executed.saturating_add(MIN_BATCH as u64)
+        };
+        let cap = if starved { DEFAULT_BATCH } else { MAX_BATCH };
+        depth.saturating_mul(boost).clamp(MIN_BATCH, cap)
     }
 
     /// Runs at most one task visible from `core` (deepest queue first),
@@ -347,33 +449,78 @@ impl TaskManager {
             // Bounded retry: skip over tasks this core may not run.
             let pass = queue.len_hint();
             for _ in 0..pass {
-                let Some(task) = queue.try_dequeue() else { break };
+                let Some(task) = queue.try_dequeue() else {
+                    break;
+                };
                 if self.run_task(task, core, queue) {
                     return true;
                 }
             }
         }
-        self.config.steal && self.steal_once(core) > 0
+        self.config.steal && self.steal_batch(core, 1) > 0
     }
 
-    /// One steal probe for `core`: visit the victim queues nearest-first,
-    /// take and run the oldest task whose cpuset admits `core`. Steals one
-    /// task at a time — batching is for the local fast path; a thief that
-    /// grabbed a whole pass would trade one imbalance for another.
-    /// Returns 1 if a task was stolen and executed, 0 otherwise.
-    fn steal_once(&self, core: usize) -> usize {
-        self.steal_attempts[core].fetch_add(1, Ordering::Relaxed);
-        for &qi in &self.steal_order[core] {
-            let queue = &self.queues[qi as usize];
-            if let Some(task) = queue.try_steal(core) {
-                self.steals[core].fetch_add(1, Ordering::Relaxed);
-                // try_steal only yields tasks whose cpuset admits `core`,
-                // so this never takes run_task's requeue path.
-                self.run_task(task, core, queue);
-                return 1;
-            }
+    /// One steal probe for `core`: visit the victim queues nearest-first
+    /// and, at the first victim holding eligible work, take **half of its
+    /// eligible backlog** ([`TaskQueue::try_steal_half`], bounded by the
+    /// caller's remaining budget `max`) and run every stolen task.
+    ///
+    /// Within a distance tier (victims equally near by [`Topology::
+    /// steal_order_with_distance`]) the deepest backlog is probed first,
+    /// so a thief skips hot-but-empty neighbours — but it never crosses
+    /// to a farther tier while a nearer one still has candidates, keeping
+    /// steal traffic as local as the hierarchy itself.
+    ///
+    /// Half, not one and not all: single-task probes pay the victim-scan
+    /// premium once per task when draining a starved backlog (the ~32 µs
+    /// vs ~20 µs gap PR 2 recorded), while looting a whole pass would
+    /// just move the imbalance onto the victim. Returns the number of
+    /// tasks stolen and executed.
+    fn steal_batch(&self, core: usize, max: usize) -> usize {
+        if max == 0 {
+            return 0;
         }
-        0
+        self.steal_attempts[core].fetch_add(1, Ordering::Relaxed);
+        let order = &self.steal_order[core];
+        let mut batch = SCRATCH.take();
+        let mut ran = 0;
+        let mut tier_start = 0;
+        while tier_start < order.len() && ran == 0 {
+            let distance = order[tier_start].1;
+            let tier_end = tier_start
+                + order[tier_start..]
+                    .iter()
+                    .take_while(|&&(_, d)| d == distance)
+                    .count();
+            // Deepest backlog first within the tier; len_hint is racy, but
+            // a misranked probe only costs one extra empty visit.
+            let mut tier: Vec<(u32, usize)> = order[tier_start..tier_end]
+                .iter()
+                .map(|&(qi, _)| (qi, self.queues[qi as usize].len_hint()))
+                .filter(|&(_, depth)| depth > 0)
+                .collect();
+            tier.sort_by_key(|&(qi, depth)| (core::cmp::Reverse(depth), qi));
+            for (qi, _) in tier {
+                let queue = &self.queues[qi as usize];
+                batch.clear();
+                let stolen = queue.try_steal_half(core, max, &mut batch);
+                if stolen > 0 {
+                    self.steals[core].fetch_add(stolen as u64, Ordering::Relaxed);
+                    self.steal_batches[core].fetch_add(1, Ordering::Relaxed);
+                    for task in batch.drain(..) {
+                        // try_steal_half only yields tasks whose cpuset
+                        // admits `core`, so this never requeues.
+                        self.run_task(task, core, queue);
+                    }
+                    ran = stolen;
+                    break;
+                }
+            }
+            tier_start = tier_end;
+        }
+        batch.clear();
+        SCRATCH.set(batch);
+        ran
     }
 
     /// Executes `task` on `core` if allowed; requeues it otherwise.
@@ -443,8 +590,7 @@ impl TaskManager {
                 .queues
                 .iter()
                 .map(|q| {
-                    let (lock_acquisitions, lock_contended) =
-                        q.lock_stats().unwrap_or((0, 0));
+                    let (lock_acquisitions, lock_contended) = q.lock_stats().unwrap_or((0, 0));
                     QueueStats {
                         id: q.id,
                         level: q.level,
@@ -469,6 +615,11 @@ impl TaskManager {
                 .collect(),
             steal_attempts_by_core: self
                 .steal_attempts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            stolen_batch_by_core: self
+                .steal_batches
                 .iter()
                 .map(|c| c.load(Ordering::Relaxed))
                 .collect(),
@@ -507,7 +658,7 @@ impl core::fmt::Debug for TaskManager {
         f.debug_struct("TaskManager")
             .field("topology", &self.topo.name())
             .field("queues", &self.queues.len())
-            .field("backend", &self.config.backend)
+            .field("queue_backend", &self.config.queue_backend)
             .finish()
     }
 }
@@ -596,7 +747,10 @@ mod tests {
         assert!(!h.is_complete());
         assert!(mgr.schedule(0));
         assert!(h.is_complete(), "third poll succeeds");
-        assert_eq!(mgr.stats().queues[mgr.topology().core_node(0).index()].executed, 3);
+        assert_eq!(
+            mgr.stats().queues[mgr.topology().core_node(0).index()].executed,
+            3
+        );
     }
 
     #[test]
@@ -619,7 +773,11 @@ mod tests {
             CpuSet::single(0),
             TaskOptions::oneshot(),
         );
-        let h2 = mgr.submit(|_| TaskStatus::Done, CpuSet::single(0), TaskOptions::oneshot());
+        let h2 = mgr.submit(
+            |_| TaskStatus::Done,
+            CpuSet::single(0),
+            TaskOptions::oneshot(),
+        );
         mgr.schedule(0);
         let err = h.wait().unwrap_err();
         assert!(err.message.contains("injected failure"));
@@ -685,8 +843,16 @@ mod tests {
     #[test]
     fn schedule_one_runs_exactly_one() {
         let mgr = kwak_mgr();
-        let h1 = mgr.submit(|_| TaskStatus::Done, CpuSet::single(0), TaskOptions::oneshot());
-        let h2 = mgr.submit(|_| TaskStatus::Done, CpuSet::single(0), TaskOptions::oneshot());
+        let h1 = mgr.submit(
+            |_| TaskStatus::Done,
+            CpuSet::single(0),
+            TaskOptions::oneshot(),
+        );
+        let h2 = mgr.submit(
+            |_| TaskStatus::Done,
+            CpuSet::single(0),
+            TaskOptions::oneshot(),
+        );
         assert!(mgr.schedule_one(0));
         assert!(h1.is_complete());
         assert!(!h2.is_complete());
@@ -722,7 +888,11 @@ mod tests {
     #[test]
     fn hooks_count_and_schedule() {
         let mgr = kwak_mgr();
-        mgr.submit(|_| TaskStatus::Done, CpuSet::single(0), TaskOptions::oneshot());
+        mgr.submit(
+            |_| TaskStatus::Done,
+            CpuSet::single(0),
+            TaskOptions::oneshot(),
+        );
         assert!(mgr.hook(HookPoint::Idle, 0));
         mgr.hook(HookPoint::TimerInterrupt, 1);
         mgr.hook(HookPoint::ContextSwitch, 2);
@@ -738,7 +908,7 @@ mod tests {
         let mgr = TaskManager::with_config(
             presets::kwak().into(),
             ManagerConfig {
-                backend: QueueBackend::LockFree,
+                queue_backend: QueueBackend::LockFree,
                 ..ManagerConfig::default()
             },
         );
@@ -754,9 +924,33 @@ mod tests {
     }
 
     #[test]
+    fn mutex_backend_runs_tasks() {
+        let mgr = TaskManager::with_config(
+            presets::kwak().into(),
+            ManagerConfig {
+                queue_backend: QueueBackend::Mutex,
+                ..ManagerConfig::default()
+            },
+        );
+        let h = mgr.submit(
+            |_| TaskStatus::Done,
+            CpuSet::range(0..4),
+            TaskOptions::oneshot(),
+        );
+        assert!(mgr.schedule(2));
+        assert!(h.is_complete());
+        // The OS mutex is uninstrumented: no spinlock stats.
+        assert!(mgr.stats().queues.iter().all(|q| q.lock_acquisitions == 0));
+    }
+
+    #[test]
     fn wait_active_self_progresses() {
         let mgr = kwak_mgr();
-        let h = mgr.submit(|_| TaskStatus::Done, CpuSet::single(4), TaskOptions::oneshot());
+        let h = mgr.submit(
+            |_| TaskStatus::Done,
+            CpuSet::single(4),
+            TaskOptions::oneshot(),
+        );
         h.wait_active(&mgr, 4).unwrap();
         assert!(h.is_complete());
     }
@@ -845,10 +1039,14 @@ mod tests {
     fn schedule_batch_respects_budget_and_drains_in_one_lock() {
         let mgr = kwak_mgr();
         for _ in 0..10 {
-            mgr.submit(|_| TaskStatus::Done, CpuSet::single(0), TaskOptions::oneshot());
+            mgr.submit(
+                |_| TaskStatus::Done,
+                CpuSet::single(0),
+                TaskOptions::oneshot(),
+            );
         }
-        let locks_before = mgr.stats().queues[mgr.topology().core_node(0).index()]
-            .lock_acquisitions;
+        let locks_before =
+            mgr.stats().queues[mgr.topology().core_node(0).index()].lock_acquisitions;
         assert_eq!(mgr.schedule_batch(0, 4), 4);
         let q = &mgr.stats().queues[mgr.topology().core_node(0).index()];
         assert_eq!(q.pending, 6);
@@ -863,7 +1061,11 @@ mod tests {
     #[test]
     fn schedule_batch_scans_whole_hierarchy_within_budget() {
         let mgr = kwak_mgr();
-        let local = mgr.submit(|_| TaskStatus::Done, CpuSet::single(2), TaskOptions::oneshot());
+        let local = mgr.submit(
+            |_| TaskStatus::Done,
+            CpuSet::single(2),
+            TaskOptions::oneshot(),
+        );
         let global = mgr.submit_global(|_| TaskStatus::Done, TaskOptions::oneshot());
         assert_eq!(mgr.schedule_batch(2, 8), 2);
         assert!(local.is_complete());
@@ -871,11 +1073,15 @@ mod tests {
     }
 
     #[test]
-    fn starved_core_completes_backlog_via_steal() {
+    fn starved_core_completes_backlog_via_steal_half() {
         // The satellite scenario: every task is homed on core 1's queue but
         // cores {0, 1} may run them. Core 1 never schedules (it is "busy
         // computing"); core 0's keypoints must finish everything by
         // stealing. Deterministic: single-threaded, driven by hand.
+        //
+        // With steal-half, each probe takes half the remaining eligible
+        // backlog: 16 tasks drain in 8+4+2+1+1 over exactly 5 probes —
+        // the geometric drain that replaces 16 one-task probes.
         let mgr = kwak_mgr();
         let handles: Vec<_> = (0..16)
             .map(|_| {
@@ -887,17 +1093,94 @@ mod tests {
                 )
             })
             .collect();
-        // Core 0's own path is empty: each schedule call steals one task.
-        for round in 0..16 {
-            assert!(mgr.schedule(0), "steal round {round} found nothing");
+        let mut rounds = 0;
+        while handles.iter().any(|h| !h.is_complete()) {
+            assert!(mgr.schedule(0), "steal round {rounds} found nothing");
+            rounds += 1;
         }
-        assert!(handles.iter().all(|h| h.is_complete()));
+        assert_eq!(rounds, 5, "steal-half drains 16 tasks in 5 probes");
         assert!(!mgr.schedule(0), "backlog fully drained");
         let stats = mgr.stats();
         assert_eq!(stats.stolen_by_core[0], 16);
         assert_eq!(stats.executed_by_core[0], 16);
-        assert!(stats.steal_attempts_by_core[0] >= 16);
+        assert_eq!(stats.stolen_batch_by_core[0], 5);
+        assert!(stats.steal_attempts_by_core[0] >= 5);
         assert_eq!(stats.total_stolen(), 16);
+        assert_eq!(stats.total_steal_batches(), 5);
+    }
+
+    #[test]
+    fn adaptive_budget_covers_steal_half_when_local_path_is_empty() {
+        // An idle worker's budget must not clamp a stolen half-backlog to
+        // the MIN_BATCH floor: with stealing on, the empty-path budget is
+        // DEFAULT_BATCH, so one adaptive keypoint takes the full half.
+        let mgr = kwak_mgr();
+        for _ in 0..64 {
+            mgr.submit_on(
+                |_| TaskStatus::Done,
+                1,
+                CpuSet::from_iter([0, 1]),
+                TaskOptions::oneshot(),
+            );
+        }
+        assert_eq!(mgr.adaptive_budget(0), DEFAULT_BATCH);
+        let budget = mgr.adaptive_budget(0);
+        assert_eq!(
+            mgr.schedule_batch(0, budget),
+            32,
+            "one adaptive keypoint steals the whole half-backlog"
+        );
+        // Without stealing there is nothing an empty-path keypoint could
+        // run; the floor is enough to cover submission races.
+        let no_steal = no_steal_mgr();
+        assert_eq!(no_steal.adaptive_budget(0), MIN_BATCH);
+    }
+
+    #[test]
+    fn schedule_one_steals_at_most_one_task() {
+        let mgr = kwak_mgr();
+        for _ in 0..8 {
+            mgr.submit_on(
+                |_| TaskStatus::Done,
+                1,
+                CpuSet::from_iter([0, 1]),
+                TaskOptions::oneshot(),
+            );
+        }
+        assert!(mgr.schedule_one(0));
+        let stats = mgr.stats();
+        assert_eq!(stats.stolen_by_core[0], 1, "budget 1 caps the half quota");
+        assert_eq!(mgr.pending_tasks(), 7);
+    }
+
+    #[test]
+    fn steal_prefers_deeper_backlog_within_a_tier() {
+        // Victims at the same locality distance from the thief (core 4):
+        // cores 5, 6 and 7 are all SameNuma siblings. Core 6's queue is
+        // deepest, so the probe must start there, not at core 5 (the
+        // lowest-id hot-but-shallower victim).
+        let mgr = kwak_mgr();
+        let shallow = mgr.submit_on(
+            |_| TaskStatus::Done,
+            5,
+            CpuSet::from_iter([4, 5]),
+            TaskOptions::oneshot(),
+        );
+        let deep: Vec<_> = (0..6)
+            .map(|_| {
+                mgr.submit_on(
+                    |_| TaskStatus::Done,
+                    6,
+                    CpuSet::from_iter([4, 6]),
+                    TaskOptions::oneshot(),
+                )
+            })
+            .collect();
+        assert!(mgr.schedule(4));
+        // Steal-half of core 6's backlog: 3 of its 6 tasks ran, core 5's
+        // single task untouched.
+        assert_eq!(deep.iter().filter(|h| h.is_complete()).count(), 3);
+        assert!(!shallow.is_complete());
     }
 
     #[test]
@@ -906,7 +1189,11 @@ mod tests {
         // loaded, but every task's cpuset is {3} — nothing may move.
         let mgr = kwak_mgr();
         for _ in 0..4 {
-            mgr.submit(|_| TaskStatus::Done, CpuSet::single(3), TaskOptions::oneshot());
+            mgr.submit(
+                |_| TaskStatus::Done,
+                CpuSet::single(3),
+                TaskOptions::oneshot(),
+            );
         }
         for _ in 0..10 {
             assert!(!mgr.schedule(2), "core 2 must not run core-3-only work");
@@ -991,7 +1278,7 @@ mod tests {
         let mgr = TaskManager::with_config(
             presets::kwak().into(),
             ManagerConfig {
-                backend: QueueBackend::LockFree,
+                queue_backend: QueueBackend::LockFree,
                 steal: true,
             },
         );
@@ -1022,7 +1309,11 @@ mod tests {
     fn executed_by_core_distribution() {
         let mgr = kwak_mgr();
         for _ in 0..10 {
-            mgr.submit(|_| TaskStatus::Done, CpuSet::single(3), TaskOptions::oneshot());
+            mgr.submit(
+                |_| TaskStatus::Done,
+                CpuSet::single(3),
+                TaskOptions::oneshot(),
+            );
         }
         mgr.schedule(3);
         let stats = mgr.stats();

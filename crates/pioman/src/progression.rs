@@ -29,20 +29,32 @@ pub struct ProgressionConfig {
     /// Optional dedicated timer thread that unparks every worker at this
     /// period, independent of submissions.
     pub timer_period: Option<Duration>,
-    /// Task budget per keypoint invocation (see
-    /// [`TaskManager::hook_batch`]): a worker drains at most this many
-    /// tasks per loop iteration, so a flood on one queue cannot keep a
-    /// worker away from its shutdown/park checks indefinitely. Queues are
-    /// drained in batches of up to this size under one lock acquisition.
-    pub batch: usize,
+    /// How the per-keypoint task budget (see [`TaskManager::hook_batch`])
+    /// is chosen each loop iteration: a worker drains at most that many
+    /// tasks per invocation, so a flood on one queue cannot keep a worker
+    /// away from its shutdown/park checks indefinitely. Queues are drained
+    /// in batches of up to the budget under one lock acquisition.
+    pub batch: BatchPolicy,
 }
 
-/// Default per-keypoint task budget for progression workers.
-pub const DEFAULT_BATCH: usize = 32;
+/// Per-keypoint budget policy for progression workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchPolicy {
+    /// Recompute the budget every keypoint from observed queue depth and
+    /// contention ([`TaskManager::adaptive_budget`]). The default: a
+    /// fixed budget either wastes passes on deep backlogs or reserves
+    /// slots shallow ones never fill.
+    #[default]
+    Adaptive,
+    /// A fixed budget per keypoint (clamped to at least 1). The pre-
+    /// adaptive behaviour — kept for the `adaptive_batch_ramp` ablation
+    /// and for callers that need strictly predictable drain sizes.
+    Fixed(usize),
+}
 
 impl ProgressionConfig {
     /// Workers for every core of the manager's topology, 100 µs park
-    /// timeout, no dedicated timer thread.
+    /// timeout, no dedicated timer thread, adaptive batch budget.
     pub fn all_cores(mgr: &TaskManager) -> Self {
         Self::for_cores((0..mgr.topology().n_cores()).collect::<Vec<_>>())
     }
@@ -53,7 +65,7 @@ impl ProgressionConfig {
             cores: cores.into(),
             park_timeout: Duration::from_micros(100),
             timer_period: None,
-            batch: DEFAULT_BATCH,
+            batch: BatchPolicy::Adaptive,
         }
     }
 }
@@ -90,7 +102,7 @@ impl Progression {
                 let shutdown = shutdown.clone();
                 let idle_loops = idle_loops.clone();
                 let park = config.park_timeout;
-                let batch = config.batch.max(1);
+                let policy = config.batch;
                 std::thread::Builder::new()
                     .name(format!("piom-worker-{core}"))
                     .spawn(move || {
@@ -98,7 +110,11 @@ impl Progression {
                         while !shutdown.load(Ordering::Acquire) {
                             // The worker *is* the idle loop: invoke the idle
                             // keypoint; park when nothing was runnable.
-                            let ran = mgr.hook_batch(HookPoint::Idle, core, batch) > 0;
+                            let budget = match policy {
+                                BatchPolicy::Fixed(n) => n.max(1),
+                                BatchPolicy::Adaptive => mgr.adaptive_budget(core),
+                            };
+                            let ran = mgr.hook_batch(HookPoint::Idle, core, budget) > 0;
                             if !ran {
                                 idle_loops.fetch_add(1, Ordering::Relaxed);
                                 if !mgr.has_work_for(core) {
@@ -245,6 +261,28 @@ mod tests {
             TaskOptions::oneshot(),
         );
         assert_eq!(h.wait(), Ok(()));
+    }
+
+    #[test]
+    fn fixed_batch_policy_still_progresses() {
+        let mgr = TaskManager::new(presets::symmetric(1, 1, 2).into());
+        let config = ProgressionConfig {
+            batch: BatchPolicy::Fixed(2),
+            ..ProgressionConfig::all_cores(&mgr)
+        };
+        let _prog = Progression::start(mgr.clone(), config);
+        let handles: Vec<_> = (0..20)
+            .map(|_| {
+                mgr.submit(
+                    |_| TaskStatus::Done,
+                    CpuSet::from_iter([0, 1]),
+                    TaskOptions::oneshot(),
+                )
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.wait(), Ok(()));
+        }
     }
 
     #[test]

@@ -28,9 +28,28 @@ enum Backend {
         list: SpinLock<VecDeque<Task>>,
         len: AtomicUsize,
     },
-    /// §VI future work: a lock-free queue (crossbeam's Michael-Scott-style
-    /// segmented queue) — used by the ablation benchmarks.
-    LockFree { list: SegQueue<Task> },
+    /// §VI future work: a true lock-free Michael–Scott queue with epoch
+    /// reclamation (vendored `crossbeam`) — compared against the spinlock
+    /// design by the ablation benchmarks. Boxed: the embedded epoch
+    /// collector's cache-line-padded pin slots make the queue ~2 KiB,
+    /// which would bloat every `TaskQueue` in the arena otherwise.
+    LockFree { list: Box<SegQueue<Task>> },
+    /// The pre-lock-free shim, kept as an ablation baseline: a plain OS
+    /// mutex around a `VecDeque`, locked on **every** operation including
+    /// emptiness checks (no Algorithm-2 unlocked hint). This is what
+    /// `QueueBackend::LockFree` silently was before the real lock-free
+    /// queue landed; the `lockfree_vs_mutex` bench quantifies the gap.
+    Mutex {
+        list: std::sync::Mutex<VecDeque<Task>>,
+    },
+}
+
+/// Locks a poisoned-agnostic mutex (a panicking task body must not poison
+/// the scheduler).
+fn lock_deque(
+    list: &std::sync::Mutex<VecDeque<Task>>,
+) -> std::sync::MutexGuard<'_, VecDeque<Task>> {
+    list.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 /// One hierarchical task queue.
@@ -64,7 +83,20 @@ impl TaskQueue {
             level,
             cpuset,
             backend: Backend::LockFree {
-                list: SegQueue::new(),
+                list: Box::new(SegQueue::new()),
+            },
+            submitted: AtomicU64::new(0),
+            executed: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn new_mutex(id: QueueId, level: Level, cpuset: CpuSet) -> Self {
+        TaskQueue {
+            id,
+            level,
+            cpuset,
+            backend: Backend::Mutex {
+                list: std::sync::Mutex::new(VecDeque::new()),
             },
             submitted: AtomicU64::new(0),
             executed: AtomicU64::new(0),
@@ -92,6 +124,14 @@ impl TaskQueue {
             // The lock-free backend has no two-ended variant; urgency only
             // affects wake-ups there.
             Backend::LockFree { list } => list.push(task),
+            Backend::Mutex { list } => {
+                let mut guard = lock_deque(list);
+                if task.options.urgent {
+                    guard.push_front(task);
+                } else {
+                    guard.push_back(task);
+                }
+            }
         }
     }
 
@@ -104,6 +144,7 @@ impl TaskQueue {
                 len.store(guard.len(), Ordering::Release);
             }
             Backend::LockFree { list } => list.push(task),
+            Backend::Mutex { list } => lock_deque(list).push_back(task),
         }
     }
 
@@ -125,6 +166,7 @@ impl TaskQueue {
                 task
             }
             Backend::LockFree { list } => list.pop(),
+            Backend::Mutex { list } => lock_deque(list).pop_front(),
         }
     }
 
@@ -156,50 +198,109 @@ impl TaskQueue {
                 }
                 n
             }
+            Backend::Mutex { list } => {
+                let mut guard = lock_deque(list);
+                let take = guard.len().min(max);
+                out.extend(guard.drain(..take));
+                take
+            }
         }
     }
 
-    /// Steals the oldest task that `thief` is allowed to run, skipping
-    /// tasks whose CPU set excludes it. Unlike `try_dequeue` + requeue,
-    /// ineligible tasks keep their queue position (spinlock backend), so a
-    /// probing thief never reorders work it cannot take.
+    /// Batched stealing (*steal-half*): takes up to `max` of the tasks
+    /// `thief` may run — at most **half of the eligible backlog**, rounded
+    /// up — into `out`, returning how many were taken.
     ///
-    /// The lock-free backend cannot scan in place; it pops at most one
-    /// bounded pass, re-pushing ineligible tasks (which moves them to the
-    /// tail — acceptable for the ablation backend, documented in
-    /// `DESIGN.md`).
-    pub(crate) fn try_steal(&self, thief: usize) -> Option<Task> {
+    /// Half, not all: the thief is catching a transient imbalance, and a
+    /// probe that looted the whole backlog would trade one starved core
+    /// for another while the home core's next keypoint finds nothing.
+    /// Half splits the backlog geometrically between the home core and
+    /// however many thieves arrive, so a drain completes in `O(log n)`
+    /// probes instead of `n` single-task probes (the per-probe premium
+    /// PR 2's trajectory measured).
+    ///
+    /// Ineligible tasks keep their queue positions under the Spin and
+    /// Mutex backends. The lock-free backend cannot scan in place: it pops
+    /// a bounded pass and re-pushes what it must leave behind, which
+    /// rotates the queue (documented in `DESIGN.md`; acceptable because
+    /// intra-queue FIFO order carries no completion-order guarantee).
+    pub(crate) fn try_steal_half(&self, thief: usize, max: usize, out: &mut Vec<Task>) -> usize {
+        if max == 0 {
+            return 0;
+        }
         match &self.backend {
             Backend::Spin { list, len } => {
                 if len.load(Ordering::Acquire) == 0 {
-                    return None;
+                    return 0;
                 }
                 let mut guard = list.lock();
-                let pos = guard.iter().position(|t| t.cpuset.contains(thief))?;
-                let task = guard.remove(pos);
+                let taken = Self::drain_half_eligible(&mut guard, thief, max, out);
                 len.store(guard.len(), Ordering::Release);
-                task
+                taken
+            }
+            Backend::Mutex { list } => {
+                let mut guard = lock_deque(list);
+                Self::drain_half_eligible(&mut guard, thief, max, out)
             }
             Backend::LockFree { list } => {
+                // One bounded pass: pop everything visible, keep the
+                // eligible half, re-push the rest at the tail.
+                let mut eligible = Vec::new();
                 let mut scan = list.len();
                 while scan > 0 {
                     scan -= 1;
-                    let task = list.pop()?;
+                    let Some(task) = list.pop() else { break };
                     if task.cpuset.contains(thief) {
-                        return Some(task);
+                        eligible.push(task);
+                    } else {
+                        list.push(task);
                     }
+                }
+                let quota = eligible.len().div_ceil(2).min(max);
+                for task in eligible.drain(quota..) {
                     list.push(task);
                 }
-                None
+                out.append(&mut eligible);
+                quota
             }
         }
     }
 
-    /// Current length (hint; racy by nature).
+    /// Shared Spin/Mutex steal-half body: removes the oldest
+    /// `min(max, ceil(eligible / 2))` eligible tasks, leaving ineligible
+    /// ones in place and in order.
+    fn drain_half_eligible(
+        guard: &mut VecDeque<Task>,
+        thief: usize,
+        max: usize,
+        out: &mut Vec<Task>,
+    ) -> usize {
+        let eligible = guard.iter().filter(|t| t.cpuset.contains(thief)).count();
+        if eligible == 0 {
+            return 0;
+        }
+        let quota = eligible.div_ceil(2).min(max);
+        let mut taken = 0;
+        let mut i = 0;
+        while taken < quota && i < guard.len() {
+            if guard[i].cpuset.contains(thief) {
+                out.push(guard.remove(i).expect("index checked"));
+                taken += 1;
+            } else {
+                i += 1;
+            }
+        }
+        taken
+    }
+
+    /// Current length (hint; racy by nature). The Mutex backend pays a
+    /// lock acquisition here — exactly the cost Algorithm 2's unlocked
+    /// hint (Spin) and the atomic counter (LockFree) avoid.
     pub(crate) fn len_hint(&self) -> usize {
         match &self.backend {
             Backend::Spin { len, .. } => len.load(Ordering::Acquire),
             Backend::LockFree { list } => list.len(),
+            Backend::Mutex { list } => lock_deque(list).len(),
         }
     }
 
@@ -215,13 +316,14 @@ impl TaskQueue {
         self.executed.load(Ordering::Relaxed)
     }
 
-    /// Lock statistics, when the backend has a lock.
+    /// Lock statistics, when the backend has an instrumented lock (the
+    /// Mutex backend's OS lock is not instrumented).
     pub(crate) fn lock_stats(&self) -> Option<(u64, u64)> {
         match &self.backend {
             Backend::Spin { list, .. } => {
                 Some((list.acquisitions(), list.contended_acquisitions()))
             }
-            Backend::LockFree { .. } => None,
+            Backend::LockFree { .. } | Backend::Mutex { .. } => None,
         }
     }
 }
@@ -252,6 +354,10 @@ mod tests {
 
     fn lockfree_queue() -> TaskQueue {
         TaskQueue::new_lockfree(QueueId(0), Level::Core, CpuSet::single(0))
+    }
+
+    fn mutex_queue() -> TaskQueue {
+        TaskQueue::new_mutex(QueueId(0), Level::Core, CpuSet::single(0))
     }
 
     #[test]
@@ -347,20 +453,14 @@ mod tests {
         q.enqueue(task_for(q.id, CpuSet::from_iter([0, 3])));
         q.enqueue(task_for(q.id, CpuSet::single(0)));
         // Thief core 3 takes the (only) eligible task...
-        let stolen = q.try_steal(3).expect("eligible task present");
-        assert!(stolen.cpuset().contains(3));
+        let mut out = Vec::new();
+        assert_eq!(q.try_steal_half(3, usize::MAX, &mut out), 1);
+        assert!(out.pop().unwrap().cpuset().contains(3));
         // ...and the two ineligible ones stay, in order, still dequeuable.
         assert_eq!(q.len_hint(), 2);
-        assert!(q.try_steal(3).is_none());
+        assert_eq!(q.try_steal_half(3, usize::MAX, &mut out), 0);
         assert!(q.try_dequeue().is_some());
         assert!(q.try_dequeue().is_some());
-    }
-
-    #[test]
-    fn steal_on_empty_queue_never_locks() {
-        let q = spin_queue();
-        assert!(q.try_steal(1).is_none());
-        assert_eq!(q.lock_stats().unwrap().0, 0);
     }
 
     #[test]
@@ -368,9 +468,99 @@ mod tests {
         let q = lockfree_queue();
         q.enqueue(task_for(q.id, CpuSet::single(0)));
         q.enqueue(task_for(q.id, CpuSet::from_iter([0, 3])));
-        assert!(q.try_steal(3).is_some());
-        assert!(q.try_steal(3).is_none());
+        let mut out = Vec::new();
+        assert_eq!(q.try_steal_half(3, usize::MAX, &mut out), 1);
+        assert_eq!(q.try_steal_half(3, usize::MAX, &mut out), 0);
         assert_eq!(q.len_hint(), 1, "ineligible task survives the pass");
+    }
+
+    #[test]
+    fn fifo_order_mutex() {
+        let q = mutex_queue();
+        for _ in 0..3 {
+            q.enqueue(dummy_task(q.id));
+        }
+        assert_eq!(q.len_hint(), 3);
+        let mut n = 0;
+        while q.try_dequeue().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 3);
+        assert!(q.lock_stats().is_none(), "OS mutex is uninstrumented");
+    }
+
+    #[test]
+    fn steal_half_takes_half_of_eligible_backlog() {
+        for q in [spin_queue(), mutex_queue()] {
+            // 6 eligible for thief 3, 2 not.
+            for i in 0..8 {
+                let set = if i % 4 == 3 {
+                    CpuSet::single(0)
+                } else {
+                    CpuSet::from_iter([0, 3])
+                };
+                q.enqueue(task_for(q.id, set));
+            }
+            let mut out = Vec::new();
+            assert_eq!(q.try_steal_half(3, usize::MAX, &mut out), 3);
+            assert!(out.iter().all(|t| t.cpuset().contains(3)));
+            assert_eq!(q.len_hint(), 5, "half the eligible + all ineligible stay");
+            // The survivors are still dequeuable in order by the home core.
+            let mut left = 0;
+            while q.try_dequeue().is_some() {
+                left += 1;
+            }
+            assert_eq!(left, 5);
+        }
+    }
+
+    #[test]
+    fn steal_half_rounds_up_and_honours_max() {
+        let q = spin_queue();
+        q.enqueue(task_for(q.id, CpuSet::from_iter([0, 1])));
+        let mut out = Vec::new();
+        // ceil(1/2) = 1: a lone straggler is still stealable.
+        assert_eq!(q.try_steal_half(1, usize::MAX, &mut out), 1);
+        assert_eq!(q.len_hint(), 0);
+
+        for _ in 0..10 {
+            q.enqueue(task_for(q.id, CpuSet::from_iter([0, 1])));
+        }
+        out.clear();
+        // Budget caps below the half quota.
+        assert_eq!(q.try_steal_half(1, 2, &mut out), 2);
+        assert_eq!(q.len_hint(), 8);
+        assert_eq!(
+            q.try_steal_half(1, 0, &mut out),
+            0,
+            "zero budget steals nothing"
+        );
+    }
+
+    #[test]
+    fn steal_half_on_empty_queue_never_locks() {
+        let q = spin_queue();
+        let mut out = Vec::new();
+        assert_eq!(q.try_steal_half(1, usize::MAX, &mut out), 0);
+        assert_eq!(q.lock_stats().unwrap().0, 0);
+    }
+
+    #[test]
+    fn steal_half_lockfree_keeps_ineligible_tasks() {
+        let q = lockfree_queue();
+        for i in 0..6 {
+            let set = if i % 2 == 0 {
+                CpuSet::from_iter([0, 2])
+            } else {
+                CpuSet::single(0)
+            };
+            q.enqueue(task_for(q.id, set));
+        }
+        let mut out = Vec::new();
+        // 3 eligible -> ceil(3/2) = 2 stolen, 1 re-pushed, 3 ineligible kept.
+        assert_eq!(q.try_steal_half(2, usize::MAX, &mut out), 2);
+        assert!(out.iter().all(|t| t.cpuset().contains(2)));
+        assert_eq!(q.len_hint(), 4);
     }
 
     #[test]

@@ -40,6 +40,12 @@ pub struct ManagerStats {
     /// at victim queues, successful or not. The ratio of steals to attempts
     /// measures how often idleness found displaceable work.
     pub steal_attempts_by_core: Vec<u64>,
+    /// Successful steal-half batches per thief core (each batch moved at
+    /// least one task). `stolen_by_core / stolen_batch_by_core` is the mean
+    /// batch size — how much each probe's victim-scan premium was amortized
+    /// over; 1.0 means stealing degenerated to the old one-task-per-probe
+    /// behaviour.
+    pub stolen_batch_by_core: Vec<u64>,
     /// Invocations of the idle hook.
     pub hook_idle: u64,
     /// Invocations of the context-switch hook.
@@ -62,6 +68,11 @@ impl ManagerStats {
     /// Total tasks stolen across all cores.
     pub fn total_stolen(&self) -> u64 {
         self.stolen_by_core.iter().sum()
+    }
+
+    /// Total successful steal-half batches across all cores.
+    pub fn total_steal_batches(&self) -> u64 {
+        self.stolen_batch_by_core.iter().sum()
     }
 
     /// Share of task executions done by each core, as fractions of 1.
@@ -91,6 +102,7 @@ mod tests {
             executed_by_core,
             stolen_by_core: vec![0; n],
             steal_attempts_by_core: vec![0; n],
+            stolen_batch_by_core: vec![0; n],
             hook_idle: 0,
             hook_context_switch: 0,
             hook_timer: 0,

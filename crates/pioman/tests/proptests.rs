@@ -1,9 +1,9 @@
 //! Property tests: no task is ever lost, duplicated, or run on a forbidden
 //! core, across random topologies, cpusets, and backends.
 
-use pioman::{ManagerConfig, QueueBackend, TaskManager, TaskOptions, TaskStatus};
 use piom_cpuset::CpuSet;
 use piom_topology::TopologyBuilder;
+use pioman::{ManagerConfig, QueueBackend, TaskManager, TaskOptions, TaskStatus};
 use proptest::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -24,7 +24,11 @@ fn arb_shape() -> impl Strategy<Value = Shape> {
 }
 
 fn arb_backend() -> impl Strategy<Value = QueueBackend> {
-    prop_oneof![Just(QueueBackend::Spinlock), Just(QueueBackend::LockFree)]
+    prop_oneof![
+        Just(QueueBackend::Spinlock),
+        Just(QueueBackend::LockFree),
+        Just(QueueBackend::Mutex),
+    ]
 }
 
 proptest! {
@@ -46,7 +50,7 @@ proptest! {
                 .build(),
         );
         let n = topo.n_cores();
-        let mgr = TaskManager::with_config(topo.clone(), ManagerConfig { backend, ..ManagerConfig::default() });
+        let mgr = TaskManager::with_config(topo.clone(), ManagerConfig { queue_backend: backend, ..ManagerConfig::default() });
 
         let run_counts: Vec<Arc<AtomicU64>> =
             (0..seeds.len()).map(|_| Arc::new(AtomicU64::new(0))).collect();
@@ -113,7 +117,7 @@ proptest! {
                 .build(),
         );
         let n = topo.n_cores();
-        let mgr = TaskManager::with_config(topo, ManagerConfig { backend, ..ManagerConfig::default() });
+        let mgr = TaskManager::with_config(topo, ManagerConfig { queue_backend: backend, ..ManagerConfig::default() });
         let runs = Arc::new(AtomicU64::new(0));
         let r = runs.clone();
         let h = mgr.submit(
@@ -146,7 +150,7 @@ proptest! {
         n_tasks in 1usize..60,
     ) {
         let topo = Arc::new(TopologyBuilder::new("p").cores_per_cache(4).build());
-        let mgr = TaskManager::with_config(topo, ManagerConfig { backend, ..ManagerConfig::default() });
+        let mgr = TaskManager::with_config(topo, ManagerConfig { queue_backend: backend, ..ManagerConfig::default() });
         let prog = pioman::Progression::start(
             mgr.clone(),
             pioman::ProgressionConfig::all_cores(&mgr),
@@ -164,5 +168,101 @@ proptest! {
             prop_assert_eq!(h.wait(), Ok(()));
         }
         drop(prog);
+    }
+}
+
+/// Sizes for the interleaving proptest below, shrunk under Miri: CI's
+/// `cargo miri test -p pioman lockfree` matches this test by name, and
+/// the interpreter is orders of magnitude slower than native, so both
+/// the case count and the thread/task ranges stay small there.
+const INTERLEAVE_CASES: u32 = if cfg!(miri) { 2 } else { 64 };
+const MAX_INTERLEAVE_THREADS: usize = if cfg!(miri) { 3 } else { 4 };
+const MAX_TASKS_PER_PRODUCER: usize = if cfg!(miri) { 5 } else { 30 };
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(INTERLEAVE_CASES))]
+
+    /// The lock-free backend under real-thread interleavings of push
+    /// (submission), pop (home-core drains), and steal (sibling drains):
+    /// no task lost, none duplicated. Producer threads home every task on
+    /// core 0 with a multi-core cpuset; consumer threads hammer keypoints
+    /// on *all* cores concurrently, so local batched pops race steal-half
+    /// probes on the same Michael–Scott queue throughout. The vendored
+    /// proptest RNG is seeded from the test name (deterministic), and
+    /// iterations are bounded by the case count below.
+    #[test]
+    fn lockfree_backend_survives_push_pop_steal_interleaving(
+        n_producers in 1usize..MAX_INTERLEAVE_THREADS,
+        tasks_per_producer in 1usize..MAX_TASKS_PER_PRODUCER,
+        n_consumers in 1usize..MAX_INTERLEAVE_THREADS,
+    ) {
+        let topo = Arc::new(TopologyBuilder::new("p").cores_per_cache(4).build());
+        let mgr = TaskManager::with_config(
+            topo,
+            ManagerConfig {
+                queue_backend: QueueBackend::LockFree,
+                ..ManagerConfig::default()
+            },
+        );
+        let total = n_producers * tasks_per_producer;
+        let runs = Arc::new(AtomicU64::new(0));
+        let done = Arc::new(AtomicU64::new(0));
+
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for _ in 0..n_producers {
+                let mgr = mgr.clone();
+                let runs = runs.clone();
+                handles.push(s.spawn(move || {
+                    (0..tasks_per_producer)
+                        .map(|_| {
+                            let runs = runs.clone();
+                            mgr.submit_on(
+                                move |_| {
+                                    runs.fetch_add(1, Ordering::SeqCst);
+                                    TaskStatus::Done
+                                },
+                                0,
+                                CpuSet::first_n(4),
+                                TaskOptions::oneshot(),
+                            )
+                        })
+                        .collect::<Vec<_>>()
+                }));
+            }
+            for consumer in 0..n_consumers {
+                let mgr = mgr.clone();
+                let done = done.clone();
+                s.spawn(move || {
+                    // Each consumer sweeps every core, so home-core pops
+                    // and cross-core steals interleave freely. Yield on an
+                    // empty sweep: keeps Miri's deterministic scheduler
+                    // rotating instead of burning interpreter cycles.
+                    while done.load(Ordering::SeqCst) == 0 {
+                        let mut ran = 0;
+                        for core in 0..4 {
+                            ran += mgr.schedule_batch(core, 1 + consumer);
+                        }
+                        if ran == 0 {
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+            let mut all = Vec::new();
+            for h in handles {
+                all.extend(h.join().unwrap());
+            }
+            for h in &all {
+                h.wait().unwrap();
+            }
+            done.store(1, Ordering::SeqCst);
+            assert!(all.iter().all(|h| h.is_complete()));
+        });
+
+        prop_assert_eq!(runs.load(Ordering::SeqCst) as usize, total, "each task ran exactly once");
+        let stats = mgr.stats();
+        prop_assert_eq!(stats.total_executed() as usize, total);
+        prop_assert_eq!(mgr.pending_tasks(), 0);
     }
 }

@@ -69,10 +69,10 @@ impl TopologyBuilder {
 
         let mut nodes: Vec<Node> = Vec::new();
         let push = |level: Level,
-                        ordinal: usize,
-                        cpuset: CpuSet,
-                        parent: Option<NodeId>,
-                        nodes: &mut Vec<Node>|
+                    ordinal: usize,
+                    cpuset: CpuSet,
+                    parent: Option<NodeId>,
+                    nodes: &mut Vec<Node>|
          -> NodeId {
             let depth = parent.map_or(0, |p| nodes[p.index()].depth + 1);
             let id = NodeId(nodes.len() as u32);
@@ -90,13 +90,7 @@ impl TopologyBuilder {
             id
         };
 
-        let root = push(
-            Level::Machine,
-            0,
-            CpuSet::first_n(total),
-            None,
-            &mut nodes,
-        );
+        let root = push(Level::Machine, 0, CpuSet::first_n(total), None, &mut nodes);
 
         let mut core_nodes = vec![NodeId(0); total];
         let mut cache_ordinal = 0usize;

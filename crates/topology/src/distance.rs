@@ -91,21 +91,44 @@ impl Topology {
     ///
     /// Panics if `core` is out of range.
     pub fn steal_order(&self, core: usize) -> Vec<NodeId> {
+        self.steal_order_with_distance(core)
+            .into_iter()
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// [`steal_order`](Self::steal_order) annotated with each victim's
+    /// [`Locality`] distance from `core`.
+    ///
+    /// The distance partitions the order into *tiers* of equally-near
+    /// victims (a NUMA node's sibling per-core queues, for example). A
+    /// scheduler is free to re-rank victims **within** a tier by a runtime
+    /// signal — the task manager probes deeper backlogs first, so a thief
+    /// skips hot-but-empty neighbours without ever paying a farther tier's
+    /// interconnect crossing prematurely.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn steal_order_with_distance(&self, core: usize) -> Vec<(NodeId, usize)> {
         let on_path: Vec<NodeId> = self.path_to_root(core).collect();
-        let mut victims: Vec<NodeId> = self
+        let mut victims: Vec<(NodeId, usize)> = self
             .node_ids()
             .filter(|id| !on_path.contains(id))
+            .map(|id| {
+                let nearest = self
+                    .node(id)
+                    .cpuset
+                    .iter()
+                    .filter(|&c| c < self.n_cores())
+                    .map(|c| self.distance(core, c))
+                    .min()
+                    .unwrap_or(usize::MAX);
+                (id, nearest)
+            })
             .collect();
-        victims.sort_by_key(|&id| {
-            let node = self.node(id);
-            let nearest = node
-                .cpuset
-                .iter()
-                .filter(|&c| c < self.n_cores())
-                .map(|c| self.distance(core, c))
-                .min()
-                .unwrap_or(usize::MAX);
-            (nearest, core::cmp::Reverse(node.depth), id.index())
+        victims.sort_by_key(|&(id, nearest)| {
+            (nearest, core::cmp::Reverse(self.node(id).depth), id.index())
         });
         victims
     }
@@ -188,6 +211,33 @@ mod tests {
         let order = t.steal_order(0);
         assert_eq!(t.node(order[0]).cpuset.first().unwrap(), 1);
         assert_eq!(t.node(order[0]).level, Level::Core);
+    }
+
+    #[test]
+    fn steal_order_with_distance_matches_and_tiers_are_monotone() {
+        let t = presets::kwak();
+        for core in [0, 5, 15] {
+            let plain = t.steal_order(core);
+            let annotated = t.steal_order_with_distance(core);
+            assert_eq!(
+                plain,
+                annotated.iter().map(|&(id, _)| id).collect::<Vec<_>>(),
+                "annotated order must agree with the plain one"
+            );
+            for (id, d) in &annotated {
+                let nearest = t
+                    .node(*id)
+                    .cpuset
+                    .iter()
+                    .map(|c| t.distance(core, c))
+                    .min()
+                    .unwrap();
+                assert_eq!(*d, nearest, "distance annotation is the tier key");
+            }
+            for w in annotated.windows(2) {
+                assert!(w[0].1 <= w[1].1, "tiers never get closer again");
+            }
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! ASCII rendering of topology trees (the shape of the paper's Figs. 2–3).
 
-use crate::{Topology, NodeId};
+use crate::{NodeId, Topology};
 use core::fmt::Write as _;
 
 impl Topology {
@@ -28,7 +28,10 @@ impl Topology {
         let _ = writeln!(
             out,
             "{indent}{} #{} [cpus {}] -> {}",
-            node.level, node.ordinal, node.cpuset, node.level.queue_name()
+            node.level,
+            node.ordinal,
+            node.cpuset,
+            node.level.queue_name()
         );
         for &child in &node.children {
             self.render_node(child, out);

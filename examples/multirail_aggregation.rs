@@ -12,9 +12,15 @@ use piom_suite::net::{NetParams, Network};
 use piom_suite::newmad::{CommEngine, EngineConfig};
 
 fn main() {
-    for (label, aggregation) in [("direct (no optimizer)", false), ("collect + aggregate", true)] {
+    for (label, aggregation) in [
+        ("direct (no optimizer)", false),
+        ("collect + aggregate", true),
+    ] {
         let net = Network::new(2, 2, NetParams::infiniband());
-        let cfg = EngineConfig { aggregation, ..EngineConfig::newmadeleine() };
+        let cfg = EngineConfig {
+            aggregation,
+            ..EngineConfig::newmadeleine()
+        };
         let tx = CommEngine::new(0, net.clone(), cfg.clone());
         let rx = CommEngine::new(1, net.clone(), cfg);
         let mut sim = Sim::new();
@@ -40,7 +46,11 @@ fn main() {
         }
         sim.run();
 
-        let done = recvs.iter().map(|r| r.completed_at().unwrap()).max().unwrap();
+        let done = recvs
+            .iter()
+            .map(|r| r.completed_at().unwrap())
+            .max()
+            .unwrap();
         let packets = net.nic(0, 0).tx_count() + net.nic(0, 1).tx_count();
         println!(
             "{label:<24} wire packets: {packets:>4}   all delivered at: {done}   \

@@ -9,7 +9,10 @@
 use piom_suite::madmpi::{mtlat, MpiImpl};
 
 fn main() {
-    println!("{:<10}{:>16}{:>16}", "threads", "MVAPICH-like µs", "PIOMan µs");
+    println!(
+        "{:<10}{:>16}{:>16}",
+        "threads", "MVAPICH-like µs", "PIOMan µs"
+    );
     for threads in [1usize, 2, 4, 8, 16, 32, 64, 128] {
         let mv = mtlat::run_mtlat(MpiImpl::MvapichLike, threads, 60, 7);
         let pm = mtlat::run_mtlat(MpiImpl::MadMpi, threads, 60, 7);

@@ -6,9 +6,9 @@
 //!
 //! Run with: `cargo run --release --example overlap [sender|receiver|both]`
 
+use piom_suite::des::SimTime;
 use piom_suite::madmpi::overlap::{run_overlap, ComputeSide};
 use piom_suite::madmpi::MpiImpl;
-use piom_suite::des::SimTime;
 
 fn main() {
     let side = match std::env::args().nth(1).as_deref() {
@@ -17,7 +17,10 @@ fn main() {
         _ => ComputeSide::Receiver,
     };
     println!("overlap ratio, 1 MB message, compute on {side:?} side");
-    println!("{:<14}{:>10}{:>10}{:>10}", "compute (µs)", "MVAPICH", "OpenMPI", "PIOMan");
+    println!(
+        "{:<14}{:>10}{:>10}{:>10}",
+        "compute (µs)", "MVAPICH", "OpenMPI", "PIOMan"
+    );
     for us in [100u64, 250, 500, 750, 1000, 1500, 2000] {
         let t = SimTime::from_us(us);
         let row: Vec<f64> = MpiImpl::ALL

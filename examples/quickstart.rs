@@ -7,10 +7,8 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use piom_suite::pioman::{
-    Progression, ProgressionConfig, TaskManager, TaskOptions, TaskStatus,
-};
 use piom_suite::cpuset::CpuSet;
+use piom_suite::pioman::{Progression, ProgressionConfig, TaskManager, TaskOptions, TaskStatus};
 use piom_suite::topology::presets;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
@@ -20,7 +18,12 @@ fn main() {
     // would use `presets::host()`; virtual cores still work — they are
     // queue lanes, not OS CPUs.
     let topo = Arc::new(presets::kwak());
-    println!("machine: {} ({} cores, {} task queues)", topo.name(), topo.n_cores(), topo.n_nodes());
+    println!(
+        "machine: {} ({} cores, {} task queues)",
+        topo.name(),
+        topo.n_cores(),
+        topo.n_nodes()
+    );
 
     let mgr = TaskManager::new(topo);
     let prog = Progression::start(mgr.clone(), ProgressionConfig::all_cores(&mgr));
@@ -52,7 +55,10 @@ fn main() {
         TaskOptions::repeat(),
     );
     h.wait().unwrap();
-    println!("polling task completed after {} polls", polls.load(Ordering::Relaxed));
+    println!(
+        "polling task completed after {} polls",
+        polls.load(Ordering::Relaxed)
+    );
 
     // 3. A burst of tasks across the whole machine.
     let done = Arc::new(AtomicU32::new(0));
@@ -76,10 +82,7 @@ fn main() {
 
     // Where did everything run?
     let stats = mgr.stats();
-    println!(
-        "executions per core: {:?}",
-        stats.executed_by_core
-    );
+    println!("executions per core: {:?}", stats.executed_by_core);
     println!(
         "hooks fired: idle={} timer={} ctx-switch={}",
         stats.hook_idle, stats.hook_timer, stats.hook_context_switch

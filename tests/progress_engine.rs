@@ -3,9 +3,7 @@
 //! (cpuset + topology + pioman).
 
 use piom_suite::cpuset::CpuSet;
-use piom_suite::pioman::{
-    Progression, ProgressionConfig, TaskManager, TaskOptions, TaskStatus,
-};
+use piom_suite::pioman::{Progression, ProgressionConfig, TaskManager, TaskOptions, TaskStatus};
 use piom_suite::topology::presets;
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use std::sync::Arc;

@@ -1,109 +1,15 @@
-//! Offline API-compatible shim for the `crossbeam` umbrella crate.
+//! Offline API-compatible stand-in for the `crossbeam` umbrella crate.
 //!
 //! This workspace builds in an environment without registry access, so the
 //! subset of crossbeam it uses is vendored here: [`queue::SegQueue`], an
-//! unbounded MPMC FIFO. The real crate's implementation is a lock-free
-//! segmented Michael-Scott queue; this shim provides the same interface and
-//! semantics (thread-safe, FIFO, unbounded) over a mutexed `VecDeque`.
-//! Swap for `crossbeam = "0.8"` when a registry is reachable.
+//! unbounded MPMC FIFO. Earlier revisions shimmed it over a mutexed
+//! `VecDeque`; it is now a **real lock-free queue** — the Michael–Scott
+//! linked queue with a three-epoch reclamation scheme (see the `epoch`
+//! module) — so the `queue_backend` ablation benches compare genuine
+//! lock-free behaviour against the paper's spinlock design. Swap for
+//! `crossbeam = "0.8"` when a registry is reachable.
 
 #![warn(missing_docs)]
 
-pub mod queue {
-    //! Concurrent queues (shim: `SegQueue` only).
-
-    use std::collections::VecDeque;
-    use std::sync::Mutex;
-
-    /// An unbounded multi-producer multi-consumer FIFO queue.
-    ///
-    /// API-compatible with `crossbeam::queue::SegQueue`.
-    #[derive(Debug)]
-    pub struct SegQueue<T> {
-        inner: Mutex<VecDeque<T>>,
-    }
-
-    impl<T> SegQueue<T> {
-        /// Creates an empty queue.
-        pub fn new() -> Self {
-            SegQueue {
-                inner: Mutex::new(VecDeque::new()),
-            }
-        }
-
-        /// Pushes `value` at the back of the queue.
-        pub fn push(&self, value: T) {
-            self.lock().push_back(value);
-        }
-
-        /// Pops the front element, or `None` if the queue is empty.
-        pub fn pop(&self) -> Option<T> {
-            self.lock().pop_front()
-        }
-
-        /// Number of elements currently queued.
-        pub fn len(&self) -> usize {
-            self.lock().len()
-        }
-
-        /// `true` if the queue holds no elements.
-        pub fn is_empty(&self) -> bool {
-            self.lock().is_empty()
-        }
-
-        fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
-            self.inner.lock().unwrap_or_else(|e| e.into_inner())
-        }
-    }
-
-    impl<T> Default for SegQueue<T> {
-        fn default() -> Self {
-            Self::new()
-        }
-    }
-
-    #[cfg(test)]
-    mod tests {
-        use super::*;
-
-        #[test]
-        fn fifo_order() {
-            let q = SegQueue::new();
-            q.push(1);
-            q.push(2);
-            q.push(3);
-            assert_eq!(q.len(), 3);
-            assert_eq!(q.pop(), Some(1));
-            assert_eq!(q.pop(), Some(2));
-            assert_eq!(q.pop(), Some(3));
-            assert_eq!(q.pop(), None);
-            assert!(q.is_empty());
-        }
-
-        #[test]
-        fn concurrent_push_pop() {
-            use std::sync::Arc;
-            let q = Arc::new(SegQueue::new());
-            let producers: Vec<_> = (0..4)
-                .map(|t| {
-                    let q = q.clone();
-                    std::thread::spawn(move || {
-                        for i in 0..100 {
-                            q.push(t * 100 + i);
-                        }
-                    })
-                })
-                .collect();
-            for p in producers {
-                p.join().unwrap();
-            }
-            let mut got = Vec::new();
-            while let Some(v) = q.pop() {
-                got.push(v);
-            }
-            got.sort_unstable();
-            assert_eq!(got.len(), 400);
-            assert!(got.windows(2).all(|w| w[0] != w[1]));
-        }
-    }
-}
+mod epoch;
+pub mod queue;

@@ -1,0 +1,300 @@
+//! Concurrent queues: a lock-free `SegQueue`.
+
+use crate::epoch::Collector;
+use core::mem::MaybeUninit;
+use core::ptr;
+use core::sync::atomic::{AtomicPtr, AtomicUsize, Ordering::SeqCst};
+
+/// An unbounded multi-producer multi-consumer FIFO queue.
+///
+/// API-compatible with `crossbeam::queue::SegQueue`. The implementation is
+/// the Michael–Scott lock-free linked queue (PODC '96): `head` points at a
+/// *dummy* node whose `next` is the front element; `push` links at `tail`
+/// with a compare-and-swap (helping a lagging tail forward), and `pop`
+/// swings `head` to the next node, whose value the CAS winner moves out —
+/// the popped node becomes the new dummy. Unlinked dummies are freed
+/// through the crate's epoch-based reclamation (`epoch` module), which is
+/// what makes the pointers ABA-safe: a node's address cannot be recycled
+/// while any thread that could still CAS against it remains pinned.
+pub struct SegQueue<T> {
+    /// The dummy node; `head.next` is the front element (null = empty).
+    head: AtomicPtr<Node<T>>,
+    tail: AtomicPtr<Node<T>>,
+    /// Element count, maintained `push`-side *before* linking so the
+    /// matching decrement can never underflow. Racy snapshot by nature.
+    len: AtomicUsize,
+    collector: Collector,
+}
+
+struct Node<T> {
+    next: AtomicPtr<Node<T>>,
+    /// `MaybeUninit` so freeing a node never double-drops: the dummy holds
+    /// no value, and a popped node's value is moved out before the node is
+    /// retired.
+    value: MaybeUninit<T>,
+}
+
+// The auto impls would be unbounded (the struct stores only raw pointers
+// and atomics); tie them to `T: Send` like the real crate does.
+unsafe impl<T: Send> Send for SegQueue<T> {}
+unsafe impl<T: Send> Sync for SegQueue<T> {}
+
+impl<T> SegQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        let dummy = Box::into_raw(Box::new(Node {
+            next: AtomicPtr::new(ptr::null_mut()),
+            value: MaybeUninit::uninit(),
+        }));
+        SegQueue {
+            head: AtomicPtr::new(dummy),
+            tail: AtomicPtr::new(dummy),
+            len: AtomicUsize::new(0),
+            collector: Collector::new(),
+        }
+    }
+
+    /// Pushes `value` at the back of the queue. Never blocks.
+    pub fn push(&self, value: T) {
+        let node = Box::into_raw(Box::new(Node {
+            next: AtomicPtr::new(ptr::null_mut()),
+            value: MaybeUninit::new(value),
+        }));
+        // Count before linking: see the `len` field docs.
+        self.len.fetch_add(1, SeqCst);
+        let _guard = self.collector.pin();
+        loop {
+            let tail = self.tail.load(SeqCst);
+            let next = unsafe { (*tail).next.load(SeqCst) };
+            if !next.is_null() {
+                // Tail lags behind the last node; help it forward, retry.
+                let _ = self.tail.compare_exchange(tail, next, SeqCst, SeqCst);
+                continue;
+            }
+            if unsafe {
+                (*tail)
+                    .next
+                    .compare_exchange(ptr::null_mut(), node, SeqCst, SeqCst)
+            }
+            .is_ok()
+            {
+                // Linking succeeded; swinging tail is best-effort (a loser
+                // helps on its next attempt).
+                let _ = self.tail.compare_exchange(tail, node, SeqCst, SeqCst);
+                return;
+            }
+        }
+    }
+
+    /// Pops the front element, or `None` if the queue is empty. Never
+    /// blocks.
+    pub fn pop(&self) -> Option<T> {
+        let _guard = self.collector.pin();
+        loop {
+            let head = self.head.load(SeqCst);
+            let next = unsafe { (*head).next.load(SeqCst) };
+            if next.is_null() {
+                return None;
+            }
+            let tail = self.tail.load(SeqCst);
+            if head == tail {
+                // Non-empty but tail still points at the dummy: help it
+                // forward *before* unlinking, so `tail` can never be left
+                // pointing at a retired node.
+                let _ = self.tail.compare_exchange(tail, next, SeqCst, SeqCst);
+                continue;
+            }
+            if self
+                .head
+                .compare_exchange(head, next, SeqCst, SeqCst)
+                .is_ok()
+            {
+                // `next` is the new dummy; the CAS winner alone moves its
+                // value out (other threads only ever compare its address).
+                let value = unsafe { ptr::read((*next).value.as_ptr()) };
+                self.len.fetch_sub(1, SeqCst);
+                // The old dummy is unreachable from the live queue; free it
+                // once every currently-pinned thread is gone.
+                self.collector.retire(head);
+                return Some(value);
+            }
+        }
+    }
+
+    /// Number of elements currently queued (racy snapshot; may transiently
+    /// count an element whose `push` has not finished linking).
+    pub fn len(&self) -> usize {
+        self.len.load(SeqCst)
+    }
+
+    /// `true` if the queue holds no elements (racy snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Default for SegQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> core::fmt::Debug for SegQueue<T> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("SegQueue")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl<T> Drop for SegQueue<T> {
+    fn drop(&mut self) {
+        // Exclusive access: walk the live list, dropping the values of the
+        // non-dummy nodes, then the nodes themselves. Retired dummies (and
+        // their allocations) are freed by the collector's drop.
+        let mut cur = *self.head.get_mut();
+        let mut is_dummy = true;
+        while !cur.is_null() {
+            let mut node = unsafe { Box::from_raw(cur) };
+            cur = *node.next.get_mut();
+            if !is_dummy {
+                unsafe { node.value.assume_init_drop() };
+            }
+            is_dummy = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order() {
+        let q = SegQueue::new();
+        q.push(1);
+        q.push(2);
+        q.push(3);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn concurrent_push_pop() {
+        let q = Arc::new(SegQueue::new());
+        let per_thread = if cfg!(miri) { 20 } else { 100 };
+        let producers: Vec<_> = (0..4)
+            .map(|t| {
+                let q = q.clone();
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        q.push(t * per_thread + i);
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        let mut got = Vec::new();
+        while let Some(v) = q.pop() {
+            got.push(v);
+        }
+        got.sort_unstable();
+        assert_eq!(got.len(), 4 * per_thread);
+        assert!(got.windows(2).all(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn mpmc_interleaved_no_loss_no_duplication() {
+        let q = Arc::new(SegQueue::new());
+        let producers = if cfg!(miri) { 2u64 } else { 4 };
+        let per_producer = if cfg!(miri) { 25u64 } else { 5_000 };
+        let consumers = if cfg!(miri) { 2 } else { 4 };
+        let done = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for p in 0..producers {
+            let q = q.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..per_producer {
+                    q.push(p * per_producer + i);
+                }
+            }));
+        }
+        let mut chandles = Vec::new();
+        for _ in 0..consumers {
+            let q = q.clone();
+            let done = done.clone();
+            chandles.push(std::thread::spawn(move || {
+                let mut local = Vec::new();
+                loop {
+                    match q.pop() {
+                        Some(v) => local.push(v),
+                        None if done.load(SeqCst) == 1 && q.is_empty() => break,
+                        None => std::thread::yield_now(),
+                    }
+                }
+                local
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        done.store(1, SeqCst);
+        let mut all: Vec<u64> = Vec::new();
+        for c in chandles {
+            all.extend(c.join().unwrap());
+        }
+        all.sort_unstable();
+        let total = (producers * per_producer) as usize;
+        assert_eq!(all.len(), total, "every element consumed exactly once");
+        all.dedup();
+        assert_eq!(all.len(), total, "no element duplicated");
+    }
+
+    #[test]
+    fn values_in_flight_are_dropped_exactly_once() {
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Tracked(#[allow(dead_code)] u32);
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, SeqCst);
+            }
+        }
+        DROPS.store(0, SeqCst);
+        let q = SegQueue::new();
+        for i in 0..100u32 {
+            q.push(Tracked(i));
+        }
+        for _ in 0..40 {
+            drop(q.pop());
+        }
+        assert_eq!(DROPS.load(SeqCst), 40);
+        // The 60 still enqueued are dropped by the queue's own drop.
+        drop(q);
+        assert_eq!(DROPS.load(SeqCst), 100);
+    }
+
+    #[test]
+    fn reclamation_keeps_up_under_churn() {
+        // Enough pop-retire cycles to force many epoch advances; the real
+        // assertion is the absence of UB (run under Miri in CI) and that
+        // the queue stays consistent throughout.
+        let q = SegQueue::new();
+        let rounds = if cfg!(miri) { 3 } else { 200 };
+        for round in 0..rounds {
+            for i in 0..100usize {
+                q.push(round * 100 + i);
+            }
+            for i in 0..100usize {
+                assert_eq!(q.pop(), Some(round * 100 + i));
+            }
+            assert!(q.is_empty());
+        }
+    }
+}
