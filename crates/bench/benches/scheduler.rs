@@ -241,6 +241,103 @@ fn bench_contended_queues(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_park_wake(c: &mut Criterion) {
+    // Steal-aware parking (PR 4): the wake latency of a parked worker and
+    // the cost of the pre-park steal probe itself. `park_wake_latency`
+    // times submit→complete against a worker parked with a long timeout
+    // (only the wake path can finish early); the probe benches show the
+    // O(victims)-loads decision is cheap enough to run on every park.
+    let mut g = c.benchmark_group("park_wake");
+    g.sample_size(50);
+    let topo = Arc::new(presets::kwak());
+    let mgr = TaskManager::new(topo.clone());
+    let _prog = pioman::Progression::start(
+        mgr.clone(),
+        pioman::ProgressionConfig {
+            park_timeout: scenarios::PARK_WAKE_TIMEOUT,
+            timer_period: None,
+            ..pioman::ProgressionConfig::for_cores(vec![1])
+        },
+    );
+    g.bench_function("park_wake_latency", |b| {
+        b.iter_batched(
+            || scenarios::wait_until_parked(&mgr, 1),
+            |()| {
+                let h = mgr.submit(
+                    |_| TaskStatus::Done,
+                    CpuSet::single(1),
+                    TaskOptions::oneshot(),
+                );
+                assert_eq!(h.wait(), Ok(()));
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    drop(_prog);
+
+    let idle = TaskManager::new(topo.clone());
+    g.bench_function("park_probe_all_empty", |b| {
+        b.iter(|| black_box(idle.park_probe(0)))
+    });
+    let loaded = TaskManager::new(topo.clone());
+    for _ in 0..scenarios::SKEWED_LOAD {
+        loaded.submit_on(
+            |_| TaskStatus::Done,
+            12,
+            CpuSet::from_iter([0, 12]),
+            TaskOptions::oneshot(),
+        );
+    }
+    g.bench_function("park_probe_distant_backlog", |b| {
+        b.iter(|| assert!(black_box(loaded.park_probe(0))))
+    });
+    g.finish();
+}
+
+fn bench_phase_shift(c: &mut Criterion) {
+    // The windowed-vs-cumulative contention signal ablation: a quiet
+    // history, a contended burst, then post-shift adaptive ramp drains.
+    // `piom-harness bench` records the same shapes (and asserts the
+    // re-adaptation claims) into BENCH_pioman.json.
+    let mut g = c.benchmark_group("phase_shift");
+    g.sample_size(20);
+    let topo = Arc::new(presets::kwak());
+    for (label, signal) in [
+        ("windowed", pioman::SignalPolicy::Windowed),
+        ("cumulative", pioman::SignalPolicy::Cumulative),
+    ] {
+        let mgr = TaskManager::with_config(
+            topo.clone(),
+            ManagerConfig {
+                signal,
+                contention_half_life: scenarios::PHASE_HALF_LIFE,
+                ..ManagerConfig::default()
+            },
+        );
+        scenarios::phase_quiet_history(&mgr, 0);
+        g.bench_function(label, |b| {
+            // The burst runs in per-iteration setup (the vendored shim
+            // calls setup before every routine), so each measured drain
+            // genuinely follows a fresh contention phase change instead
+            // of the first iteration decaying the window for the rest.
+            b.iter_batched(
+                || {
+                    scenarios::phase_burst(&mgr);
+                    scenarios::submit_ramp(&mgr, 0);
+                },
+                |_| {
+                    assert_eq!(
+                        scenarios::adaptive_drain(&mgr, 0),
+                        scenarios::ADAPTIVE_RAMP_LOAD
+                    )
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
 fn bench_newmad_pingpong(c: &mut Criterion) {
     // The simulated 4-byte pingpong progressed by PIOMan keypoints (one
     // Fig. 4 point). Measures regeneration cost on the host; the simulated
@@ -263,6 +360,8 @@ criterion_group!(
     bench_batched_dequeue,
     bench_steal_vs_spin,
     bench_contended_queues,
+    bench_park_wake,
+    bench_phase_shift,
     bench_newmad_pingpong
 );
 criterion_main!(benches);

@@ -5,6 +5,7 @@
 
 use piom_cpuset::CpuSet;
 use pioman::{TaskHandle, TaskManager, TaskOptions, TaskStatus};
+use std::time::{Duration, Instant};
 
 /// Backlog size of the skewed-load (steal-vs-spin) scenarios.
 pub const SKEWED_LOAD: usize = 64;
@@ -116,4 +117,72 @@ pub fn contended_round(mgr: &TaskManager, per_core: bool) -> usize {
         }
     });
     CONTENDED_THREADS * CONTENDED_OPS
+}
+
+/// Park timeout used by the `park_wake_latency` scenario: it stands in for
+/// the timer-keypoint period of last resort, so the measured wake latency
+/// being far below it is the scenario's correctness claim — a parked core
+/// reacts to a submission through the wake path, not by timing out.
+pub const PARK_WAKE_TIMEOUT: Duration = Duration::from_millis(200);
+
+/// Blocks until `core`'s progression worker announces it is parked.
+///
+/// # Panics
+///
+/// Panics after 10 s — a worker that never parks means the park path is
+/// broken, which the benchmark must report rather than hang on.
+pub fn wait_until_parked(mgr: &TaskManager, core: usize) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !mgr.is_parked(core) {
+        assert!(
+            Instant::now() < deadline,
+            "worker {core} never parked: park path broken"
+        );
+        std::thread::yield_now();
+    }
+}
+
+/// Quiet-history rounds of the phase-shift scenario: each submits and
+/// adaptively drains a full ramp on the target core, accumulating
+/// *uncontended* lock acquisitions. Sized so the history dominates the
+/// later burst by well over the window's decay constant, which is what
+/// makes the cumulative ratio ossify (see `EXPERIMENTS.md`).
+pub const PHASE_QUIET_ROUNDS: usize = 24;
+
+/// Contended rounds forming the burst phase of the phase-shift scenario.
+pub const PHASE_BURST_ROUNDS: usize = 4;
+
+/// Half-life (in samples) the phase-shift scenario configures, small
+/// enough that re-adaptation completes within one measured drain.
+pub const PHASE_HALF_LIFE: u32 = 8;
+
+/// Phase 1 of the phase-shift scenario: a long uncontended history of
+/// ramp drains on `core`.
+pub fn phase_quiet_history(mgr: &TaskManager, core: usize) {
+    for _ in 0..PHASE_QUIET_ROUNDS {
+        let handles = submit_ramp(mgr, core);
+        assert_eq!(adaptive_drain(mgr, core), ADAPTIVE_RAMP_LOAD);
+        debug_assert!(handles.iter().all(|h| h.is_complete()));
+    }
+}
+
+/// Phase 2 of the phase-shift scenario: a burst of real-thread contention
+/// on the Global Queue (which sits on every core's hierarchy path).
+pub fn phase_burst(mgr: &TaskManager) {
+    for _ in 0..PHASE_BURST_ROUNDS {
+        contended_round(mgr, false);
+    }
+}
+
+/// Sums `(lock_acquisitions, lock_contended)` over the queues on `core`'s
+/// hierarchy path — the same counters `adaptive_budget` reads.
+pub fn path_lock_stats(mgr: &TaskManager, core: usize) -> (u64, u64) {
+    let stats = mgr.stats();
+    mgr.topology()
+        .path_to_root(core)
+        .map(|node| {
+            let q = &stats.queues[node.index()];
+            (q.lock_acquisitions, q.lock_contended)
+        })
+        .fold((0, 0), |(a, c), (qa, qc)| (a + qa, c + qc))
 }

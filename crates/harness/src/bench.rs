@@ -15,7 +15,10 @@ use bench::scenarios;
 use madmpi::{mtlat, MpiImpl};
 use piom_cpuset::CpuSet;
 use piom_topology::presets;
-use pioman::{ManagerConfig, QueueBackend, TaskManager, TaskOptions, TaskStatus};
+use pioman::{
+    ManagerConfig, Progression, ProgressionConfig, QueueBackend, SignalPolicy, TaskManager,
+    TaskOptions, TaskStatus,
+};
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
@@ -314,6 +317,117 @@ fn adaptive_batch_ramp(opts: &BenchOptions) -> BenchResult {
     )
 }
 
+/// Parked-core wake latency: one progression worker (core 1) parks with a
+/// [`scenarios::PARK_WAKE_TIMEOUT`] timeout standing in for the timer
+/// keypoint of last resort; each iteration waits for the park, then times
+/// submit→complete of a single task for that core. The recorded mean is
+/// the full wake path (unpark, keypoint, drain, completion signal); the
+/// scenario *asserts* it stays well below the timer bound, so the number
+/// doubles as evidence wake-ups — not timeouts — drive progress.
+fn park_wake_latency(opts: &BenchOptions) -> BenchResult {
+    let mgr = TaskManager::new(presets::kwak().into());
+    let config = ProgressionConfig {
+        park_timeout: scenarios::PARK_WAKE_TIMEOUT,
+        timer_period: None,
+        ..ProgressionConfig::for_cores(vec![1])
+    };
+    let mut prog = Progression::start(mgr.clone(), config);
+    let result = measure(
+        "park_wake_latency",
+        opts,
+        || scenarios::wait_until_parked(&mgr, 1),
+        || {
+            let h = mgr.submit(
+                |_| TaskStatus::Done,
+                CpuSet::single(1),
+                TaskOptions::oneshot(),
+            );
+            assert_eq!(h.wait(), Ok(()));
+        },
+    );
+    prog.shutdown();
+    let bound_ns = scenarios::PARK_WAKE_TIMEOUT.as_nanos() as f64;
+    assert!(
+        result.mean_ns < bound_ns / 2.0,
+        "parked-core wake latency {:.0} ns is not below the timer-keypoint \
+         bound {:.0} ns — wake path broken, progress relies on timeouts",
+        result.mean_ns,
+        bound_ns
+    );
+    result
+}
+
+/// The contention phase-shift scenario, one arm per [`SignalPolicy`]:
+/// a long *uncontended* history (24 ramp drains), then a burst of real
+/// 4-thread contention on the Global Queue, then the timed post-shift
+/// ramp drains. The windowed arm asserts the signal's re-adaptation
+/// (burst registered, then decayed by the quiet drains); the cumulative
+/// arm asserts the opposite — the burst barely moves a ratio diluted by
+/// history, and whatever it did move never decays. See `EXPERIMENTS.md`
+/// ("Windowed vs cumulative contention ablation") for the recipe.
+fn phase_shift(name: &'static str, opts: &BenchOptions, signal: SignalPolicy) -> BenchResult {
+    let mgr = TaskManager::with_config(
+        Arc::new(presets::kwak()),
+        ManagerConfig {
+            signal,
+            contention_half_life: scenarios::PHASE_HALF_LIFE,
+            ..ManagerConfig::default()
+        },
+    );
+    scenarios::phase_quiet_history(&mgr, 0);
+    scenarios::phase_burst(&mgr);
+    // One budget computation folds the burst into the windowed signal.
+    let _ = mgr.adaptive_budget(0);
+    let rate_after_burst = mgr.contention_rate(0);
+    let (_, burst_contended) = scenarios::path_lock_stats(&mgr, 0);
+
+    let result = measure(
+        name,
+        opts,
+        || {
+            scenarios::submit_ramp(&mgr, 0);
+        },
+        || {
+            assert_eq!(
+                scenarios::adaptive_drain(&mgr, 0),
+                scenarios::ADAPTIVE_RAMP_LOAD,
+                "post-shift drain must complete"
+            );
+        },
+    );
+
+    // The ablation claim. Guarded on the burst having produced observable
+    // contention: a TTAS spinlock on an unloaded many-core host can win
+    // every race, in which case there is no phase change to react to.
+    if burst_contended > 0 {
+        let rate_final = mgr.contention_rate(0);
+        match signal {
+            SignalPolicy::Windowed => {
+                assert!(
+                    rate_after_burst > 0.0,
+                    "windowed signal failed to register the contention burst"
+                );
+                assert!(
+                    rate_final < rate_after_burst,
+                    "windowed signal failed to re-adapt: {rate_final} after \
+                     the quiet drains vs {rate_after_burst} right after the burst"
+                );
+            }
+            SignalPolicy::Cumulative => {
+                assert!(
+                    rate_final > 0.0,
+                    "cumulative ratio can never decay back to zero"
+                );
+                assert!(
+                    rate_final <= rate_after_burst,
+                    "cumulative ratio only dilutes, it never climbs while quiet"
+                );
+            }
+        }
+    }
+    result
+}
+
 /// One Fig. 4 point: the simulated 4-byte pingpong progressed by PIOMan
 /// keypoints (regeneration cost on the host; the simulated latency itself
 /// is deterministic).
@@ -351,6 +465,13 @@ pub fn run_suite(opts: &BenchOptions) -> Vec<BenchResult> {
         mutex_baseline,
         steal_half_backlog(opts),
         adaptive_batch_ramp(opts),
+        park_wake_latency(opts),
+        phase_shift("phase_shift_ramp", opts, SignalPolicy::Windowed),
+        phase_shift(
+            "phase_shift_ramp_cumulative",
+            opts,
+            SignalPolicy::Cumulative,
+        ),
     ]
 }
 
@@ -413,6 +534,9 @@ mod tests {
             "lockfree_vs_mutex_baseline",
             "steal_half_backlog",
             "adaptive_batch_ramp",
+            "park_wake_latency",
+            "phase_shift_ramp",
+            "phase_shift_ramp_cumulative",
         ] {
             assert!(names.contains(&required), "missing benchmark {required:?}");
         }

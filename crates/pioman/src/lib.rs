@@ -26,12 +26,21 @@
 //! * beyond the paper, the scan is **batched** — a keypoint that finds a
 //!   backlog drains a whole pass under one lock acquisition
 //!   ([`TaskManager::schedule_batch`]), with the per-keypoint budget sized
-//!   adaptively from observed queue depth and lock contention
-//!   ([`TaskManager::adaptive_budget`], [`BatchPolicy`]) — and idle cores
-//!   **steal half** of the nearest eligible backlog by topological
+//!   adaptively from observed queue depth and a **phase-reactive windowed
+//!   contention signal** ([`TaskManager::adaptive_budget`],
+//!   [`ContentionWindow`], [`SignalPolicy`], [`BatchPolicy`]) — and idle
+//!   cores **steal half** of the nearest eligible backlog by topological
 //!   distance instead of spinning, honoring each task's `CpuSet`
-//!   ([`ManagerConfig::steal`], [`TaskManager::submit_on`]; policy
-//!   rationale in `DESIGN.md` §5–6).
+//!   ([`ManagerConfig::steal`], [`TaskManager::submit_on`]); parking is
+//!   **steal-aware**: a worker probes victim backlogs before sleeping
+//!   ([`TaskManager::park_probe`]) and deep queues recruit the nearest
+//!   parked thief ([`TaskManager::wake_for_steal`]).
+//!
+//! The authoritative description of the submit → batch → steal →
+//! park/wake lifecycle — state diagram, invariants, and a glossary of
+//! every [`ManagerStats`] counter — is the **scheduler contract** page,
+//! `docs/SCHEDULER.md` at the repository root (design rationale in
+//! `DESIGN.md` §5–6).
 //!
 //! # Quick start
 //!
@@ -62,15 +71,18 @@ mod completion;
 mod manager;
 mod progression;
 mod queue;
+mod signal;
 mod stats;
 mod task;
 
 pub use completion::{TaskError, TaskHandle};
 pub use manager::{
-    HookPoint, ManagerConfig, QueueBackend, TaskManager, DEFAULT_BATCH, MAX_BATCH, MIN_BATCH,
+    HookPoint, ManagerConfig, QueueBackend, TaskManager, DEFAULT_BATCH,
+    DEFAULT_CONTENTION_HALF_LIFE, DEFAULT_STEAL_WAKE_BACKLOG, MAX_BATCH, MIN_BATCH,
 };
-pub use progression::{BatchPolicy, Progression, ProgressionConfig};
+pub use progression::{BatchPolicy, Progression, ProgressionConfig, MAX_PROBE_STRIKES};
 pub use queue::QueueId;
+pub use signal::{ContentionWindow, SignalPolicy, FP_ONE};
 pub use stats::{ManagerStats, QueueStats};
 pub use task::{Task, TaskContext, TaskOptions, TaskStatus};
 

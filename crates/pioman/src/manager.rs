@@ -2,10 +2,11 @@
 
 use crate::completion::Completion;
 use crate::queue::{QueueId, TaskQueue};
+use crate::signal::{ContentionWindow, SignalPolicy};
 use crate::stats::{ManagerStats, QueueStats};
 use crate::task::{Task, TaskContext, TaskFn, TaskOptions, TaskStatus};
 use crate::TaskHandle;
-use core::sync::atomic::{AtomicU64, Ordering};
+use core::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use parking_lot::Mutex;
 use piom_cpuset::CpuSet;
 use piom_topology::Topology;
@@ -46,6 +47,15 @@ pub const MAX_BATCH: usize = 256;
 /// [`TaskManager::adaptive_budget`] applies to cores that mostly run dry.
 pub const DEFAULT_BATCH: usize = 32;
 
+/// Default [`ManagerConfig::contention_half_life`]: the windowed contention
+/// signal halves the weight of history every this many active samples.
+pub const DEFAULT_CONTENTION_HALF_LIFE: u32 = 32;
+
+/// Default [`ManagerConfig::steal_wake_backlog`]: a queue reaching this
+/// depth at enqueue time triggers a steal-targeted wake-up
+/// ([`TaskManager::wake_for_steal`]).
+pub const DEFAULT_STEAL_WAKE_BACKLOG: usize = 8;
+
 /// Task-manager construction options.
 #[derive(Debug, Clone)]
 pub struct ManagerConfig {
@@ -58,8 +68,23 @@ pub struct ManagerConfig {
     /// first within a distance tier — and takes **half** of the eligible
     /// backlog of the first victim that has any (steal-half; every stolen
     /// task's [`CpuSet`] admits the thief). Enabled by default; the
-    /// steal-vs-spin benchmarks flip it off for comparison.
+    /// steal-vs-spin benchmarks flip it off for comparison. Disabling it
+    /// also disables the steal-aware park machinery
+    /// ([`TaskManager::park_probe`] always reports "park") and the
+    /// backlog-triggered wake-ups.
     pub steal: bool,
+    /// Which contention signal sizes adaptive batch budgets (see
+    /// [`SignalPolicy`]): the decayed window (default) or the cumulative
+    /// PR-3 ratio kept for ablation.
+    pub signal: SignalPolicy,
+    /// Half-life, in active samples, of the windowed contention signal
+    /// ([`ContentionWindow::new`]). Smaller reacts faster to phase changes
+    /// but is noisier; ignored under [`SignalPolicy::Cumulative`].
+    pub contention_half_life: u32,
+    /// Queue depth at enqueue time that triggers a steal-targeted wake of
+    /// the nearest parked eligible worker ([`TaskManager::wake_for_steal`]).
+    /// `usize::MAX` disables the escalation without disabling stealing.
+    pub steal_wake_backlog: usize,
 }
 
 impl Default for ManagerConfig {
@@ -67,6 +92,9 @@ impl Default for ManagerConfig {
         ManagerConfig {
             queue_backend: QueueBackend::default(),
             steal: true,
+            signal: SignalPolicy::default(),
+            contention_half_life: DEFAULT_CONTENTION_HALF_LIFE,
+            steal_wake_backlog: DEFAULT_STEAL_WAKE_BACKLOG,
         }
     }
 }
@@ -127,6 +155,30 @@ pub struct TaskManager {
     steal_attempts: Vec<AtomicU64>,
     /// Successful steal-half batches per thief core (each took ≥ 1 task).
     steal_batches: Vec<AtomicU64>,
+    /// Which cores' progression workers are currently parked (racy hint;
+    /// published by the worker just *before* its final pre-park checks so
+    /// a racing [`wake_for_steal`](Self::wake_for_steal) errs toward an
+    /// extra unpark token, never a missed one).
+    parked: Vec<AtomicBool>,
+    /// Count of set flags in `parked`, maintained alongside it: the O(1)
+    /// short-circuit that keeps [`wake_for_steal`](Self::wake_for_steal)
+    /// off the submit hot path while a deep queue is being hammered and
+    /// every worker is busy (the common overload shape).
+    parked_count: AtomicU64,
+    /// Park probes that found a stealable victim backlog, per core.
+    park_hits: Vec<AtomicU64>,
+    /// Park probes that found nothing stealable (the worker parked), per core.
+    park_misses: Vec<AtomicU64>,
+    /// Steal-targeted wake-ups received, per woken core.
+    steal_wakeups: Vec<AtomicU64>,
+    /// Per-core decayed contention windows feeding
+    /// [`adaptive_budget`](Self::adaptive_budget) under
+    /// [`SignalPolicy::Windowed`].
+    windows: Vec<ContentionWindow>,
+    /// Per-queue wake order: every core sorted nearest-first from the
+    /// queue's span ([`Topology::cores_by_distance_from_node`]), scanned by
+    /// [`wake_for_steal`](Self::wake_for_steal).
+    wake_order: Vec<Vec<u32>>,
     config: ManagerConfig,
 }
 
@@ -163,6 +215,22 @@ impl TaskManager {
         let steals = (0..n_cores).map(|_| AtomicU64::new(0)).collect();
         let steal_attempts = (0..n_cores).map(|_| AtomicU64::new(0)).collect();
         let steal_batches = (0..n_cores).map(|_| AtomicU64::new(0)).collect();
+        let parked = (0..n_cores).map(|_| AtomicBool::new(false)).collect();
+        let park_hits = (0..n_cores).map(|_| AtomicU64::new(0)).collect();
+        let park_misses = (0..n_cores).map(|_| AtomicU64::new(0)).collect();
+        let steal_wakeups = (0..n_cores).map(|_| AtomicU64::new(0)).collect();
+        let windows = (0..n_cores)
+            .map(|_| ContentionWindow::new(config.contention_half_life))
+            .collect();
+        let wake_order = topo
+            .node_ids()
+            .map(|id| {
+                topo.cores_by_distance_from_node(id)
+                    .into_iter()
+                    .map(|c| c as u32)
+                    .collect()
+            })
+            .collect();
         Arc::new(TaskManager {
             topo,
             queues,
@@ -173,6 +241,13 @@ impl TaskManager {
             steals,
             steal_attempts,
             steal_batches,
+            parked,
+            parked_count: AtomicU64::new(0),
+            park_hits,
+            park_misses,
+            steal_wakeups,
+            windows,
+            wake_order,
             config,
         })
     }
@@ -227,7 +302,7 @@ impl TaskManager {
         let handle = TaskHandle {
             completion: completion.clone(),
         };
-        self.queues[home.index()].enqueue(Task {
+        let depth = self.queues[home.index()].enqueue(Task {
             body,
             options,
             cpuset: effective,
@@ -235,6 +310,13 @@ impl TaskManager {
             completion,
         });
         self.wake_cores(effective);
+        // Backlog escalation: the queue is deep enough that its own cores
+        // are visibly not keeping up, so recruit the nearest parked thief
+        // (which may be eligible only for *older* tasks in the backlog and
+        // hence missed by the cpuset-targeted wake above).
+        if self.config.steal && depth >= self.config.steal_wake_backlog {
+            self.wake_for_steal(home);
+        }
         handle
     }
 
@@ -378,9 +460,14 @@ impl TaskManager {
     /// * **queue depth** — the budget should cover the backlog actually
     ///   visible, not a guess: a keypoint facing 3 tasks has no business
     ///   reserving 32 slots, and one facing 200 should not need 7 passes;
-    /// * **`lock_contended / lock_acquisitions`** on the path — when the
-    ///   queues' locks are fought over, each acquisition is expensive, so
-    ///   the batch widens to amortize more tasks per acquisition;
+    /// * **the contention signal** on the path — when the queues' locks
+    ///   are fought over, each acquisition is expensive, so the batch
+    ///   widens to amortize more tasks per acquisition. Under the default
+    ///   [`SignalPolicy::Windowed`] the widening tracks an exponentially-
+    ///   decayed *recent* contention rate ([`ContentionWindow`], sampled
+    ///   here on every call), so a phase change moves budgets within a few
+    ///   half-lives; [`SignalPolicy::Cumulative`] keeps the PR-3 lifetime
+    ///   ratio for ablation;
     /// * **`steal_attempts_by_core` vs executions** — a core that probes
     ///   victims more often than it runs tasks is chronically starved;
     ///   it keeps a small cap ([`DEFAULT_BATCH`]) so it parks quickly
@@ -420,6 +507,18 @@ impl TaskManager {
                 contended += c;
             }
         }
+        // Sample the window on *every* budget computation (even an empty
+        // path), so quiet keypoints keep decaying a stale contended-phase
+        // rate instead of freezing it until the next backlog.
+        let boost = match self.config.signal {
+            SignalPolicy::Windowed => {
+                self.windows[core].observe(acquisitions, contended);
+                self.windows[core].boost()
+            }
+            SignalPolicy::Cumulative => {
+                1 + (8 * contended).checked_div(acquisitions).unwrap_or(0) as usize
+            }
+        };
         if depth == 0 {
             return if self.config.steal {
                 DEFAULT_BATCH
@@ -427,10 +526,6 @@ impl TaskManager {
                 MIN_BATCH
             };
         }
-        // Cumulative contended/total ratio as a cheap stand-in for a
-        // windowed contention rate: ×1 when uncontended, up to ×9 when
-        // every acquisition was fought over.
-        let boost = 1 + (8 * contended).checked_div(acquisitions).unwrap_or(0) as usize;
         let starved = {
             let probes = self.steal_attempts[core].load(Ordering::Relaxed);
             let executed = self.executed_by_core[core].load(Ordering::Relaxed);
@@ -583,6 +678,144 @@ impl TaskManager {
             .any(|node| self.queues[node.index()].len_hint() > 0)
     }
 
+    /// The current contention signal for `core`'s hierarchy path, in
+    /// `0.0..=1.0`, **without** advancing the window: the decayed recent
+    /// rate under [`SignalPolicy::Windowed`], the lifetime
+    /// `contended / acquisitions` ratio under
+    /// [`SignalPolicy::Cumulative`]. Observability only — budgets read the
+    /// signal through [`adaptive_budget`](Self::adaptive_budget).
+    pub fn contention_rate(&self, core: usize) -> f64 {
+        debug_assert!(core < self.topo.n_cores(), "core id out of range");
+        match self.config.signal {
+            SignalPolicy::Windowed => self.windows[core].rate(),
+            SignalPolicy::Cumulative => {
+                let (mut acquisitions, mut contended) = (0u64, 0u64);
+                for node in self.topo.path_to_root(core) {
+                    if let Some((a, c)) = self.queues[node.index()].lock_stats() {
+                        acquisitions += a;
+                        contended += c;
+                    }
+                }
+                if acquisitions == 0 {
+                    0.0
+                } else {
+                    contended as f64 / acquisitions as f64
+                }
+            }
+        }
+    }
+
+    /// The steal-aware park check: `true` if some victim queue (a queue
+    /// *not* on `core`'s hierarchy path) holds backlog that `core` may be
+    /// able to steal, so the caller should run another keypoint instead of
+    /// parking.
+    ///
+    /// The scan is deliberately cheap — it must run on every
+    /// about-to-park decision: the victim list is the same precomputed
+    /// [`Topology::steal_order_with_distance`] order the steal path uses,
+    /// and each victim costs two relaxed loads (the depth hint and the
+    /// queue's *steal span*, the monotone union of cpusets ever enqueued
+    /// there), `O(victims)` total with no locks taken. The span is an
+    /// over-approximation, so a hit is a *hint*: the next keypoint's
+    /// steal probe re-checks real task cpusets under the victim's lock,
+    /// and [`Progression`](crate::Progression) workers bound consecutive
+    /// fruitless hits so a stale span cannot spin a worker forever.
+    ///
+    /// Returns `false` without probing when stealing is disabled. Updates
+    /// the `park_probe_hits` / `park_probe_misses` counters in
+    /// [`ManagerStats`].
+    pub fn park_probe(&self, core: usize) -> bool {
+        debug_assert!(core < self.topo.n_cores(), "core id out of range");
+        if !self.config.steal {
+            return false;
+        }
+        for &(qi, _) in &self.steal_order[core] {
+            let queue = &self.queues[qi as usize];
+            if queue.len_hint() > 0 && queue.steal_span_admits(core) {
+                self.park_hits[core].fetch_add(1, Ordering::Relaxed);
+                return true;
+            }
+        }
+        self.park_misses[core].fetch_add(1, Ordering::Relaxed);
+        false
+    }
+
+    /// Wakes the nearest parked worker eligible to steal from `queue`,
+    /// returning the woken core.
+    ///
+    /// This is the escalation half of steal-aware parking: the ordinary
+    /// submission wake targets the *new* task's cpuset, but a queue whose
+    /// depth has crossed [`ManagerConfig::steal_wake_backlog`] holds older
+    /// tasks too, and the nearest core able to help with *those* may not
+    /// be in the new task's set at all. Candidates are scanned in the
+    /// queue's precomputed nearest-first order
+    /// ([`Topology::cores_by_distance_from_node`]); a candidate is woken
+    /// when it is parked and the queue's steal span admits it. Each wake
+    /// increments the woken core's `wakeups_for_steal` counter in
+    /// [`ManagerStats`].
+    ///
+    /// Called automatically on threshold-crossing enqueues; public so
+    /// embedders driving their own keypoints can escalate by hand.
+    ///
+    /// ```
+    /// use pioman::TaskManager;
+    /// use piom_topology::presets;
+    ///
+    /// let mgr = TaskManager::new(presets::kwak().into());
+    /// let home = mgr.stats().queues[mgr.topology().core_node(0).index()].id;
+    /// // No progression workers are running, so nobody is parked and
+    /// // there is nothing to wake.
+    /// assert_eq!(mgr.wake_for_steal(home), None);
+    /// assert_eq!(mgr.stats().total_wakeups_for_steal(), 0);
+    /// ```
+    pub fn wake_for_steal(&self, queue: QueueId) -> Option<usize> {
+        // Nobody parked (the common overload shape: every worker busy) —
+        // skip the candidate scan entirely so a deep queue under a
+        // submission hammer pays one load per enqueue, not O(cores).
+        if self.parked_count.load(Ordering::SeqCst) == 0 {
+            return None;
+        }
+        let q = &self.queues[queue.index()];
+        for &core in &self.wake_order[queue.index()] {
+            let core = core as usize;
+            if self.parked[core].load(Ordering::SeqCst) && q.steal_span_admits(core) {
+                if let Some(t) = self.wakers[core].lock().as_ref() {
+                    t.unpark();
+                    self.steal_wakeups[core].fetch_add(1, Ordering::Relaxed);
+                    return Some(core);
+                }
+            }
+        }
+        None
+    }
+
+    /// `true` if `core`'s progression worker has announced it is parked
+    /// (racy hint — see [`Progression`](crate::Progression) for the
+    /// publication ordering).
+    pub fn is_parked(&self, core: usize) -> bool {
+        debug_assert!(core < self.topo.n_cores(), "core id out of range");
+        self.parked[core].load(Ordering::SeqCst)
+    }
+
+    /// Publishes `core`'s parked state. Workers set it *before* their
+    /// final pre-park work checks, so an enqueue racing the park either
+    /// is seen by the checks or sees the flag and unparks the worker.
+    pub(crate) fn note_parked(&self, core: usize, parked: bool) {
+        if self.parked[core].swap(parked, Ordering::SeqCst) != parked {
+            // Keep the aggregate count in step with the flag transition.
+            // The count is published before/after the flag consistently
+            // enough for its only consumer, the wake_for_steal
+            // short-circuit: a racing enqueue that misses a just-parking
+            // worker is the same bounded race as missing the flag itself
+            // (covered by the unpark-token ordering argument).
+            if parked {
+                self.parked_count.fetch_add(1, Ordering::SeqCst);
+            } else {
+                self.parked_count.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+    }
+
     /// Snapshot of per-queue and per-core counters.
     pub fn stats(&self) -> ManagerStats {
         ManagerStats {
@@ -595,6 +828,7 @@ impl TaskManager {
                         id: q.id,
                         level: q.level,
                         cpuset: q.cpuset,
+                        steal_span: q.steal_span(),
                         submitted: q.submitted(),
                         executed: q.executed(),
                         pending: q.len_hint(),
@@ -620,6 +854,21 @@ impl TaskManager {
                 .collect(),
             stolen_batch_by_core: self
                 .steal_batches
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            park_probe_hits: self
+                .park_hits
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            park_probe_misses: self
+                .park_misses
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            wakeups_for_steal: self
+                .steal_wakeups
                 .iter()
                 .map(|c| c.load(Ordering::Relaxed))
                 .collect(),
@@ -1279,7 +1528,7 @@ mod tests {
             presets::kwak().into(),
             ManagerConfig {
                 queue_backend: QueueBackend::LockFree,
-                steal: true,
+                ..ManagerConfig::default()
             },
         );
         let h = mgr.submit_on(
@@ -1303,6 +1552,126 @@ mod tests {
             CpuSet::single(3),
             TaskOptions::oneshot(),
         );
+    }
+
+    #[test]
+    fn park_probe_sees_distant_stealable_backlog() {
+        let mgr = kwak_mgr();
+        // Nothing anywhere: every probe misses.
+        assert!(!mgr.park_probe(0));
+        // Backlog homed across the interconnect, stealable by core 0.
+        for _ in 0..4 {
+            mgr.submit_on(
+                |_| TaskStatus::Done,
+                12,
+                CpuSet::from_iter([0, 12]),
+                TaskOptions::oneshot(),
+            );
+        }
+        assert!(mgr.park_probe(0), "distant victim backlog must be seen");
+        let stats = mgr.stats();
+        assert_eq!(stats.park_probe_hits[0], 1);
+        assert_eq!(stats.park_probe_misses[0], 1);
+    }
+
+    #[test]
+    fn park_probe_ignores_backlog_outside_the_steal_span() {
+        let mgr = kwak_mgr();
+        for _ in 0..4 {
+            mgr.submit(
+                |_| TaskStatus::Done,
+                CpuSet::single(3),
+                TaskOptions::oneshot(),
+            );
+        }
+        // Core 2 may never run core-3-only work: the span filter must
+        // reject the queue without a hit, so the worker parks instead of
+        // spinning on unstealable backlog.
+        assert!(!mgr.park_probe(2));
+        assert_eq!(mgr.stats().park_probe_misses[2], 1);
+        assert_eq!(mgr.stats().park_probe_hits[2], 0);
+        // Core 3 itself has the work on its own path — the probe is about
+        // *victim* queues only and still misses (path queues are excluded).
+        assert!(!mgr.park_probe(3));
+    }
+
+    #[test]
+    fn park_probe_disabled_with_stealing() {
+        let mgr = no_steal_mgr();
+        mgr.submit_on(
+            |_| TaskStatus::Done,
+            1,
+            CpuSet::from_iter([0, 1]),
+            TaskOptions::oneshot(),
+        );
+        assert!(!mgr.park_probe(0), "no stealing: always park");
+        let stats = mgr.stats();
+        assert_eq!(stats.total_park_probe_hits(), 0);
+        assert_eq!(
+            stats.total_park_probe_misses(),
+            0,
+            "disabled probes are not counted as misses"
+        );
+    }
+
+    #[test]
+    fn wake_for_steal_without_workers_is_a_no_op() {
+        let mgr = kwak_mgr();
+        for _ in 0..16 {
+            mgr.submit_on(
+                |_| TaskStatus::Done,
+                1,
+                CpuSet::from_iter([0, 1]),
+                TaskOptions::oneshot(),
+            );
+        }
+        let home = mgr.stats().queues[mgr.topology().core_node(1).index()].id;
+        assert_eq!(mgr.wake_for_steal(home), None);
+        assert_eq!(mgr.stats().total_wakeups_for_steal(), 0);
+        assert!(!mgr.is_parked(0));
+    }
+
+    #[test]
+    fn queue_stats_expose_the_steal_span() {
+        let mgr = kwak_mgr();
+        mgr.submit_on(
+            |_| TaskStatus::Done,
+            1,
+            CpuSet::from_iter([0, 1]),
+            TaskOptions::oneshot(),
+        );
+        let qstats = &mgr.stats().queues[mgr.topology().core_node(1).index()];
+        assert!(qstats.steal_span.contains(0));
+        assert!(qstats.steal_span.contains(1));
+        assert!(!qstats.steal_span.contains(2));
+    }
+
+    #[test]
+    fn windowed_budget_matches_cumulative_shape_on_quiet_queues() {
+        // With no contention both policies must produce the same budgets:
+        // depth-sized, clamped, DEFAULT_BATCH on an empty stealing path.
+        let windowed = kwak_mgr();
+        let cumulative = TaskManager::with_config(
+            presets::kwak().into(),
+            ManagerConfig {
+                signal: SignalPolicy::Cumulative,
+                ..ManagerConfig::default()
+            },
+        );
+        for mgr in [&windowed, &cumulative] {
+            assert_eq!(mgr.adaptive_budget(0), DEFAULT_BATCH);
+            for _ in 0..100 {
+                mgr.submit(
+                    |_| TaskStatus::Done,
+                    CpuSet::single(0),
+                    TaskOptions::oneshot(),
+                );
+            }
+            let b = mgr.adaptive_budget(0);
+            assert!((100..=MAX_BATCH).contains(&b), "budget {b} tracks depth");
+        }
+        assert_eq!(windowed.contention_rate(0), 0.0);
+        assert_eq!(cumulative.contention_rate(0), 0.0);
     }
 
     #[test]

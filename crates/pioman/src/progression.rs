@@ -10,6 +10,17 @@
 //! exactly the workers whose cores may run the new task, and an optional
 //! timer thread plays the role of the timer interrupt, bounding the latency
 //! of event detection even when wake-ups race.
+//!
+//! Parking is **steal-aware** (PR 4): before sleeping, a worker publishes
+//! its parked flag, re-checks its own path ([`TaskManager::has_work_for`])
+//! and then runs the cheap [`TaskManager::park_probe`] over its victim
+//! queues — a hit sends it back to the keypoint (where the steal path will
+//! take the backlog) instead of to sleep, so a remote imbalance is picked
+//! up in probe time rather than a park-timeout/timer period. Because the
+//! probe's span filter may over-approximate, consecutive fruitless hits
+//! are bounded ([`MAX_PROBE_STRIKES`]) before the worker parks anyway.
+//! The full submit → batch → steal → park/wake lifecycle, with its
+//! invariants, is documented in `docs/SCHEDULER.md`.
 
 use crate::manager::{HookPoint, TaskManager};
 use core::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -36,6 +47,15 @@ pub struct ProgressionConfig {
     /// in batches of up to the budget under one lock acquisition.
     pub batch: BatchPolicy,
 }
+
+/// Upper bound on *consecutive* park probes that report stealable backlog
+/// without the following keypoint actually running anything. The probe's
+/// span filter is a monotone over-approximation (see
+/// [`TaskManager::park_probe`]), so a queue that once held wide-cpuset
+/// tasks can keep hinting at a worker that may not run its current
+/// backlog; after this many fruitless hits the worker parks anyway and
+/// the park-timeout/timer bound takes over.
+pub const MAX_PROBE_STRIKES: u32 = 3;
 
 /// Per-keypoint budget policy for progression workers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -107,6 +127,10 @@ impl Progression {
                     .name(format!("piom-worker-{core}"))
                     .spawn(move || {
                         mgr.register_waker(core, std::thread::current());
+                        // Consecutive park probes that hit but whose next
+                        // keypoint still ran nothing (a stale steal span,
+                        // or work this core may not run).
+                        let mut probe_strikes = 0u32;
                         while !shutdown.load(Ordering::Acquire) {
                             // The worker *is* the idle loop: invoke the idle
                             // keypoint; park when nothing was runnable.
@@ -115,13 +139,38 @@ impl Progression {
                                 BatchPolicy::Adaptive => mgr.adaptive_budget(core),
                             };
                             let ran = mgr.hook_batch(HookPoint::Idle, core, budget) > 0;
-                            if !ran {
-                                idle_loops.fetch_add(1, Ordering::Relaxed);
-                                if !mgr.has_work_for(core) {
-                                    std::thread::park_timeout(park);
-                                }
+                            if ran {
+                                probe_strikes = 0;
+                                continue;
                             }
+                            idle_loops.fetch_add(1, Ordering::Relaxed);
+                            // Publish parked intent *before* the final work
+                            // checks: an enqueue racing them either is seen
+                            // by a check or sees the flag and unparks us
+                            // (worst case a stale token, never a lost wake).
+                            mgr.note_parked(core, true);
+                            if mgr.has_work_for(core) {
+                                mgr.note_parked(core, false);
+                                continue;
+                            }
+                            // The steal-aware park check: a hit means a
+                            // victim queue has backlog this core may be
+                            // able to steal — run another keypoint (whose
+                            // steal probe takes it) instead of parking.
+                            // Strikes bound the spin when the span filter
+                            // over-approximates: after MAX_PROBE_STRIKES
+                            // fruitless hits the worker parks anyway and
+                            // the park timeout / timer takes over.
+                            if probe_strikes < MAX_PROBE_STRIKES && mgr.park_probe(core) {
+                                mgr.note_parked(core, false);
+                                probe_strikes += 1;
+                                continue;
+                            }
+                            std::thread::park_timeout(park);
+                            mgr.note_parked(core, false);
+                            probe_strikes = 0;
                         }
+                        mgr.note_parked(core, false);
                         mgr.unregister_waker(core);
                     })
                     .expect("spawn progression worker")

@@ -33,7 +33,23 @@ enum Backend {
     /// design by the ablation benchmarks. Boxed: the embedded epoch
     /// collector's cache-line-padded pin slots make the queue ~2 KiB,
     /// which would bloat every `TaskQueue` in the arena otherwise.
-    LockFree { list: Box<SegQueue<Task>> },
+    ///
+    /// `cursor` is the *steal cursor*: a small spinlocked deque holding the
+    /// logical **front** of the queue. A Michael–Scott queue cannot remove
+    /// from the middle, so a steal pass pops a bounded prefix; everything
+    /// it must leave behind goes into the cursor *in original order*
+    /// instead of being re-pushed at the tail (which rotated the victim
+    /// queue before PR 4). All dequeue paths drain the cursor before the
+    /// list, so intra-queue FIFO of non-stolen tasks is preserved; urgent
+    /// enqueues also go to the cursor's front, giving this backend real
+    /// preemption instead of the tail-order it had before. `cursor_len` is
+    /// the unlocked emptiness hint: the common no-steal case pays one
+    /// relaxed load, never the lock.
+    LockFree {
+        list: Box<SegQueue<Task>>,
+        cursor: SpinLock<VecDeque<Task>>,
+        cursor_len: AtomicUsize,
+    },
     /// The pre-lock-free shim, kept as an ablation baseline: a plain OS
     /// mutex around a `VecDeque`, locked on **every** operation including
     /// emptiness checks (no Algorithm-2 unlocked hint). This is what
@@ -60,6 +76,17 @@ pub(crate) struct TaskQueue {
     backend: Backend,
     submitted: AtomicU64,
     executed: AtomicU64,
+    /// The *steal span*: a monotone union of the cpusets of every task ever
+    /// enqueued here, kept as four atomic words so
+    /// [`steal_span_admits`](Self::steal_span_admits) is a single relaxed
+    /// load. This is the cpuset filter behind the park probe and
+    /// steal-targeted wake-ups: a core outside the span can never steal
+    /// from this queue, whatever its depth, so probing it is pointless.
+    /// Being monotone it may over-approximate once wide-cpuset tasks have
+    /// drained — an over-approximation only costs a wasted probe, never a
+    /// lost task (the steal path re-checks real task cpusets under the
+    /// victim's lock).
+    steal_span: [AtomicU64; 4],
 }
 
 impl TaskQueue {
@@ -74,6 +101,7 @@ impl TaskQueue {
             },
             submitted: AtomicU64::new(0),
             executed: AtomicU64::new(0),
+            steal_span: Default::default(),
         }
     }
 
@@ -84,9 +112,12 @@ impl TaskQueue {
             cpuset,
             backend: Backend::LockFree {
                 list: Box::new(SegQueue::new()),
+                cursor: SpinLock::new(VecDeque::new()),
+                cursor_len: AtomicUsize::new(0),
             },
             submitted: AtomicU64::new(0),
             executed: AtomicU64::new(0),
+            steal_span: Default::default(),
         }
     }
 
@@ -100,14 +131,39 @@ impl TaskQueue {
             },
             submitted: AtomicU64::new(0),
             executed: AtomicU64::new(0),
+            steal_span: Default::default(),
         }
     }
 
-    /// Appends a task (FIFO order within the queue). Urgent tasks are
-    /// prepended instead, so the next scheduling pass runs them first
-    /// (preemptive tasks, paper §VI).
-    pub(crate) fn enqueue(&self, task: Task) {
+    /// Folds `set` into the steal span (see the field docs). Word-skipping:
+    /// after the first task with a given span shape, the common case is
+    /// four relaxed loads and zero RMWs.
+    fn note_span(&self, set: &CpuSet) {
+        for (word, &bits) in self.steal_span.iter().zip(set.as_words()) {
+            if bits != 0 && word.load(Ordering::Relaxed) & bits != bits {
+                word.fetch_or(bits, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// `true` if some task with `core` in its cpuset was *ever* enqueued
+    /// here — the O(1) lock-free filter the park probe and
+    /// [`wake_for_steal`](crate::TaskManager::wake_for_steal) consult
+    /// before treating this queue's backlog as stealable by `core`.
+    pub(crate) fn steal_span_admits(&self, core: usize) -> bool {
+        core < CpuSet::MAX_CPUS
+            && self.steal_span[core / 64].load(Ordering::Relaxed) & (1u64 << (core % 64)) != 0
+    }
+
+    /// Appends a task (FIFO order within the queue) and returns the queue
+    /// depth just after the append (a hint under the lock-free backend).
+    /// Urgent tasks are prepended instead, so the next scheduling pass runs
+    /// them first (preemptive tasks, paper §VI). The returned depth feeds
+    /// the backlog-threshold check behind
+    /// [`wake_for_steal`](crate::TaskManager::wake_for_steal).
+    pub(crate) fn enqueue(&self, task: Task) -> usize {
         self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.note_span(&task.cpuset);
         match &self.backend {
             Backend::Spin { list, len } => {
                 let mut guard = list.lock();
@@ -120,10 +176,26 @@ impl TaskQueue {
                 // unlocked hint can never claim empty while an element is
                 // present and unobservable.
                 len.store(guard.len(), Ordering::Release);
+                guard.len()
             }
-            // The lock-free backend has no two-ended variant; urgency only
-            // affects wake-ups there.
-            Backend::LockFree { list } => list.push(task),
+            Backend::LockFree {
+                list,
+                cursor,
+                cursor_len,
+            } => {
+                if task.options.urgent {
+                    // The cursor is the logical front of the queue, so an
+                    // urgent task gets real preemption here too (before
+                    // PR 4 this backend could only honour urgency via
+                    // wake-ups).
+                    let mut guard = cursor.lock();
+                    guard.push_front(task);
+                    cursor_len.store(guard.len(), Ordering::Release);
+                } else {
+                    list.push(task);
+                }
+                list.len() + cursor_len.load(Ordering::Acquire)
+            }
             Backend::Mutex { list } => {
                 let mut guard = lock_deque(list);
                 if task.options.urgent {
@@ -131,19 +203,21 @@ impl TaskQueue {
                 } else {
                     guard.push_back(task);
                 }
+                guard.len()
             }
         }
     }
 
     /// Re-enqueue a repeat task without counting a new submission.
     pub(crate) fn requeue(&self, task: Task) {
+        self.note_span(&task.cpuset);
         match &self.backend {
             Backend::Spin { list, len } => {
                 let mut guard = list.lock();
                 guard.push_back(task);
                 len.store(guard.len(), Ordering::Release);
             }
-            Backend::LockFree { list } => list.push(task),
+            Backend::LockFree { list, .. } => list.push(task),
             Backend::Mutex { list } => lock_deque(list).push_back(task),
         }
     }
@@ -165,7 +239,24 @@ impl TaskQueue {
                 len.store(guard.len(), Ordering::Release);
                 task
             }
-            Backend::LockFree { list } => list.pop(),
+            Backend::LockFree {
+                list,
+                cursor,
+                cursor_len,
+            } => {
+                // The cursor holds the logical front (steal leftovers and
+                // urgent tasks); drain it before the Michael–Scott list so
+                // FIFO order survives steals. The unlocked hint keeps the
+                // common no-cursor case lock-free.
+                if cursor_len.load(Ordering::Acquire) > 0 {
+                    let mut guard = cursor.lock();
+                    if let Some(task) = guard.pop_front() {
+                        cursor_len.store(guard.len(), Ordering::Release);
+                        return Some(task);
+                    }
+                }
+                list.pop()
+            }
             Backend::Mutex { list } => lock_deque(list).pop_front(),
         }
     }
@@ -189,8 +280,19 @@ impl TaskQueue {
                 len.store(guard.len(), Ordering::Release);
                 take
             }
-            Backend::LockFree { list } => {
+            Backend::LockFree {
+                list,
+                cursor,
+                cursor_len,
+            } => {
                 let mut n = 0;
+                if cursor_len.load(Ordering::Acquire) > 0 {
+                    let mut guard = cursor.lock();
+                    let take = guard.len().min(max);
+                    out.extend(guard.drain(..take));
+                    cursor_len.store(guard.len(), Ordering::Release);
+                    n = take;
+                }
                 while n < max {
                     let Some(task) = list.pop() else { break };
                     out.push(task);
@@ -219,11 +321,17 @@ impl TaskQueue {
     /// probes instead of `n` single-task probes (the per-probe premium
     /// PR 2's trajectory measured).
     ///
-    /// Ineligible tasks keep their queue positions under the Spin and
-    /// Mutex backends. The lock-free backend cannot scan in place: it pops
-    /// a bounded pass and re-pushes what it must leave behind, which
-    /// rotates the queue (documented in `DESIGN.md`; acceptable because
-    /// intra-queue FIFO order carries no completion-order guarantee).
+    /// Ineligible tasks keep their queue positions under every backend.
+    /// Spin and Mutex scan the deque in place under the lock. The
+    /// lock-free backend cannot scan a Michael–Scott queue in place, so
+    /// its steal pass pops a bounded prefix and parks everything it must
+    /// leave behind in the *steal cursor* — the spinlocked logical front
+    /// that all dequeue paths drain first — in original order. Before
+    /// PR 4 the leftovers were re-pushed at the tail, rotating the victim
+    /// queue on every probe; the cursor removes that reordering (a
+    /// concurrent dequeue racing the steal pass itself may still observe
+    /// tasks out of order — intra-queue FIFO is only defined for
+    /// operations that don't overlap the steal).
     pub(crate) fn try_steal_half(&self, thief: usize, max: usize, out: &mut Vec<Task>) -> usize {
         if max == 0 {
             return 0;
@@ -242,26 +350,27 @@ impl TaskQueue {
                 let mut guard = lock_deque(list);
                 Self::drain_half_eligible(&mut guard, thief, max, out)
             }
-            Backend::LockFree { list } => {
-                // One bounded pass: pop everything visible, keep the
-                // eligible half, re-push the rest at the tail.
-                let mut eligible = Vec::new();
+            Backend::LockFree {
+                list,
+                cursor,
+                cursor_len,
+            } => {
+                // Holding the cursor lock for the whole pass serializes
+                // thieves on this queue (stealing is the rare path) and
+                // lets the leftovers land at the logical front in order.
+                let mut guard = cursor.lock();
                 let mut scan = list.len();
                 while scan > 0 {
                     scan -= 1;
                     let Some(task) = list.pop() else { break };
-                    if task.cpuset.contains(thief) {
-                        eligible.push(task);
-                    } else {
-                        list.push(task);
-                    }
+                    guard.push_back(task);
+                    // Publish as we go: a racing dequeue that misses the
+                    // hint only loses to the ordinary pop race.
+                    cursor_len.store(guard.len(), Ordering::Release);
                 }
-                let quota = eligible.len().div_ceil(2).min(max);
-                for task in eligible.drain(quota..) {
-                    list.push(task);
-                }
-                out.append(&mut eligible);
-                quota
+                let taken = Self::drain_half_eligible(&mut guard, thief, max, out);
+                cursor_len.store(guard.len(), Ordering::Release);
+                taken
             }
         }
     }
@@ -299,9 +408,20 @@ impl TaskQueue {
     pub(crate) fn len_hint(&self) -> usize {
         match &self.backend {
             Backend::Spin { len, .. } => len.load(Ordering::Acquire),
-            Backend::LockFree { list } => list.len(),
+            Backend::LockFree {
+                list, cursor_len, ..
+            } => list.len() + cursor_len.load(Ordering::Acquire),
             Backend::Mutex { list } => lock_deque(list).len(),
         }
+    }
+
+    /// Snapshot of the steal span as a [`CpuSet`] (see the field docs).
+    pub(crate) fn steal_span(&self) -> CpuSet {
+        let mut words = [0u64; 4];
+        for (w, a) in words.iter_mut().zip(&self.steal_span) {
+            *w = a.load(Ordering::Relaxed);
+        }
+        CpuSet::from_words(words)
     }
 
     pub(crate) fn note_executed(&self) {
@@ -561,6 +681,93 @@ mod tests {
         assert_eq!(q.try_steal_half(2, usize::MAX, &mut out), 2);
         assert!(out.iter().all(|t| t.cpuset().contains(2)));
         assert_eq!(q.len_hint(), 4);
+    }
+
+    #[test]
+    fn steal_lockfree_preserves_fifo_of_survivors() {
+        // The PR-4 steal cursor: stealing must not rotate the victim queue.
+        // Tag each task with a unique marker cpu (10+i) so the drain order
+        // is observable; even-indexed tasks are eligible for thief 3.
+        let q = lockfree_queue();
+        for i in 0..6 {
+            let mut set = CpuSet::from_iter([0, 10 + i]);
+            if i % 2 == 0 {
+                set.insert(3);
+            }
+            q.enqueue(task_for(q.id, set));
+        }
+        let mut out = Vec::new();
+        // 3 eligible -> quota 2: tasks 0 and 2 (the oldest eligible) leave.
+        assert_eq!(q.try_steal_half(3, usize::MAX, &mut out), 2);
+        assert!(out[0].cpuset().contains(10));
+        assert!(out[1].cpuset().contains(12));
+        // Survivors drain in original submission order: 1, 3, 4, 5.
+        for expect in [11, 13, 14, 15] {
+            let t = q.try_dequeue().expect("survivor present");
+            assert!(
+                t.cpuset().contains(expect),
+                "queue was reordered: expected marker {expect}"
+            );
+        }
+        assert!(q.try_dequeue().is_none());
+    }
+
+    #[test]
+    fn steal_cursor_survivors_precede_newer_pushes() {
+        // Tasks left behind by a steal sit at the logical *front*: a task
+        // pushed after the steal must drain later than every survivor.
+        let q = lockfree_queue();
+        q.enqueue(task_for(q.id, CpuSet::from_iter([0, 3, 10])));
+        q.enqueue(task_for(q.id, CpuSet::from_iter([0, 3, 11])));
+        let mut out = Vec::new();
+        assert_eq!(q.try_steal_half(3, usize::MAX, &mut out), 1);
+        q.enqueue(task_for(q.id, CpuSet::from_iter([0, 12])));
+        let first = q.try_dequeue().unwrap();
+        assert!(
+            first.cpuset().contains(11),
+            "survivor drains before newer work"
+        );
+        assert!(q.try_dequeue().unwrap().cpuset().contains(12));
+    }
+
+    #[test]
+    fn urgent_lockfree_preempts_queue_order() {
+        // The cursor doubles as a real front for urgent tasks (before PR 4
+        // the lock-free backend could only honour urgency via wake-ups).
+        let q = lockfree_queue();
+        q.enqueue(task_for(q.id, CpuSet::from_iter([0, 10])));
+        let mut urgent = task_for(q.id, CpuSet::from_iter([0, 11]));
+        urgent.options = TaskOptions::oneshot().urgent();
+        q.enqueue(urgent);
+        assert_eq!(q.len_hint(), 2);
+        assert!(q.try_dequeue().unwrap().cpuset().contains(11));
+        assert!(q.try_dequeue().unwrap().cpuset().contains(10));
+    }
+
+    #[test]
+    fn steal_span_is_a_monotone_union_of_enqueued_cpusets() {
+        let q = spin_queue();
+        assert!(!q.steal_span_admits(0), "empty queue admits nobody");
+        q.enqueue(task_for(q.id, CpuSet::single(0)));
+        assert!(q.steal_span_admits(0));
+        assert!(!q.steal_span_admits(3));
+        q.enqueue(task_for(q.id, CpuSet::from_iter([0, 3])));
+        assert!(q.steal_span_admits(3));
+        // Monotone: draining does not shrink the span (documented
+        // over-approximation; a stale bit costs a probe, never a task).
+        while q.try_dequeue().is_some() {}
+        assert!(q.steal_span_admits(3));
+        assert!(!q.steal_span_admits(255), "unseen cores stay excluded");
+    }
+
+    #[test]
+    fn enqueue_reports_post_append_depth() {
+        for q in [spin_queue(), lockfree_queue(), mutex_queue()] {
+            assert_eq!(q.enqueue(dummy_task(q.id)), 1);
+            assert_eq!(q.enqueue(dummy_task(q.id)), 2);
+            q.try_dequeue();
+            assert_eq!(q.enqueue(dummy_task(q.id)), 2);
+        }
     }
 
     #[test]

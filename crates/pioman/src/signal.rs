@@ -1,0 +1,318 @@
+//! Phase-reactive scheduler signals: the windowed contention rate behind
+//! [`TaskManager::adaptive_budget`](crate::TaskManager::adaptive_budget).
+//!
+//! PR 3's adaptive budgets widened batches from the **cumulative**
+//! `lock_contended / lock_acquisitions` ratio. A cumulative ratio ossifies:
+//! after a million quiet acquisitions, a contention burst moves it by parts
+//! per thousand, and after a long contended phase a newly quiet system keeps
+//! paying bursty-phase budgets for just as long. [`ContentionWindow`] fixes
+//! both by tracking an **exponentially-decayed** rate with a configurable
+//! half-life ([`ManagerConfig::contention_half_life`](crate::ManagerConfig)),
+//! so the signal follows phase changes at a speed the operator chooses.
+//! [`SignalPolicy`] selects between the two — the cumulative variant is kept
+//! for the `phase_shift_ramp` ablation, not as a recommended mode.
+//!
+//! Everything here is plain atomics (no locks, no floats on the sampling
+//! path); CI runs this module's tests under Miri alongside the lock-free
+//! queue.
+
+use core::sync::atomic::{AtomicU64, Ordering};
+
+/// How [`TaskManager::adaptive_budget`](crate::TaskManager::adaptive_budget)
+/// turns the spinlock contention counters into a batch-widening signal.
+///
+/// ```
+/// use pioman::{ManagerConfig, SignalPolicy, TaskManager};
+/// use piom_topology::presets;
+///
+/// // The default is the windowed signal with a 32-sample half-life…
+/// assert_eq!(ManagerConfig::default().signal, SignalPolicy::Windowed);
+///
+/// // …and the cumulative PR-3 variant stays available for ablation runs.
+/// let mgr = TaskManager::with_config(
+///     presets::kwak().into(),
+///     ManagerConfig {
+///         signal: SignalPolicy::Cumulative,
+///         ..ManagerConfig::default()
+///     },
+/// );
+/// assert_eq!(mgr.config().signal, SignalPolicy::Cumulative);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SignalPolicy {
+    /// Exponentially-decayed contention rate ([`ContentionWindow`]), sampled
+    /// every budget computation: recent acquisitions dominate, history older
+    /// than a few half-lives is forgotten. The default — budgets track the
+    /// *current* phase.
+    #[default]
+    Windowed,
+    /// The PR-3 behaviour: lifetime `lock_contended / lock_acquisitions`.
+    /// Kept for the `phase_shift_ramp` ablation; ossifies as history
+    /// accumulates (the longer the process runs, the less a phase change
+    /// moves the ratio).
+    Cumulative,
+}
+
+/// Fixed-point scale of [`ContentionWindow`] rates: `FP_ONE` represents a
+/// contention rate of 1.0 (every acquisition was fought over).
+pub const FP_ONE: u64 = 1 << 16;
+
+/// An exponentially-decayed estimate of a contended/total event rate, fed
+/// from monotone cumulative counters.
+///
+/// The window never touches the counters' hot path: producers keep
+/// incrementing their plain cumulative counters (the spinlocks already do),
+/// and a *sampler* — in practice each call to
+/// [`adaptive_budget`](crate::TaskManager::adaptive_budget) — hands the
+/// current totals to [`observe`](ContentionWindow::observe). The window
+/// diffs them against the previous sample and folds the batch's rate into
+/// an EWMA whose weight halves every `half_life` samples:
+///
+/// `rate ← rate + (batch_rate − rate) / K`, with `K = 1 / (1 − 2^(−1/h))`.
+///
+/// Samples with no new acquisitions are ignored (an idle system carries no
+/// contention evidence either way), so the half-life is measured in
+/// *active* samples, not wall-clock time.
+///
+/// ```
+/// use pioman::ContentionWindow;
+///
+/// let w = ContentionWindow::new(4);
+/// let (mut acq, mut cont) = (0u64, 0u64);
+/// // A fully contended phase: every acquisition was fought over.
+/// for _ in 0..64 {
+///     acq += 100;
+///     cont += 100;
+///     w.observe(acq, cont);
+/// }
+/// assert!(w.rate() > 0.9);
+/// // Phase change: contention vanishes. The cumulative ratio would still
+/// // read 0.5 here forever-ish; the window forgets within a few half-lives.
+/// for _ in 0..64 {
+///     acq += 100;
+///     w.observe(acq, cont);
+/// }
+/// assert!(w.rate() < 0.05);
+/// ```
+#[derive(Debug)]
+pub struct ContentionWindow {
+    /// EWMA divisor `K` derived from the half-life (≥ 2).
+    decay_k: u64,
+    /// Cumulative acquisition count at the last accepted sample.
+    last_acquisitions: AtomicU64,
+    /// Cumulative contended count at the last accepted sample.
+    last_contended: AtomicU64,
+    /// Current rate in [`FP_ONE`]-scaled fixed point (`0..=FP_ONE`).
+    rate_fp: AtomicU64,
+}
+
+impl ContentionWindow {
+    /// A window whose sample weight halves every `half_life` active samples
+    /// (clamped to at least 1).
+    pub fn new(half_life: u32) -> Self {
+        let h = half_life.max(1) as f64;
+        // K = 1 / (1 - 2^(-1/h)); h = 1 gives the floor K = 2.
+        let k = (1.0 / (1.0 - 0.5f64.powf(1.0 / h))).round() as u64;
+        ContentionWindow {
+            decay_k: k.max(2),
+            last_acquisitions: AtomicU64::new(0),
+            last_contended: AtomicU64::new(0),
+            rate_fp: AtomicU64::new(0),
+        }
+    }
+
+    /// Feeds the current *cumulative* counters and returns the updated rate
+    /// in fixed point (`0..=`[`FP_ONE`]).
+    ///
+    /// Both counters must be monotone (they are lock-lifetime totals). A
+    /// sample that advanced no acquisitions leaves the rate untouched. When
+    /// several threads sample concurrently, one wins the delta and the
+    /// others read the freshest rate. The contended watermark advances by
+    /// `fetch_max`, never a plain store, so a claim winner that stalls
+    /// mid-update cannot drag it backward and inflate a later sampler's
+    /// delta — the worst concurrent outcome is an *under*-counted sample
+    /// (one EWMA step of delay), never a spurious contention spike.
+    pub fn observe(&self, acquisitions: u64, contended: u64) -> u64 {
+        let prev_a = self.last_acquisitions.load(Ordering::Relaxed);
+        let delta_a = acquisitions.saturating_sub(prev_a);
+        if delta_a == 0 {
+            return self.rate_fp.load(Ordering::Relaxed);
+        }
+        // Claim this sampling window; a loser just reads the current rate.
+        if self
+            .last_acquisitions
+            .compare_exchange(prev_a, acquisitions, Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+        {
+            return self.rate_fp.load(Ordering::Relaxed);
+        }
+        let prev_c = self.last_contended.fetch_max(contended, Ordering::Relaxed);
+        let delta_c = contended.saturating_sub(prev_c).min(delta_a);
+        // Widening multiply: delta_c can exceed 2^48 when a window is
+        // attached to (or left behind by) a long-running counter pair.
+        let sample_fp = ((delta_c as u128 * FP_ONE as u128) / delta_a as u128) as u64;
+        let rate = self.rate_fp.load(Ordering::Relaxed);
+        // div_ceil on the step keeps the EWMA moving even when the gap is
+        // below K, so a quiet phase decays all the way to 0 instead of
+        // stalling a few fixed-point units above it (and a contended one
+        // climbs off 0). Equilibrium oscillates by at most 1/65536.
+        let new = if sample_fp >= rate {
+            rate + (sample_fp - rate).div_ceil(self.decay_k)
+        } else {
+            rate - (rate - sample_fp).div_ceil(self.decay_k)
+        };
+        self.rate_fp.store(new.min(FP_ONE), Ordering::Relaxed);
+        new.min(FP_ONE)
+    }
+
+    /// Current rate in fixed point (`0..=`[`FP_ONE`]), without sampling.
+    pub fn rate_fp(&self) -> u64 {
+        self.rate_fp.load(Ordering::Relaxed)
+    }
+
+    /// Current rate as a float in `0.0..=1.0`, without sampling.
+    pub fn rate(&self) -> f64 {
+        self.rate_fp() as f64 / FP_ONE as f64
+    }
+
+    /// The batch-widening multiplier this rate maps to: ×1 when uncontended
+    /// up to ×9 when every recent acquisition was fought over — the same
+    /// range the cumulative PR-3 formula produced, so the two
+    /// [`SignalPolicy`] arms differ only in *what history* they weigh.
+    pub fn boost(&self) -> usize {
+        1 + ((8 * self.rate_fp()) >> 16) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample_changes_nothing() {
+        let w = ContentionWindow::new(8);
+        assert_eq!(w.observe(0, 0), 0);
+        w.observe(100, 50);
+        let r = w.rate_fp();
+        assert_eq!(w.observe(100, 50), r, "no new acquisitions: rate frozen");
+    }
+
+    #[test]
+    fn saturated_signal_converges_to_one_and_boost_maxes() {
+        let w = ContentionWindow::new(4);
+        let mut acq = 0;
+        for _ in 0..128 {
+            acq += 10;
+            w.observe(acq, acq);
+        }
+        assert!(w.rate() > 0.95, "rate {} should approach 1", w.rate());
+        assert_eq!(w.boost(), 9);
+    }
+
+    #[test]
+    fn half_life_is_roughly_honoured_on_decay() {
+        let half_life = 8;
+        let w = ContentionWindow::new(half_life);
+        // Saturate, then feed exactly `half_life` contention-free samples.
+        let mut acq = 0;
+        for _ in 0..256 {
+            acq += 100;
+            w.observe(acq, acq);
+        }
+        let start = w.rate_fp();
+        assert!(start > (FP_ONE * 9) / 10);
+        let cont = acq;
+        for _ in 0..half_life {
+            acq += 100;
+            w.observe(acq, cont);
+        }
+        let halved = w.rate_fp();
+        let ratio = halved as f64 / start as f64;
+        assert!(
+            (0.4..=0.6).contains(&ratio),
+            "after one half-life the rate should be ~halved, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn quiet_phase_decays_all_the_way_to_zero() {
+        let w = ContentionWindow::new(2);
+        let mut acq = 0;
+        for _ in 0..32 {
+            acq += 4;
+            w.observe(acq, acq);
+        }
+        let cont = acq;
+        for _ in 0..2048 {
+            acq += 4;
+            w.observe(acq, cont);
+        }
+        assert_eq!(w.rate_fp(), 0, "div_ceil decay must reach exactly 0");
+        assert_eq!(w.boost(), 1);
+    }
+
+    #[test]
+    fn contended_delta_is_clamped_to_acquisitions() {
+        // A torn read pair (contended sampled after acquisitions) can show
+        // more contended events than acquisitions; the rate must cap at 1.
+        let w = ContentionWindow::new(1);
+        for i in 1..64 {
+            w.observe(i, i * 10);
+        }
+        assert!(w.rate_fp() <= FP_ONE);
+        assert_eq!(w.boost(), 9);
+    }
+
+    /// Shrunk under Miri (CI's `miri test -p pioman signal` matches this
+    /// module by name): the interpreter explores interleavings orders of
+    /// magnitude slower than native threads run them.
+    const SAMPLER_THREADS: usize = if cfg!(miri) { 2 } else { 4 };
+    const SAMPLES_PER_THREAD: usize = if cfg!(miri) { 25 } else { 200 };
+
+    #[test]
+    fn concurrent_samplers_never_corrupt_the_rate() {
+        // The claim-CAS means one thread wins each window; losers read. Run
+        // real threads over a shared window and check the invariant bounds.
+        let w = std::sync::Arc::new(ContentionWindow::new(4));
+        let total = std::sync::Arc::new(AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..SAMPLER_THREADS {
+                let w = w.clone();
+                let total = total.clone();
+                s.spawn(move || {
+                    for _ in 0..SAMPLES_PER_THREAD {
+                        let a = total.fetch_add(5, Ordering::Relaxed) + 5;
+                        w.observe(a, a / 2);
+                    }
+                });
+            }
+        });
+        assert!(w.rate_fp() <= FP_ONE);
+        // Every sample's batch rate was ~0.5, so the EWMA must sit near it.
+        assert!(
+            (0.2..=0.8).contains(&w.rate()),
+            "rate {} drifted outside the sampled band",
+            w.rate()
+        );
+    }
+
+    #[test]
+    fn huge_deltas_do_not_overflow_the_sample() {
+        // A window attached to an already-ancient counter pair: the first
+        // sample's delta exceeds 2^48, which a narrow `delta_c << 16`
+        // would wrap on.
+        let w = ContentionWindow::new(1);
+        let big = 1u64 << 60;
+        w.observe(big, big);
+        assert_eq!(w.rate_fp(), FP_ONE / 2, "saturated giant sample: half up");
+        w.observe(big + (1 << 50), big + (1 << 50));
+        assert!(w.rate_fp() <= FP_ONE);
+    }
+
+    #[test]
+    fn half_life_floor_is_one_sample() {
+        let w = ContentionWindow::new(0); // clamped to 1 → K = 2
+        w.observe(100, 100);
+        assert_eq!(w.rate_fp(), FP_ONE / 2, "first saturated sample: half up");
+    }
+}

@@ -1,4 +1,7 @@
 //! Counter snapshots exposed by [`TaskManager::stats`](crate::TaskManager::stats).
+//!
+//! Every field here is defined, with its invariants, in the scheduler
+//! contract page (`docs/SCHEDULER.md`, "Counter glossary").
 
 use crate::queue::QueueId;
 use piom_cpuset::CpuSet;
@@ -13,6 +16,12 @@ pub struct QueueStats {
     pub level: Level,
     /// Cores this queue serves.
     pub cpuset: CpuSet,
+    /// The queue's *steal span*: the monotone union of the cpusets of
+    /// every task ever enqueued here. This is the filter the park probe
+    /// and [`wake_for_steal`](crate::TaskManager::wake_for_steal) consult;
+    /// it may over-approximate the currently-enqueued tasks (stale bits
+    /// cost a wasted probe, never a misplaced task).
+    pub steal_span: CpuSet,
     /// Tasks submitted directly to this queue.
     pub submitted: u64,
     /// Task executions drawn from this queue (repeat runs count each time).
@@ -46,6 +55,22 @@ pub struct ManagerStats {
     /// over; 1.0 means stealing degenerated to the old one-task-per-probe
     /// behaviour.
     pub stolen_batch_by_core: Vec<u64>,
+    /// Pre-park steal probes per core that *hit* — found a victim queue
+    /// with backlog whose steal span admits the prober — sending the
+    /// worker back to another keypoint instead of parking. The
+    /// steal-aware-parking half of PR 4: with stealing disabled this is
+    /// always zero ([`park_probe`](crate::TaskManager::park_probe)).
+    pub park_probe_hits: Vec<u64>,
+    /// Pre-park steal probes per core that found nothing stealable, so
+    /// the worker parked. `hits / (hits + misses)` is how often the probe
+    /// saved a park/unpark round-trip (plus up to a park-timeout of
+    /// latency) per idle episode.
+    pub park_probe_misses: Vec<u64>,
+    /// Steal-targeted wake-ups *received* per core: how often
+    /// [`wake_for_steal`](crate::TaskManager::wake_for_steal) chose this
+    /// parked core as the nearest eligible thief for a queue whose depth
+    /// crossed [`ManagerConfig::steal_wake_backlog`](crate::ManagerConfig).
+    pub wakeups_for_steal: Vec<u64>,
     /// Invocations of the idle hook.
     pub hook_idle: u64,
     /// Invocations of the context-switch hook.
@@ -73,6 +98,21 @@ impl ManagerStats {
     /// Total successful steal-half batches across all cores.
     pub fn total_steal_batches(&self) -> u64 {
         self.stolen_batch_by_core.iter().sum()
+    }
+
+    /// Total pre-park probes that found stealable backlog, across cores.
+    pub fn total_park_probe_hits(&self) -> u64 {
+        self.park_probe_hits.iter().sum()
+    }
+
+    /// Total pre-park probes that found nothing, across cores.
+    pub fn total_park_probe_misses(&self) -> u64 {
+        self.park_probe_misses.iter().sum()
+    }
+
+    /// Total steal-targeted wake-ups delivered, across cores.
+    pub fn total_wakeups_for_steal(&self) -> u64 {
+        self.wakeups_for_steal.iter().sum()
     }
 
     /// Share of task executions done by each core, as fractions of 1.
@@ -103,6 +143,9 @@ mod tests {
             stolen_by_core: vec![0; n],
             steal_attempts_by_core: vec![0; n],
             stolen_batch_by_core: vec![0; n],
+            park_probe_hits: vec![0; n],
+            park_probe_misses: vec![0; n],
+            wakeups_for_steal: vec![0; n],
             hook_idle: 0,
             hook_context_switch: 0,
             hook_timer: 0,

@@ -1,0 +1,184 @@
+//! Steal-aware parking: deterministic coverage of the PR-4 park/wake
+//! contract (`docs/SCHEDULER.md`).
+//!
+//! The first test drives the worker lifecycle *by hand* — the park-probe
+//! decision and the keypoints it feeds back into are public API — so the
+//! paper-critical property ("an idle core reacts to a remote backlog
+//! without waiting for a timer keypoint") is asserted with zero timing
+//! dependence. The live-`Progression` tests then pin the same contract on
+//! real worker threads, with bounded waits only on *observable* state
+//! (parked flags, task completion), never on sleeps standing in for
+//! scheduling decisions.
+
+use piom_cpuset::CpuSet;
+use piom_topology::presets;
+use pioman::{ManagerConfig, Progression, ProgressionConfig, TaskManager, TaskOptions, TaskStatus};
+use std::time::{Duration, Instant};
+
+/// Spins until `cond` holds, failing the test after a generous bound.
+fn wait_for(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::yield_now();
+    }
+}
+
+/// The satellite scenario, fully deterministic: core 0's own hierarchy is
+/// empty while a *distant* victim (core 12, across the kwak interconnect)
+/// holds a backlog core 0 may steal. The pre-park probe must see it —
+/// sending the worker back to the keypoint, whose steal path drains the
+/// backlog — without a single timer keypoint firing.
+#[test]
+fn park_probe_path_drains_distant_backlog_without_timer() {
+    let mgr = TaskManager::new(presets::kwak().into());
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            mgr.submit_on(
+                |_| TaskStatus::Done,
+                12,
+                CpuSet::from_iter([0, 12]),
+                TaskOptions::oneshot(),
+            )
+        })
+        .collect();
+
+    // The worker contract, executed synchronously for core 0: a dry idle
+    // keypoint is followed by the own-path re-check and the park probe.
+    assert!(!mgr.has_work_for(0), "core 0's own path is empty");
+    assert!(
+        mgr.park_probe(0),
+        "the probe must see the distant stealable backlog"
+    );
+    // A hit means "do not park: run another keypoint" — which steals.
+    let mut rounds = 0;
+    while handles.iter().any(|h| !h.is_complete()) {
+        assert!(mgr.schedule(0), "post-hit keypoint found nothing");
+        rounds += 1;
+        assert!(rounds <= 8, "steal-half should drain 8 tasks in ≤ 4 probes");
+    }
+
+    let stats = mgr.stats();
+    assert!(stats.park_probe_hits[0] > 0, "the probe path was exercised");
+    assert_eq!(stats.hook_timer, 0, "no timer keypoint fired");
+    assert_eq!(stats.stolen_by_core[0], 8, "everything came via steals");
+    assert_eq!(stats.executed_by_core[12], 0, "the home core never ran");
+}
+
+/// Live workers: a backlog submitted for a busy home core is finished by a
+/// progression worker on another core with the timer disabled and the park
+/// timeout far beyond the test bound — completion can only come from the
+/// wake/steal path, never from a timer keypoint.
+#[test]
+fn live_worker_steals_distant_backlog_without_timer() {
+    let mgr = TaskManager::new(presets::kwak().into());
+    let config = ProgressionConfig {
+        park_timeout: Duration::from_secs(3600), // park "forever"
+        timer_period: None,
+        ..ProgressionConfig::for_cores(vec![0])
+    };
+    let _prog = Progression::start(mgr.clone(), config);
+    let handles: Vec<_> = (0..16)
+        .map(|_| {
+            mgr.submit_on(
+                |_| TaskStatus::Done,
+                12,
+                CpuSet::from_iter([0, 12]),
+                TaskOptions::oneshot(),
+            )
+        })
+        .collect();
+    for h in handles {
+        assert_eq!(h.wait(), Ok(()));
+    }
+    let stats = mgr.stats();
+    assert_eq!(stats.hook_timer, 0, "no timer keypoint fired");
+    assert_eq!(stats.stolen_by_core[0], 16);
+}
+
+/// `wake_for_steal` in isolation: a parked worker whose own core is *not*
+/// in any new submission's cpuset is still recruited when a queue it can
+/// steal from crosses the backlog threshold. Stealing is disabled in the
+/// manager config so the worker genuinely parks (its keypoints cannot
+/// steal), isolating the wake mechanism from the drain mechanism.
+#[test]
+fn wake_for_steal_unparks_the_nearest_eligible_parked_core() {
+    let mgr = TaskManager::with_config(
+        presets::kwak().into(),
+        ManagerConfig {
+            steal: false,
+            ..ManagerConfig::default()
+        },
+    );
+    let config = ProgressionConfig {
+        park_timeout: Duration::from_secs(3600),
+        timer_period: None,
+        ..ProgressionConfig::for_cores(vec![1])
+    };
+    let _prog = Progression::start(mgr.clone(), config);
+    wait_for("worker 1 to park", || mgr.is_parked(1));
+
+    // Backlog on core 0's queue, stealable by cores {0, 1}. With stealing
+    // off, nothing triggers automatically; the steal span still records
+    // core 1 as eligible.
+    for _ in 0..16 {
+        mgr.submit_on(
+            |_| TaskStatus::Done,
+            0,
+            CpuSet::from_iter([0, 1]),
+            TaskOptions::oneshot(),
+        );
+    }
+    wait_for("worker 1 to re-park after the submission wakes", || {
+        mgr.is_parked(1)
+    });
+
+    let home = mgr.stats().queues[mgr.topology().core_node(0).index()].id;
+    assert_eq!(
+        mgr.wake_for_steal(home),
+        Some(1),
+        "core 1 is the nearest parked core the queue's span admits"
+    );
+    assert_eq!(mgr.stats().wakeups_for_steal[1], 1);
+}
+
+/// The automatic escalation: with stealing on, a submission burst that
+/// crosses `steal_wake_backlog` recruits a parked distant worker whose
+/// core is in the tasks' cpuset, and the backlog drains without a timer.
+#[test]
+fn backlog_threshold_recruits_a_parked_thief_end_to_end() {
+    let mgr = TaskManager::with_config(
+        presets::kwak().into(),
+        ManagerConfig {
+            steal_wake_backlog: 4,
+            ..ManagerConfig::default()
+        },
+    );
+    let config = ProgressionConfig {
+        park_timeout: Duration::from_secs(3600),
+        timer_period: None,
+        ..ProgressionConfig::for_cores(vec![8])
+    };
+    let _prog = Progression::start(mgr.clone(), config);
+    wait_for("worker 8 to park", || mgr.is_parked(8));
+
+    let handles: Vec<_> = (0..16)
+        .map(|_| {
+            mgr.submit_on(
+                |_| TaskStatus::Done,
+                0,
+                CpuSet::from_iter([0, 8]),
+                TaskOptions::oneshot(),
+            )
+        })
+        .collect();
+    for h in handles {
+        assert_eq!(h.wait(), Ok(()));
+    }
+    let stats = mgr.stats();
+    assert_eq!(stats.hook_timer, 0, "no timer keypoint fired");
+    assert_eq!(
+        stats.stolen_by_core[8], 16,
+        "the recruited thief drained it"
+    );
+}

@@ -171,6 +171,95 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The PR-4 steal-cursor guarantee, via the public API: stealing from
+    /// a lock-free queue must not reorder the tasks it leaves behind.
+    ///
+    /// Tasks are homed on core 1 with per-task eligibility for the thief
+    /// (core 0) drawn from the seed; a random number of steal probes run
+    /// first, then the home core drains everything. Every execution logs
+    /// `(core, submission index)`; the home core's subsequence — exactly
+    /// the non-stolen tasks — must appear in submission order. (Before the
+    /// cursor, each probe's pop/re-push pass rotated the survivors.)
+    /// Deterministic: single-threaded, keypoints driven by hand.
+    #[test]
+    fn lockfree_steal_preserves_victim_fifo(
+        n_tasks in 1usize..48,
+        eligibility in any::<u64>(),
+        n_probes in 0usize..6,
+    ) {
+        let topo = Arc::new(TopologyBuilder::new("p").cores_per_cache(4).build());
+        let mgr = TaskManager::with_config(
+            topo,
+            ManagerConfig {
+                queue_backend: QueueBackend::LockFree,
+                ..ManagerConfig::default()
+            },
+        );
+        let log = Arc::new(std::sync::Mutex::new(Vec::<(usize, usize)>::new()));
+        let mut bits = eligibility;
+        let handles: Vec<_> = (0..n_tasks)
+            .map(|i| {
+                // At least the home core; the thief from the seed bit.
+                let steal_ok = bits & 1 == 1;
+                bits = bits.rotate_right(1) ^ 0x9e3779b97f4a7c15;
+                let cpuset = if steal_ok {
+                    CpuSet::from_iter([0, 1])
+                } else {
+                    CpuSet::single(1)
+                };
+                let log = log.clone();
+                mgr.submit_on(
+                    move |ctx| {
+                        log.lock().unwrap().push((ctx.core, i));
+                        TaskStatus::Done
+                    },
+                    1,
+                    cpuset,
+                    TaskOptions::oneshot(),
+                )
+            })
+            .collect();
+
+        for _ in 0..n_probes {
+            // A steal probe from the idle thief (budget-capped so several
+            // probes interleave with the later drain).
+            mgr.schedule_batch(0, 3);
+        }
+        let mut spins = 0;
+        while handles.iter().any(|h| !h.is_complete()) {
+            mgr.schedule(1);
+            spins += 1;
+            prop_assert!(spins < 10_000, "home core failed to drain");
+        }
+
+        let log = log.lock().unwrap();
+        prop_assert_eq!(log.len(), n_tasks, "every task ran exactly once");
+        let survivors: Vec<usize> = log
+            .iter()
+            .filter(|&&(core, _)| core == 1)
+            .map(|&(_, i)| i)
+            .collect();
+        prop_assert!(
+            survivors.windows(2).all(|w| w[0] < w[1]),
+            "home core saw non-stolen tasks out of submission order: {:?}",
+            survivors
+        );
+        // And the stolen ones were the *oldest eligible* at each probe —
+        // at minimum, stolen tasks must all have admitted the thief.
+        for &(core, i) in log.iter() {
+            if core == 0 {
+                prop_assert!(
+                    mgr.stats().stolen_by_core[0] > 0,
+                    "task {} ran on the thief without a recorded steal", i
+                );
+            }
+        }
+    }
+}
+
 /// Sizes for the interleaving proptest below, shrunk under Miri: CI's
 /// `cargo miri test -p pioman lockfree` matches this test by name, and
 /// the interpreter is orders of magnitude slower than native, so both

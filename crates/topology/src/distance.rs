@@ -115,22 +115,50 @@ impl Topology {
         let mut victims: Vec<(NodeId, usize)> = self
             .node_ids()
             .filter(|id| !on_path.contains(id))
-            .map(|id| {
-                let nearest = self
-                    .node(id)
-                    .cpuset
-                    .iter()
-                    .filter(|&c| c < self.n_cores())
-                    .map(|c| self.distance(core, c))
-                    .min()
-                    .unwrap_or(usize::MAX);
-                (id, nearest)
-            })
+            .map(|id| (id, self.nearest_span_distance(core, &self.node(id).cpuset)))
             .collect();
         victims.sort_by_key(|&(id, nearest)| {
             (nearest, core::cmp::Reverse(self.node(id).depth), id.index())
         });
         victims
+    }
+
+    /// Every core of the machine sorted by increasing [`Locality`] distance
+    /// from node `id`'s span (the distance to the *nearest* core the node
+    /// covers; ties broken by core id). Cores inside the span come first,
+    /// at distance 0.
+    ///
+    /// This is the steal-wake counterpart of
+    /// [`steal_order_with_distance`](Self::steal_order_with_distance): that
+    /// method ranks *victim queues* around a thief core, while this one
+    /// ranks *candidate thieves* around a backlogged queue. The task
+    /// manager precomputes it per queue at construction so
+    /// [`wake_for_steal`](../pioman) can pick the nearest parked worker
+    /// with a single ordered scan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is outside this topology's arena.
+    pub fn cores_by_distance_from_node(&self, id: NodeId) -> Vec<usize> {
+        let span = self.node(id).cpuset;
+        let mut cores: Vec<usize> = (0..self.n_cores()).collect();
+        cores.sort_by_key(|&c| (self.nearest_span_distance(c, &span), c));
+        cores
+    }
+
+    /// The [`Locality`] distance from `origin` to the *nearest* in-range
+    /// core of `span` (`usize::MAX` for an empty/foreign span) — the
+    /// shared kernel of [`steal_order_with_distance`](Self::
+    /// steal_order_with_distance) (ranking victim queues around a thief)
+    /// and [`cores_by_distance_from_node`](Self::
+    /// cores_by_distance_from_node) (ranking candidate thieves around a
+    /// queue), so the two orders can never disagree on what "near" means.
+    fn nearest_span_distance(&self, origin: usize, span: &piom_cpuset::CpuSet) -> usize {
+        span.iter()
+            .filter(|&c| c < self.n_cores())
+            .map(|c| self.distance(origin, c))
+            .min()
+            .unwrap_or(usize::MAX)
     }
 }
 
@@ -238,6 +266,29 @@ mod tests {
                 assert!(w[0].1 <= w[1].1, "tiers never get closer again");
             }
         }
+    }
+
+    #[test]
+    fn cores_by_distance_from_node_ranks_span_first_then_outward() {
+        let t = presets::kwak();
+        // NUMA #1 spans cores 4-7: its own cores lead (distance 0, id
+        // order), every other core follows at CrossNuma distance in id
+        // order, and the ranking never gets closer again.
+        let numa1 = t.core_node(5); // per-core node of 5…
+        let numa1 = t.node(numa1).parent.unwrap(); // …whose parent is NUMA #1
+        let order = t.cores_by_distance_from_node(numa1);
+        assert_eq!(order.len(), t.n_cores());
+        assert_eq!(&order[..4], &[4, 5, 6, 7], "span cores first");
+        let span = t.node(numa1).cpuset;
+        let dist = |c: usize| span.iter().map(|s| t.distance(c, s)).min().unwrap();
+        for w in order.windows(2) {
+            assert!(dist(w[0]) <= dist(w[1]), "ordering must be monotone");
+        }
+        // A per-core node: the core itself leads, NUMA siblings next.
+        let core3 = t.core_node(3);
+        let order = t.cores_by_distance_from_node(core3);
+        assert_eq!(order[0], 3);
+        assert_eq!(&order[1..4], &[0, 1, 2], "same-NUMA siblings before remote");
     }
 
     #[test]

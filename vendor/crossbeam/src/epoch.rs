@@ -1,4 +1,4 @@
-//! Minimal epoch-based reclamation (EBR) backing [`queue::SegQueue`].
+//! Minimal epoch-based reclamation (EBR) backing [`crate::queue::SegQueue`].
 //!
 //! Lock-free linked structures cannot free a node the moment it is
 //! unlinked: another thread may have loaded a pointer to it just before the
