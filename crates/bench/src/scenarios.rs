@@ -7,6 +7,33 @@ use piom_cpuset::CpuSet;
 use pioman::{TaskHandle, TaskManager, TaskOptions, TaskStatus};
 use std::time::{Duration, Instant};
 
+/// Scenarios whose quick-mode numbers swing with host load (±40% observed
+/// on shared runners for `newmad_pingpong` and the contended pairs, and
+/// 0.4–1.8 µs run-to-run for the single-round-trip rows — EXPERIMENTS.md,
+/// "noise caveat"). This tag drives two things: `piom-harness bench`
+/// records the **median of three** measurement passes for these (instead
+/// of one), and the now-required regression gate applies the wide
+/// per-scenario threshold (`compare::WIDE_THRESHOLD_PCT`) to them so CI
+/// verdicts track real regressions instead of runner weather.
+pub const HIGH_VARIANCE: &[&str] = &[
+    "submit_schedule_percore",
+    "submit_schedule_global",
+    "contended_global_queue",
+    "contended_percore_queues",
+    "newmad_pingpong",
+    "lockfree_vs_mutex",
+    "lockfree_vs_mutex_baseline",
+    "relaxed_vs_seqcst_contended",
+    "relaxed_vs_seqcst_contended_baseline",
+    "stats_sharding_contended",
+    "stats_sharding_contended_baseline",
+];
+
+/// `true` if `name` is tagged [`HIGH_VARIANCE`].
+pub fn is_high_variance(name: &str) -> bool {
+    HIGH_VARIANCE.contains(&name)
+}
+
 /// Backlog size of the skewed-load (steal-vs-spin) scenarios.
 pub const SKEWED_LOAD: usize = 64;
 

@@ -66,6 +66,13 @@ pub struct BenchResult {
 }
 
 /// Times `iters` runs of `routine` (after `setup`) and returns the mean.
+///
+/// Scenarios tagged [`scenarios::HIGH_VARIANCE`] run **three** full
+/// measurement passes and record the *median* mean: a single pass on a
+/// shared host folds whatever the neighbours were doing into the number,
+/// and with the regression gate now required (PR 5) one unlucky pass
+/// would fail CI. The median of three keeps a lone disturbed pass out of
+/// the recorded value at 3× cost for only the scenarios that need it.
 fn measure<S, R>(
     name: &'static str,
     opts: &BenchOptions,
@@ -79,16 +86,26 @@ where
     // One untimed warmup pays lazy-init costs outside the measurement.
     setup();
     routine();
-    let mut total_ns = 0u128;
-    for _ in 0..opts.iters {
-        setup();
-        let t0 = Instant::now();
-        routine();
-        total_ns += t0.elapsed().as_nanos();
+    let passes = if scenarios::is_high_variance(name) {
+        3
+    } else {
+        1
+    };
+    let mut means = Vec::with_capacity(passes);
+    for _ in 0..passes {
+        let mut total_ns = 0u128;
+        for _ in 0..opts.iters {
+            setup();
+            let t0 = Instant::now();
+            routine();
+            total_ns += t0.elapsed().as_nanos();
+        }
+        means.push(total_ns as f64 / opts.iters as f64);
     }
+    means.sort_by(|a, b| a.total_cmp(b));
     BenchResult {
         name,
-        mean_ns: total_ns as f64 / opts.iters as f64,
+        mean_ns: means[passes / 2],
         iters: opts.iters,
         seed: opts.seed,
     }
@@ -428,6 +445,123 @@ fn phase_shift(name: &'static str, opts: &BenchOptions, signal: SignalPolicy) ->
     result
 }
 
+/// The memory-ordering ablation (PR 5): 4 real threads hammering
+/// push+pop rounds on the vendored Michael–Scott queue, once with the
+/// audited weakest-sound orderings ([`crossbeam::order::Tuned`], what the
+/// scheduler's lock-free backend runs) and once with every site upgraded
+/// to `SeqCst` ([`crossbeam::queue::SeqCstSegQueue`], the pre-PR-5
+/// behaviour). Identical algorithm, identical layout — the delta is the
+/// fences. Read the pair together like `lockfree_vs_mutex`.
+fn relaxed_vs_seqcst(opts: &BenchOptions) -> [BenchResult; 2] {
+    use crossbeam::order::{AlwaysSeqCst, OrderPolicy, Tuned};
+    use crossbeam::queue::SegQueue;
+
+    const THREADS: u64 = 4;
+    // Large enough that thread spawn/join overhead (~100 µs per round) is
+    // noise against the measured queue ops, not the bulk of the mean.
+    const OPS: u64 = 4_096;
+
+    fn round<P: OrderPolicy>(name: &'static str, opts: &BenchOptions) -> BenchResult {
+        let iters = (opts.iters / 10).max(5);
+        let scaled = BenchOptions { iters, ..*opts };
+        let q: SegQueue<u64, P> = SegQueue::new();
+        let mut r = measure(
+            name,
+            &scaled,
+            || (),
+            || {
+                std::thread::scope(|s| {
+                    for t in 0..THREADS {
+                        let q = &q;
+                        s.spawn(move || {
+                            for i in 0..OPS {
+                                q.push(t * OPS + i);
+                                std::hint::black_box(q.pop());
+                            }
+                        });
+                    }
+                });
+            },
+        );
+        assert!(q.is_empty(), "each round pushes and pops equally");
+        // Per-op mean: each inner iteration is one push + one pop.
+        r.mean_ns /= (THREADS * OPS * 2) as f64;
+        r
+    }
+
+    [
+        round::<Tuned>("relaxed_vs_seqcst_contended", opts),
+        round::<AlwaysSeqCst>("relaxed_vs_seqcst_contended_baseline", opts),
+    ]
+}
+
+/// The false-sharing ablation (PR 5): 4 real threads each bumping a
+/// statistics counter, once over the [`pioman::counters::ShardedCounter`]
+/// that now backs the queue `submitted`/`executed` stats (each thread on
+/// its own cache-padded slot) and once over a single shared `AtomicU64` —
+/// the pre-PR-5 layout, where every increment bounced one line between
+/// all cores. Both arms assert the final count, so the numbers are also
+/// correctness evidence. Read the pair together.
+fn stats_sharding(opts: &BenchOptions) -> [BenchResult; 2] {
+    use core::sync::atomic::{AtomicU64, Ordering};
+    use pioman::counters::ShardedCounter;
+
+    const THREADS: u64 = 4;
+    // See relaxed_vs_seqcst: the increment is ~1 ns, so the op count must
+    // dwarf the ~100 µs/round scope setup for the delta to be readable.
+    const OPS: u64 = 65_536;
+    let iters = (opts.iters / 10).max(5);
+    let scaled = BenchOptions { iters, ..*opts };
+
+    let sharded = ShardedCounter::new(THREADS as usize);
+    let mut a = measure(
+        "stats_sharding_contended",
+        &scaled,
+        || (),
+        || {
+            std::thread::scope(|s| {
+                for t in 0..THREADS {
+                    let sharded = &sharded;
+                    s.spawn(move || {
+                        for _ in 0..OPS {
+                            sharded.add_at(t as usize, 1);
+                        }
+                    });
+                }
+            });
+        },
+    );
+    a.mean_ns /= (THREADS * OPS) as f64;
+
+    let shared = AtomicU64::new(0);
+    let mut b = measure(
+        "stats_sharding_contended_baseline",
+        &scaled,
+        || (),
+        || {
+            std::thread::scope(|s| {
+                for _ in 0..THREADS {
+                    let shared = &shared;
+                    s.spawn(move || {
+                        for _ in 0..OPS {
+                            shared.fetch_add(1, Ordering::Relaxed);
+                        }
+                    });
+                }
+            });
+        },
+    );
+    b.mean_ns /= (THREADS * OPS) as f64;
+
+    // Quiesced-snapshot correctness (the pass count depends on the
+    // high-variance median-of-3, so assert shape rather than a literal):
+    // every round adds exactly THREADS × OPS, and none may be lost.
+    let per_round = THREADS * OPS;
+    assert!(sharded.sum() > 0 && sharded.sum().is_multiple_of(per_round));
+    assert!(shared.load(Ordering::Relaxed).is_multiple_of(per_round));
+    [a, b]
+}
+
 /// One Fig. 4 point: the simulated 4-byte pingpong progressed by PIOMan
 /// keypoints (regeneration cost on the host; the simulated latency itself
 /// is deterministic).
@@ -452,6 +586,8 @@ fn newmad_pingpong(opts: &BenchOptions) -> BenchResult {
 /// they are the `BENCH_pioman.json` keys future PRs diff against.
 pub fn run_suite(opts: &BenchOptions) -> Vec<BenchResult> {
     let [lockfree, mutex_baseline] = lockfree_vs_mutex(opts);
+    let [relaxed, seqcst_baseline] = relaxed_vs_seqcst(opts);
+    let [sharded, shared_baseline] = stats_sharding(opts);
     vec![
         submit_schedule_percore(opts),
         submit_schedule_global(opts),
@@ -472,6 +608,10 @@ pub fn run_suite(opts: &BenchOptions) -> Vec<BenchResult> {
             opts,
             SignalPolicy::Cumulative,
         ),
+        relaxed,
+        seqcst_baseline,
+        sharded,
+        shared_baseline,
     ]
 }
 
@@ -537,6 +677,10 @@ mod tests {
             "park_wake_latency",
             "phase_shift_ramp",
             "phase_shift_ramp_cumulative",
+            "relaxed_vs_seqcst_contended",
+            "relaxed_vs_seqcst_contended_baseline",
+            "stats_sharding_contended",
+            "stats_sharding_contended_baseline",
         ] {
             assert!(names.contains(&required), "missing benchmark {required:?}");
         }

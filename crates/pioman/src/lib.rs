@@ -64,6 +64,7 @@
 
 #![warn(missing_docs)]
 
+pub mod counters;
 pub mod lockfree;
 pub mod spinlock;
 

@@ -7,6 +7,7 @@ use crate::stats::{ManagerStats, QueueStats};
 use crate::task::{Task, TaskContext, TaskFn, TaskOptions, TaskStatus};
 use crate::TaskHandle;
 use core::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use crossbeam::utils::CachePadded;
 use parking_lot::Mutex;
 use piom_cpuset::CpuSet;
 use piom_topology::Topology;
@@ -129,6 +130,75 @@ impl HookPoint {
     }
 }
 
+/// Per-core scheduler state, one cache-line-padded block per core.
+///
+/// Before PR 5 these lived in seven parallel `Vec<AtomicU64>`s: per-core
+/// *indexing* without per-core *isolation* — cores 0..16 shared the same
+/// handful of cache lines, so every `executed` bump on core 3 evicted the
+/// line core 2's counters sat on (false sharing; measured by the
+/// `stats_sharding_contended` bench). Grouping a core's counters into one
+/// padded block keeps all of its hot-path RMWs on a line no other core
+/// writes — with one deliberate split: the fields *other* cores touch
+/// while this core is busy (`remote`) sit on their own padded line, so a
+/// `wake_for_steal` scan polling parked flags never pulls the line this
+/// core's executor is hammering with `executed`/`steal_attempts` RMWs.
+#[derive(Debug)]
+struct CoreState {
+    /// Tasks executed on this core (the paper's distribution measurements).
+    executed: AtomicU64,
+    /// Tasks stolen (and run) by this core.
+    stolen: AtomicU64,
+    /// Steal probes by this core (a probe is one empty hierarchy scan).
+    steal_attempts: AtomicU64,
+    /// Successful steal-half batches (each took ≥ 1 task).
+    steal_batches: AtomicU64,
+    /// Park probes that found a stealable victim backlog.
+    park_hits: AtomicU64,
+    /// Park probes that found nothing stealable (the worker parked).
+    park_misses: AtomicU64,
+    /// Decayed contention window feeding
+    /// [`TaskManager::adaptive_budget`] under [`SignalPolicy::Windowed`].
+    window: ContentionWindow,
+    /// Remotely-touched state, padded away from the owner-hot counters
+    /// above (see the struct docs).
+    remote: CachePadded<RemoteCoreState>,
+}
+
+/// The slice of a core's state that *other* cores read or write: the
+/// parked flag (polled by every `wake_for_steal` candidate scan) and the
+/// steal-wakeup counter (bumped by the waking thread).
+#[derive(Debug)]
+struct RemoteCoreState {
+    /// Whether this core's progression worker is currently parked (racy
+    /// hint; published by the worker just *before* its final pre-park
+    /// checks so a racing [`TaskManager::wake_for_steal`] errs toward an
+    /// extra unpark token, never a missed one). `SeqCst`: one half of the
+    /// Dekker-style park/wake handshake — see the ordering table in
+    /// `docs/SCHEDULER.md` and the `vendor/interleave` park_wake model.
+    parked: AtomicBool,
+    /// Steal-targeted wake-ups received by this core's worker (written by
+    /// the *waking* core).
+    steal_wakeups: AtomicU64,
+}
+
+impl CoreState {
+    fn new(contention_half_life: u32) -> Self {
+        CoreState {
+            executed: AtomicU64::new(0),
+            stolen: AtomicU64::new(0),
+            steal_attempts: AtomicU64::new(0),
+            steal_batches: AtomicU64::new(0),
+            park_hits: AtomicU64::new(0),
+            park_misses: AtomicU64::new(0),
+            window: ContentionWindow::new(contention_half_life),
+            remote: CachePadded::new(RemoteCoreState {
+                parked: AtomicBool::new(false),
+                steal_wakeups: AtomicU64::new(0),
+            }),
+        }
+    }
+}
+
 /// The scalable task scheduling system: one queue per topology node,
 /// submission by CPU set, execution by upward queue scan.
 ///
@@ -137,8 +207,9 @@ pub struct TaskManager {
     topo: Arc<Topology>,
     /// One queue per topology node, indexed by node arena index.
     queues: Vec<TaskQueue>,
-    /// Tasks executed per core (the paper's task-distribution measurements).
-    executed_by_core: Vec<AtomicU64>,
+    /// Per-core hot counters + parked flag + contention window, each core
+    /// on its own cache line (see [`CoreState`]).
+    cores: Vec<CachePadded<CoreState>>,
     /// Hook invocation counters, indexed by `HookPoint::index`.
     hook_counts: [AtomicU64; 3],
     /// Progression workers to unpark when work arrives, one slot per core.
@@ -149,32 +220,13 @@ pub struct TaskManager {
     /// distances form a *tier*; the steal path re-ranks a tier by observed
     /// queue depth at probe time.
     steal_order: Vec<Vec<(u32, u8)>>,
-    /// Tasks stolen per thief core.
-    steals: Vec<AtomicU64>,
-    /// Steal probes per thief core (a probe is one empty hierarchy scan).
-    steal_attempts: Vec<AtomicU64>,
-    /// Successful steal-half batches per thief core (each took ≥ 1 task).
-    steal_batches: Vec<AtomicU64>,
-    /// Which cores' progression workers are currently parked (racy hint;
-    /// published by the worker just *before* its final pre-park checks so
-    /// a racing [`wake_for_steal`](Self::wake_for_steal) errs toward an
-    /// extra unpark token, never a missed one).
-    parked: Vec<AtomicBool>,
-    /// Count of set flags in `parked`, maintained alongside it: the O(1)
-    /// short-circuit that keeps [`wake_for_steal`](Self::wake_for_steal)
-    /// off the submit hot path while a deep queue is being hammered and
-    /// every worker is busy (the common overload shape).
+    /// Count of set `CoreState::parked` flags, maintained alongside them:
+    /// the O(1) short-circuit that keeps
+    /// [`wake_for_steal`](Self::wake_for_steal) off the submit hot path
+    /// while a deep queue is being hammered and every worker is busy (the
+    /// common overload shape). `SeqCst` with the flag transitions so the
+    /// deterministic park tests can rely on flag-then-count agreement.
     parked_count: AtomicU64,
-    /// Park probes that found a stealable victim backlog, per core.
-    park_hits: Vec<AtomicU64>,
-    /// Park probes that found nothing stealable (the worker parked), per core.
-    park_misses: Vec<AtomicU64>,
-    /// Steal-targeted wake-ups received, per woken core.
-    steal_wakeups: Vec<AtomicU64>,
-    /// Per-core decayed contention windows feeding
-    /// [`adaptive_budget`](Self::adaptive_budget) under
-    /// [`SignalPolicy::Windowed`].
-    windows: Vec<ContentionWindow>,
     /// Per-queue wake order: every core sorted nearest-first from the
     /// queue's span ([`Topology::cores_by_distance_from_node`]), scanned by
     /// [`wake_for_steal`](Self::wake_for_steal).
@@ -190,19 +242,27 @@ impl TaskManager {
 
     /// Creates a manager with explicit configuration.
     pub fn with_config(topo: Arc<Topology>, config: ManagerConfig) -> Arc<Self> {
+        let n_cores = topo.n_cores();
         let queues = topo
             .iter()
             .map(|(id, node)| {
                 let qid = QueueId(id.index() as u32);
                 match config.queue_backend {
-                    QueueBackend::Spinlock => TaskQueue::new_spin(qid, node.level, node.cpuset),
-                    QueueBackend::LockFree => TaskQueue::new_lockfree(qid, node.level, node.cpuset),
-                    QueueBackend::Mutex => TaskQueue::new_mutex(qid, node.level, node.cpuset),
+                    QueueBackend::Spinlock => {
+                        TaskQueue::new_spin(qid, node.level, node.cpuset, n_cores)
+                    }
+                    QueueBackend::LockFree => {
+                        TaskQueue::new_lockfree(qid, node.level, node.cpuset, n_cores)
+                    }
+                    QueueBackend::Mutex => {
+                        TaskQueue::new_mutex(qid, node.level, node.cpuset, n_cores)
+                    }
                 }
             })
             .collect();
-        let n_cores = topo.n_cores();
-        let executed_by_core = (0..n_cores).map(|_| AtomicU64::new(0)).collect();
+        let cores = (0..n_cores)
+            .map(|_| CachePadded::new(CoreState::new(config.contention_half_life)))
+            .collect();
         let wakers = (0..n_cores).map(|_| Mutex::new(None)).collect();
         let steal_order = (0..n_cores)
             .map(|c| {
@@ -211,16 +271,6 @@ impl TaskManager {
                     .map(|(id, dist)| (id.index() as u32, dist.min(u8::MAX as usize) as u8))
                     .collect()
             })
-            .collect();
-        let steals = (0..n_cores).map(|_| AtomicU64::new(0)).collect();
-        let steal_attempts = (0..n_cores).map(|_| AtomicU64::new(0)).collect();
-        let steal_batches = (0..n_cores).map(|_| AtomicU64::new(0)).collect();
-        let parked = (0..n_cores).map(|_| AtomicBool::new(false)).collect();
-        let park_hits = (0..n_cores).map(|_| AtomicU64::new(0)).collect();
-        let park_misses = (0..n_cores).map(|_| AtomicU64::new(0)).collect();
-        let steal_wakeups = (0..n_cores).map(|_| AtomicU64::new(0)).collect();
-        let windows = (0..n_cores)
-            .map(|_| ContentionWindow::new(config.contention_half_life))
             .collect();
         let wake_order = topo
             .node_ids()
@@ -234,19 +284,11 @@ impl TaskManager {
         Arc::new(TaskManager {
             topo,
             queues,
-            executed_by_core,
+            cores,
             hook_counts: Default::default(),
             wakers,
             steal_order,
-            steals,
-            steal_attempts,
-            steal_batches,
-            parked,
             parked_count: AtomicU64::new(0),
-            park_hits,
-            park_misses,
-            steal_wakeups,
-            windows,
             wake_order,
             config,
         })
@@ -512,8 +554,8 @@ impl TaskManager {
         // rate instead of freezing it until the next backlog.
         let boost = match self.config.signal {
             SignalPolicy::Windowed => {
-                self.windows[core].observe(acquisitions, contended);
-                self.windows[core].boost()
+                self.cores[core].window.observe(acquisitions, contended);
+                self.cores[core].window.boost()
             }
             SignalPolicy::Cumulative => {
                 1 + (8 * contended).checked_div(acquisitions).unwrap_or(0) as usize
@@ -527,8 +569,8 @@ impl TaskManager {
             };
         }
         let starved = {
-            let probes = self.steal_attempts[core].load(Ordering::Relaxed);
-            let executed = self.executed_by_core[core].load(Ordering::Relaxed);
+            let probes = self.cores[core].steal_attempts.load(Ordering::Relaxed);
+            let executed = self.cores[core].executed.load(Ordering::Relaxed);
             probes > executed.saturating_add(MIN_BATCH as u64)
         };
         let cap = if starved { DEFAULT_BATCH } else { MAX_BATCH };
@@ -575,7 +617,9 @@ impl TaskManager {
         if max == 0 {
             return 0;
         }
-        self.steal_attempts[core].fetch_add(1, Ordering::Relaxed);
+        self.cores[core]
+            .steal_attempts
+            .fetch_add(1, Ordering::Relaxed);
         let order = &self.steal_order[core];
         let mut batch = SCRATCH.take();
         let mut ran = 0;
@@ -600,8 +644,12 @@ impl TaskManager {
                 batch.clear();
                 let stolen = queue.try_steal_half(core, max, &mut batch);
                 if stolen > 0 {
-                    self.steals[core].fetch_add(stolen as u64, Ordering::Relaxed);
-                    self.steal_batches[core].fetch_add(1, Ordering::Relaxed);
+                    self.cores[core]
+                        .stolen
+                        .fetch_add(stolen as u64, Ordering::Relaxed);
+                    self.cores[core]
+                        .steal_batches
+                        .fetch_add(1, Ordering::Relaxed);
                     for task in batch.drain(..) {
                         // try_steal_half only yields tasks whose cpuset
                         // admits `core`, so this never requeues.
@@ -632,8 +680,8 @@ impl TaskManager {
             manager: self,
         };
         let outcome = catch_unwind(AssertUnwindSafe(|| (task.body)(&ctx)));
-        queue.note_executed();
-        self.executed_by_core[core].fetch_add(1, Ordering::Relaxed);
+        queue.note_executed(core);
+        self.cores[core].executed.fetch_add(1, Ordering::Relaxed);
         match outcome {
             Ok(TaskStatus::Done) => task.completion.complete(),
             Ok(TaskStatus::Again) if task.options.repeat => {
@@ -687,7 +735,7 @@ impl TaskManager {
     pub fn contention_rate(&self, core: usize) -> f64 {
         debug_assert!(core < self.topo.n_cores(), "core id out of range");
         match self.config.signal {
-            SignalPolicy::Windowed => self.windows[core].rate(),
+            SignalPolicy::Windowed => self.cores[core].window.rate(),
             SignalPolicy::Cumulative => {
                 let (mut acquisitions, mut contended) = (0u64, 0u64);
                 for node in self.topo.path_to_root(core) {
@@ -714,9 +762,9 @@ impl TaskManager {
     /// about-to-park decision: the victim list is the same precomputed
     /// [`Topology::steal_order_with_distance`] order the steal path uses,
     /// and each victim costs two relaxed loads (the depth hint and the
-    /// queue's *steal span*, the monotone union of cpusets ever enqueued
-    /// there), `O(victims)` total with no locks taken. The span is an
-    /// over-approximation, so a hit is a *hint*: the next keypoint's
+    /// queue's *steal span*, the union of enqueued cpusets, decayed when
+    /// the queue drains empty), `O(victims)` total with no locks taken.
+    /// The span may over-approximate, so a hit is a *hint*: the next keypoint's
     /// steal probe re-checks real task cpusets under the victim's lock,
     /// and [`Progression`](crate::Progression) workers bound consecutive
     /// fruitless hits so a stale span cannot spin a worker forever.
@@ -732,11 +780,11 @@ impl TaskManager {
         for &(qi, _) in &self.steal_order[core] {
             let queue = &self.queues[qi as usize];
             if queue.len_hint() > 0 && queue.steal_span_admits(core) {
-                self.park_hits[core].fetch_add(1, Ordering::Relaxed);
+                self.cores[core].park_hits.fetch_add(1, Ordering::Relaxed);
                 return true;
             }
         }
-        self.park_misses[core].fetch_add(1, Ordering::Relaxed);
+        self.cores[core].park_misses.fetch_add(1, Ordering::Relaxed);
         false
     }
 
@@ -778,10 +826,13 @@ impl TaskManager {
         let q = &self.queues[queue.index()];
         for &core in &self.wake_order[queue.index()] {
             let core = core as usize;
-            if self.parked[core].load(Ordering::SeqCst) && q.steal_span_admits(core) {
+            if self.cores[core].remote.parked.load(Ordering::SeqCst) && q.steal_span_admits(core) {
                 if let Some(t) = self.wakers[core].lock().as_ref() {
                     t.unpark();
-                    self.steal_wakeups[core].fetch_add(1, Ordering::Relaxed);
+                    self.cores[core]
+                        .remote
+                        .steal_wakeups
+                        .fetch_add(1, Ordering::Relaxed);
                     return Some(core);
                 }
             }
@@ -794,14 +845,19 @@ impl TaskManager {
     /// publication ordering).
     pub fn is_parked(&self, core: usize) -> bool {
         debug_assert!(core < self.topo.n_cores(), "core id out of range");
-        self.parked[core].load(Ordering::SeqCst)
+        self.cores[core].remote.parked.load(Ordering::SeqCst)
     }
 
     /// Publishes `core`'s parked state. Workers set it *before* their
     /// final pre-park work checks, so an enqueue racing the park either
     /// is seen by the checks or sees the flag and unparks the worker.
     pub(crate) fn note_parked(&self, core: usize, parked: bool) {
-        if self.parked[core].swap(parked, Ordering::SeqCst) != parked {
+        if self.cores[core]
+            .remote
+            .parked
+            .swap(parked, Ordering::SeqCst)
+            != parked
+        {
             // Keep the aggregate count in step with the flag transition.
             // The count is published before/after the flag consistently
             // enough for its only consumer, the wake_for_steal
@@ -814,6 +870,11 @@ impl TaskManager {
                 self.parked_count.fetch_sub(1, Ordering::SeqCst);
             }
         }
+    }
+
+    /// Maps every core's padded state block to one snapshot value.
+    fn per_core<T>(&self, f: impl Fn(&CoreState) -> T) -> Vec<T> {
+        self.cores.iter().map(|c| f(c)).collect()
     }
 
     /// Snapshot of per-queue and per-core counters.
@@ -837,41 +898,13 @@ impl TaskManager {
                     }
                 })
                 .collect(),
-            executed_by_core: self
-                .executed_by_core
-                .iter()
-                .map(|c| c.load(Ordering::Relaxed))
-                .collect(),
-            stolen_by_core: self
-                .steals
-                .iter()
-                .map(|c| c.load(Ordering::Relaxed))
-                .collect(),
-            steal_attempts_by_core: self
-                .steal_attempts
-                .iter()
-                .map(|c| c.load(Ordering::Relaxed))
-                .collect(),
-            stolen_batch_by_core: self
-                .steal_batches
-                .iter()
-                .map(|c| c.load(Ordering::Relaxed))
-                .collect(),
-            park_probe_hits: self
-                .park_hits
-                .iter()
-                .map(|c| c.load(Ordering::Relaxed))
-                .collect(),
-            park_probe_misses: self
-                .park_misses
-                .iter()
-                .map(|c| c.load(Ordering::Relaxed))
-                .collect(),
-            wakeups_for_steal: self
-                .steal_wakeups
-                .iter()
-                .map(|c| c.load(Ordering::Relaxed))
-                .collect(),
+            executed_by_core: self.per_core(|c| c.executed.load(Ordering::Relaxed)),
+            stolen_by_core: self.per_core(|c| c.stolen.load(Ordering::Relaxed)),
+            steal_attempts_by_core: self.per_core(|c| c.steal_attempts.load(Ordering::Relaxed)),
+            stolen_batch_by_core: self.per_core(|c| c.steal_batches.load(Ordering::Relaxed)),
+            park_probe_hits: self.per_core(|c| c.park_hits.load(Ordering::Relaxed)),
+            park_probe_misses: self.per_core(|c| c.park_misses.load(Ordering::Relaxed)),
+            wakeups_for_steal: self.per_core(|c| c.remote.steal_wakeups.load(Ordering::Relaxed)),
             hook_idle: self.hook_counts[0].load(Ordering::Relaxed),
             hook_context_switch: self.hook_counts[1].load(Ordering::Relaxed),
             hook_timer: self.hook_counts[2].load(Ordering::Relaxed),

@@ -50,11 +50,11 @@ pub struct ProgressionConfig {
 
 /// Upper bound on *consecutive* park probes that report stealable backlog
 /// without the following keypoint actually running anything. The probe's
-/// span filter is a monotone over-approximation (see
-/// [`TaskManager::park_probe`]), so a queue that once held wide-cpuset
-/// tasks can keep hinting at a worker that may not run its current
-/// backlog; after this many fruitless hits the worker parks anyway and
-/// the park-timeout/timer bound takes over.
+/// span filter may over-approximate the live backlog (see
+/// [`TaskManager::park_probe`]; since PR 5 it decays when the queue
+/// drains empty, but bits for tasks still enqueued can also mislead a
+/// core those tasks exclude); after this many fruitless hits the worker
+/// parks anyway and the park-timeout/timer bound takes over.
 pub const MAX_PROBE_STRIKES: u32 = 3;
 
 /// Per-keypoint budget policy for progression workers.

@@ -1,9 +1,24 @@
 //! Task queues: one per topology node, spinlock-protected or lock-free.
+//!
+//! # Layout (false-sharing pass, PR 5)
+//!
+//! A queue's hot atomics are touched by different cores in different
+//! roles: the *owner* drains the list, *thieves* read the length hint and
+//! the steal span (and take the steal cursor), and *submitters* bump the
+//! statistics counters. Each of those groups sits behind a
+//! [`CachePadded`] so one role's writes never evict the line another
+//! role is polling — and the `submitted`/`executed` statistics, which
+//! every core RMWs, are [`ShardedCounter`]s (per-slot padded,
+//! aggregated only on snapshot). `DESIGN.md` §6 has the full layout
+//! rationale; the `stats_sharding_contended` bench records the cost of
+//! the shared-counter alternative.
 
+use crate::counters::ShardedCounter;
 use crate::spinlock::SpinLock;
 use crate::task::Task;
 use core::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use crossbeam::queue::SegQueue;
+use crossbeam::utils::CachePadded;
 use piom_cpuset::CpuSet;
 use piom_topology::Level;
 use std::collections::VecDeque;
@@ -24,14 +39,16 @@ impl QueueId {
 enum Backend {
     /// The paper's implementation: FIFO list + spinlock, dequeued with the
     /// double-checked Algorithm 2 (`len` is the unlocked emptiness hint).
+    /// The lock (owner + thieves) and the hint (read by every park probe)
+    /// are padded apart so probe traffic does not contend the lock line.
     Spin {
-        list: SpinLock<VecDeque<Task>>,
-        len: AtomicUsize,
+        list: CachePadded<SpinLock<VecDeque<Task>>>,
+        len: CachePadded<AtomicUsize>,
     },
     /// §VI future work: a true lock-free Michael–Scott queue with epoch
     /// reclamation (vendored `crossbeam`) — compared against the spinlock
     /// design by the ablation benchmarks. Boxed: the embedded epoch
-    /// collector's cache-line-padded pin slots make the queue ~2 KiB,
+    /// collector's cache-line-padded pin slots make the queue several KiB,
     /// which would bloat every `TaskQueue` in the arena otherwise.
     ///
     /// `cursor` is the *steal cursor*: a small spinlocked deque holding the
@@ -44,17 +61,21 @@ enum Backend {
     /// enqueues also go to the cursor's front, giving this backend real
     /// preemption instead of the tail-order it had before. `cursor_len` is
     /// the unlocked emptiness hint: the common no-steal case pays one
-    /// relaxed load, never the lock.
+    /// relaxed load, never the lock. The cursor (thief-owned) and its hint
+    /// are padded away from the list pointer so a steal pass never bounces
+    /// the line the owner's `pop` is reading — the queue's own
+    /// `head`/`tail`/`len` are padded inside `SegQueue` itself.
     LockFree {
         list: Box<SegQueue<Task>>,
-        cursor: SpinLock<VecDeque<Task>>,
-        cursor_len: AtomicUsize,
+        cursor: CachePadded<SpinLock<VecDeque<Task>>>,
+        cursor_len: CachePadded<AtomicUsize>,
     },
     /// The pre-lock-free shim, kept as an ablation baseline: a plain OS
     /// mutex around a `VecDeque`, locked on **every** operation including
     /// emptiness checks (no Algorithm-2 unlocked hint). This is what
     /// `QueueBackend::LockFree` silently was before the real lock-free
     /// queue landed; the `lockfree_vs_mutex` bench quantifies the gap.
+    /// Deliberately unpadded — it is the "what we had" baseline.
     Mutex {
         list: std::sync::Mutex<VecDeque<Task>>,
     },
@@ -74,54 +95,63 @@ pub(crate) struct TaskQueue {
     pub(crate) level: Level,
     pub(crate) cpuset: CpuSet,
     backend: Backend,
-    submitted: AtomicU64,
-    executed: AtomicU64,
-    /// The *steal span*: a monotone union of the cpusets of every task ever
-    /// enqueued here, kept as four atomic words so
+    /// Tasks enqueued by submission — sharded: submitters are arbitrary
+    /// threads, so each lands on its thread's padded slot.
+    submitted: ShardedCounter,
+    /// Task executions drawn from this queue — sharded by the *executing
+    /// core*, so each core's increment stays on its own line.
+    executed: ShardedCounter,
+    /// The *steal span*: a union of the cpusets of the tasks enqueued
+    /// here, kept as four atomic words so
     /// [`steal_span_admits`](Self::steal_span_admits) is a single relaxed
     /// load. This is the cpuset filter behind the park probe and
     /// steal-targeted wake-ups: a core outside the span can never steal
     /// from this queue, whatever its depth, so probing it is pointless.
-    /// Being monotone it may over-approximate once wide-cpuset tasks have
-    /// drained — an over-approximation only costs a wasted probe, never a
-    /// lost task (the steal path re-checks real task cpusets under the
-    /// victim's lock).
-    steal_span: [AtomicU64; 4],
+    /// It may over-approximate the *current* backlog — an
+    /// over-approximation only costs a wasted probe, never a lost task
+    /// (the steal path re-checks real task cpusets under the victim's
+    /// lock) — but since PR 5 it is no longer a *monotone* union: a
+    /// drain that leaves the queue empty clears any bits wider than the
+    /// queue's own cpuset ([`Self::maybe_decay_span`]), so a queue that
+    /// once held wide-cpuset tasks stops attracting park probes forever.
+    /// Padded: every about-to-park core reads these words while
+    /// enqueuers OR into them.
+    steal_span: CachePadded<[AtomicU64; 4]>,
 }
 
 impl TaskQueue {
-    pub(crate) fn new_spin(id: QueueId, level: Level, cpuset: CpuSet) -> Self {
+    pub(crate) fn new_spin(id: QueueId, level: Level, cpuset: CpuSet, shards: usize) -> Self {
         TaskQueue {
             id,
             level,
             cpuset,
             backend: Backend::Spin {
-                list: SpinLock::new(VecDeque::new()),
-                len: AtomicUsize::new(0),
+                list: CachePadded::new(SpinLock::new(VecDeque::new())),
+                len: CachePadded::new(AtomicUsize::new(0)),
             },
-            submitted: AtomicU64::new(0),
-            executed: AtomicU64::new(0),
+            submitted: ShardedCounter::new(shards),
+            executed: ShardedCounter::new(shards),
             steal_span: Default::default(),
         }
     }
 
-    pub(crate) fn new_lockfree(id: QueueId, level: Level, cpuset: CpuSet) -> Self {
+    pub(crate) fn new_lockfree(id: QueueId, level: Level, cpuset: CpuSet, shards: usize) -> Self {
         TaskQueue {
             id,
             level,
             cpuset,
             backend: Backend::LockFree {
                 list: Box::new(SegQueue::new()),
-                cursor: SpinLock::new(VecDeque::new()),
-                cursor_len: AtomicUsize::new(0),
+                cursor: CachePadded::new(SpinLock::new(VecDeque::new())),
+                cursor_len: CachePadded::new(AtomicUsize::new(0)),
             },
-            submitted: AtomicU64::new(0),
-            executed: AtomicU64::new(0),
+            submitted: ShardedCounter::new(shards),
+            executed: ShardedCounter::new(shards),
             steal_span: Default::default(),
         }
     }
 
-    pub(crate) fn new_mutex(id: QueueId, level: Level, cpuset: CpuSet) -> Self {
+    pub(crate) fn new_mutex(id: QueueId, level: Level, cpuset: CpuSet, shards: usize) -> Self {
         TaskQueue {
             id,
             level,
@@ -129,8 +159,8 @@ impl TaskQueue {
             backend: Backend::Mutex {
                 list: std::sync::Mutex::new(VecDeque::new()),
             },
-            submitted: AtomicU64::new(0),
-            executed: AtomicU64::new(0),
+            submitted: ShardedCounter::new(shards),
+            executed: ShardedCounter::new(shards),
             steal_span: Default::default(),
         }
     }
@@ -138,16 +168,88 @@ impl TaskQueue {
     /// Folds `set` into the steal span (see the field docs). Word-skipping:
     /// after the first task with a given span shape, the common case is
     /// four relaxed loads and zero RMWs.
+    ///
+    /// Called **after** the backend push, never before: the decay path
+    /// clears the span only when it observes the queue empty and restores
+    /// whatever it cleared when it observes a concurrent enqueue — an
+    /// ordering that can only lose a task's bits if those bits were
+    /// published before the task itself existed in the queue. Folding
+    /// after the push closes that window; the cost is that a probe racing
+    /// the enqueue may transiently miss the new task (a wasted park, and
+    /// the submission's own wake path covers it), never a stuck one.
+    ///
+    /// The `fetch_or` is Release, pairing with the decay's Acquire swap:
+    /// when a decaying drain captures this enqueue's bits, it is
+    /// guaranteed to also see the push's length update and restore them
+    /// (see [`maybe_decay_span`](Self::maybe_decay_span) for the full
+    /// race budget, including the one narrow case that can still drop
+    /// bits and why it is bounded).
     fn note_span(&self, set: &CpuSet) {
         for (word, &bits) in self.steal_span.iter().zip(set.as_words()) {
             if bits != 0 && word.load(Ordering::Relaxed) & bits != bits {
-                word.fetch_or(bits, Ordering::Relaxed);
+                word.fetch_or(bits, Ordering::Release);
             }
         }
     }
 
-    /// `true` if some task with `core` in its cpuset was *ever* enqueued
-    /// here — the O(1) lock-free filter the park probe and
+    /// Steal-span decay: when a dequeue leaves the queue empty and the
+    /// span has grown *wider than the queue's own cpuset* (the only case
+    /// in which staleness misleads anyone — bits inside the cpuset can
+    /// only attract cores whose own path already includes this queue),
+    /// clear it so stale wide spans stop attracting park probes.
+    ///
+    /// Concurrency: the clear is a `swap(0)` per word followed by an
+    /// emptiness re-check; if a task slipped in, every cleared bit is
+    /// OR-ed straight back. The race budget, spelled out:
+    ///
+    /// * an enqueue whose `fetch_or` lands **after** the swap re-adds its
+    ///   bits directly — nothing to restore;
+    /// * an enqueue whose `fetch_or` (Release) landed **before** the swap
+    ///   (Acquire) synchronizes with it, and since [`note_span`]
+    ///   (Self::note_span) runs after the backend push, the re-check
+    ///   below is then guaranteed to observe the push and restore the
+    ///   captured bits;
+    /// * the one interleaving that can still drop bits: an enqueuer
+    ///   *skips* its `fetch_or` because the word-check read bits some
+    ///   earlier task set, and this drain clears them before the new
+    ///   task leaves. Closing that would take a store-load fence on the
+    ///   enqueue hot path, and the miss is strictly bounded: the span
+    ///   only gates the *advisory* park probe and `wake_for_steal`
+    ///   escalation — the submission itself already unparked every core
+    ///   in the task's cpuset with an unforgeable token, the steal path
+    ///   never consults the span, and the next enqueue (or park
+    ///   timeout / timer) re-covers the escalation. A dropped bit can
+    ///   cost a bounded wasted park, never a lost task or wake.
+    fn maybe_decay_span(&self) {
+        let own = self.cpuset.as_words();
+        if self
+            .steal_span
+            .iter()
+            .zip(own)
+            .all(|(w, &own_bits)| w.load(Ordering::Relaxed) & !own_bits == 0)
+        {
+            return; // nothing wider than the cpuset: staleness is harmless
+        }
+        let mut cleared = [0u64; 4];
+        for (c, w) in cleared.iter_mut().zip(self.steal_span.iter()) {
+            // Acquire pairs with note_span's Release fetch_or: capturing
+            // an enqueue's bits makes its push visible to the re-check.
+            *c = w.swap(0, Ordering::Acquire);
+        }
+        if self.len_hint() != 0 {
+            // A concurrent enqueue raced the clear: restore everything we
+            // took (fetch_or also preserves bits added in between).
+            for (c, w) in cleared.iter().zip(self.steal_span.iter()) {
+                if *c != 0 {
+                    w.fetch_or(*c, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// `true` if some task with `core` in its cpuset was enqueued here and
+    /// the span has not decayed since the queue last drained — the O(1)
+    /// lock-free filter the park probe and
     /// [`wake_for_steal`](crate::TaskManager::wake_for_steal) consult
     /// before treating this queue's backlog as stealable by `core`.
     pub(crate) fn steal_span_admits(&self, core: usize) -> bool {
@@ -162,9 +264,9 @@ impl TaskQueue {
     /// the backlog-threshold check behind
     /// [`wake_for_steal`](crate::TaskManager::wake_for_steal).
     pub(crate) fn enqueue(&self, task: Task) -> usize {
-        self.submitted.fetch_add(1, Ordering::Relaxed);
-        self.note_span(&task.cpuset);
-        match &self.backend {
+        self.submitted.add(1);
+        let span = task.cpuset;
+        let depth = match &self.backend {
             Backend::Spin { list, len } => {
                 let mut guard = list.lock();
                 if task.options.urgent {
@@ -172,10 +274,13 @@ impl TaskQueue {
                 } else {
                     guard.push_back(task);
                 }
-                // Publish the new length *while holding the lock* so the
-                // unlocked hint can never claim empty while an element is
-                // present and unobservable.
-                len.store(guard.len(), Ordering::Release);
+                // Published while holding the lock; Relaxed — the hint may
+                // transiently read stale (including stale-empty) on weak
+                // memory, which is the same race Algorithm 2's unlocked
+                // test always had: correctness rides the lock (data) and
+                // the submission's unpark tokens (progress), never hint
+                // freshness.
+                len.store(guard.len(), Ordering::Relaxed);
                 guard.len()
             }
             Backend::LockFree {
@@ -190,11 +295,11 @@ impl TaskQueue {
                     // wake-ups).
                     let mut guard = cursor.lock();
                     guard.push_front(task);
-                    cursor_len.store(guard.len(), Ordering::Release);
+                    cursor_len.store(guard.len(), Ordering::Relaxed);
                 } else {
                     list.push(task);
                 }
-                list.len() + cursor_len.load(Ordering::Acquire)
+                list.len() + cursor_len.load(Ordering::Relaxed)
             }
             Backend::Mutex { list } => {
                 let mut guard = lock_deque(list);
@@ -205,21 +310,27 @@ impl TaskQueue {
                 }
                 guard.len()
             }
-        }
+        };
+        // After the push, so the decay path's clear/restore protocol can
+        // never drop the bits of a task already in the queue (note_span
+        // docs walk the interleavings).
+        self.note_span(&span);
+        depth
     }
 
     /// Re-enqueue a repeat task without counting a new submission.
     pub(crate) fn requeue(&self, task: Task) {
-        self.note_span(&task.cpuset);
+        let span = task.cpuset;
         match &self.backend {
             Backend::Spin { list, len } => {
                 let mut guard = list.lock();
                 guard.push_back(task);
-                len.store(guard.len(), Ordering::Release);
+                len.store(guard.len(), Ordering::Relaxed);
             }
             Backend::LockFree { list, .. } => list.push(task),
             Backend::Mutex { list } => lock_deque(list).push_back(task),
         }
+        self.note_span(&span);
     }
 
     /// The paper's **Algorithm 2** (`Get_Task`): evaluate the queue content
@@ -227,16 +338,16 @@ impl TaskQueue {
     /// "This technique permits to avoid race conditions with a minimal
     /// overhead since the mutex is only held when the list contains tasks."
     pub(crate) fn try_dequeue(&self) -> Option<Task> {
-        match &self.backend {
+        let task = match &self.backend {
             Backend::Spin { list, len } => {
                 // notempty(Queue) — unlocked peek.
-                if len.load(Ordering::Acquire) == 0 {
+                if len.load(Ordering::Relaxed) == 0 {
                     return None;
                 }
                 // LOCK(Queue); re-check; dequeue; UNLOCK(Queue).
                 let mut guard = list.lock();
                 let task = guard.pop_front();
-                len.store(guard.len(), Ordering::Release);
+                len.store(guard.len(), Ordering::Relaxed);
                 task
             }
             Backend::LockFree {
@@ -248,17 +359,22 @@ impl TaskQueue {
                 // urgent tasks); drain it before the Michael–Scott list so
                 // FIFO order survives steals. The unlocked hint keeps the
                 // common no-cursor case lock-free.
-                if cursor_len.load(Ordering::Acquire) > 0 {
+                let mut task = None;
+                if cursor_len.load(Ordering::Relaxed) > 0 {
                     let mut guard = cursor.lock();
-                    if let Some(task) = guard.pop_front() {
-                        cursor_len.store(guard.len(), Ordering::Release);
-                        return Some(task);
+                    if let Some(t) = guard.pop_front() {
+                        cursor_len.store(guard.len(), Ordering::Relaxed);
+                        task = Some(t);
                     }
                 }
-                list.pop()
+                task.or_else(|| list.pop())
             }
             Backend::Mutex { list } => lock_deque(list).pop_front(),
+        };
+        if task.is_some() && self.len_hint() == 0 {
+            self.maybe_decay_span();
         }
+        task
     }
 
     /// Batched Algorithm 2: drains up to `max` tasks into `out` under a
@@ -269,15 +385,15 @@ impl TaskQueue {
     /// re-acquires the spinlock once per task, a keypoint that finds a
     /// backlog of `n` tasks pays one acquisition for all of them.
     pub(crate) fn dequeue_batch(&self, max: usize, out: &mut Vec<Task>) -> usize {
-        match &self.backend {
+        let taken = match &self.backend {
             Backend::Spin { list, len } => {
-                if len.load(Ordering::Acquire) == 0 {
+                if len.load(Ordering::Relaxed) == 0 {
                     return 0;
                 }
                 let mut guard = list.lock();
                 let take = guard.len().min(max);
                 out.extend(guard.drain(..take));
-                len.store(guard.len(), Ordering::Release);
+                len.store(guard.len(), Ordering::Relaxed);
                 take
             }
             Backend::LockFree {
@@ -286,11 +402,11 @@ impl TaskQueue {
                 cursor_len,
             } => {
                 let mut n = 0;
-                if cursor_len.load(Ordering::Acquire) > 0 {
+                if cursor_len.load(Ordering::Relaxed) > 0 {
                     let mut guard = cursor.lock();
                     let take = guard.len().min(max);
                     out.extend(guard.drain(..take));
-                    cursor_len.store(guard.len(), Ordering::Release);
+                    cursor_len.store(guard.len(), Ordering::Relaxed);
                     n = take;
                 }
                 while n < max {
@@ -306,7 +422,11 @@ impl TaskQueue {
                 out.extend(guard.drain(..take));
                 take
             }
+        };
+        if taken > 0 && self.len_hint() == 0 {
+            self.maybe_decay_span();
         }
+        taken
     }
 
     /// Batched stealing (*steal-half*): takes up to `max` of the tasks
@@ -336,14 +456,14 @@ impl TaskQueue {
         if max == 0 {
             return 0;
         }
-        match &self.backend {
+        let taken = match &self.backend {
             Backend::Spin { list, len } => {
-                if len.load(Ordering::Acquire) == 0 {
+                if len.load(Ordering::Relaxed) == 0 {
                     return 0;
                 }
                 let mut guard = list.lock();
                 let taken = Self::drain_half_eligible(&mut guard, thief, max, out);
-                len.store(guard.len(), Ordering::Release);
+                len.store(guard.len(), Ordering::Relaxed);
                 taken
             }
             Backend::Mutex { list } => {
@@ -366,13 +486,17 @@ impl TaskQueue {
                     guard.push_back(task);
                     // Publish as we go: a racing dequeue that misses the
                     // hint only loses to the ordinary pop race.
-                    cursor_len.store(guard.len(), Ordering::Release);
+                    cursor_len.store(guard.len(), Ordering::Relaxed);
                 }
                 let taken = Self::drain_half_eligible(&mut guard, thief, max, out);
-                cursor_len.store(guard.len(), Ordering::Release);
+                cursor_len.store(guard.len(), Ordering::Relaxed);
                 taken
             }
+        };
+        if taken > 0 && self.len_hint() == 0 {
+            self.maybe_decay_span();
         }
+        taken
     }
 
     /// Shared Spin/Mutex steal-half body: removes the oldest
@@ -404,13 +528,16 @@ impl TaskQueue {
 
     /// Current length (hint; racy by nature). The Mutex backend pays a
     /// lock acquisition here — exactly the cost Algorithm 2's unlocked
-    /// hint (Spin) and the atomic counter (LockFree) avoid.
+    /// hint (Spin) and the atomic counter (LockFree) avoid. The hint
+    /// loads are Relaxed: no data is consumed through them (the lock or
+    /// the queue's own acquire edges publish the tasks), and the wake
+    /// paths that guarantee progress carry unpark tokens, not this value.
     pub(crate) fn len_hint(&self) -> usize {
         match &self.backend {
-            Backend::Spin { len, .. } => len.load(Ordering::Acquire),
+            Backend::Spin { len, .. } => len.load(Ordering::Relaxed),
             Backend::LockFree {
                 list, cursor_len, ..
-            } => list.len() + cursor_len.load(Ordering::Acquire),
+            } => list.len() + cursor_len.load(Ordering::Relaxed),
             Backend::Mutex { list } => lock_deque(list).len(),
         }
     }
@@ -418,22 +545,22 @@ impl TaskQueue {
     /// Snapshot of the steal span as a [`CpuSet`] (see the field docs).
     pub(crate) fn steal_span(&self) -> CpuSet {
         let mut words = [0u64; 4];
-        for (w, a) in words.iter_mut().zip(&self.steal_span) {
+        for (w, a) in words.iter_mut().zip(self.steal_span.iter()) {
             *w = a.load(Ordering::Relaxed);
         }
         CpuSet::from_words(words)
     }
 
-    pub(crate) fn note_executed(&self) {
-        self.executed.fetch_add(1, Ordering::Relaxed);
+    pub(crate) fn note_executed(&self, core: usize) {
+        self.executed.add_at(core, 1);
     }
 
     pub(crate) fn submitted(&self) -> u64 {
-        self.submitted.load(Ordering::Relaxed)
+        self.submitted.sum()
     }
 
     pub(crate) fn executed(&self) -> u64 {
-        self.executed.load(Ordering::Relaxed)
+        self.executed.sum()
     }
 
     /// Lock statistics, when the backend has an instrumented lock (the
@@ -469,15 +596,15 @@ mod tests {
     }
 
     fn spin_queue() -> TaskQueue {
-        TaskQueue::new_spin(QueueId(0), Level::Core, CpuSet::single(0))
+        TaskQueue::new_spin(QueueId(0), Level::Core, CpuSet::single(0), 4)
     }
 
     fn lockfree_queue() -> TaskQueue {
-        TaskQueue::new_lockfree(QueueId(0), Level::Core, CpuSet::single(0))
+        TaskQueue::new_lockfree(QueueId(0), Level::Core, CpuSet::single(0), 4)
     }
 
     fn mutex_queue() -> TaskQueue {
-        TaskQueue::new_mutex(QueueId(0), Level::Core, CpuSet::single(0))
+        TaskQueue::new_mutex(QueueId(0), Level::Core, CpuSet::single(0), 4)
     }
 
     #[test]
@@ -745,7 +872,7 @@ mod tests {
     }
 
     #[test]
-    fn steal_span_is_a_monotone_union_of_enqueued_cpusets() {
+    fn steal_span_unions_enqueued_cpusets() {
         let q = spin_queue();
         assert!(!q.steal_span_admits(0), "empty queue admits nobody");
         q.enqueue(task_for(q.id, CpuSet::single(0)));
@@ -753,11 +880,57 @@ mod tests {
         assert!(!q.steal_span_admits(3));
         q.enqueue(task_for(q.id, CpuSet::from_iter([0, 3])));
         assert!(q.steal_span_admits(3));
-        // Monotone: draining does not shrink the span (documented
-        // over-approximation; a stale bit costs a probe, never a task).
-        while q.try_dequeue().is_some() {}
-        assert!(q.steal_span_admits(3));
         assert!(!q.steal_span_admits(255), "unseen cores stay excluded");
+    }
+
+    #[test]
+    fn steal_span_decays_when_a_wide_queue_drains_empty() {
+        // PR 5: the span is no longer a forever-monotone union. Draining a
+        // queue whose span grew wider than its own cpuset clears it, so
+        // the stale wide bits stop attracting park probes.
+        for q in [spin_queue(), lockfree_queue(), mutex_queue()] {
+            q.enqueue(task_for(q.id, CpuSet::from_iter([0, 3])));
+            assert!(q.steal_span_admits(3));
+            assert!(q.try_dequeue().is_some());
+            assert!(
+                !q.steal_span_admits(3),
+                "drained-empty queue must drop the wide span bit"
+            );
+            assert!(!q.steal_span_admits(0), "the whole span resets");
+            // The span rebuilds from the next enqueue.
+            q.enqueue(task_for(q.id, CpuSet::from_iter([0, 5])));
+            assert!(q.steal_span_admits(5));
+        }
+    }
+
+    #[test]
+    fn steal_span_within_own_cpuset_never_decays() {
+        // Bits inside the queue's own cpuset can only attract cores whose
+        // hierarchy path already includes this queue — clearing them would
+        // buy nothing, so the drain-empty path skips the swap entirely.
+        let q = spin_queue(); // cpuset {0}
+        q.enqueue(task_for(q.id, CpuSet::single(0)));
+        assert!(q.try_dequeue().is_some());
+        assert!(
+            q.steal_span_admits(0),
+            "narrow span survives the drain (decay gated on wider-than-cpuset)"
+        );
+    }
+
+    #[test]
+    fn steal_span_decays_after_batch_and_steal_drains_too() {
+        let q = spin_queue();
+        for _ in 0..3 {
+            q.enqueue(task_for(q.id, CpuSet::from_iter([0, 3])));
+        }
+        let mut out = Vec::new();
+        q.dequeue_batch(8, &mut out);
+        assert!(!q.steal_span_admits(3), "batch drain decays the span");
+
+        q.enqueue(task_for(q.id, CpuSet::from_iter([0, 3])));
+        out.clear();
+        assert_eq!(q.try_steal_half(3, usize::MAX, &mut out), 1);
+        assert!(!q.steal_span_admits(3), "a steal that empties decays too");
     }
 
     #[test]
@@ -774,7 +947,7 @@ mod tests {
     fn counters() {
         let q = spin_queue();
         q.enqueue(dummy_task(q.id));
-        q.note_executed();
+        q.note_executed(0);
         assert_eq!(q.submitted(), 1);
         assert_eq!(q.executed(), 1);
         assert!(q.lock_stats().is_some());

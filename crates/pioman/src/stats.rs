@@ -16,11 +16,13 @@ pub struct QueueStats {
     pub level: Level,
     /// Cores this queue serves.
     pub cpuset: CpuSet,
-    /// The queue's *steal span*: the monotone union of the cpusets of
-    /// every task ever enqueued here. This is the filter the park probe
-    /// and [`wake_for_steal`](crate::TaskManager::wake_for_steal) consult;
+    /// The queue's *steal span*: the union of the cpusets of the tasks
+    /// enqueued here. This is the filter the park probe and
+    /// [`wake_for_steal`](crate::TaskManager::wake_for_steal) consult;
     /// it may over-approximate the currently-enqueued tasks (stale bits
-    /// cost a wasted probe, never a misplaced task).
+    /// cost a wasted probe, never a misplaced task), but *decays*: a
+    /// dequeue that leaves the queue empty clears bits wider than the
+    /// queue's own cpuset, so stale wide spans stop attracting probes.
     pub steal_span: CpuSet,
     /// Tasks submitted directly to this queue.
     pub submitted: u64,

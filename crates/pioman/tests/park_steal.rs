@@ -65,6 +65,84 @@ fn park_probe_path_drains_distant_backlog_without_timer() {
     assert_eq!(stats.executed_by_core[12], 0, "the home core never ran");
 }
 
+/// Steal-span decay (PR 5): once a wide-span queue drains empty, its span
+/// stops admitting distant cores, so new backlog that core 0 may *not*
+/// steal no longer produces park-probe false positives. Before the decay
+/// the span was a forever-monotone union — the `{0, 12}` bits from the
+/// drained backlog would have made the probe hit on core-12-only work.
+#[test]
+fn park_probe_stops_hitting_after_wide_span_decays() {
+    let mgr = TaskManager::new(presets::kwak().into());
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            mgr.submit_on(
+                |_| TaskStatus::Done,
+                12,
+                CpuSet::from_iter([0, 12]),
+                TaskOptions::oneshot(),
+            )
+        })
+        .collect();
+    assert!(mgr.park_probe(0), "wide backlog present: probe must hit");
+    while handles.iter().any(|h| !h.is_complete()) {
+        assert!(mgr.schedule(0));
+    }
+    // New backlog on the same queue, but core 0 is excluded this time.
+    for _ in 0..4 {
+        mgr.submit(
+            |_| TaskStatus::Done,
+            CpuSet::single(12),
+            TaskOptions::oneshot(),
+        );
+    }
+    assert!(
+        !mgr.park_probe(0),
+        "decayed span must reject the core-12-only backlog (tightened filter)"
+    );
+    let queue = mgr.topology().core_node(12).index();
+    let span = mgr.stats().queues[queue].steal_span;
+    assert!(
+        span.contains(12) && !span.contains(0),
+        "span rebuilt narrow"
+    );
+    assert_eq!(mgr.schedule_batch(12, usize::MAX), 4, "no task was lost");
+}
+
+/// The lost-wake probe for the weakened orderings: hammer the exact race
+/// the park/wake handshake must close — a submission landing at the very
+/// moment the worker decides to park. Each round waits for the worker to
+/// be *observably parked* (the worst case: every pre-park check already
+/// ran), submits, and requires completion with the timer disabled and the
+/// park timeout far past the test bound — only a delivered wake-up can
+/// finish the round. The `vendor/interleave` `park_wake` model proves the
+/// same protocol exhaustively over all interleavings; this test pins the
+/// real implementation against the real parker.
+#[test]
+fn submission_racing_a_parking_worker_never_loses_the_wake() {
+    let mgr = TaskManager::new(presets::kwak().into());
+    let config = ProgressionConfig {
+        park_timeout: Duration::from_secs(3600), // park "forever"
+        timer_period: None,
+        ..ProgressionConfig::for_cores(vec![3])
+    };
+    let _prog = Progression::start(mgr.clone(), config);
+    for round in 0..200 {
+        // Alternate between racing an already-parked worker and racing the
+        // park decision itself (submitting the instant the worker's queue
+        // runs dry, before it can publish the flag).
+        if round % 2 == 0 {
+            wait_for("worker 3 to park", || mgr.is_parked(3));
+        }
+        let h = mgr.submit(
+            |_| TaskStatus::Done,
+            CpuSet::single(3),
+            TaskOptions::oneshot(),
+        );
+        wait_for("racing submission to complete", || h.is_complete());
+    }
+    assert_eq!(mgr.stats().hook_timer, 0, "no timer keypoint ever fired");
+}
+
 /// Live workers: a backlog submitted for a busy home core is finished by a
 /// progression worker on another core with the timer disabled and the park
 /// timeout far beyond the test bound — completion can only come from the

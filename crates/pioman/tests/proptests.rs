@@ -355,3 +355,45 @@ proptest! {
         prop_assert_eq!(mgr.pending_tasks(), 0);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The sharded-counter contract (PR 5): whatever mix of threads, slots
+    /// and increments hits a `ShardedCounter`, its quiesced snapshot equals
+    /// a shadow single-atomic total maintained alongside it — sharding
+    /// changes the cache-line traffic, never the arithmetic.
+    #[test]
+    fn sharded_counter_matches_shadow_total(
+        shards in 1usize..=8,
+        per_thread in proptest::collection::vec(
+            proptest::collection::vec((0usize..16, 1u64..50), 1..64),
+            1..6,
+        ),
+    ) {
+        use pioman::counters::ShardedCounter;
+        let sharded = ShardedCounter::new(shards);
+        let shadow = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            let (sharded, shadow) = (&sharded, &shadow);
+            for plan in &per_thread {
+                s.spawn(move || {
+                    for &(slot, n) in plan {
+                        // Mix explicit-slot and thread-slot increments the
+                        // way the queue counters do (executed is core-
+                        // indexed, submitted is thread-indexed).
+                        if slot % 2 == 0 {
+                            sharded.add_at(slot, n);
+                        } else {
+                            sharded.add(n);
+                        }
+                        shadow.fetch_add(n, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        prop_assert_eq!(sharded.sum(), shadow.load(Ordering::Relaxed));
+        prop_assert!(sharded.shards() >= shards, "slots never round down");
+        prop_assert!(sharded.shards().is_power_of_two(), "mask-foldable");
+    }
+}

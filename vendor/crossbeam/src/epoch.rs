@@ -31,11 +31,31 @@
 //! bookkeeping uses a try-lock so at most one thread advances at a time,
 //! and a thread finding all [`PIN_SLOTS`] slots occupied spins for a free
 //! one — acceptable for this workspace, where concurrency is bounded by
-//! one progression worker per core. Orderings are uniformly `SeqCst`:
-//! this shim favors being auditable (and Miri/loom-friendly) over
-//! shaving fence cost.
+//! one progression worker per core.
+//!
+//! # Memory orderings
+//!
+//! Since PR 5 each site issues the weakest ordering the invariants above
+//! need (full per-site table in `docs/SCHEDULER.md`), routed through an
+//! [`OrderPolicy`] so the all-`SeqCst` baseline stays measurable. The one
+//! edge that genuinely needs sequential consistency is the **pin/advance
+//! handshake** — a Dekker-style store-load pattern:
+//!
+//! * a reader publishes its pin (slot store), *then* loads queue pointers;
+//! * the advancer unlinks/retires, *then* loads the slots.
+//!
+//! If the advancer's slot scan misses a pin, the reader's later pointer
+//! loads must see the unlink (and thus not resurrect the node being
+//! freed). Acquire/release cannot order a store before a *load* on
+//! different locations, so the pin publication and the advancer's slot
+//! scan are separated by explicit `SeqCst` fences (kept unconditionally,
+//! under either policy — they are correctness, not tuning).
 
-use core::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering::SeqCst};
+use crate::order::{OrderPolicy, Tuned};
+use crate::utils::CachePadded;
+use core::marker::PhantomData;
+use core::sync::atomic::Ordering::{Acquire, Relaxed, Release, SeqCst};
+use core::sync::atomic::{fence, AtomicBool, AtomicPtr, AtomicU64, AtomicUsize};
 use std::cell::Cell;
 use std::ptr;
 
@@ -48,10 +68,9 @@ const PIN_SLOTS: usize = 32;
 const ADVANCE_EVERY: u64 = 64;
 
 /// One pin slot: `0` when free, `(epoch << 1) | 1` when occupied. Padded
-/// to a cache line so pin/unpin traffic on neighbouring slots does not
-/// false-share.
-#[repr(align(64))]
-struct Slot(AtomicUsize);
+/// to its own cache line so pin/unpin traffic on neighbouring slots does
+/// not false-share — each operation's hot slot stays core-private.
+type Slot = CachePadded<AtomicUsize>;
 
 /// Type-erased deferred free: `drop_fn(ptr)` reconstructs and drops the
 /// original `Box` allocation.
@@ -69,19 +88,33 @@ impl Bag {
         Bag(AtomicPtr::new(ptr::null_mut()))
     }
 
-    fn push(&self, node: *mut Retired) {
+    fn push<P: OrderPolicy>(&self, node: *mut Retired) {
         loop {
-            let head = self.0.load(SeqCst);
+            // Relaxed: the head is only dereferenced by `free_all`, whose
+            // Acquire swap synchronizes with the Release CAS below; the
+            // load here just supplies the CAS expectation.
+            let head = self.0.load(P::ord(Relaxed));
             unsafe { (*node).next = head };
-            if self.0.compare_exchange(head, node, SeqCst, SeqCst).is_ok() {
+            // Release publishes `(*node).next` (and the retired payload's
+            // reachability) to the draining swap. Failure reloads, Relaxed.
+            if self
+                .0
+                .compare_exchange(head, node, P::ord(Release), P::ord(Relaxed))
+                .is_ok()
+            {
                 return;
             }
         }
     }
 
     /// Detaches the whole bag and frees every allocation in it.
-    fn free_all(&self) {
-        let mut cur = self.0.swap(ptr::null_mut(), SeqCst);
+    fn free_all<P: OrderPolicy>(&self) {
+        // Acquire pairs with the pushers' Release CAS: every `next` link
+        // (and retired node) written before a push is visible before we
+        // dereference it. Concurrent pushes either land before the swap
+        // (freed now) or after (kept for a later drain) — RMWs on the head
+        // are totally ordered, so no push can straddle the detach.
+        let mut cur = self.0.swap(ptr::null_mut(), P::ord(Acquire));
         while !cur.is_null() {
             let node = unsafe { Box::from_raw(cur) };
             cur = node.next;
@@ -90,8 +123,9 @@ impl Bag {
     }
 }
 
-/// A per-structure epoch-based garbage collector.
-pub(crate) struct Collector {
+/// A per-structure epoch-based garbage collector, generic over the
+/// [`OrderPolicy`] (see the module docs; [`Tuned`] is the audited default).
+pub(crate) struct Collector<P: OrderPolicy = Tuned> {
     epoch: AtomicUsize,
     slots: [Slot; PIN_SLOTS],
     bags: [Bag; 3],
@@ -99,51 +133,76 @@ pub(crate) struct Collector {
     /// Try-lock making the advance/free section exclusive. The push/pop
     /// hot path never takes it.
     advancing: AtomicBool,
+    _policy: PhantomData<P>,
 }
 
-impl Collector {
+impl<P: OrderPolicy> Collector<P> {
     pub(crate) fn new() -> Self {
         Collector {
             epoch: AtomicUsize::new(0),
-            slots: [const { Slot(AtomicUsize::new(0)) }; PIN_SLOTS],
+            slots: [const { CachePadded::new(AtomicUsize::new(0)) }; PIN_SLOTS],
             bags: [const { Bag::new() }; 3],
             retires: AtomicU64::new(0),
             advancing: AtomicBool::new(false),
+            _policy: PhantomData,
         }
     }
 
     /// Pins the calling thread: until the returned guard drops, nothing
     /// retired from now on is freed, so nodes reachable from the live
     /// structure stay allocated.
-    pub(crate) fn pin(&self) -> Guard<'_> {
+    pub(crate) fn pin(&self) -> Guard<'_, P> {
         thread_local! {
             static SLOT_HINT: Cell<usize> = const { Cell::new(0) };
         }
         let hint = SLOT_HINT.with(Cell::get);
-        let mut epoch = self.epoch.load(SeqCst);
+        // Acquire — this load (and the loop's re-reads below) is the
+        // *grace-period edge*: reading epoch `e` synchronizes with the
+        // Release store of the advance that published `e`, which in turn
+        // happened-after every epoch-`e-1` pin was released (the advance
+        // read their unpin stores) and after every retire it freed. A
+        // thread pinned at `e` therefore happens-after every unlink
+        // retired at `e-2` or earlier, so read-read coherence forbids its
+        // queue-pointer loads from returning anything those bags can
+        // free. Relaxed would leave a pinned-at-current-epoch thread able
+        // to read an arbitrarily stale (already freed) pointer without
+        // its slot blocking the advance.
+        let mut epoch = self.epoch.load(P::ord(Acquire));
         let slot = 'claim: loop {
             for i in 0..PIN_SLOTS {
                 let slot = (hint + i) % PIN_SLOTS;
+                // The claim CAS is the pin *publication*: it must not be
+                // reordered after the queue-pointer loads that follow the
+                // pin (the Dekker edge in the module docs). A SeqCst RMW
+                // plus the fence below provides that store-load ordering;
+                // the failure case only moves to the next slot, Relaxed.
                 if self.slots[slot]
-                    .0
-                    .compare_exchange(0, (epoch << 1) | 1, SeqCst, SeqCst)
+                    .compare_exchange(0, (epoch << 1) | 1, SeqCst, Relaxed)
                     .is_ok()
                 {
                     break 'claim slot;
                 }
             }
             core::hint::spin_loop();
-            epoch = self.epoch.load(SeqCst);
+            epoch = self.epoch.load(P::ord(Acquire));
         };
         // Re-publish until the slot matches a current read of the global
         // epoch (soundness invariant 1: a slot never lags more than one
         // advance behind, because its stale value blocks the next one).
         loop {
-            let now = self.epoch.load(SeqCst);
+            // The fence orders the slot publication (store) before the
+            // epoch load *and* before every queue-pointer load the caller
+            // performs under the guard; `try_advance` has the matching
+            // fence between its retire and its slot scan. The epoch
+            // re-read keeps Acquire for the grace-period edge (see the
+            // pin's first load above): the *final* accepted read is what
+            // places the guard after the advance that published its epoch.
+            fence(SeqCst);
+            let now = self.epoch.load(P::ord(Acquire));
             if now == epoch {
                 break;
             }
-            self.slots[slot].0.store((now << 1) | 1, SeqCst);
+            self.slots[slot].store((now << 1) | 1, P::ord(Relaxed));
             epoch = now;
         }
         SLOT_HINT.with(|h| h.set(slot));
@@ -164,9 +223,15 @@ impl Collector {
             drop_fn: drop_box::<T>,
             next: ptr::null_mut(),
         }));
-        let epoch = self.epoch.load(SeqCst);
-        self.bags[epoch % 3].push(node);
-        if self.retires.fetch_add(1, SeqCst) % ADVANCE_EVERY == ADVANCE_EVERY - 1 {
+        // Relaxed: the caller is pinned, so per-location coherence bounds
+        // this read to `p` or `p+1` (invariant 1) — the bag choice is
+        // safe for *any* value in that window (invariant 2), and the
+        // Treiber push lands atomically before or after any concurrent
+        // drain (RMW total order), never astride it.
+        let epoch = self.epoch.load(P::ord(Relaxed));
+        self.bags[epoch % 3].push::<P>(node);
+        // Relaxed counter: only paces how often advances are attempted.
+        if self.retires.fetch_add(1, P::ord(Relaxed)) % ADVANCE_EVERY == ADVANCE_EVERY - 1 {
             self.try_advance();
         }
     }
@@ -175,51 +240,66 @@ impl Collector {
     /// becomes unreachable. A no-op when another thread is already
     /// advancing or some slot still publishes an older epoch.
     fn try_advance(&self) {
-        if self.advancing.swap(true, SeqCst) {
+        // Acquire on the try-lock pairs with the Release unlock so the
+        // epoch/bag state the previous advancer left is visible.
+        if self.advancing.swap(true, P::ord(Acquire)) {
             return;
         }
-        let epoch = self.epoch.load(SeqCst);
+        // Relaxed: `epoch` is only written under this try-lock, whose
+        // Acquire/Release pairing already carries the value.
+        let epoch = self.epoch.load(P::ord(Relaxed));
         let current = (epoch << 1) | 1;
+        // The matching half of the pin fence (module docs): order every
+        // unlink/retire that led here before the slot scan, so a reader
+        // whose pin the scan misses is guaranteed to see the unlink once
+        // it reads the queue.
+        fence(SeqCst);
         let all_current = self
             .slots
             .iter()
-            .all(|s| matches!(s.0.load(SeqCst), v if v == 0 || v == current));
+            .all(|s| matches!(s.load(SeqCst), v if v == 0 || v == current));
         if all_current {
             // Soundness invariant 3: free before publishing the new epoch,
             // so concurrent retires (which target `epoch % 3` or, for
             // threads pinned one advance behind, `(epoch + 2) % 3`) can
             // never push into the bag being drained.
-            self.bags[(epoch + 1) % 3].free_all();
-            self.epoch.store(epoch + 1, SeqCst);
+            self.bags[(epoch + 1) % 3].free_all::<P>();
+            // Release: the frees above happen-before anyone who reads the
+            // new epoch (pin's loads are ordered by its SeqCst fence).
+            self.epoch.store(epoch + 1, P::ord(Release));
         }
-        self.advancing.store(false, SeqCst);
+        self.advancing.store(false, P::ord(Release));
     }
 }
 
-impl Drop for Collector {
+impl<P: OrderPolicy> Drop for Collector<P> {
     fn drop(&mut self) {
         // Exclusive access: every deferred free can run now.
         for bag in &self.bags {
-            bag.free_all();
+            bag.free_all::<P>();
         }
     }
 }
 
 /// Active pin on a [`Collector`]; unpins on drop.
-pub(crate) struct Guard<'a> {
-    collector: &'a Collector,
+pub(crate) struct Guard<'a, P: OrderPolicy = Tuned> {
+    collector: &'a Collector<P>,
     slot: usize,
 }
 
-impl Drop for Guard<'_> {
+impl<P: OrderPolicy> Drop for Guard<'_, P> {
     fn drop(&mut self) {
-        self.collector.slots[self.slot].0.store(0, SeqCst);
+        // Release: every pointer dereference made under the pin
+        // happens-before an advancer that observes the slot free and
+        // frees what those dereferences touched.
+        self.collector.slots[self.slot].store(0, P::ord(Release));
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::order::AlwaysSeqCst;
     use std::sync::atomic::AtomicUsize as StdAtomicUsize;
     use std::sync::Arc;
 
@@ -233,7 +313,7 @@ mod tests {
             }
         }
         DROPS.store(0, SeqCst);
-        let col = Collector::new();
+        let col = Collector::<Tuned>::new();
         {
             let _g = col.pin();
             // Retire enough to trigger several advance attempts; none may
@@ -262,7 +342,7 @@ mod tests {
             }
         }
         DROPS.store(0, SeqCst);
-        let col = Collector::new();
+        let col = Collector::<Tuned>::new();
         for _ in 0..(8 * ADVANCE_EVERY) {
             let _g = col.pin();
             col.retire(Box::into_raw(Box::new(Tracked)));
@@ -277,7 +357,7 @@ mod tests {
 
     #[test]
     fn pin_slots_are_reentrant_across_threads() {
-        let col = Arc::new(Collector::new());
+        let col = Arc::new(Collector::<Tuned>::new());
         let threads = if cfg!(miri) { 3 } else { 8 };
         let iters = if cfg!(miri) { 20 } else { 2_000 };
         let handles: Vec<_> = (0..threads)
@@ -294,5 +374,26 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+    }
+
+    #[test]
+    fn seqcst_baseline_collector_reclaims_identically() {
+        // The ablation policy runs the same algorithm with every ordering
+        // upgraded; the reclamation behaviour must be indistinguishable.
+        static DROPS: StdAtomicUsize = StdAtomicUsize::new(0);
+        struct Tracked;
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, SeqCst);
+            }
+        }
+        DROPS.store(0, SeqCst);
+        let col = Collector::<AlwaysSeqCst>::new();
+        for _ in 0..(4 * ADVANCE_EVERY) {
+            let _g = col.pin();
+            col.retire(Box::into_raw(Box::new(Tracked)));
+        }
+        drop(col);
+        assert_eq!(DROPS.load(SeqCst), 4 * ADVANCE_EVERY as usize);
     }
 }

@@ -2,14 +2,20 @@
 //!
 //! This workspace builds in an environment without registry access, so the
 //! subset of crossbeam it uses is vendored here: [`queue::SegQueue`], an
-//! unbounded MPMC FIFO. Earlier revisions shimmed it over a mutexed
-//! `VecDeque`; it is now a **real lock-free queue** — the Michael–Scott
-//! linked queue with a three-epoch reclamation scheme (see the `epoch`
-//! module) — so the `queue_backend` ablation benches compare genuine
-//! lock-free behaviour against the paper's spinlock design. Swap for
-//! `crossbeam = "0.8"` when a registry is reachable.
+//! unbounded MPMC FIFO (a real Michael–Scott lock-free queue with a
+//! three-epoch reclamation scheme — see the `epoch` module), and
+//! [`utils::CachePadded`], the false-sharing guard from `crossbeam-utils`.
+//!
+//! Since PR 5 every atomic site issues the **weakest sound memory
+//! ordering** (audited per site; table in `docs/SCHEDULER.md`), with the
+//! old all-`SeqCst` behaviour preserved as a compile-time
+//! [`order::OrderPolicy`] ([`queue::SeqCstSegQueue`]) so the
+//! `relaxed_vs_seqcst_contended` bench can measure what the fences cost.
+//! Swap for `crossbeam = "0.8"` when a registry is reachable.
 
 #![warn(missing_docs)]
 
 mod epoch;
+pub mod order;
 pub mod queue;
+pub mod utils;

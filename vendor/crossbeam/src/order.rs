@@ -1,0 +1,70 @@
+//! The memory-ordering policy behind the relaxed-vs-SeqCst ablation.
+//!
+//! Until PR 5 every atomic in this crate used `SeqCst` — auditable, but the
+//! hot path paid full fences it did not need. The queue and epoch modules
+//! are now written against the **weakest sound ordering per site** (the
+//! per-site justifications live in `docs/SCHEDULER.md`'s ordering table),
+//! and this module is how the old behaviour survives as a measurable
+//! baseline instead of a git-archaeology exercise: every ordering in the
+//! generic code is spelled `P::ord(weakest)`, where the default policy
+//! ([`Tuned`]) is the identity and the baseline policy ([`AlwaysSeqCst`])
+//! upgrades every site back to `SeqCst`.
+//!
+//! The policy is a zero-sized type resolved at compile time, so the tuned
+//! queue pays no branch for the baseline's existence, and the two variants
+//! are guaranteed to run *the same algorithm* — the ablation bench
+//! (`relaxed_vs_seqcst_contended`) measures exactly the fences.
+
+use core::sync::atomic::Ordering;
+
+/// Compile-time choice of how a site's *weakest sound* ordering is mapped
+/// to the ordering actually issued.
+pub trait OrderPolicy: Send + Sync + 'static {
+    /// Maps the weakest sound ordering for a site to the one to use.
+    fn ord(weakest: Ordering) -> Ordering;
+}
+
+/// The default policy: issue exactly the weakest sound ordering (the one
+/// each call site was audited down to).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Tuned;
+
+impl OrderPolicy for Tuned {
+    #[inline(always)]
+    fn ord(weakest: Ordering) -> Ordering {
+        weakest
+    }
+}
+
+/// The ablation baseline: upgrade every site to `SeqCst`, reproducing the
+/// pre-PR-5 all-fences behaviour bit-for-bit (same algorithm, strongest
+/// orderings). Kept so `relaxed_vs_seqcst_contended` can measure what the
+/// acquire/release pass actually bought on this host.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct AlwaysSeqCst;
+
+impl OrderPolicy for AlwaysSeqCst {
+    #[inline(always)]
+    fn ord(_weakest: Ordering) -> Ordering {
+        Ordering::SeqCst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuned_is_identity_and_baseline_upgrades() {
+        for o in [
+            Ordering::Relaxed,
+            Ordering::Acquire,
+            Ordering::Release,
+            Ordering::AcqRel,
+            Ordering::SeqCst,
+        ] {
+            assert_eq!(Tuned::ord(o), o);
+            assert_eq!(AlwaysSeqCst::ord(o), Ordering::SeqCst);
+        }
+    }
+}

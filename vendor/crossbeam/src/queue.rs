@@ -1,9 +1,13 @@
 //! Concurrent queues: a lock-free `SegQueue`.
 
 use crate::epoch::Collector;
+use crate::order::{AlwaysSeqCst, OrderPolicy, Tuned};
+use crate::utils::CachePadded;
+use core::marker::PhantomData;
 use core::mem::MaybeUninit;
 use core::ptr;
-use core::sync::atomic::{AtomicPtr, AtomicUsize, Ordering::SeqCst};
+use core::sync::atomic::Ordering::{Acquire, Relaxed, Release};
+use core::sync::atomic::{AtomicPtr, AtomicUsize};
 
 /// An unbounded multi-producer multi-consumer FIFO queue.
 ///
@@ -16,15 +20,35 @@ use core::sync::atomic::{AtomicPtr, AtomicUsize, Ordering::SeqCst};
 /// through the crate's epoch-based reclamation (`epoch` module), which is
 /// what makes the pointers ABA-safe: a node's address cannot be recycled
 /// while any thread that could still CAS against it remains pinned.
-pub struct SegQueue<T> {
+///
+/// # Memory orderings and layout
+///
+/// Each atomic site issues the weakest ordering its publish/consume edge
+/// needs (justifications inline and in `docs/SCHEDULER.md`'s ordering
+/// table), routed through the [`OrderPolicy`] type parameter: the default
+/// [`Tuned`] is the audited acquire/release version, while
+/// [`SeqCstSegQueue`] upgrades every site back to `SeqCst` — the pre-PR-5
+/// behaviour, kept as the `relaxed_vs_seqcst_contended` ablation baseline.
+///
+/// `head` is owned by poppers and `tail` by pushers; each sits on its own
+/// cache line ([`CachePadded`]) so a push never steals the line a
+/// concurrent pop is spinning on, and `len` — touched by both sides —
+/// gets a third line instead of false-sharing with either.
+pub struct SegQueue<T, P: OrderPolicy = Tuned> {
     /// The dummy node; `head.next` is the front element (null = empty).
-    head: AtomicPtr<Node<T>>,
-    tail: AtomicPtr<Node<T>>,
+    head: CachePadded<AtomicPtr<Node<T>>>,
+    tail: CachePadded<AtomicPtr<Node<T>>>,
     /// Element count, maintained `push`-side *before* linking so the
     /// matching decrement can never underflow. Racy snapshot by nature.
-    len: AtomicUsize,
-    collector: Collector,
+    len: CachePadded<AtomicUsize>,
+    collector: Collector<P>,
+    _policy: PhantomData<P>,
 }
+
+/// The all-`SeqCst` ablation baseline: same algorithm, same layout, every
+/// ordering upgraded (see [`crate::order`]). Benchmarked head-to-head
+/// against the tuned [`SegQueue`] by `relaxed_vs_seqcst_contended`.
+pub type SeqCstSegQueue<T> = SegQueue<T, AlwaysSeqCst>;
 
 struct Node<T> {
     next: AtomicPtr<Node<T>>,
@@ -36,10 +60,10 @@ struct Node<T> {
 
 // The auto impls would be unbounded (the struct stores only raw pointers
 // and atomics); tie them to `T: Send` like the real crate does.
-unsafe impl<T: Send> Send for SegQueue<T> {}
-unsafe impl<T: Send> Sync for SegQueue<T> {}
+unsafe impl<T: Send, P: OrderPolicy> Send for SegQueue<T, P> {}
+unsafe impl<T: Send, P: OrderPolicy> Sync for SegQueue<T, P> {}
 
-impl<T> SegQueue<T> {
+impl<T, P: OrderPolicy> SegQueue<T, P> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         let dummy = Box::into_raw(Box::new(Node {
@@ -47,10 +71,11 @@ impl<T> SegQueue<T> {
             value: MaybeUninit::uninit(),
         }));
         SegQueue {
-            head: AtomicPtr::new(dummy),
-            tail: AtomicPtr::new(dummy),
-            len: AtomicUsize::new(0),
+            head: CachePadded::new(AtomicPtr::new(dummy)),
+            tail: CachePadded::new(AtomicPtr::new(dummy)),
+            len: CachePadded::new(AtomicUsize::new(0)),
             collector: Collector::new(),
+            _policy: PhantomData,
         }
     }
 
@@ -60,27 +85,45 @@ impl<T> SegQueue<T> {
             next: AtomicPtr::new(ptr::null_mut()),
             value: MaybeUninit::new(value),
         }));
-        // Count before linking: see the `len` field docs.
-        self.len.fetch_add(1, SeqCst);
+        // Count before linking (see the `len` field docs); Relaxed — the
+        // counter is a hint, no data is published through it.
+        self.len.fetch_add(1, P::ord(Relaxed));
         let _guard = self.collector.pin();
         loop {
-            let tail = self.tail.load(SeqCst);
-            let next = unsafe { (*tail).next.load(SeqCst) };
+            // Acquire: the loaded node is dereferenced (its `next` read
+            // below); pairs with the Release CAS that published it.
+            let tail = self.tail.load(P::ord(Acquire));
+            let next = unsafe { (*tail).next.load(P::ord(Acquire)) };
             if !next.is_null() {
                 // Tail lags behind the last node; help it forward, retry.
-                let _ = self.tail.compare_exchange(tail, next, SeqCst, SeqCst);
+                // Release on success keeps the tail-publication chain (the
+                // next loader dereferences what we publish); failure means
+                // someone else helped, Relaxed.
+                let _ = self
+                    .tail
+                    .compare_exchange(tail, next, P::ord(Release), P::ord(Relaxed));
                 continue;
             }
+            // The linking CAS is the *publication* of `node` (its value
+            // and null `next`): Release so any Acquire load of this `next`
+            // edge sees the node fully initialized. Failure: another push
+            // linked first; we retry from a fresh tail read, Relaxed.
             if unsafe {
-                (*tail)
-                    .next
-                    .compare_exchange(ptr::null_mut(), node, SeqCst, SeqCst)
+                (*tail).next.compare_exchange(
+                    ptr::null_mut(),
+                    node,
+                    P::ord(Release),
+                    P::ord(Relaxed),
+                )
             }
             .is_ok()
             {
                 // Linking succeeded; swinging tail is best-effort (a loser
-                // helps on its next attempt).
-                let _ = self.tail.compare_exchange(tail, node, SeqCst, SeqCst);
+                // helps on its next attempt). Release for the same
+                // dereference-after-load reason as the helping CAS.
+                let _ = self
+                    .tail
+                    .compare_exchange(tail, node, P::ord(Release), P::ord(Relaxed));
                 return;
             }
         }
@@ -91,28 +134,51 @@ impl<T> SegQueue<T> {
     pub fn pop(&self) -> Option<T> {
         let _guard = self.collector.pin();
         loop {
-            let head = self.head.load(SeqCst);
-            let next = unsafe { (*head).next.load(SeqCst) };
+            // Acquire: `head` is dereferenced right below; pairs with the
+            // Release head-swing CAS of the pop that published it.
+            let head = self.head.load(P::ord(Acquire));
+            // Acquire: pairs with the pusher's Release linking CAS — after
+            // this load, `(*next).value` is fully initialized and safe for
+            // the CAS winner to move out.
+            let next = unsafe { (*head).next.load(P::ord(Acquire)) };
             if next.is_null() {
                 return None;
             }
-            let tail = self.tail.load(SeqCst);
+            // Relaxed: only the *address* is compared against `head`; the
+            // pointer is not dereferenced on this path. The comparison is
+            // still guaranteed fresh enough for the help-before-unlink
+            // invariant: the pop that published the `head` we Acquire-
+            // loaded above had itself observed `tail` strictly past that
+            // node before its Release CAS, so read-read coherence (our
+            // load happens-after its observation) forbids this load from
+            // returning a value *behind* `head` — we can read `head`
+            // itself (then we help) or something newer, never a stale
+            // predecessor that would let us skip the help and strand
+            // `tail` on the node we retire.
+            let tail = self.tail.load(P::ord(Relaxed));
             if head == tail {
                 // Non-empty but tail still points at the dummy: help it
                 // forward *before* unlinking, so `tail` can never be left
-                // pointing at a retired node.
-                let _ = self.tail.compare_exchange(tail, next, SeqCst, SeqCst);
+                // pointing at a retired node. Release continues the
+                // publication chain for subsequent tail dereferences.
+                let _ = self
+                    .tail
+                    .compare_exchange(tail, next, P::ord(Release), P::ord(Relaxed));
                 continue;
             }
+            // Release on the winning head swing: readers that Acquire-load
+            // the new head inherit the full chain back to the push that
+            // initialized it. The value read below is already ordered by
+            // the Acquire load of `next` above; failure retries, Relaxed.
             if self
                 .head
-                .compare_exchange(head, next, SeqCst, SeqCst)
+                .compare_exchange(head, next, P::ord(Release), P::ord(Relaxed))
                 .is_ok()
             {
                 // `next` is the new dummy; the CAS winner alone moves its
                 // value out (other threads only ever compare its address).
                 let value = unsafe { ptr::read((*next).value.as_ptr()) };
-                self.len.fetch_sub(1, SeqCst);
+                self.len.fetch_sub(1, P::ord(Relaxed));
                 // The old dummy is unreachable from the live queue; free it
                 // once every currently-pinned thread is gone.
                 self.collector.retire(head);
@@ -124,7 +190,9 @@ impl<T> SegQueue<T> {
     /// Number of elements currently queued (racy snapshot; may transiently
     /// count an element whose `push` has not finished linking).
     pub fn len(&self) -> usize {
-        self.len.load(SeqCst)
+        // Relaxed: a hint by contract; the scheduler's wake paths carry
+        // their own synchronization (unpark tokens), never this counter.
+        self.len.load(P::ord(Relaxed))
     }
 
     /// `true` if the queue holds no elements (racy snapshot).
@@ -133,13 +201,13 @@ impl<T> SegQueue<T> {
     }
 }
 
-impl<T> Default for SegQueue<T> {
+impl<T, P: OrderPolicy> Default for SegQueue<T, P> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<T> core::fmt::Debug for SegQueue<T> {
+impl<T, P: OrderPolicy> core::fmt::Debug for SegQueue<T, P> {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("SegQueue")
             .field("len", &self.len())
@@ -147,7 +215,7 @@ impl<T> core::fmt::Debug for SegQueue<T> {
     }
 }
 
-impl<T> Drop for SegQueue<T> {
+impl<T, P: OrderPolicy> Drop for SegQueue<T, P> {
     fn drop(&mut self) {
         // Exclusive access: walk the live list, dropping the values of the
         // non-dummy nodes, then the nodes themselves. Retired dummies (and
@@ -168,11 +236,12 @@ impl<T> Drop for SegQueue<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use core::sync::atomic::Ordering::SeqCst;
     use std::sync::Arc;
 
     #[test]
     fn fifo_order() {
-        let q = SegQueue::new();
+        let q = SegQueue::<i32>::new();
         q.push(1);
         q.push(2);
         q.push(3);
@@ -185,8 +254,19 @@ mod tests {
     }
 
     #[test]
+    fn fifo_order_seqcst_baseline() {
+        // The ablation alias runs the identical algorithm.
+        let q = SeqCstSegQueue::new();
+        q.push(1);
+        q.push(2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
     fn concurrent_push_pop() {
-        let q = Arc::new(SegQueue::new());
+        let q = Arc::new(SegQueue::<usize>::new());
         let per_thread = if cfg!(miri) { 20 } else { 100 };
         let producers: Vec<_> = (0..4)
             .map(|t| {
@@ -212,7 +292,7 @@ mod tests {
 
     #[test]
     fn mpmc_interleaved_no_loss_no_duplication() {
-        let q = Arc::new(SegQueue::new());
+        let q = Arc::new(SegQueue::<u64>::new());
         let producers = if cfg!(miri) { 2u64 } else { 4 };
         let per_producer = if cfg!(miri) { 25u64 } else { 5_000 };
         let consumers = if cfg!(miri) { 2 } else { 4 };
@@ -267,7 +347,7 @@ mod tests {
             }
         }
         DROPS.store(0, SeqCst);
-        let q = SegQueue::new();
+        let q = SegQueue::<Tracked>::new();
         for i in 0..100u32 {
             q.push(Tracked(i));
         }
@@ -283,9 +363,10 @@ mod tests {
     #[test]
     fn reclamation_keeps_up_under_churn() {
         // Enough pop-retire cycles to force many epoch advances; the real
-        // assertion is the absence of UB (run under Miri in CI) and that
-        // the queue stays consistent throughout.
-        let q = SegQueue::new();
+        // assertion is the absence of UB (run under Miri in CI, including
+        // the weak-memory many-seeds pass) and that the queue stays
+        // consistent throughout.
+        let q = SegQueue::<usize>::new();
         let rounds = if cfg!(miri) { 3 } else { 200 };
         for round in 0..rounds {
             for i in 0..100usize {
@@ -295,6 +376,59 @@ mod tests {
                 assert_eq!(q.pop(), Some(round * 100 + i));
             }
             assert!(q.is_empty());
+        }
+    }
+
+    #[test]
+    fn tuned_and_seqcst_agree_under_concurrency() {
+        // Run the same MPMC workload over both policies; the observable
+        // behaviour (no loss, no duplication) must be identical.
+        fn hammer<P: OrderPolicy>() {
+            let q = Arc::new(SegQueue::<u64, P>::new());
+            let threads = if cfg!(miri) { 2 } else { 4 };
+            let per = if cfg!(miri) { 15u64 } else { 2_000 };
+            let popped = Arc::new(AtomicUsize::new(0));
+            let mut handles = Vec::new();
+            for t in 0..threads {
+                let q = q.clone();
+                let popped = popped.clone();
+                handles.push(std::thread::spawn(move || {
+                    for i in 0..per {
+                        q.push(t * per + i);
+                        if q.pop().is_some() {
+                            popped.fetch_add(1, SeqCst);
+                        }
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            let mut rest = 0;
+            while q.pop().is_some() {
+                rest += 1;
+            }
+            assert_eq!(
+                popped.load(SeqCst) + rest,
+                (threads * per) as usize,
+                "every pushed element popped exactly once"
+            );
+        }
+        hammer::<Tuned>();
+        hammer::<AlwaysSeqCst>();
+    }
+
+    #[test]
+    fn head_tail_and_len_live_on_distinct_cache_lines() {
+        let q = SegQueue::<u8>::new();
+        let head = &*q.head as *const _ as usize;
+        let tail = &*q.tail as *const _ as usize;
+        let len = &*q.len as *const _ as usize;
+        for (a, b) in [(head, tail), (tail, len), (head, len)] {
+            assert!(
+                a.abs_diff(b) >= 128,
+                "owner/thief hot words must not share a line pair"
+            );
         }
     }
 }

@@ -1,0 +1,123 @@
+//! Modeled atomics: every operation is one scheduling point.
+//!
+//! These mirror the `core::sync::atomic` API shape (minus orderings —
+//! exploration is sequentially consistent, see the crate docs) but park
+//! the calling model thread at each operation so the explorer can
+//! interleave it against every other thread. The backing storage is a
+//! real atomic accessed `SeqCst`; since only one model thread runs
+//! between scheduling points, each operation is indivisible and globally
+//! ordered, which is exactly the SC semantics the checker explores.
+
+use core::sync::atomic::Ordering::SeqCst;
+
+/// A modeled `usize` atomic.
+#[derive(Debug, Default)]
+pub struct AtomicUsize(core::sync::atomic::AtomicUsize);
+
+impl AtomicUsize {
+    /// A new modeled atomic. Construction is not a scheduling point (the
+    /// value is not shared until the model shares it).
+    pub fn new(v: usize) -> Self {
+        AtomicUsize(core::sync::atomic::AtomicUsize::new(v))
+    }
+
+    /// Atomic load (one scheduling point).
+    pub fn load(&self) -> usize {
+        crate::step();
+        self.0.load(SeqCst)
+    }
+
+    /// Atomic store (one scheduling point).
+    pub fn store(&self, v: usize) {
+        crate::step();
+        self.0.store(v, SeqCst);
+    }
+
+    /// Atomic swap (one scheduling point).
+    pub fn swap(&self, v: usize) -> usize {
+        crate::step();
+        self.0.swap(v, SeqCst)
+    }
+
+    /// Atomic fetch-add (one scheduling point).
+    pub fn fetch_add(&self, v: usize) -> usize {
+        crate::step();
+        self.0.fetch_add(v, SeqCst)
+    }
+
+    /// Atomic fetch-or (one scheduling point).
+    pub fn fetch_or(&self, v: usize) -> usize {
+        crate::step();
+        self.0.fetch_or(v, SeqCst)
+    }
+
+    /// Atomic compare-exchange (one scheduling point for the whole RMW).
+    ///
+    /// # Errors
+    ///
+    /// Returns the observed value when it differs from `expected`.
+    pub fn compare_exchange(&self, expected: usize, new: usize) -> Result<usize, usize> {
+        crate::step();
+        self.0.compare_exchange(expected, new, SeqCst, SeqCst)
+    }
+
+    /// Non-yielding read for **explorer-side** use: final-state assertions
+    /// after every thread joined, and [`crate::sync`] block conditions
+    /// (which the explorer evaluates while all threads are parked, so the
+    /// read races nothing). Using it *instead of* [`Self::load`] inside a
+    /// racing model thread would hide interleavings — don't.
+    pub fn peek(&self) -> usize {
+        self.0.load(SeqCst)
+    }
+
+    /// Non-yielding write, for state that is already serialized by an
+    /// enclosing modeled lock (see [`AtomicBool::poke`]): the mutation's
+    /// scheduling point is the lock's, and a second one would only
+    /// inflate the schedule space.
+    pub fn poke(&self, v: usize) {
+        self.0.store(v, SeqCst);
+    }
+}
+
+/// A modeled `bool` atomic.
+#[derive(Debug, Default)]
+pub struct AtomicBool(core::sync::atomic::AtomicBool);
+
+impl AtomicBool {
+    /// A new modeled atomic (not a scheduling point).
+    pub fn new(v: bool) -> Self {
+        AtomicBool(core::sync::atomic::AtomicBool::new(v))
+    }
+
+    /// Atomic load (one scheduling point).
+    pub fn load(&self) -> bool {
+        crate::step();
+        self.0.load(SeqCst)
+    }
+
+    /// Atomic store (one scheduling point).
+    pub fn store(&self, v: bool) {
+        crate::step();
+        self.0.store(v, SeqCst);
+    }
+
+    /// Atomic swap (one scheduling point).
+    pub fn swap(&self, v: bool) -> bool {
+        crate::step();
+        self.0.swap(v, SeqCst)
+    }
+
+    /// Non-yielding read (see [`AtomicUsize::peek`]).
+    pub fn peek(&self) -> bool {
+        self.0.load(SeqCst)
+    }
+
+    /// Non-yielding write, for completing an operation whose scheduling
+    /// point already happened (e.g. [`crate::sync::Lock`] takes its flag
+    /// right after the explorer granted a blocked acquire — no other
+    /// thread can have run in between, so a second point would only
+    /// inflate the schedule space without adding behaviours).
+    pub fn poke(&self, v: bool) {
+        self.0.store(v, SeqCst);
+    }
+}

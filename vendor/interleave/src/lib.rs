@@ -1,0 +1,614 @@
+//! Bounded exhaustive interleaving checking for modeled concurrent
+//! algorithms — the workspace's loom-style proof harness.
+//!
+//! "It passed the stress tests" is not an argument for a lock-free
+//! protocol: a stress run samples a few billion interleavings out of a
+//! space it does not control, and the one that loses a wake-up or frees a
+//! node early may need a context switch at exactly one instruction. This
+//! crate runs a *model* of the algorithm — a closure using this crate's
+//! [`atomic`] types, [`thread::spawn`] and [`sync::Lock`] — under **every
+//! schedule** (or every schedule within a preemption bound), driven by a
+//! depth-first trail over the scheduler's choice points:
+//!
+//! ```
+//! use interleave::{model, atomic::AtomicUsize};
+//! use std::sync::Arc;
+//!
+//! let report = model(|| {
+//!     let x = Arc::new(AtomicUsize::new(0));
+//!     let x2 = x.clone();
+//!     let t = interleave::thread::spawn(move || { x2.fetch_add(1); });
+//!     x.fetch_add(1);
+//!     t.join();
+//!     assert_eq!(x.load(), 2, "fetch_add can never lose an increment");
+//! });
+//! assert!(report.schedules >= 2, "both orders of the two RMWs explored");
+//! ```
+//!
+//! # How it works
+//!
+//! Each run executes the model on real threads held in lockstep: every
+//! model-atomic operation is a *scheduling point* where the thread parks
+//! until the explorer grants it the token, so exactly one thread runs
+//! between consecutive points and every run realizes one interleaving.
+//! The explorer records each decision (`chosen index`, `number of enabled
+//! threads`) in a trail; after a run it backtracks the trail to the next
+//! unexplored choice, re-executes the (deterministic) model along the
+//! prefix, and diverges — classic stateless DFS model checking. A failed
+//! assertion anywhere in the model aborts the run and reports the trail
+//! that produced it.
+//!
+//! # What it proves, and what it does not
+//!
+//! Exploration is **sequentially consistent**: atomic operations are
+//! modeled as indivisible and globally ordered, so the checker proves
+//! *protocol-level* properties — no lost element, no lost wake-up, no
+//! freed-while-reachable node — over every thread interleaving, which is
+//! where almost all lock-free bugs live. It does **not** model weak-memory
+//! reordering (a `Relaxed` store becoming visible late); that half of the
+//! argument belongs to Miri's weak-memory emulation, which CI runs over
+//! the *real* implementation with `-Zmiri-many-seeds`. The two tools are
+//! deliberately complementary: this crate exhausts schedules on a small
+//! model, Miri samples weak behaviours on the real code. The ordering
+//! table in `docs/SCHEDULER.md` cites, per protocol, which model in
+//! `vendor/interleave/tests/` covers it.
+//!
+//! # Bounds
+//!
+//! Exhaustive exploration is exponential in total scheduling points, so
+//! models must stay small (two or three threads, a handful of operations
+//! each). [`Options::preemption_bound`] caps *forced* context switches per
+//! schedule — the CHESS result: almost every real concurrency bug
+//! manifests within two or three preemptions — which turns an intractable
+//! model into a few thousand schedules while keeping the bug-finding
+//! power; [`Options::max_schedules`] and [`Options::max_steps`] are hard
+//! backstops that fail loudly rather than letting a model quietly explode
+//! or spin.
+
+#![warn(missing_docs)]
+
+pub mod atomic;
+pub mod sync;
+pub mod thread;
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Exploration limits and bounds.
+#[derive(Debug, Clone, Copy)]
+pub struct Options {
+    /// Hard cap on explored schedules; exceeding it fails the model run
+    /// (shrink the model or set a [`Options::preemption_bound`]).
+    pub max_schedules: usize,
+    /// Hard cap on scheduling points in a single run (catches models that
+    /// loop forever under some interleaving).
+    pub max_steps: usize,
+    /// When `Some(b)`, a schedule may contain at most `b` *preemptions* —
+    /// switches away from a thread that could have continued. `None`
+    /// explores every interleaving.
+    pub preemption_bound: Option<usize>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            max_schedules: 200_000,
+            max_steps: 5_000,
+            preemption_bound: None,
+        }
+    }
+}
+
+/// Summary of a completed exploration.
+#[derive(Debug, Clone, Copy)]
+pub struct Report {
+    /// Number of schedules executed.
+    pub schedules: usize,
+}
+
+/// A model failure: the panic message of the failed assertion (or
+/// deadlock/limit diagnosis) plus the schedule that produced it.
+#[derive(Debug)]
+pub struct Failure {
+    /// Why the model failed (assertion message, "deadlock", ...).
+    pub message: String,
+    /// 1-based index of the failing schedule.
+    pub schedule: usize,
+    /// The decision trail of the failing schedule: `(chosen, enabled)`
+    /// per scheduling point — enough to reason about the interleaving.
+    pub trail: Vec<(usize, usize)>,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "model failed on schedule {}: {}\ntrail (chosen/enabled): {:?}",
+            self.schedule, self.message, self.trail
+        )
+    }
+}
+
+/// Thread lifecycle as the explorer sees it.
+#[derive(PartialEq)]
+enum Status {
+    /// Holds the token and is executing model code.
+    Running,
+    /// Parked at a scheduling point, eligible to be granted.
+    AtYield,
+    /// Parked on a condition ([`BlockKind`]); eligible only when it holds.
+    Blocked,
+    /// Model closure returned (or unwound).
+    Finished,
+}
+
+/// What a [`Status::Blocked`] thread is waiting for.
+enum BlockKind {
+    /// Another model thread to finish (`join`).
+    OnThread(usize),
+    /// A predicate over model state (e.g. a modeled lock becoming free).
+    /// Evaluated by the explorer while every thread is parked, so the
+    /// read races nothing.
+    OnCond(Box<dyn Fn() -> bool + Send>),
+}
+
+struct SchedState {
+    statuses: Vec<Status>,
+    blocks: Vec<Option<BlockKind>>,
+    /// Token holder; `None` while the explorer is deciding.
+    active: Option<usize>,
+    /// Set on the first model panic: every parked thread unwinds.
+    abort: bool,
+    failure: Option<String>,
+    real: Vec<std::thread::JoinHandle<()>>,
+}
+
+struct Shared {
+    state: Mutex<SchedState>,
+    cv: Condvar,
+}
+
+impl Shared {
+    fn lock(&self) -> MutexGuard<'_, SchedState> {
+        // A panicking model thread is the *expected* failure path; poison
+        // carries no information the abort flag doesn't.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn wait<'a>(&self, g: MutexGuard<'a, SchedState>) -> MutexGuard<'a, SchedState> {
+        self.cv.wait(g).unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Shared>, usize)>> = const { RefCell::new(None) };
+}
+
+/// Panic payload used to unwind model threads when a sibling failed; the
+/// wrapper recognizes it and does not report it as a model failure.
+struct AbortToken;
+
+fn with_ctx<R>(f: impl FnOnce(&Arc<Shared>, usize) -> R) -> R {
+    CTX.with(|c| {
+        let ctx = c.borrow();
+        let (shared, tid) = ctx
+            .as_ref()
+            .expect("interleave model types may only be used inside interleave::model");
+        f(shared, *tid)
+    })
+}
+
+/// Parks until the explorer grants this thread the token.
+fn wait_for_grant(shared: &Shared, tid: usize) {
+    let mut st = shared.lock();
+    loop {
+        if st.abort {
+            drop(st);
+            std::panic::panic_any(AbortToken);
+        }
+        if st.active == Some(tid) {
+            break;
+        }
+        st = shared.wait(st);
+    }
+    st.active = None;
+    st.blocks[tid] = None;
+    st.statuses[tid] = Status::Running;
+    shared.cv.notify_all();
+}
+
+/// One scheduling point: park, let the explorer pick who runs next.
+pub(crate) fn step() {
+    with_ctx(|shared, tid| {
+        {
+            let mut st = shared.lock();
+            st.statuses[tid] = Status::AtYield;
+            shared.cv.notify_all();
+        }
+        wait_for_grant(shared, tid);
+    });
+}
+
+/// A scheduling point that is only re-enabled once `kind` holds.
+pub(crate) fn block(kind: BlockKind) {
+    with_ctx(|shared, tid| {
+        {
+            let mut st = shared.lock();
+            st.statuses[tid] = Status::Blocked;
+            st.blocks[tid] = Some(kind);
+            shared.cv.notify_all();
+        }
+        wait_for_grant(shared, tid);
+    });
+}
+
+pub(crate) fn block_on_thread(target: usize) {
+    block(BlockKind::OnThread(target));
+}
+
+pub(crate) fn block_on_cond(cond: impl Fn() -> bool + Send + 'static) {
+    block(BlockKind::OnCond(Box::new(cond)));
+}
+
+/// Registers a new model thread and starts its OS thread (parked until
+/// first grant). Returns the new thread's id.
+pub(crate) fn register_thread(f: Box<dyn FnOnce() + Send>) -> usize {
+    with_ctx(|shared, _| spawn_worker(shared, f))
+}
+
+fn spawn_worker(shared: &Arc<Shared>, f: Box<dyn FnOnce() + Send>) -> usize {
+    let tid = {
+        let mut st = shared.lock();
+        st.statuses.push(Status::AtYield);
+        st.blocks.push(None);
+        st.statuses.len() - 1
+    };
+    let shared2 = shared.clone();
+    let handle = std::thread::Builder::new()
+        .name(format!("interleave-{tid}"))
+        .spawn(move || run_worker(shared2, tid, f))
+        .expect("spawn interleave worker");
+    shared.lock().real.push(handle);
+    tid
+}
+
+fn run_worker(shared: Arc<Shared>, tid: usize, f: Box<dyn FnOnce() + Send>) {
+    CTX.with(|c| *c.borrow_mut() = Some((shared.clone(), tid)));
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        wait_for_grant(&shared, tid);
+        f();
+    }));
+    CTX.with(|c| *c.borrow_mut() = None);
+    let mut st = shared.lock();
+    st.statuses[tid] = Status::Finished;
+    if let Err(payload) = outcome {
+        if !payload.is::<AbortToken>() && st.failure.is_none() {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "<non-string panic payload>".to_owned());
+            st.failure = Some(msg);
+            st.abort = true;
+        }
+    }
+    shared.cv.notify_all();
+}
+
+/// Explores every schedule of `f` (within `Options::default()` bounds),
+/// panicking with the failing trail if any interleaving violates a model
+/// assertion. Returns how many schedules were executed.
+pub fn model<F>(f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    model_with(Options::default(), f)
+}
+
+/// [`model`] with explicit [`Options`].
+pub fn model_with<F>(opts: Options, f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    match try_model(opts, f) {
+        Ok(report) => report,
+        Err(failure) => panic!("interleave: {failure}"),
+    }
+}
+
+/// Runs the exploration and asserts that **some** interleaving fails,
+/// returning that failure. This is how the checker proves it has teeth:
+/// a deliberately broken protocol must produce a violation, otherwise the
+/// model (or the explorer) is too weak to trust on the correct one.
+///
+/// # Panics
+///
+/// Panics if every schedule passes.
+pub fn model_expect_violation<F>(opts: Options, f: F) -> Failure
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    match try_model(opts, f) {
+        Ok(report) => panic!(
+            "interleave: expected a violation but all {} schedules passed \
+             (model too weak or bug not modeled)",
+            report.schedules
+        ),
+        Err(failure) => failure,
+    }
+}
+
+/// The exploration loop: run, backtrack the trail, repeat.
+fn try_model<F>(opts: Options, f: F) -> Result<Report, Failure>
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f = Arc::new(f);
+    let mut trail: Vec<(usize, usize)> = Vec::new();
+    let mut schedules = 0usize;
+    loop {
+        schedules += 1;
+        if schedules > opts.max_schedules {
+            return Err(Failure {
+                message: format!(
+                    "exceeded max_schedules = {} — shrink the model or set a \
+                     preemption_bound",
+                    opts.max_schedules
+                ),
+                schedule: schedules,
+                trail,
+            });
+        }
+        run_once(&opts, &mut trail, f.clone()).map_err(|message| Failure {
+            message,
+            schedule: schedules,
+            trail: trail.clone(),
+        })?;
+        if !advance(&mut trail) {
+            return Ok(Report { schedules });
+        }
+    }
+}
+
+/// Moves the trail to the next unexplored schedule; `false` when the
+/// space is exhausted.
+fn advance(trail: &mut Vec<(usize, usize)>) -> bool {
+    while let Some(&(chosen, enabled)) = trail.last() {
+        if chosen + 1 < enabled {
+            trail.last_mut().expect("nonempty").0 += 1;
+            return true;
+        }
+        trail.pop();
+    }
+    false
+}
+
+/// Executes one schedule: replays the trail prefix, extends it with
+/// first-choice decisions past the end.
+fn run_once(
+    opts: &Options,
+    trail: &mut Vec<(usize, usize)>,
+    f: Arc<dyn Fn() + Send + Sync>,
+) -> Result<(), String> {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(SchedState {
+            statuses: Vec::new(),
+            blocks: Vec::new(),
+            active: None,
+            abort: false,
+            failure: None,
+            real: Vec::new(),
+        }),
+        cv: Condvar::new(),
+    });
+    let f2 = f.clone();
+    spawn_worker(&shared, Box::new(move || f2()));
+
+    let mut step_idx = 0usize;
+    let mut last_granted: Option<usize> = None;
+    let mut preemptions = 0usize;
+    let result = loop {
+        let mut st = shared.lock();
+        // Wait for quiescence: nobody running, no token outstanding.
+        while st.active.is_some() || st.statuses.contains(&Status::Running) {
+            st = shared.wait(st);
+        }
+        if st.abort {
+            // Wait for every thread to unwind, then report.
+            while !st.statuses.iter().all(|s| *s == Status::Finished) {
+                shared.cv.notify_all();
+                st = shared.wait(st);
+            }
+            break Err(st
+                .failure
+                .take()
+                .unwrap_or_else(|| "model aborted without a message".into()));
+        }
+        if st.statuses.iter().all(|s| *s == Status::Finished) {
+            break Ok(());
+        }
+        // Enabled = at a yield point, or blocked on a satisfied condition.
+        let enabled: Vec<usize> = (0..st.statuses.len())
+            .filter(|&tid| match st.statuses[tid] {
+                Status::AtYield => true,
+                Status::Blocked => match &st.blocks[tid] {
+                    Some(BlockKind::OnThread(t)) => st.statuses[*t] == Status::Finished,
+                    Some(BlockKind::OnCond(cond)) => cond(),
+                    None => unreachable!("blocked thread without a block kind"),
+                },
+                _ => false,
+            })
+            .collect();
+        if enabled.is_empty() {
+            st.abort = true;
+            shared.cv.notify_all();
+            while !st.statuses.iter().all(|s| *s == Status::Finished) {
+                st = shared.wait(st);
+            }
+            break Err("deadlock: no thread is enabled".into());
+        }
+        // The preemption bound: once spent, a still-enabled previous
+        // thread is the only choice (a switch away from it would be
+        // another preemption).
+        let options: Vec<usize> = match (opts.preemption_bound, last_granted) {
+            (Some(bound), Some(last)) if preemptions >= bound && enabled.contains(&last) => {
+                vec![last]
+            }
+            _ => enabled,
+        };
+        if step_idx >= opts.max_steps {
+            st.abort = true;
+            shared.cv.notify_all();
+            while !st.statuses.iter().all(|s| *s == Status::Finished) {
+                st = shared.wait(st);
+            }
+            break Err(format!(
+                "exceeded max_steps = {} in one run (model loops under this schedule?)",
+                opts.max_steps
+            ));
+        }
+        let chosen_idx = if step_idx < trail.len() {
+            let (chosen, recorded) = trail[step_idx];
+            if recorded != options.len() {
+                st.abort = true;
+                shared.cv.notify_all();
+                while !st.statuses.iter().all(|s| *s == Status::Finished) {
+                    st = shared.wait(st);
+                }
+                break Err(format!(
+                    "nondeterministic model: step {step_idx} had {recorded} options \
+                     on a previous run, {} now (models must not read real time, \
+                     OS randomness, or ambient thread state)",
+                    options.len()
+                ));
+            }
+            chosen
+        } else {
+            trail.push((0, options.len()));
+            0
+        };
+        let tid = options[chosen_idx];
+        if let Some(last) = last_granted {
+            // A preemption is a switch away from a thread that could have
+            // continued; switches forced by a block or exit are free.
+            if last != tid && st.statuses[last] == Status::AtYield {
+                preemptions += 1;
+            }
+        }
+        last_granted = Some(tid);
+        step_idx += 1;
+        st.active = Some(tid);
+        shared.cv.notify_all();
+        drop(st);
+    };
+    let handles = std::mem::take(&mut shared.lock().real);
+    for h in handles {
+        let _ = h.join();
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn two_increments_explore_both_orders_and_never_lose_one() {
+        let report = model(|| {
+            let x = Arc::new(AtomicUsize::new(0));
+            let x2 = x.clone();
+            let t = crate::thread::spawn(move || {
+                x2.fetch_add(1);
+            });
+            x.fetch_add(1);
+            t.join();
+            assert_eq!(x.load(), 2);
+        });
+        assert!(report.schedules >= 2, "got {}", report.schedules);
+    }
+
+    #[test]
+    fn classic_store_load_race_is_found() {
+        // The textbook non-atomic-increment race: load, then store load+1.
+        // Some interleaving loses an increment; the checker must find it.
+        let failure = model_expect_violation(Options::default(), || {
+            let x = Arc::new(AtomicUsize::new(0));
+            let x2 = x.clone();
+            let t = crate::thread::spawn(move || {
+                let v = x2.load();
+                x2.store(v + 1);
+            });
+            let v = x.load();
+            x.store(v + 1);
+            t.join();
+            assert_eq!(x.load(), 2, "lost increment");
+        });
+        assert!(failure.message.contains("lost increment"));
+        assert!(!failure.trail.is_empty());
+    }
+
+    #[test]
+    fn deadlock_is_reported_not_hung() {
+        let failure = model_expect_violation(Options::default(), || {
+            let flag = Arc::new(AtomicUsize::new(0));
+            let f2 = flag.clone();
+            // Blocks on a condition nobody ever makes true.
+            crate::block_on_cond(move || f2.peek() == 1);
+            flag.store(1); // unreachable
+        });
+        assert!(failure.message.contains("deadlock"), "{}", failure.message);
+    }
+
+    #[test]
+    fn preemption_bound_caps_the_schedule_count() {
+        let count = |bound: Option<usize>| {
+            model_with(
+                Options {
+                    preemption_bound: bound,
+                    ..Options::default()
+                },
+                || {
+                    let x = Arc::new(AtomicUsize::new(0));
+                    let x2 = x.clone();
+                    let t = crate::thread::spawn(move || {
+                        for _ in 0..4 {
+                            x2.fetch_add(1);
+                        }
+                    });
+                    for _ in 0..4 {
+                        x.fetch_add(1);
+                    }
+                    t.join();
+                    assert_eq!(x.load(), 8);
+                },
+            )
+            .schedules
+        };
+        let full = count(None);
+        let bounded = count(Some(1));
+        assert!(
+            bounded < full,
+            "bound must shrink the space: {bounded} vs {full}"
+        );
+    }
+
+    #[test]
+    fn max_steps_catches_runaway_models() {
+        let failure = model_expect_violation(
+            Options {
+                max_steps: 50,
+                ..Options::default()
+            },
+            || {
+                let x = AtomicUsize::new(0);
+                loop {
+                    x.fetch_add(1); // never terminates
+                }
+            },
+        );
+        assert!(failure.message.contains("max_steps"), "{}", failure.message);
+    }
+}

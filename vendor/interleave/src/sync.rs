@@ -1,0 +1,109 @@
+//! Modeled blocking lock.
+//!
+//! A real spinlock cannot be modeled as a literal CAS loop: under
+//! exhaustive exploration the "keep spinning" branch is a schedule too,
+//! and the space stops being finite. [`Lock`] models the *semantics* —
+//! acquisition is a scheduling point that is only enabled while the lock
+//! is free — which is both finite and exactly how one reasons about a
+//! lock: who holds it, and in which order waiters get it.
+
+use crate::atomic::AtomicBool;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// A modeled mutual-exclusion lock guarding a `T`.
+///
+/// The guarded data is a plain value: the lock's exclusivity (checked by
+/// the explorer) makes every critical section race-free, and operations
+/// *inside* a critical section are deliberately not scheduling points —
+/// other threads cannot observe intermediate states of data they need
+/// this lock to reach, so interleaving them would only square the state
+/// space without adding behaviours.
+pub struct Lock<T> {
+    held: Arc<AtomicBool>,
+    data: Mutex<T>,
+}
+
+impl<T> Lock<T> {
+    /// A new unlocked lock (not a scheduling point).
+    pub fn new(data: T) -> Self {
+        Lock {
+            held: Arc::new(AtomicBool::new(false)),
+            data: Mutex::new(data),
+        }
+    }
+
+    /// Acquires the lock, blocking (visibly to the explorer) while held.
+    pub fn lock(&self) -> LockGuard<'_, T> {
+        let held = self.held.clone();
+        crate::block_on_cond(move || !held.peek());
+        // Exactly one thread runs between scheduling points, so the
+        // condition still holds here; taking the flag cannot race.
+        self.held.poke(true);
+        LockGuard {
+            lock: self,
+            guard: Some(self.data.lock().unwrap_or_else(|e| e.into_inner())),
+        }
+    }
+
+    /// Whether the lock is currently held (non-yielding; for final-state
+    /// assertions).
+    pub fn is_held(&self) -> bool {
+        self.held.peek()
+    }
+}
+
+/// RAII guard: releases the lock on drop (the release is a scheduling
+/// point, like a real unlock's store).
+pub struct LockGuard<'a, T> {
+    lock: &'a Lock<T>,
+    guard: Option<MutexGuard<'a, T>>,
+}
+
+impl<T> core::ops::Deref for LockGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard live")
+    }
+}
+
+impl<T> core::ops::DerefMut for LockGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_mut().expect("guard live")
+    }
+}
+
+impl<T> Drop for LockGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.guard.take());
+        // The release store is observable by blocked acquirers: one
+        // scheduling point.
+        self.lock.held.store(false);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_serializes_critical_sections() {
+        crate::model(|| {
+            let l = Arc::new(Lock::new(0u32));
+            let l2 = l.clone();
+            let t = crate::thread::spawn(move || {
+                let mut g = l2.lock();
+                let v = *g; // non-atomic read-modify-write, safe under the lock
+                *g = v + 1;
+            });
+            {
+                let mut g = l.lock();
+                let v = *g;
+                *g = v + 1;
+            }
+            t.join();
+            assert_eq!(*l.lock(), 2, "the lock makes the RMW atomic");
+            assert!(!l.is_held());
+        });
+    }
+}

@@ -1,0 +1,42 @@
+//! Modeled threads: spawn and join under explorer control.
+
+use std::sync::{Arc, Mutex};
+
+/// Handle to a spawned model thread; [`join`](JoinHandle::join) blocks the
+/// caller (as a condition the explorer understands) until it finishes.
+pub struct JoinHandle<T> {
+    tid: usize,
+    result: Arc<Mutex<Option<T>>>,
+}
+
+/// Spawns a model thread running `f`. The new thread starts parked; its
+/// first instruction is itself a scheduling point, so "the spawned thread
+/// runs everything before the parent moves" and "the parent finishes
+/// first" are both explored.
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let result = Arc::new(Mutex::new(None));
+    let slot = result.clone();
+    let tid = crate::register_thread(Box::new(move || {
+        let value = f();
+        *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(value);
+    }));
+    JoinHandle { tid, result }
+}
+
+impl<T> JoinHandle<T> {
+    /// Blocks until the thread finishes and returns its value. Blocking is
+    /// visible to the explorer: every interleaving of the remaining
+    /// threads is still explored while this one waits.
+    pub fn join(self) -> T {
+        crate::block_on_thread(self.tid);
+        self.result
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .expect("joined thread finished, result must be present")
+    }
+}

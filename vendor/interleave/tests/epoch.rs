@@ -1,0 +1,145 @@
+//! Exhaustive interleaving checks of the three-epoch reclamation protocol
+//! — the model behind `vendor/crossbeam/src/epoch.rs`.
+//!
+//! The modeled subset: one reader that pins (publish slot, re-publish
+//! until the slot matches a fresh epoch read), dereferences the shared
+//! pointer, and unpins; one reclaimer that unlinks the node, retires it
+//! into bag `epoch % 3`, and attempts three advances (each: check the
+//! slot, free bag `(epoch+1) % 3`, publish `epoch + 1`). The safety
+//! property is the module's whole reason to exist: **the reader's
+//! dereference never touches a freed node**, in any interleaving. The
+//! second test removes the slot check from the advance and requires the
+//! checker to produce the use-after-free — the demonstration that a
+//! passing first test is evidence, not luck.
+//!
+//! Exploration runs under a preemption bound (see the crate docs): the
+//! unbounded space of this model is ~10⁶ schedules; two preemptions
+//! already cover every "reader pauses at the worst instruction" scenario
+//! the protocol must survive, because each thread is straight-line code
+//! between its loops.
+
+use interleave::atomic::{AtomicBool, AtomicUsize};
+use interleave::{model_expect_violation, model_with, Options};
+use std::sync::Arc;
+
+const NODE: usize = 1;
+
+struct Ebr {
+    epoch: AtomicUsize,
+    /// One reader slot: 0 free, `(epoch << 1) | 1` pinned.
+    slot: AtomicUsize,
+    /// One-deep retirement bags, by epoch mod 3 (0 = empty).
+    bags: [AtomicUsize; 3],
+    /// The shared structure: a single node the reader dereferences.
+    ptr: AtomicUsize,
+    freed: AtomicBool,
+    /// Advance variant: `true` checks the pin slot (the real protocol),
+    /// `false` frees unconditionally (the planted bug).
+    check_slot: bool,
+}
+
+impl Ebr {
+    fn new(check_slot: bool) -> Self {
+        Ebr {
+            epoch: AtomicUsize::new(0),
+            slot: AtomicUsize::new(0),
+            bags: [
+                AtomicUsize::new(0),
+                AtomicUsize::new(0),
+                AtomicUsize::new(0),
+            ],
+            ptr: AtomicUsize::new(NODE),
+            freed: AtomicBool::new(false),
+            check_slot,
+        }
+    }
+
+    /// The reader: pin → deref → unpin, exactly the collector's protocol
+    /// (including the re-publish loop that enforces soundness invariant 1).
+    fn reader(&self) {
+        let mut e = self.epoch.load();
+        self.slot.store((e << 1) | 1);
+        loop {
+            let now = self.epoch.load();
+            if now == e {
+                break;
+            }
+            self.slot.store((now << 1) | 1);
+            e = now;
+        }
+        let n = self.ptr.load();
+        if n != 0 {
+            // The dereference: the node we can still reach from the live
+            // structure must not have been freed.
+            assert!(
+                !self.freed.load(),
+                "use-after-free: pinned deref hit a freed node"
+            );
+        }
+        self.slot.store(0);
+    }
+
+    /// The reclaimer: unlink, retire, then three advance attempts.
+    fn reclaimer(&self) {
+        let n = self.ptr.swap(0);
+        if n != 0 {
+            let e = self.epoch.load();
+            self.bags[e % 3].store(n);
+        }
+        for _ in 0..3 {
+            let e = self.epoch.load();
+            if self.check_slot {
+                let s = self.slot.load();
+                if s != 0 && s != (e << 1) | 1 {
+                    // A pinned slot lags this epoch: the advance (and the
+                    // free it would perform) must wait.
+                    continue;
+                }
+            }
+            let victim = self.bags[(e + 1) % 3].swap(0);
+            if victim != 0 {
+                self.freed.store(true);
+            }
+            self.epoch.store(e + 1);
+        }
+    }
+}
+
+#[test]
+fn pinned_reader_never_sees_a_freed_node() {
+    let report = model_with(
+        Options {
+            preemption_bound: Some(2),
+            ..Options::default()
+        },
+        || {
+            let ebr = Arc::new(Ebr::new(true));
+            let e2 = ebr.clone();
+            let reclaimer = interleave::thread::spawn(move || e2.reclaimer());
+            ebr.reader();
+            reclaimer.join();
+        },
+    );
+    assert!(report.schedules > 50, "the race was really explored");
+}
+
+#[test]
+fn checker_finds_the_advance_without_slot_check_bug() {
+    let failure = model_expect_violation(
+        Options {
+            preemption_bound: Some(2),
+            ..Options::default()
+        },
+        || {
+            let ebr = Arc::new(Ebr::new(false));
+            let e2 = ebr.clone();
+            let reclaimer = interleave::thread::spawn(move || e2.reclaimer());
+            ebr.reader();
+            reclaimer.join();
+        },
+    );
+    assert!(
+        failure.message.contains("use-after-free"),
+        "unexpected failure: {failure}"
+    );
+}

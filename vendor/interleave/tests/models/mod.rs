@@ -1,0 +1,96 @@
+//! Shared model of the Michael–Scott queue, written against the
+//! interleave atomics so every pointer operation is a scheduling point.
+//!
+//! This is the *protocol* of `vendor/crossbeam/src/queue.rs` with memory
+//! reclamation stripped out: nodes live in a fixed arena and are never
+//! freed, so the model checks exactly the linearizability half of the
+//! argument (no element lost, duplicated, or reordered per producer)
+//! while the `epoch` model checks the reclamation half. Node index 0 is
+//! the null pointer; node 1 is the initial dummy; a pushed node's index
+//! doubles as its value.
+
+use interleave::atomic::AtomicUsize;
+
+/// The modeled queue: `head`/`tail` are arena indices, `next[i]` is node
+/// i's link (0 = null).
+pub struct ModelQueue {
+    head: AtomicUsize,
+    tail: AtomicUsize,
+    next: Vec<AtomicUsize>,
+}
+
+impl ModelQueue {
+    /// An empty queue whose arena can hold node ids `1..=capacity`
+    /// (id 1 is consumed by the initial dummy).
+    pub fn new(capacity: usize) -> Self {
+        ModelQueue {
+            head: AtomicUsize::new(1),
+            tail: AtomicUsize::new(1),
+            next: (0..=capacity).map(|_| AtomicUsize::new(0)).collect(),
+        }
+    }
+
+    /// Links node `n` at the tail — the exact CAS structure of
+    /// `SegQueue::push` (help a lagging tail, link with CAS, swing tail
+    /// best-effort).
+    pub fn push(&self, n: usize) {
+        assert!(n > 1 && n < self.next.len(), "node id outside the arena");
+        loop {
+            let tail = self.tail.load();
+            let next = self.next[tail].load();
+            if next != 0 {
+                let _ = self.tail.compare_exchange(tail, next);
+                continue;
+            }
+            if self.next[tail].compare_exchange(0, n).is_ok() {
+                let _ = self.tail.compare_exchange(tail, n);
+                return;
+            }
+        }
+    }
+
+    /// Unlinks the front — the exact CAS structure of `SegQueue::pop`
+    /// (null next = empty, help the dummy-tail forward before unlinking,
+    /// CAS winner takes the value). Returns the popped value (the node id
+    /// that became the new dummy).
+    pub fn pop(&self) -> Option<usize> {
+        loop {
+            let head = self.head.load();
+            let next = self.next[head].load();
+            if next == 0 {
+                return None;
+            }
+            let tail = self.tail.load();
+            if head == tail {
+                let _ = self.tail.compare_exchange(tail, next);
+                continue;
+            }
+            if self.head.compare_exchange(head, next).is_ok() {
+                return Some(next);
+            }
+        }
+    }
+
+    /// Drains the queue (explorer-side, after joins): pops until empty.
+    pub fn drain(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        while let Some(v) = self.pop() {
+            out.push(v);
+        }
+        out
+    }
+
+    /// Raw head pointer — for building deliberately *broken* variants in
+    /// the find-the-bug tests.
+    #[allow(dead_code)]
+    pub fn head_for_test(&self) -> &AtomicUsize {
+        &self.head
+    }
+
+    /// Raw link of node `i` — same purpose as
+    /// [`head_for_test`](Self::head_for_test).
+    #[allow(dead_code)]
+    pub fn next_for_test(&self, i: usize) -> &AtomicUsize {
+        &self.next[i]
+    }
+}

@@ -1,0 +1,113 @@
+//! Exhaustive interleaving checks of the parked-flag/wake handshake —
+//! the protocol between `Progression`'s pre-park sequence
+//! (`note_parked(true)` → final work checks → sleep) and the submit
+//! side (enqueue → read parked flag → deliver unpark token), as
+//! documented in `docs/SCHEDULER.md` §3 and the ordering table.
+//!
+//! The property: **no lost wake** — there is no interleaving in which
+//! the worker commits to sleep while work is enqueued and no unpark
+//! token is pending. The model is exactly the Dekker-shaped store-load
+//! pattern that forces the real flag to stay `SeqCst` while everything
+//! around it weakened to acquire/release: flip the worker's two steps
+//! (check before publish) and the handshake breaks — the second test
+//! requires the checker to find that lost wake, proving both that the
+//! published order is load-bearing and that this harness can see it.
+
+use interleave::atomic::{AtomicBool, AtomicUsize};
+use interleave::{model, model_expect_violation, Options};
+use std::sync::Arc;
+
+struct ParkModel {
+    /// Queue depth (the worker's `has_work_for` summary).
+    len: AtomicUsize,
+    /// The worker's published parked intent (`CoreState::parked`).
+    parked: AtomicBool,
+    /// Pending unpark token (`std::thread` tokens persist until consumed,
+    /// which is what makes "token delivered after the sleep decision"
+    /// safe in the real system).
+    token: AtomicBool,
+    /// Outcome: the worker committed to sleep.
+    slept: AtomicBool,
+}
+
+impl ParkModel {
+    fn new() -> Self {
+        ParkModel {
+            len: AtomicUsize::new(0),
+            parked: AtomicBool::new(false),
+            token: AtomicBool::new(false),
+            slept: AtomicBool::new(false),
+        }
+    }
+
+    /// The worker's pre-park sequence. `publish_first` is the real
+    /// protocol (flag before the final work check); `false` is the
+    /// planted bug (check before flag).
+    fn worker(&self, publish_first: bool) {
+        if publish_first {
+            self.parked.store(true);
+        }
+        let work = self.len.load();
+        if !publish_first {
+            self.parked.store(true);
+        }
+        if work == 0 {
+            // park_timeout: consumes a pending token instead of sleeping.
+            if !self.token.swap(false) {
+                self.slept.store(true);
+            }
+        } else {
+            self.parked.store(false); // back to the keypoint
+        }
+    }
+
+    /// The submit side: enqueue, then wake the parked worker.
+    fn submitter(&self) {
+        self.len.fetch_add(1);
+        if self.parked.load() {
+            self.token.store(true);
+        }
+    }
+}
+
+#[test]
+fn publish_before_check_never_loses_a_wake() {
+    let report = model(|| {
+        let m = Arc::new(ParkModel::new());
+        let m2 = m.clone();
+        let submitter = interleave::thread::spawn(move || m2.submitter());
+        m.worker(true);
+        submitter.join();
+        // The contract: if the worker went to sleep while work was
+        // enqueued, a token must be pending to wake it (a stale token
+        // with no work is fine — one spurious loop, never a lost wake).
+        if m.slept.peek() && m.len.peek() > 0 {
+            assert!(
+                m.token.peek(),
+                "lost wake: worker asleep, work queued, no token pending"
+            );
+        }
+    });
+    assert!(report.schedules > 5, "the race was really explored");
+}
+
+#[test]
+fn checker_finds_the_check_before_publish_lost_wake() {
+    let failure = model_expect_violation(Options::default(), || {
+        let m = Arc::new(ParkModel::new());
+        let m2 = m.clone();
+        let submitter = interleave::thread::spawn(move || m2.submitter());
+        m.worker(false); // BUG: final work check runs before the flag
+        submitter.join();
+        if m.slept.peek() && m.len.peek() > 0 {
+            assert!(
+                m.token.peek(),
+                "lost wake: worker asleep, work queued, no token pending"
+            );
+        }
+    });
+    assert!(
+        failure.message.contains("lost wake"),
+        "unexpected failure: {failure}"
+    );
+}

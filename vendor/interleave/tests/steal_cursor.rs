@@ -1,0 +1,121 @@
+//! Exhaustive interleaving checks of the lock-free backend's steal-half
+//! pass — the steal-cursor protocol of `crates/pioman/src/queue.rs`
+//! (`Backend::LockFree`): a thief locks the cursor, drains the
+//! Michael–Scott list's prefix into it, and takes its quota of eligible
+//! tasks, while the owner concurrently pops — cursor front first, then
+//! the list — *without* taking the cursor lock on the list path.
+//!
+//! That unlocked owner/list path racing the thief's drain is exactly the
+//! window PR 4's cursor design opened; the property proven here is that
+//! it can only redistribute tasks, never lose or duplicate one, and that
+//! the thief never takes a task its cpuset filter rejects.
+
+use interleave::atomic::AtomicUsize;
+use interleave::sync::Lock;
+use interleave::{model_with, Options};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+mod models;
+use models::ModelQueue;
+
+/// Task ids 2..=5; even ids are "eligible for the thief" (the cpuset
+/// stand-in).
+fn eligible(id: usize) -> bool {
+    id.is_multiple_of(2)
+}
+
+struct CursorQueue {
+    list: ModelQueue,
+    cursor: Lock<VecDeque<usize>>,
+    cursor_len: AtomicUsize,
+}
+
+impl CursorQueue {
+    fn new() -> Self {
+        CursorQueue {
+            list: ModelQueue::new(6),
+            cursor: Lock::new(VecDeque::new()),
+            cursor_len: AtomicUsize::new(0),
+        }
+    }
+
+    /// The owner's dequeue: cursor hint → cursor front, else list pop.
+    fn owner_pop(&self) -> Option<usize> {
+        if self.cursor_len.load() > 0 {
+            let mut guard = self.cursor.lock();
+            if let Some(t) = guard.pop_front() {
+                self.cursor_len.poke(guard.len());
+                return Some(t);
+            }
+        }
+        self.list.pop()
+    }
+
+    /// The thief's steal-half pass: serialize on the cursor lock, drain
+    /// the list prefix into the cursor in order, take up to half of the
+    /// eligible tasks from the front.
+    fn steal_half(&self) -> Vec<usize> {
+        let mut guard = self.cursor.lock();
+        while let Some(t) = self.list.pop() {
+            guard.push_back(t);
+            self.cursor_len.poke(guard.len());
+        }
+        let eligible_count = guard.iter().filter(|&&t| eligible(t)).count();
+        let quota = eligible_count.div_ceil(2);
+        let mut taken = Vec::new();
+        let mut i = 0;
+        while taken.len() < quota && i < guard.len() {
+            if eligible(guard[i]) {
+                taken.push(guard.remove(i).expect("index checked"));
+            } else {
+                i += 1;
+            }
+        }
+        self.cursor_len.poke(guard.len());
+        taken
+    }
+
+    /// Explorer-side drain after the racing threads joined.
+    fn drain(&self) -> Vec<usize> {
+        let mut rest: Vec<usize> = self.cursor.lock().drain(..).collect();
+        rest.extend(self.list.drain());
+        rest
+    }
+}
+
+#[test]
+fn steal_pass_racing_owner_pops_never_loses_or_duplicates() {
+    let report = model_with(
+        Options {
+            preemption_bound: Some(2),
+            ..Options::default()
+        },
+        || {
+            let q = Arc::new(CursorQueue::new());
+            for id in 2..=5 {
+                q.list.push(id);
+            }
+            let q2 = q.clone();
+            let thief = interleave::thread::spawn(move || q2.steal_half());
+            let mut mine = Vec::new();
+            mine.extend(q.owner_pop());
+            mine.extend(q.owner_pop());
+            let stolen = thief.join();
+            assert!(
+                stolen.iter().all(|&t| eligible(t)),
+                "thief took an ineligible task"
+            );
+            let mut all = mine;
+            all.extend(stolen);
+            all.extend(q.drain());
+            all.sort_unstable();
+            assert_eq!(
+                all,
+                vec![2, 3, 4, 5],
+                "every task present exactly once after the race"
+            );
+        },
+    );
+    assert!(report.schedules > 100, "the race was really explored");
+}
