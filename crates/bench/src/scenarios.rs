@@ -34,6 +34,31 @@ pub fn is_high_variance(name: &str) -> bool {
     HIGH_VARIANCE.contains(&name)
 }
 
+/// Scenarios whose **p99** the regression gate holds alongside the mean
+/// (schema v2): the tight scheduler microbenches, where a fattened tail
+/// is exactly the failure steal-aware parking and adaptive batching
+/// exist to prevent and run-to-run noise is small enough for a p99
+/// verdict to mean something. The [`HIGH_VARIANCE`] rows stay mean-gated
+/// only — their quick-mode tails are runner weather, and gating weather
+/// would teach everyone to ignore the gate. Tagged rows also get an
+/// iteration floor (`harness` `TAIL_MIN_ITERS`) so the p99 rests on a
+/// real sample count even under `--quick`.
+pub const TAIL_GATED: &[&str] = &[
+    "schedule_batch_drain_64",
+    "steal_starved_core",
+    "spin_home_drains_alone",
+    "steal_half_backlog",
+    "adaptive_batch_ramp",
+    "park_wake_latency",
+    "phase_shift_ramp",
+    "phase_shift_ramp_cumulative",
+];
+
+/// `true` if `name` is tagged [`TAIL_GATED`].
+pub fn is_tail_gated(name: &str) -> bool {
+    TAIL_GATED.contains(&name)
+}
+
 /// Backlog size of the skewed-load (steal-vs-spin) scenarios.
 pub const SKEWED_LOAD: usize = 64;
 

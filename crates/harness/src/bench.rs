@@ -15,6 +15,7 @@ use bench::scenarios;
 use madmpi::{mtlat, MpiImpl};
 use piom_cpuset::CpuSet;
 use piom_topology::presets;
+use pioman::hist::Histogram;
 use pioman::{
     ManagerConfig, Progression, ProgressionConfig, QueueBackend, SignalPolicy, TaskManager,
     TaskOptions, TaskStatus,
@@ -22,6 +23,11 @@ use pioman::{
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
+
+// The schema (result record + JSON emit) lives in `crate::schema` since
+// PR 6 so emit and parse can't drift; re-exported here because "the bench
+// produces results and renders them" is still the natural import path.
+pub use crate::schema::{render_json, BenchResult};
 
 /// Options for one suite run.
 #[derive(Debug, Clone, Copy)]
@@ -51,28 +57,32 @@ impl BenchOptions {
     }
 }
 
-/// One measured benchmark: the unit of the `BENCH_pioman.json` schema
-/// (`name → {mean_ns, iters, seed}`).
-#[derive(Debug, Clone)]
-pub struct BenchResult {
-    /// Stable benchmark identifier (the JSON key).
-    pub name: &'static str,
-    /// Mean wall-clock nanoseconds per iteration.
-    pub mean_ns: f64,
-    /// Iterations averaged over.
-    pub iters: u64,
-    /// Seed the run was configured with.
-    pub seed: u64,
-}
+/// Minimum iterations for scenarios tagged [`scenarios::TAIL_GATED`]: a
+/// p99 over 50 quick-mode iterations is the worst sample, pure noise, so
+/// the tail-gated rows are bumped to at least this many iterations even
+/// under `--quick`. At their sub-µs/iteration costs the bump adds ~1 ms
+/// per scenario; the full preset (2000) is already above it.
+pub const TAIL_MIN_ITERS: u64 = 1_000;
 
-/// Times `iters` runs of `routine` (after `setup`) and returns the mean.
+/// Times `iters` runs of `routine` (after `setup`) and returns the
+/// distribution: exact mean from the summed total, p50/p99/p999 from a
+/// [`pioman::hist::Histogram`] fed one sample per iteration (bucketed,
+/// ~1.6% — quantization noise far below run-to-run noise).
 ///
 /// Scenarios tagged [`scenarios::HIGH_VARIANCE`] run **three** full
-/// measurement passes and record the *median* mean: a single pass on a
-/// shared host folds whatever the neighbours were doing into the number,
-/// and with the regression gate now required (PR 5) one unlucky pass
-/// would fail CI. The median of three keeps a lone disturbed pass out of
-/// the recorded value at 3× cost for only the scenarios that need it.
+/// measurement passes and record the pass with the *median mean*
+/// (percentiles come from that same pass, so a row's fields are always
+/// one coherent distribution): a single pass on a shared host folds
+/// whatever the neighbours were doing into the number, and with the
+/// regression gate now required (PR 5) one unlucky pass would fail CI.
+/// The median of three keeps a lone disturbed pass out of the recorded
+/// value at 3× cost for only the scenarios that need it. Scenarios
+/// tagged [`scenarios::TAIL_GATED`] get at least [`TAIL_MIN_ITERS`]
+/// iterations so the recorded p99 rests on ≥10 tail samples — and the
+/// same median-of-three treatment, because their p99 is *gated*
+/// (`compare::P99_THRESHOLD_FACTOR`) and a tail is strictly noisier
+/// than the mean it rides on: one neighbour burst lands squarely in
+/// the top percentile even when it barely moves the mean.
 fn measure<S, R>(
     name: &'static str,
     opts: &BenchOptions,
@@ -86,27 +96,39 @@ where
     // One untimed warmup pays lazy-init costs outside the measurement.
     setup();
     routine();
-    let passes = if scenarios::is_high_variance(name) {
+    let iters = if scenarios::is_tail_gated(name) {
+        opts.iters.max(TAIL_MIN_ITERS)
+    } else {
+        opts.iters
+    };
+    let passes = if scenarios::is_high_variance(name) || scenarios::is_tail_gated(name) {
         3
     } else {
         1
     };
-    let mut means = Vec::with_capacity(passes);
+    let mut runs: Vec<(f64, pioman::HistSnapshot)> = Vec::with_capacity(passes);
     for _ in 0..passes {
+        let hist = Histogram::new(1);
         let mut total_ns = 0u128;
-        for _ in 0..opts.iters {
+        for _ in 0..iters {
             setup();
             let t0 = Instant::now();
             routine();
-            total_ns += t0.elapsed().as_nanos();
+            let dt = t0.elapsed().as_nanos();
+            total_ns += dt;
+            hist.record_at(0, dt.min(u64::MAX as u128) as u64);
         }
-        means.push(total_ns as f64 / opts.iters as f64);
+        runs.push((total_ns as f64 / iters as f64, hist.snapshot()));
     }
-    means.sort_by(|a, b| a.total_cmp(b));
+    runs.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let (mean_ns, snap) = &runs[passes / 2];
     BenchResult {
         name,
-        mean_ns: means[passes / 2],
-        iters: opts.iters,
+        mean_ns: *mean_ns,
+        p50_ns: snap.quantile(0.5).unwrap_or(0) as f64,
+        p99_ns: snap.quantile(0.99).unwrap_or(0) as f64,
+        p999_ns: snap.quantile(0.999).unwrap_or(0) as f64,
+        iters,
         seed: opts.seed,
     }
 }
@@ -282,7 +304,7 @@ fn contended(
             ops = scenarios::contended_round(&mgr, per_core);
         },
     );
-    r.mean_ns /= ops as f64;
+    r.scale_per_op(ops as f64);
     r
 }
 
@@ -484,8 +506,8 @@ fn relaxed_vs_seqcst(opts: &BenchOptions) -> [BenchResult; 2] {
             },
         );
         assert!(q.is_empty(), "each round pushes and pops equally");
-        // Per-op mean: each inner iteration is one push + one pop.
-        r.mean_ns /= (THREADS * OPS * 2) as f64;
+        // Per-op values: each inner iteration is one push + one pop.
+        r.scale_per_op((THREADS * OPS * 2) as f64);
         r
     }
 
@@ -531,7 +553,7 @@ fn stats_sharding(opts: &BenchOptions) -> [BenchResult; 2] {
             });
         },
     );
-    a.mean_ns /= (THREADS * OPS) as f64;
+    a.scale_per_op((THREADS * OPS) as f64);
 
     let shared = AtomicU64::new(0);
     let mut b = measure(
@@ -551,7 +573,7 @@ fn stats_sharding(opts: &BenchOptions) -> [BenchResult; 2] {
             });
         },
     );
-    b.mean_ns /= (THREADS * OPS) as f64;
+    b.scale_per_op((THREADS * OPS) as f64);
 
     // Quiesced-snapshot correctness (the pass count depends on the
     // high-variance median-of-3, so assert shape rather than a literal):
@@ -615,7 +637,8 @@ pub fn run_suite(opts: &BenchOptions) -> Vec<BenchResult> {
     ]
 }
 
-/// Human-readable table of one suite run.
+/// Human-readable table of one suite run (the JSON document comes from
+/// [`crate::schema::render_json`]).
 pub fn render_text(results: &[BenchResult]) -> String {
     let mut out = String::new();
     let _ = writeln!(
@@ -624,34 +647,16 @@ pub fn render_text(results: &[BenchResult]) -> String {
     );
     let _ = writeln!(
         out,
-        "{:<28}{:>14}{:>10}{:>8}",
-        "benchmark", "mean (ns)", "iters", "seed"
+        "{:<28}{:>14}{:>12}{:>12}{:>12}{:>8}",
+        "benchmark", "mean (ns)", "p50 (ns)", "p99 (ns)", "p999 (ns)", "iters"
     );
     for r in results {
         let _ = writeln!(
             out,
-            "{:<28}{:>14.1}{:>10}{:>8}",
-            r.name, r.mean_ns, r.iters, r.seed
+            "{:<28}{:>14.1}{:>12.1}{:>12.1}{:>12.1}{:>8}",
+            r.name, r.mean_ns, r.p50_ns, r.p99_ns, r.p999_ns, r.iters
         );
     }
-    out
-}
-
-/// The `BENCH_pioman.json` document: a map from benchmark name to
-/// `{"mean_ns": …, "iters": …, "seed": …}`. Hand-rolled (the workspace is
-/// offline, no serde); names are plain identifiers so no escaping is
-/// needed.
-pub fn render_json(results: &[BenchResult]) -> String {
-    let mut out = String::from("{\n");
-    for (i, r) in results.iter().enumerate() {
-        let comma = if i + 1 == results.len() { "" } else { "," };
-        let _ = writeln!(
-            out,
-            "  \"{}\": {{ \"mean_ns\": {:.1}, \"iters\": {}, \"seed\": {} }}{}",
-            r.name, r.mean_ns, r.iters, r.seed, comma
-        );
-    }
-    out.push_str("}\n");
     out
 }
 
@@ -691,7 +696,31 @@ mod tests {
         for r in &results {
             assert!(r.mean_ns > 0.0, "{} measured nothing", r.name);
             assert!(r.iters > 0);
+            // The v2 distribution fields are populated and ordered for
+            // every scenario, including the per-op-scaled contended ones.
+            assert!(r.p50_ns > 0.0, "{} has no p50", r.name);
+            assert!(
+                r.p50_ns <= r.p99_ns && r.p99_ns <= r.p999_ns,
+                "{} quantiles out of order: p50={} p99={} p999={}",
+                r.name,
+                r.p50_ns,
+                r.p99_ns,
+                r.p999_ns
+            );
         }
+    }
+
+    #[test]
+    fn tail_gated_scenarios_get_the_iteration_floor() {
+        // `measure` bumps tagged scenarios to TAIL_MIN_ITERS even when
+        // the caller asked for quick-mode counts.
+        let opts = BenchOptions { iters: 3, seed: 42 };
+        let r = schedule_batch_drain(&opts);
+        assert!(scenarios::is_tail_gated(r.name));
+        assert_eq!(r.iters, TAIL_MIN_ITERS);
+        let r = submit_schedule_percore(&opts);
+        assert!(!scenarios::is_tail_gated(r.name), "high-variance row");
+        assert_eq!(r.iters, 3, "untagged rows keep the requested count");
     }
 
     #[test]

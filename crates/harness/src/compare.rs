@@ -14,17 +14,30 @@
 //!   for having no baseline; the row is reported as `new`;
 //! * **removed scenarios warn but do not fail** — dropping a scenario is
 //!   a review concern, not a perf regression; the report lists them;
-//! * **only `mean_ns` is gated** — `iters`/`seed` describe methodology,
-//!   not performance.
+//! * **`mean_ns` is gated everywhere; `p99_ns` is gated on the scenarios
+//!   tagged** [`bench::scenarios::TAIL_GATED`] — and only when *both*
+//!   sides carry it, so a v1 baseline degrades to mean-only gating with a
+//!   warning instead of a verdict (`iters`/`seed` describe methodology,
+//!   not performance, and `p50`/`p999` are recorded context, not gates:
+//!   the median moves with the mean, and a quick-mode p999 is a
+//!   one-sample coin flip);
+//! * **the p99 gate gets [`P99_THRESHOLD_FACTOR`]× the scenario's mean
+//!   threshold** — tails are intrinsically noisier than means (one
+//!   descheduled iteration *is* the p99 at modest sample counts), and a
+//!   tail gate that cries wolf would be reverted within a week;
+//! * **a non-finite or non-positive current value fails outright** — a
+//!   NaN mean (e.g. a zero-iteration run) compares false against every
+//!   threshold, which without this rule would read as a pass.
 //!
-//! The parser handles exactly the schema `render_json` emits (a JSON
-//! object of `name → {field: number}`) plus arbitrary whitespace, so a
-//! hand-edited baseline still parses; anything else is a hard error —
-//! silently comparing against garbage would make the gate lie.
+//! Parsing lives in [`crate::schema`] (shared with the emit side);
+//! anything malformed is a hard error — silently comparing against
+//! garbage would make the gate lie.
 
-use crate::bench::BenchResult;
+use crate::schema::{BaselineEntry, BenchResult};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+
+pub use crate::schema::parse_trajectory;
 
 /// Default regression threshold: a scenario may be up to this many percent
 /// slower than the baseline before the gate fails. Generous on purpose —
@@ -41,6 +54,17 @@ pub const DEFAULT_THRESHOLD_PCT: f64 = 20.0;
 /// the tight base threshold; a genuine regression moves the *family*
 /// anyway (EXPERIMENTS.md, "Reading a regression-gate failure").
 pub const WIDE_THRESHOLD_PCT: f64 = 75.0;
+
+/// The p99 gate's headroom multiplier over the scenario's mean threshold
+/// ([`scenario_threshold`]): a tail estimate rests on ~1% of the samples
+/// the mean rests on, so it gets proportionally more room before the
+/// verdict flips. 3× was chosen by replaying back-to-back quick runs on
+/// a loaded host: with median-of-three recording, tagged rows' p99
+/// jitter reached ~2× the mean's budget while their means stayed green,
+/// so 2× flaked on weather — whereas the regressions this gate exists
+/// for (a lost wake, a serialized drain, a once-per-batch stall) move
+/// p99 by hundreds of percent and clear 3× with room to spare.
+pub const P99_THRESHOLD_FACTOR: f64 = 3.0;
 
 /// The effective gate threshold for `name` given the base `threshold_pct`:
 /// high-variance scenarios get at least [`WIDE_THRESHOLD_PCT`] (an
@@ -65,14 +89,46 @@ pub struct ScenarioDelta {
     /// Percentage change vs baseline (positive = slower); `None` for new
     /// scenarios.
     pub delta_pct: Option<f64>,
+    /// Baseline `p99_ns` (`None`: new scenario, or a v1 baseline row).
+    pub baseline_p99_ns: Option<f64>,
+    /// Current `p99_ns` (`None` only in file-vs-file mode over a v1
+    /// current file).
+    pub current_p99_ns: Option<f64>,
+    /// Percentage change of p99; `None` unless both sides carry one.
+    pub p99_delta_pct: Option<f64>,
 }
 
 impl ScenarioDelta {
-    /// `true` when this row alone trips a gate at `threshold_pct`,
-    /// after the per-scenario widening ([`scenario_threshold`]).
+    /// `true` when the current measurement is not a usable number (NaN,
+    /// infinite, zero, negative — e.g. the mean of a zero-iteration run).
+    /// Such a row fails the gate outright: every threshold comparison
+    /// against a NaN is `false`, so without this rule a broken run would
+    /// read as a pass.
+    pub fn invalid(&self) -> bool {
+        !self.current_ns.is_finite()
+            || self.current_ns <= 0.0
+            || self
+                .current_p99_ns
+                .is_some_and(|p| !p.is_finite() || p <= 0.0)
+    }
+
+    /// `true` when this row alone trips a gate at `threshold_pct`, after
+    /// the per-scenario widening ([`scenario_threshold`]): the mean past
+    /// the threshold, or — on [`bench::scenarios::TAIL_GATED`] rows where
+    /// both sides carry a p99 — the p99 past [`P99_THRESHOLD_FACTOR`]×
+    /// the threshold, or an [`invalid`](Self::invalid) measurement.
     pub fn regressed(&self, threshold_pct: f64) -> bool {
-        self.delta_pct
-            .is_some_and(|d| d > scenario_threshold(&self.name, threshold_pct))
+        if self.invalid() {
+            return true;
+        }
+        let gate = scenario_threshold(&self.name, threshold_pct);
+        if self.delta_pct.is_some_and(|d| d > gate) {
+            return true;
+        }
+        bench::scenarios::is_tail_gated(&self.name)
+            && self
+                .p99_delta_pct
+                .is_some_and(|d| d > gate * P99_THRESHOLD_FACTOR)
     }
 }
 
@@ -109,26 +165,38 @@ impl CompareReport {
         let _ = writeln!(
             out,
             "BENCH COMPARE — current vs baseline (gate: mean_ns regression > {:.1}%, \
-             high-variance scenarios > {:.1}%)",
+             high-variance scenarios > {:.1}%, tail-gated p99 > {:.1}×)",
             self.threshold_pct,
-            scenario_threshold("newmad_pingpong", self.threshold_pct)
+            scenario_threshold("newmad_pingpong", self.threshold_pct),
+            P99_THRESHOLD_FACTOR
         );
         let _ = writeln!(
             out,
-            "{:<28}{:>14}{:>14}{:>10}",
-            "scenario", "baseline (ns)", "current (ns)", "delta"
+            "{:<28}{:>14}{:>14}{:>10}{:>12}",
+            "scenario", "baseline (ns)", "current (ns)", "mean Δ", "p99 Δ"
         );
         for row in &self.rows {
+            let p99_col = match row.p99_delta_pct {
+                Some(d) => format!("{d:>+11.1}%"),
+                None if row.baseline_ns.is_some() && row.baseline_p99_ns.is_none() => {
+                    // Present-but-ungateable: the baseline predates v2.
+                    "   (v1 base)".to_owned()
+                }
+                None => format!("{:>12}", "—"),
+            };
             match (row.baseline_ns, row.delta_pct) {
                 (Some(base), Some(delta)) => {
                     let _ = writeln!(
                         out,
-                        "{:<28}{:>14.1}{:>14.1}{:>+9.1}%{}",
+                        "{:<28}{:>14.1}{:>14.1}{:>+9.1}%{}{}",
                         row.name,
                         base,
                         row.current_ns,
                         delta,
-                        if row.regressed(self.threshold_pct) {
+                        p99_col,
+                        if row.invalid() {
+                            "  << INVALID"
+                        } else if row.regressed(self.threshold_pct) {
                             "  << REGRESSION"
                         } else {
                             ""
@@ -138,8 +206,13 @@ impl CompareReport {
                 _ => {
                     let _ = writeln!(
                         out,
-                        "{:<28}{:>14}{:>14.1}{:>10}",
-                        row.name, "—", row.current_ns, "new"
+                        "{:<28}{:>14}{:>14.1}{:>10}{:>12}{}",
+                        row.name,
+                        "—",
+                        row.current_ns,
+                        "new",
+                        "—",
+                        if row.invalid() { "  << INVALID" } else { "" }
                     );
                 }
             }
@@ -148,6 +221,18 @@ impl CompareReport {
             let _ = writeln!(
                 out,
                 "note: baseline scenario {name:?} missing from this run (not gated)"
+            );
+        }
+        let v1_rows = self
+            .rows
+            .iter()
+            .filter(|r| r.baseline_ns.is_some() && r.baseline_p99_ns.is_none())
+            .count();
+        if v1_rows > 0 {
+            let _ = writeln!(
+                out,
+                "note: {v1_rows} baseline row(s) predate schema v2 (no percentiles) — \
+                 gated on mean only; regenerate the baseline to arm the p99 gate"
             );
         }
         let regressions = self.regressions();
@@ -167,7 +252,7 @@ impl CompareReport {
 
 /// Compares a fresh suite run against a parsed baseline.
 pub fn compare(
-    baseline: &BTreeMap<String, f64>,
+    baseline: &BTreeMap<String, BaselineEntry>,
     current: &[BenchResult],
     threshold_pct: f64,
 ) -> CompareReport {
@@ -175,7 +260,7 @@ pub fn compare(
         baseline,
         current
             .iter()
-            .map(|r| (r.name.to_owned(), r.mean_ns))
+            .map(|r| (r.name.to_owned(), r.mean_ns, Some(r.p99_ns)))
             .collect(),
         threshold_pct,
     )
@@ -187,39 +272,53 @@ pub fn compare(
 /// recorded instead of paying for (and drifting from) a second suite
 /// run. Rows follow the current file's (alphabetical) key order.
 pub fn compare_parsed(
-    baseline: &BTreeMap<String, f64>,
-    current: &BTreeMap<String, f64>,
+    baseline: &BTreeMap<String, BaselineEntry>,
+    current: &BTreeMap<String, BaselineEntry>,
     threshold_pct: f64,
 ) -> CompareReport {
     report_from_pairs(
         baseline,
-        current.iter().map(|(k, &v)| (k.clone(), v)).collect(),
+        current
+            .iter()
+            .map(|(k, e)| (k.clone(), e.mean_ns, e.p99_ns))
+            .collect(),
         threshold_pct,
     )
 }
 
 fn report_from_pairs(
-    baseline: &BTreeMap<String, f64>,
-    current: Vec<(String, f64)>,
+    baseline: &BTreeMap<String, BaselineEntry>,
+    current: Vec<(String, f64, Option<f64>)>,
     threshold_pct: f64,
 ) -> CompareReport {
     let removed = baseline
         .keys()
-        .filter(|name| current.iter().all(|(n, _)| n != *name))
+        .filter(|name| current.iter().all(|(n, _, _)| n != *name))
         .cloned()
         .collect();
     let rows = current
         .into_iter()
-        .map(|(name, current_ns)| {
-            let baseline_ns = baseline.get(&name).copied();
+        .map(|(name, current_ns, current_p99_ns)| {
+            let base = baseline.get(&name);
+            let baseline_ns = base.map(|e| e.mean_ns);
             let delta_pct = baseline_ns
                 .filter(|&b| b > 0.0)
                 .map(|b| (current_ns - b) / b * 100.0);
+            let baseline_p99_ns = base.and_then(|e| e.p99_ns);
+            // The p99 delta exists only when both generations carry one
+            // (v2 vs v2); otherwise the row degrades to mean-only.
+            let p99_delta_pct = match (baseline_p99_ns, current_p99_ns) {
+                (Some(b), Some(c)) if b > 0.0 => Some((c - b) / b * 100.0),
+                _ => None,
+            };
             ScenarioDelta {
                 name,
                 baseline_ns,
                 current_ns,
                 delta_pct,
+                baseline_p99_ns,
+                current_p99_ns,
+                p99_delta_pct,
             }
         })
         .collect();
@@ -230,151 +329,37 @@ fn report_from_pairs(
     }
 }
 
-/// Parses a `BENCH_pioman.json` document into `name → mean_ns`.
-///
-/// Accepts the schema [`render_json`](crate::bench::render_json) emits —
-/// one outer JSON object whose values are flat objects of numeric fields —
-/// with arbitrary whitespace. Rejects anything else with a description of
-/// where parsing stopped.
-pub fn parse_trajectory(json: &str) -> Result<BTreeMap<String, f64>, String> {
-    let mut p = Parser {
-        bytes: json.as_bytes(),
-        pos: 0,
-    };
-    let mut map = BTreeMap::new();
-    p.expect(b'{')?;
-    if !p.peek_is(b'}') {
-        loop {
-            let name = p.string()?;
-            p.expect(b':')?;
-            let fields = p.flat_object()?;
-            let mean = *fields
-                .get("mean_ns")
-                .ok_or_else(|| format!("scenario {name:?} has no mean_ns field"))?;
-            if map.insert(name.clone(), mean).is_some() {
-                return Err(format!("duplicate scenario {name:?}"));
-            }
-            if !p.eat(b',') {
-                break;
-            }
-        }
-    }
-    p.expect(b'}')?;
-    p.skip_ws();
-    if p.pos != p.bytes.len() {
-        return Err(format!("trailing content at byte {}", p.pos));
-    }
-    Ok(map)
-}
-
-/// Minimal recursive-descent parser for the trajectory schema (the
-/// workspace is offline — no serde).
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl Parser<'_> {
-    fn skip_ws(&mut self) {
-        while self
-            .bytes
-            .get(self.pos)
-            .is_some_and(|b| b.is_ascii_whitespace())
-        {
-            self.pos += 1;
-        }
-    }
-
-    fn peek_is(&mut self, want: u8) -> bool {
-        self.skip_ws();
-        self.bytes.get(self.pos) == Some(&want)
-    }
-
-    fn eat(&mut self, want: u8) -> bool {
-        if self.peek_is(want) {
-            self.pos += 1;
-            true
-        } else {
-            false
-        }
-    }
-
-    fn expect(&mut self, want: u8) -> Result<(), String> {
-        if self.eat(want) {
-            Ok(())
-        } else {
-            Err(format!("expected {:?} at byte {}", want as char, self.pos))
-        }
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let start = self.pos;
-        while let Some(&b) = self.bytes.get(self.pos) {
-            if b == b'"' {
-                let s =
-                    std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
-                if s.contains('\\') {
-                    return Err("escape sequences are not part of the schema".into());
-                }
-                self.pos += 1;
-                return Ok(s.to_owned());
-            }
-            self.pos += 1;
-        }
-        Err("unterminated string".into())
-    }
-
-    fn number(&mut self) -> Result<f64, String> {
-        self.skip_ws();
-        let start = self.pos;
-        while self
-            .bytes
-            .get(self.pos)
-            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
-        {
-            self.pos += 1;
-        }
-        std::str::from_utf8(&self.bytes[start..self.pos])
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .ok_or_else(|| format!("expected a number at byte {start}"))
-    }
-
-    /// `{ "key": number, ... }` with no nesting.
-    fn flat_object(&mut self) -> Result<BTreeMap<String, f64>, String> {
-        let mut fields = BTreeMap::new();
-        self.expect(b'{')?;
-        if !self.peek_is(b'}') {
-            loop {
-                let key = self.string()?;
-                self.expect(b':')?;
-                fields.insert(key, self.number()?);
-                if !self.eat(b',') {
-                    break;
-                }
-            }
-        }
-        self.expect(b'}')?;
-        Ok(fields)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn result(name: &'static str, mean_ns: f64) -> BenchResult {
+        // p99 tracks the mean at 2× unless a test overrides it.
         BenchResult {
             name,
             mean_ns,
+            p50_ns: mean_ns,
+            p99_ns: mean_ns * 2.0,
+            p999_ns: mean_ns * 4.0,
             iters: 10,
             seed: 42,
         }
     }
 
-    fn baseline(entries: &[(&str, f64)]) -> BTreeMap<String, f64> {
-        entries.iter().map(|&(n, v)| (n.to_owned(), v)).collect()
+    /// A v1 baseline: mean only, the shape of pre-PR-6 committed files.
+    fn baseline(entries: &[(&str, f64)]) -> BTreeMap<String, BaselineEntry> {
+        entries
+            .iter()
+            .map(|&(n, v)| (n.to_owned(), BaselineEntry::v1(v)))
+            .collect()
+    }
+
+    /// A v2 baseline with the same mean→p99 shape as [`result`].
+    fn baseline_v2(entries: &[(&str, f64)]) -> BTreeMap<String, BaselineEntry> {
+        entries
+            .iter()
+            .map(|&(n, v)| (n.to_owned(), BaselineEntry::v2(v, v, v * 2.0, v * 4.0)))
+            .collect()
     }
 
     #[test]
@@ -429,42 +414,6 @@ mod tests {
     }
 
     #[test]
-    fn parse_roundtrips_render_json() {
-        let results = [result("a_bench", 123.4), result("b_bench", 5.0)];
-        let json = crate::bench::render_json(&results);
-        let parsed = parse_trajectory(&json).unwrap();
-        assert_eq!(parsed.len(), 2);
-        assert!((parsed["a_bench"] - 123.4).abs() < 1e-9);
-        assert!((parsed["b_bench"] - 5.0).abs() < 1e-9);
-    }
-
-    #[test]
-    fn parse_accepts_the_committed_schema_shape() {
-        let json = r#"{
-  "submit_schedule_percore": { "mean_ns": 639.0, "iters": 2000, "seed": 42 },
-  "newmad_pingpong": { "mean_ns": 1886199.8, "iters": 200, "seed": 42 }
-}"#;
-        let parsed = parse_trajectory(json).unwrap();
-        assert!((parsed["submit_schedule_percore"] - 639.0).abs() < 1e-9);
-        assert!((parsed["newmad_pingpong"] - 1_886_199.8).abs() < 1e-9);
-    }
-
-    #[test]
-    fn parse_rejects_malformed_documents() {
-        assert!(parse_trajectory("").is_err());
-        assert!(parse_trajectory("[]").is_err());
-        assert!(
-            parse_trajectory(r#"{ "x": { "iters": 3 } }"#).is_err(),
-            "no mean_ns"
-        );
-        assert!(parse_trajectory(r#"{ "x": { "mean_ns": 1 } } trailing"#).is_err());
-        assert!(
-            parse_trajectory(r#"{ "x": { "mean_ns": 1 }, "x": { "mean_ns": 2 } }"#).is_err(),
-            "duplicate keys"
-        );
-    }
-
-    #[test]
     fn compare_parsed_matches_the_suite_path() {
         let base = baseline(&[("hot", 1000.0), ("gone", 10.0)]);
         let current = baseline(&[("hot", 1300.0), ("fresh", 1.0)]);
@@ -513,6 +462,73 @@ mod tests {
     #[test]
     fn empty_baseline_treats_everything_as_new() {
         let report = compare(&BTreeMap::new(), &[result("only", 10.0)], 20.0);
+        assert!(report.gate_passes());
+        assert_eq!(report.rows[0].delta_pct, None);
+    }
+
+    #[test]
+    fn v1_baseline_vs_v2_current_gates_mean_only() {
+        // A tail-gated scenario whose p99 exploded but whose mean held:
+        // against a v1 baseline there is nothing to hold the p99 to, so
+        // the row passes with the "v1 base" degradation note.
+        let base = baseline(&[("schedule_batch_drain_64", 1000.0)]);
+        let mut r = result("schedule_batch_drain_64", 1000.0);
+        r.p99_ns = 50_000.0;
+        let report = compare(&base, &[r], DEFAULT_THRESHOLD_PCT);
+        assert!(report.gate_passes(), "no baseline p99, no p99 verdict");
+        assert_eq!(report.rows[0].p99_delta_pct, None);
+        let rendered = report.render();
+        assert!(rendered.contains("(v1 base)"));
+        assert!(rendered.contains("predate schema v2"));
+        // The mean gate still works against the same v1 baseline.
+        let slow = result("schedule_batch_drain_64", 1300.0);
+        assert!(!compare(&base, &[slow], DEFAULT_THRESHOLD_PCT).gate_passes());
+    }
+
+    #[test]
+    fn v2_vs_v2_p99_only_regression_fails_tail_gated_rows() {
+        let base = baseline_v2(&[("schedule_batch_drain_64", 1000.0), ("other", 1000.0)]);
+        // Mean steady, p99 past 3× the 20% threshold (baseline p99 is
+        // 2000 under the fixture shape; +61% > 60% budget).
+        let mut r = result("schedule_batch_drain_64", 1000.0);
+        r.p99_ns = 3_220.0;
+        let report = compare(&base, &[r.clone()], DEFAULT_THRESHOLD_PCT);
+        assert!(!report.gate_passes(), "tail-only regression must fail");
+        assert!(report.render().contains("REGRESSION"));
+        // Inside the widened p99 budget (+59%) the same row passes even
+        // though +59% would fail the *mean* gate: the factor is real.
+        r.p99_ns = 3_180.0;
+        assert!(compare(&base, &[r], DEFAULT_THRESHOLD_PCT).gate_passes());
+        // An untagged scenario never fails on p99 alone.
+        let mut other = result("other", 1000.0);
+        other.p99_ns = 50_000.0;
+        let report = compare(&base, &[other], DEFAULT_THRESHOLD_PCT);
+        assert!(report.gate_passes(), "p99 is advisory off the tagged set");
+        assert!(
+            report.rows[0].p99_delta_pct.unwrap() > 1000.0,
+            "…but the delta is still computed and reported"
+        );
+    }
+
+    #[test]
+    fn non_finite_or_zero_measurements_fail_outright() {
+        // A NaN mean (a zero-iteration run divides 0/0) compares false
+        // against every threshold — the INVALID rule catches it.
+        let base = baseline_v2(&[("x", 100.0)]);
+        for bad in [f64::NAN, f64::INFINITY, 0.0, -5.0] {
+            let r = result("x", bad);
+            let report = compare(&base, &[r], DEFAULT_THRESHOLD_PCT);
+            assert!(!report.gate_passes(), "current mean {bad} must fail");
+            assert!(report.render().contains("INVALID"));
+        }
+        // A NaN p99 on a finite mean is equally unusable.
+        let mut r = result("x", 100.0);
+        r.p99_ns = f64::NAN;
+        assert!(!compare(&base, &[r], DEFAULT_THRESHOLD_PCT).gate_passes());
+        // And a zero/NaN *baseline* mean yields no delta (treated like
+        // new) rather than an infinite percentage.
+        let zero_base = baseline_v2(&[("x", 0.0)]);
+        let report = compare(&zero_base, &[result("x", 100.0)], DEFAULT_THRESHOLD_PCT);
         assert!(report.gate_passes());
         assert_eq!(report.rows[0].delta_pct, None);
     }

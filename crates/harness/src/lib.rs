@@ -8,6 +8,8 @@
 
 pub mod bench;
 pub mod compare;
+pub mod schema;
+pub mod snapshot;
 
 use madmpi::overlap::{sweep, ComputeSide};
 use madmpi::{mtlat, MpiImpl};

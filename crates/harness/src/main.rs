@@ -6,9 +6,12 @@
 //! gating against a baseline trajectory with `--compare` — exit 1 when any
 //! scenario regressed past the threshold); `piom-harness compare OLD NEW`
 //! applies the same gate to two already-recorded trajectory files without
-//! re-running the suite.
+//! re-running the suite; `piom-harness stats [--json]` runs the
+//! demo workload with the submit→execute latency histogram armed and
+//! prints the counter snapshot (Prometheus-text-shaped JSON with
+//! `--json`).
 
-use piom_harness::{bench, compare};
+use piom_harness::{bench, compare, schema, snapshot};
 
 fn usage() -> ! {
     eprintln!("usage: piom-harness <experiment>");
@@ -17,17 +20,39 @@ fn usage() -> ! {
          [--compare OLD.json] [--threshold PCT]"
     );
     eprintln!("       piom-harness compare OLD.json NEW.json [--threshold PCT]");
+    eprintln!("       piom-harness stats [--json]");
     eprintln!("experiments: {}", piom_harness::EXPERIMENTS.join(", "));
     std::process::exit(2);
 }
 
+/// `piom-harness stats [--json]`: run the demo workload with the latency
+/// histogram enabled and print the resulting [`pioman::ManagerStats`].
+fn run_stats(args: &[String]) {
+    let mut json = false;
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json = true,
+            other => {
+                eprintln!("unknown stats flag {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let stats = snapshot::demo_stats();
+    if json {
+        print!("{}", snapshot::render_stats_json(&stats));
+    } else {
+        print!("{}", snapshot::render_stats_text(&stats));
+    }
+}
+
 /// Reads and parses a trajectory file, exiting 2 on any failure.
-fn load_trajectory(path: &str) -> std::collections::BTreeMap<String, f64> {
+fn load_trajectory(path: &str) -> std::collections::BTreeMap<String, schema::BaselineEntry> {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("cannot read baseline {path}: {e}");
         std::process::exit(2);
     });
-    compare::parse_trajectory(&text).unwrap_or_else(|e| {
+    schema::parse_trajectory(&text).unwrap_or_else(|e| {
         eprintln!("cannot parse baseline {path}: {e}");
         std::process::exit(2);
     })
@@ -143,6 +168,10 @@ fn main() {
     }
     if args[0] == "compare" {
         run_compare(&args[1..]);
+        return;
+    }
+    if args[0] == "stats" {
+        run_stats(&args[1..]);
         return;
     }
     for what in &args {

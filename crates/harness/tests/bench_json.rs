@@ -1,6 +1,8 @@
 //! Integration coverage for `piom-harness bench --json`: the binary must
-//! emit a well-formed `BENCH_pioman.json` whose schema (benchmark name →
-//! mean_ns/iters/seed) is stable across runs.
+//! emit a well-formed `BENCH_pioman.json` whose schema v2 (benchmark name
+//! → mean_ns/p50_ns/p99_ns/p999_ns/iters/seed) is stable across runs —
+//! and for `piom-harness stats`, the Prometheus-text-shaped counter
+//! export.
 
 use std::process::Command;
 
@@ -28,11 +30,23 @@ fn bench_binary_writes_trajectory_json() {
     let path = dir.join("BENCH_pioman.json");
 
     let json = bench_json_at(&path);
-    // Schema: one entry per benchmark, each carrying the three fields.
+    // Schema v2: one entry per benchmark, each carrying the mean, the
+    // three percentiles, and the run parameters.
     let entries = json.matches("mean_ns").count();
     assert!(entries >= 4, "trajectory needs >= 4 benchmarks:\n{json}");
-    assert_eq!(json.matches("\"iters\"").count(), entries);
-    assert_eq!(json.matches("\"seed\"").count(), entries);
+    for key in [
+        "\"p50_ns\"",
+        "\"p99_ns\"",
+        "\"p999_ns\"",
+        "\"iters\"",
+        "\"seed\"",
+    ] {
+        assert_eq!(
+            json.matches(key).count(),
+            entries,
+            "every row carries {key}:\n{json}"
+        );
+    }
     for name in [
         "submit_schedule_percore",
         "schedule_batch_drain_64",
@@ -112,6 +126,12 @@ fn bench_compare_gates_on_regression() {
         stdout.contains("long_gone_scenario"),
         "removed scenario must be reported:\n{stdout}"
     );
+    // Both baselines above are schema v1 (no percentiles): the report must
+    // say so and fall back to the mean-only gate rather than failing.
+    assert!(
+        stdout.contains("predate schema v2"),
+        "v1 baseline must be flagged:\n{stdout}"
+    );
 
     // A corrupt baseline fails fast (exit 2), before any measuring.
     let corrupt = dir.join("corrupt.json");
@@ -177,6 +197,46 @@ fn compare_subcommand_diffs_two_files_without_benching() {
     assert_eq!(out.status.code(), Some(2));
 
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stats_subcommand_exports_prometheus_shaped_json() {
+    let out = Command::new(env!("CARGO_BIN_EXE_piom-harness"))
+        .args(["stats", "--json"])
+        .output()
+        .expect("spawn piom-harness stats --json");
+    assert!(
+        out.status.success(),
+        "stats exited {:?}: {}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = String::from_utf8(out.stdout).unwrap();
+    piom_harness::schema::validate_json(&json).expect("stats --json must emit valid JSON");
+    for marker in [
+        "\"piom_task_latency_ns\": { \"type\": \"histogram\"",
+        "\"le\": \"+Inf\"",
+        "\"piom_core_executed_total\"",
+        "\"hook\": \"timer\"",
+    ] {
+        assert!(json.contains(marker), "missing {marker}:\n{json}");
+    }
+
+    // Bare `stats` prints the human-readable summary with percentiles.
+    let out = Command::new(env!("CARGO_BIN_EXE_piom-harness"))
+        .arg("stats")
+        .output()
+        .expect("spawn piom-harness stats");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("p99="), "missing percentiles:\n{text}");
+
+    // Unknown flags are a usage error.
+    let out = Command::new(env!("CARGO_BIN_EXE_piom-harness"))
+        .args(["stats", "--frobnicate"])
+        .output()
+        .expect("spawn piom-harness stats");
+    assert_eq!(out.status.code(), Some(2));
 }
 
 #[test]

@@ -32,6 +32,15 @@ thread_local! {
     static THREAD_SLOT: usize = NEXT_THREAD_SLOT.fetch_add(1, Relaxed);
 }
 
+/// This thread's stable shard-slot hint, shared by every sharded
+/// statistic in the crate ([`ShardedCounter`],
+/// [`Histogram`](crate::hist::Histogram)) so one thread always lands on
+/// the same slot regardless of which structure it touches.
+#[inline]
+pub(crate) fn thread_slot() -> usize {
+    THREAD_SLOT.with(|s| *s)
+}
+
 /// A monotone event counter sharded over cache-padded slots.
 ///
 /// # Examples
@@ -73,8 +82,7 @@ impl ShardedCounter {
     /// diagnostic, no data is published through it).
     #[inline]
     pub fn add(&self, n: u64) {
-        let slot = THREAD_SLOT.with(|s| *s);
-        self.add_at(slot, n);
+        self.add_at(thread_slot(), n);
     }
 
     /// Adds `n` to slot `slot & mask` — callers that already know a

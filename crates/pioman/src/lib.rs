@@ -65,6 +65,7 @@
 #![warn(missing_docs)]
 
 pub mod counters;
+pub mod hist;
 pub mod lockfree;
 pub mod spinlock;
 
@@ -77,6 +78,7 @@ mod stats;
 mod task;
 
 pub use completion::{TaskError, TaskHandle};
+pub use hist::{HistSnapshot, Histogram, PercentileSummary};
 pub use manager::{
     HookPoint, ManagerConfig, QueueBackend, TaskManager, DEFAULT_BATCH,
     DEFAULT_CONTENTION_HALF_LIFE, DEFAULT_STEAL_WAKE_BACKLOG, MAX_BATCH, MIN_BATCH,

@@ -86,6 +86,13 @@ pub struct ManagerConfig {
     /// the nearest parked eligible worker ([`TaskManager::wake_for_steal`]).
     /// `usize::MAX` disables the escalation without disabling stealing.
     pub steal_wake_backlog: usize,
+    /// Record every task's submit→execute latency into a per-core sharded
+    /// histogram ([`crate::hist::Histogram`], one slot per core), exposed
+    /// as [`ManagerStats::latency`](crate::ManagerStats). **Off by
+    /// default**: enabling it puts two `Instant` clock reads and a few
+    /// relaxed RMWs on every task execution — cheap, but not free, and
+    /// the scheduler's own benches must not pay for their observability.
+    pub latency_histogram: bool,
 }
 
 impl Default for ManagerConfig {
@@ -96,6 +103,7 @@ impl Default for ManagerConfig {
             signal: SignalPolicy::default(),
             contention_half_life: DEFAULT_CONTENTION_HALF_LIFE,
             steal_wake_backlog: DEFAULT_STEAL_WAKE_BACKLOG,
+            latency_histogram: false,
         }
     }
 }
@@ -231,6 +239,10 @@ pub struct TaskManager {
     /// queue's span ([`Topology::cores_by_distance_from_node`]), scanned by
     /// [`wake_for_steal`](Self::wake_for_steal).
     wake_order: Vec<Vec<u32>>,
+    /// Submit→execute latency histogram, one shard per core, present only
+    /// when [`ManagerConfig::latency_histogram`] is set. The executing core
+    /// records into its own shard, so concurrent workers never contend.
+    latency: Option<crate::hist::Histogram>,
     config: ManagerConfig,
 }
 
@@ -290,6 +302,9 @@ impl TaskManager {
             steal_order,
             parked_count: AtomicU64::new(0),
             wake_order,
+            latency: config
+                .latency_histogram
+                .then(|| crate::hist::Histogram::new(n_cores)),
             config,
         })
     }
@@ -350,6 +365,7 @@ impl TaskManager {
             cpuset: effective,
             home,
             completion,
+            submitted_at: self.latency.is_some().then(std::time::Instant::now),
         });
         self.wake_cores(effective);
         // Backlog escalation: the queue is deep enough that its own cores
@@ -675,6 +691,12 @@ impl TaskManager {
             queue.requeue(task);
             return false;
         }
+        // Queueing delay ends here: the task is committed to run on this
+        // core. Record into the executing core's shard, `take()`ing the
+        // stamp so a panic in the body cannot double-count.
+        if let (Some(hist), Some(t0)) = (&self.latency, task.submitted_at.take()) {
+            hist.record_at(core, t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        }
         let ctx = TaskContext {
             core,
             manager: self,
@@ -685,6 +707,9 @@ impl TaskManager {
         match outcome {
             Ok(TaskStatus::Done) => task.completion.complete(),
             Ok(TaskStatus::Again) if task.options.repeat => {
+                // A repeat task re-entering its queue starts a fresh
+                // queueing interval; each run measures its own delay.
+                task.submitted_at = self.latency.is_some().then(std::time::Instant::now);
                 self.queues[task.home.index()].requeue(task);
             }
             Ok(TaskStatus::Again) => task.completion.complete(),
@@ -908,6 +933,7 @@ impl TaskManager {
             hook_idle: self.hook_counts[0].load(Ordering::Relaxed),
             hook_context_switch: self.hook_counts[1].load(Ordering::Relaxed),
             hook_timer: self.hook_counts[2].load(Ordering::Relaxed),
+            latency: self.latency.as_ref().map(|h| h.snapshot()),
         }
     }
 
@@ -1223,6 +1249,84 @@ mod tests {
         assert!(h.is_complete());
         // The OS mutex is uninstrumented: no spinlock stats.
         assert!(mgr.stats().queues.iter().all(|q| q.lock_acquisitions == 0));
+    }
+
+    #[test]
+    fn latency_histogram_off_by_default() {
+        let mgr = kwak_mgr();
+        let h = mgr.submit(
+            |_| TaskStatus::Done,
+            CpuSet::single(0),
+            TaskOptions::oneshot(),
+        );
+        mgr.schedule(0);
+        assert!(h.is_complete());
+        assert!(mgr.stats().latency.is_none(), "observability is opt-in");
+    }
+
+    #[test]
+    fn latency_histogram_counts_each_run() {
+        let mgr = TaskManager::with_config(
+            presets::kwak().into(),
+            ManagerConfig {
+                latency_histogram: true,
+                ..ManagerConfig::default()
+            },
+        );
+        // A repeat task running 3 times + a oneshot: 4 recorded intervals.
+        let mut left = 3;
+        let h = mgr.submit(
+            move |_| {
+                left -= 1;
+                if left == 0 {
+                    TaskStatus::Done
+                } else {
+                    TaskStatus::Again
+                }
+            },
+            CpuSet::single(0),
+            TaskOptions::repeat(),
+        );
+        let h2 = mgr.submit(
+            |_| TaskStatus::Done,
+            CpuSet::single(1),
+            TaskOptions::oneshot(),
+        );
+        while !h.is_complete() {
+            mgr.schedule(0);
+        }
+        mgr.schedule(1);
+        assert!(h2.is_complete());
+        let snap = mgr.stats().latency.expect("histogram enabled");
+        assert_eq!(snap.count(), 4, "each execution measures its own delay");
+        assert!(snap.min().is_some());
+    }
+
+    #[test]
+    fn latency_histogram_survives_cpuset_bounce() {
+        // A task requeued because the drawing core is outside its cpuset
+        // keeps its original stamp: the bounce is queueing delay, not a
+        // fresh interval.
+        let mgr = TaskManager::with_config(
+            presets::kwak().into(),
+            ManagerConfig {
+                latency_histogram: true,
+                ..ManagerConfig::default()
+            },
+        );
+        let h = mgr.submit(
+            |_| TaskStatus::Done,
+            CpuSet::single(1),
+            TaskOptions::oneshot(),
+        );
+        // Core 0 shares the chip queue with core 1 but may not run the
+        // task; it requeues it without recording.
+        mgr.schedule(0);
+        assert!(!h.is_complete());
+        assert_eq!(mgr.stats().latency.as_ref().unwrap().count(), 0);
+        mgr.schedule(1);
+        assert!(h.is_complete());
+        assert_eq!(mgr.stats().latency.unwrap().count(), 1);
     }
 
     #[test]

@@ -592,6 +592,7 @@ mod tests {
             cpuset,
             home,
             completion: Completion::new(),
+            submitted_at: None,
         }
     }
 

@@ -79,6 +79,12 @@ pub struct ManagerStats {
     pub hook_context_switch: u64,
     /// Invocations of the timer hook.
     pub hook_timer: u64,
+    /// Submit→execute latency distribution across all task runs, folded
+    /// from the per-core shards — present only when the manager was built
+    /// with [`ManagerConfig::latency_histogram`](crate::ManagerConfig)
+    /// set. Nanoseconds from `submit`/`submit_boxed` (or a repeat task's
+    /// re-enqueue) to the moment a core committed to running the body.
+    pub latency: Option<crate::hist::HistSnapshot>,
 }
 
 impl ManagerStats {
@@ -151,6 +157,7 @@ mod tests {
             hook_idle: 0,
             hook_context_switch: 0,
             hook_timer: 0,
+            latency: None,
         }
     }
 

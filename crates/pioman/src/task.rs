@@ -90,6 +90,13 @@ pub struct Task {
     /// Queue the task lives in; repeat tasks re-enqueue here.
     pub(crate) home: QueueId,
     pub(crate) completion: Arc<Completion>,
+    /// Enqueue timestamp, set only when the manager's submit→execute
+    /// latency histogram is enabled
+    /// ([`ManagerConfig::latency_histogram`](crate::ManagerConfig)) —
+    /// `None` keeps the disabled hot path free of clock reads. Taken (and
+    /// for repeat tasks re-stamped) at execution time, so each *run*
+    /// measures its own queueing delay.
+    pub(crate) submitted_at: Option<std::time::Instant>,
 }
 
 impl Task {

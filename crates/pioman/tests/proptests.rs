@@ -397,3 +397,64 @@ proptest! {
         prop_assert!(sharded.shards().is_power_of_two(), "mask-foldable");
     }
 }
+
+/// `cargo miri test -p pioman hist` matches the histogram properties by
+/// name; shrink the case count and stream length so the interpreted run
+/// stays in CI budget while still crossing the linear/log bucket boundary.
+const HIST_CASES: u32 = if cfg!(miri) { 2 } else { 32 };
+const HIST_MAX_STREAM: usize = if cfg!(miri) { 24 } else { 256 };
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(HIST_CASES))]
+
+    /// The histogram's sharding contract (PR 6, mirror of the counter one
+    /// above): for any stream of `(slot, value)` records, folding the
+    /// shards yields byte-for-byte the snapshot a single-shard histogram
+    /// produces from the same stream — sharding changes cache-line
+    /// traffic, never the distribution.
+    #[test]
+    fn hist_shard_fold_matches_single_shard(
+        shards in 1usize..=8,
+        stream in proptest::collection::vec((0usize..16, 0u64..2_000_000), 1..HIST_MAX_STREAM),
+    ) {
+        use pioman::hist::Histogram;
+        let sharded = Histogram::new(shards);
+        let single = Histogram::new(1);
+        for &(slot, v) in &stream {
+            sharded.record_at(slot, v);
+            single.record_at(0, v);
+        }
+        prop_assert_eq!(sharded.snapshot(), single.snapshot());
+    }
+
+    /// The histogram's accuracy contract, against the exact reservoir in
+    /// `piom_des::stats` as sequential oracle: every quantile is within
+    /// the documented half-bucket relative error (1/2^(SUB_BITS+1), +1
+    /// for integer rounding), count/mean/max are exact.
+    #[test]
+    fn hist_quantiles_match_exact_reservoir(
+        samples in proptest::collection::vec(0u64..10_000_000, 1..(2 * HIST_MAX_STREAM)),
+    ) {
+        use pioman::hist::{Histogram, Percentiles, SUB_BITS};
+        let h = Histogram::new(4);
+        let mut oracle = Percentiles::new();
+        for (i, &v) in samples.iter().enumerate() {
+            h.record_at(i % 4, v);
+            oracle.push(v as f64);
+        }
+        let snap = h.snapshot();
+        for q in [0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let exact = oracle.quantile(q).expect("nonempty");
+            let approx = snap.quantile(q).expect("nonempty") as f64;
+            let bound = exact / (1u64 << (SUB_BITS + 1)) as f64 + 1.0;
+            prop_assert!(
+                (approx - exact).abs() <= bound,
+                "q={} exact={} approx={} bound={}", q, exact, approx, bound
+            );
+        }
+        let exact = oracle.summary();
+        prop_assert_eq!(snap.count(), exact.count);
+        prop_assert!((snap.mean() - exact.mean).abs() <= 1e-6 * (1.0 + exact.mean));
+        prop_assert_eq!(snap.summary().max, exact.max, "max is tracked exactly");
+    }
+}

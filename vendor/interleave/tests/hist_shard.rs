@@ -1,0 +1,151 @@
+//! Exhaustive interleaving checks of the histogram shard's lock-free
+//! record path — `crates/pioman/src/hist.rs` (`Shard::record`): a bucket
+//! `fetch_add`, the count/sum `fetch_add` pair, and the min/max
+//! compare-exchange loops, all racing an identical recorder on the *same*
+//! shard (two tasks executing on one core's slot, or `record()` callers
+//! whose thread slots collide under the shard mask).
+//!
+//! The shard-fold path is pure arithmetic over a quiesced snapshot and is
+//! covered by the `hist_shard_fold_matches_single_shard` proptest; what
+//! only an interleaving explorer can prove is the *contended single
+//! shard*: no lost increments, an exact sum, and a max that converges to
+//! the true maximum under every schedule. The planted-bug twin replaces
+//! the max CAS loop with the racy load-then-store it guards against and
+//! demands the checker catch it — proof the model is strong enough for
+//! the property it pins.
+
+use interleave::atomic::AtomicUsize;
+use interleave::{model_expect_violation, model_with, Options};
+use std::sync::Arc;
+
+/// Miniature bucket map standing in for `hist::bucket_index`: 4 buckets
+/// of width 4. The real function is pure and exactness-tested in
+/// `hist.rs`; the model only needs *some* pure value→bucket map.
+const BUCKETS: usize = 4;
+fn bucket(v: usize) -> usize {
+    (v / 4).min(BUCKETS - 1)
+}
+
+/// The modeled shard: same field set and same operation order as
+/// `Shard::record` (bucket, count, sum, then the max CAS loop).
+struct ModelShard {
+    buckets: [AtomicUsize; BUCKETS],
+    count: AtomicUsize,
+    sum: AtomicUsize,
+    max: AtomicUsize,
+}
+
+impl ModelShard {
+    fn new() -> Self {
+        ModelShard {
+            buckets: Default::default(),
+            count: AtomicUsize::new(0),
+            sum: AtomicUsize::new(0),
+            max: AtomicUsize::new(0),
+        }
+    }
+
+    /// `Shard::record`, faithfully: relaxed RMWs become modeled SC RMWs
+    /// (each one scheduling point), the max update is the same
+    /// compare-exchange retry loop.
+    fn record(&self, v: usize) {
+        self.buckets[bucket(v)].fetch_add(1);
+        self.count.fetch_add(1);
+        self.sum.fetch_add(v);
+        loop {
+            let cur = self.max.load();
+            if v <= cur {
+                break;
+            }
+            if self.max.compare_exchange(cur, v).is_ok() {
+                break;
+            }
+        }
+    }
+
+    /// The planted-bug twin of the max update: check-then-store without
+    /// the CAS. A racing smaller value can overwrite a larger one.
+    fn record_racy_max(&self, v: usize) {
+        self.buckets[bucket(v)].fetch_add(1);
+        self.count.fetch_add(1);
+        self.sum.fetch_add(v);
+        let cur = self.max.load();
+        if v > cur {
+            self.max.store(v);
+        }
+    }
+
+    /// Quiesced snapshot (explorer side, after join): non-yielding reads,
+    /// like folding shards after the workload stopped.
+    fn snapshot(&self) -> (Vec<usize>, usize, usize, usize) {
+        (
+            self.buckets.iter().map(|b| b.peek()).collect(),
+            self.count.peek(),
+            self.sum.peek(),
+            self.max.peek(),
+        )
+    }
+}
+
+#[test]
+fn contended_records_lose_nothing_and_max_converges() {
+    // Values chosen to collide on bucket 1 (5, 6) *and* race distinct
+    // buckets (3, 14), with the true max recorded by the spawned thread
+    // so the main thread's CAS loop must observe and yield to it in some
+    // schedules.
+    let report = model_with(
+        Options {
+            preemption_bound: Some(2),
+            ..Options::default()
+        },
+        || {
+            let shard = Arc::new(ModelShard::new());
+            let s2 = shard.clone();
+            let t = interleave::thread::spawn(move || {
+                s2.record(5);
+                s2.record(14);
+            });
+            shard.record(3);
+            shard.record(6);
+            t.join();
+            let (buckets, count, sum, max) = shard.snapshot();
+            assert_eq!(count, 4, "lost a count increment");
+            assert_eq!(sum, 3 + 5 + 6 + 14, "lost part of the sum");
+            assert_eq!(
+                buckets,
+                vec![1, 2, 0, 1],
+                "bucket counters must hold the exact multiset"
+            );
+            assert_eq!(max, 14, "max must converge to the true maximum");
+        },
+    );
+    assert!(report.schedules > 100, "the race was really explored");
+}
+
+#[test]
+fn racy_load_then_store_max_is_caught() {
+    // Same workload shape, bugged max path: thread A (recording 5) can
+    // load max=0, stall while thread B records 9 (max=9), then store 5 —
+    // publishing a maximum smaller than a recorded value. The checker
+    // must find that schedule; if it ever stops doing so, the model has
+    // gone too weak to trust the passing test above.
+    let failure = model_expect_violation(
+        Options {
+            preemption_bound: Some(2),
+            ..Options::default()
+        },
+        || {
+            let shard = Arc::new(ModelShard::new());
+            let s2 = shard.clone();
+            let t = interleave::thread::spawn(move || s2.record_racy_max(9));
+            shard.record_racy_max(5);
+            t.join();
+            let (_, count, sum, max) = shard.snapshot();
+            assert_eq!(count, 2);
+            assert_eq!(sum, 14);
+            assert_eq!(max, 9, "racy max lost the larger value");
+        },
+    );
+    assert!(failure.message.contains("racy max lost the larger value"));
+    assert!(!failure.trail.is_empty(), "failure must carry a schedule");
+}
