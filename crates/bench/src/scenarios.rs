@@ -2,6 +2,13 @@
 //! (criterion, exploratory) and `piom-harness bench` (the recorded
 //! `BENCH_pioman.json` trajectory). One definition per scenario: changing
 //! a load size or drain bound here changes both instruments together.
+//!
+//! The [`HIGH_VARIANCE`] / [`TAIL_GATED`] tag lists below cover only the
+//! *bench* rows. The simulated workload matrix (`piom-harness scenarios`,
+//! `SCENARIOS_pioman.json`) carries its gate class on each
+//! `piom_scenarios::Scenario` instead; the compare gate unions both
+//! sources (`piom_harness::compare::{is_high_variance, is_tail_gated}`),
+//! so a workload scenario never needs an entry here.
 
 use piom_cpuset::CpuSet;
 use pioman::{TaskHandle, TaskManager, TaskOptions, TaskStatus};

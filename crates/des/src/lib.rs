@@ -380,6 +380,73 @@ mod tests {
     }
 
     #[test]
+    fn run_until_landing_exactly_on_an_event_timestamp() {
+        let order = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Sim::new();
+        let o = order.clone();
+        sim.schedule(ns(100), move |sim| {
+            o.borrow_mut().push("at-deadline");
+            // A zero-delay follow-up lands at exactly the deadline too and
+            // must run within the same run_until (the loop re-peeks).
+            let o2 = o.clone();
+            sim.schedule(SimTime::ZERO, move |_| o2.borrow_mut().push("chained"));
+        });
+        let o = order.clone();
+        sim.schedule(ns(101), move |_| o.borrow_mut().push("past-deadline"));
+        let end = sim.run_until(ns(100));
+        assert_eq!(*order.borrow(), vec!["at-deadline", "chained"]);
+        assert_eq!(end, ns(100), "clock rests at the deadline, not past it");
+        assert_eq!(sim.events_pending(), 1, "the 101 ns event is untouched");
+        sim.run();
+        assert_eq!(order.borrow().last(), Some(&"past-deadline"));
+    }
+
+    #[test]
+    fn cancel_of_executed_event_leaves_pending_events_alone() {
+        let mut sim = Sim::new();
+        let hits = Rc::new(Cell::new(0u32));
+        let h = hits.clone();
+        let executed = sim.schedule_cancelable(ns(10), move |_| h.set(h.get() + 1));
+        let h = hits.clone();
+        let pending = sim.schedule_cancelable(ns(30), move |_| h.set(h.get() + 10));
+        sim.run_until(ns(20));
+        assert_eq!(hits.get(), 1, "first event ran");
+        // Cancelling the already-executed event is a pure no-op: it cannot
+        // un-run, and it must not leak into the still-pending handle.
+        executed.cancel();
+        executed.cancel(); // idempotent
+        assert!(executed.is_cancelled(), "flag records the (futile) cancel");
+        assert!(!pending.is_cancelled());
+        sim.run();
+        assert_eq!(hits.get(), 11, "the pending event still ran");
+    }
+
+    #[test]
+    fn stop_mid_step_freezes_run_until_clock_and_resume_continues() {
+        let mut sim = Sim::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let l = log.clone();
+        sim.schedule(ns(10), move |sim| {
+            l.borrow_mut().push(sim.now().as_ns());
+            sim.stop(); // mid-step: the loop must halt after this event
+        });
+        let l = log.clone();
+        sim.schedule(ns(20), move |sim| l.borrow_mut().push(sim.now().as_ns()));
+        let end = sim.run_until(ns(50));
+        // Stopped mid-run: the clock stays at the stopping event's time
+        // rather than jumping to the deadline (a stopped sim must be
+        // resumable exactly where it halted).
+        assert_eq!(end, ns(10));
+        assert!(sim.is_stopped());
+        assert_eq!(sim.events_pending(), 1);
+        assert!(!sim.step(), "step is inert while stopped");
+        assert_eq!(sim.run_until(ns(50)), ns(10), "run_until is inert too");
+        sim.resume();
+        assert_eq!(sim.run_until(ns(50)), ns(50));
+        assert_eq!(*log.borrow(), vec![10, 20]);
+    }
+
+    #[test]
     #[should_panic(expected = "past")]
     fn scheduling_into_the_past_panics() {
         let mut sim = Sim::new();

@@ -66,11 +66,28 @@ pub const WIDE_THRESHOLD_PCT: f64 = 75.0;
 /// p99 by hundreds of percent and clear 3× with room to spare.
 pub const P99_THRESHOLD_FACTOR: f64 = 3.0;
 
+/// `true` when `name` gets the wide treatment: tagged
+/// [`bench::scenarios::HIGH_VARIANCE`] *or* registered as a
+/// [`piom_scenarios::Gate::Wide`] workload — one gate serves both
+/// trajectories (`BENCH_pioman.json` and `SCENARIOS_pioman.json`), so it
+/// consults both tag sources. Name collisions cannot alias: bench names
+/// and scenario names live in disjoint, reviewed lists.
+pub fn is_high_variance(name: &str) -> bool {
+    bench::scenarios::is_high_variance(name) || piom_scenarios::is_high_variance(name)
+}
+
+/// `true` when `name` gets the p99 tail gate: tagged
+/// [`bench::scenarios::TAIL_GATED`] or registered as a
+/// [`piom_scenarios::Gate::Tail`] workload.
+pub fn is_tail_gated(name: &str) -> bool {
+    bench::scenarios::is_tail_gated(name) || piom_scenarios::is_tail_gated(name)
+}
+
 /// The effective gate threshold for `name` given the base `threshold_pct`:
 /// high-variance scenarios get at least [`WIDE_THRESHOLD_PCT`] (an
 /// explicitly wider `--threshold` still wins), everything else the base.
 pub fn scenario_threshold(name: &str, threshold_pct: f64) -> f64 {
-    if bench::scenarios::is_high_variance(name) {
+    if is_high_variance(name) {
         threshold_pct.max(WIDE_THRESHOLD_PCT)
     } else {
         threshold_pct
@@ -114,9 +131,9 @@ impl ScenarioDelta {
 
     /// `true` when this row alone trips a gate at `threshold_pct`, after
     /// the per-scenario widening ([`scenario_threshold`]): the mean past
-    /// the threshold, or — on [`bench::scenarios::TAIL_GATED`] rows where
-    /// both sides carry a p99 — the p99 past [`P99_THRESHOLD_FACTOR`]×
-    /// the threshold, or an [`invalid`](Self::invalid) measurement.
+    /// the threshold, or — on [`is_tail_gated`] rows where both sides
+    /// carry a p99 — the p99 past [`P99_THRESHOLD_FACTOR`]× the
+    /// threshold, or an [`invalid`](Self::invalid) measurement.
     pub fn regressed(&self, threshold_pct: f64) -> bool {
         if self.invalid() {
             return true;
@@ -125,7 +142,7 @@ impl ScenarioDelta {
         if self.delta_pct.is_some_and(|d| d > gate) {
             return true;
         }
-        bench::scenarios::is_tail_gated(&self.name)
+        is_tail_gated(&self.name)
             && self
                 .p99_delta_pct
                 .is_some_and(|d| d > gate * P99_THRESHOLD_FACTOR)
@@ -508,6 +525,36 @@ mod tests {
             report.rows[0].p99_delta_pct.unwrap() > 1000.0,
             "…but the delta is still computed and reported"
         );
+    }
+
+    #[test]
+    fn scenario_registry_tags_feed_the_gate() {
+        // Workload rows inherit their gate class from the scenario
+        // registry, unioned with the bench tag lists.
+        assert!(is_high_variance("retry_storm"));
+        assert!(!is_tail_gated("retry_storm"));
+        assert!(is_tail_gated("rpc_mesh_steady"));
+        assert!(is_high_variance("newmad_pingpong"), "bench tags still hold");
+        assert_eq!(
+            scenario_threshold("retry_storm", DEFAULT_THRESHOLD_PCT),
+            WIDE_THRESHOLD_PCT
+        );
+        assert_eq!(
+            scenario_threshold("rpc_mesh_steady", DEFAULT_THRESHOLD_PCT),
+            DEFAULT_THRESHOLD_PCT
+        );
+        // A p99-only regression on a Tail-class workload fails the gate
+        // exactly like a TAIL_GATED bench row (same fixture shape as
+        // v2_vs_v2_p99_only_regression_fails_tail_gated_rows).
+        let base = baseline_v2(&[("rpc_mesh_steady", 1000.0)]);
+        let mut r = result("rpc_mesh_steady", 1000.0);
+        r.p99_ns = 3_220.0;
+        assert!(!compare(&base, &[r], DEFAULT_THRESHOLD_PCT).gate_passes());
+        // While a Wide-class workload tolerates +50% on the mean.
+        let base = baseline_v2(&[("retry_storm", 1000.0)]);
+        let mut r = result("retry_storm", 1500.0);
+        r.p99_ns = 2_000.0;
+        assert!(compare(&base, &[r], DEFAULT_THRESHOLD_PCT).gate_passes());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 pub mod bench;
 pub mod compare;
+pub mod scen;
 pub mod schema;
 pub mod snapshot;
 

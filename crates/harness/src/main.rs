@@ -9,9 +9,14 @@
 //! re-running the suite; `piom-harness stats [--json]` runs the
 //! demo workload with the submit→execute latency histogram armed and
 //! prints the counter snapshot (Prometheus-text-shaped JSON with
-//! `--json`).
+//! `--json`); `piom-harness scenarios [--json] [--quick] [--filter NAME]
+//! [--seed N] [--out PATH] [--compare OLD.json [--threshold PCT]]` runs
+//! the deterministic workload-scenario matrix (writing the
+//! `SCENARIOS_pioman.json` trajectory with `--json` and gating it with
+//! `--compare`, same schema and gate as the benches).
 
-use piom_harness::{bench, compare, schema, snapshot};
+use piom_harness::{bench, compare, scen, schema, snapshot};
+use piom_scenarios::{Scenario, ScenarioParams};
 
 fn usage() -> ! {
     eprintln!("usage: piom-harness <experiment>");
@@ -21,6 +26,10 @@ fn usage() -> ! {
     );
     eprintln!("       piom-harness compare OLD.json NEW.json [--threshold PCT]");
     eprintln!("       piom-harness stats [--json]");
+    eprintln!(
+        "       piom-harness scenarios [--json] [--quick] [--filter NAME] [--seed N] \
+         [--out PATH] [--compare OLD.json] [--threshold PCT]"
+    );
     eprintln!("experiments: {}", piom_harness::EXPERIMENTS.join(", "));
     std::process::exit(2);
 }
@@ -91,6 +100,111 @@ fn run_compare(args: &[String]) {
     print!("{}", report.render());
     if !report.gate_passes() {
         std::process::exit(1);
+    }
+}
+
+/// `piom-harness scenarios [...]`: run the workload-scenario matrix
+/// deterministically and (optionally) write/gate the
+/// `SCENARIOS_pioman.json` trajectory. An unmatched `--filter` exits 2:
+/// a typo must not read as an empty-but-green matrix.
+fn run_scenarios(args: &[String]) {
+    let mut json = false;
+    let mut quick = false;
+    let mut seed: u64 = 42;
+    let mut filter: Option<String> = None;
+    let mut out_path = String::from("SCENARIOS_pioman.json");
+    let mut baseline_path: Option<String> = None;
+    let mut threshold_pct = compare::DEFAULT_THRESHOLD_PCT;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--quick" => quick = true,
+            "--seed" => match it.next().and_then(|p| p.parse::<u64>().ok()) {
+                Some(s) => seed = s,
+                None => {
+                    eprintln!("--seed requires an unsigned integer");
+                    std::process::exit(2);
+                }
+            },
+            "--filter" => match it.next() {
+                Some(f) => filter = Some(f.clone()),
+                None => {
+                    eprintln!("--filter requires a (sub)string to match scenario names");
+                    std::process::exit(2);
+                }
+            },
+            "--out" => match it.next() {
+                Some(p) => {
+                    out_path = p.clone();
+                    // Naming an output file is asking for the file.
+                    json = true;
+                }
+                None => {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                }
+            },
+            "--compare" => match it.next() {
+                Some(p) => baseline_path = Some(p.clone()),
+                None => {
+                    eprintln!("--compare requires a baseline JSON path");
+                    std::process::exit(2);
+                }
+            },
+            "--threshold" => match it.next().and_then(|p| p.parse::<f64>().ok()) {
+                Some(pct) if pct >= 0.0 => threshold_pct = pct,
+                _ => {
+                    eprintln!("--threshold requires a non-negative percentage");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown scenarios flag {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let selected: Vec<&Scenario> = match &filter {
+        Some(f) => {
+            let hits = piom_scenarios::matching(f);
+            if hits.is_empty() {
+                eprintln!(
+                    "--filter {f:?} matches no scenario; known: {}",
+                    piom_scenarios::registry()
+                        .iter()
+                        .map(|s| s.name)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                std::process::exit(2);
+            }
+            hits
+        }
+        None => piom_scenarios::registry().iter().collect(),
+    };
+    // Read the baseline before running, so a bad path fails immediately.
+    let baseline = baseline_path.map(|path| load_trajectory(&path));
+    let params = if quick {
+        ScenarioParams::quick(seed)
+    } else {
+        ScenarioParams::full(seed)
+    };
+    let results = scen::run_matrix(&selected, &params);
+    print!("{}", scen::render_text(&selected, &results));
+    if json {
+        if let Err(e) = std::fs::write(&out_path, schema::render_json(&results)) {
+            eprintln!("cannot write {out_path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {out_path}");
+    }
+    if let Some(baseline) = baseline {
+        let report = compare::compare(&baseline, &results, threshold_pct);
+        print!("{}", report.render());
+        if !report.gate_passes() {
+            std::process::exit(1);
+        }
     }
 }
 
@@ -172,6 +286,10 @@ fn main() {
     }
     if args[0] == "stats" {
         run_stats(&args[1..]);
+        return;
+    }
+    if args[0] == "scenarios" {
+        run_scenarios(&args[1..]);
         return;
     }
     for what in &args {

@@ -1,0 +1,278 @@
+//! The scenario registry: named, parameterized, seedable DES workloads.
+//!
+//! The microbench trajectory (`BENCH_pioman.json`) watches the *scheduler
+//! hot paths*; nothing so far watched *workload behaviour* — an incast
+//! collapse, a retry storm amplifying itself, a straggler fattening every
+//! gather — regressions that leave ns/op untouched. This crate is that
+//! missing surface: a registry of production-shaped traffic patterns, each
+//! a deterministic discrete-event simulation (`piom_des::Sim` +
+//! `piom_net::Network`, server CPU costs from `piom_machine::CostModel`)
+//! that records one latency sample per request into a
+//! [`pioman::hist::Histogram`] and reports the shared
+//! [`PercentileSummary`] vocabulary.
+//!
+//! Determinism is the contract that makes the matrix gateable: a scenario
+//! run is a pure function of `(code, params, seed)` — integer simulated
+//! time, [`piom_des::rng::SplitMix64`] jitter, no ambient entropy, no
+//! wall clock — so two runs with the same seed produce *byte-identical*
+//! JSON rows (pinned by `tests/determinism.rs`), and the
+//! `SCENARIOS_pioman.json` baseline gates CI exactly, through the same
+//! `piom-harness` schema-v2 + compare machinery as the benches.
+//!
+//! # Quick start
+//!
+//! ```
+//! use piom_scenarios::{registry, ScenarioParams};
+//!
+//! let params = ScenarioParams::quick(42);
+//! let scenario = piom_scenarios::find("incast_fanin").expect("registered");
+//! let report = scenario.run(&params);
+//! assert_eq!(report.name, "incast_fanin");
+//! assert!(report.summary.count > 0 && report.summary.p99 >= report.summary.p50);
+//! assert!(registry().len() >= 8);
+//! ```
+
+#![warn(missing_docs)]
+
+use pioman::hist::{Histogram, PercentileSummary};
+
+mod cluster;
+mod workloads;
+
+pub use cluster::{Cluster, Server, ServerCosts};
+
+/// How the compare gate should hold a scenario's row
+/// (`piom-harness compare` maps these onto the same per-scenario
+/// thresholds the bench gate uses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Gate {
+    /// Tight unimodal distribution: gate the mean at the tight default
+    /// *and* the p99 at `P99_THRESHOLD_FACTOR`× (the `TAIL_GATED`
+    /// treatment) — a fattened tail here is a real model regression.
+    Tail,
+    /// Intrinsically bursty / heavy-tailed / bimodal distribution: gate
+    /// the mean at the wide threshold only (the `HIGH_VARIANCE`
+    /// treatment) — the tail *is* the workload, and a small model change
+    /// legitimately swings it.
+    Wide,
+}
+
+/// Shared knobs of every scenario run. Each scenario derives its own
+/// internal sizes from these two scale parameters plus the seed, so
+/// `quick` and `full` exercise the same shapes at different volumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScenarioParams {
+    /// Seed of the per-scenario `SplitMix64` (each scenario reseeds with
+    /// its own name hash mixed in, so scenarios draw independent streams).
+    pub seed: u64,
+    /// Client/server endpoint count in the fan-in/fan-out scenarios.
+    pub endpoints: usize,
+    /// Approximate recorded samples per scenario (the percentile budget:
+    /// `full` keeps p999 resting on ≥4 real samples).
+    pub samples: u64,
+}
+
+impl ScenarioParams {
+    /// The full preset recorded into the committed `SCENARIOS_pioman.json`
+    /// trajectory and gated in CI.
+    pub fn full(seed: u64) -> Self {
+        ScenarioParams {
+            seed,
+            endpoints: 64,
+            samples: 4096,
+        }
+    }
+
+    /// A small preset for smoke runs and tests: same shapes, ~16× fewer
+    /// events. Not comparable against a `full` baseline — the simulated
+    /// distribution depends (deterministically) on the volume.
+    pub fn quick(seed: u64) -> Self {
+        ScenarioParams {
+            seed,
+            endpoints: 16,
+            samples: 256,
+        }
+    }
+}
+
+/// One registered workload: a name, a gate class, and a run function that
+/// builds its simulation and records one latency sample (nanoseconds of
+/// *simulated* time) per request into the recorder.
+pub struct Scenario {
+    /// Stable identifier — the JSON key of its trajectory row.
+    pub name: &'static str,
+    /// One-line description shown by `piom-harness scenarios`.
+    pub about: &'static str,
+    /// Which gate treatment the compare machinery applies.
+    pub gate: Gate,
+    run: fn(&ScenarioParams, &mut dyn FnMut(u64)),
+}
+
+impl Scenario {
+    /// Runs the scenario, folding every recorded latency through a
+    /// [`Histogram`] (one shard — the DES is single-threaded) into the
+    /// shared percentile vocabulary.
+    pub fn run(&self, params: &ScenarioParams) -> ScenarioReport {
+        let hist = Histogram::new(1);
+        (self.run)(params, &mut |ns| hist.record_at(0, ns));
+        ScenarioReport {
+            name: self.name,
+            gate: self.gate,
+            seed: params.seed,
+            summary: hist.snapshot().summary(),
+        }
+    }
+
+    /// Runs the scenario feeding samples to `rec` *instead of* a
+    /// histogram — the hand-off seam the oracle tests use to capture the
+    /// exact sample stream alongside the bucketed summary.
+    pub fn run_with_recorder(&self, params: &ScenarioParams, rec: &mut dyn FnMut(u64)) {
+        (self.run)(params, rec);
+    }
+}
+
+impl std::fmt::Debug for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scenario")
+            .field("name", &self.name)
+            .field("gate", &self.gate)
+            .finish()
+    }
+}
+
+/// One scenario's result row: the schema-v2 fields
+/// (`mean/p50/p99/p999/iters/seed`) in the shared vocabulary, ready for
+/// `piom-harness` to render and gate with no new formats.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioReport {
+    /// Scenario name (the JSON key).
+    pub name: &'static str,
+    /// Gate treatment of this row.
+    pub gate: Gate,
+    /// Seed the run was configured with.
+    pub seed: u64,
+    /// The latency distribution (count doubles as the row's `iters`).
+    pub summary: PercentileSummary,
+}
+
+/// Every registered scenario, in fixed (trajectory) order.
+pub fn registry() -> &'static [Scenario] {
+    workloads::REGISTRY
+}
+
+/// The scenario named exactly `name`, if registered.
+pub fn find(name: &str) -> Option<&'static Scenario> {
+    registry().iter().find(|s| s.name == name)
+}
+
+/// Scenarios whose name contains `filter` (substring match, the
+/// `--filter` semantics). Empty means the caller asked for something that
+/// does not exist — the CLI treats that as an error, not an empty pass.
+pub fn matching(filter: &str) -> Vec<&'static Scenario> {
+    registry()
+        .iter()
+        .filter(|s| s.name.contains(filter))
+        .collect()
+}
+
+/// `true` if `name` is a registered scenario with [`Gate::Wide`] — the
+/// compare machinery unions this with `bench::scenarios::HIGH_VARIANCE`.
+pub fn is_high_variance(name: &str) -> bool {
+    find(name).is_some_and(|s| s.gate == Gate::Wide)
+}
+
+/// `true` if `name` is a registered scenario with [`Gate::Tail`] — the
+/// compare machinery unions this with `bench::scenarios::TAIL_GATED`.
+pub fn is_tail_gated(name: &str) -> bool {
+    find(name).is_some_and(|s| s.gate == Gate::Tail)
+}
+
+/// Mixes the scenario name into the run seed so every scenario draws an
+/// independent deterministic stream (two scenarios sharing a seed must
+/// not share jitter, or shape changes in one would alias into another).
+pub(crate) fn scenario_seed(name: &str, seed: u64) -> u64 {
+    // FNV-1a over the name, folded into the user seed.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^ seed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_at_least_eight_unique_names() {
+        let names: Vec<_> = registry().iter().map(|s| s.name).collect();
+        assert!(names.len() >= 8, "matrix too small: {names:?}");
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "duplicate scenario names");
+        // Names are plain identifiers: the schema renderer does not escape.
+        for n in &names {
+            assert!(
+                n.bytes()
+                    .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_'),
+                "{n:?} is not a plain identifier"
+            );
+        }
+    }
+
+    #[test]
+    fn find_and_matching_agree_with_registry() {
+        assert!(find("incast_fanin").is_some());
+        assert!(find("no_such_scenario").is_none());
+        assert!(matching("").len() == registry().len(), "empty matches all");
+        assert!(matching("zzz_nothing").is_empty());
+        let fanin = matching("fanin");
+        assert!(fanin.iter().any(|s| s.name == "incast_fanin"));
+    }
+
+    #[test]
+    fn gate_tags_partition_the_registry() {
+        for s in registry() {
+            assert!(
+                is_high_variance(s.name) ^ is_tail_gated(s.name),
+                "{} must be exactly one of wide/tail",
+                s.name
+            );
+        }
+        assert!(!is_high_variance("not_registered"));
+        assert!(!is_tail_gated("not_registered"));
+    }
+
+    #[test]
+    fn scenario_seeds_differ_by_name_and_seed() {
+        let a = scenario_seed("incast_fanin", 42);
+        let b = scenario_seed("retry_storm", 42);
+        let c = scenario_seed("incast_fanin", 43);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn every_scenario_produces_a_populated_summary() {
+        let params = ScenarioParams::quick(42);
+        for s in registry() {
+            let r = s.run(&params);
+            assert!(r.summary.count > 0, "{} recorded nothing", s.name);
+            assert!(
+                r.summary.mean > 0.0 && r.summary.p50 > 0.0,
+                "{} has zero latencies",
+                s.name
+            );
+            assert!(
+                r.summary.p50 <= r.summary.p99
+                    && r.summary.p99 <= r.summary.p999
+                    && r.summary.p999 <= r.summary.max,
+                "{} quantiles out of order: {:?}",
+                s.name,
+                r.summary
+            );
+        }
+    }
+}

@@ -1,0 +1,772 @@
+//! The registered workloads: production-shaped traffic on the simulated
+//! cluster.
+//!
+//! Every scenario follows one discipline, because the matrix's value is
+//! its determinism:
+//!
+//! * all randomness comes from [`SplitMix64`] streams seeded from
+//!   `(scenario name, run seed)` — no ambient entropy;
+//! * all arithmetic is integer nanoseconds or IEEE basic-op `f64`
+//!   (add/sub/mul/div) — **no transcendentals** (`ln`, `powf`, `sin`),
+//!   whose libm implementations differ across hosts and would break the
+//!   byte-identical contract the gate rests on. Heavy tails come from
+//!   geometric bit draws, the day curve from an integer multiplier table;
+//! * one latency sample (nanoseconds of *simulated* time) per request
+//!   goes to the recorder; the fold into `pioman::hist` happens in
+//!   `Scenario::run`.
+//!
+//! Latencies are collected into an `Rc<RefCell<Vec<u64>>>` during the
+//! simulation (events cannot borrow the caller's recorder) and drained
+//! afterwards.
+
+use crate::cluster::{stamped_latency, Cluster};
+use crate::{Gate, Scenario, ScenarioParams};
+use piom_des::rng::SplitMix64;
+use piom_des::{Sim, SimTime};
+use piom_net::{Message, Network, RxHandler};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// The registry, in trajectory order.
+pub(crate) static REGISTRY: &[Scenario] = &[
+    Scenario {
+        name: "incast_fanin",
+        about: "synchronized many-endpoint fan-in rounds queueing on one server",
+        gate: Gate::Wide,
+        run: incast_fanin,
+    },
+    Scenario {
+        name: "bursty_onoff",
+        about: "on/off burst clients against one server (burst drains are the tail)",
+        gate: Gate::Wide,
+        run: bursty_onoff,
+    },
+    Scenario {
+        name: "diurnal_wave",
+        about: "a day-curve arrival trace: near-critical peak hours, idle troughs",
+        gate: Gate::Wide,
+        run: diurnal_wave,
+    },
+    Scenario {
+        name: "heavy_tail_mix",
+        about: "mice-and-elephants size mix head-of-line blocking one NIC engine",
+        gate: Gate::Wide,
+        run: heavy_tail_mix,
+    },
+    Scenario {
+        name: "straggler_shuffle",
+        about: "scatter/gather rounds where 1-in-16 worker draws run 10x slow",
+        gate: Gate::Wide,
+        run: straggler_shuffle,
+    },
+    Scenario {
+        name: "retry_storm",
+        about: "server outage window; timed-out clients retry with backoff",
+        gate: Gate::Wide,
+        run: retry_storm,
+    },
+    Scenario {
+        name: "multirail_stripe",
+        about: "large transfers striped across 4 rails; completion = slowest chunk",
+        gate: Gate::Tail,
+        run: multirail_stripe,
+    },
+    Scenario {
+        name: "rpc_mesh_steady",
+        about: "steady random pairwise request/response RPCs (the tight baseline)",
+        gate: Gate::Tail,
+        run: rpc_mesh_steady,
+    },
+    Scenario {
+        name: "rdma_pull_fanin",
+        about: "one-sided RDMA pulls from many peers (contention-free floor)",
+        gate: Gate::Tail,
+        run: rdma_pull_fanin,
+    },
+];
+
+/// A size uniform within `[2^shift, 2^(shift+1))` for a shift uniform in
+/// `[min_shift, max_shift]` — log-uniform, all-integer.
+fn log_uniform_size(rng: &mut SplitMix64, min_shift: u32, max_shift: u32) -> usize {
+    let shift = min_shift + rng.next_below((max_shift - min_shift + 1) as u64) as u32;
+    let base = 1u64 << shift;
+    (base + rng.next_below(base)) as usize
+}
+
+/// A geometrically heavy-tailed size: `P(level ≥ k) = 2^-k`, capped at
+/// `cap_level`, so most messages are mice and a rare draw is an
+/// elephant. Pure bit arithmetic — a bounded-Pareto stand-in needing no
+/// `powf`.
+fn heavy_tail_size(rng: &mut SplitMix64, min_bytes: u64, cap_level: u32) -> usize {
+    let level = rng.next_u64().trailing_zeros().min(cap_level);
+    let base = min_bytes << level;
+    (base + rng.next_below(base)) as usize
+}
+
+/// An "exponential-ish" inter-arrival gap without `ln`: `mean/4` plus a
+/// uniform draw up to `3·mean/2` — same mean, bounded support,
+/// bit-reproducible everywhere.
+fn spread_gap(rng: &mut SplitMix64, mean_ns: u64) -> SimTime {
+    SimTime::from_ns(mean_ns / 4 + rng.next_below(mean_ns * 3 / 2))
+}
+
+/// A scenario's *in-event* RNG stream, independent from its precompute
+/// stream: events draw in execution order (deterministic but
+/// interleaved), so keeping the streams apart means a schedule-shape
+/// change cannot silently re-deal the precomputed sizes and offsets.
+fn event_rng(name: &str, seed: u64) -> Rc<RefCell<SplitMix64>> {
+    Rc::new(RefCell::new(SplitMix64::new(crate::scenario_seed(
+        name,
+        seed ^ 0x9E37_79B9_7F4A_7C15,
+    ))))
+}
+
+/// Drains the collected sample vector into the recorder.
+fn drain(samples: &Rc<RefCell<Vec<u64>>>, rec: &mut dyn FnMut(u64)) {
+    for &v in samples.borrow().iter() {
+        rec(v);
+    }
+}
+
+/// Synchronized fan-in: every round, all `endpoints` senders fire one
+/// small request at the same server within a 5 µs window. The server's
+/// FIFO queue turns the synchronized arrivals into a linearly growing
+/// sojourn — the classic incast latency ramp. Recorded: request send →
+/// server completion.
+fn incast_fanin(p: &ScenarioParams, rec: &mut dyn FnMut(u64)) {
+    let e = p.endpoints;
+    let rounds = (p.samples as usize / e).max(1);
+    let mut c = Cluster::build("incast_fanin", e + 1, 1, p.seed);
+    let samples: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+    let srv_rng = event_rng("incast_fanin", p.seed);
+
+    let server = c.servers[0].clone();
+    let s = samples.clone();
+    c.on_receive(
+        0,
+        Rc::new(move |sim: &mut Sim, msg: Message| {
+            let sent = msg.tag;
+            let s = s.clone();
+            let mut rng = srv_rng.borrow_mut();
+            server.serve_sized(sim, msg.size, &mut rng, move |sim| {
+                s.borrow_mut().push(sim.now().as_ns() - sent);
+            });
+        }),
+    );
+
+    for round in 0..rounds {
+        let round_start = SimTime::from_us(300) * round as u64;
+        for sender in 1..=e {
+            let at = round_start + SimTime::from_ns(c.rng.next_below(5_000));
+            let size = log_uniform_size(&mut c.rng, 8, 12); // 256 B .. 8 KiB
+            schedule_send(&mut c, at, sender, 0, size);
+        }
+    }
+    c.sim.run();
+    drain(&samples, rec);
+}
+
+/// Schedules a stamped request from `src` to `dst` at absolute time `at`
+/// (the tag carries the *actual* send time so engine queueing at the
+/// sender counts toward the measured latency).
+fn schedule_send(c: &mut Cluster, at: SimTime, src: usize, dst: usize, size: usize) {
+    let net = c.net.clone();
+    c.sim.schedule_abs(at, move |sim| {
+        net.send(
+            sim,
+            Message {
+                src,
+                dst,
+                rail: 0,
+                tag: sim.now().as_ns(),
+                size,
+                data: None,
+            },
+        );
+    });
+}
+
+/// On/off sources: each client alternates a back-to-back burst with a
+/// long idle gap. Bursts overrun the server briefly; the drain of each
+/// burst is the latency tail. Recorded: request send → server completion.
+fn bursty_onoff(p: &ScenarioParams, rec: &mut dyn FnMut(u64)) {
+    let clients = p.endpoints.clamp(1, 4);
+    let per_client = (p.samples as usize / clients).max(1);
+    let mut c = Cluster::build("bursty_onoff", clients + 1, 1, p.seed);
+    let samples: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+    let srv_rng = event_rng("bursty_onoff", p.seed);
+
+    let server = c.servers[0].clone();
+    let s = samples.clone();
+    c.on_receive(
+        0,
+        Rc::new(move |sim: &mut Sim, msg: Message| {
+            let sent = msg.tag;
+            let s = s.clone();
+            let mut rng = srv_rng.borrow_mut();
+            server.serve_sized(sim, msg.size, &mut rng, move |sim| {
+                s.borrow_mut().push(sim.now().as_ns() - sent);
+            });
+        }),
+    );
+
+    for client in 1..=clients {
+        let mut t = SimTime::from_ns(c.rng.next_below(20_000));
+        let mut sent = 0usize;
+        while sent < per_client {
+            let burst = (4 + c.rng.next_below(28)) as usize;
+            for _ in 0..burst.min(per_client - sent) {
+                let size = log_uniform_size(&mut c.rng, 9, 11); // 512 B .. 4 KiB
+                schedule_send(&mut c, t, client, 0, size);
+                t += SimTime::from_ns(200 + c.rng.next_below(800));
+                sent += 1;
+            }
+            // The off period keeps long-run utilization under capacity
+            // (~0.4 with 4 clients): bursts overload the server
+            // *transiently* and drain — a saturated queue would just
+            // measure the run length.
+            t += spread_gap(&mut c.rng, 160_000);
+        }
+    }
+    c.sim.run();
+    drain(&samples, rec);
+}
+
+/// A compressed "day" of traffic: 24 half-millisecond hours whose
+/// arrival rates follow an integer day curve — idle troughs, shoulder
+/// ramps, and peak hours that run the server near criticality so queues
+/// build and drain diurnally. Recorded: request send → server completion.
+fn diurnal_wave(p: &ScenarioParams, rec: &mut dyn FnMut(u64)) {
+    /// Relative arrival rate per "hour of day" (sums to 160).
+    const DAY_CURVE: [u64; 24] = [
+        2, 1, 1, 1, 1, 2, 4, 6, 8, 10, 12, 12, 11, 10, 9, 8, 8, 9, 10, 12, 10, 6, 4, 3,
+    ];
+    const CURVE_SUM: u64 = 160;
+    const HOUR: SimTime = SimTime::from_us(500);
+
+    let clients = p.endpoints.clamp(1, 8);
+    let mut c = Cluster::build("diurnal_wave", clients + 1, 1, p.seed);
+    let samples: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+    let srv_rng = event_rng("diurnal_wave", p.seed);
+
+    let server = c.servers[0].clone();
+    let s = samples.clone();
+    c.on_receive(
+        0,
+        Rc::new(move |sim: &mut Sim, msg: Message| {
+            let sent = msg.tag;
+            let s = s.clone();
+            let mut rng = srv_rng.borrow_mut();
+            server.serve_sized(sim, msg.size, &mut rng, move |sim| {
+                s.borrow_mut().push(sim.now().as_ns() - sent);
+            });
+        }),
+    );
+
+    let mut k = 0usize;
+    for (hour, &weight) in DAY_CURVE.iter().enumerate() {
+        let quota = (p.samples * weight / CURVE_SUM).max(1);
+        let gap = HOUR.as_ns() / quota;
+        for i in 0..quota {
+            let at = HOUR * hour as u64 + SimTime::from_ns(i * gap + c.rng.next_below(gap.max(1)));
+            let size = log_uniform_size(&mut c.rng, 9, 11); // 512 B .. 4 KiB
+            let client = 1 + k % clients;
+            schedule_send(&mut c, at, client, 0, size);
+            k += 1;
+        }
+    }
+    c.sim.run();
+    drain(&samples, rec);
+}
+
+/// Mice and elephants through one NIC engine: geometrically heavy-tailed
+/// sizes (256 B up to ~2 MiB) on a steady arrival stream. An elephant
+/// occupies the send engine for milliseconds, head-of-line blocking every
+/// mouse behind it. Recorded: send → delivery (no server — this scenario
+/// isolates the *network* path).
+fn heavy_tail_mix(p: &ScenarioParams, rec: &mut dyn FnMut(u64)) {
+    let mut c = Cluster::build("heavy_tail_mix", 2, 1, p.seed);
+    let samples: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+
+    let s = samples.clone();
+    c.on_receive(
+        0,
+        Rc::new(move |sim: &mut Sim, msg: Message| {
+            s.borrow_mut().push(stamped_latency(sim, &msg));
+        }),
+    );
+
+    let mut t = SimTime::ZERO;
+    for _ in 0..p.samples {
+        t += spread_gap(&mut c.rng, 4_000);
+        let size = heavy_tail_size(&mut c.rng, 256, 12);
+        schedule_send(&mut c, t, 1, 0, size);
+    }
+    c.sim.run();
+    drain(&samples, rec);
+}
+
+/// Scatter/gather rounds: a coordinator scatters one small task to every
+/// worker; each worker's service draw has a 1-in-16 chance of running
+/// 10× slow. Recorded: per-reply latency at the coordinator (scatter
+/// send → reply arrival), so straggler amplification lands in the upper
+/// percentiles of every round.
+fn straggler_shuffle(p: &ScenarioParams, rec: &mut dyn FnMut(u64)) {
+    let workers = p.endpoints;
+    let rounds = (p.samples as usize / workers).max(1);
+    let mut c = Cluster::build("straggler_shuffle", workers + 1, 1, p.seed);
+    let samples: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+    let wrk_rng = event_rng("straggler_shuffle", p.seed);
+
+    let servers = c.servers.clone();
+    let net = c.net.clone();
+    let s = samples.clone();
+    let handler: RxHandler = Rc::new(move |sim: &mut Sim, msg: Message| {
+        if msg.dst == 0 {
+            // A reply landing back at the coordinator.
+            s.borrow_mut().push(stamped_latency(sim, &msg));
+            return;
+        }
+        // A scattered task arriving at a worker: jittered service with a
+        // 1-in-16 straggler draw, then a reply carrying the original stamp.
+        let service = {
+            let mut rng = wrk_rng.borrow_mut();
+            let base = SimTime::from_us(4).scale(rng.jitter(0.12));
+            if rng.next_below(16) == 0 {
+                base * 10
+            } else {
+                base
+            }
+        };
+        let net = net.clone();
+        let worker = msg.dst;
+        let stamp = msg.tag;
+        servers[worker].serve(sim, service, move |sim| {
+            net.send(
+                sim,
+                Message {
+                    src: worker,
+                    dst: 0,
+                    rail: 0,
+                    tag: stamp,
+                    size: 512,
+                    data: None,
+                },
+            );
+        });
+    });
+    for node in 0..=workers {
+        c.on_receive(node, handler.clone());
+    }
+
+    for round in 0..rounds {
+        let round_start = SimTime::from_us(300) * round as u64;
+        for worker in 1..=workers {
+            schedule_send(&mut c, round_start, 0, worker, 512);
+        }
+    }
+    c.sim.run();
+    drain(&samples, rec);
+}
+
+/// Per-request client state of the retry-storm scenario.
+struct RetryReq {
+    first_send_ns: u64,
+    attempts: u32,
+    done: bool,
+}
+
+/// Shared state threaded through the retry-storm event closures.
+struct RetryCtx {
+    net: Rc<Network>,
+    reqs: RefCell<Vec<RetryReq>>,
+    samples: Rc<RefCell<Vec<u64>>>,
+    backoff_rng: RefCell<SplitMix64>,
+}
+
+/// Client timeout before a retry.
+const RETRY_TIMEOUT: SimTime = SimTime::from_us(120);
+/// Retry budget per request; a request out of budget records its
+/// accumulated latency as a give-up (the storm's worst-case tail).
+const RETRY_MAX_ATTEMPTS: u32 = 8;
+
+/// One attempt of request `id`: send, then arm a timeout that either
+/// gives up or schedules the next attempt after an exponential,
+/// jittered backoff.
+fn retry_attempt(ctx: Rc<RetryCtx>, sim: &mut Sim, id: usize, client: usize, size: usize) {
+    {
+        let mut reqs = ctx.reqs.borrow_mut();
+        if reqs[id].done {
+            return;
+        }
+        reqs[id].attempts += 1;
+    }
+    ctx.net.send(
+        sim,
+        Message {
+            src: client,
+            dst: 0,
+            rail: 0,
+            tag: id as u64,
+            size,
+            data: None,
+        },
+    );
+    let ctx2 = ctx.clone();
+    sim.schedule(RETRY_TIMEOUT, move |sim| {
+        let (first_send_ns, attempts) = {
+            let reqs = ctx2.reqs.borrow();
+            let r = &reqs[id];
+            if r.done {
+                return; // answered while the timeout was in flight
+            }
+            (r.first_send_ns, r.attempts)
+        };
+        if attempts >= RETRY_MAX_ATTEMPTS {
+            ctx2.reqs.borrow_mut()[id].done = true;
+            ctx2.samples
+                .borrow_mut()
+                .push(sim.now().as_ns() - first_send_ns);
+            return;
+        }
+        let backoff = {
+            let mut rng = ctx2.backoff_rng.borrow_mut();
+            let base = 20_000u64 << attempts.min(6);
+            SimTime::from_ns(base + rng.next_below(base))
+        };
+        let ctx3 = ctx2.clone();
+        sim.schedule(backoff, move |sim| {
+            retry_attempt(ctx3, sim, id, client, size);
+        });
+    });
+}
+
+/// A server outage and the storm it seeds: steady request load, a dead
+/// window in the middle of the horizon during which the server drops
+/// everything on the floor, clients timing out and retrying with
+/// exponential backoff — so the outage's end is hit by the original load
+/// *plus* every queued-up retry at once. Recorded: first send → first
+/// response (or give-up), per request.
+fn retry_storm(p: &ScenarioParams, rec: &mut dyn FnMut(u64)) {
+    const HORIZON: SimTime = SimTime::from_ms(8);
+    let outage_start = SimTime::from_ns(HORIZON.as_ns() * 35 / 100);
+    let outage_end = SimTime::from_ns(HORIZON.as_ns() / 2);
+
+    let clients = p.endpoints.clamp(1, 8);
+    let total = p.samples as usize;
+    let mut c = Cluster::build("retry_storm", clients + 1, 1, p.seed);
+    let samples: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+    let srv_rng = event_rng("retry_storm", p.seed);
+
+    let ctx = Rc::new(RetryCtx {
+        net: c.net.clone(),
+        reqs: RefCell::new(Vec::with_capacity(total)),
+        samples: samples.clone(),
+        backoff_rng: RefCell::new(SplitMix64::new(crate::scenario_seed(
+            "retry_storm_backoff",
+            p.seed,
+        ))),
+    });
+
+    // Server: drop during the outage; otherwise serve and respond.
+    let server = c.servers[0].clone();
+    let net = c.net.clone();
+    c.on_receive(
+        0,
+        Rc::new(move |sim: &mut Sim, msg: Message| {
+            if sim.now() >= outage_start && sim.now() < outage_end {
+                return; // dead server: the client's timeout will fire
+            }
+            let net = net.clone();
+            let (id, client) = (msg.tag, msg.src);
+            let mut rng = srv_rng.borrow_mut();
+            server.serve_sized(sim, msg.size, &mut rng, move |sim| {
+                net.send(
+                    sim,
+                    Message {
+                        src: 0,
+                        dst: client,
+                        rail: 0,
+                        tag: id,
+                        size: 256,
+                        data: None,
+                    },
+                );
+            });
+        }),
+    );
+
+    // Clients: the first response (duplicates happen — a retry raced a
+    // slow reply) completes the request and records its end-to-end time.
+    for client in 1..=clients {
+        let ctx2 = ctx.clone();
+        c.on_receive(
+            client,
+            Rc::new(move |sim: &mut Sim, msg: Message| {
+                let id = msg.tag as usize;
+                let mut reqs = ctx2.reqs.borrow_mut();
+                let r = &mut reqs[id];
+                if !r.done {
+                    r.done = true;
+                    ctx2.samples
+                        .borrow_mut()
+                        .push(sim.now().as_ns() - r.first_send_ns);
+                }
+            }),
+        );
+    }
+
+    // Steady load across the horizon, round-robin over the clients.
+    let slot = HORIZON.as_ns() / total as u64;
+    for id in 0..total {
+        let at = SimTime::from_ns(id as u64 * slot + c.rng.next_below(slot.max(1)));
+        let client = 1 + id % clients;
+        let size = log_uniform_size(&mut c.rng, 9, 10); // 512 B .. 2 KiB
+        ctx.reqs.borrow_mut().push(RetryReq {
+            first_send_ns: at.as_ns(),
+            attempts: 0,
+            done: false,
+        });
+        let ctx2 = ctx.clone();
+        c.sim.schedule_abs(at, move |sim| {
+            retry_attempt(ctx2, sim, id, client, size);
+        });
+    }
+    c.sim.run();
+    drain(&samples, rec);
+}
+
+/// Striped bulk transfers: each transfer is cut into 4 chunks sent
+/// concurrently on 4 rails; the transfer completes when its *slowest*
+/// chunk lands, so the recorded latency is a max over rails — the
+/// striping scheduler's actual service metric. Recorded: transfer start
+/// → last chunk arrival.
+fn multirail_stripe(p: &ScenarioParams, rec: &mut dyn FnMut(u64)) {
+    const RAILS: usize = 4;
+    let transfers = p.samples as usize;
+    let mut c = Cluster::build("multirail_stripe", 2, RAILS, p.seed);
+    let samples: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+
+    let starts: Rc<Vec<u64>> = {
+        let mut t = SimTime::ZERO;
+        let mut v = Vec::with_capacity(transfers);
+        for _ in 0..transfers {
+            t += SimTime::from_ns(18_000 + c.rng.next_below(8_000));
+            v.push(t.as_ns());
+        }
+        Rc::new(v)
+    };
+    let arrived: Rc<RefCell<Vec<usize>>> = Rc::new(RefCell::new(vec![0; transfers]));
+
+    let s = samples.clone();
+    let st = starts.clone();
+    let ar = arrived.clone();
+    c.on_receive(
+        1,
+        Rc::new(move |sim: &mut Sim, msg: Message| {
+            let id = msg.tag as usize;
+            let mut arrived = ar.borrow_mut();
+            arrived[id] += 1;
+            if arrived[id] == RAILS {
+                s.borrow_mut().push(sim.now().as_ns() - st[id]);
+            }
+        }),
+    );
+
+    for id in 0..transfers {
+        let size = (32 * 1024 + c.rng.next_below(64 * 1024)) as usize;
+        let chunk = size / RAILS;
+        let at = SimTime::from_ns(starts[id]);
+        let net = c.net.clone();
+        c.sim.schedule_abs(at, move |sim| {
+            for rail in 0..RAILS {
+                // Remainder bytes ride the first rail.
+                let sz = if rail == 0 {
+                    chunk + (size - chunk * RAILS)
+                } else {
+                    chunk
+                };
+                net.send(
+                    sim,
+                    Message {
+                        src: 0,
+                        dst: 1,
+                        rail,
+                        tag: id as u64,
+                        size: sz,
+                        data: None,
+                    },
+                );
+            }
+        });
+    }
+    c.sim.run();
+    drain(&samples, rec);
+}
+
+/// Response-direction marker for the RPC mesh: request tags carry the
+/// send stamp, responses carry the same stamp with the top bit set
+/// (simulated nanoseconds never reach 2^63).
+const RPC_RESPONSE: u64 = 1 << 63;
+
+/// A steady random mesh of request/response RPCs between `endpoints`
+/// nodes: light utilization everywhere, so the distribution is the tight
+/// unimodal baseline the tail gate holds hardest. Recorded: full RTT
+/// (request send → response arrival).
+fn rpc_mesh_steady(p: &ScenarioParams, rec: &mut dyn FnMut(u64)) {
+    let nodes = p.endpoints.clamp(2, 16);
+    let mut c = Cluster::build("rpc_mesh_steady", nodes, 1, p.seed);
+    let samples: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+    let srv_rng = event_rng("rpc_mesh_steady", p.seed);
+
+    let servers = c.servers.clone();
+    let net = c.net.clone();
+    let s = samples.clone();
+    let handler: RxHandler = Rc::new(move |sim: &mut Sim, msg: Message| {
+        if msg.tag & RPC_RESPONSE != 0 {
+            s.borrow_mut()
+                .push(sim.now().as_ns() - (msg.tag & !RPC_RESPONSE));
+            return;
+        }
+        let net = net.clone();
+        let (stamp, requester, responder) = (msg.tag, msg.src, msg.dst);
+        let mut rng = srv_rng.borrow_mut();
+        servers[responder].serve_sized(sim, msg.size, &mut rng, move |sim| {
+            net.send(
+                sim,
+                Message {
+                    src: responder,
+                    dst: requester,
+                    rail: 0,
+                    tag: stamp | RPC_RESPONSE,
+                    size: 1024,
+                    data: None,
+                },
+            );
+        });
+    });
+    for node in 0..nodes {
+        c.on_receive(node, handler.clone());
+    }
+
+    let mut t = SimTime::ZERO;
+    for _ in 0..p.samples {
+        t += spread_gap(&mut c.rng, 2_500);
+        let src = c.rng.next_below(nodes as u64) as usize;
+        let mut dst = c.rng.next_below(nodes as u64 - 1) as usize;
+        if dst >= src {
+            dst += 1;
+        }
+        let size = log_uniform_size(&mut c.rng, 9, 10); // 512 B .. 2 KiB
+        schedule_send(&mut c, t, src, dst, size);
+    }
+    c.sim.run();
+    drain(&samples, rec);
+}
+
+/// One-sided pulls: the aggregator reads jittered-size blocks from each
+/// peer over RDMA — no remote CPU, no engine contention in the model, so
+/// the distribution is purely the size mix through the cost model. The
+/// contention-free floor the queueing scenarios are read against.
+/// Recorded: pull start → completion.
+fn rdma_pull_fanin(p: &ScenarioParams, rec: &mut dyn FnMut(u64)) {
+    let peers = p.endpoints;
+    let mut c = Cluster::build("rdma_pull_fanin", peers + 1, 1, p.seed);
+    let samples: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+
+    let mut t = SimTime::ZERO;
+    for k in 0..p.samples {
+        t += SimTime::from_ns(25_000 + c.rng.next_below(10_000));
+        let target = 1 + (k as usize) % peers;
+        let size = (32 * 1024 + c.rng.next_below(96 * 1024)) as usize;
+        let net = c.net.clone();
+        let s = samples.clone();
+        c.sim.schedule_abs(t, move |sim| {
+            let started = sim.now().as_ns();
+            let s = s.clone();
+            net.rdma_read(sim, 0, target, 0, size, move |sim| {
+                s.borrow_mut().push(sim.now().as_ns() - started);
+            });
+        });
+    }
+    c.sim.run();
+    drain(&samples, rec);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_helpers_stay_in_range() {
+        let mut rng = SplitMix64::new(9);
+        for _ in 0..10_000 {
+            let s = log_uniform_size(&mut rng, 8, 12) as u64;
+            assert!(
+                (256..8192 * 2).contains(&s),
+                "log-uniform out of range: {s}"
+            );
+            let h = heavy_tail_size(&mut rng, 256, 12) as u64;
+            assert!(
+                (256..=(2 * 256) << 12).contains(&h),
+                "heavy tail out of range: {h}"
+            );
+        }
+    }
+
+    #[test]
+    fn heavy_tail_is_actually_heavy() {
+        let mut rng = SplitMix64::new(1);
+        let draws: Vec<u64> = (0..50_000)
+            .map(|_| heavy_tail_size(&mut rng, 256, 12) as u64)
+            .collect();
+        let mice = draws.iter().filter(|&&s| s < 1024).count();
+        let elephants = draws.iter().filter(|&&s| s > 64 * 1024).count();
+        assert!(mice > draws.len() / 2, "most draws should be mice");
+        assert!(elephants > 0, "elephants must exist");
+    }
+
+    #[test]
+    fn incast_latency_grows_within_a_round() {
+        // The incast signature: with synchronized arrivals serialized
+        // behind one server, the p99 sojourn must sit well above the p50.
+        let s = crate::find("incast_fanin").unwrap();
+        let r = s.run(&ScenarioParams::quick(42));
+        assert!(
+            r.summary.p99 > 2.0 * r.summary.p50,
+            "no incast queueing visible: {:?}",
+            r.summary
+        );
+    }
+
+    #[test]
+    fn retry_storm_tail_reflects_the_outage() {
+        // Requests hitting the outage pay at least one 120 µs timeout;
+        // the tail must clear that floor while the median stays normal.
+        let s = crate::find("retry_storm").unwrap();
+        let r = s.run(&ScenarioParams::quick(42));
+        assert!(
+            r.summary.p999 >= RETRY_TIMEOUT.as_ns() as f64,
+            "no retry visible in the tail: {:?}",
+            r.summary
+        );
+        assert!(
+            r.summary.p50 < RETRY_TIMEOUT.as_ns() as f64,
+            "median should be a non-outage request: {:?}",
+            r.summary
+        );
+    }
+
+    #[test]
+    fn rdma_floor_is_tight() {
+        let s = crate::find("rdma_pull_fanin").unwrap();
+        let r = s.run(&ScenarioParams::quick(42));
+        // No queueing in the model: max/min bounded by the size spread
+        // (sizes span 32..128 KiB, so ~4x in the bandwidth term).
+        assert!(
+            r.summary.max < 10.0 * r.summary.p50,
+            "contention-free floor should be tight: {:?}",
+            r.summary
+        );
+    }
+}
