@@ -24,7 +24,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use madmpi::{mtlat, MpiImpl};
 use piom_cpuset::CpuSet;
 use piom_topology::presets;
-use pioman::{ManagerConfig, QueueBackend, TaskManager, TaskOptions, TaskStatus};
+use pioman::{ManagerConfig, QueueBackend, TaskManager, TaskStatus};
 use std::hint::black_box;
 use std::sync::Arc;
 
@@ -40,11 +40,10 @@ fn bench_submit_schedule_levels(c: &mut Criterion) {
         let mgr = TaskManager::new(topo.clone());
         g.bench_function(label, |b| {
             b.iter(|| {
-                let h = mgr.submit(
-                    |_| TaskStatus::Done,
-                    black_box(cpuset),
-                    TaskOptions::oneshot(),
-                );
+                let h = mgr
+                    .task(|_| TaskStatus::Done)
+                    .cpuset(black_box(cpuset))
+                    .spawn();
                 mgr.schedule(core);
                 assert!(h.is_complete());
             })
@@ -70,11 +69,10 @@ fn bench_backend_ablation(c: &mut Criterion) {
         );
         g.bench_function(label, |b| {
             b.iter(|| {
-                let h = mgr.submit(
-                    |_| TaskStatus::Done,
-                    CpuSet::single(0),
-                    TaskOptions::oneshot(),
-                );
+                let h = mgr
+                    .task(|_| TaskStatus::Done)
+                    .cpuset(CpuSet::single(0))
+                    .spawn();
                 mgr.schedule(0);
                 assert!(h.is_complete());
             })
@@ -113,18 +111,17 @@ fn bench_repeat_polling_task(c: &mut Criterion) {
         b.iter_batched(
             || {
                 let mut left = 10u32;
-                mgr.submit(
-                    move |_| {
-                        left -= 1;
-                        if left == 0 {
-                            TaskStatus::Done
-                        } else {
-                            TaskStatus::Again
-                        }
-                    },
-                    CpuSet::single(0),
-                    TaskOptions::repeat(),
-                )
+                mgr.task(move |_| {
+                    left -= 1;
+                    if left == 0 {
+                        TaskStatus::Done
+                    } else {
+                        TaskStatus::Again
+                    }
+                })
+                .cpuset(CpuSet::single(0))
+                .repeat()
+                .spawn()
             },
             |h| {
                 while !h.is_complete() {
@@ -167,11 +164,9 @@ fn bench_batched_dequeue(c: &mut Criterion) {
             b.iter_batched(
                 || {
                     for _ in 0..n {
-                        mgr.submit(
-                            |_| TaskStatus::Done,
-                            CpuSet::single(0),
-                            TaskOptions::oneshot(),
-                        );
+                        mgr.task(|_| TaskStatus::Done)
+                            .cpuset(CpuSet::single(0))
+                            .spawn();
                     }
                 },
                 |()| {
@@ -263,11 +258,10 @@ fn bench_park_wake(c: &mut Criterion) {
         b.iter_batched(
             || scenarios::wait_until_parked(&mgr, 1),
             |()| {
-                let h = mgr.submit(
-                    |_| TaskStatus::Done,
-                    CpuSet::single(1),
-                    TaskOptions::oneshot(),
-                );
+                let h = mgr
+                    .task(|_| TaskStatus::Done)
+                    .cpuset(CpuSet::single(1))
+                    .spawn();
                 assert_eq!(h.wait(), Ok(()));
             },
             BatchSize::SmallInput,
@@ -281,12 +275,11 @@ fn bench_park_wake(c: &mut Criterion) {
     });
     let loaded = TaskManager::new(topo.clone());
     for _ in 0..scenarios::SKEWED_LOAD {
-        loaded.submit_on(
-            |_| TaskStatus::Done,
-            12,
-            CpuSet::from_iter([0, 12]),
-            TaskOptions::oneshot(),
-        );
+        loaded
+            .task(|_| TaskStatus::Done)
+            .cpuset(CpuSet::from_iter([0, 12]))
+            .on_core(12)
+            .spawn();
     }
     g.bench_function("park_probe_distant_backlog", |b| {
         b.iter(|| assert!(black_box(loaded.park_probe(0))))

@@ -11,7 +11,7 @@
 //! so a workload scenario never needs an entry here.
 
 use piom_cpuset::CpuSet;
-use pioman::{TaskHandle, TaskManager, TaskOptions, TaskStatus};
+use pioman::{TaskClass, TaskHandle, TaskManager, TaskStatus, CLASS_COUNT};
 use std::time::{Duration, Instant};
 
 /// Scenarios whose quick-mode numbers swing with host load (±40% observed
@@ -59,6 +59,9 @@ pub const TAIL_GATED: &[&str] = &[
     "park_wake_latency",
     "phase_shift_ramp",
     "phase_shift_ramp_cumulative",
+    "qos_class_mix",
+    "qos_class_mix_spinlock",
+    "qos_waitlist_chain",
 ];
 
 /// `true` if `name` is tagged [`TAIL_GATED`].
@@ -81,12 +84,10 @@ pub const CONTENDED_THREADS: usize = 4;
 pub fn submit_skewed(mgr: &TaskManager) -> Vec<TaskHandle> {
     (0..SKEWED_LOAD)
         .map(|_| {
-            mgr.submit_on(
-                |_| TaskStatus::Done,
-                0,
-                CpuSet::range(0..4),
-                TaskOptions::oneshot(),
-            )
+            mgr.task(|_| TaskStatus::Done)
+                .cpuset(CpuSet::range(0..4))
+                .on_core(0)
+                .spawn()
         })
         .collect()
 }
@@ -126,11 +127,9 @@ pub const ADAPTIVE_RAMP_LOAD: usize = 256;
 pub fn submit_ramp(mgr: &TaskManager, core: usize) -> Vec<TaskHandle> {
     (0..ADAPTIVE_RAMP_LOAD)
         .map(|_| {
-            mgr.submit(
-                |_| TaskStatus::Done,
-                CpuSet::single(core),
-                TaskOptions::oneshot(),
-            )
+            mgr.task(|_| TaskStatus::Done)
+                .cpuset(CpuSet::single(core))
+                .spawn()
         })
         .collect()
 }
@@ -167,7 +166,7 @@ pub fn contended_round(mgr: &TaskManager, per_core: bool) -> usize {
                     } else {
                         CpuSet::first_n(16)
                     };
-                    let h = mgr.submit(|_| TaskStatus::Done, set, TaskOptions::oneshot());
+                    let h = mgr.task(|_| TaskStatus::Done).cpuset(set).spawn();
                     while !h.is_complete() {
                         mgr.schedule(core);
                     }
@@ -176,6 +175,47 @@ pub fn contended_round(mgr: &TaskManager, per_core: bool) -> usize {
         }
     });
     CONTENDED_THREADS * CONTENDED_OPS
+}
+
+/// Tasks in one QoS class-mix backlog, spread evenly over the four
+/// classes so every lane set is exercised.
+pub const QOS_MIX_LOAD: usize = 64;
+
+/// Submits [`QOS_MIX_LOAD`] one-shot tasks homed on core 0, classes
+/// assigned round-robin over [`TaskClass::ALL`] and an EDF deadline tick
+/// on every other task (descending, so the deadline lanes genuinely
+/// reorder instead of degenerating to FIFO).
+pub fn submit_qos_mix(mgr: &TaskManager) -> Vec<TaskHandle> {
+    (0..QOS_MIX_LOAD)
+        .map(|i| {
+            let mut spec = mgr
+                .task(|_| TaskStatus::Done)
+                .cpuset(CpuSet::single(0))
+                .class(TaskClass::ALL[i % CLASS_COUNT]);
+            if i % 2 == 0 {
+                spec = spec.deadline((QOS_MIX_LOAD - i) as u64);
+            }
+            spec.spawn()
+        })
+        .collect()
+}
+
+/// Depth of the dependency chain in the waitlist-release scenario.
+pub const QOS_CHAIN_LEN: usize = 32;
+
+/// Submits a [`QOS_CHAIN_LEN`]-deep dependency chain on core 0: every
+/// task after the first parks on the waitlist until its predecessor's
+/// completion path releases it, so a drain pays one release per link.
+pub fn submit_qos_chain(mgr: &TaskManager) -> Vec<TaskHandle> {
+    let mut handles: Vec<TaskHandle> = Vec::with_capacity(QOS_CHAIN_LEN);
+    for _ in 0..QOS_CHAIN_LEN {
+        let mut spec = mgr.task(|_| TaskStatus::Done).cpuset(CpuSet::single(0));
+        if let Some(prev) = handles.last() {
+            spec = spec.after(prev);
+        }
+        handles.push(spec.spawn());
+    }
+    handles
 }
 
 /// Park timeout used by the `park_wake_latency` scenario: it stands in for

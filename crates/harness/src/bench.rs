@@ -18,7 +18,7 @@ use piom_topology::presets;
 use pioman::hist::Histogram;
 use pioman::{
     ManagerConfig, Progression, ProgressionConfig, QueueBackend, SignalPolicy, TaskManager,
-    TaskOptions, TaskStatus,
+    TaskStatus,
 };
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -141,11 +141,10 @@ fn submit_schedule_percore(opts: &BenchOptions) -> BenchResult {
         opts,
         || (),
         || {
-            let h = mgr.submit(
-                |_| TaskStatus::Done,
-                CpuSet::single(0),
-                TaskOptions::oneshot(),
-            );
+            let h = mgr
+                .task(|_| TaskStatus::Done)
+                .cpuset(CpuSet::single(0))
+                .spawn();
             mgr.schedule(0);
             assert!(h.is_complete());
         },
@@ -160,11 +159,10 @@ fn submit_schedule_global(opts: &BenchOptions) -> BenchResult {
         opts,
         || (),
         || {
-            let h = mgr.submit(
-                |_| TaskStatus::Done,
-                CpuSet::first_n(16),
-                TaskOptions::oneshot(),
-            );
+            let h = mgr
+                .task(|_| TaskStatus::Done)
+                .cpuset(CpuSet::first_n(16))
+                .spawn();
             mgr.schedule(9);
             assert!(h.is_complete());
         },
@@ -181,11 +179,9 @@ fn schedule_batch_drain(opts: &BenchOptions) -> BenchResult {
         opts,
         || {
             for _ in 0..LOAD {
-                mgr.submit(
-                    |_| TaskStatus::Done,
-                    CpuSet::single(0),
-                    TaskOptions::oneshot(),
-                );
+                mgr.task(|_| TaskStatus::Done)
+                    .cpuset(CpuSet::single(0))
+                    .spawn();
             }
         },
         || {
@@ -376,11 +372,10 @@ fn park_wake_latency(opts: &BenchOptions) -> BenchResult {
         opts,
         || scenarios::wait_until_parked(&mgr, 1),
         || {
-            let h = mgr.submit(
-                |_| TaskStatus::Done,
-                CpuSet::single(1),
-                TaskOptions::oneshot(),
-            );
+            let h = mgr
+                .task(|_| TaskStatus::Done)
+                .cpuset(CpuSet::single(1))
+                .spawn();
             assert_eq!(h.wait(), Ok(()));
         },
     );
@@ -604,12 +599,74 @@ fn newmad_pingpong(opts: &BenchOptions) -> BenchResult {
     )
 }
 
+/// The QoS class-lane head-to-head: an identical 64-task backlog mixed
+/// across all four [`pioman::TaskClass`] tiers (half carrying EDF
+/// deadline ticks) preloaded on core 0 and drained by keypoints — once
+/// over the lock-free class lanes, once over the spinlocked sequential
+/// lanes. Two adjacent trajectory rows, same shape as
+/// `lockfree_vs_mutex`: parity or better for `qos_class_mix` means the
+/// tournament pop does not tax the hot path.
+fn qos_class_mix(opts: &BenchOptions) -> [BenchResult; 2] {
+    [
+        qos_mix_drain("qos_class_mix", opts, QueueBackend::LockFree),
+        qos_mix_drain("qos_class_mix_spinlock", opts, QueueBackend::Spinlock),
+    ]
+}
+
+fn qos_mix_drain(
+    name: &'static str,
+    opts: &BenchOptions,
+    queue_backend: QueueBackend,
+) -> BenchResult {
+    let mgr = TaskManager::with_config(
+        Arc::new(presets::kwak()),
+        ManagerConfig {
+            queue_backend,
+            ..ManagerConfig::default()
+        },
+    );
+    let handles = std::cell::RefCell::new(Vec::new());
+    let result = measure(
+        name,
+        opts,
+        || *handles.borrow_mut() = scenarios::submit_qos_mix(&mgr),
+        || scenarios::drain_until_complete(&mgr, 0..1, &handles.borrow()),
+    );
+    let by_class = mgr.stats().executed_by_class;
+    assert!(
+        by_class.iter().all(|&n| n > 0),
+        "every QoS class must have executed through its lane: {by_class:?}"
+    );
+    result
+}
+
+/// Waitlist-release overhead: a 32-deep dependency chain submitted and
+/// drained on one core. Every task after the first parks on the waitlist
+/// and is released by its predecessor's completion path, so the measured
+/// drain prices submit → park → release → re-dispatch per link.
+fn qos_waitlist_chain(opts: &BenchOptions) -> BenchResult {
+    let mgr = TaskManager::new(presets::kwak().into());
+    let handles = std::cell::RefCell::new(Vec::new());
+    let result = measure(
+        "qos_waitlist_chain",
+        opts,
+        || *handles.borrow_mut() = scenarios::submit_qos_chain(&mgr),
+        || scenarios::drain_until_complete(&mgr, 0..1, &handles.borrow()),
+    );
+    assert!(
+        mgr.stats().total_waitlist_released() > 0,
+        "the chain must flow through the waitlist, not dispatch eagerly"
+    );
+    result
+}
+
 /// Runs the whole suite. The returned vector's order and names are stable:
 /// they are the `BENCH_pioman.json` keys future PRs diff against.
 pub fn run_suite(opts: &BenchOptions) -> Vec<BenchResult> {
     let [lockfree, mutex_baseline] = lockfree_vs_mutex(opts);
     let [relaxed, seqcst_baseline] = relaxed_vs_seqcst(opts);
     let [sharded, shared_baseline] = stats_sharding(opts);
+    let [qos_lockfree, qos_spinlock] = qos_class_mix(opts);
     vec![
         submit_schedule_percore(opts),
         submit_schedule_global(opts),
@@ -634,6 +691,9 @@ pub fn run_suite(opts: &BenchOptions) -> Vec<BenchResult> {
         seqcst_baseline,
         sharded,
         shared_baseline,
+        qos_lockfree,
+        qos_spinlock,
+        qos_waitlist_chain(opts),
     ]
 }
 
@@ -686,6 +746,9 @@ mod tests {
             "relaxed_vs_seqcst_contended_baseline",
             "stats_sharding_contended",
             "stats_sharding_contended_baseline",
+            "qos_class_mix",
+            "qos_class_mix_spinlock",
+            "qos_waitlist_chain",
         ] {
             assert!(names.contains(&required), "missing benchmark {required:?}");
         }

@@ -16,7 +16,7 @@
 
 use pioman::hist::HistSnapshot;
 use pioman::{
-    presets, CpuSet, HookPoint, ManagerConfig, ManagerStats, TaskManager, TaskOptions, TaskStatus,
+    presets, CpuSet, HookPoint, ManagerConfig, ManagerStats, TaskClass, TaskManager, TaskStatus,
 };
 use std::fmt::Write as _;
 
@@ -74,6 +74,26 @@ pub fn render_stats_json(stats: &ManagerStats) -> String {
         &stats.wakeups_for_steal,
     );
 
+    // Per-QoS-class counter families (label set: `class`).
+    class_family(
+        &mut out,
+        "piom_class_executed_total",
+        "Task executions per QoS class.",
+        &stats.executed_by_class,
+    );
+    class_family(
+        &mut out,
+        "piom_class_stolen_total",
+        "Stolen-task executions per QoS class.",
+        &stats.stolen_by_class,
+    );
+    class_family(
+        &mut out,
+        "piom_class_waitlist_released_total",
+        "Dependency-waitlist releases per QoS class.",
+        &stats.waitlist_released_by_class,
+    );
+
     // Hook invocations, labelled by keypoint.
     out.push_str(
         "  \"piom_hook_invocations_total\": { \"type\": \"counter\", \
@@ -102,9 +122,34 @@ pub fn render_stats_json(stats: &ManagerStats) -> String {
         Some(snap) => {
             out.push_str("  \"piom_task_latency_ns\": ");
             render_histogram_json(&mut out, snap);
-            out.push('\n');
+            out.push_str(",\n");
         }
-        None => out.push_str("  \"piom_task_latency_ns\": null\n"),
+        None => out.push_str("  \"piom_task_latency_ns\": null,\n"),
+    }
+
+    // The same histogram split by QoS class: one labelled sample per
+    // class, histogram fields flattened into the sample (armed by the
+    // same `latency_histogram` flag, `null` when disabled).
+    match &stats.latency_by_class {
+        Some(snaps) => {
+            out.push_str(
+                "  \"piom_task_class_latency_ns\": { \"type\": \"histogram\", \
+                 \"help\": \"Submit-to-execute queueing delay per task run, by QoS class.\", \
+                 \"samples\": [\n",
+            );
+            let last = snaps.len().saturating_sub(1);
+            for (i, snap) in snaps.iter().enumerate() {
+                let label = TaskClass::ALL[i].label();
+                let _ = write!(
+                    out,
+                    "    {{ \"labels\": {{ \"class\": \"{label}\" }},\n    "
+                );
+                render_histogram_fields(&mut out, snap);
+                out.push_str(if i == last { "\n" } else { ",\n" });
+            }
+            out.push_str("  ] }\n");
+        }
+        None => out.push_str("  \"piom_task_class_latency_ns\": null\n"),
     }
 
     out.push_str("}\n");
@@ -115,8 +160,15 @@ pub fn render_stats_json(stats: &ManagerStats) -> String {
 /// bounds, ending `"+Inf"`), `count`, `sum`, and the resolved quantiles.
 fn render_histogram_json(out: &mut String, snap: &HistSnapshot) {
     out.push_str("{ \"type\": \"histogram\", ");
-    out.push_str("\"help\": \"Submit-to-execute queueing delay per task run.\",\n");
-    out.push_str("    \"buckets\": [\n");
+    out.push_str("\"help\": \"Submit-to-execute queueing delay per task run.\",\n    ");
+    render_histogram_fields(out, snap);
+}
+
+/// The label-independent histogram fields (`buckets` through the resolved
+/// quantiles), closing the enclosing object — shared between the
+/// aggregate family and each per-class labelled sample.
+fn render_histogram_fields(out: &mut String, snap: &HistSnapshot) {
+    out.push_str("\"buckets\": [\n");
     let mut cumulative = 0u64;
     for (upper, n) in snap.nonzero_buckets() {
         cumulative += n;
@@ -168,6 +220,26 @@ fn queue_family(
     out.push_str("  ] },\n");
 }
 
+fn class_family(out: &mut String, name: &str, help: &str, values: &[u64; pioman::CLASS_COUNT]) {
+    let _ = writeln!(
+        out,
+        "  \"{name}\": {{ \"type\": \"counter\", \"help\": \"{help}\", \"samples\": ["
+    );
+    for (i, (class, v)) in TaskClass::ALL.iter().zip(values).enumerate() {
+        let sep = if i == pioman::CLASS_COUNT - 1 {
+            ""
+        } else {
+            ","
+        };
+        let _ = writeln!(
+            out,
+            "    {{ \"labels\": {{ \"class\": \"{}\" }}, \"value\": {v} }}{sep}",
+            class.label()
+        );
+    }
+    out.push_str("  ] },\n");
+}
+
 fn core_family(out: &mut String, name: &str, help: &str, values: &[u64]) {
     let _ = writeln!(
         out,
@@ -191,6 +263,17 @@ pub fn render_stats_text(stats: &ManagerStats) -> String {
     let _ = writeln!(out, "tasks submitted       {}", stats.total_submitted());
     let _ = writeln!(out, "tasks executed        {}", stats.total_executed());
     let _ = writeln!(out, "tasks stolen          {}", stats.total_stolen());
+    let by_class = stats.executed_by_class;
+    let _ = writeln!(
+        out,
+        "executed by class     urgent={} interactive={} bulk={} background={}",
+        by_class[0], by_class[1], by_class[2], by_class[3]
+    );
+    let _ = writeln!(
+        out,
+        "waitlist releases     {}",
+        stats.total_waitlist_released()
+    );
     let _ = writeln!(
         out,
         "hook invocations      idle={} ctx={} timer={}",
@@ -230,26 +313,44 @@ pub fn demo_stats() -> ManagerStats {
     // A polling task that needs three passes, as in the paper's §IV-B
     // network-poll shape.
     let mut polls_left = 3u32;
-    let poll = mgr.submit(
-        move |_| {
+    let poll = mgr
+        .task(move |_| {
             polls_left -= 1;
             if polls_left == 0 {
                 TaskStatus::Done
             } else {
                 TaskStatus::Again
             }
-        },
-        CpuSet::single(0),
-        TaskOptions::repeat(),
-    );
+        })
+        .cpuset(CpuSet::single(0))
+        .repeat()
+        .spawn();
+    // The QoS tiers + a dependency, so every per-class family carries
+    // values: an Urgent deadline task, a Bulk follow-up parked on the
+    // waitlist until the poll completes, and a Background sweep.
+    let urgent = mgr
+        .task(|_| TaskStatus::Done)
+        .cpuset(CpuSet::single(1))
+        .class(TaskClass::Urgent)
+        .deadline(7)
+        .spawn();
+    let bulk_after = mgr
+        .task(|_| TaskStatus::Done)
+        .cpuset(CpuSet::single(0))
+        .class(TaskClass::Bulk)
+        .after(&poll)
+        .spawn();
+    let background = mgr
+        .task(|_| TaskStatus::Done)
+        .cpuset(CpuSet::single(2))
+        .class(TaskClass::Background)
+        .spawn();
     // One oneshot per core, then drain via the three keypoint kinds.
     let handles: Vec<_> = (0..n)
         .map(|c| {
-            mgr.submit(
-                |_| TaskStatus::Done,
-                CpuSet::single(c),
-                TaskOptions::oneshot(),
-            )
+            mgr.task(|_| TaskStatus::Done)
+                .cpuset(CpuSet::single(c))
+                .spawn()
         })
         .collect();
     for c in 0..n {
@@ -258,8 +359,13 @@ pub fn demo_stats() -> ManagerStats {
     while !poll.is_complete() {
         mgr.hook(HookPoint::TimerInterrupt, 0);
     }
+    // The poll's completion released the Bulk dependent onto core 0.
+    mgr.hook(HookPoint::Idle, 0);
     mgr.hook(HookPoint::ContextSwitch, 1);
     assert!(handles.iter().all(|h| h.is_complete()));
+    for h in [urgent, bulk_after, background] {
+        assert!(h.is_complete());
+    }
     mgr.stats()
 }
 
@@ -276,18 +382,42 @@ mod tests {
         // Histogram family present with the exposition-format markers.
         assert!(json.contains("\"piom_task_latency_ns\": { \"type\": \"histogram\""));
         assert!(json.contains("\"le\": \"+Inf\""));
-        // The demo ran one oneshot per core + 3 polling passes.
-        let expected = presets::kwak().n_cores() as u64 + 3;
+        // The demo ran one oneshot per core + 3 polling passes + the
+        // three QoS-tier tasks.
+        let expected = presets::kwak().n_cores() as u64 + 3 + 3;
         assert!(json.contains(&format!("\"count\": {expected},")));
         // Every advertised family made it out.
         for family in [
             "piom_queue_submitted_total",
             "piom_queue_executed_total",
             "piom_core_executed_total",
+            "piom_class_executed_total",
+            "piom_class_stolen_total",
+            "piom_class_waitlist_released_total",
+            "piom_task_class_latency_ns",
             "piom_hook_invocations_total",
         ] {
             assert!(json.contains(family), "missing family {family}");
         }
+        // The per-class samples carry the tier labels and the demo's
+        // known per-class values: one Urgent, one Bulk, one Background,
+        // everything else Interactive; exactly one waitlist release
+        // (the Bulk dependent).
+        for label in ["urgent", "interactive", "bulk", "background"] {
+            assert!(
+                json.contains(&format!("\"class\": \"{label}\"")),
+                "missing class label {label}"
+            );
+        }
+        let stats2 = demo_stats();
+        assert_eq!(stats2.executed_by_class[0], 1, "one urgent execution");
+        assert_eq!(stats2.executed_by_class[2], 1, "one bulk execution");
+        assert_eq!(stats2.executed_by_class[3], 1, "one background execution");
+        assert_eq!(
+            stats2.waitlist_released_by_class,
+            [0, 0, 1, 0],
+            "exactly the Bulk dependent flowed through the waitlist"
+        );
     }
 
     #[test]
@@ -309,6 +439,7 @@ mod tests {
         let json = render_stats_json(&mgr.stats());
         validate_json(&json).expect("disabled-histogram export still valid");
         assert!(json.contains("\"piom_task_latency_ns\": null"));
+        assert!(json.contains("\"piom_task_class_latency_ns\": null"));
     }
 
     #[test]

@@ -1,5 +1,13 @@
 //! Task completion tracking: poll, block, or actively schedule while waiting.
+//!
+//! Since PR 8 a completion is also the release point of the **dependency
+//! waitlist**: tasks submitted with `.after(&handle)` park in a
+//! [`PendingTask`](crate::manager) registered here as a waiter, and the
+//! completion path drains the waiter list exactly once — whether the
+//! predecessor finished or panicked (a dependent is *released*, never
+//! cancelled, so pipelines drain instead of wedging).
 
+use crate::manager::PendingTask;
 use core::sync::atomic::{AtomicU8, Ordering};
 use parking_lot::{Condvar, Mutex};
 use std::sync::Arc;
@@ -30,6 +38,18 @@ pub(crate) struct Completion {
     // path (poll / active wait) is a single atomic load.
     mutex: Mutex<Option<String>>,
     condvar: Condvar,
+    /// Dependents parked on this task (`.after(&handle)`), drained exactly
+    /// once by the completion path. The final state is stored *while this
+    /// lock is held*, which closes the lost-waiter race: a registration
+    /// that observed `PENDING` under this lock is guaranteed to be drained
+    /// by the completer (which must take the lock to publish the state),
+    /// and one that observes a final state satisfies its dependency
+    /// directly instead of registering.
+    waiters: Mutex<Vec<Arc<PendingTask>>>,
+    /// The completions *this* task waits on, recorded at spawn for the
+    /// submit-time cycle check and cleared on completion (breaking the
+    /// `Arc` chains so finished pipelines free their graph).
+    deps: Mutex<Vec<Arc<Completion>>>,
 }
 
 impl Completion {
@@ -38,22 +58,67 @@ impl Completion {
             state: AtomicU8::new(PENDING),
             mutex: Mutex::new(None),
             condvar: Condvar::new(),
+            waiters: Mutex::new(Vec::new()),
+            deps: Mutex::new(Vec::new()),
         })
     }
 
-    pub(crate) fn complete(&self) {
-        // Release: the task's side effects happen-before a handle observing
-        // completion with an Acquire load.
-        let _guard = self.mutex.lock();
-        self.state.store(DONE, Ordering::Release);
-        self.condvar.notify_all();
+    /// Registers a dependent to be released when this task completes.
+    /// Returns `false` if this task is already complete — the caller must
+    /// satisfy the dependency directly (the waiter will never be drained).
+    pub(crate) fn add_waiter(&self, waiter: Arc<PendingTask>) -> bool {
+        let mut waiters = self.waiters.lock();
+        // Checked under the waiters lock: the completer stores the final
+        // state while holding it (see `finish`), so PENDING here means the
+        // drain has not happened yet and must include this registration.
+        if self.state.load(Ordering::Acquire) != PENDING {
+            return false;
+        }
+        waiters.push(waiter);
+        true
     }
 
-    pub(crate) fn complete_panicked(&self, message: String) {
+    /// Records the dependency edges of the task owning this completion
+    /// (spawn-time bookkeeping for the cycle check).
+    pub(crate) fn set_deps(&self, deps: Vec<Arc<Completion>>) {
+        *self.deps.lock() = deps;
+    }
+
+    /// Snapshot of the pending dependency edges (empty once complete).
+    pub(crate) fn deps_snapshot(&self) -> Vec<Arc<Completion>> {
+        self.deps.lock().clone()
+    }
+
+    /// The shared completion protocol: store the final state (under the
+    /// waiter lock — see `waiters`), wake blocked handles, drop the
+    /// dependency edges, and hand the drained waiter list to the caller
+    /// for release. Each waiter appears in exactly one drain.
+    fn finish(&self, state: u8) -> Vec<Arc<PendingTask>> {
+        let mut waiters = self.waiters.lock();
+        // Release: the task's side effects happen-before a handle observing
+        // completion with an Acquire load.
+        self.state.store(state, Ordering::Release);
+        self.condvar.notify_all();
+        self.deps.lock().clear();
+        std::mem::take(&mut *waiters)
+    }
+
+    /// Marks the task done. Returns the dependents to release; the
+    /// scheduler dispatches them (`run_task`'s completion path).
+    #[must_use = "the drained waiters must be dispatched"]
+    pub(crate) fn complete(&self) -> Vec<Arc<PendingTask>> {
+        let _guard = self.mutex.lock();
+        self.finish(DONE)
+    }
+
+    /// Marks the task panicked. Dependents are still released — a
+    /// dependency is an ordering constraint, not a success gate — so the
+    /// returned waiters must be dispatched exactly like [`Self::complete`].
+    #[must_use = "the drained waiters must be dispatched"]
+    pub(crate) fn complete_panicked(&self, message: String) -> Vec<Arc<PendingTask>> {
         let mut guard = self.mutex.lock();
         *guard = Some(message);
-        self.state.store(PANICKED, Ordering::Release);
-        self.condvar.notify_all();
+        self.finish(PANICKED)
     }
 
     fn state(&self) -> u8 {
@@ -152,7 +217,7 @@ mod tests {
         };
         assert!(!h.is_complete());
         assert!(h.poll().is_none());
-        c.complete();
+        assert!(c.complete().is_empty());
         assert!(h.is_complete());
         assert_eq!(h.poll(), Some(Ok(())));
         assert_eq!(h.wait(), Ok(()));
@@ -164,7 +229,7 @@ mod tests {
         let h = TaskHandle {
             completion: c.clone(),
         };
-        c.complete_panicked("boom".into());
+        assert!(c.complete_panicked("boom".into()).is_empty());
         let err = h.wait().unwrap_err();
         assert_eq!(err.message, "boom");
         assert!(err.to_string().contains("boom"));
@@ -178,7 +243,7 @@ mod tests {
         };
         let waiter = thread::spawn(move || h.wait());
         thread::sleep(Duration::from_millis(20));
-        c.complete();
+        let _ = c.complete();
         assert_eq!(waiter.join().unwrap(), Ok(()));
     }
 
@@ -189,7 +254,7 @@ mod tests {
             completion: c.clone(),
         };
         let h2 = h1.clone();
-        c.complete();
+        let _ = c.complete();
         assert!(h1.is_complete() && h2.is_complete());
     }
 }

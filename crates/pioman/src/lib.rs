@@ -31,10 +31,18 @@
 //!   [`ContentionWindow`], [`SignalPolicy`], [`BatchPolicy`]) — and idle
 //!   cores **steal half** of the nearest eligible backlog by topological
 //!   distance instead of spinning, honoring each task's `CpuSet`
-//!   ([`ManagerConfig::steal`], [`TaskManager::submit_on`]); parking is
+//!   ([`ManagerConfig::steal`], [`SubmitSpec::on_core`]); parking is
 //!   **steal-aware**: a worker probes victim backlogs before sleeping
 //!   ([`TaskManager::park_probe`]) and deep queues recruit the nearest
-//!   parked thief ([`TaskManager::wake_for_steal`]).
+//!   parked thief ([`TaskManager::wake_for_steal`]);
+//! * every submission goes through one **builder**
+//!   ([`TaskManager::task`] → [`SubmitSpec::spawn`]) carrying the task's
+//!   **QoS class** ([`TaskClass`]: per-queue lanes served in strict
+//!   priority order with a bounded anti-starvation bypass), an optional
+//!   **EDF deadline** tick ordering tasks within their class, and
+//!   **dependencies** ([`SubmitSpec::after`]) parking the task on a
+//!   waitlist until its predecessors complete — the QoS-tier contract
+//!   lives in `docs/SCHEDULER.md` ("QoS tiers").
 //!
 //! The authoritative description of the submit → batch → steal →
 //! park/wake lifecycle — state diagram, invariants, and a glossary of
@@ -45,21 +53,29 @@
 //! # Quick start
 //!
 //! ```
-//! use pioman::{TaskManager, TaskOptions};
+//! use pioman::{TaskClass, TaskManager, TaskStatus};
 //! use piom_cpuset::CpuSet;
 //! use piom_topology::presets;
 //!
 //! let mgr = TaskManager::new(presets::kwak().into());
 //! // Submit a one-shot task runnable by any core of NUMA node #1.
-//! let handle = mgr.submit(
-//!     |_ctx| pioman::TaskStatus::Done,
-//!     CpuSet::range(4..8),
-//!     TaskOptions::oneshot(),
-//! );
+//! let handle = mgr
+//!     .task(|_ctx| TaskStatus::Done)
+//!     .cpuset(CpuSet::range(4..8))
+//!     .spawn();
+//! // An urgent follow-up that runs only after the first completes.
+//! let after = mgr
+//!     .task(|_ctx| TaskStatus::Done)
+//!     .cpuset(CpuSet::range(4..8))
+//!     .class(TaskClass::Urgent)
+//!     .after(&handle)
+//!     .spawn();
 //! // Cores execute tasks when the scheduler reaches a keypoint; here we
 //! // drive core 5 by hand.
 //! mgr.schedule(5);
 //! assert!(handle.is_complete());
+//! mgr.schedule(5);
+//! assert!(after.is_complete());
 //! ```
 
 #![warn(missing_docs)]
@@ -80,14 +96,14 @@ mod task;
 pub use completion::{TaskError, TaskHandle};
 pub use hist::{HistSnapshot, Histogram, PercentileSummary};
 pub use manager::{
-    HookPoint, ManagerConfig, QueueBackend, TaskManager, DEFAULT_BATCH,
+    HookPoint, ManagerConfig, QueueBackend, SubmitSpec, TaskManager, DEFAULT_BATCH,
     DEFAULT_CONTENTION_HALF_LIFE, DEFAULT_STEAL_WAKE_BACKLOG, MAX_BATCH, MIN_BATCH,
 };
 pub use progression::{BatchPolicy, Progression, ProgressionConfig, MAX_PROBE_STRIKES};
 pub use queue::QueueId;
 pub use signal::{ContentionWindow, SignalPolicy, FP_ONE};
 pub use stats::{ManagerStats, QueueStats};
-pub use task::{Task, TaskContext, TaskOptions, TaskStatus};
+pub use task::{Task, TaskClass, TaskContext, TaskOptions, TaskStatus, CLASS_COUNT};
 
 // Re-export foundation types so downstream users need only this crate.
 pub use piom_cpuset::CpuSet;

@@ -27,8 +27,10 @@
 //! ablation benches (`piom-bench`, `lockfree_vs_mutex`) compare this
 //! against the paper's spinlock design and the old mutexed shim.
 
-use core::sync::atomic::{AtomicU64, Ordering};
+use crate::task::{TaskClass, CLASS_COUNT};
+use core::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use crossbeam::queue::SegQueue;
+use crossbeam::utils::CachePadded;
 
 /// A lock-free MPMC FIFO with pop/push counters.
 ///
@@ -111,6 +113,312 @@ impl<T> LockFreeQueue<T> {
     /// Pops that found nothing.
     pub fn empty_pops(&self) -> u64 {
         self.empty_pops.load(Ordering::Relaxed)
+    }
+}
+
+/// How many higher-class pops may bypass a waiting [`TaskClass::Background`]
+/// task before the next pop serves `Background` regardless of priority.
+///
+/// This is the anti-starvation bound stated in docs/SCHEDULER.md ("QoS
+/// tiers") and pinned by `qos_policy` tests: under a sequential popper the
+/// bound is *exact* (the `BACKGROUND_BYPASS_LIMIT + 1`-th pop while
+/// `Background` waits serves `Background`); under concurrent poppers the
+/// relaxed credit counter admits at most one extra bypass per racing
+/// popper, so the bound becomes `BACKGROUND_BYPASS_LIMIT + threads - 1`.
+pub const BACKGROUND_BYPASS_LIMIT: u32 = 16;
+
+/// Number of deadline (EDF) lanes per class in [`ClassLanes`].
+pub const DL_LANES: usize = 2;
+
+/// An element that carries QoS routing metadata: which class lane it
+/// belongs in and an optional EDF deadline (integer ticks).
+pub trait Classed {
+    /// The QoS class lane this element is enqueued into.
+    fn class(&self) -> TaskClass;
+    /// Optional deadline tick; `None` reads as "infinitely late" and the
+    /// element drains FIFO behind the class's deadline-carrying elements.
+    fn deadline(&self) -> Option<u64>;
+}
+
+/// Picks which of a class's [`DL_LANES`] deadline lanes a push with
+/// `deadline` should append to, given a snapshot of each lane's tail
+/// deadline (`None` = lane empty).
+///
+/// The goal is to keep each lane individually sorted by deadline so the
+/// tournament pop (min over lane heads) is exact EDF. A lane is *eligible*
+/// when appending keeps it sorted: it is empty, or its tail deadline is
+/// `<= deadline`.
+///
+/// - If any non-empty lane is eligible, append to the one with the
+///   **greatest** tail (ties: lowest index) — the tightest fit, which
+///   preserves the other lanes' headroom for earlier deadlines.
+/// - Else if any lane is empty, take the lowest-indexed empty lane.
+/// - Else no append keeps sortedness (the deadline precedes every tail):
+///   append to the **smallest**-tail lane (ties: lowest index). That lane
+///   is now locally out of order and EDF degrades to best-effort until it
+///   drains — the documented trade for keeping the hot path heap-free.
+///
+/// Pure function: the sequential oracle in the `qos_policy` proptests and
+/// both queue backends share this exact placement.
+pub fn place_deadline_lane(tails: [Option<u64>; DL_LANES], deadline: u64) -> usize {
+    let mut best_eligible: Option<(u64, usize)> = None;
+    let mut first_empty: Option<usize> = None;
+    let mut smallest: Option<(u64, usize)> = None;
+    for (i, t) in tails.iter().enumerate() {
+        match *t {
+            Some(tail) => {
+                if tail <= deadline && best_eligible.is_none_or(|(b, _)| tail > b) {
+                    best_eligible = Some((tail, i));
+                }
+                if smallest.is_none_or(|(s, _)| tail < s) {
+                    smallest = Some((tail, i));
+                }
+            }
+            None => {
+                if first_empty.is_none() {
+                    first_empty = Some(i);
+                }
+            }
+        }
+    }
+    if let Some((_, i)) = best_eligible {
+        i
+    } else if let Some(i) = first_empty {
+        i
+    } else {
+        smallest.map(|(_, i)| i).unwrap_or(0)
+    }
+}
+
+/// One class's lanes: a FIFO lane for deadline-less elements and
+/// [`DL_LANES`] deadline lanes drained by a tournament over their heads.
+struct ClassLane<T> {
+    fifo: SegQueue<T>,
+    dl: [SegQueue<T>; DL_LANES],
+    /// Racy tail-deadline hints: the deadline of the last element pushed
+    /// into each deadline lane, consulted (with the lane's emptiness) by
+    /// [`place_deadline_lane`]. Stale reads only degrade placement
+    /// quality, never correctness.
+    dl_tails: [AtomicU64; DL_LANES],
+}
+
+impl<T> ClassLane<T> {
+    fn new() -> Self {
+        ClassLane {
+            fifo: SegQueue::new(),
+            dl: [SegQueue::new(), SegQueue::new()],
+            dl_tails: [AtomicU64::new(0), AtomicU64::new(0)],
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.fifo.is_empty() && self.dl.iter().all(|q| q.is_empty())
+    }
+
+    fn len(&self) -> usize {
+        self.fifo.len() + self.dl.iter().map(|q| q.len()).sum::<usize>()
+    }
+}
+
+/// Per-class lock-free lanes with strict-priority, deadline-aware pop.
+///
+/// The QoS tentpole structure (ROADMAP item 1): each [`TaskClass`] owns a
+/// FIFO [`SegQueue`] plus [`DL_LANES`] deadline lanes, all lock-free, so
+/// enqueue/dequeue/steal acquire **no** mutex or spinlock.
+///
+/// - **Cross-class**: strict priority ([`TaskClass::ALL`] order), softened
+///   by an anti-starvation credit — every pop that serves a higher class
+///   while `Background` has work bumps a relaxed counter, and once it
+///   reaches [`BACKGROUND_BYPASS_LIMIT`] the next pop serves `Background`
+///   first and resets it. See the constant for the exact bound.
+/// - **Within a class**: elements with deadlines drain earliest-deadline-
+///   first via a *tournament pop* — peek both deadline-lane heads
+///   ([`SegQueue::peek_map`]), pop the lane whose head is earliest — and
+///   deadline-less elements drain FIFO behind them (no deadline reads as
+///   "infinitely late"). No global heap, no lock: each lane is kept
+///   individually sorted by [`place_deadline_lane`] whenever the deadline
+///   stream allows, and degrades to per-lane FIFO (best-effort EDF) when
+///   it does not.
+///
+/// Sequentially the whole policy is exact and deterministic — the
+/// `qos_policy` proptests pin it against a sequential oracle. Under
+/// concurrency the peeks and emptiness checks are racy hints, so EDF and
+/// the starvation bound hold in the bounded-inversion sense documented in
+/// docs/SCHEDULER.md.
+pub struct ClassLanes<T: Classed> {
+    classes: [ClassLane<T>; CLASS_COUNT],
+    /// Anti-starvation credit (see [`BACKGROUND_BYPASS_LIMIT`]). Relaxed:
+    /// a lost increment under races only delays the bypass by one pop.
+    bg_credit: CachePadded<AtomicU32>,
+    /// Total element count across every lane: one load for the scheduler's
+    /// queue-length hint instead of 12.
+    len: CachePadded<AtomicUsize>,
+}
+
+impl<T: Classed> Default for ClassLanes<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Classed> ClassLanes<T> {
+    /// Creates empty lanes.
+    pub fn new() -> Self {
+        ClassLanes {
+            classes: [
+                ClassLane::new(),
+                ClassLane::new(),
+                ClassLane::new(),
+                ClassLane::new(),
+            ],
+            bg_credit: CachePadded::new(AtomicU32::new(0)),
+            len: CachePadded::new(AtomicUsize::new(0)),
+        }
+    }
+
+    /// Appends `value` to its class's lane: the deadline lane chosen by
+    /// [`place_deadline_lane`] when it carries a deadline, the class FIFO
+    /// otherwise. Lock-free, never blocks.
+    pub fn push(&self, value: T) {
+        let lane = &self.classes[value.class().index()];
+        // Count before linking so the hint can never underflow (same
+        // contract as the SegQueue's own len).
+        self.len.fetch_add(1, Ordering::Relaxed);
+        match value.deadline() {
+            Some(d) => {
+                let tails = core::array::from_fn(|i| {
+                    (!lane.dl[i].is_empty()).then(|| lane.dl_tails[i].load(Ordering::Relaxed))
+                });
+                let idx = place_deadline_lane(tails, d);
+                // Hint first: a racing placement that reads the old tail
+                // only mis-places, it cannot read freed memory.
+                lane.dl_tails[idx].store(d, Ordering::Relaxed);
+                lane.dl[idx].push(value);
+            }
+            None => lane.fifo.push(value),
+        }
+    }
+
+    /// Pops the earliest-deadline element of `class` (tournament over the
+    /// deadline-lane heads), falling back to the class FIFO. `None` when
+    /// the class has no poppable element. Lock-free, never blocks.
+    pub fn pop_class(&self, class: TaskClass) -> Option<T> {
+        let lane = &self.classes[class.index()];
+        loop {
+            let heads: [Option<u64>; DL_LANES] =
+                core::array::from_fn(|i| lane.dl[i].peek_map(|v| v.deadline().unwrap_or(u64::MAX)));
+            let winner = match (heads[0], heads[1]) {
+                (Some(a), Some(b)) => {
+                    if a <= b {
+                        0
+                    } else {
+                        1
+                    }
+                }
+                (Some(_), None) => 0,
+                (None, Some(_)) => 1,
+                (None, None) => break,
+            };
+            if let Some(v) = lane.dl[winner].pop() {
+                self.len.fetch_sub(1, Ordering::Relaxed);
+                return Some(v);
+            }
+            // Lost the head to a racing popper; re-run the tournament.
+        }
+        let v = lane.fifo.pop();
+        if v.is_some() {
+            self.len.fetch_sub(1, Ordering::Relaxed);
+        }
+        v
+    }
+
+    /// The class order the next pop should try, honouring the
+    /// anti-starvation credit: strict priority normally, `Background`
+    /// hoisted to the front once the credit reaches
+    /// [`BACKGROUND_BYPASS_LIMIT`] while `Background` has work.
+    ///
+    /// Callers that serve from *outside* these lanes too (the scheduler's
+    /// steal cursor) use this with [`ClassLanes::note_served`]; plain
+    /// consumers can just call [`ClassLanes::pop`].
+    pub fn class_order(&self) -> [TaskClass; CLASS_COUNT] {
+        self.class_order_with(!self.class_is_empty(TaskClass::Background))
+    }
+
+    /// [`ClassLanes::class_order`] with the caller's own view of whether
+    /// `Background` work is waiting — for consumers whose queue extends
+    /// beyond these lanes (the scheduler's steal cursor can hold
+    /// `Background` tasks these lanes cannot see).
+    pub fn class_order_with(&self, background_waiting: bool) -> [TaskClass; CLASS_COUNT] {
+        if self.bg_credit.load(Ordering::Relaxed) >= BACKGROUND_BYPASS_LIMIT && background_waiting {
+            [
+                TaskClass::Background,
+                TaskClass::Urgent,
+                TaskClass::Interactive,
+                TaskClass::Bulk,
+            ]
+        } else {
+            TaskClass::ALL
+        }
+    }
+
+    /// Credit bookkeeping for one served element: serving `Background`
+    /// resets the credit; serving a higher class while `background_waiting`
+    /// bumps it. `background_waiting` is the caller's view of whether
+    /// `Background` work was pending anywhere in the queue at serve time
+    /// (these lanes and, for the scheduler, its steal cursor).
+    pub fn note_served(&self, class: TaskClass, background_waiting: bool) {
+        if class == TaskClass::Background {
+            self.bg_credit.store(0, Ordering::Relaxed);
+        } else if background_waiting {
+            self.bg_credit.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Pops the next element under the full QoS policy (class order from
+    /// [`ClassLanes::class_order`], credit bookkeeping included), or
+    /// `None` when every lane is empty. Lock-free, never blocks.
+    pub fn pop(&self) -> Option<T> {
+        for class in self.class_order() {
+            if let Some(v) = self.pop_class(class) {
+                self.note_served(class, !self.class_is_empty(TaskClass::Background));
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    /// `true` when `class` has no element in any of its lanes (racy
+    /// snapshot).
+    pub fn class_is_empty(&self, class: TaskClass) -> bool {
+        self.classes[class.index()].is_empty()
+    }
+
+    /// Element count of `class` across its lanes (racy snapshot).
+    pub fn class_len(&self, class: TaskClass) -> usize {
+        self.classes[class.index()].len()
+    }
+
+    /// Total element count across every class (racy snapshot, one load).
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// `true` when no class has work (racy snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drains everything poppable into `f`, classes in strict priority
+    /// order, each class in tournament (EDF-then-FIFO) order. Used by the
+    /// steal path to move a queue's backlog into the FIFO steal cursor;
+    /// deliberately skips the credit bookkeeping — a steal is relocation,
+    /// not service.
+    pub fn drain(&self, mut f: impl FnMut(T)) {
+        for class in TaskClass::ALL {
+            while let Some(v) = self.pop_class(class) {
+                f(v);
+            }
+        }
     }
 }
 
@@ -216,6 +524,176 @@ mod tests {
         }
         assert_eq!(q.pushes(), rounds * 100);
         assert_eq!(q.pops(), rounds * 100);
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    struct Item {
+        class: TaskClass,
+        deadline: Option<u64>,
+        id: u64,
+    }
+
+    impl Classed for Item {
+        fn class(&self) -> TaskClass {
+            self.class
+        }
+        fn deadline(&self) -> Option<u64> {
+            self.deadline
+        }
+    }
+
+    fn item(class: TaskClass, deadline: Option<u64>, id: u64) -> Item {
+        Item {
+            class,
+            deadline,
+            id,
+        }
+    }
+
+    #[test]
+    fn placement_prefers_the_tightest_eligible_lane() {
+        // Non-empty eligible lanes: greatest tail wins (tightest fit).
+        assert_eq!(place_deadline_lane([Some(5), Some(8)], 10), 1);
+        assert_eq!(place_deadline_lane([Some(8), Some(5)], 10), 0);
+        // Ties break to the lowest index.
+        assert_eq!(place_deadline_lane([Some(7), Some(7)], 10), 0);
+        // An eligible non-empty lane beats an empty lane.
+        assert_eq!(place_deadline_lane([None, Some(3)], 10), 1);
+        // No eligible non-empty lane: lowest-indexed empty lane.
+        assert_eq!(place_deadline_lane([None, None], 10), 0);
+        assert_eq!(place_deadline_lane([Some(20), None], 10), 1);
+        // Nothing eligible, nothing empty: smallest tail (best-effort).
+        assert_eq!(place_deadline_lane([Some(20), Some(30)], 10), 0);
+        assert_eq!(place_deadline_lane([Some(30), Some(20)], 10), 1);
+    }
+
+    #[test]
+    fn class_lanes_pop_in_strict_priority_order() {
+        let lanes = ClassLanes::new();
+        for (i, class) in [
+            TaskClass::Background,
+            TaskClass::Bulk,
+            TaskClass::Interactive,
+            TaskClass::Urgent,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            lanes.push(item(class, None, i as u64));
+        }
+        assert_eq!(lanes.len(), 4);
+        let order: Vec<TaskClass> = std::iter::from_fn(|| lanes.pop().map(|t| t.class)).collect();
+        assert_eq!(order, TaskClass::ALL.to_vec());
+        assert!(lanes.is_empty());
+    }
+
+    #[test]
+    fn class_lanes_drain_edf_within_a_class_then_fifo() {
+        let lanes = ClassLanes::new();
+        // FIFO (deadline-less) elements first, then out-of-submission-order
+        // deadlines: the tournament must drain by deadline, then the FIFO
+        // lane in submission order.
+        lanes.push(item(TaskClass::Bulk, None, 100));
+        lanes.push(item(TaskClass::Bulk, Some(30), 0));
+        lanes.push(item(TaskClass::Bulk, Some(10), 1));
+        lanes.push(item(TaskClass::Bulk, Some(20), 2));
+        lanes.push(item(TaskClass::Bulk, None, 101));
+        let ids: Vec<u64> = std::iter::from_fn(|| lanes.pop().map(|t| t.id)).collect();
+        assert_eq!(ids, vec![1, 2, 0, 100, 101]);
+    }
+
+    #[test]
+    fn background_bypass_fires_exactly_at_the_limit() {
+        let lanes = ClassLanes::new();
+        lanes.push(item(TaskClass::Background, None, 999));
+        for i in 0..(BACKGROUND_BYPASS_LIMIT as u64 + 8) {
+            lanes.push(item(TaskClass::Interactive, None, i));
+        }
+        // Sequentially the bound is exact: BACKGROUND_BYPASS_LIMIT pops
+        // serve Interactive (each bumping the credit), and the next pop
+        // serves the parked Background element.
+        for i in 0..BACKGROUND_BYPASS_LIMIT as u64 {
+            assert_eq!(lanes.pop().unwrap().id, i);
+        }
+        let bypassed = lanes.pop().unwrap();
+        assert_eq!(bypassed.class, TaskClass::Background);
+        assert_eq!(bypassed.id, 999);
+        // Credit reset: the remaining Interactive backlog drains normally.
+        for i in BACKGROUND_BYPASS_LIMIT as u64..BACKGROUND_BYPASS_LIMIT as u64 + 8 {
+            assert_eq!(lanes.pop().unwrap().id, i);
+        }
+        assert_eq!(lanes.pop(), None);
+    }
+
+    #[test]
+    fn class_lanes_drain_moves_everything_in_policy_order() {
+        let lanes = ClassLanes::new();
+        lanes.push(item(TaskClass::Background, None, 3));
+        lanes.push(item(TaskClass::Urgent, Some(5), 0));
+        lanes.push(item(TaskClass::Urgent, None, 1));
+        lanes.push(item(TaskClass::Bulk, None, 2));
+        let mut ids = Vec::new();
+        lanes.drain(|t| ids.push(t.id));
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+        assert!(lanes.is_empty());
+        assert_eq!(lanes.len(), 0);
+    }
+
+    #[test]
+    fn class_lanes_concurrent_push_pop_loses_nothing() {
+        // MPMC smoke across classes and deadlines; runs under the Miri
+        // lockfree step (weak memory, many seeds), so this is also the UB
+        // probe for the peek_map-based tournament against racing pops.
+        let lanes = Arc::new(ClassLanes::new());
+        let producers = if cfg!(miri) { 2u64 } else { 4 };
+        let per = if cfg!(miri) { 12u64 } else { 2_000 };
+        let mut handles = Vec::new();
+        for p in 0..producers {
+            let lanes = lanes.clone();
+            handles.push(thread::spawn(move || {
+                for i in 0..per {
+                    let id = p * per + i;
+                    let class = TaskClass::ALL[(id % 4) as usize];
+                    let deadline = (id % 3 == 0).then_some(id);
+                    lanes.push(item(class, deadline, id));
+                }
+            }));
+        }
+        let consumers = if cfg!(miri) { 2 } else { 4 };
+        let done = Arc::new(AtomicU64::new(0));
+        let mut chandles = Vec::new();
+        for _ in 0..consumers {
+            let lanes = lanes.clone();
+            let done = done.clone();
+            chandles.push(thread::spawn(move || {
+                let mut local = Vec::new();
+                loop {
+                    match lanes.pop() {
+                        Some(v) => local.push(v.id),
+                        None => {
+                            if done.load(Ordering::SeqCst) == 1 && lanes.is_empty() {
+                                break;
+                            }
+                            thread::yield_now();
+                        }
+                    }
+                }
+                local
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        done.store(1, Ordering::SeqCst);
+        let mut all: Vec<u64> = Vec::new();
+        for c in chandles {
+            all.extend(c.join().unwrap());
+        }
+        all.sort_unstable();
+        let total = (producers * per) as usize;
+        assert_eq!(all.len(), total, "every element popped exactly once");
+        all.dedup();
+        assert_eq!(all.len(), total, "no element duplicated");
     }
 
     #[test]

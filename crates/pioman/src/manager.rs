@@ -4,9 +4,9 @@ use crate::completion::Completion;
 use crate::queue::{QueueId, TaskQueue};
 use crate::signal::{ContentionWindow, SignalPolicy};
 use crate::stats::{ManagerStats, QueueStats};
-use crate::task::{Task, TaskContext, TaskFn, TaskOptions, TaskStatus};
+use crate::task::{Task, TaskClass, TaskContext, TaskFn, TaskOptions, TaskStatus, CLASS_COUNT};
 use crate::TaskHandle;
-use core::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use core::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use crossbeam::utils::CachePadded;
 use parking_lot::Mutex;
 use piom_cpuset::CpuSet;
@@ -138,6 +138,46 @@ impl HookPoint {
     }
 }
 
+/// A task parked on the **dependency waitlist**: submitted with
+/// [`SubmitSpec::after`] while at least one predecessor was still pending.
+///
+/// One `PendingTask` is registered as a waiter on *every* pending
+/// predecessor's completion; each completion drain calls
+/// [`satisfy_one`](Self::satisfy_one), and the call that observes the last
+/// outstanding predecessor takes the task out of the slot — exactly once,
+/// however the predecessor completions race.
+pub(crate) struct PendingTask {
+    /// Predecessors not yet known complete. The releasing decrement is the
+    /// one that brings this to zero.
+    remaining: AtomicUsize,
+    /// The parked task, taken by the single releasing decrement.
+    slot: Mutex<Option<Task>>,
+}
+
+impl PendingTask {
+    /// Records that one predecessor completed. Returns the parked task iff
+    /// this was the last outstanding predecessor.
+    ///
+    /// `AcqRel`: the decrement that wins publication-wise also acquires
+    /// every earlier decrementer's view, so the released task observes all
+    /// of its predecessors' side effects.
+    pub(crate) fn satisfy_one(&self) -> Option<Task> {
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.slot.lock().take()
+        } else {
+            None
+        }
+    }
+}
+
+impl core::fmt::Debug for PendingTask {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("PendingTask")
+            .field("remaining", &self.remaining.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
 /// Per-core scheduler state, one cache-line-padded block per core.
 ///
 /// Before PR 5 these lived in seven parallel `Vec<AtomicU64>`s: per-core
@@ -154,8 +194,14 @@ impl HookPoint {
 struct CoreState {
     /// Tasks executed on this core (the paper's distribution measurements).
     executed: AtomicU64,
+    /// Tasks executed on this core, split by [`TaskClass`] lane (indexed by
+    /// [`TaskClass::index`]). Sums to `executed`.
+    executed_class: [AtomicU64; CLASS_COUNT],
     /// Tasks stolen (and run) by this core.
     stolen: AtomicU64,
+    /// Tasks stolen by this core, split by [`TaskClass`] lane. Sums to
+    /// `stolen`.
+    stolen_class: [AtomicU64; CLASS_COUNT],
     /// Steal probes by this core (a probe is one empty hierarchy scan).
     steal_attempts: AtomicU64,
     /// Successful steal-half batches (each took ≥ 1 task).
@@ -193,7 +239,9 @@ impl CoreState {
     fn new(contention_half_life: u32) -> Self {
         CoreState {
             executed: AtomicU64::new(0),
+            executed_class: Default::default(),
             stolen: AtomicU64::new(0),
+            stolen_class: Default::default(),
             steal_attempts: AtomicU64::new(0),
             steal_batches: AtomicU64::new(0),
             park_hits: AtomicU64::new(0),
@@ -243,6 +291,16 @@ pub struct TaskManager {
     /// when [`ManagerConfig::latency_histogram`] is set. The executing core
     /// records into its own shard, so concurrent workers never contend.
     latency: Option<crate::hist::Histogram>,
+    /// Per-class latency histograms (same sharding as `latency`), armed
+    /// together with it: each run records into the overall histogram *and*
+    /// its class's, so per-class tails are visible without re-deriving.
+    latency_class: Option<Box<[crate::hist::Histogram; CLASS_COUNT]>>,
+    /// Dependency-waitlist releases per [`TaskClass`]: tasks parked by
+    /// [`SubmitSpec::after`] that re-entered the queues because their last
+    /// predecessor completed. Manager-level (not per-core sharded): a
+    /// release happens at most once per dependent task, far off the
+    /// enqueue/dequeue hot path.
+    released_class: CachePadded<[AtomicU64; CLASS_COUNT]>,
     config: ManagerConfig,
 }
 
@@ -305,6 +363,12 @@ impl TaskManager {
             latency: config
                 .latency_histogram
                 .then(|| crate::hist::Histogram::new(n_cores)),
+            latency_class: config.latency_histogram.then(|| {
+                Box::new(std::array::from_fn(|_| {
+                    crate::hist::Histogram::new(n_cores)
+                }))
+            }),
+            released_class: CachePadded::new(Default::default()),
             config,
         })
     }
@@ -319,96 +383,107 @@ impl TaskManager {
         &self.config
     }
 
-    /// Submits a task runnable by any core in `cpuset`.
+    /// Starts building a task submission: the one entry point behind every
+    /// submission shape (see [`SubmitSpec`]).
     ///
-    /// The CPU set "is examinated to find the corresponding task queue and
-    /// the task is inserted in this list" (§III-A): the queue is the
-    /// smallest topology node covering the set.
+    /// The default spec is an [`Interactive`](TaskClass::Interactive)
+    /// one-shot task runnable on every core, enqueued — as the paper's
+    /// §III-A prescribes — on the smallest topology node covering its CPU
+    /// set; every knob is a chained method:
+    ///
+    /// ```
+    /// use pioman::{TaskClass, TaskManager, TaskStatus};
+    /// use piom_cpuset::CpuSet;
+    /// use piom_topology::presets;
+    ///
+    /// let mgr = TaskManager::new(presets::kwak().into());
+    /// let first = mgr
+    ///     .task(|_| TaskStatus::Done)
+    ///     .cpuset(CpuSet::range(0..4))
+    ///     .class(TaskClass::Bulk)
+    ///     .deadline(7)
+    ///     .spawn();
+    /// // Runs only after `first` completes, on core 2's own queue.
+    /// let second = mgr
+    ///     .task(|_| TaskStatus::Done)
+    ///     .cpuset(CpuSet::range(0..4))
+    ///     .on_core(2)
+    ///     .after(&first)
+    ///     .spawn();
+    /// while !second.is_complete() {
+    ///     mgr.schedule(2);
+    /// }
+    /// ```
+    pub fn task<F>(&self, body: F) -> SubmitSpec<'_>
+    where
+        F: FnMut(&TaskContext<'_>) -> TaskStatus + Send + 'static,
+    {
+        self.task_boxed(Box::new(body))
+    }
+
+    /// [`task`](Self::task) for an already-boxed body (avoids double boxing
+    /// when the caller stores `TaskFn`s).
+    pub fn task_boxed(&self, body: TaskFn) -> SubmitSpec<'_> {
+        SubmitSpec {
+            mgr: self,
+            body,
+            cpuset: None,
+            home: None,
+            options: TaskOptions::oneshot(),
+            deps: Vec::new(),
+            completion: Completion::new(),
+        }
+    }
+
+    /// Submits a task runnable by any core in `cpuset`.
     ///
     /// # Panics
     ///
     /// Panics if `cpuset` contains no core of this machine.
+    #[deprecated(since = "0.1.0", note = "use `mgr.task(body).cpuset(..).spawn()`")]
     pub fn submit<F>(&self, body: F, cpuset: CpuSet, options: TaskOptions) -> TaskHandle
     where
         F: FnMut(&TaskContext<'_>) -> TaskStatus + Send + 'static,
     {
-        self.submit_boxed(Box::new(body), cpuset, options)
+        self.task(body).cpuset(cpuset).options(options).spawn()
     }
 
-    /// [`submit`](Self::submit) for an already-boxed body (avoids double
-    /// boxing when the caller stores `TaskFn`s).
+    /// [`task_boxed`](Self::task_boxed) + [`SubmitSpec::spawn`] in one call.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `mgr.task_boxed(body).cpuset(..).spawn()`"
+    )]
     pub fn submit_boxed(&self, body: TaskFn, cpuset: CpuSet, options: TaskOptions) -> TaskHandle {
-        let effective = cpuset & self.topo.all_cores();
-        let node = self
-            .topo
-            .smallest_covering(&effective)
-            .unwrap_or_else(|| panic!("cpuset {cpuset} selects no core of this machine"));
-        self.enqueue_task(body, QueueId(node.index() as u32), effective, options)
-    }
-
-    /// Common submission tail: build the task, enqueue it on `home`, wake
-    /// the cores that may run it.
-    fn enqueue_task(
-        &self,
-        body: TaskFn,
-        home: QueueId,
-        effective: CpuSet,
-        options: TaskOptions,
-    ) -> TaskHandle {
-        let completion = Completion::new();
-        let handle = TaskHandle {
-            completion: completion.clone(),
-        };
-        let depth = self.queues[home.index()].enqueue(Task {
-            body,
-            options,
-            cpuset: effective,
-            home,
-            completion,
-            submitted_at: self.latency.is_some().then(std::time::Instant::now),
-        });
-        self.wake_cores(effective);
-        // Backlog escalation: the queue is deep enough that its own cores
-        // are visibly not keeping up, so recruit the nearest parked thief
-        // (which may be eligible only for *older* tasks in the backlog and
-        // hence missed by the cpuset-targeted wake above).
-        if self.config.steal && depth >= self.config.steal_wake_backlog {
-            self.wake_for_steal(home);
-        }
-        handle
+        self.task_boxed(body)
+            .cpuset(cpuset)
+            .options(options)
+            .spawn()
     }
 
     /// Submits to the Global Queue: runnable by every core. Used when no
     /// idle core was found at submission time (§IV-B).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `mgr.task(body).spawn()` (every core is the default cpuset)"
+    )]
     pub fn submit_global<F>(&self, body: F, options: TaskOptions) -> TaskHandle
     where
         F: FnMut(&TaskContext<'_>) -> TaskStatus + Send + 'static,
     {
-        self.submit(body, self.topo.all_cores(), options)
+        self.task(body).options(options).spawn()
     }
 
-    /// Submits a task with a *home-core placement hint*: the task is
-    /// enqueued on `home`'s Per-Core Queue instead of the smallest node
-    /// covering `cpuset`.
-    ///
-    /// This is the work-stealing counterpart of [`submit`](Self::submit):
-    /// `home` names the core expected to run the task (it dequeues from its
-    /// local queue with an uncontended lock), while `cpuset` names every
-    /// core *allowed* to — if `home` falls behind, those cores steal the
-    /// backlog in [`Topology::steal_order`] (nearest sibling first). With
-    /// plain `submit`, a multi-core cpuset lands in a shared queue whose
-    /// lock every allowed core hits on the fast path; `submit_on` keeps the
-    /// fast path private and pays the shared-lock cost only when stealing
-    /// actually happens.
-    ///
-    /// A repeat task re-enqueues on its home queue after every run, even a
-    /// stolen one, so a transient imbalance does not permanently migrate
-    /// polling work away from its preferred core.
+    /// Submits a task with a *home-core placement hint* (see
+    /// [`SubmitSpec::on_core`] for the placement contract).
     ///
     /// # Panics
     ///
     /// Panics if `home` is outside the topology or not contained in
     /// `cpuset` (a home the task may never run on would strand it).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `mgr.task(body).cpuset(..).on_core(home).spawn()`"
+    )]
     pub fn submit_on<F>(
         &self,
         body: F,
@@ -419,17 +494,68 @@ impl TaskManager {
     where
         F: FnMut(&TaskContext<'_>) -> TaskStatus + Send + 'static,
     {
-        assert!(
-            home < self.topo.n_cores(),
-            "home core {home} outside topology"
-        );
-        let effective = cpuset & self.topo.all_cores();
-        assert!(
-            effective.contains(home),
-            "home core {home} not in cpuset {cpuset}"
-        );
-        let home_queue = QueueId(self.topo.core_node(home).index() as u32);
-        self.enqueue_task(Box::new(body), home_queue, effective, options)
+        self.task(body)
+            .cpuset(cpuset)
+            .on_core(home)
+            .options(options)
+            .spawn()
+    }
+
+    /// Common submission tail: enqueue the built task on its home queue and
+    /// wake the cores that may run it. Shared by [`SubmitSpec::spawn`], the
+    /// waitlist release path, and nothing else — requeues of *running*
+    /// tasks go through [`TaskQueue::requeue`] directly.
+    fn dispatch(&self, task: Task) {
+        let effective = task.cpuset;
+        let home = task.home;
+        let depth = self.queues[home.index()].enqueue(task);
+        self.wake_cores(effective);
+        // Backlog escalation: the queue is deep enough that its own cores
+        // are visibly not keeping up, so recruit the nearest parked thief
+        // (which may be eligible only for *older* tasks in the backlog and
+        // hence missed by the cpuset-targeted wake above).
+        if self.config.steal && depth >= self.config.steal_wake_backlog {
+            self.wake_for_steal(home);
+        }
+    }
+
+    /// Dispatches every waitlisted task whose last outstanding predecessor
+    /// just completed: the release half of [`SubmitSpec::after`], called
+    /// with the waiter list drained by the predecessor's completion.
+    fn release_waiters(&self, waiters: Vec<Arc<PendingTask>>) {
+        for waiter in waiters {
+            if let Some(mut task) = waiter.satisfy_one() {
+                self.released_class[task.options.class.index()].fetch_add(1, Ordering::Relaxed);
+                // Queueing delay starts now: while parked the task was not
+                // schedulable, so the wait on predecessors is not charged
+                // to the queues.
+                task.submitted_at = self.latency.is_some().then(std::time::Instant::now);
+                self.dispatch(task);
+            }
+        }
+    }
+
+    /// Panics iff making `new` depend on `deps` would close a dependency
+    /// cycle: depth-first walk of the recorded dependency edges
+    /// ([`Completion::deps_snapshot`]) looking for `new` itself. Called at
+    /// spawn time, before any waiter is registered, so a rejected
+    /// submission has no side effects on its predecessors.
+    fn assert_acyclic(new: &Arc<Completion>, deps: &[Arc<Completion>]) {
+        let mut visited: Vec<*const Completion> = Vec::new();
+        let mut stack: Vec<Arc<Completion>> = deps.to_vec();
+        while let Some(c) = stack.pop() {
+            if Arc::ptr_eq(&c, new) {
+                panic!("dependency cycle: a task cannot (transitively) run after itself");
+            }
+            let p = Arc::as_ptr(&c);
+            if visited.contains(&p) {
+                continue;
+            }
+            visited.push(p);
+            // Completed predecessors have empty snapshots: the walk only
+            // follows edges that can still delay anything.
+            stack.extend(c.deps_snapshot());
+        }
     }
 
     /// The paper's **Algorithm 1** (`Task Schedule`), invoked from scheduler
@@ -468,7 +594,7 @@ impl TaskManager {
     ///
     /// let mgr = TaskManager::new(presets::kwak().into());
     /// for _ in 0..8 {
-    ///     mgr.submit(|_| TaskStatus::Done, CpuSet::single(0), TaskOptions::oneshot());
+    ///     mgr.task(|_| TaskStatus::Done).cpuset(CpuSet::single(0)).spawn();
     /// }
     /// // One keypoint drains the whole backlog, one lock acquisition for
     /// // all eight tasks; the budget caps how much one keypoint may run.
@@ -548,7 +674,7 @@ impl TaskManager {
     /// // Empty hierarchy: budget covers a steal-half batch.
     /// assert_eq!(mgr.adaptive_budget(0), DEFAULT_BATCH);
     /// for _ in 0..100 {
-    ///     mgr.submit(|_| TaskStatus::Done, CpuSet::single(0), TaskOptions::oneshot());
+    ///     mgr.task(|_| TaskStatus::Done).cpuset(CpuSet::single(0)).spawn();
     /// }
     /// assert!(mgr.adaptive_budget(0) >= 100); // budget tracks the backlog
     /// ```
@@ -667,6 +793,8 @@ impl TaskManager {
                         .steal_batches
                         .fetch_add(1, Ordering::Relaxed);
                     for task in batch.drain(..) {
+                        self.cores[core].stolen_class[task.options.class.index()]
+                            .fetch_add(1, Ordering::Relaxed);
                         // try_steal_half only yields tasks whose cpuset
                         // admits `core`, so this never requeues.
                         self.run_task(task, core, queue);
@@ -691,11 +819,16 @@ impl TaskManager {
             queue.requeue(task);
             return false;
         }
+        let class = task.options.class;
         // Queueing delay ends here: the task is committed to run on this
         // core. Record into the executing core's shard, `take()`ing the
         // stamp so a panic in the body cannot double-count.
         if let (Some(hist), Some(t0)) = (&self.latency, task.submitted_at.take()) {
-            hist.record_at(core, t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+            let nanos = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            hist.record_at(core, nanos);
+            if let Some(by_class) = &self.latency_class {
+                by_class[class.index()].record_at(core, nanos);
+            }
         }
         let ctx = TaskContext {
             core,
@@ -704,22 +837,25 @@ impl TaskManager {
         let outcome = catch_unwind(AssertUnwindSafe(|| (task.body)(&ctx)));
         queue.note_executed(core);
         self.cores[core].executed.fetch_add(1, Ordering::Relaxed);
+        self.cores[core].executed_class[class.index()].fetch_add(1, Ordering::Relaxed);
         match outcome {
-            Ok(TaskStatus::Done) => task.completion.complete(),
+            Ok(TaskStatus::Done) => self.release_waiters(task.completion.complete()),
             Ok(TaskStatus::Again) if task.options.repeat => {
                 // A repeat task re-entering its queue starts a fresh
                 // queueing interval; each run measures its own delay.
                 task.submitted_at = self.latency.is_some().then(std::time::Instant::now);
                 self.queues[task.home.index()].requeue(task);
             }
-            Ok(TaskStatus::Again) => task.completion.complete(),
+            Ok(TaskStatus::Again) => self.release_waiters(task.completion.complete()),
             Err(payload) => {
                 let msg = payload
                     .downcast_ref::<&str>()
                     .map(|s| (*s).to_owned())
                     .or_else(|| payload.downcast_ref::<String>().cloned())
                     .unwrap_or_else(|| "<non-string panic payload>".to_owned());
-                task.completion.complete_panicked(msg);
+                // Dependents are released even on panic: a dependency is
+                // an ordering constraint, not a success gate.
+                self.release_waiters(task.completion.complete_panicked(msg));
             }
         }
         true
@@ -902,6 +1038,20 @@ impl TaskManager {
         self.cores.iter().map(|c| f(c)).collect()
     }
 
+    /// Folds a per-core per-class counter array into class totals.
+    fn class_totals(
+        &self,
+        f: impl Fn(&CoreState) -> &[AtomicU64; CLASS_COUNT],
+    ) -> [u64; CLASS_COUNT] {
+        let mut totals = [0u64; CLASS_COUNT];
+        for core in &self.cores {
+            for (total, counter) in totals.iter_mut().zip(f(core).iter()) {
+                *total += counter.load(Ordering::Relaxed);
+            }
+        }
+        totals
+    }
+
     /// Snapshot of per-queue and per-core counters.
     pub fn stats(&self) -> ManagerStats {
         ManagerStats {
@@ -933,7 +1083,20 @@ impl TaskManager {
             hook_idle: self.hook_counts[0].load(Ordering::Relaxed),
             hook_context_switch: self.hook_counts[1].load(Ordering::Relaxed),
             hook_timer: self.hook_counts[2].load(Ordering::Relaxed),
+            executed_by_class: self.class_totals(|c| &c.executed_class),
+            stolen_by_class: self.class_totals(|c| &c.stolen_class),
+            waitlist_released_by_class: {
+                let mut totals = [0u64; CLASS_COUNT];
+                for (total, counter) in totals.iter_mut().zip(self.released_class.iter()) {
+                    *total = counter.load(Ordering::Relaxed);
+                }
+                totals
+            },
             latency: self.latency.as_ref().map(|h| h.snapshot()),
+            latency_by_class: self
+                .latency_class
+                .as_ref()
+                .map(|hs| hs.iter().map(|h| h.snapshot()).collect()),
         }
     }
 
@@ -971,6 +1134,186 @@ impl core::fmt::Debug for TaskManager {
     }
 }
 
+/// A task submission being built: created by [`TaskManager::task`],
+/// finished by [`spawn`](Self::spawn).
+///
+/// Defaults: runnable on **every** core (the Global Queue shape), placed on
+/// the smallest topology node covering its CPU set, one-shot,
+/// [`TaskClass::Interactive`], no deadline, no dependencies. Each method
+/// overrides one knob; the four deprecated `submit*` entry points are thin
+/// wrappers over this builder.
+#[must_use = "a SubmitSpec does nothing until `.spawn()` is called"]
+pub struct SubmitSpec<'m> {
+    mgr: &'m TaskManager,
+    body: TaskFn,
+    cpuset: Option<CpuSet>,
+    home: Option<usize>,
+    options: TaskOptions,
+    deps: Vec<TaskHandle>,
+    /// Created with the spec (not at spawn) so [`handle`](Self::handle) can
+    /// hand out references to the not-yet-spawned task — which is what
+    /// makes dependency cycles *expressible*, and why
+    /// [`spawn`](Self::spawn) checks for them.
+    completion: Arc<Completion>,
+}
+
+impl SubmitSpec<'_> {
+    /// Restricts execution to `cpuset` ("a CPU set is attached to the task
+    /// so as to avoid unwanted cores to execute it", paper §III). The set
+    /// is intersected with the machine's cores; the task is enqueued on
+    /// the smallest topology node covering the result unless
+    /// [`on_core`](Self::on_core) pins a home.
+    pub fn cpuset(mut self, cpuset: CpuSet) -> Self {
+        self.cpuset = Some(cpuset);
+        self
+    }
+
+    /// Pins the task's *home* to `core`'s Per-Core Queue instead of the
+    /// smallest node covering its CPU set.
+    ///
+    /// `core` names the core expected to run the task (it dequeues from
+    /// its local queue with an uncontended lock), while the CPU set names
+    /// every core *allowed* to — if the home falls behind, those cores
+    /// steal the backlog in [`Topology::steal_order`] (nearest sibling
+    /// first). Without a home, a multi-core cpuset lands in a shared queue
+    /// whose lock every allowed core hits on the fast path; a home keeps
+    /// the fast path private and pays the shared-lock cost only when
+    /// stealing actually happens.
+    ///
+    /// A repeat task re-enqueues on its home queue after every run, even a
+    /// stolen one, so a transient imbalance does not permanently migrate
+    /// polling work away from its preferred core.
+    pub fn on_core(mut self, core: usize) -> Self {
+        self.home = Some(core);
+        self
+    }
+
+    /// Sets the QoS class lane (default [`TaskClass::Interactive`]; see
+    /// [`TaskClass`] for the service order and the starvation bound).
+    pub fn class(mut self, class: TaskClass) -> Self {
+        self.options.class = class;
+        self
+    }
+
+    /// Sets the deadline tick: within its class the task drains
+    /// earliest-deadline-first, ahead of the class's no-deadline tasks
+    /// (see [`TaskOptions::deadline`]). Never overrides class priority.
+    pub fn deadline(mut self, tick: u64) -> Self {
+        self.options.deadline = Some(tick);
+        self
+    }
+
+    /// Marks the task repetitive: re-enqueued after each run until the
+    /// body returns [`TaskStatus::Done`] (the paper's polling option).
+    pub fn repeat(mut self) -> Self {
+        self.options.repeat = true;
+        self
+    }
+
+    /// Replaces the whole option block at once (repeat + class +
+    /// deadline), for callers that already hold a [`TaskOptions`].
+    pub fn options(mut self, options: TaskOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Adds a dependency: the task stays parked on the **waitlist** until
+    /// `predecessor` completes (or panics — a dependency is an ordering
+    /// constraint, not a success gate; see `docs/SCHEDULER.md`). May be
+    /// chained to wait on several predecessors; the task is released by
+    /// the last one to finish.
+    pub fn after(mut self, predecessor: &TaskHandle) -> Self {
+        self.deps.push(predecessor.clone());
+        self
+    }
+
+    /// The handle of the task being built, available *before*
+    /// [`spawn`](Self::spawn). Useful for wiring graphs where a
+    /// predecessor's body needs the successor's handle.
+    pub fn handle(&self) -> TaskHandle {
+        TaskHandle {
+            completion: self.completion.clone(),
+        }
+    }
+
+    /// Builds the task and hands it to the scheduler: enqueued immediately
+    /// when it has no pending dependencies, parked on the waitlist
+    /// otherwise. Returns the same handle as [`handle`](Self::handle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the CPU set selects no core of this machine, if
+    /// [`on_core`](Self::on_core) named a core outside the topology or
+    /// outside the CPU set, or if the [`after`](Self::after) edges would
+    /// close a dependency cycle (checked before any waiter is registered,
+    /// so a rejected spawn leaves its predecessors untouched).
+    pub fn spawn(self) -> TaskHandle {
+        let mgr = self.mgr;
+        let requested = self.cpuset.unwrap_or_else(|| mgr.topo.all_cores());
+        let effective = requested & mgr.topo.all_cores();
+        let home = if let Some(core) = self.home {
+            assert!(
+                core < mgr.topo.n_cores(),
+                "home core {core} outside topology"
+            );
+            assert!(
+                effective.contains(core),
+                "home core {core} not in cpuset {requested}"
+            );
+            QueueId(mgr.topo.core_node(core).index() as u32)
+        } else {
+            let node = mgr
+                .topo
+                .smallest_covering(&effective)
+                .unwrap_or_else(|| panic!("cpuset {requested} selects no core of this machine"));
+            QueueId(node.index() as u32)
+        };
+        let handle = TaskHandle {
+            completion: self.completion.clone(),
+        };
+        let deps: Vec<Arc<Completion>> = self.deps.iter().map(|h| h.completion.clone()).collect();
+        let task = Task {
+            body: self.body,
+            options: self.options,
+            cpuset: effective,
+            home,
+            completion: self.completion.clone(),
+            submitted_at: mgr.latency.is_some().then(std::time::Instant::now),
+        };
+        if deps.is_empty() {
+            mgr.dispatch(task);
+            return handle;
+        }
+        TaskManager::assert_acyclic(&self.completion, &deps);
+        self.completion.set_deps(deps.clone());
+        let pending = Arc::new(PendingTask {
+            remaining: AtomicUsize::new(deps.len()),
+            slot: Mutex::new(Some(task)),
+        });
+        // A predecessor already complete at registration time will never
+        // drain this waiter; satisfy its share here. Wherever the *last*
+        // satisfaction lands — here or on a completion path — it releases
+        // the task exactly once.
+        let already_complete = deps
+            .iter()
+            .filter(|dep| !dep.add_waiter(pending.clone()))
+            .count();
+        mgr.release_waiters(vec![pending; already_complete]);
+        handle
+    }
+}
+
+impl core::fmt::Debug for SubmitSpec<'_> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("SubmitSpec")
+            .field("cpuset", &self.cpuset)
+            .field("home", &self.home)
+            .field("options", &self.options)
+            .field("deps", &self.deps.len())
+            .finish_non_exhaustive()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -986,14 +1329,13 @@ mod tests {
         let mgr = kwak_mgr();
         let ran_on = Arc::new(AtomicUsize::new(usize::MAX));
         let r = ran_on.clone();
-        let h = mgr.submit(
-            move |ctx| {
+        let h = mgr
+            .task(move |ctx| {
                 r.store(ctx.core, Ordering::SeqCst);
                 TaskStatus::Done
-            },
-            CpuSet::single(3),
-            TaskOptions::oneshot(),
-        );
+            })
+            .cpuset(CpuSet::single(3))
+            .spawn();
         assert!(!mgr.schedule(2), "core 2 sees nothing in its path");
         assert!(!h.is_complete());
         assert!(mgr.schedule(3));
@@ -1005,11 +1347,10 @@ mod tests {
     #[test]
     fn numa_level_task_runs_on_any_node_core() {
         let mgr = kwak_mgr();
-        let h = mgr.submit(
-            |_| TaskStatus::Done,
-            CpuSet::range(4..8),
-            TaskOptions::oneshot(),
-        );
+        let h = mgr
+            .task(|_| TaskStatus::Done)
+            .cpuset(CpuSet::range(4..8))
+            .spawn();
         // Core 9 is on NUMA #2: its path does not include NUMA #1's queue.
         assert!(!mgr.schedule(9));
         assert!(mgr.schedule(6));
@@ -1021,11 +1362,10 @@ mod tests {
         let mgr = kwak_mgr();
         // Cores {4, 6}: smallest covering queue is NUMA #1 (cores 4-7),
         // but core 5 must NOT run the task.
-        let h = mgr.submit(
-            |_| TaskStatus::Done,
-            CpuSet::from_iter([4, 6]),
-            TaskOptions::oneshot(),
-        );
+        let h = mgr
+            .task(|_| TaskStatus::Done)
+            .cpuset(CpuSet::from_iter([4, 6]))
+            .spawn();
         assert!(!mgr.schedule(5), "excluded core skips the task");
         assert!(!h.is_complete());
         assert_eq!(mgr.pending_tasks(), 1, "task was requeued, not lost");
@@ -1037,18 +1377,18 @@ mod tests {
     fn repeat_task_reenqueues_until_done() {
         let mgr = kwak_mgr();
         let mut polls_left = 3;
-        let h = mgr.submit(
-            move |_| {
+        let h = mgr
+            .task(move |_| {
                 polls_left -= 1;
                 if polls_left == 0 {
                     TaskStatus::Done
                 } else {
                     TaskStatus::Again
                 }
-            },
-            CpuSet::single(0),
-            TaskOptions::repeat(),
-        );
+            })
+            .cpuset(CpuSet::single(0))
+            .repeat()
+            .spawn();
         assert!(mgr.schedule(0));
         assert!(!h.is_complete(), "first poll fails, task requeued");
         assert!(mgr.schedule(0));
@@ -1064,11 +1404,10 @@ mod tests {
     #[test]
     fn oneshot_returning_again_completes() {
         let mgr = kwak_mgr();
-        let h = mgr.submit(
-            |_| TaskStatus::Again,
-            CpuSet::single(0),
-            TaskOptions::oneshot(),
-        );
+        let h = mgr
+            .task(|_| TaskStatus::Again)
+            .cpuset(CpuSet::single(0))
+            .spawn();
         mgr.schedule(0);
         assert!(h.is_complete());
     }
@@ -1076,16 +1415,14 @@ mod tests {
     #[test]
     fn panicking_task_reports_error_and_scheduler_survives() {
         let mgr = kwak_mgr();
-        let h = mgr.submit(
-            |_| panic!("injected failure"),
-            CpuSet::single(0),
-            TaskOptions::oneshot(),
-        );
-        let h2 = mgr.submit(
-            |_| TaskStatus::Done,
-            CpuSet::single(0),
-            TaskOptions::oneshot(),
-        );
+        let h = mgr
+            .task(|_| panic!("injected failure"))
+            .cpuset(CpuSet::single(0))
+            .spawn();
+        let h2 = mgr
+            .task(|_| TaskStatus::Done)
+            .cpuset(CpuSet::single(0))
+            .spawn();
         mgr.schedule(0);
         let err = h.wait().unwrap_err();
         assert!(err.message.contains("injected failure"));
@@ -1096,7 +1433,7 @@ mod tests {
     fn global_submission_visible_from_every_core() {
         let mgr = kwak_mgr();
         for core in [0, 7, 15] {
-            let h = mgr.submit_global(|_| TaskStatus::Done, TaskOptions::oneshot());
+            let h = mgr.task(|_| TaskStatus::Done).spawn();
             assert!(mgr.schedule(core));
             assert!(h.is_complete());
         }
@@ -1106,18 +1443,17 @@ mod tests {
     #[should_panic(expected = "selects no core")]
     fn empty_cpuset_panics() {
         let mgr = kwak_mgr();
-        let _ = mgr.submit(|_| TaskStatus::Done, CpuSet::EMPTY, TaskOptions::oneshot());
+        let _ = mgr.task(|_| TaskStatus::Done).cpuset(CpuSet::EMPTY).spawn();
     }
 
     #[test]
     fn foreign_cores_are_masked() {
         let mgr = kwak_mgr();
         // Core 100 does not exist on kwak; the effective set is {1}.
-        let h = mgr.submit(
-            |_| TaskStatus::Done,
-            CpuSet::from_iter([1, 100]),
-            TaskOptions::oneshot(),
-        );
+        let h = mgr
+            .task(|_| TaskStatus::Done)
+            .cpuset(CpuSet::from_iter([1, 100]))
+            .spawn();
         assert!(mgr.schedule(1));
         assert!(h.is_complete());
     }
@@ -1128,22 +1464,18 @@ mod tests {
         let mgr = kwak_mgr();
         let order = Arc::new(Mutex::new(Vec::new()));
         let o1 = order.clone();
-        mgr.submit_global(
-            move |_| {
-                o1.lock().push("global");
-                TaskStatus::Done
-            },
-            TaskOptions::oneshot(),
-        );
+        mgr.task(move |_| {
+            o1.lock().push("global");
+            TaskStatus::Done
+        })
+        .spawn();
         let o2 = order.clone();
-        mgr.submit(
-            move |_| {
-                o2.lock().push("local");
-                TaskStatus::Done
-            },
-            CpuSet::single(2),
-            TaskOptions::oneshot(),
-        );
+        mgr.task(move |_| {
+            o2.lock().push("local");
+            TaskStatus::Done
+        })
+        .cpuset(CpuSet::single(2))
+        .spawn();
         mgr.schedule(2);
         assert_eq!(*order.lock(), vec!["local", "global"]);
     }
@@ -1151,16 +1483,14 @@ mod tests {
     #[test]
     fn schedule_one_runs_exactly_one() {
         let mgr = kwak_mgr();
-        let h1 = mgr.submit(
-            |_| TaskStatus::Done,
-            CpuSet::single(0),
-            TaskOptions::oneshot(),
-        );
-        let h2 = mgr.submit(
-            |_| TaskStatus::Done,
-            CpuSet::single(0),
-            TaskOptions::oneshot(),
-        );
+        let h1 = mgr
+            .task(|_| TaskStatus::Done)
+            .cpuset(CpuSet::single(0))
+            .spawn();
+        let h2 = mgr
+            .task(|_| TaskStatus::Done)
+            .cpuset(CpuSet::single(0))
+            .spawn();
         assert!(mgr.schedule_one(0));
         assert!(h1.is_complete());
         assert!(!h2.is_complete());
@@ -1172,20 +1502,18 @@ mod tests {
     #[test]
     fn tasks_can_submit_tasks() {
         let mgr = kwak_mgr();
-        let h = mgr.submit(
-            |ctx| {
+        let h = mgr
+            .task(|ctx| {
                 // A request submission that must be polled afterwards
                 // submits a polling task (paper §IV-B).
-                ctx.manager.submit(
-                    |_| TaskStatus::Done,
-                    CpuSet::single(0),
-                    TaskOptions::oneshot(),
-                );
+                ctx.manager
+                    .task(|_| TaskStatus::Done)
+                    .cpuset(CpuSet::single(0))
+                    .spawn();
                 TaskStatus::Done
-            },
-            CpuSet::single(0),
-            TaskOptions::oneshot(),
-        );
+            })
+            .cpuset(CpuSet::single(0))
+            .spawn();
         mgr.schedule(0);
         assert!(h.is_complete());
         assert_eq!(mgr.pending_tasks(), 1);
@@ -1196,11 +1524,9 @@ mod tests {
     #[test]
     fn hooks_count_and_schedule() {
         let mgr = kwak_mgr();
-        mgr.submit(
-            |_| TaskStatus::Done,
-            CpuSet::single(0),
-            TaskOptions::oneshot(),
-        );
+        mgr.task(|_| TaskStatus::Done)
+            .cpuset(CpuSet::single(0))
+            .spawn();
         assert!(mgr.hook(HookPoint::Idle, 0));
         mgr.hook(HookPoint::TimerInterrupt, 1);
         mgr.hook(HookPoint::ContextSwitch, 2);
@@ -1220,11 +1546,10 @@ mod tests {
                 ..ManagerConfig::default()
             },
         );
-        let h = mgr.submit(
-            |_| TaskStatus::Done,
-            CpuSet::range(0..4),
-            TaskOptions::oneshot(),
-        );
+        let h = mgr
+            .task(|_| TaskStatus::Done)
+            .cpuset(CpuSet::range(0..4))
+            .spawn();
         assert!(mgr.schedule(2));
         assert!(h.is_complete());
         let qstats = &mgr.stats().queues;
@@ -1240,11 +1565,10 @@ mod tests {
                 ..ManagerConfig::default()
             },
         );
-        let h = mgr.submit(
-            |_| TaskStatus::Done,
-            CpuSet::range(0..4),
-            TaskOptions::oneshot(),
-        );
+        let h = mgr
+            .task(|_| TaskStatus::Done)
+            .cpuset(CpuSet::range(0..4))
+            .spawn();
         assert!(mgr.schedule(2));
         assert!(h.is_complete());
         // The OS mutex is uninstrumented: no spinlock stats.
@@ -1254,11 +1578,10 @@ mod tests {
     #[test]
     fn latency_histogram_off_by_default() {
         let mgr = kwak_mgr();
-        let h = mgr.submit(
-            |_| TaskStatus::Done,
-            CpuSet::single(0),
-            TaskOptions::oneshot(),
-        );
+        let h = mgr
+            .task(|_| TaskStatus::Done)
+            .cpuset(CpuSet::single(0))
+            .spawn();
         mgr.schedule(0);
         assert!(h.is_complete());
         assert!(mgr.stats().latency.is_none(), "observability is opt-in");
@@ -1275,23 +1598,22 @@ mod tests {
         );
         // A repeat task running 3 times + a oneshot: 4 recorded intervals.
         let mut left = 3;
-        let h = mgr.submit(
-            move |_| {
+        let h = mgr
+            .task(move |_| {
                 left -= 1;
                 if left == 0 {
                     TaskStatus::Done
                 } else {
                     TaskStatus::Again
                 }
-            },
-            CpuSet::single(0),
-            TaskOptions::repeat(),
-        );
-        let h2 = mgr.submit(
-            |_| TaskStatus::Done,
-            CpuSet::single(1),
-            TaskOptions::oneshot(),
-        );
+            })
+            .cpuset(CpuSet::single(0))
+            .repeat()
+            .spawn();
+        let h2 = mgr
+            .task(|_| TaskStatus::Done)
+            .cpuset(CpuSet::single(1))
+            .spawn();
         while !h.is_complete() {
             mgr.schedule(0);
         }
@@ -1314,11 +1636,10 @@ mod tests {
                 ..ManagerConfig::default()
             },
         );
-        let h = mgr.submit(
-            |_| TaskStatus::Done,
-            CpuSet::single(1),
-            TaskOptions::oneshot(),
-        );
+        let h = mgr
+            .task(|_| TaskStatus::Done)
+            .cpuset(CpuSet::single(1))
+            .spawn();
         // Core 0 shares the chip queue with core 1 but may not run the
         // task; it requeues it without recording.
         mgr.schedule(0);
@@ -1332,11 +1653,10 @@ mod tests {
     #[test]
     fn wait_active_self_progresses() {
         let mgr = kwak_mgr();
-        let h = mgr.submit(
-            |_| TaskStatus::Done,
-            CpuSet::single(4),
-            TaskOptions::oneshot(),
-        );
+        let h = mgr
+            .task(|_| TaskStatus::Done)
+            .cpuset(CpuSet::single(4))
+            .spawn();
         h.wait_active(&mgr, 4).unwrap();
         assert!(h.is_complete());
     }
@@ -1348,24 +1668,21 @@ mod tests {
         let order = Arc::new(Mutex::new(Vec::new()));
         for i in 0..3 {
             let o = order.clone();
-            mgr.submit(
-                move |_| {
-                    o.lock().push(format!("normal{i}"));
-                    TaskStatus::Done
-                },
-                CpuSet::single(0),
-                TaskOptions::oneshot(),
-            );
+            mgr.task(move |_| {
+                o.lock().push(format!("normal{i}"));
+                TaskStatus::Done
+            })
+            .cpuset(CpuSet::single(0))
+            .spawn();
         }
         let o = order.clone();
-        mgr.submit(
-            move |_| {
-                o.lock().push("urgent".to_owned());
-                TaskStatus::Done
-            },
-            CpuSet::single(0),
-            TaskOptions::oneshot().urgent(),
-        );
+        mgr.task(move |_| {
+            o.lock().push("urgent".to_owned());
+            TaskStatus::Done
+        })
+        .cpuset(CpuSet::single(0))
+        .class(TaskClass::Urgent)
+        .spawn();
         mgr.schedule(0);
         assert_eq!(
             *order.lock(),
@@ -1375,34 +1692,35 @@ mod tests {
 
     #[test]
     fn urgent_repeat_requeues_at_tail() {
-        // Once an urgent polling task has had its immediate shot, its
-        // re-enqueues go to the tail like any repeat task (no starvation).
+        // An urgent polling task re-enqueues at its *class lane's* tail:
+        // it still outranks lower classes on the next pop, but within the
+        // Urgent lane it queues behind other urgent work instead of
+        // jumping the front (the PR-8 fix: requeue used to push urgent
+        // repeats at the steal-cursor front, starving same-class peers).
         let mgr = kwak_mgr();
         let order = Arc::new(Mutex::new(Vec::new()));
         let o = order.clone();
         let mut polls = 0;
-        mgr.submit(
-            move |_| {
-                polls += 1;
-                o.lock().push("urgent-poll");
-                if polls == 2 {
-                    TaskStatus::Done
-                } else {
-                    TaskStatus::Again
-                }
-            },
-            CpuSet::single(0),
-            TaskOptions::repeat().urgent(),
-        );
-        let o = order.clone();
-        mgr.submit(
-            move |_| {
-                o.lock().push("normal");
+        mgr.task(move |_| {
+            polls += 1;
+            o.lock().push("urgent-poll");
+            if polls == 2 {
                 TaskStatus::Done
-            },
-            CpuSet::single(0),
-            TaskOptions::oneshot(),
-        );
+            } else {
+                TaskStatus::Again
+            }
+        })
+        .cpuset(CpuSet::single(0))
+        .repeat()
+        .class(TaskClass::Urgent)
+        .spawn();
+        let o = order.clone();
+        mgr.task(move |_| {
+            o.lock().push("normal");
+            TaskStatus::Done
+        })
+        .cpuset(CpuSet::single(0))
+        .spawn();
         // One pass runs each pending task once (the requeued poll waits for
         // the next keypoint).
         mgr.schedule(0);
@@ -1425,11 +1743,9 @@ mod tests {
     fn schedule_batch_respects_budget_and_drains_in_one_lock() {
         let mgr = kwak_mgr();
         for _ in 0..10 {
-            mgr.submit(
-                |_| TaskStatus::Done,
-                CpuSet::single(0),
-                TaskOptions::oneshot(),
-            );
+            mgr.task(|_| TaskStatus::Done)
+                .cpuset(CpuSet::single(0))
+                .spawn();
         }
         let locks_before =
             mgr.stats().queues[mgr.topology().core_node(0).index()].lock_acquisitions;
@@ -1447,12 +1763,11 @@ mod tests {
     #[test]
     fn schedule_batch_scans_whole_hierarchy_within_budget() {
         let mgr = kwak_mgr();
-        let local = mgr.submit(
-            |_| TaskStatus::Done,
-            CpuSet::single(2),
-            TaskOptions::oneshot(),
-        );
-        let global = mgr.submit_global(|_| TaskStatus::Done, TaskOptions::oneshot());
+        let local = mgr
+            .task(|_| TaskStatus::Done)
+            .cpuset(CpuSet::single(2))
+            .spawn();
+        let global = mgr.task(|_| TaskStatus::Done).spawn();
         assert_eq!(mgr.schedule_batch(2, 8), 2);
         assert!(local.is_complete());
         assert!(global.is_complete());
@@ -1471,12 +1786,10 @@ mod tests {
         let mgr = kwak_mgr();
         let handles: Vec<_> = (0..16)
             .map(|_| {
-                mgr.submit_on(
-                    |_| TaskStatus::Done,
-                    1,
-                    CpuSet::from_iter([0, 1]),
-                    TaskOptions::oneshot(),
-                )
+                mgr.task(|_| TaskStatus::Done)
+                    .cpuset(CpuSet::from_iter([0, 1]))
+                    .on_core(1)
+                    .spawn()
             })
             .collect();
         let mut rounds = 0;
@@ -1502,12 +1815,10 @@ mod tests {
         // DEFAULT_BATCH, so one adaptive keypoint takes the full half.
         let mgr = kwak_mgr();
         for _ in 0..64 {
-            mgr.submit_on(
-                |_| TaskStatus::Done,
-                1,
-                CpuSet::from_iter([0, 1]),
-                TaskOptions::oneshot(),
-            );
+            mgr.task(|_| TaskStatus::Done)
+                .cpuset(CpuSet::from_iter([0, 1]))
+                .on_core(1)
+                .spawn();
         }
         assert_eq!(mgr.adaptive_budget(0), DEFAULT_BATCH);
         let budget = mgr.adaptive_budget(0);
@@ -1526,12 +1837,10 @@ mod tests {
     fn schedule_one_steals_at_most_one_task() {
         let mgr = kwak_mgr();
         for _ in 0..8 {
-            mgr.submit_on(
-                |_| TaskStatus::Done,
-                1,
-                CpuSet::from_iter([0, 1]),
-                TaskOptions::oneshot(),
-            );
+            mgr.task(|_| TaskStatus::Done)
+                .cpuset(CpuSet::from_iter([0, 1]))
+                .on_core(1)
+                .spawn();
         }
         assert!(mgr.schedule_one(0));
         let stats = mgr.stats();
@@ -1546,20 +1855,17 @@ mod tests {
         // deepest, so the probe must start there, not at core 5 (the
         // lowest-id hot-but-shallower victim).
         let mgr = kwak_mgr();
-        let shallow = mgr.submit_on(
-            |_| TaskStatus::Done,
-            5,
-            CpuSet::from_iter([4, 5]),
-            TaskOptions::oneshot(),
-        );
+        let shallow = mgr
+            .task(|_| TaskStatus::Done)
+            .cpuset(CpuSet::from_iter([4, 5]))
+            .on_core(5)
+            .spawn();
         let deep: Vec<_> = (0..6)
             .map(|_| {
-                mgr.submit_on(
-                    |_| TaskStatus::Done,
-                    6,
-                    CpuSet::from_iter([4, 6]),
-                    TaskOptions::oneshot(),
-                )
+                mgr.task(|_| TaskStatus::Done)
+                    .cpuset(CpuSet::from_iter([4, 6]))
+                    .on_core(6)
+                    .spawn()
             })
             .collect();
         assert!(mgr.schedule(4));
@@ -1575,11 +1881,9 @@ mod tests {
         // loaded, but every task's cpuset is {3} — nothing may move.
         let mgr = kwak_mgr();
         for _ in 0..4 {
-            mgr.submit(
-                |_| TaskStatus::Done,
-                CpuSet::single(3),
-                TaskOptions::oneshot(),
-            );
+            mgr.task(|_| TaskStatus::Done)
+                .cpuset(CpuSet::single(3))
+                .spawn();
         }
         for _ in 0..10 {
             assert!(!mgr.schedule(2), "core 2 must not run core-3-only work");
@@ -1596,18 +1900,16 @@ mod tests {
         let mgr = kwak_mgr();
         // Two stealable tasks: one homed on core 5 (same NUMA node as the
         // thief, core 4), one homed on core 12 (across the interconnect).
-        let near = mgr.submit_on(
-            |_| TaskStatus::Done,
-            5,
-            CpuSet::from_iter([4, 5]),
-            TaskOptions::oneshot(),
-        );
-        let far = mgr.submit_on(
-            |_| TaskStatus::Done,
-            12,
-            CpuSet::from_iter([4, 12]),
-            TaskOptions::oneshot(),
-        );
+        let near = mgr
+            .task(|_| TaskStatus::Done)
+            .cpuset(CpuSet::from_iter([4, 5]))
+            .on_core(5)
+            .spawn();
+        let far = mgr
+            .task(|_| TaskStatus::Done)
+            .cpuset(CpuSet::from_iter([4, 12]))
+            .on_core(12)
+            .spawn();
         assert!(mgr.schedule(4));
         assert!(near.is_complete(), "nearest victim first");
         assert!(!far.is_complete());
@@ -1618,12 +1920,11 @@ mod tests {
     #[test]
     fn stealing_disabled_leaves_foreign_backlogs_alone() {
         let mgr = no_steal_mgr();
-        let h = mgr.submit_on(
-            |_| TaskStatus::Done,
-            1,
-            CpuSet::from_iter([0, 1]),
-            TaskOptions::oneshot(),
-        );
+        let h = mgr
+            .task(|_| TaskStatus::Done)
+            .cpuset(CpuSet::from_iter([0, 1]))
+            .on_core(1)
+            .spawn();
         assert!(!mgr.schedule(0), "steal disabled: core 0 spins");
         assert!(!h.is_complete());
         let stats = mgr.stats();
@@ -1637,19 +1938,19 @@ mod tests {
     fn stolen_repeat_task_requeues_on_its_home_queue() {
         let mgr = kwak_mgr();
         let mut polls = 0;
-        let h = mgr.submit_on(
-            move |_| {
+        let h = mgr
+            .task(move |_| {
                 polls += 1;
                 if polls == 2 {
                     TaskStatus::Done
                 } else {
                     TaskStatus::Again
                 }
-            },
-            1,
-            CpuSet::from_iter([0, 1]),
-            TaskOptions::repeat(),
-        );
+            })
+            .cpuset(CpuSet::from_iter([0, 1]))
+            .on_core(1)
+            .repeat()
+            .spawn();
         assert!(mgr.schedule(0), "first poll runs stolen on core 0");
         assert!(!h.is_complete());
         // The re-enqueue went back to core 1's queue, not the thief's.
@@ -1668,12 +1969,11 @@ mod tests {
                 ..ManagerConfig::default()
             },
         );
-        let h = mgr.submit_on(
-            |_| TaskStatus::Done,
-            1,
-            CpuSet::from_iter([0, 1]),
-            TaskOptions::oneshot(),
-        );
+        let h = mgr
+            .task(|_| TaskStatus::Done)
+            .cpuset(CpuSet::from_iter([0, 1]))
+            .on_core(1)
+            .spawn();
         assert!(mgr.schedule(0));
         assert!(h.is_complete());
         assert_eq!(mgr.stats().stolen_by_core[0], 1);
@@ -1683,12 +1983,11 @@ mod tests {
     #[should_panic(expected = "not in cpuset")]
     fn submit_on_rejects_home_outside_cpuset() {
         let mgr = kwak_mgr();
-        let _ = mgr.submit_on(
-            |_| TaskStatus::Done,
-            2,
-            CpuSet::single(3),
-            TaskOptions::oneshot(),
-        );
+        let _ = mgr
+            .task(|_| TaskStatus::Done)
+            .cpuset(CpuSet::single(3))
+            .on_core(2)
+            .spawn();
     }
 
     #[test]
@@ -1698,12 +1997,10 @@ mod tests {
         assert!(!mgr.park_probe(0));
         // Backlog homed across the interconnect, stealable by core 0.
         for _ in 0..4 {
-            mgr.submit_on(
-                |_| TaskStatus::Done,
-                12,
-                CpuSet::from_iter([0, 12]),
-                TaskOptions::oneshot(),
-            );
+            mgr.task(|_| TaskStatus::Done)
+                .cpuset(CpuSet::from_iter([0, 12]))
+                .on_core(12)
+                .spawn();
         }
         assert!(mgr.park_probe(0), "distant victim backlog must be seen");
         let stats = mgr.stats();
@@ -1715,11 +2012,9 @@ mod tests {
     fn park_probe_ignores_backlog_outside_the_steal_span() {
         let mgr = kwak_mgr();
         for _ in 0..4 {
-            mgr.submit(
-                |_| TaskStatus::Done,
-                CpuSet::single(3),
-                TaskOptions::oneshot(),
-            );
+            mgr.task(|_| TaskStatus::Done)
+                .cpuset(CpuSet::single(3))
+                .spawn();
         }
         // Core 2 may never run core-3-only work: the span filter must
         // reject the queue without a hit, so the worker parks instead of
@@ -1735,12 +2030,10 @@ mod tests {
     #[test]
     fn park_probe_disabled_with_stealing() {
         let mgr = no_steal_mgr();
-        mgr.submit_on(
-            |_| TaskStatus::Done,
-            1,
-            CpuSet::from_iter([0, 1]),
-            TaskOptions::oneshot(),
-        );
+        mgr.task(|_| TaskStatus::Done)
+            .cpuset(CpuSet::from_iter([0, 1]))
+            .on_core(1)
+            .spawn();
         assert!(!mgr.park_probe(0), "no stealing: always park");
         let stats = mgr.stats();
         assert_eq!(stats.total_park_probe_hits(), 0);
@@ -1755,12 +2048,10 @@ mod tests {
     fn wake_for_steal_without_workers_is_a_no_op() {
         let mgr = kwak_mgr();
         for _ in 0..16 {
-            mgr.submit_on(
-                |_| TaskStatus::Done,
-                1,
-                CpuSet::from_iter([0, 1]),
-                TaskOptions::oneshot(),
-            );
+            mgr.task(|_| TaskStatus::Done)
+                .cpuset(CpuSet::from_iter([0, 1]))
+                .on_core(1)
+                .spawn();
         }
         let home = mgr.stats().queues[mgr.topology().core_node(1).index()].id;
         assert_eq!(mgr.wake_for_steal(home), None);
@@ -1771,12 +2062,10 @@ mod tests {
     #[test]
     fn queue_stats_expose_the_steal_span() {
         let mgr = kwak_mgr();
-        mgr.submit_on(
-            |_| TaskStatus::Done,
-            1,
-            CpuSet::from_iter([0, 1]),
-            TaskOptions::oneshot(),
-        );
+        mgr.task(|_| TaskStatus::Done)
+            .cpuset(CpuSet::from_iter([0, 1]))
+            .on_core(1)
+            .spawn();
         let qstats = &mgr.stats().queues[mgr.topology().core_node(1).index()];
         assert!(qstats.steal_span.contains(0));
         assert!(qstats.steal_span.contains(1));
@@ -1798,11 +2087,9 @@ mod tests {
         for mgr in [&windowed, &cumulative] {
             assert_eq!(mgr.adaptive_budget(0), DEFAULT_BATCH);
             for _ in 0..100 {
-                mgr.submit(
-                    |_| TaskStatus::Done,
-                    CpuSet::single(0),
-                    TaskOptions::oneshot(),
-                );
+                mgr.task(|_| TaskStatus::Done)
+                    .cpuset(CpuSet::single(0))
+                    .spawn();
             }
             let b = mgr.adaptive_budget(0);
             assert!((100..=MAX_BATCH).contains(&b), "budget {b} tracks depth");
@@ -1815,15 +2102,333 @@ mod tests {
     fn executed_by_core_distribution() {
         let mgr = kwak_mgr();
         for _ in 0..10 {
-            mgr.submit(
-                |_| TaskStatus::Done,
-                CpuSet::single(3),
-                TaskOptions::oneshot(),
-            );
+            mgr.task(|_| TaskStatus::Done)
+                .cpuset(CpuSet::single(3))
+                .spawn();
         }
         mgr.schedule(3);
         let stats = mgr.stats();
         assert_eq!(stats.executed_by_core[3], 10);
         assert_eq!(stats.executed_by_core.iter().sum::<u64>(), 10);
+    }
+
+    #[test]
+    fn dependent_task_waits_for_its_predecessor() {
+        let mgr = kwak_mgr();
+        let first = mgr
+            .task(|_| TaskStatus::Done)
+            .cpuset(CpuSet::single(0))
+            .spawn();
+        let second = mgr
+            .task(|_| TaskStatus::Done)
+            .cpuset(CpuSet::single(0))
+            .after(&first)
+            .spawn();
+        // Only the predecessor is enqueued; the dependent is parked.
+        assert_eq!(mgr.pending_tasks(), 1);
+        assert!(mgr.schedule_one(0), "runs the predecessor");
+        assert!(first.is_complete());
+        assert!(!second.is_complete());
+        assert_eq!(mgr.pending_tasks(), 1, "release re-enqueued the dependent");
+        assert!(mgr.schedule_one(0));
+        assert!(second.is_complete());
+        assert_eq!(mgr.stats().waitlist_released_by_class, [0, 1, 0, 0]);
+    }
+
+    #[test]
+    fn dependent_on_completed_predecessor_dispatches_immediately() {
+        let mgr = kwak_mgr();
+        let first = mgr
+            .task(|_| TaskStatus::Done)
+            .cpuset(CpuSet::single(0))
+            .spawn();
+        mgr.schedule(0);
+        assert!(first.is_complete());
+        let second = mgr
+            .task(|_| TaskStatus::Done)
+            .cpuset(CpuSet::single(0))
+            .after(&first)
+            .spawn();
+        assert_eq!(mgr.pending_tasks(), 1, "no parking on a finished task");
+        mgr.schedule(0);
+        assert!(second.is_complete());
+        assert_eq!(mgr.stats().total_waitlist_released(), 1);
+    }
+
+    #[test]
+    fn dependent_waits_for_every_predecessor() {
+        let mgr = kwak_mgr();
+        let a = mgr
+            .task(|_| TaskStatus::Done)
+            .cpuset(CpuSet::single(0))
+            .spawn();
+        let b = mgr
+            .task(|_| TaskStatus::Done)
+            .cpuset(CpuSet::single(1))
+            .spawn();
+        let joined = mgr
+            .task(|_| TaskStatus::Done)
+            .cpuset(CpuSet::from_iter([0, 1]))
+            .after(&a)
+            .after(&b)
+            .spawn();
+        mgr.schedule(0);
+        assert!(a.is_complete());
+        assert!(!joined.is_complete());
+        assert!(
+            !mgr.has_work_for(0),
+            "one of two predecessors done: still parked"
+        );
+        // Running b releases the join; the same keypoint's upward scan may
+        // already execute it (the release re-enqueues on the {0,1} queue,
+        // which is on core 1's path above its per-core queue).
+        mgr.schedule(1);
+        assert!(b.is_complete());
+        let _ = mgr.schedule(0) || mgr.schedule(1);
+        assert!(joined.is_complete());
+        assert_eq!(mgr.stats().total_waitlist_released(), 1);
+    }
+
+    #[test]
+    fn panicked_predecessor_still_releases_dependents() {
+        // A dependency is an ordering constraint, not a success gate:
+        // pipelines drain even when a stage fails.
+        let mgr = kwak_mgr();
+        let doomed = mgr
+            .task(|_| panic!("stage failed"))
+            .cpuset(CpuSet::single(0))
+            .spawn();
+        let dependent = mgr
+            .task(|_| TaskStatus::Done)
+            .cpuset(CpuSet::single(0))
+            .after(&doomed)
+            .spawn();
+        mgr.schedule(0);
+        assert!(doomed.wait().is_err());
+        mgr.schedule(0);
+        assert_eq!(dependent.wait(), Ok(()), "released despite the panic");
+    }
+
+    #[test]
+    fn repeat_predecessor_releases_only_on_done() {
+        let mgr = kwak_mgr();
+        let mut polls = 0;
+        let poll = mgr
+            .task(move |_| {
+                polls += 1;
+                if polls == 3 {
+                    TaskStatus::Done
+                } else {
+                    TaskStatus::Again
+                }
+            })
+            .cpuset(CpuSet::single(0))
+            .repeat()
+            .spawn();
+        let dependent = mgr
+            .task(|_| TaskStatus::Done)
+            .cpuset(CpuSet::single(0))
+            .after(&poll)
+            .spawn();
+        mgr.schedule(0); // poll 1: Again — no release
+        mgr.schedule(0); // poll 2: Again — no release
+        assert!(!dependent.is_complete());
+        assert_eq!(mgr.stats().total_waitlist_released(), 0);
+        mgr.schedule(0); // poll 3: Done — release
+        mgr.schedule(0);
+        assert!(dependent.is_complete());
+        assert_eq!(mgr.stats().total_waitlist_released(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "dependency cycle")]
+    fn dependency_cycle_rejected_at_spawn() {
+        let mgr = kwak_mgr();
+        // `handle()` makes the cycle expressible: b waits on a's future
+        // handle, then a tries to wait on b.
+        let spec_a = mgr.task(|_| TaskStatus::Done).cpuset(CpuSet::single(0));
+        let ha = spec_a.handle();
+        let hb = mgr
+            .task(|_| TaskStatus::Done)
+            .cpuset(CpuSet::single(0))
+            .after(&ha)
+            .spawn();
+        let _ = spec_a.after(&hb).spawn();
+    }
+
+    #[test]
+    #[should_panic(expected = "dependency cycle")]
+    fn self_dependency_rejected_at_spawn() {
+        let mgr = kwak_mgr();
+        let spec = mgr.task(|_| TaskStatus::Done).cpuset(CpuSet::single(0));
+        let own = spec.handle();
+        let _ = spec.after(&own).spawn();
+    }
+
+    #[test]
+    fn spec_handle_is_the_spawned_handle() {
+        let mgr = kwak_mgr();
+        let spec = mgr.task(|_| TaskStatus::Done).cpuset(CpuSet::single(0));
+        let early = spec.handle();
+        let spawned = spec.spawn();
+        assert!(!early.is_complete());
+        mgr.schedule(0);
+        assert!(early.is_complete() && spawned.is_complete());
+    }
+
+    #[test]
+    fn per_class_counters_split_executions_and_steals() {
+        let mgr = kwak_mgr();
+        for (class, n) in [
+            (TaskClass::Urgent, 1),
+            (TaskClass::Interactive, 2),
+            (TaskClass::Bulk, 3),
+            (TaskClass::Background, 4),
+        ] {
+            for _ in 0..n {
+                mgr.task(|_| TaskStatus::Done)
+                    .cpuset(CpuSet::single(0))
+                    .class(class)
+                    .spawn();
+            }
+        }
+        mgr.schedule(0);
+        let stats = mgr.stats();
+        assert_eq!(stats.executed_by_class, [1, 2, 3, 4]);
+        assert_eq!(stats.stolen_by_class, [0; CLASS_COUNT]);
+        assert_eq!(
+            stats.executed_by_class.iter().sum::<u64>(),
+            stats.executed_by_core.iter().sum::<u64>()
+        );
+        // A stolen bulk task lands in both the stolen and executed splits.
+        mgr.task(|_| TaskStatus::Done)
+            .cpuset(CpuSet::from_iter([0, 1]))
+            .on_core(1)
+            .class(TaskClass::Bulk)
+            .spawn();
+        assert!(mgr.schedule(0), "core 0 steals core 1's bulk task");
+        let stats = mgr.stats();
+        assert_eq!(stats.stolen_by_class, [0, 0, 1, 0]);
+        assert_eq!(stats.executed_by_class, [1, 2, 4, 4]);
+    }
+
+    #[test]
+    fn per_class_latency_histograms_record_each_run() {
+        let mgr = TaskManager::with_config(
+            presets::kwak().into(),
+            ManagerConfig {
+                latency_histogram: true,
+                ..ManagerConfig::default()
+            },
+        );
+        mgr.task(|_| TaskStatus::Done)
+            .cpuset(CpuSet::single(0))
+            .class(TaskClass::Urgent)
+            .spawn();
+        mgr.task(|_| TaskStatus::Done)
+            .cpuset(CpuSet::single(0))
+            .spawn();
+        mgr.schedule(0);
+        let stats = mgr.stats();
+        let by_class = stats.latency_by_class.expect("armed with the histogram");
+        assert_eq!(by_class.len(), CLASS_COUNT);
+        assert_eq!(by_class[TaskClass::Urgent.index()].count(), 1);
+        assert_eq!(by_class[TaskClass::Interactive.index()].count(), 1);
+        assert_eq!(by_class[TaskClass::Bulk.index()].count(), 0);
+        assert_eq!(
+            stats.latency.expect("overall histogram").count(),
+            2,
+            "overall histogram still counts every run"
+        );
+    }
+
+    #[test]
+    fn per_class_latency_absent_when_disabled() {
+        let mgr = kwak_mgr();
+        mgr.task(|_| TaskStatus::Done)
+            .cpuset(CpuSet::single(0))
+            .spawn();
+        mgr.schedule(0);
+        assert!(mgr.stats().latency_by_class.is_none());
+    }
+
+    /// The four deprecated entry points stay behaviourally identical to
+    /// their builder expansions. This module is their only caller.
+    #[allow(deprecated)]
+    mod deprecated_wrappers {
+        use super::*;
+
+        #[test]
+        fn submit_matches_builder() {
+            let mgr = kwak_mgr();
+            let h = mgr.submit(
+                |_| TaskStatus::Done,
+                CpuSet::single(0),
+                TaskOptions::oneshot(),
+            );
+            assert!(mgr.schedule(0));
+            assert!(h.is_complete());
+        }
+
+        #[test]
+        fn submit_boxed_matches_builder() {
+            let mgr = kwak_mgr();
+            let h = mgr.submit_boxed(
+                Box::new(|_| TaskStatus::Done),
+                CpuSet::single(0),
+                TaskOptions::repeat(),
+            );
+            assert!(mgr.schedule(0));
+            assert!(h.is_complete(), "repeat + Done completes");
+        }
+
+        #[test]
+        fn submit_global_matches_builder() {
+            let mgr = kwak_mgr();
+            let h = mgr.submit_global(|_| TaskStatus::Done, TaskOptions::oneshot());
+            assert!(mgr.schedule(15), "visible from any core");
+            assert!(h.is_complete());
+        }
+
+        #[test]
+        fn submit_on_matches_builder() {
+            let mgr = kwak_mgr();
+            let h = mgr.submit_on(
+                |_| TaskStatus::Done,
+                1,
+                CpuSet::from_iter([0, 1]),
+                TaskOptions::oneshot(),
+            );
+            let home_q = mgr.topology().core_node(1).index();
+            assert_eq!(mgr.stats().queues[home_q].pending, 1, "homed on core 1");
+            assert!(mgr.schedule(1));
+            assert!(h.is_complete());
+        }
+
+        #[test]
+        fn urgent_option_forwarder_reaches_the_urgent_lane() {
+            let mgr = kwak_mgr();
+            let order = Arc::new(Mutex::new(Vec::new()));
+            let o = order.clone();
+            mgr.submit(
+                move |_| {
+                    o.lock().push("normal");
+                    TaskStatus::Done
+                },
+                CpuSet::single(0),
+                TaskOptions::oneshot(),
+            );
+            let o = order.clone();
+            mgr.submit(
+                move |_| {
+                    o.lock().push("urgent");
+                    TaskStatus::Done
+                },
+                CpuSet::single(0),
+                TaskOptions::oneshot().urgent(),
+            );
+            mgr.schedule(0);
+            assert_eq!(*order.lock(), vec!["urgent", "normal"]);
+        }
     }
 }

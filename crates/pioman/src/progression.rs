@@ -247,7 +247,7 @@ impl Drop for Progression {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::task::{TaskOptions, TaskStatus};
+    use crate::task::TaskStatus;
     use piom_cpuset::CpuSet;
     use piom_topology::presets;
 
@@ -255,11 +255,10 @@ mod tests {
     fn background_worker_completes_tasks() {
         let mgr = TaskManager::new(presets::symmetric(1, 1, 2).into());
         let mut prog = Progression::start(mgr.clone(), ProgressionConfig::all_cores(&mgr));
-        let h = mgr.submit(
-            |_| TaskStatus::Done,
-            CpuSet::from_iter([0, 1]),
-            TaskOptions::oneshot(),
-        );
+        let h = mgr
+            .task(|_| TaskStatus::Done)
+            .cpuset(CpuSet::from_iter([0, 1]))
+            .spawn();
         assert_eq!(h.wait(), Ok(()), "worker ran the task without help");
         prog.shutdown();
     }
@@ -269,18 +268,18 @@ mod tests {
         let mgr = TaskManager::new(presets::symmetric(1, 1, 2).into());
         let _prog = Progression::start(mgr.clone(), ProgressionConfig::all_cores(&mgr));
         let mut countdown = 50;
-        let h = mgr.submit(
-            move |_| {
+        let h = mgr
+            .task(move |_| {
                 countdown -= 1;
                 if countdown == 0 {
                     TaskStatus::Done
                 } else {
                     TaskStatus::Again
                 }
-            },
-            CpuSet::single(0),
-            TaskOptions::repeat(),
-        );
+            })
+            .cpuset(CpuSet::single(0))
+            .repeat()
+            .spawn();
         assert_eq!(h.wait(), Ok(()));
     }
 
@@ -304,11 +303,10 @@ mod tests {
         let _prog = Progression::start(mgr.clone(), config);
         // Let the worker park first, then rely on the timer to run the task.
         std::thread::sleep(Duration::from_millis(10));
-        let h = mgr.submit(
-            |_| TaskStatus::Done,
-            CpuSet::single(0),
-            TaskOptions::oneshot(),
-        );
+        let h = mgr
+            .task(|_| TaskStatus::Done)
+            .cpuset(CpuSet::single(0))
+            .spawn();
         assert_eq!(h.wait(), Ok(()));
     }
 
@@ -322,11 +320,9 @@ mod tests {
         let _prog = Progression::start(mgr.clone(), config);
         let handles: Vec<_> = (0..20)
             .map(|_| {
-                mgr.submit(
-                    |_| TaskStatus::Done,
-                    CpuSet::from_iter([0, 1]),
-                    TaskOptions::oneshot(),
-                )
+                mgr.task(|_| TaskStatus::Done)
+                    .cpuset(CpuSet::from_iter([0, 1]))
+                    .spawn()
             })
             .collect();
         for h in handles {

@@ -14,10 +14,10 @@
 //! the shared-counter alternative.
 
 use crate::counters::ShardedCounter;
+use crate::lockfree::{place_deadline_lane, ClassLanes, DL_LANES};
 use crate::spinlock::SpinLock;
-use crate::task::Task;
+use crate::task::{Task, TaskClass, CLASS_COUNT};
 use core::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use crossbeam::queue::SegQueue;
 use crossbeam::utils::CachePadded;
 use piom_cpuset::CpuSet;
 use piom_topology::Level;
@@ -35,58 +35,251 @@ impl QueueId {
     }
 }
 
-/// Storage backing one queue.
+/// Storage backing one queue. Since PR 8 every backend stores its tasks in
+/// per-class QoS lanes ([`TaskClass`]) and pops under the shared policy:
+/// strict class priority with the `Background` anti-starvation credit
+/// ([`crate::lockfree::BACKGROUND_BYPASS_LIMIT`]), earliest-deadline-first
+/// within a class ahead of the class's FIFO tasks. The locked backends run
+/// the policy sequentially over [`SeqLanes`] under their existing lock (no
+/// *new* lock acquisitions); the lock-free backend runs it over
+/// [`ClassLanes`] with zero locks on the enqueue/dequeue fast path.
+// The per-class `SeqLanes` put the `Spin` variant a few hundred bytes above
+// the `Mutex` one. Boxing it (clippy's suggestion) would add a pointer
+// chase to every pop on the *default* backend to slim an enum that is
+// constructed once per topology node and never moved; the arena happily
+// pays the footprint instead. (`LockFree` *is* boxed — its epoch collectors
+// are KiB-scale, a different regime.)
+#[allow(clippy::large_enum_variant)]
 enum Backend {
-    /// The paper's implementation: FIFO list + spinlock, dequeued with the
-    /// double-checked Algorithm 2 (`len` is the unlocked emptiness hint).
-    /// The lock (owner + thieves) and the hint (read by every park probe)
-    /// are padded apart so probe traffic does not contend the lock line.
+    /// The paper's implementation: per-class lanes + spinlock, dequeued
+    /// with the double-checked Algorithm 2 (`len` is the unlocked
+    /// emptiness hint). The lock (owner + thieves) and the hint (read by
+    /// every park probe) are padded apart so probe traffic does not
+    /// contend the lock line.
     Spin {
-        list: CachePadded<SpinLock<VecDeque<Task>>>,
+        list: CachePadded<SpinLock<SeqLanes>>,
         len: CachePadded<AtomicUsize>,
     },
-    /// §VI future work: a true lock-free Michael–Scott queue with epoch
-    /// reclamation (vendored `crossbeam`) — compared against the spinlock
-    /// design by the ablation benchmarks. Boxed: the embedded epoch
-    /// collector's cache-line-padded pin slots make the queue several KiB,
-    /// which would bloat every `TaskQueue` in the arena otherwise.
+    /// §VI future work: true lock-free class lanes over Michael–Scott
+    /// queues with epoch reclamation (vendored `crossbeam`) — compared
+    /// against the spinlock design by the ablation benchmarks. Boxed: the
+    /// embedded epoch collectors' cache-line-padded pin slots make the
+    /// lanes many KiB, which would bloat every `TaskQueue` in the arena
+    /// otherwise.
     ///
-    /// `cursor` is the *steal cursor*: a small spinlocked deque holding the
-    /// logical **front** of the queue. A Michael–Scott queue cannot remove
-    /// from the middle, so a steal pass pops a bounded prefix; everything
-    /// it must leave behind goes into the cursor *in original order*
-    /// instead of being re-pushed at the tail (which rotated the victim
-    /// queue before PR 4). All dequeue paths drain the cursor before the
-    /// list, so intra-queue FIFO of non-stolen tasks is preserved; urgent
-    /// enqueues also go to the cursor's front, giving this backend real
-    /// preemption instead of the tail-order it had before. `cursor_len` is
-    /// the unlocked emptiness hint: the common no-steal case pays one
-    /// relaxed load, never the lock. The cursor (thief-owned) and its hint
-    /// are padded away from the list pointer so a steal pass never bounces
-    /// the line the owner's `pop` is reading — the queue's own
-    /// `head`/`tail`/`len` are padded inside `SegQueue` itself.
+    /// `cursor` is the *steal cursor*: a small spinlocked deque holding
+    /// steal leftovers — the logical **front** of the queue. A
+    /// Michael–Scott queue cannot remove from the middle, so a steal pass
+    /// drains the lanes and parks everything it must leave behind here
+    /// *in policy order* instead of re-pushing at the tail (which rotated
+    /// the victim queue before PR 4). All dequeue paths consult the
+    /// cursor before the lanes *class by class*, so class priority
+    /// survives steals and intra-queue FIFO of non-stolen tasks is
+    /// preserved. `cursor_len` is the unlocked emptiness hint: the common
+    /// no-steal case pays one relaxed load, never the lock; `cursor_bg`
+    /// counts the `Background` tasks parked in the cursor so the
+    /// anti-starvation credit keeps ticking for them too. The cursor
+    /// (thief-owned) and its hints are padded away from the lanes so a
+    /// steal pass never bounces the line the owner's pop is reading — the
+    /// lanes' own hot words are padded inside `ClassLanes` itself.
+    ///
+    /// Urgent work no longer needs the cursor front: [`TaskClass::Urgent`]
+    /// *is* the front by class priority, so urgent enqueues (and urgent
+    /// repeat requeues) go through the lanes like everything else.
     LockFree {
-        list: Box<SegQueue<Task>>,
+        lanes: Box<ClassLanes<Task>>,
         cursor: CachePadded<SpinLock<VecDeque<Task>>>,
         cursor_len: CachePadded<AtomicUsize>,
+        cursor_bg: CachePadded<AtomicUsize>,
     },
     /// The pre-lock-free shim, kept as an ablation baseline: a plain OS
-    /// mutex around a `VecDeque`, locked on **every** operation including
-    /// emptiness checks (no Algorithm-2 unlocked hint). This is what
-    /// `QueueBackend::LockFree` silently was before the real lock-free
-    /// queue landed; the `lockfree_vs_mutex` bench quantifies the gap.
-    /// Deliberately unpadded — it is the "what we had" baseline.
-    Mutex {
-        list: std::sync::Mutex<VecDeque<Task>>,
-    },
+    /// mutex around the sequential lanes, locked on **every** operation
+    /// including emptiness checks (no Algorithm-2 unlocked hint). This is
+    /// what `QueueBackend::LockFree` silently was before the real
+    /// lock-free queue landed; the `lockfree_vs_mutex` bench quantifies
+    /// the gap. Deliberately unpadded — it is the "what we had" baseline.
+    Mutex { list: std::sync::Mutex<SeqLanes> },
 }
 
 /// Locks a poisoned-agnostic mutex (a panicking task body must not poison
 /// the scheduler).
-fn lock_deque(
-    list: &std::sync::Mutex<VecDeque<Task>>,
-) -> std::sync::MutexGuard<'_, VecDeque<Task>> {
+fn lock_lanes(list: &std::sync::Mutex<SeqLanes>) -> std::sync::MutexGuard<'_, SeqLanes> {
     list.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The sequential twin of [`ClassLanes`]: the same per-class lanes and the
+/// same pop policy (class priority + anti-starvation credit, EDF ahead of
+/// FIFO within a class, [`place_deadline_lane`] placement), implemented
+/// over plain `VecDeque`s for the backends that already hold a lock.
+/// Driven sequentially, the two are *behaviourally identical* — the
+/// `qos_policy` proptests pin all three backends against one oracle.
+pub(crate) struct SeqLanes {
+    classes: [SeqClassLane; CLASS_COUNT],
+    /// Anti-starvation credit (see
+    /// [`crate::lockfree::BACKGROUND_BYPASS_LIMIT`]): exact, since every
+    /// access happens under the backend's lock.
+    bg_credit: u32,
+    len: usize,
+}
+
+#[derive(Default)]
+struct SeqClassLane {
+    fifo: VecDeque<Task>,
+    dl: [VecDeque<Task>; DL_LANES],
+}
+
+impl SeqClassLane {
+    fn is_empty(&self) -> bool {
+        self.fifo.is_empty() && self.dl.iter().all(|l| l.is_empty())
+    }
+
+    fn iter(&self) -> impl Iterator<Item = &Task> {
+        self.dl.iter().flatten().chain(self.fifo.iter())
+    }
+}
+
+impl SeqLanes {
+    pub(crate) fn new() -> Self {
+        SeqLanes {
+            classes: Default::default(),
+            bg_credit: 0,
+            len: 0,
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Appends to the task's class lane: the deadline lane chosen by
+    /// [`place_deadline_lane`] when it carries a deadline, the class FIFO
+    /// otherwise.
+    pub(crate) fn push(&mut self, task: Task) {
+        let lane = &mut self.classes[task.options.class.index()];
+        self.len += 1;
+        match task.options.deadline {
+            Some(d) => {
+                let tails =
+                    core::array::from_fn(|i| lane.dl[i].back().and_then(|t| t.options.deadline));
+                lane.dl[place_deadline_lane(tails, d)].push_back(task);
+            }
+            None => lane.fifo.push_back(task),
+        }
+    }
+
+    /// Pops the earliest-deadline task of `class` (tournament over the
+    /// deadline-lane fronts), falling back to the class FIFO.
+    fn pop_class(&mut self, class: TaskClass) -> Option<Task> {
+        let lane = &mut self.classes[class.index()];
+        let heads: [Option<u64>; DL_LANES] = core::array::from_fn(|i| {
+            lane.dl[i]
+                .front()
+                .map(|t| t.options.deadline.unwrap_or(u64::MAX))
+        });
+        let task = match (heads[0], heads[1]) {
+            (Some(a), Some(b)) => lane.dl[usize::from(a > b)].pop_front(),
+            (Some(_), None) => lane.dl[0].pop_front(),
+            (None, Some(_)) => lane.dl[1].pop_front(),
+            (None, None) => lane.fifo.pop_front(),
+        };
+        if task.is_some() {
+            self.len -= 1;
+        }
+        task
+    }
+
+    /// Pops the next task under the full QoS policy, mirroring
+    /// [`ClassLanes::pop`] exactly (sequentially the credit bound is
+    /// precise: the `BACKGROUND_BYPASS_LIMIT + 1`-th pop while
+    /// `Background` waits serves `Background`).
+    pub(crate) fn pop(&mut self) -> Option<Task> {
+        use crate::lockfree::BACKGROUND_BYPASS_LIMIT;
+        let bg = TaskClass::Background.index();
+        let order = if self.bg_credit >= BACKGROUND_BYPASS_LIMIT && !self.classes[bg].is_empty() {
+            [
+                TaskClass::Background,
+                TaskClass::Urgent,
+                TaskClass::Interactive,
+                TaskClass::Bulk,
+            ]
+        } else {
+            TaskClass::ALL
+        };
+        for class in order {
+            if let Some(task) = self.pop_class(class) {
+                if class == TaskClass::Background {
+                    self.bg_credit = 0;
+                } else if !self.classes[bg].is_empty() {
+                    self.bg_credit += 1;
+                }
+                return Some(task);
+            }
+        }
+        None
+    }
+
+    /// Steal-half over the lanes: removes the
+    /// `min(max, ceil(eligible / 2))` eligible tasks the *pop policy
+    /// would serve first* (class priority, EDF ahead of FIFO, FIFO in
+    /// order), leaving ineligible tasks in place and in order. Returns
+    /// how many were taken. Deliberately skips the credit bookkeeping —
+    /// a steal is relocation, not service.
+    pub(crate) fn steal_eligible(
+        &mut self,
+        thief: usize,
+        max: usize,
+        out: &mut Vec<Task>,
+    ) -> usize {
+        let eligible = self
+            .classes
+            .iter()
+            .flat_map(|c| c.iter())
+            .filter(|t| t.cpuset.contains(thief))
+            .count();
+        if eligible == 0 {
+            return 0;
+        }
+        let quota = eligible.div_ceil(2).min(max);
+        let mut taken = 0;
+        'classes: for ci in 0..CLASS_COUNT {
+            let lane = &mut self.classes[ci];
+            // Deadline tasks first: repeatedly remove the earliest-deadline
+            // eligible element across the class's (sorted) deadline lanes.
+            loop {
+                if taken >= quota {
+                    break 'classes;
+                }
+                let mut best: Option<(u64, usize, usize)> = None;
+                for (li, l) in lane.dl.iter().enumerate() {
+                    for (i, t) in l.iter().enumerate() {
+                        if t.cpuset.contains(thief) {
+                            let d = t.options.deadline.unwrap_or(u64::MAX);
+                            if best.is_none_or(|(bd, _, _)| d < bd) {
+                                best = Some((d, li, i));
+                            }
+                            break; // lanes are sorted: first eligible is earliest
+                        }
+                    }
+                }
+                let Some((_, li, i)) = best else { break };
+                out.push(lane.dl[li].remove(i).expect("index checked"));
+                taken += 1;
+                self.len -= 1;
+            }
+            // Then the class FIFO, oldest eligible first.
+            let mut i = 0;
+            while taken < quota && i < lane.fifo.len() {
+                if lane.fifo[i].cpuset.contains(thief) {
+                    out.push(lane.fifo.remove(i).expect("index checked"));
+                    taken += 1;
+                    self.len -= 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        taken
+    }
 }
 
 /// One hierarchical task queue.
@@ -126,7 +319,7 @@ impl TaskQueue {
             level,
             cpuset,
             backend: Backend::Spin {
-                list: CachePadded::new(SpinLock::new(VecDeque::new())),
+                list: CachePadded::new(SpinLock::new(SeqLanes::new())),
                 len: CachePadded::new(AtomicUsize::new(0)),
             },
             submitted: ShardedCounter::new(shards),
@@ -141,9 +334,10 @@ impl TaskQueue {
             level,
             cpuset,
             backend: Backend::LockFree {
-                list: Box::new(SegQueue::new()),
+                lanes: Box::new(ClassLanes::new()),
                 cursor: CachePadded::new(SpinLock::new(VecDeque::new())),
                 cursor_len: CachePadded::new(AtomicUsize::new(0)),
+                cursor_bg: CachePadded::new(AtomicUsize::new(0)),
             },
             submitted: ShardedCounter::new(shards),
             executed: ShardedCounter::new(shards),
@@ -157,7 +351,7 @@ impl TaskQueue {
             level,
             cpuset,
             backend: Backend::Mutex {
-                list: std::sync::Mutex::new(VecDeque::new()),
+                list: std::sync::Mutex::new(SeqLanes::new()),
             },
             submitted: ShardedCounter::new(shards),
             executed: ShardedCounter::new(shards),
@@ -257,11 +451,13 @@ impl TaskQueue {
             && self.steal_span[core / 64].load(Ordering::Relaxed) & (1u64 << (core % 64)) != 0
     }
 
-    /// Appends a task (FIFO order within the queue) and returns the queue
-    /// depth just after the append (a hint under the lock-free backend).
-    /// Urgent tasks are prepended instead, so the next scheduling pass runs
-    /// them first (preemptive tasks, paper §VI). The returned depth feeds
-    /// the backlog-threshold check behind
+    /// Appends a task to its class lane (tail of the lane; the deadline
+    /// lanes order by [`place_deadline_lane`]) and returns the queue depth
+    /// just after the append (a hint under the lock-free backend).
+    /// Class priority replaces the old urgent-to-the-front special case:
+    /// a [`TaskClass::Urgent`] task is served before every lower class by
+    /// the pop policy itself, under every backend. The returned depth
+    /// feeds the backlog-threshold check behind
     /// [`wake_for_steal`](crate::TaskManager::wake_for_steal).
     pub(crate) fn enqueue(&self, task: Task) -> usize {
         self.submitted.add(1);
@@ -269,11 +465,7 @@ impl TaskQueue {
         let depth = match &self.backend {
             Backend::Spin { list, len } => {
                 let mut guard = list.lock();
-                if task.options.urgent {
-                    guard.push_front(task);
-                } else {
-                    guard.push_back(task);
-                }
+                guard.push(task);
                 // Published while holding the lock; Relaxed — the hint may
                 // transiently read stale (including stale-empty) on weak
                 // memory, which is the same race Algorithm 2's unlocked
@@ -284,30 +476,14 @@ impl TaskQueue {
                 guard.len()
             }
             Backend::LockFree {
-                list,
-                cursor,
-                cursor_len,
+                lanes, cursor_len, ..
             } => {
-                if task.options.urgent {
-                    // The cursor is the logical front of the queue, so an
-                    // urgent task gets real preemption here too (before
-                    // PR 4 this backend could only honour urgency via
-                    // wake-ups).
-                    let mut guard = cursor.lock();
-                    guard.push_front(task);
-                    cursor_len.store(guard.len(), Ordering::Relaxed);
-                } else {
-                    list.push(task);
-                }
-                list.len() + cursor_len.load(Ordering::Relaxed)
+                lanes.push(task);
+                lanes.len() + cursor_len.load(Ordering::Relaxed)
             }
             Backend::Mutex { list } => {
-                let mut guard = lock_deque(list);
-                if task.options.urgent {
-                    guard.push_front(task);
-                } else {
-                    guard.push_back(task);
-                }
+                let mut guard = lock_lanes(list);
+                guard.push(task);
                 guard.len()
             }
         };
@@ -318,25 +494,95 @@ impl TaskQueue {
         depth
     }
 
-    /// Re-enqueue a repeat task without counting a new submission.
+    /// Re-enqueue a repeat task without counting a new submission. Goes
+    /// through the same class lanes as a fresh enqueue — in particular an
+    /// urgent repeat task requeues at the *tail of the Urgent lane* (it
+    /// still preempts every lower class, but no longer cuts ahead of
+    /// older urgent work the way the pre-PR-8 cursor front did).
     pub(crate) fn requeue(&self, task: Task) {
         let span = task.cpuset;
         match &self.backend {
             Backend::Spin { list, len } => {
                 let mut guard = list.lock();
-                guard.push_back(task);
+                guard.push(task);
                 len.store(guard.len(), Ordering::Relaxed);
             }
-            Backend::LockFree { list, .. } => list.push(task),
-            Backend::Mutex { list } => lock_deque(list).push_back(task),
+            Backend::LockFree { lanes, .. } => lanes.push(task),
+            Backend::Mutex { list } => lock_lanes(list).push(task),
         }
         self.note_span(&span);
+    }
+
+    /// Removes the earliest-deadline eligible element of `class` from the
+    /// steal cursor (`None` deadline reads as "infinitely late", ties go
+    /// to the oldest), or `None` when the cursor holds no task of that
+    /// class.
+    fn take_first_of_class(guard: &mut VecDeque<Task>, class: TaskClass) -> Option<Task> {
+        let mut best: Option<(u64, usize)> = None;
+        for (i, t) in guard.iter().enumerate() {
+            if t.options.class == class {
+                let d = t.options.deadline.unwrap_or(u64::MAX);
+                if best.is_none_or(|(bd, _)| d < bd) {
+                    best = Some((d, i));
+                }
+            }
+        }
+        best.and_then(|(_, i)| guard.remove(i))
+    }
+
+    /// One policy-ordered pop for the lock-free backend: for each class in
+    /// credit-adjusted priority order, the steal cursor (older, left-behind
+    /// tasks — the logical front) is consulted before the lanes. The
+    /// common no-steal case never touches the cursor lock: `cursor_len` is
+    /// the unlocked hint, so the whole pop is lock-free.
+    fn lockfree_pop_one(
+        lanes: &ClassLanes<Task>,
+        cursor: &SpinLock<VecDeque<Task>>,
+        cursor_len: &AtomicUsize,
+        cursor_bg: &AtomicUsize,
+    ) -> Option<Task> {
+        let bg_waiting = || {
+            !lanes.class_is_empty(TaskClass::Background) || cursor_bg.load(Ordering::Relaxed) > 0
+        };
+        let order = lanes.class_order_with(bg_waiting());
+        let mut served = None;
+        if cursor_len.load(Ordering::Relaxed) > 0 {
+            let mut guard = cursor.lock();
+            for class in order {
+                if let Some(t) = Self::take_first_of_class(&mut guard, class) {
+                    cursor_len.store(guard.len(), Ordering::Relaxed);
+                    if class == TaskClass::Background {
+                        cursor_bg.fetch_sub(1, Ordering::Relaxed);
+                    }
+                    served = Some(t);
+                    break;
+                }
+                if let Some(t) = lanes.pop_class(class) {
+                    served = Some(t);
+                    break;
+                }
+            }
+        } else {
+            for class in order {
+                if let Some(t) = lanes.pop_class(class) {
+                    served = Some(t);
+                    break;
+                }
+            }
+        }
+        if let Some(t) = &served {
+            lanes.note_served(t.options.class, bg_waiting());
+        }
+        served
     }
 
     /// The paper's **Algorithm 2** (`Get_Task`): evaluate the queue content
     /// without holding the mutex; if non-empty, acquire and re-check.
     /// "This technique permits to avoid race conditions with a minimal
     /// overhead since the mutex is only held when the list contains tasks."
+    /// The dequeued task is whichever the QoS pop policy serves next (see
+    /// [`SeqLanes::pop`] / [`ClassLanes::pop`]); plain same-class FIFO
+    /// submissions drain in submission order exactly as before PR 8.
     pub(crate) fn try_dequeue(&self) -> Option<Task> {
         let task = match &self.backend {
             Backend::Spin { list, len } => {
@@ -346,30 +592,17 @@ impl TaskQueue {
                 }
                 // LOCK(Queue); re-check; dequeue; UNLOCK(Queue).
                 let mut guard = list.lock();
-                let task = guard.pop_front();
+                let task = guard.pop();
                 len.store(guard.len(), Ordering::Relaxed);
                 task
             }
             Backend::LockFree {
-                list,
+                lanes,
                 cursor,
                 cursor_len,
-            } => {
-                // The cursor holds the logical front (steal leftovers and
-                // urgent tasks); drain it before the Michael–Scott list so
-                // FIFO order survives steals. The unlocked hint keeps the
-                // common no-cursor case lock-free.
-                let mut task = None;
-                if cursor_len.load(Ordering::Relaxed) > 0 {
-                    let mut guard = cursor.lock();
-                    if let Some(t) = guard.pop_front() {
-                        cursor_len.store(guard.len(), Ordering::Relaxed);
-                        task = Some(t);
-                    }
-                }
-                task.or_else(|| list.pop())
-            }
-            Backend::Mutex { list } => lock_deque(list).pop_front(),
+                cursor_bg,
+            } => Self::lockfree_pop_one(lanes, cursor, cursor_len, cursor_bg),
+            Backend::Mutex { list } => lock_lanes(list).pop(),
         };
         if task.is_some() && self.len_hint() == 0 {
             self.maybe_decay_span();
@@ -392,34 +625,35 @@ impl TaskQueue {
                 }
                 let mut guard = list.lock();
                 let take = guard.len().min(max);
-                out.extend(guard.drain(..take));
+                for _ in 0..take {
+                    out.push(guard.pop().expect("len checked under the lock"));
+                }
                 len.store(guard.len(), Ordering::Relaxed);
                 take
             }
             Backend::LockFree {
-                list,
+                lanes,
                 cursor,
                 cursor_len,
+                cursor_bg,
             } => {
                 let mut n = 0;
-                if cursor_len.load(Ordering::Relaxed) > 0 {
-                    let mut guard = cursor.lock();
-                    let take = guard.len().min(max);
-                    out.extend(guard.drain(..take));
-                    cursor_len.store(guard.len(), Ordering::Relaxed);
-                    n = take;
-                }
                 while n < max {
-                    let Some(task) = list.pop() else { break };
+                    let Some(task) = Self::lockfree_pop_one(lanes, cursor, cursor_len, cursor_bg)
+                    else {
+                        break;
+                    };
                     out.push(task);
                     n += 1;
                 }
                 n
             }
             Backend::Mutex { list } => {
-                let mut guard = lock_deque(list);
+                let mut guard = lock_lanes(list);
                 let take = guard.len().min(max);
-                out.extend(guard.drain(..take));
+                for _ in 0..take {
+                    out.push(guard.pop().expect("len checked under the lock"));
+                }
                 take
             }
         };
@@ -462,34 +696,41 @@ impl TaskQueue {
                     return 0;
                 }
                 let mut guard = list.lock();
-                let taken = Self::drain_half_eligible(&mut guard, thief, max, out);
+                let taken = guard.steal_eligible(thief, max, out);
                 len.store(guard.len(), Ordering::Relaxed);
                 taken
             }
-            Backend::Mutex { list } => {
-                let mut guard = lock_deque(list);
-                Self::drain_half_eligible(&mut guard, thief, max, out)
-            }
+            Backend::Mutex { list } => lock_lanes(list).steal_eligible(thief, max, out),
             Backend::LockFree {
-                list,
+                lanes,
                 cursor,
                 cursor_len,
+                cursor_bg,
             } => {
                 // Holding the cursor lock for the whole pass serializes
                 // thieves on this queue (stealing is the rare path) and
                 // lets the leftovers land at the logical front in order.
+                // The lanes drain in policy order (class priority, EDF
+                // ahead of FIFO), so the cursor's element order *is* the
+                // pop-policy order of the drained snapshot and the FIFO
+                // steal below takes the tasks the policy would serve
+                // first.
                 let mut guard = cursor.lock();
-                let mut scan = list.len();
-                while scan > 0 {
-                    scan -= 1;
-                    let Some(task) = list.pop() else { break };
+                lanes.drain(|task| {
                     guard.push_back(task);
                     // Publish as we go: a racing dequeue that misses the
                     // hint only loses to the ordinary pop race.
                     cursor_len.store(guard.len(), Ordering::Relaxed);
-                }
+                });
                 let taken = Self::drain_half_eligible(&mut guard, thief, max, out);
                 cursor_len.store(guard.len(), Ordering::Relaxed);
+                cursor_bg.store(
+                    guard
+                        .iter()
+                        .filter(|t| t.options.class == TaskClass::Background)
+                        .count(),
+                    Ordering::Relaxed,
+                );
                 taken
             }
         };
@@ -499,7 +740,8 @@ impl TaskQueue {
         taken
     }
 
-    /// Shared Spin/Mutex steal-half body: removes the oldest
+    /// Lock-free-backend steal body, applied to the steal cursor after the
+    /// lanes drained into it: removes the first (policy-ordered)
     /// `min(max, ceil(eligible / 2))` eligible tasks, leaving ineligible
     /// ones in place and in order.
     fn drain_half_eligible(
@@ -536,9 +778,9 @@ impl TaskQueue {
         match &self.backend {
             Backend::Spin { len, .. } => len.load(Ordering::Relaxed),
             Backend::LockFree {
-                list, cursor_len, ..
-            } => list.len() + cursor_len.load(Ordering::Relaxed),
-            Backend::Mutex { list } => lock_deque(list).len(),
+                lanes, cursor_len, ..
+            } => lanes.len() + cursor_len.load(Ordering::Relaxed),
+            Backend::Mutex { list } => lock_lanes(list).len(),
         }
     }
 
@@ -586,9 +828,13 @@ mod tests {
     }
 
     fn task_for(home: QueueId, cpuset: CpuSet) -> Task {
+        task_with(home, cpuset, TaskOptions::oneshot())
+    }
+
+    fn task_with(home: QueueId, cpuset: CpuSet, options: TaskOptions) -> Task {
         Task {
             body: Box::new(|_| TaskStatus::Done),
-            options: TaskOptions::oneshot(),
+            options,
             cpuset,
             home,
             completion: Completion::new(),
@@ -859,16 +1105,123 @@ mod tests {
     }
 
     #[test]
-    fn urgent_lockfree_preempts_queue_order() {
-        // The cursor doubles as a real front for urgent tasks (before PR 4
-        // the lock-free backend could only honour urgency via wake-ups).
+    fn urgent_class_preempts_queue_order_under_every_backend() {
+        // Class priority is the preemption mechanism since PR 8 (the old
+        // urgent bool mapped to a cursor/deque front): an Urgent task
+        // submitted after older Interactive work still drains first.
+        for q in [spin_queue(), lockfree_queue(), mutex_queue()] {
+            q.enqueue(task_for(q.id, CpuSet::from_iter([0, 10])));
+            q.enqueue(task_with(
+                q.id,
+                CpuSet::from_iter([0, 11]),
+                TaskOptions::oneshot().class(TaskClass::Urgent),
+            ));
+            assert_eq!(q.len_hint(), 2);
+            assert!(q.try_dequeue().unwrap().cpuset().contains(11));
+            assert!(q.try_dequeue().unwrap().cpuset().contains(10));
+        }
+    }
+
+    #[test]
+    fn urgent_requeue_lands_at_its_class_lane_tail() {
+        // The satellite fix: an urgent repeat task requeues *behind* older
+        // urgent work (class-lane tail), not ahead of it the way the old
+        // cursor-front special case did — while still preempting every
+        // lower class.
+        for q in [spin_queue(), lockfree_queue(), mutex_queue()] {
+            q.enqueue(task_for(q.id, CpuSet::from_iter([0, 10])));
+            let urgent = TaskOptions::repeat().class(TaskClass::Urgent);
+            q.enqueue(task_with(q.id, CpuSet::from_iter([0, 11]), urgent));
+            let first = q.try_dequeue().unwrap();
+            assert!(first.cpuset().contains(11), "urgent preempts interactive");
+            q.enqueue(task_with(q.id, CpuSet::from_iter([0, 12]), urgent));
+            q.requeue(first);
+            // The freshly enqueued urgent task (12) is older in the lane
+            // than the requeued one (11); both beat the interactive task.
+            assert!(q.try_dequeue().unwrap().cpuset().contains(12));
+            assert!(q.try_dequeue().unwrap().cpuset().contains(11));
+            assert!(q.try_dequeue().unwrap().cpuset().contains(10));
+        }
+    }
+
+    #[test]
+    fn deadlines_drain_edf_within_a_class_under_every_backend() {
+        for q in [spin_queue(), lockfree_queue(), mutex_queue()] {
+            let bulk = TaskOptions::oneshot().class(TaskClass::Bulk);
+            q.enqueue(task_with(q.id, CpuSet::from_iter([0, 10]), bulk));
+            q.enqueue(task_with(
+                q.id,
+                CpuSet::from_iter([0, 11]),
+                bulk.deadline(30),
+            ));
+            q.enqueue(task_with(
+                q.id,
+                CpuSet::from_iter([0, 12]),
+                bulk.deadline(10),
+            ));
+            q.enqueue(task_with(
+                q.id,
+                CpuSet::from_iter([0, 13]),
+                bulk.deadline(20),
+            ));
+            // EDF among deadline tasks, then the FIFO (deadline-less) task.
+            for marker in [12, 13, 11, 10] {
+                assert!(
+                    q.try_dequeue().unwrap().cpuset().contains(marker),
+                    "expected marker {marker}"
+                );
+            }
+            assert!(q.try_dequeue().is_none());
+        }
+    }
+
+    #[test]
+    fn steal_takes_the_tasks_the_pop_policy_would_serve_first() {
+        // 2 eligible tasks (quota 1): the thief must get the Urgent one,
+        // not the older Interactive one — steals honour class priority.
+        for q in [spin_queue(), lockfree_queue(), mutex_queue()] {
+            q.enqueue(task_for(q.id, CpuSet::from_iter([0, 3])));
+            q.enqueue(task_with(
+                q.id,
+                CpuSet::from_iter([0, 3]),
+                TaskOptions::oneshot().class(TaskClass::Urgent),
+            ));
+            let mut out = Vec::new();
+            assert_eq!(q.try_steal_half(3, usize::MAX, &mut out), 1);
+            assert_eq!(out.pop().unwrap().options().class, TaskClass::Urgent);
+            assert_eq!(q.len_hint(), 1);
+            assert_eq!(
+                q.try_dequeue().unwrap().options().class,
+                TaskClass::Interactive
+            );
+        }
+    }
+
+    #[test]
+    fn lockfree_cursor_keeps_class_priority_for_leftovers() {
+        // A steal drains the lanes into the cursor; a Background leftover
+        // parked there must not be served ahead of fresher higher-class
+        // lane work (the cursor is consulted *per class*, not wholesale).
         let q = lockfree_queue();
-        q.enqueue(task_for(q.id, CpuSet::from_iter([0, 10])));
-        let mut urgent = task_for(q.id, CpuSet::from_iter([0, 11]));
-        urgent.options = TaskOptions::oneshot().urgent();
-        q.enqueue(urgent);
-        assert_eq!(q.len_hint(), 2);
-        assert!(q.try_dequeue().unwrap().cpuset().contains(11));
+        q.enqueue(task_with(
+            q.id,
+            CpuSet::from_iter([0, 10]),
+            TaskOptions::oneshot().class(TaskClass::Background),
+        ));
+        q.enqueue(task_with(
+            q.id,
+            CpuSet::from_iter([0, 3, 11]),
+            TaskOptions::oneshot().class(TaskClass::Background),
+        ));
+        let mut out = Vec::new();
+        // Thief 3 takes the one eligible task; the other Background task
+        // is left parked in the cursor.
+        assert_eq!(q.try_steal_half(3, usize::MAX, &mut out), 1);
+        assert!(out.pop().unwrap().cpuset().contains(11));
+        // Fresh Interactive work submitted *after* the steal still beats
+        // the parked Background leftover.
+        q.enqueue(task_for(q.id, CpuSet::from_iter([0, 12])));
+        assert!(q.try_dequeue().unwrap().cpuset().contains(12));
         assert!(q.try_dequeue().unwrap().cpuset().contains(10));
     }
 

@@ -79,12 +79,29 @@ pub struct ManagerStats {
     pub hook_context_switch: u64,
     /// Invocations of the timer hook.
     pub hook_timer: u64,
+    /// Task executions per QoS class, indexed by
+    /// [`TaskClass::index`](crate::TaskClass::index) (repeat runs count
+    /// each time). Sums to `total_executed()`.
+    pub executed_by_class: [u64; crate::task::CLASS_COUNT],
+    /// Tasks stolen (and run by the thief) per QoS class. Sums to
+    /// `total_stolen()`.
+    pub stolen_by_class: [u64; crate::task::CLASS_COUNT],
+    /// Dependency-waitlist releases per QoS class: tasks submitted with
+    /// [`SubmitSpec::after`](crate::SubmitSpec::after) that re-entered the
+    /// queues because their last predecessor completed (or panicked).
+    pub waitlist_released_by_class: [u64; crate::task::CLASS_COUNT],
     /// Submit→execute latency distribution across all task runs, folded
     /// from the per-core shards — present only when the manager was built
     /// with [`ManagerConfig::latency_histogram`](crate::ManagerConfig)
-    /// set. Nanoseconds from `submit`/`submit_boxed` (or a repeat task's
-    /// re-enqueue) to the moment a core committed to running the body.
+    /// set. Nanoseconds from `spawn` (or a repeat task's re-enqueue, or a
+    /// waitlist release) to the moment a core committed to running the
+    /// body.
     pub latency: Option<crate::hist::HistSnapshot>,
+    /// Per-class submit→execute latency distributions, indexed by
+    /// [`TaskClass::index`](crate::TaskClass::index); armed together with
+    /// `latency`. Each run records into its class's histogram *and* the
+    /// overall one.
+    pub latency_by_class: Option<Vec<crate::hist::HistSnapshot>>,
 }
 
 impl ManagerStats {
@@ -123,6 +140,11 @@ impl ManagerStats {
         self.wakeups_for_steal.iter().sum()
     }
 
+    /// Total dependency-waitlist releases, across classes.
+    pub fn total_waitlist_released(&self) -> u64 {
+        self.waitlist_released_by_class.iter().sum()
+    }
+
     /// Share of task executions done by each core, as fractions of 1.
     /// Empty if nothing ran. Mirrors the paper's observation that "each of
     /// them executes roughly 25% of the submitted tasks" for a 4-core
@@ -157,7 +179,11 @@ mod tests {
             hook_idle: 0,
             hook_context_switch: 0,
             hook_timer: 0,
+            executed_by_class: [0; crate::task::CLASS_COUNT],
+            stolen_by_class: [0; crate::task::CLASS_COUNT],
+            waitlist_released_by_class: [0; crate::task::CLASS_COUNT],
             latency: None,
+            latency_by_class: None,
         }
     }
 

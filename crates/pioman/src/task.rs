@@ -23,6 +23,64 @@ pub enum TaskStatus {
     Again,
 }
 
+/// QoS class of a task: which per-queue lane it lives in and how soon
+/// keypoints drain it relative to other classes.
+///
+/// Classes are served in **strict priority order** ([`TaskClass::Urgent`]
+/// first, [`TaskClass::Background`] last) with one bounded exception: after
+/// [`crate::lockfree::BACKGROUND_BYPASS_LIMIT`] higher-class pops that
+/// bypassed a waiting `Background` task, the next pop serves `Background` —
+/// the starvation bound stated in docs/SCHEDULER.md ("QoS tiers"). Within a
+/// class, tasks drain FIFO, except that tasks carrying a
+/// [`TaskOptions::deadline`] drain earliest-deadline-first ahead of the
+/// class's no-deadline tasks (a missing deadline reads as "infinitely
+/// late").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum TaskClass {
+    /// Preemptive work (paper §VI future work: "tasks that can be executed
+    /// immediately, even on a distant CPU where a thread is computing"):
+    /// rendezvous unlocks, completion signals. Served before everything
+    /// else; progression workers are woken eagerly on submission.
+    Urgent = 0,
+    /// The default class: ordinary request/response progression work.
+    #[default]
+    Interactive = 1,
+    /// Throughput work that tolerates queueing — bulk packing, large
+    /// transfers.
+    Bulk = 2,
+    /// Best-effort maintenance. Only served when no higher class has work,
+    /// except for the anti-starvation credit documented on this enum.
+    Background = 3,
+}
+
+/// Number of QoS classes ([`TaskClass`] variants).
+pub const CLASS_COUNT: usize = 4;
+
+impl TaskClass {
+    /// All classes in strict priority order (highest first).
+    pub const ALL: [TaskClass; CLASS_COUNT] = [
+        TaskClass::Urgent,
+        TaskClass::Interactive,
+        TaskClass::Bulk,
+        TaskClass::Background,
+    ];
+
+    /// Lane index of this class: 0 (highest priority) … 3 (lowest).
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Short lowercase label, used in stats exports.
+    pub const fn label(self) -> &'static str {
+        match self {
+            TaskClass::Urgent => "urgent",
+            TaskClass::Interactive => "interactive",
+            TaskClass::Bulk => "bulk",
+            TaskClass::Background => "background",
+        }
+    }
+}
+
 /// Options attached to a task at submission.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct TaskOptions {
@@ -31,13 +89,15 @@ pub struct TaskOptions {
     /// considered completed once the corresponding network polling succeeds"
     /// (§IV-B).
     pub repeat: bool,
-    /// Preemptive task (paper §VI future work: "tasks that can be executed
-    /// immediately, even on a distant CPU where a thread is computing").
-    /// Urgent tasks jump to the *front* of their queue (so the very next
-    /// keypoint on any allowed core runs them before older work) and
-    /// progression workers are woken eagerly, exactly as for a fresh
-    /// submission.
-    pub urgent: bool,
+    /// QoS class: which per-queue lane the task is enqueued into and how
+    /// soon keypoints drain it relative to other classes. Defaults to
+    /// [`TaskClass::Interactive`].
+    pub class: TaskClass,
+    /// Optional deadline in integer ticks (caller-defined clock). Within a
+    /// class, tasks carrying a deadline drain earliest-deadline-first ahead
+    /// of the class's FIFO tasks; `None` reads as "infinitely late".
+    /// Deadlines never override class priority.
+    pub deadline: Option<u64>,
 }
 
 impl TaskOptions {
@@ -45,7 +105,8 @@ impl TaskOptions {
     pub const fn oneshot() -> Self {
         TaskOptions {
             repeat: false,
-            urgent: false,
+            class: TaskClass::Interactive,
+            deadline: None,
         }
     }
 
@@ -53,14 +114,27 @@ impl TaskOptions {
     pub const fn repeat() -> Self {
         TaskOptions {
             repeat: true,
-            urgent: false,
+            class: TaskClass::Interactive,
+            deadline: None,
         }
     }
 
-    /// Marks the task preemptive (see [`TaskOptions::urgent`]).
-    pub const fn urgent(mut self) -> Self {
-        self.urgent = true;
+    /// Sets the QoS class (see [`TaskClass`]).
+    pub const fn class(mut self, class: TaskClass) -> Self {
+        self.class = class;
         self
+    }
+
+    /// Sets the deadline tick (see [`TaskOptions::deadline`]).
+    pub const fn deadline(mut self, tick: u64) -> Self {
+        self.deadline = Some(tick);
+        self
+    }
+
+    /// Marks the task preemptive.
+    #[deprecated(since = "0.1.0", note = "use `.class(TaskClass::Urgent)`")]
+    pub const fn urgent(self) -> Self {
+        self.class(TaskClass::Urgent)
     }
 }
 
@@ -111,6 +185,15 @@ impl Task {
     }
 }
 
+impl crate::lockfree::Classed for Task {
+    fn class(&self) -> TaskClass {
+        self.options.class
+    }
+    fn deadline(&self) -> Option<u64> {
+        self.options.deadline
+    }
+}
+
 impl core::fmt::Debug for Task {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("Task")
@@ -130,5 +213,29 @@ mod tests {
         assert!(!TaskOptions::oneshot().repeat);
         assert!(TaskOptions::repeat().repeat);
         assert_eq!(TaskOptions::default(), TaskOptions::oneshot());
+        assert_eq!(TaskOptions::default().class, TaskClass::Interactive);
+        assert_eq!(TaskOptions::default().deadline, None);
+        let o = TaskOptions::oneshot().class(TaskClass::Bulk).deadline(17);
+        assert_eq!(o.class, TaskClass::Bulk);
+        assert_eq!(o.deadline, Some(17));
+    }
+
+    #[test]
+    fn class_priority_order_matches_indices() {
+        for (i, c) in TaskClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+        assert!(TaskClass::Urgent < TaskClass::Interactive);
+        assert!(TaskClass::Bulk < TaskClass::Background);
+        assert_eq!(TaskClass::default(), TaskClass::Interactive);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn urgent_forwarder_maps_to_the_urgent_class() {
+        assert_eq!(
+            TaskOptions::oneshot().urgent(),
+            TaskOptions::oneshot().class(TaskClass::Urgent)
+        );
     }
 }

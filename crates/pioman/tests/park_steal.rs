@@ -12,7 +12,7 @@
 
 use piom_cpuset::CpuSet;
 use piom_topology::presets;
-use pioman::{ManagerConfig, Progression, ProgressionConfig, TaskManager, TaskOptions, TaskStatus};
+use pioman::{ManagerConfig, Progression, ProgressionConfig, TaskManager, TaskStatus};
 use std::time::{Duration, Instant};
 
 /// Spins until `cond` holds, failing the test after a generous bound.
@@ -34,12 +34,10 @@ fn park_probe_path_drains_distant_backlog_without_timer() {
     let mgr = TaskManager::new(presets::kwak().into());
     let handles: Vec<_> = (0..8)
         .map(|_| {
-            mgr.submit_on(
-                |_| TaskStatus::Done,
-                12,
-                CpuSet::from_iter([0, 12]),
-                TaskOptions::oneshot(),
-            )
+            mgr.task(|_| TaskStatus::Done)
+                .cpuset(CpuSet::from_iter([0, 12]))
+                .on_core(12)
+                .spawn()
         })
         .collect();
 
@@ -75,12 +73,10 @@ fn park_probe_stops_hitting_after_wide_span_decays() {
     let mgr = TaskManager::new(presets::kwak().into());
     let handles: Vec<_> = (0..4)
         .map(|_| {
-            mgr.submit_on(
-                |_| TaskStatus::Done,
-                12,
-                CpuSet::from_iter([0, 12]),
-                TaskOptions::oneshot(),
-            )
+            mgr.task(|_| TaskStatus::Done)
+                .cpuset(CpuSet::from_iter([0, 12]))
+                .on_core(12)
+                .spawn()
         })
         .collect();
     assert!(mgr.park_probe(0), "wide backlog present: probe must hit");
@@ -89,11 +85,9 @@ fn park_probe_stops_hitting_after_wide_span_decays() {
     }
     // New backlog on the same queue, but core 0 is excluded this time.
     for _ in 0..4 {
-        mgr.submit(
-            |_| TaskStatus::Done,
-            CpuSet::single(12),
-            TaskOptions::oneshot(),
-        );
+        mgr.task(|_| TaskStatus::Done)
+            .cpuset(CpuSet::single(12))
+            .spawn();
     }
     assert!(
         !mgr.park_probe(0),
@@ -133,11 +127,10 @@ fn submission_racing_a_parking_worker_never_loses_the_wake() {
         if round % 2 == 0 {
             wait_for("worker 3 to park", || mgr.is_parked(3));
         }
-        let h = mgr.submit(
-            |_| TaskStatus::Done,
-            CpuSet::single(3),
-            TaskOptions::oneshot(),
-        );
+        let h = mgr
+            .task(|_| TaskStatus::Done)
+            .cpuset(CpuSet::single(3))
+            .spawn();
         wait_for("racing submission to complete", || h.is_complete());
     }
     assert_eq!(mgr.stats().hook_timer, 0, "no timer keypoint ever fired");
@@ -158,12 +151,10 @@ fn live_worker_steals_distant_backlog_without_timer() {
     let _prog = Progression::start(mgr.clone(), config);
     let handles: Vec<_> = (0..16)
         .map(|_| {
-            mgr.submit_on(
-                |_| TaskStatus::Done,
-                12,
-                CpuSet::from_iter([0, 12]),
-                TaskOptions::oneshot(),
-            )
+            mgr.task(|_| TaskStatus::Done)
+                .cpuset(CpuSet::from_iter([0, 12]))
+                .on_core(12)
+                .spawn()
         })
         .collect();
     for h in handles {
@@ -200,12 +191,10 @@ fn wake_for_steal_unparks_the_nearest_eligible_parked_core() {
     // off, nothing triggers automatically; the steal span still records
     // core 1 as eligible.
     for _ in 0..16 {
-        mgr.submit_on(
-            |_| TaskStatus::Done,
-            0,
-            CpuSet::from_iter([0, 1]),
-            TaskOptions::oneshot(),
-        );
+        mgr.task(|_| TaskStatus::Done)
+            .cpuset(CpuSet::from_iter([0, 1]))
+            .on_core(0)
+            .spawn();
     }
     wait_for("worker 1 to re-park after the submission wakes", || {
         mgr.is_parked(1)
@@ -242,12 +231,10 @@ fn backlog_threshold_recruits_a_parked_thief_end_to_end() {
 
     let handles: Vec<_> = (0..16)
         .map(|_| {
-            mgr.submit_on(
-                |_| TaskStatus::Done,
-                0,
-                CpuSet::from_iter([0, 8]),
-                TaskOptions::oneshot(),
-            )
+            mgr.task(|_| TaskStatus::Done)
+                .cpuset(CpuSet::from_iter([0, 8]))
+                .on_core(0)
+                .spawn()
         })
         .collect();
     for h in handles {

@@ -3,7 +3,7 @@
 
 use piom_cpuset::CpuSet;
 use piom_topology::TopologyBuilder;
-use pioman::{ManagerConfig, QueueBackend, TaskManager, TaskOptions, TaskStatus};
+use pioman::{ManagerConfig, QueueBackend, TaskManager, TaskStatus};
 use proptest::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -70,15 +70,11 @@ proptest! {
 
             let count = run_counts[i].clone();
             let set_copy = set;
-            let h = mgr.submit(
-                move |ctx| {
+            let h = mgr.task(move |ctx| {
                     count.fetch_add(1, Ordering::SeqCst);
                     assert!(set_copy.contains(ctx.core), "ran on forbidden core");
                     TaskStatus::Done
-                },
-                set,
-                TaskOptions::oneshot(),
-            );
+                }).cpuset(set).spawn();
             handles.push(h);
         }
 
@@ -120,17 +116,13 @@ proptest! {
         let mgr = TaskManager::with_config(topo, ManagerConfig { queue_backend: backend, ..ManagerConfig::default() });
         let runs = Arc::new(AtomicU64::new(0));
         let r = runs.clone();
-        let h = mgr.submit(
-            move |_| {
+        let h = mgr.task(move |_| {
                 if r.fetch_add(1, Ordering::SeqCst) + 1 == k {
                     TaskStatus::Done
                 } else {
                     TaskStatus::Again
                 }
-            },
-            CpuSet::first_n(n),
-            TaskOptions::repeat(),
-        );
+            }).cpuset(CpuSet::first_n(n)).repeat().spawn();
         let mut spins = 0;
         while !h.is_complete() {
             for core in 0..n {
@@ -157,11 +149,7 @@ proptest! {
         );
         let handles: Vec<_> = (0..n_tasks)
             .map(|i| {
-                mgr.submit(
-                    |_| TaskStatus::Done,
-                    CpuSet::single(i % 4),
-                    TaskOptions::oneshot(),
-                )
+                mgr.task(|_| TaskStatus::Done).cpuset(CpuSet::single(i % 4)).spawn()
             })
             .collect();
         for h in handles {
@@ -211,15 +199,10 @@ proptest! {
                     CpuSet::single(1)
                 };
                 let log = log.clone();
-                mgr.submit_on(
-                    move |ctx| {
+                mgr.task(move |ctx| {
                         log.lock().unwrap().push((ctx.core, i));
                         TaskStatus::Done
-                    },
-                    1,
-                    cpuset,
-                    TaskOptions::oneshot(),
-                )
+                    }).cpuset(cpuset).on_core(1).spawn()
             })
             .collect();
 
@@ -306,15 +289,10 @@ proptest! {
                     (0..tasks_per_producer)
                         .map(|_| {
                             let runs = runs.clone();
-                            mgr.submit_on(
-                                move |_| {
+                            mgr.task(move |_| {
                                     runs.fetch_add(1, Ordering::SeqCst);
                                     TaskStatus::Done
-                                },
-                                0,
-                                CpuSet::first_n(4),
-                                TaskOptions::oneshot(),
-                            )
+                                }).cpuset(CpuSet::first_n(4)).on_core(0).spawn()
                         })
                         .collect::<Vec<_>>()
                 }));

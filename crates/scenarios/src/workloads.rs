@@ -19,12 +19,15 @@
 //! simulation (events cannot borrow the caller's recorder) and drained
 //! afterwards.
 
-use crate::cluster::{stamped_latency, Cluster};
+use crate::cluster::{stamped_latency, Cluster, Server, ServerCosts};
 use crate::{Gate, Scenario, ScenarioParams};
 use piom_des::rng::SplitMix64;
 use piom_des::{Sim, SimTime};
 use piom_net::{Message, Network, RxHandler};
+use pioman::lockfree::BACKGROUND_BYPASS_LIMIT;
+use pioman::{TaskClass, CLASS_COUNT};
 use std::cell::RefCell;
+use std::collections::VecDeque;
 use std::rc::Rc;
 
 /// The registry, in trajectory order.
@@ -82,6 +85,30 @@ pub(crate) static REGISTRY: &[Scenario] = &[
         about: "one-sided RDMA pulls from many peers (contention-free floor)",
         gate: Gate::Tail,
         run: rdma_pull_fanin,
+    },
+    Scenario {
+        name: "rpc_mesh_qos_urgent",
+        about: "the RPC mesh under QoS class lanes: the Urgent slice's RTTs",
+        gate: Gate::Tail,
+        run: rpc_mesh_qos_urgent,
+    },
+    Scenario {
+        name: "rpc_mesh_qos_interactive",
+        about: "the RPC mesh under QoS class lanes: the Interactive slice's RTTs",
+        gate: Gate::Tail,
+        run: rpc_mesh_qos_interactive,
+    },
+    Scenario {
+        name: "rpc_mesh_qos_bulk",
+        about: "the RPC mesh under QoS class lanes: the Bulk slice's RTTs",
+        gate: Gate::Wide,
+        run: rpc_mesh_qos_bulk,
+    },
+    Scenario {
+        name: "rpc_mesh_qos_background",
+        about: "the RPC mesh under QoS class lanes: the Background slice's RTTs",
+        gate: Gate::Wide,
+        run: rpc_mesh_qos_background,
     },
 ];
 
@@ -693,9 +720,225 @@ fn rdma_pull_fanin(p: &ScenarioParams, rec: &mut dyn FnMut(u64)) {
     drain(&samples, rec);
 }
 
+/// Tag layout of the QoS mesh: bit 63 stays the [`RPC_RESPONSE`] flag,
+/// bits 61–62 carry the request's [`TaskClass`] index, and the low 61
+/// bits carry the send stamp (simulated nanoseconds never reach 2^61).
+const QOS_CLASS_SHIFT: u32 = 61;
+const QOS_STAMP_MASK: u64 = (1 << QOS_CLASS_SHIFT) - 1;
+
+/// Per-responder class lanes, mirroring the scheduler's
+/// [`pioman::lockfree::ClassLanes`] semantics in the sequential DES:
+/// per-class FIFO lanes served in strict priority order, with the
+/// [`BACKGROUND_BYPASS_LIMIT`] anti-starvation credit hoisting a waiting
+/// `Background` request once enough higher-class requests bypassed it.
+struct QosLanes {
+    /// `(stamp, requester, size)` per parked request, one lane per class.
+    lanes: [VecDeque<(u64, usize, usize)>; CLASS_COUNT],
+    busy: bool,
+    credit: u32,
+}
+
+impl QosLanes {
+    /// [`pioman::lockfree::ClassLanes::pop`] on the simulated lanes:
+    /// class order honouring the credit, then the credit bookkeeping of
+    /// `note_served`.
+    fn pop(&mut self) -> Option<(TaskClass, (u64, usize, usize))> {
+        let bg = TaskClass::Background;
+        let bg_waiting = !self.lanes[bg.index()].is_empty();
+        let order = if self.credit >= BACKGROUND_BYPASS_LIMIT && bg_waiting {
+            [
+                TaskClass::Background,
+                TaskClass::Urgent,
+                TaskClass::Interactive,
+                TaskClass::Bulk,
+            ]
+        } else {
+            TaskClass::ALL
+        };
+        for class in order {
+            if let Some(req) = self.lanes[class.index()].pop_front() {
+                if class == bg {
+                    self.credit = 0;
+                } else if bg_waiting {
+                    self.credit += 1;
+                }
+                return Some((class, req));
+            }
+        }
+        None
+    }
+}
+
+/// Shared state of one QoS mesh run, `Rc`-cloned into the completion
+/// chain so a responder can keep serving lane after lane.
+struct QosCtx {
+    lanes: RefCell<Vec<QosLanes>>,
+    servers: Vec<Server>,
+    net: Rc<Network>,
+    rng: Rc<RefCell<SplitMix64>>,
+}
+
+/// Serves `node`'s lanes until they drain: pop by class policy, occupy
+/// the server CPU, respond, repeat from the completion event.
+fn qos_serve_next(ctx: &Rc<QosCtx>, sim: &mut Sim, node: usize) {
+    let popped = ctx.lanes.borrow_mut()[node].pop();
+    let Some((class, (stamp, requester, size))) = popped else {
+        ctx.lanes.borrow_mut()[node].busy = false;
+        return;
+    };
+    ctx.lanes.borrow_mut()[node].busy = true;
+    let ctx2 = ctx.clone();
+    let mut rng = ctx.rng.borrow_mut();
+    ctx.servers[node].serve_sized(sim, size, &mut rng, move |sim| {
+        ctx2.net.send(
+            sim,
+            Message {
+                src: node,
+                dst: requester,
+                rail: 0,
+                tag: stamp | RPC_RESPONSE | ((class.index() as u64) << QOS_CLASS_SHIFT),
+                size: 1024,
+                data: None,
+            },
+        );
+        qos_serve_next(&ctx2, sim, node);
+    });
+}
+
+/// The common simulation behind the four `rpc_mesh_qos_*` rows: the
+/// steady RPC mesh re-run hotter (4× the arrival rate) with every
+/// responder serving through [`QosLanes`] instead of one FIFO. All four
+/// wrappers simulate the *identical* traffic — same name-seeded streams,
+/// classes dealt 2:3:2:1 (urgent:interactive:bulk:background) from the
+/// precompute stream — and each records only its own class's RTT slice,
+/// so the four trajectory rows decompose one workload by tier: the
+/// priority classes must stay tight (`Gate::Tail`) while `Bulk` and
+/// `Background` absorb the queueing (`Gate::Wide`).
+fn rpc_mesh_qos(focus: TaskClass, p: &ScenarioParams, rec: &mut dyn FnMut(u64)) {
+    let nodes = p.endpoints.clamp(2, 16);
+    let mut c = Cluster::build("rpc_mesh_qos", nodes, 1, p.seed);
+    let samples: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+
+    // QoS lanes differentiate only where the server CPU is the
+    // bottleneck (that is the resource the task scheduler arbitrates),
+    // so this mesh runs CPU-bound: a 3× request-handling floor keeps the
+    // responders near saturation while the fabric stays light.
+    let mut costs = ServerCosts::from_machine();
+    costs.base_ns *= 3;
+    c.servers = (0..nodes).map(|_| Server::new(costs)).collect();
+
+    let ctx = Rc::new(QosCtx {
+        lanes: RefCell::new(
+            (0..nodes)
+                .map(|_| QosLanes {
+                    lanes: Default::default(),
+                    busy: false,
+                    credit: 0,
+                })
+                .collect(),
+        ),
+        servers: c.servers.clone(),
+        net: c.net.clone(),
+        rng: event_rng("rpc_mesh_qos", p.seed),
+    });
+
+    let s = samples.clone();
+    let ctx2 = ctx.clone();
+    let handler: RxHandler = Rc::new(move |sim: &mut Sim, msg: Message| {
+        let class_idx = ((msg.tag >> QOS_CLASS_SHIFT) & 0b11) as usize;
+        if msg.tag & RPC_RESPONSE != 0 {
+            if class_idx == focus.index() {
+                s.borrow_mut()
+                    .push(sim.now().as_ns() - (msg.tag & QOS_STAMP_MASK));
+            }
+            return;
+        }
+        let idle = {
+            let mut all = ctx2.lanes.borrow_mut();
+            let l = &mut all[msg.dst];
+            l.lanes[class_idx].push_back((msg.tag & QOS_STAMP_MASK, msg.src, msg.size));
+            !l.busy
+        };
+        if idle {
+            qos_serve_next(&ctx2, sim, msg.dst);
+        }
+    });
+    for node in 0..nodes {
+        c.on_receive(node, handler.clone());
+    }
+
+    let mut t = SimTime::ZERO;
+    for _ in 0..p.samples {
+        t += spread_gap(&mut c.rng, 300);
+        let src = c.rng.next_below(nodes as u64) as usize;
+        let mut dst = c.rng.next_below(nodes as u64 - 1) as usize;
+        if dst >= src {
+            dst += 1;
+        }
+        let size = log_uniform_size(&mut c.rng, 9, 10); // 512 B .. 2 KiB
+        let class = match c.rng.next_below(8) {
+            0 | 1 => TaskClass::Urgent,
+            2..=4 => TaskClass::Interactive,
+            5 | 6 => TaskClass::Bulk,
+            _ => TaskClass::Background,
+        };
+        let net = c.net.clone();
+        c.sim.schedule_abs(t, move |sim| {
+            net.send(
+                sim,
+                Message {
+                    src,
+                    dst,
+                    rail: 0,
+                    tag: sim.now().as_ns() | ((class.index() as u64) << QOS_CLASS_SHIFT),
+                    size,
+                    data: None,
+                },
+            );
+        });
+    }
+    c.sim.run();
+    drain(&samples, rec);
+}
+
+fn rpc_mesh_qos_urgent(p: &ScenarioParams, rec: &mut dyn FnMut(u64)) {
+    rpc_mesh_qos(TaskClass::Urgent, p, rec);
+}
+
+fn rpc_mesh_qos_interactive(p: &ScenarioParams, rec: &mut dyn FnMut(u64)) {
+    rpc_mesh_qos(TaskClass::Interactive, p, rec);
+}
+
+fn rpc_mesh_qos_bulk(p: &ScenarioParams, rec: &mut dyn FnMut(u64)) {
+    rpc_mesh_qos(TaskClass::Bulk, p, rec);
+}
+
+fn rpc_mesh_qos_background(p: &ScenarioParams, rec: &mut dyn FnMut(u64)) {
+    rpc_mesh_qos(TaskClass::Background, p, rec);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn qos_mesh_tiers_order_by_class() {
+        // The four rpc_mesh_qos_* rows decompose one simulated workload;
+        // the whole point of the class lanes is that the priority tiers
+        // see a tighter tail than the yielding ones. Full params so the
+        // Background slice (1/8 of traffic) has a real sample count.
+        let p = ScenarioParams::full(42);
+        let p99 = |name: &str| crate::find(name).unwrap().run(&p).summary.p99;
+        let (urgent, background) = (p99("rpc_mesh_qos_urgent"), p99("rpc_mesh_qos_background"));
+        assert!(
+            urgent < background,
+            "Urgent p99 ({urgent} ns) must beat Background p99 ({background} ns)"
+        );
+        assert!(
+            p99("rpc_mesh_qos_interactive") <= p99("rpc_mesh_qos_bulk"),
+            "Interactive p99 must not exceed Bulk p99"
+        );
+    }
 
     #[test]
     fn size_helpers_stay_in_range() {

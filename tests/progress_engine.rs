@@ -30,18 +30,18 @@ fn polling_tasks_detect_fake_network_events() {
     // The communication library submits a repetitive polling task with
     // cache affinity (cores sharing NUMA node #0).
     let n = nic.clone();
-    let h = mgr.submit(
-        move |_| {
+    let h = mgr
+        .task(move |_| {
             n.polls.fetch_add(1, Ordering::Relaxed);
             if n.completions.load(Ordering::Acquire) > 0 {
                 TaskStatus::Done
             } else {
                 TaskStatus::Again
             }
-        },
-        CpuSet::range(0..4),
-        TaskOptions::repeat(),
-    );
+        })
+        .cpuset(CpuSet::range(0..4))
+        .repeat()
+        .spawn();
 
     // The "network event" arrives later, from another thread.
     let n = nic.clone();
@@ -65,13 +65,13 @@ fn request_submission_offload_chain() {
 
     let phase = Arc::new(AtomicUsize::new(0));
     let p = phase.clone();
-    let submit_task = mgr.submit(
-        move |ctx| {
+    let submit_task = mgr
+        .task(move |ctx| {
             // The "request" needs polling: delegate a repeat task.
             let p2 = p.clone();
             let mut polls_left = 5;
-            ctx.manager.submit(
-                move |_| {
+            ctx.manager
+                .task(move |_| {
                     polls_left -= 1;
                     if polls_left == 0 {
                         p2.store(2, Ordering::Release);
@@ -79,18 +79,17 @@ fn request_submission_offload_chain() {
                     } else {
                         TaskStatus::Again
                     }
-                },
-                CpuSet::first_n(8),
-                TaskOptions::repeat(),
-            );
+                })
+                .cpuset(CpuSet::first_n(8))
+                .repeat()
+                .spawn();
             // The chained task may already have completed (phase 2) on
             // another core by the time we get here; never move phase back.
             p.fetch_max(1, Ordering::AcqRel);
             TaskStatus::Done
-        },
-        CpuSet::first_n(8),
-        TaskOptions::oneshot(),
-    );
+        })
+        .cpuset(CpuSet::first_n(8))
+        .spawn();
     submit_task.wait().unwrap();
 
     // Wait for the chained polling task to finish too.
@@ -112,23 +111,22 @@ fn many_concurrent_flows_all_complete() {
         .map(|i| {
             let c = counter.clone();
             let mut reps = i % 4;
-            mgr.submit(
-                move |_| {
-                    if reps == 0 {
-                        c.fetch_add(1, Ordering::Relaxed);
-                        TaskStatus::Done
-                    } else {
-                        reps -= 1;
-                        TaskStatus::Again
-                    }
-                },
-                CpuSet::single(i % 16),
-                if i % 4 == 0 {
-                    TaskOptions::oneshot()
+            mgr.task(move |_| {
+                if reps == 0 {
+                    c.fetch_add(1, Ordering::Relaxed);
+                    TaskStatus::Done
                 } else {
-                    TaskOptions::repeat()
-                },
-            )
+                    reps -= 1;
+                    TaskStatus::Again
+                }
+            })
+            .cpuset(CpuSet::single(i % 16))
+            .options(if i % 4 == 0 {
+                TaskOptions::oneshot()
+            } else {
+                TaskOptions::repeat()
+            })
+            .spawn()
         })
         .collect();
     for h in handles {

@@ -187,6 +187,50 @@ impl<T, P: OrderPolicy> SegQueue<T, P> {
         }
     }
 
+    /// Applies `f` to a shared reference to the front element without
+    /// popping it, or returns `None` if the queue looks empty. Never blocks.
+    ///
+    /// This is the read-only head peek backing the scheduler's
+    /// deadline-tournament pop (`pioman::lockfree::ClassLanes`): lane heads
+    /// are compared by deadline and only the winner's lane is popped.
+    ///
+    /// Inherently racy by contract, like `len`: the element may be popped
+    /// (or a first element pushed) concurrently, so the observation is a
+    /// *hint*, not a linearized snapshot. Callers must tolerate the real
+    /// pop disagreeing with the peek.
+    ///
+    /// # Soundness
+    ///
+    /// The shared reference handed to `f` is sound despite concurrent
+    /// pushes and pops:
+    /// - The node's `value` bytes are written exactly once, *before* the
+    ///   pusher's Release linking CAS published the node; our Acquire load
+    ///   of the `next` edge pairs with that CAS, so the bytes are fully
+    ///   initialized and no write to them can race with our read.
+    /// - Poppers never write the value either — the head-swing CAS winner
+    ///   `ptr::read`s the bytes (a read!) and retires the *previous* dummy,
+    ///   so the peeked node's value is immutable for the node's lifetime.
+    /// - The epoch pin held for the duration of `f` keeps the node's
+    ///   allocation alive even if it is popped and retired concurrently
+    ///   (retirement frees only after every currently-pinned thread
+    ///   unpins), so the reference cannot dangle.
+    pub fn peek_map<R>(&self, f: impl FnOnce(&T) -> R) -> Option<R> {
+        let _guard = self.collector.pin();
+        // Acquire: `head` is dereferenced below; pairs with the Release
+        // head-swing CAS of the pop that published it.
+        let head = self.head.load(P::ord(Acquire));
+        // Acquire: pairs with the pusher's Release linking CAS — after this
+        // load the node's value is fully initialized (see pop).
+        let next = unsafe { (*head).next.load(P::ord(Acquire)) };
+        if next.is_null() {
+            return None;
+        }
+        // SAFETY: initialized by the publication edge above, never written
+        // again (poppers only ptr::read), and kept allocated by our pin.
+        let value = unsafe { &*(*next).value.as_ptr() };
+        Some(f(value))
+    }
+
     /// Number of elements currently queued (racy snapshot; may transiently
     /// count an element whose `push` has not finished linking).
     pub fn len(&self) -> usize {
@@ -416,6 +460,64 @@ mod tests {
         }
         hammer::<Tuned>();
         hammer::<AlwaysSeqCst>();
+    }
+
+    #[test]
+    fn peek_map_observes_the_front_without_popping() {
+        let q = SegQueue::<i32>::new();
+        assert_eq!(q.peek_map(|v| *v), None, "empty queue peeks nothing");
+        q.push(10);
+        q.push(20);
+        assert_eq!(q.peek_map(|v| *v), Some(10));
+        assert_eq!(q.len(), 2, "peek must not consume");
+        assert_eq!(q.pop(), Some(10), "peek saw the element pop returns");
+        assert_eq!(q.peek_map(|v| *v), Some(20));
+        assert_eq!(q.pop(), Some(20));
+        assert_eq!(q.peek_map(|v| *v), None);
+    }
+
+    #[test]
+    fn peek_map_is_sound_against_racing_pops_and_pushes() {
+        // The reclamation/aliasing claim in `peek_map`'s soundness comment,
+        // exercised under Miri in CI (weak memory + many seeds): peekers
+        // read head values while other threads pop (retiring the nodes) and
+        // push. Every peeked value must be one that was actually pushed and
+        // not yet past — i.e. a valid, initialized element.
+        let q = Arc::new(SegQueue::<u64>::new());
+        let per = if cfg!(miri) { 15u64 } else { 2_000 };
+        let peeker = {
+            let q = q.clone();
+            std::thread::spawn(move || {
+                let mut seen = 0u64;
+                for _ in 0..per {
+                    if let Some(v) = q.peek_map(|v| *v) {
+                        assert!(v < per, "peeked a value never pushed");
+                        seen += 1;
+                    }
+                    std::hint::spin_loop();
+                }
+                seen
+            })
+        };
+        let popper = {
+            let q = q.clone();
+            std::thread::spawn(move || {
+                let mut got = 0u64;
+                while got < per {
+                    if q.pop().is_some() {
+                        got += 1;
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            })
+        };
+        for i in 0..per {
+            q.push(i);
+        }
+        popper.join().unwrap();
+        peeker.join().unwrap();
+        assert!(q.is_empty());
     }
 
     #[test]

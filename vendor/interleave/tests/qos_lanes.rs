@@ -1,0 +1,288 @@
+//! Exhaustive interleaving checks of the two lock-free protocols the QoS
+//! redesign added to the scheduler hot path:
+//!
+//! 1. **Waitlist release** — `crates/pioman/src/manager.rs`
+//!    (`PendingTask::satisfy_one`): each completed predecessor performs one
+//!    atomic `fetch_sub(1)` on the dependent's `remaining` counter, and only
+//!    the completer that observes the counter hit zero takes the parked task
+//!    out of the slot. Racing completions must release the task *exactly
+//!    once* — zero releases strands the dependent forever, two releases
+//!    double-runs it.
+//!
+//! 2. **Background anti-starvation credit** — `crates/pioman/src/lockfree.rs`
+//!    (`ClassLanes::class_order_with` / `note_served`): every pop that
+//!    serves a higher class while `Background` work waits bumps a relaxed
+//!    credit counter; once the credit reaches `BACKGROUND_BYPASS_LIMIT` the
+//!    next pop hoists `Background` to the front of the class order. The
+//!    relaxed counter admits at most one stale-read bypass per racing
+//!    popper, so the progress bound is `LIMIT + threads - 1` higher-class
+//!    serves while `Background` waits (the bound `docs/SCHEDULER.md`
+//!    states and `qos_policy.rs` pins exactly for the sequential case).
+//!
+//! Each model has a planted-bug twin (the atomic RMW replaced by the racy
+//! load-then-store it guards against) that the checker must catch — proof
+//! the model is strong enough for the property it pins.
+
+use interleave::atomic::AtomicUsize;
+use interleave::{model_expect_violation, model_with, Options};
+use std::sync::Arc;
+
+/// `fetch_sub(1)` spelled with the wrapping `fetch_add` the model API
+/// provides (core atomics wrap, so adding `usize::MAX` subtracts one).
+/// Returns the previous value, like the production `fetch_sub`.
+fn fetch_sub_one(counter: &AtomicUsize) -> usize {
+    counter.fetch_add(usize::MAX)
+}
+
+// ---------------------------------------------------------------------------
+// Model 1: waitlist release (PendingTask::satisfy_one)
+// ---------------------------------------------------------------------------
+
+/// The modeled pending dependent. Production parks the task in a
+/// `Mutex<Option<Task>>`; the model stands that in with an atomic token
+/// (1 = task parked, 0 = taken) — a strictly *weaker* guard than the
+/// mutex, so exactly-once here is carried entirely by the `remaining`
+/// gate, just as the production comment claims.
+struct ModelPending {
+    remaining: AtomicUsize,
+    slot: AtomicUsize,
+    released: AtomicUsize,
+}
+
+impl ModelPending {
+    fn new(deps: usize) -> Self {
+        ModelPending {
+            remaining: AtomicUsize::new(deps),
+            slot: AtomicUsize::new(1),
+            released: AtomicUsize::new(0),
+        }
+    }
+
+    /// `PendingTask::satisfy_one`, faithfully: one atomic decrement, and
+    /// only the completer that took the counter from 1 to 0 may take the
+    /// slot.
+    fn satisfy_one(&self) {
+        if fetch_sub_one(&self.remaining) == 1 {
+            let got = self.slot.swap(0);
+            assert_eq!(got, 1, "last completer found the slot already empty");
+            self.released.fetch_add(1);
+        }
+    }
+
+    /// The planted-bug twin: the decrement as a load-then-store. Two
+    /// racing completers can both read `remaining == 2` and both store 1
+    /// — nobody ever observes the 1→0 edge and the dependent is stranded.
+    fn satisfy_one_racy(&self) {
+        let r = self.remaining.load();
+        self.remaining.store(r - 1);
+        if r == 1 {
+            let got = self.slot.swap(0);
+            assert_eq!(got, 1, "last completer found the slot already empty");
+            self.released.fetch_add(1);
+        }
+    }
+}
+
+#[test]
+fn racing_completions_release_the_dependent_exactly_once() {
+    let report = model_with(
+        Options {
+            preemption_bound: Some(2),
+            ..Options::default()
+        },
+        || {
+            let pending = Arc::new(ModelPending::new(2));
+            let p2 = pending.clone();
+            let t = interleave::thread::spawn(move || p2.satisfy_one());
+            pending.satisfy_one();
+            t.join();
+            assert_eq!(
+                pending.released.peek(),
+                1,
+                "dependent must be released exactly once"
+            );
+            assert_eq!(pending.slot.peek(), 0, "slot must be drained");
+            assert_eq!(pending.remaining.peek(), 0);
+        },
+    );
+    assert!(report.schedules > 1, "the race was really explored");
+}
+
+#[test]
+fn racy_waitlist_decrement_strands_the_dependent() {
+    let failure = model_expect_violation(
+        Options {
+            preemption_bound: Some(2),
+            ..Options::default()
+        },
+        || {
+            let pending = Arc::new(ModelPending::new(2));
+            let p2 = pending.clone();
+            let t = interleave::thread::spawn(move || p2.satisfy_one_racy());
+            pending.satisfy_one_racy();
+            t.join();
+            assert_eq!(
+                pending.released.peek(),
+                1,
+                "dependent must be released exactly once"
+            );
+        },
+    );
+    assert!(failure.message.contains("released exactly once"));
+    assert!(!failure.trail.is_empty(), "failure must carry a schedule");
+}
+
+// ---------------------------------------------------------------------------
+// Model 2: background anti-starvation credit (ClassLanes pop policy)
+// ---------------------------------------------------------------------------
+
+/// Miniature bypass limit. The production constant is 16; the bound's
+/// *shape* (`LIMIT + threads - 1`) is what the model checks, so a small
+/// limit keeps the schedule space explorable.
+const LIMIT: usize = 2;
+const THREADS: usize = 2;
+/// Pops per thread. Enough that the faithful model is guaranteed to reach
+/// the hoist (at most `LIMIT + THREADS - 1` bypasses, then the very next
+/// pop serves `Background`).
+const POPS: usize = 3;
+/// Higher-class backlog: one item per pop, so no pop ever comes up empty
+/// even in the twin where `Background` may never be served.
+const HI_ITEMS: usize = THREADS * POPS;
+/// The concurrent starvation bound under a Relaxed credit: each racing
+/// popper beyond the first can contribute one stale-read bypass past
+/// `LIMIT` (docs/SCHEDULER.md §9).
+const BYPASS_BOUND: usize = LIMIT + THREADS - 1;
+
+/// Two-lane stand-in for `ClassLanes`: a higher-class lane (counter of
+/// items, popped by CAS-decrement like a lock-free queue's head race) and
+/// a single waiting `Background` item (1 = waiting, 0 = served).
+struct ModelLanes {
+    credit: AtomicUsize,
+    hi: AtomicUsize,
+    bg: AtomicUsize,
+    /// Instrumentation, not protocol: exact count of higher-class serves
+    /// that happened while `Background` was still waiting.
+    hi_while_bg: AtomicUsize,
+    served: AtomicUsize,
+}
+
+impl ModelLanes {
+    fn new() -> Self {
+        ModelLanes {
+            credit: AtomicUsize::new(0),
+            hi: AtomicUsize::new(HI_ITEMS),
+            bg: AtomicUsize::new(1),
+            hi_while_bg: AtomicUsize::new(0),
+            served: AtomicUsize::new(0),
+        }
+    }
+
+    /// One element off the higher-class lane, racing other poppers the
+    /// way `SegQueue::pop` races on its head.
+    fn pop_hi(&self) -> bool {
+        loop {
+            let n = self.hi.load();
+            if n == 0 {
+                return false;
+            }
+            if self.hi.compare_exchange(n, n - 1).is_ok() {
+                return true;
+            }
+        }
+    }
+
+    /// `ClassLanes::pop`, faithfully: class order from a relaxed credit
+    /// read (`class_order_with`), then `note_served` — serving
+    /// `Background` resets the credit, serving a higher class while
+    /// `Background` waits bumps it with one atomic `fetch_add`.
+    fn pop(&self, racy_credit: bool) {
+        let hoist = self.credit.load() >= LIMIT && self.bg.load() > 0;
+        let order: [u8; 2] = if hoist { [1, 0] } else { [0, 1] };
+        for class in order {
+            if class == 1 {
+                // Background lane: the swap is the winner-takes-it pop.
+                if self.bg.swap(0) == 1 {
+                    self.credit.store(0);
+                    self.served.fetch_add(1);
+                    return;
+                }
+            } else if self.pop_hi() {
+                // note_served with the serve-time view of the bg lane.
+                if self.bg.load() > 0 {
+                    self.hi_while_bg.fetch_add(1);
+                    if racy_credit {
+                        // Planted bug: the credit bump as load-then-store.
+                        // A stale store can *lower* the credit below the
+                        // limit after a peer already raised it, buying
+                        // extra bypasses past the documented bound.
+                        let c = self.credit.load();
+                        self.credit.store(c + 1);
+                    } else {
+                        self.credit.fetch_add(1);
+                    }
+                }
+                self.served.fetch_add(1);
+                return;
+            }
+        }
+        panic!("pop found both lanes empty despite a sized backlog");
+    }
+}
+
+fn run_lanes(racy_credit: bool) -> Arc<ModelLanes> {
+    let lanes = Arc::new(ModelLanes::new());
+    let l2 = lanes.clone();
+    let t = interleave::thread::spawn(move || {
+        for _ in 0..POPS {
+            l2.pop(racy_credit);
+        }
+    });
+    for _ in 0..POPS {
+        lanes.pop(racy_credit);
+    }
+    t.join();
+    lanes
+}
+
+#[test]
+fn background_bypass_bound_holds_under_racing_poppers() {
+    let report = model_with(
+        Options {
+            preemption_bound: Some(2),
+            ..Options::default()
+        },
+        || {
+            let lanes = run_lanes(false);
+            assert!(
+                lanes.hi_while_bg.peek() <= BYPASS_BOUND,
+                "background starved past the bypass bound"
+            );
+            assert_eq!(
+                lanes.bg.peek(),
+                0,
+                "background must be served within the pop budget"
+            );
+            assert_eq!(lanes.served.peek(), THREADS * POPS, "a pop came up empty");
+        },
+    );
+    assert!(report.schedules > 100, "the race was really explored");
+}
+
+#[test]
+fn racy_credit_bump_starves_background_past_the_bound() {
+    let failure = model_expect_violation(
+        Options {
+            preemption_bound: Some(2),
+            ..Options::default()
+        },
+        || {
+            let lanes = run_lanes(true);
+            assert!(
+                lanes.hi_while_bg.peek() <= BYPASS_BOUND,
+                "background starved past the bypass bound"
+            );
+        },
+    );
+    assert!(failure.message.contains("starved past the bypass bound"));
+    assert!(!failure.trail.is_empty(), "failure must carry a schedule");
+}
