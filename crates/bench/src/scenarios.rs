@@ -28,6 +28,12 @@ pub const HIGH_VARIANCE: &[&str] = &[
     "contended_global_queue",
     "contended_percore_queues",
     "newmad_pingpong",
+    // The whole newmad_* family routes here: each row hosts a *simulated*
+    // engine run (deterministic latencies, asserted inside the routine)
+    // and measures the host-side cost of driving it, which inherits the
+    // shared-runner noise of every other host-timed row.
+    "newmad_bandwidth_ladder",
+    "newmad_multirail_crossover",
     "lockfree_vs_mutex",
     "lockfree_vs_mutex_baseline",
     "relaxed_vs_seqcst_contended",

@@ -599,6 +599,112 @@ fn newmad_pingpong(opts: &BenchOptions) -> BenchResult {
     )
 }
 
+/// Drives a fresh 2-node × 2-rail engine pair through one `size`-byte
+/// transfer under `cfg`, polling both sides every 500 ns, and returns the
+/// simulated receive-completion time. Shared harness of the newmad_*
+/// bench rows.
+fn newmad_transfer_ns(size: usize, cfg: newmadeleine::EngineConfig) -> u64 {
+    use newmadeleine::CommEngine;
+    use piom_des::{Sim, SimTime};
+    use piom_net::{NetParams, Network};
+    let net = Network::new(2, 2, NetParams::infiniband());
+    let a = CommEngine::new(0, net.clone(), cfg.clone());
+    let b = CommEngine::new(1, net, cfg);
+    let mut sim = Sim::new();
+    let r = b.irecv(&mut sim, 0, 1);
+    a.isend(&mut sim, 1, 1, size);
+    // Poll horizon: handshake slack plus twice the single-rail byte time.
+    let horizon_ns = 100_000 + (size as u64 * 830 / 1_000) * 2;
+    for k in 0..horizon_ns / 500 {
+        let (a2, b2) = (a.clone(), b.clone());
+        sim.schedule_abs(SimTime::from_ns(k * 500), move |sim| {
+            a2.poll(sim);
+            b2.poll(sim);
+        });
+    }
+    sim.run();
+    r.completed_at().expect("transfer must complete").as_ns()
+}
+
+/// The Fig. 5 shape through the zero-copy engine: one rendezvous
+/// transfer per ladder rung (64 KiB / 256 KiB / 1 MiB) over 2 rails. The
+/// host time prices the engine's packing, striping, and reassembly
+/// bookkeeping; the routine also asserts the *simulated* effective
+/// bandwidth grows monotonically up the ladder (handshake amortization),
+/// so the perf row doubles as a protocol sanity check.
+fn newmad_bandwidth_ladder(opts: &BenchOptions) -> BenchResult {
+    let scaled = BenchOptions {
+        iters: (opts.iters / 10).max(5),
+        ..*opts
+    };
+    measure(
+        "newmad_bandwidth_ladder",
+        &scaled,
+        || (),
+        || {
+            let mut bw = [0.0f64; 3];
+            for (i, size) in [64 * 1024, 256 * 1024, 1 << 20].into_iter().enumerate() {
+                let ns = newmad_transfer_ns(size, newmadeleine::EngineConfig::newmadeleine());
+                bw[i] = size as f64 / ns as f64;
+            }
+            assert!(
+                bw[0] < bw[1] && bw[1] < bw[2],
+                "bandwidth must grow up the ladder: {bw:?} B/ns"
+            );
+        },
+    )
+}
+
+/// The documented eager/stripe crossover, checked end to end on every
+/// run: below `rails::stripe_crossover` a single eager packet must beat
+/// a forced striped rendezvous (the handshake dominates); well above it,
+/// striping over 2 rails must beat the same rendezvous pinned to one
+/// rail. Host time prices the four simulated transfers.
+fn newmad_multirail_crossover(opts: &BenchOptions) -> BenchResult {
+    use newmadeleine::{rails, EngineConfig};
+    use piom_net::NetParams;
+    let scaled = BenchOptions {
+        iters: (opts.iters / 10).max(5),
+        ..*opts
+    };
+    measure(
+        "newmad_multirail_crossover",
+        &scaled,
+        || (),
+        || {
+            let xover = rails::stripe_crossover(&NetParams::infiniband(), 2);
+            let small = xover / 2;
+            let eager = newmad_transfer_ns(small, EngineConfig::newmadeleine());
+            let forced_stripe = newmad_transfer_ns(
+                small,
+                EngineConfig {
+                    eager_threshold: 1,
+                    stripe_threshold: 1,
+                    rndv_chunk: small.div_ceil(2),
+                    ..EngineConfig::newmadeleine()
+                },
+            );
+            assert!(
+                eager < forced_stripe,
+                "below the crossover ({small} B) eager must win: {eager} vs {forced_stripe} ns"
+            );
+            let big = 16 * xover;
+            let striped = newmad_transfer_ns(big, EngineConfig::newmadeleine());
+            let single_rail = newmad_transfer_ns(
+                big,
+                EngineConfig {
+                    multirail_data: false,
+                    ..EngineConfig::newmadeleine()
+                },
+            );
+            assert!(
+                striped < single_rail,
+                "above the crossover ({big} B) striping must win: {striped} vs {single_rail} ns"
+            );
+        },
+    )
+}
+
 /// The QoS class-lane head-to-head: an identical 64-task backlog mixed
 /// across all four [`pioman::TaskClass`] tiers (half carrying EDF
 /// deadline ticks) preloaded on core 0 and drained by keypoints — once
@@ -676,6 +782,8 @@ pub fn run_suite(opts: &BenchOptions) -> Vec<BenchResult> {
         contended_global(opts),
         contended_percore(opts),
         newmad_pingpong(opts),
+        newmad_bandwidth_ladder(opts),
+        newmad_multirail_crossover(opts),
         lockfree,
         mutex_baseline,
         steal_half_backlog(opts),
@@ -735,6 +843,8 @@ mod tests {
             "steal_starved_core",
             "contended_global_queue",
             "newmad_pingpong",
+            "newmad_bandwidth_ladder",
+            "newmad_multirail_crossover",
             "lockfree_vs_mutex",
             "lockfree_vs_mutex_baseline",
             "steal_half_backlog",

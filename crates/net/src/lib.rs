@@ -15,8 +15,9 @@
 //!   uses to overlap on the sender side (paper §II-B, \[10\]).
 //!
 //! Payload bytes are optional ([`Message::data`]): protocol experiments care
-//! about sizes and timing; correctness tests can attach real `Bytes` and
-//! check end-to-end integrity.
+//! about sizes and timing; correctness tests and the zero-copy message path
+//! attach a real [`Rope`] (a chain of shared `Bytes` segments) and check
+//! end-to-end integrity without the model ever flattening it.
 //!
 //! # Quick start
 //!
@@ -46,7 +47,7 @@
 
 #![warn(missing_docs)]
 
-use bytes::Bytes;
+use bytes::Rope;
 use piom_des::{Sim, SimTime};
 use std::cell::RefCell;
 use std::collections::VecDeque;
@@ -68,8 +69,9 @@ pub struct Message {
     pub tag: u64,
     /// Payload size in bytes (drives the bandwidth term).
     pub size: usize,
-    /// Optional real payload for integrity checks.
-    pub data: Option<Bytes>,
+    /// Optional real frame bytes (header + payload segments). The network
+    /// never reads or flattens this; timing is driven by `size` alone.
+    pub data: Option<Rope>,
 }
 
 /// Handler invoked on the receiving side when a message arrives.
@@ -80,6 +82,8 @@ struct NicState {
     busy_until: SimTime,
     /// Packets queued behind the engine.
     backlog: VecDeque<Message>,
+    /// Sum of `size` over the backlog (occupancy accounting for striping).
+    backlog_bytes: usize,
     /// Messages fully transmitted.
     tx_count: u64,
     /// Bytes fully transmitted.
@@ -100,6 +104,7 @@ impl Nic {
             st: Rc::new(RefCell::new(NicState {
                 busy_until: SimTime::ZERO,
                 backlog: VecDeque::new(),
+                backlog_bytes: 0,
                 tx_count: 0,
                 tx_bytes: 0,
                 rx_handler: None,
@@ -131,6 +136,11 @@ impl Nic {
     /// Send-engine backlog length (racy diagnostic).
     pub fn backlog_len(&self) -> usize {
         self.st.borrow().backlog.len()
+    }
+
+    /// Bytes queued behind the engine (sum of backlog `size`s).
+    pub fn queued_bytes(&self) -> usize {
+        self.st.borrow().backlog_bytes
     }
 
     /// Simulated time at which the send engine frees up.
@@ -201,6 +211,7 @@ impl Network {
         let nic = self.nics[msg.src][msg.rail].clone();
         let start_engine = {
             let mut st = nic.st.borrow_mut();
+            st.backlog_bytes += msg.size;
             st.backlog.push_back(msg);
             // Engine idle => kick it; otherwise the running chain drains it.
             st.backlog.len() == 1 && st.busy_until <= sim.now()
@@ -217,6 +228,7 @@ impl Network {
             let Some(msg) = st.backlog.pop_front() else {
                 return;
             };
+            st.backlog_bytes -= msg.size;
             let tx = self.params.occupancy() + self.params.byte_time(msg.size);
             st.busy_until = sim.now() + tx;
             (msg, tx)
@@ -248,6 +260,26 @@ impl Network {
             // Keep draining the backlog.
             this.engine_step(sim, nic);
         });
+    }
+
+    /// Exact drain time of `(node, rail)`'s send engine: the instant at
+    /// which every packet currently submitted (streaming + backlog) has
+    /// left the NIC. Because the engine is strictly FIFO, this is
+    /// `max(busy_until, now) + Σ (occupancy + size·per_byte)` over the
+    /// backlog — the quantity a striping scheduler balances across rails,
+    /// and the time at which a packet submitted *now* would start
+    /// streaming.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node`/`rail` are out of range.
+    pub fn rail_eta(&self, now: SimTime, node: usize, rail: usize) -> SimTime {
+        let st = self.nics[node][rail].st.borrow();
+        // Per-packet sum (not byte_time(backlog_bytes)): byte_time rounds
+        // per packet, and callers schedule *exact* drain callbacks on this.
+        st.backlog.iter().fold(st.busy_until.max(now), |eta, m| {
+            eta + self.params.occupancy() + self.params.byte_time(m.size)
+        })
     }
 
     /// One-sided RDMA read: `reader` pulls `size` bytes from `target`
@@ -413,7 +445,8 @@ mod tests {
     fn payload_bytes_survive_transit() {
         let (net, mut sim) = net();
         let log = collect_arrivals(&net, 1, 0);
-        let payload = Bytes::from(vec![0xAB; 256]);
+        let mut payload = Rope::from(bytes::Bytes::from(vec![0xAB; 200]));
+        payload.push(bytes::Bytes::from(vec![0xCD; 56]));
         net.send(
             &mut sim,
             Message {
@@ -426,7 +459,48 @@ mod tests {
             },
         );
         sim.run();
-        assert_eq!(log.borrow()[0].1.data.as_ref().unwrap(), &payload);
+        let arrived = log.borrow()[0].1.data.clone().unwrap();
+        assert_eq!(arrived, payload);
+        assert_eq!(arrived.n_segments(), 2, "transit must not flatten the rope");
+    }
+
+    #[test]
+    fn rail_eta_tracks_backlog_and_drains_exactly() {
+        let (net, mut sim) = net();
+        net.nic(1, 0).set_rx_handler(Rc::new(|_, _| {}));
+        let p = net.params().clone();
+        assert_eq!(net.rail_eta(sim.now(), 0, 0), SimTime::ZERO, "idle rail");
+
+        for _ in 0..3 {
+            net.send(
+                &mut sim,
+                Message {
+                    src: 0,
+                    dst: 1,
+                    rail: 0,
+                    tag: 0,
+                    size: 1024,
+                    data: None,
+                },
+            );
+        }
+        // One packet is streaming (covered by busy_until), two are queued.
+        let expected = (p.occupancy() + p.byte_time(1024)) * 3;
+        let eta = net.rail_eta(sim.now(), 0, 0);
+        assert_eq!(eta, expected);
+        assert_eq!(net.nic(0, 0).backlog_len(), 2);
+        assert_eq!(net.nic(0, 0).queued_bytes(), 2048);
+
+        // At the predicted eta, the engine is exactly free again.
+        let seen = Rc::new(Cell::new(SimTime::ZERO));
+        let s = seen.clone();
+        let n2 = net.clone();
+        sim.schedule_abs(eta, move |sim| {
+            s.set(n2.rail_eta(sim.now(), 0, 0));
+        });
+        sim.run();
+        assert_eq!(seen.get(), eta, "engine idle again at its own eta");
+        assert_eq!(net.nic(0, 0).queued_bytes(), 0);
     }
 
     #[test]

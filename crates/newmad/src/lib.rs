@@ -21,9 +21,46 @@
 //!
 //! Requests are [`ReqHandle`]s: completion is observable by flag or by
 //! registered callback (used to notify simulated condition variables).
+//!
+//! # Zero-copy data path
+//!
+//! Payloads attached via [`CommEngine::isend_bytes`] travel as shared
+//! [`Bytes`] segments chained into a [`Rope`] — never memcpy'd by the
+//! engine:
+//!
+//! * eager frames chain `header + payload` segments;
+//! * aggregates chain one segment per packed message (no flattening);
+//! * rendezvous chunks are [`Bytes::slice`] windows over the source
+//!   buffer; the receiver reassembles them by chaining the arrived chunk
+//!   ropes back together in offset order.
+//!
+//! [`EngineStats::payload_bytes_copied`] counts every payload byte the
+//! engine copies; the default configuration keeps it at **zero** (the
+//! regression tests in `tests/zero_copy.rs` pin this), and the
+//! [`EngineConfig::copy_on_pack`] ablation switch re-enables the old
+//! flatten-on-pack behaviour so the counter is demonstrably live.
+//!
+//! # Pipelined progression
+//!
+//! The optimization layer no longer stops-and-waits on "some rail idle":
+//! each destination has a bounded in-flight window
+//! ([`EngineConfig::pipeline_window`]) of eager packets submitted to the
+//! NICs; while the window is full, submissions pool (that queueing *is*
+//! the aggregation opportunity of Fig. 1), and a drain callback scheduled
+//! at the NIC's exact [`piom_net::Network::rail_eta`] re-flushes the pool
+//! the moment a slot frees — pack(n+1) overlaps send(n) without waiting
+//! for the next poll. Large rendezvous payloads stream as
+//! [`EngineConfig::rndv_chunk`]-sized DATA chunks planned by
+//! [`rails::stripe_plan`], so CTS→data streaming overlaps packing and
+//! spreads across rails.
+//!
+//! [`Bytes`]: bytes::Bytes
+//! [`Rope`]: bytes::Rope
+//! [`Bytes::slice`]: bytes::Bytes::slice
 
 #![warn(missing_docs)]
 
+use bytes::{Buf, Bytes, BytesMut, Rope};
 use piom_des::{Sim, SimTime};
 use piom_net::{Message, Network};
 use std::cell::RefCell;
@@ -31,6 +68,7 @@ use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
 pub mod filters;
+pub mod rails;
 pub mod wire;
 use wire::{EagerPart, Wire};
 
@@ -49,6 +87,25 @@ pub struct EngineConfig {
     pub max_packet: usize,
     /// Split rendezvous DATA across all rails (multirail distribution).
     pub multirail_data: bool,
+    /// Eager packets allowed in flight per destination before the
+    /// optimization layer holds further packing. `1` is stop-and-wait
+    /// (the MPICH-class baseline); larger windows let pack(n+1) overlap
+    /// send(n) and keep several rails streaming.
+    pub pipeline_window: usize,
+    /// Rendezvous payloads stream as DATA chunks of at most this size, so
+    /// the first chunk hits the wire while later ones are still being
+    /// sliced and a striped transfer interleaves across rails.
+    pub rndv_chunk: usize,
+    /// Rendezvous payloads at or above this size are striped across rails
+    /// by [`rails::stripe_plan`]; smaller ones stay on one (least-loaded)
+    /// rail. See [`rails::stripe_crossover`] for the math behind the
+    /// default.
+    pub stripe_threshold: usize,
+    /// Ablation: flatten aggregate payloads with memcpy (the pre-zero-copy
+    /// behaviour) instead of chaining shared segments. Every copied byte
+    /// lands in [`EngineStats::payload_bytes_copied`], which is how the
+    /// zero-copy regression tests prove the counter is live.
+    pub copy_on_pack: bool,
 }
 
 impl Default for EngineConfig {
@@ -59,19 +116,23 @@ impl Default for EngineConfig {
             aggregation: true,
             max_packet: 64 * 1024,
             multirail_data: true,
+            pipeline_window: 2,
+            rndv_chunk: 256 * 1024,
+            stripe_threshold: 32 * 1024,
+            copy_on_pack: false,
         }
     }
 }
 
 impl EngineConfig {
     /// NewMadeleine-style configuration (two-sided rendezvous, aggregation,
-    /// multirail).
+    /// multirail, pipelined window).
     pub fn newmadeleine() -> Self {
         Self::default()
     }
 
     /// Baseline MPI-class configuration: RDMA-read rendezvous, no
-    /// aggregation, single-rail data.
+    /// aggregation, single-rail data, stop-and-wait submission.
     pub fn baseline_mpi() -> Self {
         EngineConfig {
             eager_threshold: 16 * 1024,
@@ -79,6 +140,10 @@ impl EngineConfig {
             aggregation: false,
             max_packet: 64 * 1024,
             multirail_data: false,
+            pipeline_window: 1,
+            rndv_chunk: usize::MAX,
+            stripe_threshold: 32 * 1024,
+            copy_on_pack: false,
         }
     }
 }
@@ -92,6 +157,7 @@ struct ReqState {
     complete: bool,
     completed_at: Option<SimTime>,
     callbacks: Vec<ReqCallback>,
+    payload: Option<Rope>,
 }
 
 /// Handle to an asynchronous operation (the `MPI_Request` analogue).
@@ -130,6 +196,16 @@ impl ReqHandle {
         self.st.borrow().completed_at
     }
 
+    /// Received payload bytes, if the peer attached any (set on receive
+    /// requests at completion; shares the sender's buffers — zero-copy).
+    pub fn payload(&self) -> Option<Rope> {
+        self.st.borrow().payload.clone()
+    }
+
+    fn set_payload(&self, payload: Rope) {
+        self.st.borrow_mut().payload = Some(payload);
+    }
+
     /// Registers a callback run at completion (immediately if already done).
     pub fn on_complete<F: FnOnce(&mut Sim) + 'static>(&self, sim: &mut Sim, f: F) {
         let already = self.st.borrow().complete;
@@ -166,18 +242,37 @@ struct PendingEager {
     dst: usize,
     app_tag: u64,
     size: usize,
+    /// Real payload (zero-copy reference), when the caller attached one.
+    data: Option<Bytes>,
 }
 
 enum SendRndv {
     /// Two-sided: waiting for the CTS.
-    AwaitCts { dst: usize, size: usize },
+    AwaitCts {
+        dst: usize,
+        size: usize,
+        data: Option<Bytes>,
+    },
     /// RDMA-read: waiting for the FIN.
     AwaitFin,
 }
 
+/// The fields of a decoded RTS that drive the receiver's accept path.
+struct RtsFrame {
+    sender_req: u32,
+    size: u64,
+    rdma: bool,
+}
+
 struct RecvRndv {
     req: ReqHandle,
-    chunks_left: u32,
+    /// Full payload size announced by the RTS.
+    expected: u64,
+    /// Chunk count, learned from the first DATA header (`of`); the sender
+    /// decides the chunking, so the receiver must not guess it.
+    total: Option<u32>,
+    /// Arrived chunks, any order: `(index, payload)`.
+    chunks: Vec<(u32, Rope)>,
 }
 
 /// Unexpected-message record (arrived before a matching recv was posted).
@@ -185,6 +280,7 @@ enum Unexpected {
     Eager {
         src: usize,
         app_tag: u64,
+        payload: Rope,
     },
     Rts {
         src: usize,
@@ -192,6 +288,8 @@ enum Unexpected {
         sender_req: u32,
         size: u64,
         rdma: bool,
+        /// RDMA flavour: the exposed source buffer the receiver will pull.
+        payload: Rope,
     },
 }
 
@@ -210,6 +308,22 @@ pub struct EngineStats {
     pub packets_processed: u64,
     /// Poll invocations that found nothing to do.
     pub empty_polls: u64,
+    /// Payload bytes the engine copied (0 on the zero-copy paths; only
+    /// the [`EngineConfig::copy_on_pack`] ablation raises it).
+    pub payload_bytes_copied: u64,
+    /// Packets dropped because the wire header did not parse. A corrupt
+    /// packet degrades the link, it must not kill the process.
+    pub undecodable_packets: u64,
+    /// Well-formed control packets dropped as stale: CTS/FIN for unknown
+    /// or already-resolved requests, DATA for unknown transfers,
+    /// duplicate or out-of-range DATA chunks.
+    pub stale_control_packets: u64,
+    /// Times the flush loop held packing because every pooled
+    /// destination's in-flight window was full (the pooling that creates
+    /// aggregation opportunities).
+    pub pipeline_stalls: u64,
+    /// Rendezvous DATA chunks streamed as sender.
+    pub data_chunks_sent: u64,
 }
 
 struct Eng {
@@ -222,10 +336,12 @@ struct Eng {
     unexpected: Vec<Unexpected>,
     /// Eager messages waiting in the optimization layer's per-dst pools.
     send_pool: Vec<PendingEager>,
+    /// Eager/aggregate packets currently in flight per destination
+    /// (bounded by `cfg.pipeline_window`).
+    inflight: HashMap<usize, usize>,
     next_req: u32,
     send_rndv: HashMap<u32, (ReqHandle, SendRndv)>,
     recv_rndv: HashMap<(usize, u32), RecvRndv>,
-    next_rail: usize,
     stats: EngineStats,
 }
 
@@ -238,7 +354,12 @@ pub struct CommEngine {
 impl CommEngine {
     /// Creates the engine for `node` and installs its NIC receive handlers
     /// (arrivals are buffered until [`poll`](Self::poll)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.pipeline_window == 0` (nothing could ever transmit).
     pub fn new(node: usize, net: Rc<Network>, cfg: EngineConfig) -> Self {
+        assert!(cfg.pipeline_window > 0, "pipeline_window must be >= 1");
         let engine = CommEngine {
             eng: Rc::new(RefCell::new(Eng {
                 node,
@@ -248,10 +369,10 @@ impl CommEngine {
                 posted: Vec::new(),
                 unexpected: Vec::new(),
                 send_pool: Vec::new(),
+                inflight: HashMap::new(),
                 next_req: 1,
                 send_rndv: HashMap::new(),
                 recv_rndv: HashMap::new(),
-                next_rail: 0,
                 stats: EngineStats::default(),
             })),
         };
@@ -287,34 +408,69 @@ impl CommEngine {
     /// completes when the payload has left this node (eager / two-sided) or
     /// when the receiver's FIN is processed (RDMA-read rendezvous).
     pub fn isend(&self, sim: &mut Sim, dst: usize, app_tag: u64, size: usize) -> ReqHandle {
+        self.isend_inner(sim, dst, app_tag, size, None)
+    }
+
+    /// Like [`isend`](Self::isend), but carries real payload bytes
+    /// end-to-end: the receiver's handle exposes them via
+    /// [`ReqHandle::payload`]. The engine only ever slices and chains the
+    /// buffer — zero-copy on every path (eager, aggregated, rendezvous,
+    /// striped).
+    pub fn isend_bytes(&self, sim: &mut Sim, dst: usize, app_tag: u64, data: Bytes) -> ReqHandle {
+        let size = data.len();
+        self.isend_inner(sim, dst, app_tag, size, Some(data))
+    }
+
+    fn isend_inner(
+        &self,
+        sim: &mut Sim,
+        dst: usize,
+        app_tag: u64,
+        size: usize,
+        data: Option<Bytes>,
+    ) -> ReqHandle {
         let eager = size <= self.eng.borrow().cfg.eager_threshold;
         if eager {
             let req = ReqHandle::new();
             {
                 let mut e = self.eng.borrow_mut();
-                e.send_pool.push(PendingEager { dst, app_tag, size });
+                e.send_pool.push(PendingEager {
+                    dst,
+                    app_tag,
+                    size,
+                    data,
+                });
             }
-            // Submission flushes immediately; poll() also flushes, which is
-            // what batches flows when the NIC is saturated.
+            // Submission flushes immediately; poll() and window-drain
+            // callbacks also flush, which is what batches flows when the
+            // NICs are saturated.
             self.flush_sends(sim);
             // Eager sends complete at submission (buffered semantics).
             req.complete(sim);
             req
         } else {
             let req = ReqHandle::new();
-            let (rts, rail) = {
+            let (rts, rail, rts_payload) = {
                 let mut e = self.eng.borrow_mut();
                 let id = e.next_req;
                 e.next_req += 1;
                 e.stats.rendezvous_started += 1;
                 let rdma = e.cfg.rdma_rendezvous;
-                let state = if rdma {
-                    SendRndv::AwaitFin
+                // RDMA flavour: the RTS carries a reference to the exposed
+                // source buffer (modelling memory registration — the
+                // descriptor rides the control packet, the bytes move in
+                // the simulated rdma_read); two-sided keeps the buffer
+                // until CTS and streams it as DATA chunks.
+                let (state, rts_payload) = if rdma {
+                    (
+                        SendRndv::AwaitFin,
+                        data.clone().map(Rope::from).unwrap_or_default(),
+                    )
                 } else {
-                    SendRndv::AwaitCts { dst, size }
+                    (SendRndv::AwaitCts { dst, size, data }, Rope::new())
                 };
                 e.send_rndv.insert(id, (req.clone(), state));
-                let rail = e.pick_rail();
+                let rail = rails::pick_rail(&e.net, sim.now(), e.node);
                 (
                     Wire::Rts {
                         req: id,
@@ -323,9 +479,10 @@ impl CommEngine {
                         rdma,
                     },
                     rail,
+                    rts_payload,
                 )
             };
-            self.send_wire(sim, dst, rail, rts, 0);
+            self.send_frame(sim, dst, rail, rts, 0, rts_payload);
             req
         }
     }
@@ -337,7 +494,9 @@ impl CommEngine {
         let hit = {
             let mut e = self.eng.borrow_mut();
             let pos = e.unexpected.iter().position(|u| match u {
-                Unexpected::Eager { src: s, app_tag: t } => *s == src && *t == app_tag,
+                Unexpected::Eager {
+                    src: s, app_tag: t, ..
+                } => *s == src && *t == app_tag,
                 Unexpected::Rts {
                     src: s, app_tag: t, ..
                 } => *s == src && *t == app_tag,
@@ -345,14 +504,30 @@ impl CommEngine {
             pos.map(|i| e.unexpected.remove(i))
         };
         match hit {
-            Some(Unexpected::Eager { .. }) => req.complete(sim),
+            Some(Unexpected::Eager { payload, .. }) => {
+                if !payload.is_empty() {
+                    req.set_payload(payload);
+                }
+                req.complete(sim);
+            }
             Some(Unexpected::Rts {
                 src,
                 sender_req,
                 size,
                 rdma,
+                payload,
                 ..
-            }) => self.accept_rts(sim, src, sender_req, size, rdma, req.clone()),
+            }) => self.accept_rts(
+                sim,
+                src,
+                RtsFrame {
+                    sender_req,
+                    size,
+                    rdma,
+                },
+                req.clone(),
+                payload,
+            ),
             None => self.eng.borrow_mut().posted.push(PostedRecv {
                 src,
                 app_tag,
@@ -384,16 +559,35 @@ impl CommEngine {
     }
 
     fn process(&self, sim: &mut Sim, msg: Message) {
-        let Some(wire) = msg.data.clone().and_then(Wire::decode) else {
-            panic!("undecodable packet from node {}", msg.src);
+        // The frame is a rope: header segment(s) up front, payload behind.
+        // Decoding consumes exactly the header and leaves the payload in
+        // place — no flattening, no copy.
+        let mut frame = msg.data.unwrap_or_default();
+        let Some(wire) = Wire::decode(&mut frame) else {
+            // Satellite fix: a corrupt packet is a counted drop, not a
+            // process abort.
+            self.eng.borrow_mut().stats.undecodable_packets += 1;
+            return;
         };
         match wire {
-            Wire::Eager { app_tag, .. } => {
-                self.deliver_eager(sim, msg.src, app_tag);
+            Wire::Eager { app_tag, size } => {
+                let payload = if frame.remaining() == size as usize {
+                    frame
+                } else {
+                    Rope::new() // size-only simulation frame
+                };
+                self.deliver_eager(sim, msg.src, app_tag, payload);
             }
             Wire::EagerAggregate { parts } => {
+                let total: usize = parts.iter().map(|p| p.size as usize).sum();
+                let with_data = total > 0 && frame.remaining() == total;
                 for p in parts {
-                    self.deliver_eager(sim, msg.src, p.app_tag);
+                    let payload = if with_data {
+                        frame.split_to(p.size as usize)
+                    } else {
+                        Rope::new()
+                    };
+                    self.deliver_eager(sim, msg.src, p.app_tag, payload);
                 }
             }
             Wire::Rts {
@@ -411,54 +605,104 @@ impl CommEngine {
                     pos.map(|i| e.posted.remove(i))
                 };
                 match posted {
-                    Some(r) => self.accept_rts(sim, msg.src, req, size, rdma, r.req),
+                    Some(r) => self.accept_rts(
+                        sim,
+                        msg.src,
+                        RtsFrame {
+                            sender_req: req,
+                            size,
+                            rdma,
+                        },
+                        r.req,
+                        frame,
+                    ),
                     None => self.eng.borrow_mut().unexpected.push(Unexpected::Rts {
                         src: msg.src,
                         app_tag,
                         sender_req: req,
                         size,
                         rdma,
+                        payload: frame,
                     }),
                 }
             }
             Wire::Cts { req } => {
-                let entry = self.eng.borrow_mut().send_rndv.remove(&req);
-                let Some((handle, SendRndv::AwaitCts { dst, size })) = entry else {
-                    panic!("CTS for unknown/incompatible request {req}");
+                // Check-then-remove: a stale or duplicate CTS must not
+                // destroy live rendezvous state.
+                let entry = {
+                    let mut e = self.eng.borrow_mut();
+                    match e.send_rndv.get(&req) {
+                        Some((_, SendRndv::AwaitCts { .. })) => e.send_rndv.remove(&req),
+                        _ => {
+                            e.stats.stale_control_packets += 1;
+                            None
+                        }
+                    }
                 };
-                self.send_rndv_data(sim, dst, req, size, handle);
+                if let Some((handle, SendRndv::AwaitCts { dst, size, data })) = entry {
+                    self.send_rndv_data(sim, dst, req, size, data, handle);
+                }
             }
-            Wire::Data { req, chunk: _, of } => {
+            Wire::Data { req, chunk, of } => {
                 let done = {
                     let mut e = self.eng.borrow_mut();
                     let key = (msg.src, req);
-                    let st = e
-                        .recv_rndv
-                        .get_mut(&key)
-                        .unwrap_or_else(|| panic!("DATA for unknown rendezvous {key:?}"));
-                    debug_assert!(st.chunks_left <= of);
-                    st.chunks_left -= 1;
-                    if st.chunks_left == 0 {
-                        Some(e.recv_rndv.remove(&key).expect("present").req)
-                    } else {
+                    let stale = match e.recv_rndv.get(&key) {
+                        None => true,
+                        Some(st) => {
+                            of == 0
+                                || chunk >= of
+                                || st.total.is_some_and(|t| t != of)
+                                || st.chunks.iter().any(|(c, _)| *c == chunk)
+                        }
+                    };
+                    if stale {
+                        e.stats.stale_control_packets += 1;
                         None
+                    } else {
+                        let st = e.recv_rndv.get_mut(&key).expect("checked above");
+                        st.total = Some(of);
+                        st.chunks.push((chunk, frame));
+                        if st.chunks.len() as u32 == of {
+                            Some(e.recv_rndv.remove(&key).expect("present"))
+                        } else {
+                            None
+                        }
                     }
                 };
-                if let Some(req) = done {
-                    req.complete(sim);
+                if let Some(mut st) = done {
+                    // Reassemble in offset order by chaining the chunk
+                    // ropes — shared segments, no copy.
+                    st.chunks.sort_by_key(|(c, _)| *c);
+                    let mut payload = Rope::new();
+                    for (_, part) in st.chunks {
+                        payload.append(part);
+                    }
+                    if payload.len() as u64 == st.expected {
+                        st.req.set_payload(payload);
+                    }
+                    st.req.complete(sim);
                 }
             }
             Wire::Fin { req } => {
-                let entry = self.eng.borrow_mut().send_rndv.remove(&req);
-                let Some((handle, SendRndv::AwaitFin)) = entry else {
-                    panic!("FIN for unknown/incompatible request {req}");
+                let entry = {
+                    let mut e = self.eng.borrow_mut();
+                    match e.send_rndv.get(&req) {
+                        Some((_, SendRndv::AwaitFin)) => e.send_rndv.remove(&req),
+                        _ => {
+                            e.stats.stale_control_packets += 1;
+                            None
+                        }
+                    }
                 };
-                handle.complete(sim);
+                if let Some((handle, _)) = entry {
+                    handle.complete(sim);
+                }
             }
         }
     }
 
-    fn deliver_eager(&self, sim: &mut Sim, src: usize, app_tag: u64) {
+    fn deliver_eager(&self, sim: &mut Sim, src: usize, app_tag: u64, payload: Rope) {
         let posted = {
             let mut e = self.eng.borrow_mut();
             let pos = e
@@ -468,12 +712,17 @@ impl CommEngine {
             pos.map(|i| e.posted.remove(i))
         };
         match posted {
-            Some(r) => r.req.complete(sim),
-            None => self
-                .eng
-                .borrow_mut()
-                .unexpected
-                .push(Unexpected::Eager { src, app_tag }),
+            Some(r) => {
+                if !payload.is_empty() {
+                    r.req.set_payload(payload);
+                }
+                r.req.complete(sim);
+            }
+            None => self.eng.borrow_mut().unexpected.push(Unexpected::Eager {
+                src,
+                app_tag,
+                payload,
+            }),
         }
     }
 
@@ -482,185 +731,271 @@ impl CommEngine {
         &self,
         sim: &mut Sim,
         src: usize,
-        sender_req: u32,
-        size: u64,
-        rdma: bool,
+        rts: RtsFrame,
         recv_req: ReqHandle,
+        rts_payload: Rope,
     ) {
+        let RtsFrame {
+            sender_req,
+            size,
+            rdma,
+        } = rts;
         if rdma {
             // RDMA-read rendezvous: the receiver pulls the payload; no
             // sender CPU involved. FIN tells the sender it may reuse the
-            // buffer.
+            // buffer. The RTS carried a reference to the exposed buffer;
+            // it becomes the received payload when the read lands.
             let (net, node, rail) = {
-                let mut e = self.eng.borrow_mut();
-                let rail = e.pick_rail();
+                let e = self.eng.borrow();
+                let rail = rails::pick_rail(&e.net, sim.now(), e.node);
                 (e.net.clone(), e.node, rail)
             };
             let this = self.clone();
             net.rdma_read(sim, node, src, rail, size as usize, move |sim| {
+                if rts_payload.len() as u64 == size {
+                    recv_req.set_payload(rts_payload);
+                }
                 recv_req.complete(sim);
-                this.send_wire(sim, src, rail, Wire::Fin { req: sender_req }, 0);
+                this.send_wire(sim, src, rail, Wire::Fin { req: sender_req });
             });
         } else {
             let rail = {
                 let mut e = self.eng.borrow_mut();
-                let chunks = if e.cfg.multirail_data {
-                    e.net.n_rails() as u32
-                } else {
-                    1
-                };
+                // The *sender* decides the chunking (stripe plan against
+                // its local rail load); the receiver just counts chunks
+                // against the `of` field of the DATA headers.
                 e.recv_rndv.insert(
                     (src, sender_req),
                     RecvRndv {
                         req: recv_req,
-                        chunks_left: chunks,
+                        expected: size,
+                        total: None,
+                        chunks: Vec::new(),
                     },
                 );
-                e.pick_rail()
+                rails::pick_rail(&e.net, sim.now(), e.node)
             };
-            self.send_wire(sim, src, rail, Wire::Cts { req: sender_req }, 0);
+            self.send_wire(sim, src, rail, Wire::Cts { req: sender_req });
         }
     }
 
-    /// Sender side after CTS: stream the payload, multirail if configured.
-    fn send_rndv_data(&self, sim: &mut Sim, dst: usize, req: u32, size: usize, handle: ReqHandle) {
-        let (n_rails, multirail, net) = {
+    /// Sender side after CTS: stream the payload as chunked DATA packets
+    /// along the stripe plan (multirail + chunk pipelining).
+    fn send_rndv_data(
+        &self,
+        sim: &mut Sim,
+        dst: usize,
+        req: u32,
+        size: usize,
+        data: Option<Bytes>,
+        handle: ReqHandle,
+    ) {
+        let (plan, net, node) = {
             let e = self.eng.borrow();
-            (e.net.n_rails(), e.cfg.multirail_data, e.net.clone())
+            (
+                rails::stripe_plan(&e.net, sim.now(), e.node, size, &e.cfg),
+                e.net.clone(),
+                e.node,
+            )
         };
-        let chunks = if multirail { n_rails } else { 1 };
-        let chunk_size = size.div_ceil(chunks);
-        for c in 0..chunks {
-            let this_size = chunk_size.min(size - c * chunk_size);
-            self.send_wire_sized(
+        let of = plan.len() as u32;
+        for (i, c) in plan.iter().enumerate() {
+            // Zero-copy: each chunk is a shared window over the source.
+            let payload = match &data {
+                Some(b) => Rope::from(b.slice(c.offset..c.offset + c.len)),
+                None => Rope::new(),
+            };
+            self.eng.borrow_mut().stats.data_chunks_sent += 1;
+            self.send_frame(
                 sim,
                 dst,
-                c % n_rails,
+                c.rail,
                 Wire::Data {
                     req,
-                    chunk: c as u32,
-                    of: chunks as u32,
+                    chunk: i as u32,
+                    of,
                 },
-                this_size,
+                c.len,
+                payload,
             );
         }
         // The sender's buffer is free once the NIC engines have streamed
-        // everything out; completion when the last rail's engine drains.
-        let done_at = (0..chunks)
-            .map(|c| net.nic(self.node(), c % n_rails).busy_until())
+        // everything out; rail_eta right after submission is the exact
+        // drain instant of the last chunk on each used rail.
+        let done_at = plan
+            .iter()
+            .map(|c| net.rail_eta(sim.now(), node, c.rail))
             .max()
             .expect("at least one chunk");
-        let delay = done_at.saturating_sub(sim.now());
-        sim.schedule(delay, move |sim| handle.complete(sim));
+        sim.schedule_abs(done_at, move |sim| handle.complete(sim));
     }
 
-    /// `true` if some rail's send engine is idle right now.
-    fn any_rail_idle(&self, sim: &Sim) -> bool {
-        let e = self.eng.borrow();
-        (0..e.net.n_rails()).any(|r| e.net.nic(e.node, r).busy_until() <= sim.now())
-    }
-
-    /// Flushes the aggregation pools: per destination, pack everything
-    /// pending into as few packets as possible (or send singletons when
-    /// aggregation is off), spreading packets across rails.
-    ///
-    /// Packing happens "when a NIC becomes idle" (paper §IV-B): while every
-    /// rail is busy, submissions accumulate in the pool — that queueing is
-    /// precisely the aggregation opportunity of Fig. 1. The pool drains at
-    /// the next poll once an engine frees up.
+    /// Flushes the aggregation pools under the per-destination pipeline
+    /// window: each iteration emits one wire packet (singleton or greedy
+    /// aggregate up to `max_packet`) for the first pooled destination with
+    /// a free window slot. While every pooled destination's window is
+    /// full, submissions keep pooling — that queueing is precisely the
+    /// aggregation opportunity of Fig. 1 — and the drain callback armed at
+    /// each packet's exact NIC drain time re-flushes the pool without
+    /// waiting for the next poll (pack(n+1) overlaps send(n)).
     fn flush_sends(&self, sim: &mut Sim) {
         loop {
-            if !self.any_rail_idle(sim) {
-                break; // collect layer keeps pooling until a NIC frees up
-            }
-            // Take one destination's pool per iteration.
+            let pick = {
+                let e = self.eng.borrow();
+                let w = e.cfg.pipeline_window;
+                e.send_pool
+                    .iter()
+                    .map(|p| p.dst)
+                    .find(|d| e.inflight.get(d).copied().unwrap_or(0) < w)
+            };
+            let Some(dst) = pick else {
+                let mut e = self.eng.borrow_mut();
+                if !e.send_pool.is_empty() {
+                    e.stats.pipeline_stalls += 1;
+                }
+                break;
+            };
+            // Pop one packet's worth of messages for `dst`, in submission
+            // order: a singleton when aggregation is off, else everything
+            // that fits under max_packet. Data-carrying and size-only
+            // messages never mix in one aggregate (the payload rope is
+            // the concatenation of the parts, so part sizes must account
+            // for every byte).
             let batch: Vec<PendingEager> = {
                 let mut e = self.eng.borrow_mut();
-                let Some(first_dst) = e.send_pool.first().map(|p| p.dst) else {
-                    break;
-                };
-                let mut batch = Vec::new();
+                let aggregate = e.cfg.aggregation;
+                let max = e.cfg.max_packet;
+                let mut batch: Vec<PendingEager> = Vec::new();
+                let mut bytes = 0usize;
                 let mut i = 0;
                 while i < e.send_pool.len() {
-                    if e.send_pool[i].dst == first_dst {
-                        batch.push(e.send_pool.remove(i));
-                    } else {
+                    if e.send_pool[i].dst != dst {
                         i += 1;
+                        continue;
                     }
+                    if batch.is_empty() {
+                        bytes = e.send_pool[i].size;
+                        batch.push(e.send_pool.remove(i));
+                        if !aggregate {
+                            break;
+                        }
+                        continue;
+                    }
+                    let cand = &e.send_pool[i];
+                    if cand.data.is_some() != batch[0].data.is_some() || bytes + cand.size > max {
+                        break;
+                    }
+                    bytes += cand.size;
+                    batch.push(e.send_pool.remove(i));
                 }
                 batch
             };
-            let dst = batch[0].dst;
-            let aggregate = self.eng.borrow().cfg.aggregation;
-            if !aggregate || batch.len() == 1 {
-                for p in batch {
-                    let rail = self.eng.borrow_mut().pick_rail();
-                    self.send_wire_sized(
-                        sim,
-                        dst,
-                        rail,
-                        Wire::Eager {
-                            app_tag: p.app_tag,
-                            size: p.size as u32,
-                        },
-                        p.size,
-                    );
-                }
-            } else {
-                // Pack greedily up to max_packet per wire packet.
-                let max = self.eng.borrow().cfg.max_packet;
-                let mut parts: Vec<EagerPart> = Vec::new();
-                let mut bytes = 0usize;
-                let emit = |parts: &mut Vec<EagerPart>, bytes: &mut usize, sim: &mut Sim| {
-                    if parts.is_empty() {
-                        return;
-                    }
-                    let (rail, n) = {
-                        let mut e = self.eng.borrow_mut();
-                        e.stats.aggregate_packets += 1;
-                        e.stats.aggregated_messages += parts.len() as u64;
-                        (e.pick_rail(), parts.len())
-                    };
-                    let _ = n;
-                    self.send_wire_sized(
-                        sim,
-                        dst,
-                        rail,
-                        Wire::EagerAggregate {
-                            parts: std::mem::take(parts),
-                        },
-                        *bytes,
-                    );
-                    *bytes = 0;
-                };
-                for p in batch {
-                    if bytes + p.size > max && !parts.is_empty() {
-                        emit(&mut parts, &mut bytes, sim);
-                    }
-                    parts.push(EagerPart {
-                        app_tag: p.app_tag,
-                        size: p.size as u32,
-                    });
-                    bytes += p.size;
-                }
-                emit(&mut parts, &mut bytes, sim);
-            }
+            debug_assert!(!batch.is_empty());
+            self.emit_eager_packet(sim, dst, batch);
         }
     }
 
-    /// Sends a pure control packet (payload folded into the header size).
-    fn send_wire(&self, sim: &mut Sim, dst: usize, rail: usize, wire: Wire, extra: usize) {
-        self.send_wire_sized(sim, dst, rail, wire, extra);
+    /// Emits one eager wire packet for `batch` (singleton or aggregate),
+    /// charges the destination's in-flight window, and arms the drain
+    /// callback at the packet's exact NIC drain time.
+    fn emit_eager_packet(&self, sim: &mut Sim, dst: usize, batch: Vec<PendingEager>) {
+        let payload_len: usize = batch.iter().map(|p| p.size).sum();
+        let (wire, payload) = {
+            let mut e = self.eng.borrow_mut();
+            let mut payload = Rope::new();
+            if e.cfg.copy_on_pack {
+                // Ablation: flatten into one fresh buffer (the old
+                // behaviour). Counted, so tests can prove the zero-copy
+                // counter is live.
+                let mut flat = BytesMut::with_capacity(payload_len);
+                for p in &batch {
+                    if let Some(d) = &p.data {
+                        flat.extend_from_slice(d);
+                        e.stats.payload_bytes_copied += d.len() as u64;
+                    }
+                }
+                if !flat.is_empty() {
+                    payload.push(flat.freeze());
+                }
+            } else {
+                // Zero-copy: chain the callers' buffers.
+                for p in &batch {
+                    if let Some(d) = &p.data {
+                        payload.push(d.clone());
+                    }
+                }
+            }
+            let wire = if batch.len() == 1 {
+                Wire::Eager {
+                    app_tag: batch[0].app_tag,
+                    size: batch[0].size as u32,
+                }
+            } else {
+                e.stats.aggregate_packets += 1;
+                e.stats.aggregated_messages += batch.len() as u64;
+                Wire::EagerAggregate {
+                    parts: batch
+                        .iter()
+                        .map(|p| EagerPart {
+                            app_tag: p.app_tag,
+                            size: p.size as u32,
+                        })
+                        .collect(),
+                }
+            };
+            (wire, payload)
+        };
+        let rail = {
+            let e = self.eng.borrow();
+            rails::pick_rail(&e.net, sim.now(), e.node)
+        };
+        self.send_frame(sim, dst, rail, wire, payload_len, payload);
+        let eta = {
+            let mut e = self.eng.borrow_mut();
+            *e.inflight.entry(dst).or_insert(0) += 1;
+            e.net.rail_eta(sim.now(), e.node, rail)
+        };
+        let this = self.clone();
+        sim.schedule_abs(eta, move |sim| {
+            {
+                let mut e = this.eng.borrow_mut();
+                let slot = e.inflight.get_mut(&dst).expect("window tracked");
+                *slot -= 1;
+                if *slot == 0 {
+                    e.inflight.remove(&dst);
+                }
+            }
+            this.flush_sends(sim);
+        });
     }
 
-    fn send_wire_sized(&self, sim: &mut Sim, dst: usize, rail: usize, wire: Wire, payload: usize) {
+    /// Sends a pure control packet (header only, no payload bytes).
+    fn send_wire(&self, sim: &mut Sim, dst: usize, rail: usize, wire: Wire) {
+        self.send_frame(sim, dst, rail, wire, 0, Rope::new());
+    }
+
+    /// Submits one wire frame: header segment + payload rope, chained
+    /// without copying. `payload_len` drives the simulated byte time (the
+    /// rope may be empty in size-only experiments, or — for RDMA RTS —
+    /// carry a buffer reference that does not ride the wire).
+    fn send_frame(
+        &self,
+        sim: &mut Sim,
+        dst: usize,
+        rail: usize,
+        wire: Wire,
+        payload_len: usize,
+        payload: Rope,
+    ) {
         let (net, node) = {
             let mut e = self.eng.borrow_mut();
             e.stats.packets_sent += 1;
             (e.net.clone(), e.node)
         };
-        let data = wire.encode();
-        let size = payload + data.len();
+        let header = wire.encode();
+        let size = payload_len + header.len();
+        let mut frame = Rope::from(header);
+        frame.append(payload);
         net.send(
             sim,
             Message {
@@ -669,17 +1004,9 @@ impl CommEngine {
                 rail,
                 tag: 0,
                 size,
-                data: Some(data),
+                data: Some(frame),
             },
         );
-    }
-}
-
-impl Eng {
-    fn pick_rail(&mut self) -> usize {
-        let r = self.next_rail;
-        self.next_rail = (self.next_rail + 1) % self.net.n_rails();
-        r
     }
 }
 

@@ -200,6 +200,115 @@ fn multirail_speeds_up_large_transfers() {
 }
 
 #[test]
+fn pipeline_window_overlaps_packing_and_sending() {
+    // 8 eager messages submitted in one burst, aggregation off so the
+    // window is the only lever: stop-and-wait (window 1) streams them one
+    // at a time on one rail; a window of 4 keeps both rails busy, so
+    // pack(n+1) overlaps send(n) and the burst finishes far sooner.
+    let run = |window: usize| {
+        let (net, a, b, mut sim) = pair(EngineConfig {
+            aggregation: false,
+            pipeline_window: window,
+            ..EngineConfig::newmadeleine()
+        });
+        let recvs: Vec<_> = (0..8).map(|t| b.irecv(&mut sim, 0, t)).collect();
+        let a2 = a.clone();
+        sim.schedule(SimTime::ZERO, move |sim| {
+            for tag in 0..8u64 {
+                a2.isend(sim, 1, tag, 8 * 1024);
+            }
+        });
+        drive(&mut sim, &[&a, &b], SimTime::from_us(200));
+        let done = recvs
+            .iter()
+            .map(|r| r.completed_at().expect("delivered"))
+            .max()
+            .unwrap();
+        (done, a.stats(), net.nic(0, 1).tx_count())
+    };
+    let (stop_and_wait, st1, _) = run(1);
+    let (pipelined, st4, rail1_tx) = run(4);
+    assert!(
+        pipelined.as_ns() * 3 < stop_and_wait.as_ns() * 2,
+        "windowed flush should overlap rails: window=1 {stop_and_wait}, window=4 {pipelined}"
+    );
+    assert!(rail1_tx > 0, "the window must spill onto the second rail");
+    assert!(
+        st1.pipeline_stalls > st4.pipeline_stalls,
+        "stop-and-wait must stall more: {st1:?} vs {st4:?}"
+    );
+}
+
+#[test]
+fn undecodable_packet_is_a_counted_drop() {
+    let (net, a, b, mut sim) = pair(EngineConfig::newmadeleine());
+    let r = b.irecv(&mut sim, 0, 7);
+    // Garbage frame and a frame with no bytes at all, injected raw.
+    net.send(
+        &mut sim,
+        Message {
+            src: 0,
+            dst: 1,
+            rail: 0,
+            tag: 0,
+            size: 8,
+            data: Some(Rope::from(Bytes::from(vec![0xFF; 8]))),
+        },
+    );
+    net.send(
+        &mut sim,
+        Message {
+            src: 0,
+            dst: 1,
+            rail: 1,
+            tag: 0,
+            size: 4,
+            data: None,
+        },
+    );
+    // A real message on the same link still gets through.
+    a.isend(&mut sim, 1, 7, 64);
+    drive(&mut sim, &[&a, &b], SimTime::from_us(50));
+    assert_eq!(
+        b.stats().undecodable_packets,
+        2,
+        "corrupt packets must be counted drops, not aborts"
+    );
+    assert!(r.is_complete(), "the engine must survive the garbage");
+}
+
+#[test]
+fn stale_control_packets_are_counted_drops() {
+    let (net, a, _b, mut sim) = pair(EngineConfig::newmadeleine());
+    // CTS, DATA, FIN all referencing protocol state node 0 never created.
+    for wire in [
+        Wire::Cts { req: 999 },
+        Wire::Data {
+            req: 999,
+            chunk: 0,
+            of: 1,
+        },
+        Wire::Fin { req: 999 },
+    ] {
+        let header = wire.encode();
+        net.send(
+            &mut sim,
+            Message {
+                src: 1,
+                dst: 0,
+                rail: 0,
+                tag: 0,
+                size: header.len(),
+                data: Some(Rope::from(header)),
+            },
+        );
+    }
+    drive(&mut sim, &[&a], SimTime::from_us(50));
+    assert_eq!(a.stats().stale_control_packets, 3);
+    assert_eq!(a.stats().undecodable_packets, 0);
+}
+
+#[test]
 fn nothing_progresses_without_polling() {
     let (_net, a, b, mut sim) = pair(EngineConfig::newmadeleine());
     let r = b.irecv(&mut sim, 0, 9);

@@ -1,9 +1,19 @@
 //! Wire encoding of the engine's control headers.
 //!
-//! The network layer carries opaque `(tag, size, Bytes)` packets; this
+//! The network layer carries opaque `(tag, size, Rope)` frames; this
 //! module gives them protocol meaning. The codec is a tiny hand-rolled
 //! fixed-layout format (no serde on the wire — the real NewMadeleine packs
 //! headers into packet wrappers by hand too, §IV-B).
+//!
+//! The codec is *streaming* and *canonical*:
+//!
+//! * [`Wire::decode`] reads the header off the front of any [`Buf`]
+//!   (typically the frame [`bytes::Rope`]) and leaves the payload bytes
+//!   in place — parsing never copies or flattens the payload;
+//! * exactly one byte sequence encodes each value (e.g. the RTS `rdma`
+//!   flag must be `0` or `1`), so `decode(b) == Some(w)` implies
+//!   `encode(w)` reproduces the consumed prefix byte-for-byte — the
+//!   property the codec proptests pin.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -72,9 +82,21 @@ const K_DATA: u8 = 5;
 const K_FIN: u8 = 6;
 
 impl Wire {
+    /// Exact encoded header length in bytes.
+    pub fn header_len(&self) -> usize {
+        match self {
+            Wire::Eager { .. } => 1 + 12,
+            Wire::EagerAggregate { parts } => 1 + 4 + parts.len() * 12,
+            Wire::Rts { .. } => 1 + 21,
+            Wire::Cts { .. } => 1 + 4,
+            Wire::Data { .. } => 1 + 12,
+            Wire::Fin { .. } => 1 + 4,
+        }
+    }
+
     /// Serializes the header.
     pub fn encode(&self) -> Bytes {
-        let mut b = BytesMut::with_capacity(32);
+        let mut b = BytesMut::with_capacity(self.header_len());
         match self {
             Wire::Eager { app_tag, size } => {
                 b.put_u8(K_EAGER);
@@ -119,9 +141,13 @@ impl Wire {
         b.freeze()
     }
 
-    /// Parses a header. Returns `None` on malformed input.
-    pub fn decode(mut raw: Bytes) -> Option<Wire> {
-        if raw.is_empty() {
+    /// Parses a header off the front of `raw`, consuming exactly the
+    /// header bytes and leaving any payload in place. Returns `None` on
+    /// malformed input (short header, unknown kind, non-canonical flag
+    /// byte); `raw` may then be partially consumed — callers drop the
+    /// whole frame.
+    pub fn decode<B: Buf + ?Sized>(raw: &mut B) -> Option<Wire> {
+        if raw.remaining() < 1 {
             return None;
         }
         let kind = raw.get_u8();
@@ -140,7 +166,7 @@ impl Wire {
                     return None;
                 }
                 let n = raw.get_u32() as usize;
-                if raw.remaining() < n * 12 {
+                if n.checked_mul(12).is_none_or(|need| raw.remaining() < need) {
                     return None;
                 }
                 let parts = (0..n)
@@ -155,11 +181,21 @@ impl Wire {
                 if raw.remaining() < 21 {
                     return None;
                 }
+                let req = raw.get_u32();
+                let app_tag = raw.get_u64();
+                let size = raw.get_u64();
+                // Canonical flag: any value other than 0/1 is malformed,
+                // so decode∘encode is the identity on the consumed prefix.
+                let rdma = match raw.get_u8() {
+                    0 => false,
+                    1 => true,
+                    _ => return None,
+                };
                 Some(Wire::Rts {
-                    req: raw.get_u32(),
-                    app_tag: raw.get_u64(),
-                    size: raw.get_u64(),
-                    rdma: raw.get_u8() != 0,
+                    req,
+                    app_tag,
+                    size,
+                    rdma,
                 })
             }
             K_CTS => {
@@ -194,8 +230,10 @@ mod tests {
     use super::*;
 
     fn roundtrip(w: Wire) {
-        let enc = w.encode();
-        assert_eq!(Wire::decode(enc).as_ref(), Some(&w));
+        let mut enc = w.encode();
+        assert_eq!(enc.len(), w.header_len());
+        assert_eq!(Wire::decode(&mut enc).as_ref(), Some(&w));
+        assert_eq!(enc.remaining(), 0, "decode must consume the header");
     }
 
     #[test]
@@ -238,13 +276,39 @@ mod tests {
 
     #[test]
     fn malformed_inputs_are_rejected() {
-        assert_eq!(Wire::decode(Bytes::new()), None);
-        assert_eq!(Wire::decode(Bytes::from_static(&[99])), None);
-        assert_eq!(Wire::decode(Bytes::from_static(&[K_RTS, 1, 2])), None);
+        assert_eq!(Wire::decode(&mut Bytes::new()), None);
+        assert_eq!(Wire::decode(&mut Bytes::from_static(&[99])), None);
+        assert_eq!(Wire::decode(&mut Bytes::from_static(&[K_RTS, 1, 2])), None);
         // Aggregate claiming more parts than present.
         let mut b = BytesMut::new();
         b.put_u8(K_AGG);
         b.put_u32(5);
-        assert_eq!(Wire::decode(b.freeze()), None);
+        assert_eq!(Wire::decode(&mut b.freeze()), None);
+    }
+
+    #[test]
+    fn decode_leaves_the_payload_in_place() {
+        let w = Wire::Eager {
+            app_tag: 9,
+            size: 3,
+        };
+        let mut frame = bytes::Rope::from(w.encode());
+        frame.push(Bytes::from(vec![0xA, 0xB, 0xC]));
+        assert_eq!(Wire::decode(&mut frame), Some(w));
+        assert_eq!(frame, vec![0xA, 0xB, 0xC], "payload untouched");
+    }
+
+    #[test]
+    fn non_canonical_rts_flag_is_rejected() {
+        let mut ok = Wire::Rts {
+            req: 1,
+            app_tag: 2,
+            size: 3,
+            rdma: true,
+        }
+        .encode()
+        .to_vec();
+        *ok.last_mut().unwrap() = 2; // any value outside {0,1}
+        assert_eq!(Wire::decode(&mut Bytes::from(ok)), None);
     }
 }

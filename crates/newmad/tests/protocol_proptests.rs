@@ -20,15 +20,27 @@ fn arb_msgs() -> impl Strategy<Value = Vec<Msg>> {
 }
 
 fn arb_config() -> impl Strategy<Value = EngineConfig> {
-    (any::<bool>(), any::<bool>(), any::<bool>(), 1usize..64).prop_map(
-        |(rdma, agg, multirail, thresh_kb)| EngineConfig {
-            eager_threshold: thresh_kb * 1024,
-            rdma_rendezvous: rdma,
-            aggregation: agg,
-            max_packet: 64 * 1024,
-            multirail_data: multirail,
-        },
+    (
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        1usize..64,
+        1usize..5,
+        (4usize..256, 16usize..128),
     )
+        .prop_map(
+            |(rdma, agg, multirail, thresh_kb, window, (chunk_kb, stripe_kb))| EngineConfig {
+                eager_threshold: thresh_kb * 1024,
+                rdma_rendezvous: rdma,
+                aggregation: agg,
+                max_packet: 64 * 1024,
+                multirail_data: multirail,
+                pipeline_window: window,
+                rndv_chunk: chunk_kb * 1024,
+                stripe_threshold: stripe_kb * 1024,
+                copy_on_pack: false,
+            },
+        )
 }
 
 proptest! {

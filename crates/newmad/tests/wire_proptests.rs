@@ -1,0 +1,119 @@
+//! Adversarial wire-codec property tests.
+//!
+//! The codec's contract (wire.rs module docs): streaming decode consumes
+//! exactly the header and leaves payload bytes in place, and the encoding
+//! is *canonical* — `decode(b) == Some(w)` implies `encode(w)` equals the
+//! consumed prefix byte-for-byte. Together these rule out the dangerous
+//! failure mode: a truncated or bit-flipped frame silently mis-decoding
+//! into a *different* valid frame (which would corrupt protocol state on
+//! a live engine instead of being dropped and counted).
+//!
+//! These tests also run under Miri in CI (the decode path is the part of
+//! the engine that touches attacker-controlled bytes).
+
+use bytes::{Buf, Bytes, Rope};
+use newmadeleine::wire::{EagerPart, Wire};
+use proptest::prelude::*;
+
+fn arb_wire() -> impl Strategy<Value = Wire> {
+    (
+        0usize..6,
+        any::<u32>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<bool>(),
+        proptest::collection::vec((any::<u64>(), any::<u32>()), 0..6),
+    )
+        .prop_map(|(kind, req, app_tag, size, rdma, raw_parts)| match kind {
+            0 => Wire::Eager {
+                app_tag,
+                size: size as u32,
+            },
+            1 => Wire::EagerAggregate {
+                parts: raw_parts
+                    .into_iter()
+                    .map(|(app_tag, size)| EagerPart { app_tag, size })
+                    .collect(),
+            },
+            2 => Wire::Rts {
+                req,
+                app_tag,
+                size,
+                rdma,
+            },
+            3 => Wire::Cts { req },
+            4 => Wire::Data {
+                req,
+                chunk: size as u32,
+                of: (size >> 32) as u32,
+            },
+            _ => Wire::Fin { req },
+        })
+}
+
+proptest! {
+    // Fewer cases under Miri (interpreted execution); the full count runs
+    // in the native test job.
+    #![proptest_config(ProptestConfig::with_cases(if cfg!(miri) { 24 } else { 96 }))]
+
+    /// Round-trip for every variant, with the payload (arbitrary trailing
+    /// bytes) left exactly in place behind the consumed header.
+    #[test]
+    fn roundtrip_leaves_payload_intact(
+        w in arb_wire(),
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let header = w.encode();
+        prop_assert_eq!(header.len(), w.header_len());
+        let mut frame = Rope::from(header);
+        frame.push(Bytes::from(payload.clone()));
+        let before = frame.remaining();
+        let decoded = Wire::decode(&mut frame);
+        prop_assert_eq!(decoded, Some(w.clone()));
+        prop_assert_eq!(before - frame.remaining(), w.header_len());
+        prop_assert_eq!(frame.to_vec(), payload);
+    }
+
+    /// Any strict prefix of a valid header must be rejected — truncation
+    /// can never produce a (different) valid frame, and never panics.
+    #[test]
+    fn truncation_is_always_rejected(w in arb_wire(), cut in 0usize..64) {
+        let full = w.encode().to_vec();
+        let cut = cut % full.len(); // strict prefix
+        let mut short = Bytes::from(full[..cut].to_vec());
+        prop_assert_eq!(Wire::decode(&mut short), None);
+    }
+
+    /// Single-byte mutation: decode never panics, and whatever it returns
+    /// obeys the canonical-prefix identity — a successful decode of the
+    /// mutated bytes re-encodes to exactly the bytes it consumed, so a
+    /// flip can never smuggle in a frame the codec would not itself emit.
+    #[test]
+    fn mutation_never_mis_decodes(
+        w in arb_wire(),
+        pos in any::<usize>(),
+        xor in 1u8..=255,
+    ) {
+        let mut raw = w.encode().to_vec();
+        let pos = pos % raw.len();
+        raw[pos] ^= xor;
+        let mut buf = Bytes::from(raw.clone());
+        if let Some(w2) = Wire::decode(&mut buf) {
+            let consumed = raw.len() - buf.remaining();
+            prop_assert_eq!(consumed, w2.header_len());
+            prop_assert_eq!(w2.encode().to_vec(), raw[..consumed].to_vec());
+        }
+    }
+
+    /// Arbitrary byte soup: never panics; successful decodes still obey
+    /// the canonical-prefix identity.
+    #[test]
+    fn random_bytes_never_panic(raw in proptest::collection::vec(any::<u8>(), 0..96)) {
+        let mut buf = Bytes::from(raw.clone());
+        if let Some(w) = Wire::decode(&mut buf) {
+            let consumed = raw.len() - buf.remaining();
+            prop_assert_eq!(consumed, w.header_len());
+            prop_assert_eq!(w.encode().to_vec(), raw[..consumed].to_vec());
+        }
+    }
+}

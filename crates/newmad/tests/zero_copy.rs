@@ -1,0 +1,162 @@
+//! Zero-copy regression tests: the engine's data path moves payloads by
+//! reference-counted slicing, never by copying.
+//!
+//! `EngineStats::payload_bytes_copied` counts every payload byte the
+//! engine memcpys. These tests pin it to **zero** on all four paths —
+//! eager, aggregated eager, striped two-sided rendezvous, and RDMA
+//! rendezvous — while also checking the received bytes are intact (a
+//! trivially wrong zero-copy implementation would pass a counter check by
+//! losing the data). The `copy_on_pack` ablation proves the counter
+//! actually counts: flattening 4 × 512 B into packed frames must report
+//! exactly 2048 copied bytes.
+
+use bytes::Bytes;
+use newmadeleine::{CommEngine, EngineConfig};
+use piom_des::{Sim, SimTime};
+use piom_net::{NetParams, Network};
+
+fn pair(cfg: EngineConfig) -> (CommEngine, CommEngine, Sim) {
+    let net = Network::new(2, 2, NetParams::infiniband());
+    let a = CommEngine::new(0, net.clone(), cfg.clone());
+    let b = CommEngine::new(1, net, cfg);
+    (a, b, Sim::new())
+}
+
+fn drive(sim: &mut Sim, engines: &[&CommEngine], span: SimTime) {
+    let start = sim.now();
+    let mut t = SimTime::ZERO;
+    while t < span {
+        for e in engines {
+            let e = (*e).clone();
+            sim.schedule_abs(start + t, move |sim| {
+                e.poll(sim);
+            });
+        }
+        t += SimTime::from_ns(500);
+    }
+    sim.run();
+}
+
+/// Deterministic pseudo-random payload: position-dependent, so chunk
+/// reordering or mis-slicing shows up as a content mismatch.
+fn pattern(len: usize, seed: u8) -> Bytes {
+    Bytes::from(
+        (0..len)
+            .map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed))
+            .collect::<Vec<u8>>(),
+    )
+}
+
+fn assert_no_copies(tag: &str, engines: &[&CommEngine]) {
+    for e in engines {
+        assert_eq!(
+            e.stats().payload_bytes_copied,
+            0,
+            "{tag}: node {} copied payload bytes",
+            e.node()
+        );
+    }
+}
+
+#[test]
+fn eager_path_is_zero_copy() {
+    let (a, b, mut sim) = pair(EngineConfig::newmadeleine());
+    let data = pattern(1024, 7);
+    let r = b.irecv(&mut sim, 0, 1);
+    a.isend_bytes(&mut sim, 1, 1, data.clone());
+    drive(&mut sim, &[&a, &b], SimTime::from_us(50));
+    assert!(r.is_complete());
+    assert_eq!(
+        r.payload().expect("payload delivered").to_vec().as_slice(),
+        data.as_ref()
+    );
+    assert_no_copies("eager", &[&a, &b]);
+}
+
+#[test]
+fn aggregated_path_is_zero_copy() {
+    let (a, b, mut sim) = pair(EngineConfig::newmadeleine());
+    let payloads: Vec<Bytes> = (0..8).map(|i| pattern(512, i)).collect();
+    let recvs: Vec<_> = (0..8).map(|t| b.irecv(&mut sim, 0, t)).collect();
+    let (a2, ps) = (a.clone(), payloads.clone());
+    sim.schedule(SimTime::ZERO, move |sim| {
+        for (tag, p) in ps.into_iter().enumerate() {
+            a2.isend_bytes(sim, 1, tag as u64, p);
+        }
+    });
+    drive(&mut sim, &[&a, &b], SimTime::from_us(100));
+    assert!(a.stats().aggregate_packets >= 1, "burst must aggregate");
+    for (r, p) in recvs.iter().zip(&payloads) {
+        assert!(r.is_complete());
+        assert_eq!(
+            r.payload().expect("payload delivered").to_vec().as_slice(),
+            p.as_ref()
+        );
+    }
+    assert_no_copies("aggregate", &[&a, &b]);
+}
+
+#[test]
+fn striped_rendezvous_is_zero_copy() {
+    let (a, b, mut sim) = pair(EngineConfig::newmadeleine());
+    let data = pattern(1 << 20, 3);
+    let r = b.irecv(&mut sim, 0, 1);
+    let s = a.isend_bytes(&mut sim, 1, 1, data.clone());
+    drive(&mut sim, &[&a, &b], SimTime::from_ms(5));
+    assert!(s.is_complete() && r.is_complete());
+    assert!(
+        a.stats().data_chunks_sent > 1,
+        "1 MiB must be striped into several chunks"
+    );
+    // Reassembled from shared chunk windows — byte-identical to the source.
+    assert_eq!(
+        r.payload().expect("payload delivered").to_vec().as_slice(),
+        data.as_ref()
+    );
+    assert_no_copies("striped rendezvous", &[&a, &b]);
+}
+
+#[test]
+fn rdma_rendezvous_is_zero_copy() {
+    let (a, b, mut sim) = pair(EngineConfig::baseline_mpi());
+    let data = pattern(1 << 20, 5);
+    let r = b.irecv(&mut sim, 0, 1);
+    let s = a.isend_bytes(&mut sim, 1, 1, data.clone());
+    drive(&mut sim, &[&a, &b], SimTime::from_ms(5));
+    assert!(s.is_complete() && r.is_complete());
+    assert_eq!(
+        r.payload().expect("payload delivered").to_vec().as_slice(),
+        data.as_ref()
+    );
+    assert_no_copies("rdma rendezvous", &[&a, &b]);
+}
+
+#[test]
+fn copy_on_pack_ablation_counts_every_byte() {
+    let cfg = EngineConfig {
+        copy_on_pack: true,
+        ..EngineConfig::newmadeleine()
+    };
+    let (a, b, mut sim) = pair(cfg);
+    let payloads: Vec<Bytes> = (0..4).map(|i| pattern(512, i)).collect();
+    let recvs: Vec<_> = (0..4).map(|t| b.irecv(&mut sim, 0, t)).collect();
+    let (a2, ps) = (a.clone(), payloads.clone());
+    sim.schedule(SimTime::ZERO, move |sim| {
+        for (tag, p) in ps.into_iter().enumerate() {
+            a2.isend_bytes(sim, 1, tag as u64, p);
+        }
+    });
+    drive(&mut sim, &[&a, &b], SimTime::from_us(100));
+    for (r, p) in recvs.iter().zip(&payloads) {
+        assert!(r.is_complete());
+        assert_eq!(
+            r.payload().expect("payload delivered").to_vec().as_slice(),
+            p.as_ref(),
+            "the ablation may copy, it may not corrupt"
+        );
+    }
+    // Every payload byte flattened exactly once on the sender; the
+    // receiver still decodes in place.
+    assert_eq!(a.stats().payload_bytes_copied, 4 * 512);
+    assert_eq!(b.stats().payload_bytes_copied, 0);
+}

@@ -21,6 +21,7 @@
 
 use crate::cluster::{stamped_latency, Cluster, Server, ServerCosts};
 use crate::{Gate, Scenario, ScenarioParams};
+use newmadeleine::{CommEngine, EngineConfig};
 use piom_des::rng::SplitMix64;
 use piom_des::{Sim, SimTime};
 use piom_net::{Message, Network, RxHandler};
@@ -70,7 +71,7 @@ pub(crate) static REGISTRY: &[Scenario] = &[
     },
     Scenario {
         name: "multirail_stripe",
-        about: "large transfers striped across 4 rails; completion = slowest chunk",
+        about: "newmad rendezvous transfers striped over 4 rails by the engine's scheduler",
         gate: Gate::Tail,
         run: multirail_stripe,
     },
@@ -563,71 +564,62 @@ fn retry_storm(p: &ScenarioParams, rec: &mut dyn FnMut(u64)) {
     drain(&samples, rec);
 }
 
-/// Striped bulk transfers: each transfer is cut into 4 chunks sent
-/// concurrently on 4 rails; the transfer completes when its *slowest*
-/// chunk lands, so the recorded latency is a max over rails — the
-/// striping scheduler's actual service metric. Recorded: transfer start
-/// → last chunk arrival.
+/// Striped bulk transfers through the *real* `newmadeleine` engine: each
+/// transfer runs the two-sided rendezvous protocol, and the engine's
+/// [`newmadeleine::rails`] scheduler water-fills the payload chunks over
+/// the 4 rails (every size here is past both the eager threshold and the
+/// stripe crossover). The recorded latency is transfer start → receive
+/// completion, so it includes the RTS/CTS handshake, per-rail queueing
+/// behind earlier transfers, and the slowest-chunk max the striping
+/// scheduler is supposed to minimize.
 fn multirail_stripe(p: &ScenarioParams, rec: &mut dyn FnMut(u64)) {
     const RAILS: usize = 4;
     let transfers = p.samples as usize;
     let mut c = Cluster::build("multirail_stripe", 2, RAILS, p.seed);
     let samples: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
 
-    let starts: Rc<Vec<u64>> = {
-        let mut t = SimTime::ZERO;
-        let mut v = Vec::with_capacity(transfers);
-        for _ in 0..transfers {
-            t += SimTime::from_ns(18_000 + c.rng.next_below(8_000));
-            v.push(t.as_ns());
-        }
-        Rc::new(v)
+    let cfg = EngineConfig {
+        stripe_threshold: 32 * 1024,
+        rndv_chunk: 16 * 1024,
+        ..EngineConfig::newmadeleine()
     };
-    let arrived: Rc<RefCell<Vec<usize>>> = Rc::new(RefCell::new(vec![0; transfers]));
+    let sender = CommEngine::new(0, c.net.clone(), cfg.clone());
+    let receiver = CommEngine::new(1, c.net.clone(), cfg);
 
-    let s = samples.clone();
-    let st = starts.clone();
-    let ar = arrived.clone();
-    c.on_receive(
-        1,
-        Rc::new(move |sim: &mut Sim, msg: Message| {
-            let id = msg.tag as usize;
-            let mut arrived = ar.borrow_mut();
-            arrived[id] += 1;
-            if arrived[id] == RAILS {
-                s.borrow_mut().push(sim.now().as_ns() - st[id]);
-            }
-        }),
-    );
-
+    let mut t = SimTime::ZERO;
     for id in 0..transfers {
+        t += SimTime::from_ns(18_000 + c.rng.next_below(8_000));
+        // 32..96 KiB: always rendezvous, always striped.
         let size = (32 * 1024 + c.rng.next_below(64 * 1024)) as usize;
-        let chunk = size / RAILS;
-        let at = SimTime::from_ns(starts[id]);
-        let net = c.net.clone();
-        c.sim.schedule_abs(at, move |sim| {
-            for rail in 0..RAILS {
-                // Remainder bytes ride the first rail.
-                let sz = if rail == 0 {
-                    chunk + (size - chunk * RAILS)
-                } else {
-                    chunk
-                };
-                net.send(
-                    sim,
-                    Message {
-                        src: 0,
-                        dst: 1,
-                        rail,
-                        tag: id as u64,
-                        size: sz,
-                        data: None,
-                    },
-                );
-            }
+        let (snd, rcv, s) = (sender.clone(), receiver.clone(), samples.clone());
+        c.sim.schedule_abs(t, move |sim| {
+            let start = sim.now().as_ns();
+            let r = rcv.irecv(sim, 0, id as u64);
+            r.on_complete(sim, move |sim| {
+                s.borrow_mut().push(sim.now().as_ns() - start);
+            });
+            snd.isend(sim, 1, id as u64, size);
         });
     }
+    // Progression: both engines polled every microsecond (the scenario's
+    // stand-in for PIOMan keypoints), with slack past the last submission
+    // for the queue to drain.
+    let horizon = t + SimTime::from_ms(10);
+    let mut at = SimTime::ZERO;
+    while at < horizon {
+        let (snd, rcv) = (sender.clone(), receiver.clone());
+        c.sim.schedule_abs(at, move |sim| {
+            snd.poll(sim);
+            rcv.poll(sim);
+        });
+        at += SimTime::from_us(1);
+    }
     c.sim.run();
+    assert_eq!(
+        samples.borrow().len(),
+        transfers,
+        "every rendezvous must complete within the poll horizon"
+    );
     drain(&samples, rec);
 }
 

@@ -41,6 +41,24 @@ fn a_different_seed_changes_the_distribution() {
 }
 
 #[test]
+fn multirail_stripe_replays_bit_identically_across_seeds() {
+    // This scenario now runs the full newmadeleine engine (rendezvous
+    // handshakes, pipeline windows, rail striping) rather than raw sends,
+    // so it is the canary for nondeterminism anywhere in that stack:
+    // every seed's sample stream — order included — must replay exactly.
+    let s = piom_scenarios::find("multirail_stripe").expect("registered");
+    for seed in [42, 1042, 7, 0xDEAD_BEEF] {
+        let params = ScenarioParams::quick(seed);
+        let mut first = Vec::new();
+        s.run_with_recorder(&params, &mut |v| first.push(v));
+        let mut second = Vec::new();
+        s.run_with_recorder(&params, &mut |v| second.push(v));
+        assert_eq!(first, second, "seed {seed} diverged through the engine");
+        assert_eq!(first.len(), params.samples as usize);
+    }
+}
+
+#[test]
 fn quick_and_full_presets_share_a_seed_but_not_a_distribution() {
     // The CI smoke (quick) and the committed baseline (full) are both
     // deterministic, but not comparable to each other: volume is part of

@@ -1,15 +1,20 @@
 //! Cross-flow aggregation and multirail distribution (Fig. 1).
 //!
-//! Four application flows send small messages to the same destination over
-//! a 2-rail network. With the optimization layer on, pending messages are
-//! packed into few NIC packets and spread across rails; off, every message
-//! pays the NIC occupancy alone.
+//! Two demonstrations of the optimization layer on a 2-rail network:
+//!
+//! 1. **Aggregation** — four application flows send small messages to the
+//!    same destination. With the optimizer on, pending messages are packed
+//!    into few NIC packets and spread across rails; off, every message
+//!    pays the NIC occupancy alone.
+//! 2. **Striping** — one large rendezvous payload scheduled by
+//!    `newmad::rails`: the engine water-fills chunks over both rails, and
+//!    the printed crossover size says where that starts to pay.
 //!
 //! Run with: `cargo run --release --example multirail_aggregation`
 
 use piom_suite::des::{Sim, SimTime};
 use piom_suite::net::{NetParams, Network};
-use piom_suite::newmad::{CommEngine, EngineConfig};
+use piom_suite::newmad::{rails, CommEngine, EngineConfig};
 
 fn main() {
     for (label, aggregation) in [
@@ -55,6 +60,43 @@ fn main() {
         println!(
             "{label:<24} wire packets: {packets:>4}   all delivered at: {done}   \
              (rail0 {} / rail1 {})",
+            net.nic(0, 0).tx_count(),
+            net.nic(0, 1).tx_count(),
+        );
+    }
+
+    // Part 2: the striping scheduler on one large rendezvous transfer.
+    let params = NetParams::infiniband();
+    println!(
+        "\neager/stripe crossover on this fabric (2 rails): {} B",
+        rails::stripe_crossover(&params, 2)
+    );
+    const SIZE: usize = 1 << 20;
+    for (label, multirail) in [("single rail", false), ("striped over 2 rails", true)] {
+        let net = Network::new(2, 2, params.clone());
+        let cfg = EngineConfig {
+            multirail_data: multirail,
+            ..EngineConfig::newmadeleine()
+        };
+        let plan = rails::stripe_plan(&net, SimTime::ZERO, 0, SIZE, &cfg);
+        let tx = CommEngine::new(0, net.clone(), cfg.clone());
+        let rx = CommEngine::new(1, net.clone(), cfg);
+        let mut sim = Sim::new();
+        let r = rx.irecv(&mut sim, 0, 0);
+        tx.isend(&mut sim, 1, 0, SIZE);
+        for k in 0..20_000u64 {
+            let (tx2, rx2) = (tx.clone(), rx.clone());
+            sim.schedule_abs(SimTime::from_ns(k * 200), move |sim| {
+                tx2.poll(sim);
+                rx2.poll(sim);
+            });
+        }
+        sim.run();
+        println!(
+            "{label:<24} 1 MiB rendezvous done at: {}   plan: {} chunks   \
+             (rail0 {} / rail1 {})",
+            r.completed_at().unwrap(),
+            plan.len(),
             net.nic(0, 0).tx_count(),
             net.nic(0, 1).tx_count(),
         );

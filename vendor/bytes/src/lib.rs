@@ -2,12 +2,15 @@
 //!
 //! Provides the subset this workspace uses: [`Bytes`] (cheaply-cloneable
 //! shared byte buffer), [`BytesMut`] (growable builder that freezes into
-//! `Bytes`), and the [`Buf`]/[`BufMut`] cursor traits with the big-endian
-//! fixed-width accessors. Swap for `bytes = "1"` when a registry is
-//! reachable.
+//! `Bytes`), the [`Buf`]/[`BufMut`] cursor traits with the big-endian
+//! fixed-width accessors, and [`Rope`] — a segmented byte sequence that
+//! chains `Bytes` without copying (the shim's stand-in for the real
+//! crate's `Buf::chain`, shaped for the message-path use in
+//! `crates/newmad`). Swap for `bytes = "1"` when a registry is reachable.
 
 #![warn(missing_docs)]
 
+use std::collections::VecDeque;
 use std::fmt;
 use std::ops::Deref;
 use std::sync::Arc;
@@ -36,7 +39,29 @@ impl Bytes {
 
     /// Copies the given slice into a freshly allocated `Bytes`.
     pub fn copy_from_slice(slice: &[u8]) -> Self {
-        Bytes::from(slice.to_vec())
+        // Arc::from(&[u8]) allocates the shared buffer directly; going
+        // through Vec would pay a second allocation on the move into Arc.
+        let end = slice.len();
+        Bytes {
+            data: Arc::from(slice),
+            start: 0,
+            end,
+        }
+    }
+
+    /// Splits the first `at` bytes off into a new `Bytes`, leaving `self`
+    /// with the remainder. Both handles share the allocation (zero-copy).
+    ///
+    /// Panics if `at > len()`.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let head = Bytes {
+            data: self.data.clone(),
+            start: self.start,
+            end: self.start + at,
+        };
+        self.start += at;
+        head
     }
 
     /// Length in bytes of the remaining view.
@@ -225,9 +250,18 @@ pub trait Buf {
 
     #[doc(hidden)]
     fn copy_fixed(&mut self, dst: &mut [u8]) {
+        // A segmented source (e.g. [`Rope`]) may expose the requested
+        // bytes across several chunks; loop rather than assume the first
+        // chunk covers the read.
         assert!(self.remaining() >= dst.len(), "buffer underflow");
-        dst.copy_from_slice(&self.chunk()[..dst.len()]);
-        self.advance(dst.len());
+        let mut filled = 0;
+        while filled < dst.len() {
+            let chunk = self.chunk();
+            let take = chunk.len().min(dst.len() - filled);
+            dst[filled..filled + take].copy_from_slice(&chunk[..take]);
+            self.advance(take);
+            filled += take;
+        }
     }
 }
 
@@ -243,6 +277,212 @@ impl Buf for Bytes {
     fn advance(&mut self, cnt: usize) {
         assert!(cnt <= self.len(), "advance past end");
         self.start += cnt;
+    }
+}
+
+/// A segmented, cheaply cloneable byte sequence: an ordered chain of
+/// [`Bytes`] segments read as one logical buffer.
+///
+/// This is the shim's packing primitive: appending a segment shares its
+/// allocation instead of copying ([`Rope::push`]/[`Rope::append`]), and
+/// [`Rope::split_to`] carves a prefix off along segment boundaries — at
+/// most one segment is split, and even that split is a window adjustment,
+/// never a memcpy. The single-segment case stays allocation-free beyond
+/// the segment itself (`head` is inline; `rest` is an empty `VecDeque`,
+/// which does not allocate until a second segment arrives).
+///
+/// Invariant: no stored segment is empty, so `chunk()` is non-empty
+/// whenever `remaining() > 0`.
+#[derive(Clone, Default)]
+pub struct Rope {
+    head: Bytes,
+    rest: VecDeque<Bytes>,
+    len: usize,
+}
+
+impl Rope {
+    /// Creates an empty rope.
+    pub fn new() -> Self {
+        Rope::default()
+    }
+
+    /// Total length in bytes across all segments.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if no bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of stored segments.
+    pub fn n_segments(&self) -> usize {
+        usize::from(!self.head.is_empty()) + self.rest.len()
+    }
+
+    /// `true` if the bytes live in at most one segment (so
+    /// [`Rope::to_bytes`] is zero-copy).
+    pub fn is_contiguous(&self) -> bool {
+        self.rest.is_empty()
+    }
+
+    /// Appends a segment, sharing its allocation. Empty segments are
+    /// dropped (they would break the non-empty-chunk invariant).
+    pub fn push(&mut self, seg: Bytes) {
+        if seg.is_empty() {
+            return;
+        }
+        self.len += seg.len();
+        if self.head.is_empty() && self.rest.is_empty() {
+            self.head = seg;
+        } else {
+            self.rest.push_back(seg);
+        }
+    }
+
+    /// Appends every segment of `other`, sharing their allocations.
+    pub fn append(&mut self, other: Rope) {
+        self.push(other.head);
+        for seg in other.rest {
+            self.push(seg);
+        }
+    }
+
+    /// Splits the first `at` bytes off into a new rope, leaving `self`
+    /// with the remainder. Whole segments move; at most one segment is
+    /// split, and that split shares the allocation (zero-copy).
+    ///
+    /// Panics if `at > len()`.
+    pub fn split_to(&mut self, at: usize) -> Rope {
+        assert!(at <= self.len, "split_to out of bounds");
+        let mut out = Rope::new();
+        let mut need = at;
+        while need > 0 {
+            if self.head.is_empty() {
+                self.head = self.rest.pop_front().expect("len invariant");
+            }
+            let take = self.head.len().min(need);
+            let seg = self.head.split_to(take);
+            self.len -= take;
+            need -= take;
+            out.push(seg);
+        }
+        // Restore the non-empty-head invariant for self.
+        if self.head.is_empty() {
+            if let Some(next) = self.rest.pop_front() {
+                self.head = next;
+            }
+        }
+        out
+    }
+
+    /// Returns the content as a single [`Bytes`]: zero-copy when
+    /// contiguous (shares the one segment), flattening copy otherwise.
+    pub fn to_bytes(&self) -> Bytes {
+        if self.is_contiguous() {
+            return self.head.clone();
+        }
+        let mut flat = Vec::with_capacity(self.len);
+        flat.extend_from_slice(&self.head);
+        for seg in &self.rest {
+            flat.extend_from_slice(seg);
+        }
+        Bytes::from(flat)
+    }
+
+    /// Copies the content into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        let mut flat = Vec::with_capacity(self.len);
+        flat.extend_from_slice(&self.head);
+        for seg in &self.rest {
+            flat.extend_from_slice(seg);
+        }
+        flat
+    }
+
+    /// Iterates the segments in order.
+    pub fn segments(&self) -> impl Iterator<Item = &Bytes> {
+        std::iter::once(&self.head)
+            .filter(|s| !s.is_empty())
+            .chain(self.rest.iter())
+    }
+}
+
+impl From<Bytes> for Rope {
+    fn from(b: Bytes) -> Self {
+        let mut r = Rope::new();
+        r.push(b);
+        r
+    }
+}
+
+impl Buf for Rope {
+    fn remaining(&self) -> usize {
+        self.len
+    }
+
+    fn chunk(&self) -> &[u8] {
+        &self.head
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len, "advance past end");
+        let _ = self.split_to(cnt);
+    }
+}
+
+impl PartialEq for Rope {
+    fn eq(&self, other: &Self) -> bool {
+        // Content equality, segmentation-agnostic: walk both chains.
+        if self.len != other.len {
+            return false;
+        }
+        let (mut a, mut b) = (self.clone(), other.clone());
+        while a.remaining() > 0 {
+            let n = a.chunk().len().min(b.chunk().len());
+            if a.chunk()[..n] != b.chunk()[..n] {
+                return false;
+            }
+            a.advance(n);
+            b.advance(n);
+        }
+        true
+    }
+}
+impl Eq for Rope {}
+
+impl PartialEq<[u8]> for Rope {
+    fn eq(&self, other: &[u8]) -> bool {
+        if self.len != other.len() {
+            return false;
+        }
+        let mut off = 0;
+        for seg in self.segments() {
+            if **seg != other[off..off + seg.len()] {
+                return false;
+            }
+            off += seg.len();
+        }
+        true
+    }
+}
+
+impl PartialEq<Vec<u8>> for Rope {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        *self == other[..]
+    }
+}
+
+impl fmt::Debug for Rope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Rope[{} seg, {} B]b\"", self.n_segments(), self.len)?;
+        for seg in self.segments() {
+            for &b in seg.as_slice() {
+                write!(f, "{}", std::ascii::escape_default(b))?;
+            }
+        }
+        write!(f, "\"")
     }
 }
 
@@ -314,5 +554,104 @@ mod tests {
         assert_eq!(Bytes::from(vec![1, 2]), Bytes::from(vec![1, 2]));
         assert_ne!(Bytes::from(vec![1, 2]), Bytes::from(vec![1, 3]));
         assert_eq!(Bytes::from_static(b"ab"), Bytes::from(b"ab".to_vec()));
+    }
+
+    #[test]
+    fn split_to_shares_the_allocation() {
+        let mut b = Bytes::from(vec![0, 1, 2, 3, 4]);
+        let head = b.split_to(2);
+        assert_eq!(head.as_ref(), &[0, 1]);
+        assert_eq!(b.as_ref(), &[2, 3, 4]);
+        assert!(Arc::ptr_eq(&head.data, &b.data), "no copy on split");
+        let empty = b.split_to(0);
+        assert!(empty.is_empty());
+        assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "split_to out of bounds")]
+    fn split_to_past_end_panics() {
+        let mut b = Bytes::from(vec![1, 2]);
+        let _ = b.split_to(3);
+    }
+
+    #[test]
+    fn rope_chains_segments_without_copying() {
+        let a = Bytes::from(vec![1, 2, 3]);
+        let b = Bytes::from(vec![4, 5]);
+        let mut r = Rope::new();
+        assert!(r.is_empty());
+        r.push(a.clone());
+        assert!(r.is_contiguous());
+        r.push(Bytes::new()); // empties are dropped
+        r.push(b.clone());
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.n_segments(), 2);
+        assert!(!r.is_contiguous());
+        // Segments share the original allocations.
+        let segs: Vec<&Bytes> = r.segments().collect();
+        assert!(Arc::ptr_eq(&segs[0].data, &a.data));
+        assert!(Arc::ptr_eq(&segs[1].data, &b.data));
+        assert_eq!(r, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn rope_split_to_respects_segment_boundaries() {
+        let mut r = Rope::new();
+        r.push(Bytes::from(vec![1, 2, 3]));
+        r.push(Bytes::from(vec![4, 5]));
+        r.push(Bytes::from(vec![6, 7, 8, 9]));
+
+        // Split inside the second segment: first moves whole, second is
+        // window-split; nothing is copied.
+        let head = r.split_to(4);
+        assert_eq!(head, vec![1, 2, 3, 4]);
+        assert_eq!(head.n_segments(), 2);
+        assert_eq!(r, vec![5, 6, 7, 8, 9]);
+        assert_eq!(r.len(), 5);
+
+        // Exactly-on-boundary split.
+        let rest = r.split_to(1);
+        assert_eq!(rest, vec![5]);
+        assert_eq!(r, vec![6, 7, 8, 9]);
+        assert!(r.is_contiguous(), "only one segment remains");
+    }
+
+    #[test]
+    fn rope_buf_reads_cross_segments() {
+        // A u32 split across three segments must still read correctly:
+        // copy_fixed has to loop over chunks.
+        let mut r = Rope::new();
+        r.push(Bytes::from(vec![0xDE]));
+        r.push(Bytes::from(vec![0xAD, 0xBE]));
+        r.push(Bytes::from(vec![0xEF, 0x07]));
+        assert_eq!(r.remaining(), 5);
+        assert_eq!(r.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u8(), 0x07);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn rope_to_bytes_is_zero_copy_when_contiguous() {
+        let seg = Bytes::from(vec![9, 8, 7]);
+        let r = Rope::from(seg.clone());
+        let back = r.to_bytes();
+        assert!(Arc::ptr_eq(&back.data, &seg.data), "contiguous: shared");
+
+        let mut two = r.clone();
+        two.push(Bytes::from(vec![6]));
+        assert_eq!(two.to_bytes().as_ref(), &[9, 8, 7, 6]);
+        assert_eq!(two.to_vec(), vec![9, 8, 7, 6]);
+    }
+
+    #[test]
+    fn rope_append_and_equality_are_segmentation_agnostic() {
+        let mut a = Rope::from(Bytes::from(vec![1, 2, 3, 4]));
+        let mut b = Rope::from(Bytes::from(vec![1, 2]));
+        b.append(Rope::from(Bytes::from(vec![3, 4])));
+        assert_eq!(a, b, "same content, different segmentation");
+        a.advance(1);
+        assert_ne!(a, b);
+        assert_eq!(a, vec![2, 3, 4]);
     }
 }
