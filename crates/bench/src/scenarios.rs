@@ -40,6 +40,14 @@ pub const HIGH_VARIANCE: &[&str] = &[
     "relaxed_vs_seqcst_contended_baseline",
     "stats_sharding_contended",
     "stats_sharding_contended_baseline",
+    // The manycore re-records of the two PR-5 ablations: same algorithms,
+    // 16 threads oversubscribed on the shared runner — scheduling jitter
+    // *is* the workload, so their quick-mode numbers swing hardest of all.
+    "relaxed_vs_seqcst_manycore",
+    "relaxed_vs_seqcst_manycore_baseline",
+    "stats_sharding_manycore",
+    "stats_sharding_manycore_baseline",
+    "newmad_rail_ladder",
 ];
 
 /// `true` if `name` is tagged [`HIGH_VARIANCE`].
@@ -68,6 +76,13 @@ pub const TAIL_GATED: &[&str] = &[
     "qos_class_mix",
     "qos_class_mix_spinlock",
     "qos_waitlist_chain",
+    // The socket-tier scaling ladder: single-threaded deterministic
+    // drains whose tail is exactly the spill/claim/steal path the
+    // overflow tier exists to keep flat as the core count grows.
+    "steal_scaling_256",
+    "steal_scaling_512",
+    "steal_scaling_1024",
+    "phase_shift_ramp_auto",
 ];
 
 /// `true` if `name` is tagged [`TAIL_GATED`].
@@ -113,6 +128,56 @@ pub fn drain_until_complete(
     let mut rounds = 0;
     while handles.iter().any(|h| !h.is_complete()) {
         for core in cores.clone() {
+            mgr.schedule(core);
+        }
+        rounds += 1;
+        assert!(
+            rounds <= 10 * handles.len(),
+            "scheduler failed to drain the backlog via cores {cores:?}"
+        );
+    }
+}
+
+/// Backlog size of the `steal_scaling_*` ladder: deep enough that core
+/// 0's dispatch spills well past [`SCALING_SPILL_THRESHOLD`] into its
+/// socket's overflow tier on every rung.
+pub const SCALING_LOAD: usize = 256;
+
+/// Per-core depth the `steal_scaling_*` rungs configure as
+/// [`pioman::ManagerConfig::spill_threshold`]: low, so the
+/// [`SCALING_LOAD`] backlog crosses into the socket tier instead of
+/// sitting in one deep per-core queue.
+pub const SCALING_SPILL_THRESHOLD: usize = 16;
+
+/// Submits [`SCALING_LOAD`] machine-wide one-shot tasks all homed on core
+/// 0 — the skewed manycore load behind the `steal_scaling_*` ladder.
+/// Machine-wide cpusets make every core an eligible claimer/thief, so the
+/// drain exercises same-socket overflow claims *and* cross-socket steals.
+pub fn submit_manycore_backlog(mgr: &TaskManager) -> Vec<TaskHandle> {
+    let n = mgr.topology().n_cores();
+    (0..SCALING_LOAD)
+        .map(|_| {
+            mgr.task(|_| TaskStatus::Done)
+                .cpuset(CpuSet::first_n(n))
+                .on_core(0)
+                .spawn()
+        })
+        .collect()
+}
+
+/// [`drain_until_complete`] over an explicit core list instead of a
+/// contiguous range — the `steal_scaling_*` drain cast (one home-socket
+/// sibling plus the first core of each remote socket) is not contiguous
+/// on any of the manycore presets.
+///
+/// # Panics
+///
+/// Panics if the backlog fails to drain within `10 * handles.len()`
+/// rounds.
+pub fn drain_cores_until_complete(mgr: &TaskManager, cores: &[usize], handles: &[TaskHandle]) {
+    let mut rounds = 0;
+    while handles.iter().any(|h| !h.is_complete()) {
+        for &core in cores {
             mgr.schedule(core);
         }
         rounds += 1;

@@ -1,5 +1,7 @@
 //! Iteration over the CPU ids of a [`CpuSet`](crate::CpuSet).
 
+use crate::WORDS;
+
 /// Ascending iterator over the CPU ids contained in a `CpuSet`.
 ///
 /// Produced by [`CpuSet::iter`](crate::CpuSet::iter). The iterator is a
@@ -7,13 +9,13 @@
 /// set during iteration has no effect on it.
 #[derive(Clone, Debug)]
 pub struct CpuIter {
-    words: [u64; 4],
+    words: [u64; WORDS],
     /// Index of the word currently being drained.
     word_idx: usize,
 }
 
 impl CpuIter {
-    pub(crate) fn new(words: [u64; 4]) -> Self {
+    pub(crate) fn new(words: [u64; WORDS]) -> Self {
         CpuIter { words, word_idx: 0 }
     }
 }

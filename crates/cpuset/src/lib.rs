@@ -6,10 +6,14 @@
 //! scheduler needs to resolve a CPU set to the smallest covering topology
 //! level: subset tests, intersection/union, iteration, and population counts.
 //!
-//! The mask is four 64-bit words wide, i.e. up to [`CpuSet::MAX_CPUS`] (256)
-//! CPUs — enough for the "massively multicore" machines the paper targets
-//! while keeping the type `Copy` and allocation-free (a requirement inherited
-//! from the paper's embedding of task structs inside packet wrappers, §IV-B).
+//! The mask is sixteen 64-bit words wide, i.e. up to [`CpuSet::MAX_CPUS`]
+//! (1024) CPUs — wide enough for the simulated multi-socket fabrics of the
+//! NUMA-scale stealing study (256–1024 cores) while keeping the type `Copy`
+//! and allocation-free (a requirement inherited from the paper's embedding
+//! of task structs inside packet wrappers, §IV-B). At 128 bytes a set is
+//! still two cache lines; everything hot path-sensitive (the scheduler's
+//! steal spans) mirrors the word layout atomically rather than copying
+//! sets around.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,7 +27,7 @@ pub use iter::CpuIter;
 pub use parse::ParseCpuSetError;
 
 /// Number of 64-bit words backing a [`CpuSet`].
-const WORDS: usize = 4;
+pub(crate) const WORDS: usize = 16;
 
 /// A fixed-size set of logical CPU identifiers.
 ///

@@ -123,8 +123,8 @@ mod tests {
     #[test]
     fn rejects_out_of_range() {
         assert_eq!(
-            "999".parse::<CpuSet>(),
-            Err(ParseCpuSetError::OutOfRange(999))
+            "9999".parse::<CpuSet>(),
+            Err(ParseCpuSetError::OutOfRange(9999))
         );
     }
 

@@ -399,12 +399,25 @@ fn park_wake_latency(opts: &BenchOptions) -> BenchResult {
 /// arm asserts the opposite — the burst barely moves a ratio diluted by
 /// history, and whatever it did move never decays. See `EXPERIMENTS.md`
 /// ("Windowed vs cumulative contention ablation") for the recipe.
-fn phase_shift(name: &'static str, opts: &BenchOptions, signal: SignalPolicy) -> BenchResult {
+///
+/// The two fixed arms pin `auto` off so [`scenarios::PHASE_HALF_LIFE`]
+/// stays the half-life actually in force; the `phase_shift_ramp_auto` arm
+/// turns the half-life auto-tuner loose on the same phase script and
+/// additionally asserts the tuned half-life landed inside the
+/// [`pioman::AUTO_HALF_LIFE_MIN`]`..=`[`pioman::AUTO_HALF_LIFE_MAX`]
+/// clamp — the re-adaptation-lag row of the auto-tuning satellite.
+fn phase_shift(
+    name: &'static str,
+    opts: &BenchOptions,
+    signal: SignalPolicy,
+    auto: bool,
+) -> BenchResult {
     let mgr = TaskManager::with_config(
         Arc::new(presets::kwak()),
         ManagerConfig {
             signal,
             contention_half_life: scenarios::PHASE_HALF_LIFE,
+            auto_half_life: auto,
             ..ManagerConfig::default()
         },
     );
@@ -459,6 +472,14 @@ fn phase_shift(name: &'static str, opts: &BenchOptions, signal: SignalPolicy) ->
             }
         }
     }
+    if auto {
+        // Whatever the host weather, the tuner may never escape its clamp.
+        let hl = mgr.contention_half_life(0);
+        assert!(
+            (pioman::AUTO_HALF_LIFE_MIN..=pioman::AUTO_HALF_LIFE_MAX).contains(&hl),
+            "auto-tuned half-life {hl} escaped the clamp"
+        );
+    }
     result
 }
 
@@ -470,46 +491,66 @@ fn phase_shift(name: &'static str, opts: &BenchOptions, signal: SignalPolicy) ->
 /// behaviour). Identical algorithm, identical layout — the delta is the
 /// fences. Read the pair together like `lockfree_vs_mutex`.
 fn relaxed_vs_seqcst(opts: &BenchOptions) -> [BenchResult; 2] {
-    use crossbeam::order::{AlwaysSeqCst, OrderPolicy, Tuned};
-    use crossbeam::queue::SegQueue;
-
-    const THREADS: u64 = 4;
-    // Large enough that thread spawn/join overhead (~100 µs per round) is
-    // noise against the measured queue ops, not the bulk of the mean.
-    const OPS: u64 = 4_096;
-
-    fn round<P: OrderPolicy>(name: &'static str, opts: &BenchOptions) -> BenchResult {
-        let iters = (opts.iters / 10).max(5);
-        let scaled = BenchOptions { iters, ..*opts };
-        let q: SegQueue<u64, P> = SegQueue::new();
-        let mut r = measure(
-            name,
-            &scaled,
-            || (),
-            || {
-                std::thread::scope(|s| {
-                    for t in 0..THREADS {
-                        let q = &q;
-                        s.spawn(move || {
-                            for i in 0..OPS {
-                                q.push(t * OPS + i);
-                                std::hint::black_box(q.pop());
-                            }
-                        });
-                    }
-                });
-            },
-        );
-        assert!(q.is_empty(), "each round pushes and pops equally");
-        // Per-op values: each inner iteration is one push + one pop.
-        r.scale_per_op((THREADS * OPS * 2) as f64);
-        r
-    }
-
+    use crossbeam::order::{AlwaysSeqCst, Tuned};
+    // Op count large enough that thread spawn/join overhead (~100 µs per
+    // round) is noise against the measured queue ops, not the bulk of the
+    // mean.
     [
-        round::<Tuned>("relaxed_vs_seqcst_contended", opts),
-        round::<AlwaysSeqCst>("relaxed_vs_seqcst_contended_baseline", opts),
+        ordering_round::<Tuned>("relaxed_vs_seqcst_contended", opts, 4, 4_096),
+        ordering_round::<AlwaysSeqCst>("relaxed_vs_seqcst_contended_baseline", opts, 4, 4_096),
     ]
+}
+
+/// The manycore re-record of the memory-ordering ablation: the identical
+/// push+pop rounds at 16 threads — oversubscribed on the CI runner, which
+/// is the point: with more threads than cores every ordering site sits on
+/// a line other cores are actively invalidating, so the fence delta is
+/// priced under the cache pressure the 256–1024-core study cares about
+/// rather than the polite 4-thread regime. Fewer ops per thread keep the
+/// round duration near the 4-thread rows'.
+fn relaxed_vs_seqcst_manycore(opts: &BenchOptions) -> [BenchResult; 2] {
+    use crossbeam::order::{AlwaysSeqCst, Tuned};
+    [
+        ordering_round::<Tuned>("relaxed_vs_seqcst_manycore", opts, 16, 2_048),
+        ordering_round::<AlwaysSeqCst>("relaxed_vs_seqcst_manycore_baseline", opts, 16, 2_048),
+    ]
+}
+
+/// One arm of the memory-ordering ablation: `threads` real threads each
+/// pushing+popping `ops` items on the vendored Michael–Scott queue under
+/// ordering policy `P`. Shared by the 4-thread and 16-thread pairs.
+fn ordering_round<P: crossbeam::order::OrderPolicy>(
+    name: &'static str,
+    opts: &BenchOptions,
+    threads: u64,
+    ops: u64,
+) -> BenchResult {
+    use crossbeam::queue::SegQueue;
+    let iters = (opts.iters / 10).max(5);
+    let scaled = BenchOptions { iters, ..*opts };
+    let q: SegQueue<u64, P> = SegQueue::new();
+    let mut r = measure(
+        name,
+        &scaled,
+        || (),
+        || {
+            std::thread::scope(|s| {
+                for t in 0..threads {
+                    let q = &q;
+                    s.spawn(move || {
+                        for i in 0..ops {
+                            q.push(t * ops + i);
+                            std::hint::black_box(q.pop());
+                        }
+                    });
+                }
+            });
+        },
+    );
+    assert!(q.is_empty(), "each round pushes and pops equally");
+    // Per-op values: each inner iteration is one push + one pop.
+    r.scale_per_op((threads * ops * 2) as f64);
+    r
 }
 
 /// The false-sharing ablation (PR 5): 4 real threads each bumping a
@@ -520,27 +561,64 @@ fn relaxed_vs_seqcst(opts: &BenchOptions) -> [BenchResult; 2] {
 /// all cores. Both arms assert the final count, so the numbers are also
 /// correctness evidence. Read the pair together.
 fn stats_sharding(opts: &BenchOptions) -> [BenchResult; 2] {
+    // See relaxed_vs_seqcst: the increment is ~1 ns, so the op count must
+    // dwarf the ~100 µs/round scope setup for the delta to be readable.
+    sharding_pair(
+        [
+            "stats_sharding_contended",
+            "stats_sharding_contended_baseline",
+        ],
+        opts,
+        4,
+        65_536,
+    )
+}
+
+/// The manycore re-record of the false-sharing ablation: 16 threads (one
+/// shard each) oversubscribed on the runner. The shared-`AtomicU64` arm
+/// now bounces its one line between 4× as many contenders — the regime
+/// where the paper-scale per-core stats shards earn their padding — while
+/// the sharded arm's slots stay thread-private regardless of the count.
+fn stats_sharding_manycore(opts: &BenchOptions) -> [BenchResult; 2] {
+    sharding_pair(
+        [
+            "stats_sharding_manycore",
+            "stats_sharding_manycore_baseline",
+        ],
+        opts,
+        16,
+        16_384,
+    )
+}
+
+/// Both arms of the false-sharing ablation at one thread count: `threads`
+/// real threads each bumping a counter `ops` times, once over a
+/// [`pioman::counters::ShardedCounter`] (thread-private padded slots) and
+/// once over a single shared `AtomicU64`. Shared by the 4-thread and
+/// 16-thread pairs.
+fn sharding_pair(
+    names: [&'static str; 2],
+    opts: &BenchOptions,
+    threads: u64,
+    ops: u64,
+) -> [BenchResult; 2] {
     use core::sync::atomic::{AtomicU64, Ordering};
     use pioman::counters::ShardedCounter;
 
-    const THREADS: u64 = 4;
-    // See relaxed_vs_seqcst: the increment is ~1 ns, so the op count must
-    // dwarf the ~100 µs/round scope setup for the delta to be readable.
-    const OPS: u64 = 65_536;
     let iters = (opts.iters / 10).max(5);
     let scaled = BenchOptions { iters, ..*opts };
 
-    let sharded = ShardedCounter::new(THREADS as usize);
+    let sharded = ShardedCounter::new(threads as usize);
     let mut a = measure(
-        "stats_sharding_contended",
+        names[0],
         &scaled,
         || (),
         || {
             std::thread::scope(|s| {
-                for t in 0..THREADS {
+                for t in 0..threads {
                     let sharded = &sharded;
                     s.spawn(move || {
-                        for _ in 0..OPS {
+                        for _ in 0..ops {
                             sharded.add_at(t as usize, 1);
                         }
                     });
@@ -548,19 +626,19 @@ fn stats_sharding(opts: &BenchOptions) -> [BenchResult; 2] {
             });
         },
     );
-    a.scale_per_op((THREADS * OPS) as f64);
+    a.scale_per_op((threads * ops) as f64);
 
     let shared = AtomicU64::new(0);
     let mut b = measure(
-        "stats_sharding_contended_baseline",
+        names[1],
         &scaled,
         || (),
         || {
             std::thread::scope(|s| {
-                for _ in 0..THREADS {
+                for _ in 0..threads {
                     let shared = &shared;
                     s.spawn(move || {
-                        for _ in 0..OPS {
+                        for _ in 0..ops {
                             shared.fetch_add(1, Ordering::Relaxed);
                         }
                     });
@@ -568,12 +646,12 @@ fn stats_sharding(opts: &BenchOptions) -> [BenchResult; 2] {
             });
         },
     );
-    b.scale_per_op((THREADS * OPS) as f64);
+    b.scale_per_op((threads * ops) as f64);
 
     // Quiesced-snapshot correctness (the pass count depends on the
     // high-variance median-of-3, so assert shape rather than a literal):
-    // every round adds exactly THREADS × OPS, and none may be lost.
-    let per_round = THREADS * OPS;
+    // every round adds exactly threads × ops, and none may be lost.
+    let per_round = threads * ops;
     assert!(sharded.sum() > 0 && sharded.sum().is_multiple_of(per_round));
     assert!(shared.load(Ordering::Relaxed).is_multiple_of(per_round));
     [a, b]
@@ -604,10 +682,16 @@ fn newmad_pingpong(opts: &BenchOptions) -> BenchResult {
 /// simulated receive-completion time. Shared harness of the newmad_*
 /// bench rows.
 fn newmad_transfer_ns(size: usize, cfg: newmadeleine::EngineConfig) -> u64 {
+    newmad_transfer_ns_rails(size, cfg, 2)
+}
+
+/// [`newmad_transfer_ns`] generalized over the fabric's rail count — the
+/// `newmad_rail_ladder` row walks this from 2 up to 16 rails.
+fn newmad_transfer_ns_rails(size: usize, cfg: newmadeleine::EngineConfig, rails: usize) -> u64 {
     use newmadeleine::CommEngine;
     use piom_des::{Sim, SimTime};
     use piom_net::{NetParams, Network};
-    let net = Network::new(2, 2, NetParams::infiniband());
+    let net = Network::new(2, rails, NetParams::infiniband());
     let a = CommEngine::new(0, net.clone(), cfg.clone());
     let b = CommEngine::new(1, net, cfg);
     let mut sim = Sim::new();
@@ -705,6 +789,51 @@ fn newmad_multirail_crossover(opts: &BenchOptions) -> BenchResult {
     )
 }
 
+/// The multirail scaling satellite of the 256–1024-core study: one 1 MiB
+/// rendezvous per rung of a 2/4/8/16-rail ladder. Host time prices the
+/// striping bookkeeping as the plan width grows; the routine asserts the
+/// *simulated* physics both ways — effective bandwidth must climb
+/// strictly with the rail count (the water-filled plan keeps every rail
+/// streaming), and the documented eager/stripe crossover must move
+/// *down*: `s* = 2(latency+occupancy)/per_byte · r/(r−1)` shrinks toward
+/// its 1× asymptote as more rails amortize the same handshake, so wider
+/// fabrics stripe smaller messages profitably.
+fn newmad_rail_ladder(opts: &BenchOptions) -> BenchResult {
+    use newmadeleine::{rails, EngineConfig};
+    use piom_net::NetParams;
+    const SIZE: usize = 1 << 20;
+    let scaled = BenchOptions {
+        iters: (opts.iters / 10).max(5),
+        ..*opts
+    };
+    measure(
+        "newmad_rail_ladder",
+        &scaled,
+        || (),
+        || {
+            let mut prev_bw = 0.0f64;
+            let mut prev_xover = usize::MAX;
+            for n_rails in [2usize, 4, 8, 16] {
+                let ns = newmad_transfer_ns_rails(SIZE, EngineConfig::newmadeleine(), n_rails);
+                let bw = SIZE as f64 / ns as f64;
+                assert!(
+                    bw > prev_bw,
+                    "striped bandwidth must climb with the rail count: \
+                     {n_rails} rails moved {bw:.4} B/ns vs {prev_bw:.4} before"
+                );
+                prev_bw = bw;
+                let xover = rails::stripe_crossover(&NetParams::infiniband(), n_rails);
+                assert!(
+                    xover < prev_xover,
+                    "the eager/stripe crossover must shrink as rails amortize \
+                     the handshake: {xover} B at {n_rails} rails vs {prev_xover}"
+                );
+                prev_xover = xover;
+            }
+        },
+    )
+}
+
 /// The QoS class-lane head-to-head: an identical 64-task backlog mixed
 /// across all four [`pioman::TaskClass`] tiers (half carrying EDF
 /// deadline ticks) preloaded on core 0 and drained by keypoints — once
@@ -766,6 +895,86 @@ fn qos_waitlist_chain(opts: &BenchOptions) -> BenchResult {
     result
 }
 
+/// One rung of the `steal_scaling_{256,512,1024}` ladder — the scaling
+/// study's recorded row family. A [`scenarios::SCALING_LOAD`]-task
+/// machine-wide backlog is homed on core 0 of a manycore preset with
+/// [`scenarios::SCALING_SPILL_THRESHOLD`] as the spill threshold, so
+/// dispatch pushes most of it through the per-socket overflow tier. The
+/// starved home core never schedules; the drain cast is core 1 (a
+/// home-socket sibling, claiming from the socket overflow) plus the first
+/// core of every remote socket (cross-socket thieves), so one timed drain
+/// prices spill, claim, *and* cross-socket steal on the same backlog.
+///
+/// Post-run asserts make the row self-checking evidence for the tier's
+/// contract at every rung: tasks spilled, were claimed back, and were
+/// stolen across sockets; the starved core ran nothing; and — the study's
+/// headline — a park probe on the drained fabric misses after consulting
+/// **exactly `sockets.len()` aggregates**, the O(sockets) bound that
+/// keeps the about-to-park check flat from 256 to 1024 cores. The miss
+/// itself also pins span decay: a stale socket span after a full drain
+/// would read as a false hit.
+fn steal_scaling(
+    name: &'static str,
+    opts: &BenchOptions,
+    topo: piom_topology::Topology,
+) -> BenchResult {
+    let mgr = TaskManager::with_config(
+        Arc::new(topo),
+        ManagerConfig {
+            spill_threshold: scenarios::SCALING_SPILL_THRESHOLD,
+            ..ManagerConfig::default()
+        },
+    );
+    let n_cores = mgr.topology().n_cores();
+    let sockets = mgr.stats().sockets;
+    let n_sockets = sockets.len();
+    assert!(n_sockets >= 2, "{name} needs a multi-socket preset");
+    let mut drainers = vec![1usize];
+    for s in &sockets {
+        if !s.cpuset.contains(0) {
+            drainers.push(s.cpuset.iter().next().expect("socket has cores"));
+        }
+    }
+    let handles = std::cell::RefCell::new(Vec::new());
+    let result = measure(
+        name,
+        opts,
+        || *handles.borrow_mut() = scenarios::submit_manycore_backlog(&mgr),
+        || scenarios::drain_cores_until_complete(&mgr, &drainers, &handles.borrow()),
+    );
+    let stats = mgr.stats();
+    assert!(
+        stats.total_spilled() > 0,
+        "{name}: the deep backlog must spill into the socket tier"
+    );
+    assert!(
+        stats.total_claimed() > 0,
+        "{name}: spilled tasks must drain through overflow claims"
+    );
+    assert!(
+        stats.total_stolen() > 0,
+        "{name}: the starved core's residue must drain via steals"
+    );
+    assert_eq!(
+        stats.executed_by_core[0], 0,
+        "{name}: the starved home core must run nothing"
+    );
+    // The O(sockets) probe bound, measured directly: on the fully drained
+    // fabric a pre-park probe from the last core must miss (no stale span
+    // false positive) after exactly one aggregate poll per socket.
+    let polls_before = stats.total_park_probe_polls();
+    assert!(
+        !mgr.park_probe(n_cores - 1),
+        "{name}: drained fabric must probe as empty (stale span?)"
+    );
+    let polls = mgr.stats().total_park_probe_polls() - polls_before;
+    assert_eq!(
+        polls, n_sockets as u64,
+        "{name}: a full-miss probe must cost exactly one poll per socket"
+    );
+    result
+}
+
 /// Runs the whole suite. The returned vector's order and names are stable:
 /// they are the `BENCH_pioman.json` keys future PRs diff against.
 pub fn run_suite(opts: &BenchOptions) -> Vec<BenchResult> {
@@ -773,6 +982,8 @@ pub fn run_suite(opts: &BenchOptions) -> Vec<BenchResult> {
     let [relaxed, seqcst_baseline] = relaxed_vs_seqcst(opts);
     let [sharded, shared_baseline] = stats_sharding(opts);
     let [qos_lockfree, qos_spinlock] = qos_class_mix(opts);
+    let [relaxed_many, seqcst_many_baseline] = relaxed_vs_seqcst_manycore(opts);
+    let [sharded_many, shared_many_baseline] = stats_sharding_manycore(opts);
     vec![
         submit_schedule_percore(opts),
         submit_schedule_global(opts),
@@ -789,11 +1000,12 @@ pub fn run_suite(opts: &BenchOptions) -> Vec<BenchResult> {
         steal_half_backlog(opts),
         adaptive_batch_ramp(opts),
         park_wake_latency(opts),
-        phase_shift("phase_shift_ramp", opts, SignalPolicy::Windowed),
+        phase_shift("phase_shift_ramp", opts, SignalPolicy::Windowed, false),
         phase_shift(
             "phase_shift_ramp_cumulative",
             opts,
             SignalPolicy::Cumulative,
+            false,
         ),
         relaxed,
         seqcst_baseline,
@@ -802,6 +1014,15 @@ pub fn run_suite(opts: &BenchOptions) -> Vec<BenchResult> {
         qos_lockfree,
         qos_spinlock,
         qos_waitlist_chain(opts),
+        phase_shift("phase_shift_ramp_auto", opts, SignalPolicy::Windowed, true),
+        steal_scaling("steal_scaling_256", opts, presets::dual_socket_256()),
+        steal_scaling("steal_scaling_512", opts, presets::quad_socket_512()),
+        steal_scaling("steal_scaling_1024", opts, presets::quad_socket_1024()),
+        relaxed_many,
+        seqcst_many_baseline,
+        sharded_many,
+        shared_many_baseline,
+        newmad_rail_ladder(opts),
     ]
 }
 
@@ -859,6 +1080,15 @@ mod tests {
             "qos_class_mix",
             "qos_class_mix_spinlock",
             "qos_waitlist_chain",
+            "phase_shift_ramp_auto",
+            "steal_scaling_256",
+            "steal_scaling_512",
+            "steal_scaling_1024",
+            "relaxed_vs_seqcst_manycore",
+            "relaxed_vs_seqcst_manycore_baseline",
+            "stats_sharding_manycore",
+            "stats_sharding_manycore_baseline",
+            "newmad_rail_ladder",
         ] {
             assert!(names.contains(&required), "missing benchmark {required:?}");
         }

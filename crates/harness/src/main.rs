@@ -190,8 +190,9 @@ fn run_scenarios(args: &[String]) {
     } else {
         ScenarioParams::full(seed)
     };
-    let results = scen::run_matrix(&selected, &params);
-    print!("{}", scen::render_text(&selected, &results));
+    let reports = scen::run_matrix(&selected, &params);
+    print!("{}", scen::render_text(&selected, &reports));
+    let results: Vec<_> = reports.iter().map(scen::to_bench_result).collect();
     if json {
         if let Err(e) = std::fs::write(&out_path, schema::render_json(&results)) {
             eprintln!("cannot write {out_path}: {e}");

@@ -16,6 +16,7 @@
 
 use crate::schema::BenchResult;
 use piom_scenarios::{Scenario, ScenarioParams, ScenarioReport};
+use pioman::TaskClass;
 use std::fmt::Write as _;
 
 /// Converts one scenario report into a schema-v2 trajectory row: the
@@ -34,42 +35,59 @@ pub fn to_bench_result(r: &ScenarioReport) -> BenchResult {
 }
 
 /// Runs `scenarios` under `params`, in the given (registry) order,
-/// returning one trajectory row each. Deterministic: same scenario list,
-/// params, and seed produce identical rows.
-pub fn run_matrix(scenarios: &[&Scenario], params: &ScenarioParams) -> Vec<BenchResult> {
-    scenarios
-        .iter()
-        .map(|s| to_bench_result(&s.run(params)))
-        .collect()
+/// returning one full report each. Deterministic: same scenario list,
+/// params, and seed produce identical reports. The caller converts to
+/// trajectory rows with [`to_bench_result`]; the throughput-per-class
+/// rows stay report-only (the JSON schema is ns/op percentiles).
+pub fn run_matrix(scenarios: &[&Scenario], params: &ScenarioParams) -> Vec<ScenarioReport> {
+    scenarios.iter().map(|s| s.run(params)).collect()
 }
 
 /// Human-readable matrix table (the non-`--json` CLI output). Latencies
 /// are *simulated* nanoseconds; `gate` shows which compare treatment the
 /// row gets (`wide` = mean-only at the wide threshold, `tail` = mean +
-/// p99).
-pub fn render_text(scenarios: &[&Scenario], rows: &[BenchResult]) -> String {
+/// p99). Each scenario's throughput-per-class rows follow indented —
+/// completions per simulated millisecond, classes with zero completions
+/// omitted.
+pub fn render_text(scenarios: &[&Scenario], reports: &[ScenarioReport]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
         "SCENARIO MATRIX — simulated workload latency (ns), seed {}",
-        rows.first().map_or(0, |r| r.seed)
+        reports.first().map_or(0, |r| r.seed)
     );
     let _ = writeln!(
         out,
-        "{:<20}{:>12}{:>12}{:>12}{:>12}{:>9}  {:<6}",
+        "{:<22}{:>12}{:>12}{:>12}{:>12}{:>9}  {:<6}",
         "scenario", "mean", "p50", "p99", "p999", "samples", "gate"
     );
-    for (s, r) in scenarios.iter().zip(rows) {
+    for (s, r) in scenarios.iter().zip(reports) {
         let gate = match s.gate {
             piom_scenarios::Gate::Wide => "wide",
             piom_scenarios::Gate::Tail => "tail",
         };
         let _ = writeln!(
             out,
-            "{:<20}{:>12.1}{:>12.1}{:>12.1}{:>12.1}{:>9}  {:<6}",
-            r.name, r.mean_ns, r.p50_ns, r.p99_ns, r.p999_ns, r.iters, gate
+            "{:<22}{:>12.1}{:>12.1}{:>12.1}{:>12.1}{:>9}  {:<6}",
+            r.name,
+            r.summary.mean,
+            r.summary.p50,
+            r.summary.p99,
+            r.summary.p999,
+            r.summary.count,
+            gate
         );
         let _ = writeln!(out, "  {}", s.about);
+        let mut tput = String::new();
+        for (class, row) in TaskClass::ALL.iter().zip(&r.throughput) {
+            if row.completed > 0 {
+                if !tput.is_empty() {
+                    tput.push_str("  ·  ");
+                }
+                let _ = write!(tput, "{:?} {} ({:.2}/ms)", class, row.completed, row.per_ms);
+            }
+        }
+        let _ = writeln!(out, "  throughput: {tput}");
     }
     out
 }
@@ -83,7 +101,10 @@ mod tests {
     fn matrix_rows_render_as_valid_schema_v2() {
         let params = ScenarioParams::quick(42);
         let scenarios: Vec<&Scenario> = piom_scenarios::registry().iter().collect();
-        let rows = run_matrix(&scenarios, &params);
+        let rows: Vec<BenchResult> = run_matrix(&scenarios, &params)
+            .iter()
+            .map(to_bench_result)
+            .collect();
         assert!(rows.len() >= 8, "matrix too small");
         let json = schema::render_json(&rows);
         let parsed = schema::parse_trajectory(&json).expect("rows must round-trip");
@@ -111,11 +132,22 @@ mod tests {
     fn render_text_lists_every_scenario_and_its_gate() {
         let params = ScenarioParams::quick(42);
         let scenarios: Vec<&Scenario> = piom_scenarios::registry().iter().collect();
-        let rows = run_matrix(&scenarios, &params);
-        let text = render_text(&scenarios, &rows);
+        let reports = run_matrix(&scenarios, &params);
+        let text = render_text(&scenarios, &reports);
         for s in piom_scenarios::registry() {
             assert!(text.contains(s.name), "{} missing from table", s.name);
         }
         assert!(text.contains("wide") && text.contains("tail"));
+        // Every scenario carries a throughput-per-class line, and the QoS
+        // mesh rows decompose theirs into all four classes.
+        assert_eq!(
+            text.matches("throughput:").count(),
+            reports.len(),
+            "one throughput line per scenario"
+        );
+        assert!(
+            text.contains("Urgent") && text.contains("Background"),
+            "QoS rows must break out per-class rates"
+        );
     }
 }

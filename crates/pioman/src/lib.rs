@@ -97,12 +97,13 @@ pub use completion::{TaskError, TaskHandle};
 pub use hist::{HistSnapshot, Histogram, PercentileSummary};
 pub use manager::{
     HookPoint, ManagerConfig, QueueBackend, SubmitSpec, TaskManager, DEFAULT_BATCH,
-    DEFAULT_CONTENTION_HALF_LIFE, DEFAULT_STEAL_WAKE_BACKLOG, MAX_BATCH, MIN_BATCH,
+    DEFAULT_CONTENTION_HALF_LIFE, DEFAULT_CROSS_SOCKET_BACKLOG, DEFAULT_SPILL_THRESHOLD,
+    DEFAULT_STEAL_WAKE_BACKLOG, MAX_BATCH, MIN_BATCH,
 };
 pub use progression::{BatchPolicy, Progression, ProgressionConfig, MAX_PROBE_STRIKES};
 pub use queue::QueueId;
-pub use signal::{ContentionWindow, SignalPolicy, FP_ONE};
-pub use stats::{ManagerStats, QueueStats};
+pub use signal::{ContentionWindow, SignalPolicy, AUTO_HALF_LIFE_MAX, AUTO_HALF_LIFE_MIN, FP_ONE};
+pub use stats::{ManagerStats, QueueStats, SocketStats};
 pub use task::{Task, TaskClass, TaskContext, TaskOptions, TaskStatus, CLASS_COUNT};
 
 // Re-export foundation types so downstream users need only this crate.

@@ -1,16 +1,17 @@
 //! The task manager: hierarchical queues + Algorithms 1 and 2.
 
 use crate::completion::Completion;
-use crate::queue::{QueueId, TaskQueue};
+use crate::lockfree::ClassLanes;
+use crate::queue::{QueueId, TaskQueue, SPAN_WORDS};
 use crate::signal::{ContentionWindow, SignalPolicy};
-use crate::stats::{ManagerStats, QueueStats};
+use crate::stats::{ManagerStats, QueueStats, SocketStats};
 use crate::task::{Task, TaskClass, TaskContext, TaskFn, TaskOptions, TaskStatus, CLASS_COUNT};
 use crate::TaskHandle;
-use core::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use core::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use crossbeam::utils::CachePadded;
 use parking_lot::Mutex;
 use piom_cpuset::CpuSet;
-use piom_topology::Topology;
+use piom_topology::{Level, NodeId, Topology};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread::Thread;
@@ -57,6 +58,27 @@ pub const DEFAULT_CONTENTION_HALF_LIFE: u32 = 32;
 /// ([`TaskManager::wake_for_steal`]).
 pub const DEFAULT_STEAL_WAKE_BACKLOG: usize = 8;
 
+/// Default [`ManagerConfig::spill_threshold`]: a per-core queue reaching
+/// this depth at enqueue time spills half its backlog (lowest class first)
+/// into its socket's overflow tier. Sized well above
+/// [`DEFAULT_STEAL_WAKE_BACKLOG`] *and* [`MAX_BATCH`]: wake-ups and
+/// steal-half probes get first crack at an imbalance, and a backlog a
+/// single keypoint budget can clear never pays the spill round-trip
+/// (each spill moves half the queue into the overflow tier and the
+/// drain claims it back — measurably slower than a local batched drain
+/// for small backlogs, which is exactly the regime below this default).
+/// Many-core saturation setups lower it; the `steal_scaling_*` bench
+/// ladder pins 16 so a 256-task backlog engages the tier.
+pub const DEFAULT_SPILL_THRESHOLD: usize = 512;
+
+/// Default [`ManagerConfig::cross_socket_backlog`]: the minimum observed
+/// backlog (queue depth or overflow depth) a *remote-socket* victim must
+/// show before a thief crosses the interconnect for it. `1` keeps the
+/// pre-hierarchy behaviour — any visible remote work is worth a probe —
+/// which suits latency-bound workloads; throughput-bound many-core setups
+/// raise it so only meaningful imbalances pay the cross-NUMA traffic.
+pub const DEFAULT_CROSS_SOCKET_BACKLOG: usize = 1;
+
 /// Task-manager construction options.
 #[derive(Debug, Clone)]
 pub struct ManagerConfig {
@@ -93,6 +115,32 @@ pub struct ManagerConfig {
     /// relaxed RMWs on every task execution — cheap, but not free, and
     /// the scheduler's own benches must not pay for their observability.
     pub latency_histogram: bool,
+    /// The **per-socket overflow tier** (on by default): each NUMA node
+    /// (falling back to chips, then the whole machine, on shallower trees)
+    /// gets a socket-shared set of lock-free class lanes. A per-core queue
+    /// whose depth crosses [`spill_threshold`](Self::spill_threshold)
+    /// spills half its backlog there — lowest class first, QoS lanes
+    /// preserved — instead of letting it age behind the queue's own core;
+    /// idle keypoints drain the overflow between their socket-node queue
+    /// and the Global Queue (core → socket → global), and thieves prefer a
+    /// remote socket's concentrated overflow to picking through its member
+    /// queues. On single-socket topologies the tier is inert regardless of
+    /// this flag (there is no "whole socket" distinct from the machine).
+    pub socket_overflow: bool,
+    /// Per-core queue depth, observed at enqueue time, that triggers a
+    /// spill into the socket overflow tier (see
+    /// [`socket_overflow`](Self::socket_overflow)).
+    pub spill_threshold: usize,
+    /// Minimum backlog a remote-socket victim (queue or overflow) must
+    /// show before a thief crosses the interconnect for it; intra-socket
+    /// victims are never gated. `1` = any visible remote work qualifies.
+    pub cross_socket_backlog: usize,
+    /// Auto-tune each core's contention-window half-life from the observed
+    /// inter-burst gap (EWMA), so the window tracks the workload's own
+    /// phase cadence instead of a compile-time guess. **On by default**;
+    /// disable to pin [`contention_half_life`](Self::contention_half_life)
+    /// exactly (the ablation benches do, so fixed-vs-auto is measurable).
+    pub auto_half_life: bool,
 }
 
 impl Default for ManagerConfig {
@@ -104,6 +152,10 @@ impl Default for ManagerConfig {
             contention_half_life: DEFAULT_CONTENTION_HALF_LIFE,
             steal_wake_backlog: DEFAULT_STEAL_WAKE_BACKLOG,
             latency_histogram: false,
+            socket_overflow: true,
+            spill_threshold: DEFAULT_SPILL_THRESHOLD,
+            cross_socket_backlog: DEFAULT_CROSS_SOCKET_BACKLOG,
+            auto_half_life: true,
         }
     }
 }
@@ -210,6 +262,11 @@ struct CoreState {
     park_hits: AtomicU64,
     /// Park probes that found nothing stealable (the worker parked).
     park_misses: AtomicU64,
+    /// Socket aggregates consulted by park probes: the work a pre-park
+    /// scan actually performs, `O(sockets)` per probe under the overflow
+    /// tier (the scaling study's headline assertion), one poll per victim
+    /// queue in the flat fallback.
+    park_polls: AtomicU64,
     /// Decayed contention window feeding
     /// [`TaskManager::adaptive_budget`] under [`SignalPolicy::Windowed`].
     window: ContentionWindow,
@@ -230,13 +287,24 @@ struct RemoteCoreState {
     /// Dekker-style park/wake handshake — see the ordering table in
     /// `docs/SCHEDULER.md` and the `vendor/interleave` park_wake model.
     parked: AtomicBool,
+    /// Whether a progression worker is registered for this core at all —
+    /// the cheap pre-check that lets [`TaskManager::wake_cores`] skip the
+    /// waker mutex for workerless cores. At 1024 cores a machine-wide
+    /// submission otherwise pays one mutex round-trip per core per
+    /// enqueue just to find `None`; with the flag an absent worker costs
+    /// one load. Set *before* the waker installs and cleared *after* it
+    /// is removed, so a `false` read genuinely means no waker — the only
+    /// race window is a worker between registration and its first
+    /// keypoint scan, and that scan sees any task the skipped wake would
+    /// have flagged.
+    waker_present: AtomicBool,
     /// Steal-targeted wake-ups received by this core's worker (written by
     /// the *waking* core).
     steal_wakeups: AtomicU64,
 }
 
 impl CoreState {
-    fn new(contention_half_life: u32) -> Self {
+    fn new(contention_half_life: u32, auto_half_life: bool) -> Self {
         CoreState {
             executed: AtomicU64::new(0),
             executed_class: Default::default(),
@@ -246,14 +314,159 @@ impl CoreState {
             steal_batches: AtomicU64::new(0),
             park_hits: AtomicU64::new(0),
             park_misses: AtomicU64::new(0),
-            window: ContentionWindow::new(contention_half_life),
+            park_polls: AtomicU64::new(0),
+            window: if auto_half_life {
+                ContentionWindow::new_auto(contention_half_life)
+            } else {
+                ContentionWindow::new(contention_half_life)
+            },
             remote: CachePadded::new(RemoteCoreState {
                 parked: AtomicBool::new(false),
+                waker_present: AtomicBool::new(false),
                 steal_wakeups: AtomicU64::new(0),
             }),
         }
     }
 }
+
+/// OR a cpuset into an atomic span-word array — the same protocol as
+/// [`TaskQueue`]'s steal span: words already covering the bits are
+/// skipped, new bits publish with `Release` so a decay's `Acquire` swap
+/// that captures them also sees the push they describe.
+fn span_or(span: &[AtomicU64; SPAN_WORDS], set: &CpuSet) {
+    for (word, &bits) in span.iter().zip(set.as_words()) {
+        if bits != 0 && word.load(Ordering::Relaxed) & bits != bits {
+            word.fetch_or(bits, Ordering::Release);
+        }
+    }
+}
+
+/// `true` if `core`'s bit is set in the span (one relaxed load).
+fn span_admits(span: &[AtomicU64; SPAN_WORDS], core: usize) -> bool {
+    core < CpuSet::MAX_CPUS && span[core / 64].load(Ordering::Relaxed) & (1u64 << (core % 64)) != 0
+}
+
+/// Relaxed snapshot of a span-word array as a [`CpuSet`].
+fn span_snapshot(span: &[AtomicU64; SPAN_WORDS]) -> CpuSet {
+    let mut words = [0u64; SPAN_WORDS];
+    for (w, a) in words.iter_mut().zip(span.iter()) {
+        *w = a.load(Ordering::Relaxed);
+    }
+    CpuSet::from_words(words)
+}
+
+/// One socket of the **per-socket overflow tier** (see
+/// [`ManagerConfig::socket_overflow`]): the overflow lanes deep member
+/// queues spill into, plus the socket-aggregated signals — pending hint,
+/// steal spans, parked-worker count — that let park probes, steal-targeted
+/// wakes and cross-socket steal gates consult one padded block per socket
+/// instead of touching every member core's state.
+struct SocketTier {
+    /// Arena index of the topology node this socket aggregates (a NUMA
+    /// node; a chip or the machine root on trees without that level).
+    node: u32,
+    /// Cores the socket spans.
+    cpuset: CpuSet,
+    /// The overflow lanes: the same lock-free [`ClassLanes`] the LockFree
+    /// queue backend uses, so spilled tasks keep their QoS class and
+    /// deadline lane across the spill (boxed: the lanes are several cache
+    /// lines of per-class queues, cold for every socket but the busy one).
+    overflow: Box<ClassLanes<Task>>,
+    /// Depth of `overflow` (racy hint, same contract as queue len hints).
+    overflow_len: CachePadded<AtomicUsize>,
+    /// Union of the cpusets of tasks spilled into `overflow`, decayed when
+    /// the overflow drains: gates claims and cross-socket overflow steals
+    /// the way a queue's steal span gates queue steals.
+    overflow_span: CachePadded<[AtomicU64; SPAN_WORDS]>,
+    /// Tasks pending across the socket's member queues *and* overflow
+    /// (racy signed hint — increments and decrements race, so transient
+    /// negatives are possible and callers clamp at zero). The O(1) filter
+    /// a *remote* core's park probe reads instead of scanning this
+    /// socket's member queues.
+    pending: CachePadded<AtomicI64>,
+    /// Union of enqueued task cpusets across member queues and overflow,
+    /// decayed when `pending` drains: the eligibility half of the remote
+    /// park-probe filter.
+    span: CachePadded<[AtomicU64; SPAN_WORDS]>,
+    /// Parked progression workers among this socket's cores, maintained
+    /// alongside the per-core flags: lets a steal-targeted wake skip a
+    /// fully-busy socket's whole candidate run in O(1).
+    parked: AtomicU64,
+    /// Tasks spilled into this socket's overflow (lifetime counter).
+    spilled: AtomicU64,
+    /// Tasks claimed out of the overflow and run (lifetime counter; claims
+    /// by member cores and steals by remote cores both count).
+    claimed: AtomicU64,
+}
+
+impl SocketTier {
+    fn new(node: u32, cpuset: CpuSet) -> Self {
+        SocketTier {
+            node,
+            cpuset,
+            overflow: Box::new(ClassLanes::new()),
+            overflow_len: CachePadded::new(AtomicUsize::new(0)),
+            overflow_span: CachePadded::new(std::array::from_fn(|_| AtomicU64::new(0))),
+            pending: CachePadded::new(AtomicI64::new(0)),
+            span: CachePadded::new(std::array::from_fn(|_| AtomicU64::new(0))),
+            parked: AtomicU64::new(0),
+            spilled: AtomicU64::new(0),
+            claimed: AtomicU64::new(0),
+        }
+    }
+
+    /// Socket-span decay, mirroring [`TaskQueue`]'s: when the pending hint
+    /// says the socket drained and the span grew wider than the socket's
+    /// own cpuset (the only bits that can mislead — in-cpuset bits only
+    /// attract member cores, whose probes re-check the member queues), the
+    /// span clears, restoring if work raced in. Same bounded race budget
+    /// as the queue-level decay: the span gates advisory probes only.
+    fn maybe_decay_span(&self) {
+        let own = self.cpuset.as_words();
+        if self
+            .span
+            .iter()
+            .zip(own)
+            .all(|(w, &own_bits)| w.load(Ordering::Relaxed) & !own_bits == 0)
+        {
+            return;
+        }
+        let mut cleared = [0u64; SPAN_WORDS];
+        for (c, w) in cleared.iter_mut().zip(self.span.iter()) {
+            *c = w.swap(0, Ordering::Acquire);
+        }
+        if self.pending.load(Ordering::Relaxed) > 0 {
+            for (c, w) in cleared.iter().zip(self.span.iter()) {
+                if *c != 0 {
+                    w.fetch_or(*c, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Overflow-span decay on an overflow that drained empty. Unlike the
+    /// socket span there is no "own cpuset" exemption: a claim re-checks
+    /// nothing (it pops blind and bounces ineligible tasks home), so every
+    /// stale bit costs a wasted pop — clear them all.
+    fn maybe_decay_overflow_span(&self) {
+        let mut cleared = [0u64; SPAN_WORDS];
+        for (c, w) in cleared.iter_mut().zip(self.overflow_span.iter()) {
+            *c = w.swap(0, Ordering::Acquire);
+        }
+        if self.overflow_len.load(Ordering::Relaxed) != 0 {
+            for (c, w) in cleared.iter().zip(self.overflow_span.iter()) {
+                if *c != 0 {
+                    w.fetch_or(*c, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+/// One socket group in a core's victim scan: the socket id plus its member
+/// victim queues as `(queue index, distance)` pairs, kept in
+/// [`Topology::steal_order_with_distance`] order.
+type SocketVictimGroup = (u32, Vec<(u32, u8)>);
 
 /// The scalable task scheduling system: one queue per topology node,
 /// submission by CPU set, execution by upward queue scan.
@@ -270,12 +483,30 @@ pub struct TaskManager {
     hook_counts: [AtomicU64; 3],
     /// Progression workers to unpark when work arrives, one slot per core.
     wakers: Vec<Mutex<Option<Thread>>>,
-    /// Per-core victim queue order with its locality distance (nearest
-    /// sibling first), precomputed from
-    /// [`Topology::steal_order_with_distance`] at construction. Equal
-    /// distances form a *tier*; the steal path re-ranks a tier by observed
-    /// queue depth at probe time.
-    steal_order: Vec<Vec<(u32, u8)>>,
+    /// Per-core victim scan, socket-major: the core's own socket's victim
+    /// queues first (the old flat order restricted to the socket), then
+    /// each remote socket's in [`socket_order`](Self::socket_order)
+    /// sequence. Within a socket group the entries keep the
+    /// [`Topology::steal_order_with_distance`] order: equal distances form
+    /// a *tier*, re-ranked by observed queue depth at probe time.
+    steal_order: Vec<Vec<SocketVictimGroup>>,
+    /// The socket tiers (one per NUMA node / chip / machine — see
+    /// [`SocketTier::node`]), indexed by socket id.
+    sockets: Vec<SocketTier>,
+    /// Each core's socket id.
+    core_socket: Vec<u32>,
+    /// Each queue's socket id (`None` only for queues *above* every
+    /// socket node — the Global Queue on multi-socket trees).
+    queue_socket: Vec<Option<u32>>,
+    /// Per-core socket visit order: own socket first, then remote sockets
+    /// by nearest-span distance (ties by id). The O(sockets) scan behind
+    /// park probes and the cross-socket half of the steal path.
+    socket_order: Vec<Vec<u32>>,
+    /// Whether the overflow tier is live: configured on *and* the tree
+    /// actually has more than one socket (single-socket machines have no
+    /// "whole socket" distinct from the machine, so the tier would only
+    /// duplicate the Global Queue).
+    socket_overflow_active: bool,
     /// Count of set `CoreState::parked` flags, maintained alongside them:
     /// the O(1) short-circuit that keeps
     /// [`wake_for_steal`](Self::wake_for_steal) off the submit hot path
@@ -285,8 +516,10 @@ pub struct TaskManager {
     parked_count: AtomicU64,
     /// Per-queue wake order: every core sorted nearest-first from the
     /// queue's span ([`Topology::cores_by_distance_from_node`]), scanned by
-    /// [`wake_for_steal`](Self::wake_for_steal).
-    wake_order: Vec<Vec<u32>>,
+    /// [`wake_for_steal`](Self::wake_for_steal). Consecutive same-socket
+    /// runs are grouped so a socket whose [`SocketTier::parked`] count is
+    /// zero skips its whole run in one load.
+    wake_order: Vec<Vec<(u32, Vec<u32>)>>,
     /// Submit→execute latency histogram, one shard per core, present only
     /// when [`ManagerConfig::latency_histogram`] is set. The executing core
     /// records into its own shard, so concurrent workers never contend.
@@ -331,24 +564,119 @@ impl TaskManager {
             })
             .collect();
         let cores = (0..n_cores)
-            .map(|_| CachePadded::new(CoreState::new(config.contention_half_life)))
+            .map(|_| {
+                CachePadded::new(CoreState::new(
+                    config.contention_half_life,
+                    config.auto_half_life,
+                ))
+            })
             .collect();
         let wakers = (0..n_cores).map(|_| Mutex::new(None)).collect();
-        let steal_order = (0..n_cores)
+
+        // Socket detection: NUMA nodes are the natural spill/steal
+        // aggregation domain; trees without a NUMA level fall back to
+        // chips, and flat trees to the machine root (one socket — the
+        // overflow tier then stays inert).
+        let socket_nodes: Vec<NodeId> = {
+            let numa = topo.nodes_at_level(Level::NumaNode);
+            if !numa.is_empty() {
+                numa
+            } else {
+                let chips = topo.nodes_at_level(Level::Chip);
+                if !chips.is_empty() {
+                    chips
+                } else {
+                    vec![topo.root()]
+                }
+            }
+        };
+        let map_queue_sockets = |socket_nodes: &[NodeId]| -> Vec<Option<u32>> {
+            let mut direct = vec![None; topo.n_nodes()];
+            for (s, id) in socket_nodes.iter().enumerate() {
+                direct[id.index()] = Some(s as u32);
+            }
+            topo.node_ids()
+                .map(|id| {
+                    let mut cur = Some(id);
+                    while let Some(n) = cur {
+                        if let Some(s) = direct[n.index()] {
+                            return Some(s);
+                        }
+                        cur = topo.node(n).parent;
+                    }
+                    None
+                })
+                .collect()
+        };
+        let mut queue_socket = map_queue_sockets(&socket_nodes);
+        // Irregular trees could leave a core outside every socket node;
+        // collapse to the single-root socket rather than schedule blind.
+        let covered = (0..n_cores).all(|c| queue_socket[topo.core_node(c).index()].is_some());
+        let socket_nodes = if covered {
+            socket_nodes
+        } else {
+            let roots = vec![topo.root()];
+            queue_socket = map_queue_sockets(&roots);
+            roots
+        };
+        let sockets: Vec<SocketTier> = socket_nodes
+            .iter()
+            .map(|&id| SocketTier::new(id.index() as u32, topo.node(id).cpuset))
+            .collect();
+        let socket_overflow_active = config.socket_overflow && sockets.len() > 1;
+        let core_socket: Vec<u32> = (0..n_cores)
+            .map(|c| queue_socket[topo.core_node(c).index()].expect("core outside every socket"))
+            .collect();
+        let socket_order: Vec<Vec<u32>> = (0..n_cores)
             .map(|c| {
-                topo.steal_order_with_distance(c)
-                    .into_iter()
-                    .map(|(id, dist)| (id.index() as u32, dist.min(u8::MAX as usize) as u8))
-                    .collect()
+                let mut order: Vec<u32> = (0..sockets.len() as u32).collect();
+                // Own socket lands first naturally: the core is inside its
+                // own socket's span, so its nearest-span distance is 0.
+                order.sort_by_cached_key(|&s| {
+                    let d = sockets[s as usize]
+                        .cpuset
+                        .iter()
+                        .map(|other| topo.distance(c, other))
+                        .min()
+                        .unwrap_or(usize::MAX);
+                    (d, s)
+                });
+                order
+            })
+            .collect();
+        let steal_order: Vec<Vec<SocketVictimGroup>> = (0..n_cores)
+            .map(|c| {
+                let mut groups: Vec<SocketVictimGroup> =
+                    socket_order[c].iter().map(|&s| (s, Vec::new())).collect();
+                let slot: std::collections::HashMap<u32, usize> = groups
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &(s, _))| (s, i))
+                    .collect();
+                for (id, dist) in topo.steal_order_with_distance(c) {
+                    // Every victim sits at or below some socket node (only
+                    // strict ancestors of the sockets lack one, and those
+                    // are on every core's path, hence never victims).
+                    let s = queue_socket[id.index()].expect("victim above every socket");
+                    groups[slot[&s]]
+                        .1
+                        .push((id.index() as u32, dist.min(u8::MAX as usize) as u8));
+                }
+                groups
             })
             .collect();
         let wake_order = topo
             .node_ids()
             .map(|id| {
-                topo.cores_by_distance_from_node(id)
-                    .into_iter()
-                    .map(|c| c as u32)
-                    .collect()
+                let mut groups: Vec<(u32, Vec<u32>)> = Vec::new();
+                for c in topo.cores_by_distance_from_node(id) {
+                    let s = core_socket[c];
+                    match groups.last_mut() {
+                        Some((gs, cores)) if *gs == s => cores.push(c as u32),
+                        _ => groups.push((s, vec![c as u32])),
+                    }
+                }
+                groups
             })
             .collect();
         Arc::new(TaskManager {
@@ -358,6 +686,11 @@ impl TaskManager {
             hook_counts: Default::default(),
             wakers,
             steal_order,
+            sockets,
+            core_socket,
+            queue_socket,
+            socket_order,
+            socket_overflow_active,
             parked_count: AtomicU64::new(0),
             wake_order,
             latency: config
@@ -509,6 +842,18 @@ impl TaskManager {
         let effective = task.cpuset;
         let home = task.home;
         let depth = self.queues[home.index()].enqueue(task);
+        self.note_enqueued(home, &effective);
+        // Spill escalation: a queue *below* its socket node that out-runs
+        // the spill threshold moves half its backlog (lowest class first)
+        // into the socket overflow, where every member core's hierarchy
+        // walk — not just thieves — can drain it.
+        if self.socket_overflow_active && depth >= self.config.spill_threshold {
+            if let Some(s) = self.queue_socket[home.index()] {
+                if home.index() as u32 != self.sockets[s as usize].node {
+                    self.spill(home, s as usize, depth);
+                }
+            }
+        }
         self.wake_cores(effective);
         // Backlog escalation: the queue is deep enough that its own cores
         // are visibly not keeping up, so recruit the nearest parked thief
@@ -517,6 +862,100 @@ impl TaskManager {
         if self.config.steal && depth >= self.config.steal_wake_backlog {
             self.wake_for_steal(home);
         }
+    }
+
+    /// Records `cpuset`'s task landing on `queue` in the queue's socket
+    /// aggregates (pending hint + socket span). Queues above every socket
+    /// node (the Global Queue) have no socket to account to.
+    fn note_enqueued(&self, queue: QueueId, cpuset: &CpuSet) {
+        if let Some(s) = self.queue_socket[queue.index()] {
+            let sock = &self.sockets[s as usize];
+            sock.pending.fetch_add(1, Ordering::Relaxed);
+            span_or(&sock.span, cpuset);
+        }
+    }
+
+    /// Records `n` tasks leaving `queue`; a drain that (by the racy hint)
+    /// empties the socket decays its span, mirroring the queue-level decay.
+    fn note_removed(&self, queue: QueueId, n: usize) {
+        if n == 0 {
+            return;
+        }
+        if let Some(s) = self.queue_socket[queue.index()] {
+            self.note_removed_socket(s as usize, n);
+        }
+    }
+
+    /// [`note_removed`](Self::note_removed) when the socket is already
+    /// known (overflow pops).
+    fn note_removed_socket(&self, s: usize, n: usize) {
+        let sock = &self.sockets[s];
+        if sock.pending.fetch_sub(n as i64, Ordering::Relaxed) <= n as i64 {
+            sock.maybe_decay_span();
+        }
+    }
+
+    /// Moves half of `home`'s backlog into socket `s`'s overflow lanes,
+    /// lowest class first ([`TaskQueue::spill_lowest`]). Socket pending is
+    /// unchanged — the tasks stay in the socket — so only the overflow
+    /// depth, its span, and the lifetime spill counter move.
+    fn spill(&self, home: QueueId, s: usize, depth: usize) {
+        let quota = depth / 2;
+        if quota == 0 {
+            return;
+        }
+        let mut batch = SCRATCH.take();
+        batch.clear();
+        let taken = self.queues[home.index()].spill_lowest(quota, &mut batch);
+        let sock = &self.sockets[s];
+        for task in batch.drain(..) {
+            span_or(&sock.overflow_span, &task.cpuset);
+            sock.overflow.push(task);
+            sock.overflow_len.fetch_add(1, Ordering::Relaxed);
+        }
+        if taken > 0 {
+            sock.spilled.fetch_add(taken as u64, Ordering::Relaxed);
+        }
+        batch.clear();
+        SCRATCH.set(batch);
+    }
+
+    /// Drains up to `max` tasks from `core`'s **own** socket overflow in
+    /// pop-policy order (highest class first, EDF within a class — the
+    /// [`ClassLanes`] pop) and runs them: the socket rung of the
+    /// core → socket → global walk. A popped task whose cpuset excludes
+    /// `core` bounces to its home queue through the ordinary
+    /// [`run_task`](Self::run_task) requeue path. Returns bodies run.
+    fn claim_overflow(&self, core: usize, max: usize) -> usize {
+        let s = self.core_socket[core] as usize;
+        let sock = &self.sockets[s];
+        if max == 0
+            || sock.overflow_len.load(Ordering::Relaxed) == 0
+            || !span_admits(&sock.overflow_span, core)
+        {
+            return 0;
+        }
+        let mut ran = 0;
+        // One pass: bound the pops by the depth at arrival so a stream of
+        // ineligible bounces cannot spin this keypoint.
+        let mut pass = sock.overflow_len.load(Ordering::Relaxed);
+        while ran < max && pass > 0 {
+            let Some(task) = sock.overflow.pop() else {
+                break;
+            };
+            pass -= 1;
+            sock.overflow_len.fetch_sub(1, Ordering::Relaxed);
+            self.note_removed_socket(s, 1);
+            let home = task.home;
+            if self.run_task(task, core, &self.queues[home.index()]) {
+                ran += 1;
+                sock.claimed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if sock.overflow_len.load(Ordering::Relaxed) == 0 {
+            sock.maybe_decay_overflow_span();
+        }
+        ran
     }
 
     /// Dispatches every waitlisted task whose last outstanding predecessor
@@ -605,6 +1044,7 @@ impl TaskManager {
     pub fn schedule_batch(&self, core: usize, max: usize) -> usize {
         debug_assert!(core < self.topo.n_cores(), "core id out of range");
         let mut ran = 0;
+        let socket_node = self.sockets[self.core_socket[core] as usize].node;
         let mut batch = SCRATCH.take();
         for node in self.topo.path_to_root(core) {
             if ran >= max {
@@ -614,15 +1054,21 @@ impl TaskManager {
             // One *pass* (the queue length at arrival) per queue per call,
             // so repetitive polling tasks cannot livelock the keypoint.
             let pass = queue.len_hint().min(max - ran);
-            if pass == 0 {
-                continue;
-            }
-            batch.clear();
-            queue.dequeue_batch(pass, &mut batch);
-            for task in batch.drain(..) {
-                if self.run_task(task, core, queue) {
-                    ran += 1;
+            if pass > 0 {
+                batch.clear();
+                let taken = queue.dequeue_batch(pass, &mut batch);
+                self.note_removed(queue.id, taken);
+                for task in batch.drain(..) {
+                    if self.run_task(task, core, queue) {
+                        ran += 1;
+                    }
                 }
+            }
+            // The socket rung of the core → socket → global walk: after
+            // the socket node's own queue, drain what the socket's deep
+            // member queues spilled.
+            if self.socket_overflow_active && node.index() as u32 == socket_node && ran < max {
+                ran += self.claim_overflow(core, max - ran);
             }
         }
         batch.clear();
@@ -691,6 +1137,13 @@ impl TaskManager {
                 contended += c;
             }
         }
+        // The socket overflow is on this core's drain path too (the claim
+        // rung of `schedule_batch`), so its depth sizes the budget alike.
+        if self.socket_overflow_active {
+            depth += self.sockets[self.core_socket[core] as usize]
+                .overflow_len
+                .load(Ordering::Relaxed);
+        }
         // Sample the window on *every* budget computation (even an empty
         // path), so quiet keypoints keep decaying a stale contended-phase
         // rate instead of freezing it until the next backlog.
@@ -723,6 +1176,7 @@ impl TaskManager {
     /// with the same steal fallback as [`schedule`](Self::schedule).
     /// Returns `true` if a task body was executed.
     pub fn schedule_one(&self, core: usize) -> bool {
+        let socket_node = self.sockets[self.core_socket[core] as usize].node;
         for node in self.topo.path_to_root(core) {
             let queue = &self.queues[node.index()];
             // Bounded retry: skip over tasks this core may not run.
@@ -731,9 +1185,17 @@ impl TaskManager {
                 let Some(task) = queue.try_dequeue() else {
                     break;
                 };
+                self.note_removed(queue.id, 1);
                 if self.run_task(task, core, queue) {
                     return true;
                 }
+            }
+            // Socket rung, single-task budget (see `schedule_batch`).
+            if self.socket_overflow_active
+                && node.index() as u32 == socket_node
+                && self.claim_overflow(core, 1) > 0
+            {
+                return true;
             }
         }
         self.config.steal && self.steal_batch(core, 1) > 0
@@ -755,6 +1217,14 @@ impl TaskManager {
     /// vs ~20 µs gap PR 2 recorded), while looting a whole pass would
     /// just move the imbalance onto the victim. Returns the number of
     /// tasks stolen and executed.
+    ///
+    /// The scan is socket-major (strict core → socket → global locality):
+    /// every victim inside the thief's own socket is exhausted before any
+    /// remote socket is touched. At each remote socket the concentrated
+    /// *overflow* is probed first ([`steal_overflow`](Self::
+    /// steal_overflow)), then the socket's member queues — and both are
+    /// gated on [`ManagerConfig::cross_socket_backlog`], so a thief only
+    /// crosses the interconnect for an imbalance worth the traffic.
     fn steal_batch(&self, core: usize, max: usize) -> usize {
         if max == 0 {
             return 0;
@@ -762,51 +1232,115 @@ impl TaskManager {
         self.cores[core]
             .steal_attempts
             .fetch_add(1, Ordering::Relaxed);
-        let order = &self.steal_order[core];
+        let own = self.core_socket[core];
+        let cross_gate = self.config.cross_socket_backlog.max(1);
         let mut batch = SCRATCH.take();
         let mut ran = 0;
-        let mut tier_start = 0;
-        while tier_start < order.len() && ran == 0 {
-            let distance = order[tier_start].1;
-            let tier_end = tier_start
-                + order[tier_start..]
-                    .iter()
-                    .take_while(|&&(_, d)| d == distance)
-                    .count();
-            // Deepest backlog first within the tier; len_hint is racy, but
-            // a misranked probe only costs one extra empty visit.
-            let mut tier: Vec<(u32, usize)> = order[tier_start..tier_end]
-                .iter()
-                .map(|&(qi, _)| (qi, self.queues[qi as usize].len_hint()))
-                .filter(|&(_, depth)| depth > 0)
-                .collect();
-            tier.sort_by_key(|&(qi, depth)| (core::cmp::Reverse(depth), qi));
-            for (qi, _) in tier {
-                let queue = &self.queues[qi as usize];
-                batch.clear();
-                let stolen = queue.try_steal_half(core, max, &mut batch);
-                if stolen > 0 {
-                    self.cores[core]
-                        .stolen
-                        .fetch_add(stolen as u64, Ordering::Relaxed);
-                    self.cores[core]
-                        .steal_batches
-                        .fetch_add(1, Ordering::Relaxed);
-                    for task in batch.drain(..) {
-                        self.cores[core].stolen_class[task.options.class.index()]
-                            .fetch_add(1, Ordering::Relaxed);
-                        // try_steal_half only yields tasks whose cpuset
-                        // admits `core`, so this never requeues.
-                        self.run_task(task, core, queue);
-                    }
-                    ran = stolen;
+        'sockets: for (s, order) in &self.steal_order[core] {
+            let remote = *s != own;
+            if remote && self.socket_overflow_active {
+                ran = self.steal_overflow(core, *s as usize, max);
+                if ran > 0 {
                     break;
                 }
             }
-            tier_start = tier_end;
+            let gate = if remote { cross_gate } else { 1 };
+            let mut tier_start = 0;
+            while tier_start < order.len() {
+                let distance = order[tier_start].1;
+                let tier_end = tier_start
+                    + order[tier_start..]
+                        .iter()
+                        .take_while(|&&(_, d)| d == distance)
+                        .count();
+                // Deepest backlog first within the tier; len_hint is racy,
+                // but a misranked probe only costs one extra empty visit.
+                let mut tier: Vec<(u32, usize)> = order[tier_start..tier_end]
+                    .iter()
+                    .map(|&(qi, _)| (qi, self.queues[qi as usize].len_hint()))
+                    .filter(|&(_, depth)| depth >= gate)
+                    .collect();
+                tier.sort_by_key(|&(qi, depth)| (core::cmp::Reverse(depth), qi));
+                for (qi, _) in tier {
+                    let queue = &self.queues[qi as usize];
+                    batch.clear();
+                    let stolen = queue.try_steal_half(core, max, &mut batch);
+                    if stolen > 0 {
+                        self.note_removed(queue.id, stolen);
+                        self.cores[core]
+                            .stolen
+                            .fetch_add(stolen as u64, Ordering::Relaxed);
+                        self.cores[core]
+                            .steal_batches
+                            .fetch_add(1, Ordering::Relaxed);
+                        for task in batch.drain(..) {
+                            self.cores[core].stolen_class[task.options.class.index()]
+                                .fetch_add(1, Ordering::Relaxed);
+                            // try_steal_half only yields tasks whose cpuset
+                            // admits `core`, so this never requeues.
+                            self.run_task(task, core, queue);
+                        }
+                        ran = stolen;
+                        break 'sockets;
+                    }
+                }
+                tier_start = tier_end;
+            }
         }
         batch.clear();
         SCRATCH.set(batch);
+        ran
+    }
+
+    /// Steal-half against a **remote socket's overflow**: takes up to half
+    /// of the overflow's observed depth (bounded by `max`), runs the tasks
+    /// whose cpuset admits `core` and bounces the rest to their home
+    /// queues. Gated on [`ManagerConfig::cross_socket_backlog`] and the
+    /// overflow span, so an ineligible or trivial overflow costs two
+    /// relaxed loads. Returns tasks stolen and executed.
+    fn steal_overflow(&self, core: usize, s: usize, max: usize) -> usize {
+        let sock = &self.sockets[s];
+        let depth = sock.overflow_len.load(Ordering::Relaxed);
+        if depth == 0
+            || depth < self.config.cross_socket_backlog.max(1)
+            || !span_admits(&sock.overflow_span, core)
+        {
+            return 0;
+        }
+        let quota = depth.div_ceil(2).min(max.max(1));
+        let mut ran = 0;
+        for _ in 0..quota {
+            let Some(task) = sock.overflow.pop() else {
+                break;
+            };
+            sock.overflow_len.fetch_sub(1, Ordering::Relaxed);
+            self.note_removed_socket(s, 1);
+            if task.cpuset.contains(core) {
+                self.cores[core].stolen.fetch_add(1, Ordering::Relaxed);
+                self.cores[core].stolen_class[task.options.class.index()]
+                    .fetch_add(1, Ordering::Relaxed);
+                sock.claimed.fetch_add(1, Ordering::Relaxed);
+                let home = task.home;
+                self.run_task(task, core, &self.queues[home.index()]);
+                ran += 1;
+            } else {
+                // The span over-approximated: this task cannot run here.
+                // Bounce it to its home queue, where its own cores (and
+                // correctly-targeted thieves) still see it.
+                let cpuset = task.cpuset;
+                let home = task.home;
+                self.queues[home.index()].requeue(task);
+                self.note_enqueued(home, &cpuset);
+            }
+        }
+        if ran > 0 {
+            self.cores[core]
+                .steal_batches
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        if sock.overflow_len.load(Ordering::Relaxed) == 0 {
+            sock.maybe_decay_overflow_span();
+        }
         ran
     }
 
@@ -816,7 +1350,9 @@ impl TaskManager {
         if !task.cpuset.contains(core) {
             // The queue's span covers the task's cpuset, but this particular
             // core was excluded by the submitter. Put it back for a sibling.
+            let cpuset = task.cpuset;
             queue.requeue(task);
+            self.note_enqueued(queue.id, &cpuset);
             return false;
         }
         let class = task.options.class;
@@ -844,7 +1380,10 @@ impl TaskManager {
                 // A repeat task re-entering its queue starts a fresh
                 // queueing interval; each run measures its own delay.
                 task.submitted_at = self.latency.is_some().then(std::time::Instant::now);
-                self.queues[task.home.index()].requeue(task);
+                let cpuset = task.cpuset;
+                let home = task.home;
+                self.queues[home.index()].requeue(task);
+                self.note_enqueued(home, &cpuset);
             }
             Ok(TaskStatus::Again) => self.release_waiters(task.completion.complete()),
             Err(payload) => {
@@ -875,16 +1414,29 @@ impl TaskManager {
         self.schedule_batch(core, max)
     }
 
-    /// Total tasks currently enqueued anywhere (racy hint).
+    /// Total tasks currently enqueued anywhere — queues and socket
+    /// overflows (racy hint).
     pub fn pending_tasks(&self) -> usize {
-        self.queues.iter().map(|q| q.len_hint()).sum()
+        self.queues.iter().map(|q| q.len_hint()).sum::<usize>()
+            + self
+                .sockets
+                .iter()
+                .map(|s| s.overflow_len.load(Ordering::Relaxed))
+                .sum::<usize>()
     }
 
-    /// `true` if some queue visible from `core` holds work (racy hint).
+    /// `true` if some queue visible from `core` — its hierarchy path or
+    /// its socket's overflow — holds work (racy hint).
     pub fn has_work_for(&self, core: usize) -> bool {
-        self.topo
+        if self
+            .topo
             .path_to_root(core)
             .any(|node| self.queues[node.index()].len_hint() > 0)
+        {
+            return true;
+        }
+        let sock = &self.sockets[self.core_socket[core] as usize];
+        sock.overflow_len.load(Ordering::Relaxed) > 0 && span_admits(&sock.overflow_span, core)
     }
 
     /// The current contention signal for `core`'s hierarchy path, in
@@ -914,33 +1466,84 @@ impl TaskManager {
         }
     }
 
+    /// The half-life (in samples) currently governing `core`'s windowed
+    /// contention signal: the configured
+    /// [`contention_half_life`](ManagerConfig::contention_half_life) when
+    /// [`auto_half_life`](ManagerConfig::auto_half_life) is off, the
+    /// auto-tuner's latest pick (clamped to
+    /// [`AUTO_HALF_LIFE_MIN`](crate::AUTO_HALF_LIFE_MIN)`..=`
+    /// [`AUTO_HALF_LIFE_MAX`](crate::AUTO_HALF_LIFE_MAX)) when it is on.
+    /// Observability only — the `phase_shift_ramp_auto` bench row reads it
+    /// to pin the tuner inside its clamp.
+    pub fn contention_half_life(&self, core: usize) -> u64 {
+        debug_assert!(core < self.topo.n_cores(), "core id out of range");
+        self.cores[core].window.half_life()
+    }
+
     /// The steal-aware park check: `true` if some victim queue (a queue
     /// *not* on `core`'s hierarchy path) holds backlog that `core` may be
     /// able to steal, so the caller should run another keypoint instead of
     /// parking.
     ///
     /// The scan is deliberately cheap — it must run on every
-    /// about-to-park decision: the victim list is the same precomputed
-    /// [`Topology::steal_order_with_distance`] order the steal path uses,
-    /// and each victim costs two relaxed loads (the depth hint and the
-    /// queue's *steal span*, the union of enqueued cpusets, decayed when
-    /// the queue drains empty), `O(victims)` total with no locks taken.
-    /// The span may over-approximate, so a hit is a *hint*: the next keypoint's
-    /// steal probe re-checks real task cpusets under the victim's lock,
-    /// and [`Progression`](crate::Progression) workers bound consecutive
+    /// about-to-park decision — and under the socket tier it is
+    /// **`O(sockets)`, not `O(cores)`**: each socket is one padded block
+    /// of aggregates (pending hint + span), so a remote socket costs two
+    /// relaxed loads regardless of how many member queues it has. Only the
+    /// prober's *own* socket, whose aggregate cannot distinguish work on
+    /// the prober's own path (not stealable) from a sibling's (stealable),
+    /// confirms a positive aggregate with the per-queue scan — bounded by
+    /// that one socket's victim group. The spans may over-approximate, so
+    /// a hit is a *hint*: the next keypoint's steal probe re-checks real
+    /// task cpusets under the victim's lock, and
+    /// [`Progression`](crate::Progression) workers bound consecutive
     /// fruitless hits so a stale span cannot spin a worker forever.
     ///
     /// Returns `false` without probing when stealing is disabled. Updates
-    /// the `park_probe_hits` / `park_probe_misses` counters in
-    /// [`ManagerStats`].
+    /// the `park_probe_hits` / `park_probe_misses` /
+    /// `park_probe_polls` counters in [`ManagerStats`] (`park_probe_polls`
+    /// counts socket aggregates consulted — the scaling study's
+    /// O(sockets) assertion reads it directly).
     pub fn park_probe(&self, core: usize) -> bool {
         debug_assert!(core < self.topo.n_cores(), "core id out of range");
         if !self.config.steal {
             return false;
         }
-        for &(qi, _) in &self.steal_order[core] {
-            let queue = &self.queues[qi as usize];
-            if queue.len_hint() > 0 && queue.steal_span_admits(core) {
+        let own = self.core_socket[core];
+        let cross_gate = self.config.cross_socket_backlog.max(1);
+        for &s in &self.socket_order[core] {
+            self.cores[core].park_polls.fetch_add(1, Ordering::Relaxed);
+            let sock = &self.sockets[s as usize];
+            let overflow_visible = |gate: usize| {
+                self.socket_overflow_active
+                    && sock.overflow_len.load(Ordering::Relaxed) >= gate
+                    && span_admits(&sock.overflow_span, core)
+            };
+            if s == own {
+                // The own-socket overflow is directly claimable — no
+                // confirmation needed beyond its span.
+                if overflow_visible(1) {
+                    self.cores[core].park_hits.fetch_add(1, Ordering::Relaxed);
+                    return true;
+                }
+                if sock.pending.load(Ordering::Relaxed) > 0 && span_admits(&sock.span, core) {
+                    // Confirm against the member queues: the aggregate
+                    // counts this core's own-path work too, which is
+                    // drainable but not *stealable*. `steal_order`'s own
+                    // group is exactly the off-path member queues.
+                    let (_, member_victims) = &self.steal_order[core][0];
+                    for &(qi, _) in member_victims {
+                        let queue = &self.queues[qi as usize];
+                        if queue.len_hint() > 0 && queue.steal_span_admits(core) {
+                            self.cores[core].park_hits.fetch_add(1, Ordering::Relaxed);
+                            return true;
+                        }
+                    }
+                }
+            } else if overflow_visible(cross_gate)
+                || (sock.pending.load(Ordering::Relaxed) >= cross_gate as i64
+                    && span_admits(&sock.span, core))
+            {
                 self.cores[core].park_hits.fetch_add(1, Ordering::Relaxed);
                 return true;
             }
@@ -985,16 +1588,27 @@ impl TaskManager {
             return None;
         }
         let q = &self.queues[queue.index()];
-        for &core in &self.wake_order[queue.index()] {
-            let core = core as usize;
-            if self.cores[core].remote.parked.load(Ordering::SeqCst) && q.steal_span_admits(core) {
-                if let Some(t) = self.wakers[core].lock().as_ref() {
-                    t.unpark();
-                    self.cores[core]
-                        .remote
-                        .steal_wakeups
-                        .fetch_add(1, Ordering::Relaxed);
-                    return Some(core);
+        for (s, cores) in &self.wake_order[queue.index()] {
+            // Socket-aggregated recruitment: a socket with every worker
+            // busy skips its whole candidate run on one padded load,
+            // keeping the scan O(sockets) in the common overload shape
+            // instead of polling each member's parked flag.
+            if self.sockets[*s as usize].parked.load(Ordering::SeqCst) == 0 {
+                continue;
+            }
+            for &core in cores {
+                let core = core as usize;
+                if self.cores[core].remote.parked.load(Ordering::SeqCst)
+                    && q.steal_span_admits(core)
+                {
+                    if let Some(t) = self.wakers[core].lock().as_ref() {
+                        t.unpark();
+                        self.cores[core]
+                            .remote
+                            .steal_wakeups
+                            .fetch_add(1, Ordering::Relaxed);
+                        return Some(core);
+                    }
                 }
             }
         }
@@ -1025,10 +1639,13 @@ impl TaskManager {
             // short-circuit: a racing enqueue that misses a just-parking
             // worker is the same bounded race as missing the flag itself
             // (covered by the unpark-token ordering argument).
+            let sock = &self.sockets[self.core_socket[core] as usize];
             if parked {
                 self.parked_count.fetch_add(1, Ordering::SeqCst);
+                sock.parked.fetch_add(1, Ordering::SeqCst);
             } else {
                 self.parked_count.fetch_sub(1, Ordering::SeqCst);
+                sock.parked.fetch_sub(1, Ordering::SeqCst);
             }
         }
     }
@@ -1079,6 +1696,22 @@ impl TaskManager {
             stolen_batch_by_core: self.per_core(|c| c.steal_batches.load(Ordering::Relaxed)),
             park_probe_hits: self.per_core(|c| c.park_hits.load(Ordering::Relaxed)),
             park_probe_misses: self.per_core(|c| c.park_misses.load(Ordering::Relaxed)),
+            park_probe_polls: self.per_core(|c| c.park_polls.load(Ordering::Relaxed)),
+            sockets: self
+                .sockets
+                .iter()
+                .map(|s| SocketStats {
+                    node: s.node as usize,
+                    cpuset: s.cpuset,
+                    overflow_pending: s.overflow_len.load(Ordering::Relaxed),
+                    overflow_span: span_snapshot(&s.overflow_span),
+                    pending_hint: s.pending.load(Ordering::Relaxed).max(0) as usize,
+                    span: span_snapshot(&s.span),
+                    parked: s.parked.load(Ordering::Relaxed),
+                    spilled: s.spilled.load(Ordering::Relaxed),
+                    claimed: s.claimed.load(Ordering::Relaxed),
+                })
+                .collect(),
             wakeups_for_steal: self.per_core(|c| c.remote.steal_wakeups.load(Ordering::Relaxed)),
             hook_idle: self.hook_counts[0].load(Ordering::Relaxed),
             hook_context_switch: self.hook_counts[1].load(Ordering::Relaxed),
@@ -1103,19 +1736,40 @@ impl TaskManager {
     /// Registers the calling progression worker as the runner for `core`
     /// so submissions can unpark it. Returns the previous registrant.
     pub(crate) fn register_waker(&self, core: usize, thread: Thread) -> Option<Thread> {
+        // Presence first: a submitter that reads `true` before the slot
+        // fills pays one harmless mutex peek; one that reads `false`
+        // after it fills cannot exist.
+        self.cores[core]
+            .remote
+            .waker_present
+            .store(true, Ordering::SeqCst);
         self.wakers[core].lock().replace(thread)
     }
 
     /// Removes the waker registration for `core`.
     pub(crate) fn unregister_waker(&self, core: usize) {
         self.wakers[core].lock().take();
+        self.cores[core]
+            .remote
+            .waker_present
+            .store(false, Ordering::SeqCst);
     }
 
     /// Unparks every registered worker whose core may run a new task.
+    ///
+    /// Cost discipline (the 1024-core scaling study's submit path): a
+    /// core without a registered worker is skipped on one `waker_present`
+    /// load — the waker mutex is only touched for cores that actually
+    /// have a worker to unpark, so a machine-wide submission on a
+    /// workerless (or sparsely-workered) manager is a read-only sweep,
+    /// not `n_cores` mutex round-trips per enqueue.
     fn wake_cores(&self, cpuset: CpuSet) {
         for core in cpuset.iter() {
             if core >= self.wakers.len() {
                 break;
+            }
+            if !self.cores[core].remote.waker_present.load(Ordering::SeqCst) {
+                continue;
             }
             if let Some(t) = self.wakers[core].lock().as_ref() {
                 t.unpark();

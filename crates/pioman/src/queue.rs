@@ -169,7 +169,7 @@ impl SeqLanes {
 
     /// Pops the earliest-deadline task of `class` (tournament over the
     /// deadline-lane fronts), falling back to the class FIFO.
-    fn pop_class(&mut self, class: TaskClass) -> Option<Task> {
+    pub(crate) fn pop_class(&mut self, class: TaskClass) -> Option<Task> {
         let lane = &mut self.classes[class.index()];
         let heads: [Option<u64>; DL_LANES] = core::array::from_fn(|i| {
             lane.dl[i]
@@ -282,6 +282,11 @@ impl SeqLanes {
     }
 }
 
+/// Width of the steal-span bitmask in 64-bit words — one bit per possible
+/// CPU, matching [`CpuSet::MAX_CPUS`] so the span can admit any core of the
+/// widest supported fabric (the 1024-core quad-socket preset).
+pub(crate) const SPAN_WORDS: usize = CpuSet::MAX_CPUS / 64;
+
 /// One hierarchical task queue.
 pub(crate) struct TaskQueue {
     pub(crate) id: QueueId,
@@ -295,7 +300,7 @@ pub(crate) struct TaskQueue {
     /// core*, so each core's increment stays on its own line.
     executed: ShardedCounter,
     /// The *steal span*: a union of the cpusets of the tasks enqueued
-    /// here, kept as four atomic words so
+    /// here, kept as [`SPAN_WORDS`] atomic words so
     /// [`steal_span_admits`](Self::steal_span_admits) is a single relaxed
     /// load. This is the cpuset filter behind the park probe and
     /// steal-targeted wake-ups: a core outside the span can never steal
@@ -309,7 +314,7 @@ pub(crate) struct TaskQueue {
     /// once held wide-cpuset tasks stops attracting park probes forever.
     /// Padded: every about-to-park core reads these words while
     /// enqueuers OR into them.
-    steal_span: CachePadded<[AtomicU64; 4]>,
+    steal_span: CachePadded<[AtomicU64; SPAN_WORDS]>,
 }
 
 impl TaskQueue {
@@ -361,7 +366,7 @@ impl TaskQueue {
 
     /// Folds `set` into the steal span (see the field docs). Word-skipping:
     /// after the first task with a given span shape, the common case is
-    /// four relaxed loads and zero RMWs.
+    /// relaxed loads only and zero RMWs.
     ///
     /// Called **after** the backend push, never before: the decay path
     /// clears the span only when it observes the queue empty and restores
@@ -424,7 +429,7 @@ impl TaskQueue {
         {
             return; // nothing wider than the cpuset: staleness is harmless
         }
-        let mut cleared = [0u64; 4];
+        let mut cleared = [0u64; SPAN_WORDS];
         for (c, w) in cleared.iter_mut().zip(self.steal_span.iter()) {
             // Acquire pairs with note_span's Release fetch_or: capturing
             // an enqueue's bits makes its push visible to the re-check.
@@ -768,6 +773,68 @@ impl TaskQueue {
         taken
     }
 
+    /// Removes up to `quota` tasks for a **socket-overflow spill**: lowest
+    /// class first (reverse [`TaskClass::ALL`] order), each class drained
+    /// in its own pop order (EDF ahead of FIFO, oldest first). A spill is
+    /// relocation, not service, so — like
+    /// [`steal_eligible`](SeqLanes::steal_eligible) — it skips the
+    /// anti-starvation credit. Evicting from the *bottom* of the priority
+    /// order keeps the work the pop policy would serve next on the
+    /// uncontended local queue; the excess that was going to wait anyway
+    /// is what gains from whole-socket visibility.
+    ///
+    /// The lock-free backend spills from the lanes only: tasks already
+    /// staged in the steal cursor are the logical front — the work most
+    /// likely to be served next — and stay put.
+    pub(crate) fn spill_lowest(&self, quota: usize, out: &mut Vec<Task>) -> usize {
+        if quota == 0 {
+            return 0;
+        }
+        let taken = match &self.backend {
+            Backend::Spin { list, len } => {
+                let mut guard = list.lock();
+                let n = Self::spill_lowest_seq(&mut guard, quota, out);
+                len.store(guard.len(), Ordering::Relaxed);
+                n
+            }
+            Backend::Mutex { list } => Self::spill_lowest_seq(&mut lock_lanes(list), quota, out),
+            Backend::LockFree { lanes, .. } => {
+                let mut n = 0;
+                'classes: for class in TaskClass::ALL.iter().rev() {
+                    while n < quota {
+                        let Some(task) = lanes.pop_class(*class) else {
+                            continue 'classes;
+                        };
+                        out.push(task);
+                        n += 1;
+                    }
+                    break;
+                }
+                n
+            }
+        };
+        if taken > 0 && self.len_hint() == 0 {
+            self.maybe_decay_span();
+        }
+        taken
+    }
+
+    /// [`spill_lowest`](Self::spill_lowest) body for the locked backends.
+    fn spill_lowest_seq(lanes: &mut SeqLanes, quota: usize, out: &mut Vec<Task>) -> usize {
+        let mut n = 0;
+        'classes: for class in TaskClass::ALL.iter().rev() {
+            while n < quota {
+                let Some(task) = lanes.pop_class(*class) else {
+                    continue 'classes;
+                };
+                out.push(task);
+                n += 1;
+            }
+            break;
+        }
+        n
+    }
+
     /// Current length (hint; racy by nature). The Mutex backend pays a
     /// lock acquisition here — exactly the cost Algorithm 2's unlocked
     /// hint (Spin) and the atomic counter (LockFree) avoid. The hint
@@ -786,7 +853,7 @@ impl TaskQueue {
 
     /// Snapshot of the steal span as a [`CpuSet`] (see the field docs).
     pub(crate) fn steal_span(&self) -> CpuSet {
-        let mut words = [0u64; 4];
+        let mut words = [0u64; SPAN_WORDS];
         for (w, a) in words.iter_mut().zip(self.steal_span.iter()) {
             *w = a.load(Ordering::Relaxed);
         }

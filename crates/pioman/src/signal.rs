@@ -57,6 +57,26 @@ pub enum SignalPolicy {
 /// contention rate of 1.0 (every acquisition was fought over).
 pub const FP_ONE: u64 = 1 << 16;
 
+/// Smallest half-life the auto-tuner will select: below this the window is
+/// all noise (a single sample moves the rate by a quarter).
+pub const AUTO_HALF_LIFE_MIN: u64 = 4;
+
+/// Largest half-life the auto-tuner will select: beyond this the window
+/// ossifies like the cumulative ratio it exists to replace.
+pub const AUTO_HALF_LIFE_MAX: u64 = 1024;
+
+/// EWMA divisor `K = 1 / (1 − 2^(−1/h))` for half-life `h`, in pure
+/// integer arithmetic: the closed form expands to `h/ln 2 + ½ + O(1/h)`,
+/// so `round(K) = ⌊h·1.442695 + 1⌋` — computed with a parts-per-million
+/// fixed-point constant (matches the rounded closed form on every
+/// half-life up to the auto-tuner's clamp range; floor ≥ 2 because even a
+/// one-sample half-life folds at most half the gap per step). Integer so
+/// the auto-tuner can recompute it *on the sampling path* without
+/// breaking this module's no-floats contract.
+fn decay_k_for(half_life: u64) -> u64 {
+    ((half_life * 1_442_695 + 1_000_000) / 1_000_000).max(2)
+}
+
 /// An exponentially-decayed estimate of a contended/total event rate, fed
 /// from monotone cumulative counters.
 ///
@@ -96,8 +116,25 @@ pub const FP_ONE: u64 = 1 << 16;
 /// ```
 #[derive(Debug)]
 pub struct ContentionWindow {
-    /// EWMA divisor `K` derived from the half-life (≥ 2).
-    decay_k: u64,
+    /// EWMA divisor `K` derived from the half-life (≥ 2). Atomic because
+    /// the auto-tuner re-derives it on burst boundaries; fixed windows
+    /// write it once at construction.
+    decay_k: AtomicU64,
+    /// Whether the half-life auto-tunes from the observed burst cadence
+    /// (see [`new_auto`](Self::new_auto)).
+    auto: bool,
+    /// The half-life `decay_k` was derived from (exposed for tests and the
+    /// `phase_shift_ramp_auto` bench; the adaptation writes both together).
+    half_life: AtomicU64,
+    /// Active (winning, acquisition-advancing) samples seen: the
+    /// adaptation's clock, so gaps are measured in the same unit as the
+    /// half-life itself.
+    samples: AtomicU64,
+    /// `samples` value at the last burst (a sample with new contention).
+    last_burst: AtomicU64,
+    /// EWMA of inter-burst gaps in active samples, `<<8` fixed point,
+    /// weight 1/8 per burst. Zero until the first burst.
+    gap_ewma_fp: AtomicU64,
     /// Cumulative acquisition count at the last accepted sample.
     last_acquisitions: AtomicU64,
     /// Cumulative contended count at the last accepted sample.
@@ -108,16 +145,99 @@ pub struct ContentionWindow {
 
 impl ContentionWindow {
     /// A window whose sample weight halves every `half_life` active samples
-    /// (clamped to at least 1).
+    /// (clamped to at least 1), fixed for the window's lifetime.
     pub fn new(half_life: u32) -> Self {
-        let h = half_life.max(1) as f64;
-        // K = 1 / (1 - 2^(-1/h)); h = 1 gives the floor K = 2.
-        let k = (1.0 / (1.0 - 0.5f64.powf(1.0 / h))).round() as u64;
+        Self::build(half_life, false)
+    }
+
+    /// A window that starts at `half_life` and then **auto-tunes** it from
+    /// the workload's own phase cadence: each burst (an active sample that
+    /// saw new contention) folds the gap since the previous burst into an
+    /// EWMA, and the half-life tracks *half* that typical gap, clamped to
+    /// [`AUTO_HALF_LIFE_MIN`]`..=`[`AUTO_HALF_LIFE_MAX`].
+    ///
+    /// Rationale: a window much slower than the burst cadence smears
+    /// adjacent phases together (the ossification failure, in miniature),
+    /// while one much faster forgets a phase before the next burst
+    /// confirms it; half the gap keeps roughly two half-lives of memory
+    /// between bursts — reactive, but not amnesiac. The fixed
+    /// [`new`](Self::new) constructor remains the override for operators
+    /// (and ablation benches) that want a pinned response curve.
+    ///
+    /// ```
+    /// use pioman::ContentionWindow;
+    ///
+    /// let w = ContentionWindow::new_auto(32);
+    /// assert_eq!(w.half_life(), 32);
+    /// let (mut acq, mut cont) = (0u64, 0u64);
+    /// // Bursts every 16 active samples: the half-life converges to 8.
+    /// for burst in 0..64 {
+    ///     for s in 0..16 {
+    ///         acq += 10;
+    ///         if s == 0 {
+    ///             cont += 10;
+    ///         }
+    ///         w.observe(acq, cont);
+    ///     }
+    ///     let _ = burst;
+    /// }
+    /// assert_eq!(w.half_life(), 8);
+    /// ```
+    pub fn new_auto(half_life: u32) -> Self {
+        Self::build(half_life, true)
+    }
+
+    fn build(half_life: u32, auto: bool) -> Self {
+        let h = half_life.max(1) as u64;
         ContentionWindow {
-            decay_k: k.max(2),
+            decay_k: AtomicU64::new(decay_k_for(h)),
+            auto,
+            half_life: AtomicU64::new(h),
+            samples: AtomicU64::new(0),
+            last_burst: AtomicU64::new(0),
+            gap_ewma_fp: AtomicU64::new(0),
             last_acquisitions: AtomicU64::new(0),
             last_contended: AtomicU64::new(0),
             rate_fp: AtomicU64::new(0),
+        }
+    }
+
+    /// The current effective half-life in active samples: the constructor
+    /// argument for fixed windows, the adapted value for
+    /// [`new_auto`](Self::new_auto) windows.
+    pub fn half_life(&self) -> u64 {
+        self.half_life.load(Ordering::Relaxed)
+    }
+
+    /// Burst-cadence adaptation, run only on the claim-CAS winner's path:
+    /// count the active sample, and on a burst fold the inter-burst gap
+    /// into the EWMA and re-derive the half-life/divisor pair.
+    fn adapt(&self, delta_c: u64) {
+        let idx = self.samples.fetch_add(1, Ordering::Relaxed) + 1;
+        if delta_c == 0 {
+            return;
+        }
+        let prev = self.last_burst.swap(idx, Ordering::Relaxed);
+        // Saturate the gap well below the shift headroom; a once-a-2^32-
+        // samples burst is past the clamp ceiling anyway.
+        let gap = idx.saturating_sub(prev).clamp(1, 1 << 32);
+        let target = gap << 8;
+        let prev_ewma = self.gap_ewma_fp.load(Ordering::Relaxed);
+        let ewma = if prev_ewma == 0 {
+            target // first burst: adopt the gap outright
+        } else if target >= prev_ewma {
+            prev_ewma + (target - prev_ewma).div_ceil(8)
+        } else {
+            prev_ewma - (prev_ewma - target).div_ceil(8)
+        };
+        self.gap_ewma_fp.store(ewma, Ordering::Relaxed);
+        let hl = ((ewma >> 8) / 2).clamp(AUTO_HALF_LIFE_MIN, AUTO_HALF_LIFE_MAX);
+        if hl != self.half_life.load(Ordering::Relaxed) {
+            // Two relaxed stores; a reader between them sees a torn but
+            // valid (half-life, K) pair from adjacent adaptations — the
+            // EWMA step it mis-sizes is one of thousands.
+            self.half_life.store(hl, Ordering::Relaxed);
+            self.decay_k.store(decay_k_for(hl), Ordering::Relaxed);
         }
     }
 
@@ -148,18 +268,22 @@ impl ContentionWindow {
         }
         let prev_c = self.last_contended.fetch_max(contended, Ordering::Relaxed);
         let delta_c = contended.saturating_sub(prev_c).min(delta_a);
+        if self.auto {
+            self.adapt(delta_c);
+        }
         // Widening multiply: delta_c can exceed 2^48 when a window is
         // attached to (or left behind by) a long-running counter pair.
         let sample_fp = ((delta_c as u128 * FP_ONE as u128) / delta_a as u128) as u64;
         let rate = self.rate_fp.load(Ordering::Relaxed);
+        let decay_k = self.decay_k.load(Ordering::Relaxed);
         // div_ceil on the step keeps the EWMA moving even when the gap is
         // below K, so a quiet phase decays all the way to 0 instead of
         // stalling a few fixed-point units above it (and a contended one
         // climbs off 0). Equilibrium oscillates by at most 1/65536.
         let new = if sample_fp >= rate {
-            rate + (sample_fp - rate).div_ceil(self.decay_k)
+            rate + (sample_fp - rate).div_ceil(decay_k)
         } else {
-            rate - (rate - sample_fp).div_ceil(self.decay_k)
+            rate - (rate - sample_fp).div_ceil(decay_k)
         };
         self.rate_fp.store(new.min(FP_ONE), Ordering::Relaxed);
         new.min(FP_ONE)
@@ -315,4 +439,91 @@ mod tests {
         w.observe(100, 100);
         assert_eq!(w.rate_fp(), FP_ONE / 2, "first saturated sample: half up");
     }
+
+    #[test]
+    fn integer_decay_k_matches_the_closed_form() {
+        // decay_k_for must agree with round(1 / (1 − 2^(−1/h))) — the
+        // float formula the docs state — across the whole clamp range.
+        for h in 1..=AUTO_HALF_LIFE_MAX {
+            let exact = (1.0 / (1.0 - 0.5f64.powf(1.0 / h as f64))).round() as u64;
+            assert_eq!(
+                decay_k_for(h),
+                exact.max(2),
+                "integer K diverges from the closed form at h={h}"
+            );
+        }
+    }
+
+    /// Drives an auto window with one burst every `gap` active samples,
+    /// continuing from the window's current cumulative watermarks so
+    /// back-to-back drives model one monotone counter stream.
+    fn drive_bursts(w: &ContentionWindow, gap: u64, bursts: u64) {
+        let mut acq = w.last_acquisitions.load(Ordering::Relaxed);
+        let mut cont = w.last_contended.load(Ordering::Relaxed);
+        for _ in 0..bursts {
+            for s in 0..gap {
+                acq += 10;
+                if s == 0 {
+                    cont += 10;
+                }
+                w.observe(acq, cont);
+            }
+        }
+    }
+
+    #[test]
+    fn auto_half_life_tracks_the_burst_cadence() {
+        let w = ContentionWindow::new_auto(DEFAULT_HL);
+        assert_eq!(w.half_life(), DEFAULT_HL as u64, "starts at the seed");
+        drive_bursts(&w, 64, 128);
+        assert_eq!(
+            w.half_life(),
+            32,
+            "bursts every 64 active samples converge the half-life to 32"
+        );
+        // Cadence shift: denser bursts shrink the half-life again.
+        drive_bursts(&w, 16, 256);
+        assert_eq!(w.half_life(), 8);
+    }
+
+    #[test]
+    fn auto_half_life_clamps_both_ends() {
+        let fast = ContentionWindow::new_auto(32);
+        drive_bursts(&fast, 1, 64); // continuous contention: gap 1
+        assert_eq!(fast.half_life(), AUTO_HALF_LIFE_MIN);
+
+        let slow = ContentionWindow::new_auto(32);
+        drive_bursts(&slow, 3000, 64); // sparser than the ceiling admits
+        assert_eq!(slow.half_life(), AUTO_HALF_LIFE_MAX);
+    }
+
+    #[test]
+    fn fixed_window_never_adapts() {
+        let w = ContentionWindow::new(DEFAULT_HL);
+        drive_bursts(&w, 16, 128);
+        assert_eq!(
+            w.half_life(),
+            DEFAULT_HL as u64,
+            "the fixed constructor is the auto-tuning override"
+        );
+    }
+
+    #[test]
+    fn quiet_samples_do_not_move_the_gap_clock_backward() {
+        // Quiet (burst-free) samples advance the sample clock but never
+        // fold a gap; only the next burst does, measuring the whole quiet
+        // stretch. A long quiet phase therefore *lengthens* the half-life
+        // on the burst that ends it, never mid-phase.
+        let w = ContentionWindow::new_auto(32);
+        drive_bursts(&w, 8, 128);
+        let before = w.half_life();
+        let (mut acq, cont) = (10_240 * 10, 0); // past drive_bursts totals
+        for _ in 0..512 {
+            acq += 10;
+            w.observe(acq, cont + 1280);
+        }
+        assert_eq!(w.half_life(), before, "no burst, no adaptation");
+    }
+
+    const DEFAULT_HL: u32 = 32;
 }

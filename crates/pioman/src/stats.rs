@@ -36,6 +36,37 @@ pub struct QueueStats {
     pub lock_contended: u64,
 }
 
+/// Counters of one socket of the per-socket overflow tier
+/// ([`ManagerConfig::socket_overflow`](crate::ManagerConfig)).
+#[derive(Debug, Clone)]
+pub struct SocketStats {
+    /// Arena index of the topology node this socket aggregates (a NUMA
+    /// node, or a chip / the machine root on shallower trees).
+    pub node: usize,
+    /// Cores the socket spans.
+    pub cpuset: CpuSet,
+    /// Tasks currently in the socket's overflow lanes (racy snapshot).
+    pub overflow_pending: usize,
+    /// Union of the cpusets of tasks spilled into the overflow (decays
+    /// when the overflow drains) — the gate on claims and cross-socket
+    /// overflow steals.
+    pub overflow_span: CpuSet,
+    /// Socket-wide pending hint: tasks across the socket's member queues
+    /// *and* overflow, clamped at zero (the raw counter is a racy signed
+    /// hint).
+    pub pending_hint: usize,
+    /// Union of enqueued task cpusets across the socket (decays when the
+    /// socket drains) — the eligibility half of the O(sockets) park probe.
+    pub span: CpuSet,
+    /// Currently-parked progression workers among the socket's cores.
+    pub parked: u64,
+    /// Tasks ever spilled from a deep member queue into the overflow.
+    pub spilled: u64,
+    /// Tasks ever claimed out of the overflow and run (member-core claims
+    /// and remote-socket overflow steals both count).
+    pub claimed: u64,
+}
+
 /// Snapshot of every manager counter.
 #[derive(Debug, Clone)]
 pub struct ManagerStats {
@@ -68,6 +99,15 @@ pub struct ManagerStats {
     /// saved a park/unpark round-trip (plus up to a park-timeout of
     /// latency) per idle episode.
     pub park_probe_misses: Vec<u64>,
+    /// Socket aggregates consulted by pre-park probes, per core: a probe
+    /// that misses everywhere costs exactly `sockets.len()` polls under
+    /// the overflow tier — the scaling study's O(sockets) assertion reads
+    /// this counter.
+    pub park_probe_polls: Vec<u64>,
+    /// Per-socket overflow-tier counters, indexed by socket id (empty
+    /// only on managers built before any topology — never in practice;
+    /// single-socket machines still report their one inert socket).
+    pub sockets: Vec<SocketStats>,
     /// Steal-targeted wake-ups *received* per core: how often
     /// [`wake_for_steal`](crate::TaskManager::wake_for_steal) chose this
     /// parked core as the nearest eligible thief for a queue whose depth
@@ -145,6 +185,21 @@ impl ManagerStats {
         self.waitlist_released_by_class.iter().sum()
     }
 
+    /// Total tasks spilled into socket overflows, across sockets.
+    pub fn total_spilled(&self) -> u64 {
+        self.sockets.iter().map(|s| s.spilled).sum()
+    }
+
+    /// Total tasks claimed out of socket overflows, across sockets.
+    pub fn total_claimed(&self) -> u64 {
+        self.sockets.iter().map(|s| s.claimed).sum()
+    }
+
+    /// Total socket aggregates consulted by pre-park probes, across cores.
+    pub fn total_park_probe_polls(&self) -> u64 {
+        self.park_probe_polls.iter().sum()
+    }
+
     /// Share of task executions done by each core, as fractions of 1.
     /// Empty if nothing ran. Mirrors the paper's observation that "each of
     /// them executes roughly 25% of the submitted tasks" for a 4-core
@@ -175,6 +230,8 @@ mod tests {
             stolen_batch_by_core: vec![0; n],
             park_probe_hits: vec![0; n],
             park_probe_misses: vec![0; n],
+            park_probe_polls: vec![0; n],
+            sockets: vec![],
             wakeups_for_steal: vec![0; n],
             hook_idle: 0,
             hook_context_switch: 0,

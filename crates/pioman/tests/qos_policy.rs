@@ -97,6 +97,28 @@ impl Oracle {
         Some(lane.dl[best.1].pop_front().expect("front seen").1)
     }
 
+    fn len(&self) -> usize {
+        self.classes
+            .iter()
+            .map(|c| c.fifo.len() + c.dl.iter().map(VecDeque::len).sum::<usize>())
+            .sum()
+    }
+
+    /// The spill pop (`TaskQueue::spill_lowest`): lowest class first, the
+    /// ordinary within-class order (deadline lanes, then FIFO), and no
+    /// bypass-credit movement — a spill relocates work, it serves nothing.
+    fn pop_lowest(&mut self) -> Option<usize> {
+        for class in (0..CLASS_COUNT).rev() {
+            let popped = self
+                .pop_class(class)
+                .or_else(|| self.classes[class].fifo.pop_front());
+            if popped.is_some() {
+                return popped;
+            }
+        }
+        None
+    }
+
     fn pop(&mut self) -> Option<usize> {
         let background_waiting = {
             let bg = &self.classes[TaskClass::Background.index()];
@@ -197,6 +219,106 @@ proptest! {
         }
         prop_assert!(!mgr.schedule_one(0));
         prop_assert_eq!(&*ran.lock(), &expected, "{:?} diverged from the oracle", backend);
+    }
+
+    /// The oracle property *across the spill boundary* (PR 10): on a
+    /// two-socket machine whose overflow tier is live, any push/pop
+    /// interleaving that drives the home queue over `spill_threshold`
+    /// must still serve in the composed model's order — the home queue's
+    /// QoS pop first, then the socket overflow's QoS pop over whatever
+    /// the spills relocated (lowest class, deadline lanes before FIFO).
+    /// Stealing is off, so the claim rung is the only path back.
+    #[test]
+    fn spill_and_claim_path_matches_the_sequential_oracle(
+        raw_ops in proptest::collection::vec((0usize..6, 0u64..48), 1..120),
+        backend_idx in 0usize..3,
+        threshold in 2usize..10,
+    ) {
+        let backend = BACKENDS[backend_idx];
+        let topo = Arc::new(
+            TopologyBuilder::new("two-socket")
+                .numa_nodes(2)
+                .chips_per_numa(1)
+                .cores_per_cache(1)
+                .build(),
+        );
+        let mgr = TaskManager::with_config(
+            topo,
+            ManagerConfig {
+                queue_backend: backend,
+                steal: false,
+                spill_threshold: threshold,
+                ..ManagerConfig::default()
+            },
+        );
+        let ran = Arc::new(Mutex::new(Vec::new()));
+        let mut home = Oracle::default();
+        let mut ovf = Oracle::default();
+        let mut meta: Vec<(TaskClass, Option<u64>)> = Vec::new();
+        let mut expected = Vec::new();
+        let (mut spilled_model, mut claimed_model) = (0u64, 0u64);
+        let mut drive = |home: &mut Oracle, ovf: &mut Oracle, expected: &mut Vec<usize>| {
+            let from_home = home.pop();
+            let id = from_home.or_else(|| ovf.pop());
+            if let Some(id) = id {
+                expected.push(id);
+                if from_home.is_none() {
+                    claimed_model += 1;
+                }
+            }
+            id.is_some()
+        };
+        for &(selector, value) in &raw_ops {
+            match decode_op(selector, value) {
+                Op::Push { class, deadline } => {
+                    let id = meta.len();
+                    meta.push((class, deadline));
+                    home.push(id, class, deadline);
+                    let r = ran.clone();
+                    let mut spec = mgr
+                        .task(move |_| {
+                            r.lock().push(id);
+                            TaskStatus::Done
+                        })
+                        .cpuset(CpuSet::single(0))
+                        .class(class);
+                    if let Some(d) = deadline {
+                        spec = spec.deadline(d);
+                    }
+                    spec.spawn();
+                    // Model the dispatch-time escalation: at or over the
+                    // threshold, half the post-push depth spills, lowest
+                    // class first, preserving class and deadline.
+                    let depth = home.len();
+                    if depth >= threshold {
+                        for _ in 0..depth / 2 {
+                            let moved = home.pop_lowest().expect("depth accounted");
+                            let (c, d) = meta[moved];
+                            ovf.push(moved, c, d);
+                            spilled_model += 1;
+                        }
+                    }
+                }
+                Op::Pop => {
+                    if drive(&mut home, &mut ovf, &mut expected) {
+                        prop_assert!(mgr.schedule_one(0), "oracle has work, so must {backend:?}");
+                    } else {
+                        prop_assert!(!mgr.schedule_one(0), "oracle is empty, so must be {backend:?}");
+                    }
+                }
+            }
+        }
+        while drive(&mut home, &mut ovf, &mut expected) {
+            prop_assert!(mgr.schedule_one(0));
+        }
+        prop_assert!(!mgr.schedule_one(0));
+        prop_assert_eq!(
+            &*ran.lock(), &expected,
+            "{:?} diverged across the spill boundary", backend
+        );
+        let stats = mgr.stats();
+        prop_assert_eq!(stats.total_spilled(), spilled_model, "spill count drifted");
+        prop_assert_eq!(stats.total_claimed(), claimed_model, "claim count drifted");
     }
 }
 

@@ -1,0 +1,311 @@
+//! Deterministic coverage of the per-socket overflow tier (PR 10,
+//! `docs/SCHEDULER.md` "Hierarchy"): spill escalation, the
+//! core → socket → global claim rung, cross-socket gating, the starved
+//! 1024-core fabric, and the O(sockets) pre-park probe.
+//!
+//! Everything here drives keypoints by hand — no progression workers, no
+//! timing dependence. The counters asserted (`spilled`, `claimed`,
+//! `park_probe_polls`) are the same ones the `steal_scaling` bench
+//! family records.
+
+use piom_cpuset::CpuSet;
+use piom_topology::presets;
+use pioman::{ManagerConfig, TaskClass, TaskManager, TaskStatus};
+use std::sync::{Arc, Mutex};
+
+/// The scaling-study acceptance scenario on the full 1024-core fabric:
+/// socket 3 is completely starved while socket 0 holds a backlog its
+/// cores may run. The starved core's pre-park probe must see the remote
+/// imbalance, and its keypoints must drain it via hierarchical stealing
+/// — the home core never runs a thing.
+#[test]
+fn quad_socket_1024_starved_socket_drains_via_hierarchical_steal() {
+    let mgr = TaskManager::new(presets::quad_socket_1024().into());
+    assert_eq!(mgr.stats().sockets.len(), 4, "one tier entry per NUMA node");
+
+    // Socket 3 spans cores 768..1024; 768 is its starved thief.
+    let thief = 768;
+    let handles: Vec<_> = (0..16)
+        .map(|_| {
+            mgr.task(|_| TaskStatus::Done)
+                .cpuset(CpuSet::from_iter([0, thief]))
+                .on_core(0)
+                .spawn()
+        })
+        .collect();
+
+    assert!(!mgr.has_work_for(thief), "socket 3's own path is empty");
+    assert!(
+        mgr.park_probe(thief),
+        "the socket aggregates must surface the remote backlog"
+    );
+    let mut rounds = 0;
+    while handles.iter().any(|h| !h.is_complete()) {
+        assert!(mgr.schedule(thief), "post-hit keypoint found nothing");
+        rounds += 1;
+        assert!(rounds <= 16, "steal-half should drain 16 tasks quickly");
+    }
+
+    let stats = mgr.stats();
+    assert_eq!(stats.stolen_by_core[thief], 16, "all 16 came via steals");
+    assert_eq!(stats.executed_by_core[0], 0, "the home core never ran");
+    assert!(
+        stats.park_probe_polls[thief] <= stats.sockets.len() as u64,
+        "a probe consults at most one aggregate per socket"
+    );
+}
+
+/// The O(sockets) half of the acceptance criterion, asserted on the
+/// probe-count counter directly: on the 1024-core quad-socket fabric a
+/// probe that misses everywhere costs *exactly* `sockets.len()` aggregate
+/// polls — not one visit per core or per queue.
+#[test]
+fn full_miss_park_probe_polls_exactly_one_aggregate_per_socket() {
+    let mgr = TaskManager::new(presets::quad_socket_1024().into());
+    let n_sockets = mgr.stats().sockets.len() as u64;
+    assert_eq!(n_sockets, 4);
+
+    assert!(!mgr.park_probe(0), "empty fabric: the probe must miss");
+    let stats = mgr.stats();
+    assert_eq!(
+        stats.park_probe_polls[0], n_sockets,
+        "a full miss is one poll per socket, even with 1024 cores"
+    );
+    assert_eq!(stats.park_probe_misses[0], 1);
+
+    // A second full miss adds exactly another round — the counter scales
+    // with probes × sockets, never with cores.
+    assert!(!mgr.park_probe(0));
+    assert_eq!(mgr.stats().park_probe_polls[0], 2 * n_sockets);
+}
+
+/// Spill escalation end-to-end with stealing disabled, isolating the
+/// claim rung: a per-core queue that out-runs `spill_threshold` moves
+/// half its backlog into the socket overflow, where a *sibling* core's
+/// ordinary hierarchy walk claims it — no steal machinery involved.
+#[test]
+fn deep_queue_spills_and_a_sibling_claims_without_stealing() {
+    let mgr = TaskManager::with_config(
+        presets::dual_socket_256().into(),
+        ManagerConfig {
+            steal: false,
+            spill_threshold: 8,
+            ..ManagerConfig::default()
+        },
+    );
+    let handles: Vec<_> = (0..24)
+        .map(|_| {
+            mgr.task(|_| TaskStatus::Done)
+                .cpuset(CpuSet::from_iter([0, 1]))
+                .on_core(0)
+                .spawn()
+        })
+        .collect();
+
+    let spilled = mgr.stats().sockets[0].spilled;
+    assert!(
+        spilled >= 8,
+        "the deep queue must have spilled, got {spilled}"
+    );
+
+    // Core 1 shares socket 0 but not core 0's per-core queue: with steal
+    // off, everything it runs came through the overflow claim rung.
+    let claimed_run = mgr.schedule_batch(1, usize::MAX);
+    assert_eq!(claimed_run as u64, spilled, "core 1 claims the whole spill");
+    let stats = mgr.stats();
+    assert_eq!(stats.sockets[0].claimed, spilled);
+    assert_eq!(stats.stolen_by_core[1], 0, "claims are not steals");
+
+    // The unspilled remainder is still home-only; core 0 finishes it.
+    while handles.iter().any(|h| !h.is_complete()) {
+        assert!(mgr.schedule(0));
+    }
+    assert_eq!(mgr.stats().total_executed(), 24);
+}
+
+/// QoS preservation across the spill boundary: the spill takes the
+/// *lowest* class first (urgent work stays on the fast home path), the
+/// overflow lanes keep both class and deadline, and a claiming sibling
+/// pops them back in strict class-priority + EDF order.
+#[test]
+fn spill_takes_lowest_class_first_and_claims_preserve_qos_order() {
+    let mgr = TaskManager::with_config(
+        presets::dual_socket_256().into(),
+        ManagerConfig {
+            steal: false,
+            spill_threshold: 16,
+            ..ManagerConfig::default()
+        },
+    );
+    let order: Arc<Mutex<Vec<(usize, TaskClass, u64)>>> = Arc::default();
+    let spawn = |class: TaskClass, tick: u64| {
+        let order = order.clone();
+        mgr.task(move |ctx| {
+            order.lock().unwrap().push((ctx.core, class, tick));
+            TaskStatus::Done
+        })
+        .cpuset(CpuSet::from_iter([0, 1]))
+        .on_core(0)
+        .class(class)
+        .deadline(tick)
+        .spawn()
+    };
+    // 8 urgent, then 8 bulk with shuffled deadlines. The 16th enqueue
+    // crosses the threshold and spills half the queue — exactly the 8
+    // bulk tasks, lowest class first.
+    for tick in 0..8 {
+        spawn(TaskClass::Urgent, tick);
+    }
+    for &tick in &[11u64, 15, 12, 16, 13, 17, 14, 18] {
+        spawn(TaskClass::Bulk, tick);
+    }
+    assert_eq!(mgr.stats().sockets[0].spilled, 8);
+
+    // The sibling claims the spilled half; the home core runs the rest.
+    assert_eq!(mgr.schedule_batch(1, usize::MAX), 8);
+    assert_eq!(mgr.schedule_batch(0, usize::MAX), 8);
+
+    let order = order.lock().unwrap();
+    let claimed: Vec<_> = order.iter().filter(|&&(c, _, _)| c == 1).collect();
+    assert!(
+        claimed
+            .iter()
+            .all(|&&(_, class, _)| class == TaskClass::Bulk),
+        "only the lowest class spilled; urgent work stayed home"
+    );
+    let ticks: Vec<u64> = claimed.iter().map(|&&(_, _, t)| t).collect();
+    assert_eq!(
+        ticks,
+        vec![11, 12, 13, 14, 15, 16, 17, 18],
+        "claims are EDF"
+    );
+    let home: Vec<_> = order.iter().filter(|&&(c, _, _)| c == 0).collect();
+    assert!(
+        home.iter()
+            .all(|&&(_, class, _)| class == TaskClass::Urgent),
+        "the home queue kept every urgent task"
+    );
+}
+
+/// The strict core → socket → global drain order of one keypoint: a core
+/// with backlog at all three rungs runs its own queue first, then claims
+/// the socket overflow, then falls through to the Global Queue.
+#[test]
+fn keypoint_drains_core_then_socket_overflow_then_global() {
+    let mgr = TaskManager::with_config(
+        presets::dual_socket_256().into(),
+        ManagerConfig {
+            steal: false,
+            spill_threshold: 4,
+            ..ManagerConfig::default()
+        },
+    );
+    let order: Arc<Mutex<Vec<&'static str>>> = Arc::default();
+    let tag = |label: &'static str| {
+        let order = order.clone();
+        move |_: &pioman::TaskContext<'_>| {
+            order.lock().unwrap().push(label);
+            TaskStatus::Done
+        }
+    };
+
+    // Overflow rung: a sibling's deep queue spills into socket 0.
+    for _ in 0..8 {
+        mgr.task(tag("overflow"))
+            .cpuset(CpuSet::from_iter([0, 1]))
+            .on_core(1)
+            .spawn();
+    }
+    let spilled = mgr.stats().sockets[0].spilled;
+    assert!(spilled >= 4);
+    // Core rung: core 0's own queue, shallow enough not to spill.
+    for _ in 0..3 {
+        mgr.task(tag("own")).cpuset(CpuSet::single(0)).spawn();
+    }
+    // Global rung: the default cpuset (every core) lands on the root.
+    for _ in 0..3 {
+        mgr.task(tag("global")).spawn();
+    }
+
+    let ran = mgr.schedule_batch(0, usize::MAX);
+    assert_eq!(ran as u64, 3 + spilled + 3);
+    let order = order.lock().unwrap();
+    let boundary_own = 3;
+    let boundary_ovf = boundary_own + spilled as usize;
+    assert!(order[..boundary_own].iter().all(|&l| l == "own"));
+    assert!(order[boundary_own..boundary_ovf]
+        .iter()
+        .all(|&l| l == "overflow"));
+    assert!(order[boundary_ovf..].iter().all(|&l| l == "global"));
+}
+
+/// `cross_socket_backlog` gates both halves of a remote socket — member
+/// queues *and* overflow: a trivial imbalance is invisible to remote
+/// probes and thieves, a real one is seen and drained.
+#[test]
+fn cross_socket_gate_hides_small_imbalances() {
+    let mgr = TaskManager::with_config(
+        presets::dual_socket_256().into(),
+        ManagerConfig {
+            cross_socket_backlog: 8,
+            ..ManagerConfig::default()
+        },
+    );
+    let thief = 128; // first core of socket 1
+    let spawn_n = |n: usize| -> Vec<_> {
+        (0..n)
+            .map(|_| {
+                mgr.task(|_| TaskStatus::Done)
+                    .cpuset(CpuSet::from_iter([0, thief]))
+                    .on_core(0)
+                    .spawn()
+            })
+            .collect()
+    };
+
+    let small = spawn_n(4);
+    assert!(
+        !mgr.park_probe(thief),
+        "4 pending < cross_socket_backlog: not worth the interconnect"
+    );
+    assert!(!mgr.schedule(thief), "the thief's steal scan is gated too");
+
+    let _more = spawn_n(8); // 12 pending now: over the gate
+    assert!(mgr.park_probe(thief), "a real imbalance is visible");
+    assert!(mgr.schedule(thief), "and stealable");
+    assert!(mgr.stats().stolen_by_core[thief] > 0);
+
+    while small.iter().any(|h| !h.is_complete()) {
+        mgr.schedule(thief);
+        mgr.schedule(0);
+    }
+}
+
+/// The config gate: with `socket_overflow` off the tier is fully inert —
+/// no spills, no claims — and the pre-PR-10 paths still drain everything.
+#[test]
+fn disabled_tier_never_spills_and_work_still_completes() {
+    let mgr = TaskManager::with_config(
+        presets::quad_socket_1024().into(),
+        ManagerConfig {
+            socket_overflow: false,
+            spill_threshold: 1,
+            ..ManagerConfig::default()
+        },
+    );
+    let handles: Vec<_> = (0..32)
+        .map(|_| {
+            mgr.task(|_| TaskStatus::Done)
+                .cpuset(CpuSet::from_iter([0, 1]))
+                .on_core(0)
+                .spawn()
+        })
+        .collect();
+    let stats = mgr.stats();
+    assert_eq!(stats.total_spilled(), 0, "threshold 1 but the tier is off");
+    while handles.iter().any(|h| !h.is_complete()) {
+        mgr.schedule(0);
+        mgr.schedule(1);
+    }
+    assert_eq!(mgr.stats().total_claimed(), 0);
+}

@@ -29,12 +29,14 @@
 //! let report = scenario.run(&params);
 //! assert_eq!(report.name, "incast_fanin");
 //! assert!(report.summary.count > 0 && report.summary.p99 >= report.summary.p50);
+//! assert!(report.throughput.iter().any(|t| t.completed > 0));
 //! assert!(registry().len() >= 8);
 //! ```
 
 #![warn(missing_docs)]
 
 use pioman::hist::{Histogram, PercentileSummary};
+use pioman::{TaskClass, CLASS_COUNT};
 
 mod cluster;
 mod workloads;
@@ -95,6 +97,68 @@ impl ScenarioParams {
     }
 }
 
+/// The sink a workload reports into: latency samples flow to the
+/// caller's histogram (or raw capture), while per-class completion
+/// counts and the simulated horizon accumulate here for the
+/// throughput-per-class rows of [`ScenarioReport`].
+///
+/// Classes reuse the scheduler's [`TaskClass`] vocabulary: request/
+/// response traffic records as `Interactive`, bulk data movement as
+/// `Bulk`, and the QoS mesh rows attribute every completion to its
+/// actual lane class — so the throughput rows decompose a workload the
+/// same way the class lanes do.
+pub struct Recorder<'a> {
+    sink: &'a mut dyn FnMut(u64),
+    completed: [u64; CLASS_COUNT],
+    elapsed_ns: u64,
+}
+
+impl<'a> Recorder<'a> {
+    fn new(sink: &'a mut dyn FnMut(u64)) -> Self {
+        Recorder {
+            sink,
+            completed: [0; CLASS_COUNT],
+            elapsed_ns: 0,
+        }
+    }
+
+    /// Records one latency sample attributed to `class` (one completed
+    /// request of that class).
+    pub fn record_class(&mut self, class: TaskClass, ns: u64) {
+        self.completed[class.index()] += 1;
+        (self.sink)(ns);
+    }
+
+    /// Counts `n` completions of `class` *without* latency samples — the
+    /// QoS mesh rows use this for the slices whose latency belongs to a
+    /// sibling row, so every row still reports the full per-class
+    /// throughput of the shared workload.
+    pub fn note_completions(&mut self, class: TaskClass, n: u64) {
+        self.completed[class.index()] += n;
+    }
+
+    /// Advances the simulated horizon the throughput rates divide by
+    /// (monotone max — scenarios report their DES end time).
+    pub fn note_elapsed(&mut self, ns: u64) {
+        self.elapsed_ns = self.elapsed_ns.max(ns);
+    }
+
+    fn throughput(&self) -> [ClassThroughput; CLASS_COUNT] {
+        let mut rows = [ClassThroughput {
+            completed: 0,
+            per_ms: 0.0,
+        }; CLASS_COUNT];
+        for (row, &done) in rows.iter_mut().zip(&self.completed) {
+            row.completed = done;
+            if self.elapsed_ns > 0 {
+                // IEEE basic ops only: bit-reproducible across hosts.
+                row.per_ms = done as f64 * 1_000_000.0 / self.elapsed_ns as f64;
+            }
+        }
+        rows
+    }
+}
+
 /// One registered workload: a name, a gate class, and a run function that
 /// builds its simulation and records one latency sample (nanoseconds of
 /// *simulated* time) per request into the recorder.
@@ -105,29 +169,36 @@ pub struct Scenario {
     pub about: &'static str,
     /// Which gate treatment the compare machinery applies.
     pub gate: Gate,
-    run: fn(&ScenarioParams, &mut dyn FnMut(u64)),
+    run: fn(&ScenarioParams, &mut Recorder),
 }
 
 impl Scenario {
     /// Runs the scenario, folding every recorded latency through a
     /// [`Histogram`] (one shard — the DES is single-threaded) into the
-    /// shared percentile vocabulary.
+    /// shared percentile vocabulary, with the per-class completion rates
+    /// alongside.
     pub fn run(&self, params: &ScenarioParams) -> ScenarioReport {
         let hist = Histogram::new(1);
-        (self.run)(params, &mut |ns| hist.record_at(0, ns));
+        let mut sink = |ns| hist.record_at(0, ns);
+        let mut rec = Recorder::new(&mut sink);
+        (self.run)(params, &mut rec);
+        let throughput = rec.throughput();
         ScenarioReport {
             name: self.name,
             gate: self.gate,
             seed: params.seed,
             summary: hist.snapshot().summary(),
+            throughput,
         }
     }
 
-    /// Runs the scenario feeding samples to `rec` *instead of* a
-    /// histogram — the hand-off seam the oracle tests use to capture the
-    /// exact sample stream alongside the bucketed summary.
+    /// Runs the scenario feeding raw latency samples to `rec` *instead
+    /// of* a histogram — the hand-off seam the oracle tests use to
+    /// capture the exact sample stream alongside the bucketed summary.
+    /// Class attribution and the horizon are folded away.
     pub fn run_with_recorder(&self, params: &ScenarioParams, rec: &mut dyn FnMut(u64)) {
-        (self.run)(params, rec);
+        let mut wrapped = Recorder::new(rec);
+        (self.run)(params, &mut wrapped);
     }
 }
 
@@ -140,9 +211,21 @@ impl std::fmt::Debug for Scenario {
     }
 }
 
+/// One [`TaskClass`]'s completion throughput in a scenario run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassThroughput {
+    /// Requests of this class fully completed over the run.
+    pub completed: u64,
+    /// Completions per *simulated* millisecond (0 when the scenario
+    /// reported no horizon or completed nothing in this class).
+    pub per_ms: f64,
+}
+
 /// One scenario's result row: the schema-v2 fields
 /// (`mean/p50/p99/p999/iters/seed`) in the shared vocabulary, ready for
-/// `piom-harness` to render and gate with no new formats.
+/// `piom-harness` to render and gate with no new formats, plus the
+/// throughput-per-class rows (text table only — the JSON trajectory
+/// stays pure schema-v2, whose compare semantics are ns/op percentiles).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScenarioReport {
     /// Scenario name (the JSON key).
@@ -153,6 +236,8 @@ pub struct ScenarioReport {
     pub seed: u64,
     /// The latency distribution (count doubles as the row's `iters`).
     pub summary: PercentileSummary,
+    /// Per-class completion rates, indexed by [`TaskClass::index`].
+    pub throughput: [ClassThroughput; CLASS_COUNT],
 }
 
 /// Every registered scenario, in fixed (trajectory) order.
@@ -252,6 +337,29 @@ mod tests {
         let c = scenario_seed("incast_fanin", 43);
         assert_ne!(a, b);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn throughput_rows_account_for_every_sample() {
+        let params = ScenarioParams::quick(42);
+        for s in registry() {
+            let r = s.run(&params);
+            let total: u64 = r.throughput.iter().map(|t| t.completed).sum();
+            assert!(
+                total >= r.summary.count,
+                "{}: fewer class completions ({total}) than latency samples ({})",
+                s.name,
+                r.summary.count
+            );
+            for (t, class) in r.throughput.iter().zip(TaskClass::ALL) {
+                assert_eq!(
+                    t.completed > 0,
+                    t.per_ms > 0.0,
+                    "{}: {class:?} count/rate disagree ({t:?})",
+                    s.name
+                );
+            }
+        }
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //! afterwards.
 
 use crate::cluster::{stamped_latency, Cluster, Server, ServerCosts};
-use crate::{Gate, Scenario, ScenarioParams};
+use crate::{Gate, Recorder, Scenario, ScenarioParams};
 use newmadeleine::{CommEngine, EngineConfig};
 use piom_des::rng::SplitMix64;
 use piom_des::{Sim, SimTime};
@@ -111,6 +111,18 @@ pub(crate) static REGISTRY: &[Scenario] = &[
         gate: Gate::Wide,
         run: rpc_mesh_qos_background,
     },
+    Scenario {
+        name: "incast_fanin_2048",
+        about: "the incast ramp at 2048 synchronized senders (fabric-scale fan-in)",
+        gate: Gate::Wide,
+        run: incast_fanin_2048,
+    },
+    Scenario {
+        name: "rpc_mesh_steady_2048",
+        about: "the steady RPC mesh across 2048 endpoints (fabric-scale baseline)",
+        gate: Gate::Tail,
+        run: rpc_mesh_steady_2048,
+    },
 ];
 
 /// A size uniform within `[2^shift, 2^(shift+1))` for a shift uniform in
@@ -149,10 +161,13 @@ fn event_rng(name: &str, seed: u64) -> Rc<RefCell<SplitMix64>> {
     ))))
 }
 
-/// Drains the collected sample vector into the recorder.
-fn drain(samples: &Rc<RefCell<Vec<u64>>>, rec: &mut dyn FnMut(u64)) {
+/// Drains the collected sample vector into the recorder, attributing
+/// every sample to `class` and reporting the cluster's final simulated
+/// time as the throughput horizon.
+fn drain(c: &Cluster, samples: &Rc<RefCell<Vec<u64>>>, class: TaskClass, rec: &mut Recorder) {
+    rec.note_elapsed(c.sim.now().as_ns());
     for &v in samples.borrow().iter() {
-        rec(v);
+        rec.record_class(class, v);
     }
 }
 
@@ -161,12 +176,24 @@ fn drain(samples: &Rc<RefCell<Vec<u64>>>, rec: &mut dyn FnMut(u64)) {
 /// FIFO queue turns the synchronized arrivals into a linearly growing
 /// sojourn — the classic incast latency ramp. Recorded: request send →
 /// server completion.
-fn incast_fanin(p: &ScenarioParams, rec: &mut dyn FnMut(u64)) {
-    let e = p.endpoints;
+fn incast_fanin(p: &ScenarioParams, rec: &mut Recorder) {
+    incast_core("incast_fanin", p.endpoints, p, rec);
+}
+
+/// [`incast_fanin`] scaled out to a fixed 2048 synchronized senders —
+/// the fan-in degree of a fabric-scale collective, independent of the
+/// params preset (the `endpoints` knob keeps driving the base row).
+fn incast_fanin_2048(p: &ScenarioParams, rec: &mut Recorder) {
+    incast_core("incast_fanin_2048", 2048, p, rec);
+}
+
+/// The shared incast simulation behind the two registry rows; `name`
+/// keys the RNG streams so the rows draw independent jitter.
+fn incast_core(name: &'static str, e: usize, p: &ScenarioParams, rec: &mut Recorder) {
     let rounds = (p.samples as usize / e).max(1);
-    let mut c = Cluster::build("incast_fanin", e + 1, 1, p.seed);
+    let mut c = Cluster::build(name, e + 1, 1, p.seed);
     let samples: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
-    let srv_rng = event_rng("incast_fanin", p.seed);
+    let srv_rng = event_rng(name, p.seed);
 
     let server = c.servers[0].clone();
     let s = samples.clone();
@@ -191,7 +218,7 @@ fn incast_fanin(p: &ScenarioParams, rec: &mut dyn FnMut(u64)) {
         }
     }
     c.sim.run();
-    drain(&samples, rec);
+    drain(&c, &samples, TaskClass::Interactive, rec);
 }
 
 /// Schedules a stamped request from `src` to `dst` at absolute time `at`
@@ -217,7 +244,7 @@ fn schedule_send(c: &mut Cluster, at: SimTime, src: usize, dst: usize, size: usi
 /// On/off sources: each client alternates a back-to-back burst with a
 /// long idle gap. Bursts overrun the server briefly; the drain of each
 /// burst is the latency tail. Recorded: request send → server completion.
-fn bursty_onoff(p: &ScenarioParams, rec: &mut dyn FnMut(u64)) {
+fn bursty_onoff(p: &ScenarioParams, rec: &mut Recorder) {
     let clients = p.endpoints.clamp(1, 4);
     let per_client = (p.samples as usize / clients).max(1);
     let mut c = Cluster::build("bursty_onoff", clients + 1, 1, p.seed);
@@ -257,14 +284,14 @@ fn bursty_onoff(p: &ScenarioParams, rec: &mut dyn FnMut(u64)) {
         }
     }
     c.sim.run();
-    drain(&samples, rec);
+    drain(&c, &samples, TaskClass::Interactive, rec);
 }
 
 /// A compressed "day" of traffic: 24 half-millisecond hours whose
 /// arrival rates follow an integer day curve — idle troughs, shoulder
 /// ramps, and peak hours that run the server near criticality so queues
 /// build and drain diurnally. Recorded: request send → server completion.
-fn diurnal_wave(p: &ScenarioParams, rec: &mut dyn FnMut(u64)) {
+fn diurnal_wave(p: &ScenarioParams, rec: &mut Recorder) {
     /// Relative arrival rate per "hour of day" (sums to 160).
     const DAY_CURVE: [u64; 24] = [
         2, 1, 1, 1, 1, 2, 4, 6, 8, 10, 12, 12, 11, 10, 9, 8, 8, 9, 10, 12, 10, 6, 4, 3,
@@ -304,7 +331,7 @@ fn diurnal_wave(p: &ScenarioParams, rec: &mut dyn FnMut(u64)) {
         }
     }
     c.sim.run();
-    drain(&samples, rec);
+    drain(&c, &samples, TaskClass::Interactive, rec);
 }
 
 /// Mice and elephants through one NIC engine: geometrically heavy-tailed
@@ -312,7 +339,7 @@ fn diurnal_wave(p: &ScenarioParams, rec: &mut dyn FnMut(u64)) {
 /// occupies the send engine for milliseconds, head-of-line blocking every
 /// mouse behind it. Recorded: send → delivery (no server — this scenario
 /// isolates the *network* path).
-fn heavy_tail_mix(p: &ScenarioParams, rec: &mut dyn FnMut(u64)) {
+fn heavy_tail_mix(p: &ScenarioParams, rec: &mut Recorder) {
     let mut c = Cluster::build("heavy_tail_mix", 2, 1, p.seed);
     let samples: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
 
@@ -331,7 +358,7 @@ fn heavy_tail_mix(p: &ScenarioParams, rec: &mut dyn FnMut(u64)) {
         schedule_send(&mut c, t, 1, 0, size);
     }
     c.sim.run();
-    drain(&samples, rec);
+    drain(&c, &samples, TaskClass::Bulk, rec);
 }
 
 /// Scatter/gather rounds: a coordinator scatters one small task to every
@@ -339,7 +366,7 @@ fn heavy_tail_mix(p: &ScenarioParams, rec: &mut dyn FnMut(u64)) {
 /// 10× slow. Recorded: per-reply latency at the coordinator (scatter
 /// send → reply arrival), so straggler amplification lands in the upper
 /// percentiles of every round.
-fn straggler_shuffle(p: &ScenarioParams, rec: &mut dyn FnMut(u64)) {
+fn straggler_shuffle(p: &ScenarioParams, rec: &mut Recorder) {
     let workers = p.endpoints;
     let rounds = (p.samples as usize / workers).max(1);
     let mut c = Cluster::build("straggler_shuffle", workers + 1, 1, p.seed);
@@ -394,7 +421,7 @@ fn straggler_shuffle(p: &ScenarioParams, rec: &mut dyn FnMut(u64)) {
         }
     }
     c.sim.run();
-    drain(&samples, rec);
+    drain(&c, &samples, TaskClass::Interactive, rec);
 }
 
 /// Per-request client state of the retry-storm scenario.
@@ -475,7 +502,7 @@ fn retry_attempt(ctx: Rc<RetryCtx>, sim: &mut Sim, id: usize, client: usize, siz
 /// exponential backoff — so the outage's end is hit by the original load
 /// *plus* every queued-up retry at once. Recorded: first send → first
 /// response (or give-up), per request.
-fn retry_storm(p: &ScenarioParams, rec: &mut dyn FnMut(u64)) {
+fn retry_storm(p: &ScenarioParams, rec: &mut Recorder) {
     const HORIZON: SimTime = SimTime::from_ms(8);
     let outage_start = SimTime::from_ns(HORIZON.as_ns() * 35 / 100);
     let outage_end = SimTime::from_ns(HORIZON.as_ns() / 2);
@@ -561,7 +588,7 @@ fn retry_storm(p: &ScenarioParams, rec: &mut dyn FnMut(u64)) {
         });
     }
     c.sim.run();
-    drain(&samples, rec);
+    drain(&c, &samples, TaskClass::Interactive, rec);
 }
 
 /// Striped bulk transfers through the *real* `newmadeleine` engine: each
@@ -572,7 +599,7 @@ fn retry_storm(p: &ScenarioParams, rec: &mut dyn FnMut(u64)) {
 /// completion, so it includes the RTS/CTS handshake, per-rail queueing
 /// behind earlier transfers, and the slowest-chunk max the striping
 /// scheduler is supposed to minimize.
-fn multirail_stripe(p: &ScenarioParams, rec: &mut dyn FnMut(u64)) {
+fn multirail_stripe(p: &ScenarioParams, rec: &mut Recorder) {
     const RAILS: usize = 4;
     let transfers = p.samples as usize;
     let mut c = Cluster::build("multirail_stripe", 2, RAILS, p.seed);
@@ -620,7 +647,7 @@ fn multirail_stripe(p: &ScenarioParams, rec: &mut dyn FnMut(u64)) {
         transfers,
         "every rendezvous must complete within the poll horizon"
     );
-    drain(&samples, rec);
+    drain(&c, &samples, TaskClass::Bulk, rec);
 }
 
 /// Response-direction marker for the RPC mesh: request tags carry the
@@ -632,11 +659,24 @@ const RPC_RESPONSE: u64 = 1 << 63;
 /// nodes: light utilization everywhere, so the distribution is the tight
 /// unimodal baseline the tail gate holds hardest. Recorded: full RTT
 /// (request send → response arrival).
-fn rpc_mesh_steady(p: &ScenarioParams, rec: &mut dyn FnMut(u64)) {
-    let nodes = p.endpoints.clamp(2, 16);
-    let mut c = Cluster::build("rpc_mesh_steady", nodes, 1, p.seed);
+fn rpc_mesh_steady(p: &ScenarioParams, rec: &mut Recorder) {
+    rpc_mesh_core("rpc_mesh_steady", p.endpoints.clamp(2, 16), p, rec);
+}
+
+/// [`rpc_mesh_steady`] scaled out to a fixed 2048-node mesh: the same
+/// arrival rate scattered across 128× more pairs, so per-node queueing
+/// all but vanishes and the row pins the fabric-scale RTT floor the
+/// 16-node baseline's queueing is read against.
+fn rpc_mesh_steady_2048(p: &ScenarioParams, rec: &mut Recorder) {
+    rpc_mesh_core("rpc_mesh_steady_2048", 2048, p, rec);
+}
+
+/// The shared mesh simulation behind the two registry rows; `name` keys
+/// the RNG streams so the rows draw independent jitter.
+fn rpc_mesh_core(name: &'static str, nodes: usize, p: &ScenarioParams, rec: &mut Recorder) {
+    let mut c = Cluster::build(name, nodes, 1, p.seed);
     let samples: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
-    let srv_rng = event_rng("rpc_mesh_steady", p.seed);
+    let srv_rng = event_rng(name, p.seed);
 
     let servers = c.servers.clone();
     let net = c.net.clone();
@@ -680,7 +720,7 @@ fn rpc_mesh_steady(p: &ScenarioParams, rec: &mut dyn FnMut(u64)) {
         schedule_send(&mut c, t, src, dst, size);
     }
     c.sim.run();
-    drain(&samples, rec);
+    drain(&c, &samples, TaskClass::Interactive, rec);
 }
 
 /// One-sided pulls: the aggregator reads jittered-size blocks from each
@@ -688,7 +728,7 @@ fn rpc_mesh_steady(p: &ScenarioParams, rec: &mut dyn FnMut(u64)) {
 /// the distribution is purely the size mix through the cost model. The
 /// contention-free floor the queueing scenarios are read against.
 /// Recorded: pull start → completion.
-fn rdma_pull_fanin(p: &ScenarioParams, rec: &mut dyn FnMut(u64)) {
+fn rdma_pull_fanin(p: &ScenarioParams, rec: &mut Recorder) {
     let peers = p.endpoints;
     let mut c = Cluster::build("rdma_pull_fanin", peers + 1, 1, p.seed);
     let samples: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
@@ -709,7 +749,7 @@ fn rdma_pull_fanin(p: &ScenarioParams, rec: &mut dyn FnMut(u64)) {
         });
     }
     c.sim.run();
-    drain(&samples, rec);
+    drain(&c, &samples, TaskClass::Bulk, rec);
 }
 
 /// Tag layout of the QoS mesh: bit 63 stays the [`RPC_RESPONSE`] flag,
@@ -805,11 +845,16 @@ fn qos_serve_next(ctx: &Rc<QosCtx>, sim: &mut Sim, node: usize) {
 /// precompute stream — and each records only its own class's RTT slice,
 /// so the four trajectory rows decompose one workload by tier: the
 /// priority classes must stay tight (`Gate::Tail`) while `Bulk` and
-/// `Background` absorb the queueing (`Gate::Wide`).
-fn rpc_mesh_qos(focus: TaskClass, p: &ScenarioParams, rec: &mut dyn FnMut(u64)) {
+/// `Background` absorb the queueing (`Gate::Wide`). Every row reports
+/// the *full* per-class completion throughput of the shared workload
+/// (latency samples carry the focus class, sibling slices go through
+/// [`Recorder::note_completions`]), so the four throughput vectors are
+/// identical — pinned by `qos_rows_share_one_throughput_vector`.
+fn rpc_mesh_qos(focus: TaskClass, p: &ScenarioParams, rec: &mut Recorder) {
     let nodes = p.endpoints.clamp(2, 16);
     let mut c = Cluster::build("rpc_mesh_qos", nodes, 1, p.seed);
     let samples: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+    let done: Rc<RefCell<[u64; CLASS_COUNT]>> = Rc::new(RefCell::new([0; CLASS_COUNT]));
 
     // QoS lanes differentiate only where the server CPU is the
     // bottleneck (that is the resource the task scheduler arbitrates),
@@ -835,10 +880,12 @@ fn rpc_mesh_qos(focus: TaskClass, p: &ScenarioParams, rec: &mut dyn FnMut(u64)) 
     });
 
     let s = samples.clone();
+    let d = done.clone();
     let ctx2 = ctx.clone();
     let handler: RxHandler = Rc::new(move |sim: &mut Sim, msg: Message| {
         let class_idx = ((msg.tag >> QOS_CLASS_SHIFT) & 0b11) as usize;
         if msg.tag & RPC_RESPONSE != 0 {
+            d.borrow_mut()[class_idx] += 1;
             if class_idx == focus.index() {
                 s.borrow_mut()
                     .push(sim.now().as_ns() - (msg.tag & QOS_STAMP_MASK));
@@ -890,22 +937,27 @@ fn rpc_mesh_qos(focus: TaskClass, p: &ScenarioParams, rec: &mut dyn FnMut(u64)) 
         });
     }
     c.sim.run();
-    drain(&samples, rec);
+    for class in TaskClass::ALL {
+        if class != focus {
+            rec.note_completions(class, done.borrow()[class.index()]);
+        }
+    }
+    drain(&c, &samples, focus, rec);
 }
 
-fn rpc_mesh_qos_urgent(p: &ScenarioParams, rec: &mut dyn FnMut(u64)) {
+fn rpc_mesh_qos_urgent(p: &ScenarioParams, rec: &mut Recorder) {
     rpc_mesh_qos(TaskClass::Urgent, p, rec);
 }
 
-fn rpc_mesh_qos_interactive(p: &ScenarioParams, rec: &mut dyn FnMut(u64)) {
+fn rpc_mesh_qos_interactive(p: &ScenarioParams, rec: &mut Recorder) {
     rpc_mesh_qos(TaskClass::Interactive, p, rec);
 }
 
-fn rpc_mesh_qos_bulk(p: &ScenarioParams, rec: &mut dyn FnMut(u64)) {
+fn rpc_mesh_qos_bulk(p: &ScenarioParams, rec: &mut Recorder) {
     rpc_mesh_qos(TaskClass::Bulk, p, rec);
 }
 
-fn rpc_mesh_qos_background(p: &ScenarioParams, rec: &mut dyn FnMut(u64)) {
+fn rpc_mesh_qos_background(p: &ScenarioParams, rec: &mut Recorder) {
     rpc_mesh_qos(TaskClass::Background, p, rec);
 }
 
@@ -929,6 +981,48 @@ mod tests {
         assert!(
             p99("rpc_mesh_qos_interactive") <= p99("rpc_mesh_qos_bulk"),
             "Interactive p99 must not exceed Bulk p99"
+        );
+    }
+
+    #[test]
+    fn qos_rows_share_one_throughput_vector() {
+        // The four focus rows simulate the identical workload and report
+        // the full per-class completion set; their throughput vectors
+        // must therefore agree bit-for-bit, and the focus slice's
+        // latency count must equal its own throughput row.
+        let p = ScenarioParams::quick(42);
+        let urgent = crate::find("rpc_mesh_qos_urgent").unwrap().run(&p);
+        let bulk = crate::find("rpc_mesh_qos_bulk").unwrap().run(&p);
+        assert_eq!(
+            urgent.throughput, bulk.throughput,
+            "four views of one workload must report one throughput vector"
+        );
+        for (class, row) in TaskClass::ALL.iter().zip(urgent.throughput) {
+            assert!(row.completed > 0, "{class:?} slice completed nothing");
+            assert!(row.per_ms > 0.0, "{class:?} slice has no rate");
+        }
+        assert_eq!(
+            urgent.throughput[TaskClass::Urgent.index()].completed,
+            urgent.summary.count,
+            "focus slice throughput must match its latency sample count"
+        );
+    }
+
+    #[test]
+    fn fabric_scale_incast_ramps_far_past_the_base_row() {
+        // The 2048-sender variant pins its fan-in degree regardless of
+        // the params preset: one sample per synchronized sender per
+        // round, and a queueing ramp orders of magnitude past the
+        // 16-sender baseline's.
+        let p = ScenarioParams::quick(42);
+        let base = crate::find("incast_fanin").unwrap().run(&p);
+        let wide = crate::find("incast_fanin_2048").unwrap().run(&p);
+        assert_eq!(wide.summary.count, 2048, "one sample per sender");
+        assert!(
+            wide.summary.p99 > base.summary.p99,
+            "2048-deep fan-in must queue far past 16-deep: {} vs {}",
+            wide.summary.p99,
+            base.summary.p99
         );
     }
 

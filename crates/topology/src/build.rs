@@ -224,6 +224,43 @@ pub mod presets {
         TopologyBuilder::new("uniprocessor").build()
     }
 
+    /// `dual-socket-256`: a simulated dual-socket 256-core fabric for the
+    /// NUMA-scale stealing study — 2 NUMA nodes (one per socket) × 2 chips
+    /// × 4 shared-cache groups × 16 cores. Every level survives collapsing,
+    /// so steal orders cross four distance tiers before the interconnect.
+    pub fn dual_socket_256() -> Topology {
+        TopologyBuilder::new("dual-socket-256")
+            .numa_nodes(2)
+            .chips_per_numa(2)
+            .caches_per_chip(4)
+            .cores_per_cache(16)
+            .build()
+    }
+
+    /// `quad-socket-512`: 4 NUMA nodes × 2 chips × 4 caches × 16 cores
+    /// (512 cores) — the middle rung of the 256/512/1024 scaling ladder.
+    pub fn quad_socket_512() -> Topology {
+        TopologyBuilder::new("quad-socket-512")
+            .numa_nodes(4)
+            .chips_per_numa(2)
+            .caches_per_chip(4)
+            .cores_per_cache(16)
+            .build()
+    }
+
+    /// `quad-socket-1024`: 4 NUMA nodes × 4 chips × 4 caches × 16 cores —
+    /// the full 1024-core fabric, saturating [`CpuSet::MAX_CPUS`]
+    /// (`piom_cpuset::CpuSet::MAX_CPUS`). The hierarchical-stealing
+    /// acceptance test drains a starved socket on this shape.
+    pub fn quad_socket_1024() -> Topology {
+        TopologyBuilder::new("quad-socket-1024")
+            .numa_nodes(4)
+            .chips_per_numa(4)
+            .caches_per_chip(4)
+            .cores_per_cache(16)
+            .build()
+    }
+
     /// A best-effort topology for the host this process runs on: a flat SMP
     /// machine with `std::thread::available_parallelism()` cores. The real
     /// PIOMan reads the MARCEL topology; portable Rust has no NUMA

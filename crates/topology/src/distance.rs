@@ -51,11 +51,14 @@ impl Topology {
             Level::Machine => {
                 // On machines with a single NUMA node the root *is* the only
                 // memory domain; treat root-level meetings as cross-NUMA only
-                // when the tree actually has NUMA nodes.
-                if self.nodes_at_level(Level::NumaNode).is_empty() {
-                    Locality::SameNuma
-                } else {
+                // when the tree actually has NUMA nodes. Short-circuiting
+                // scan (a NUMA node sits right after the root in the arena)
+                // keeps this O(1) on multi-socket fabrics — `distance` is
+                // the inner loop of the steal/wake order precomputation.
+                if self.iter().any(|(_, n)| n.level == Level::NumaNode) {
                     Locality::CrossNuma
+                } else {
+                    Locality::SameNuma
                 }
             }
         }
@@ -142,7 +145,11 @@ impl Topology {
     pub fn cores_by_distance_from_node(&self, id: NodeId) -> Vec<usize> {
         let span = self.node(id).cpuset;
         let mut cores: Vec<usize> = (0..self.n_cores()).collect();
-        cores.sort_by_key(|&c| (self.nearest_span_distance(c, &span), c));
+        // The key costs O(|span|); cache it per core instead of recomputing
+        // on every comparison — the manager ranks thieves around *every*
+        // queue at construction, which is quadratic-ish on a 1024-core
+        // fabric without the cache.
+        cores.sort_by_cached_key(|&c| (self.nearest_span_distance(c, &span), c));
         cores
     }
 

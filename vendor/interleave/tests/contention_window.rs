@@ -1,0 +1,125 @@
+//! Exhaustive interleaving checks of the contention window's sampling
+//! claim — `crates/pioman/src/signal.rs` (`ContentionWindow::observe`):
+//! concurrent samplers race to claim the delta since the last accepted
+//! sample with a compare-exchange on the acquisition watermark, and the
+//! winner advances the contended watermark with `fetch_max`.
+//!
+//! The property: however samplers interleave, the *total* contention they
+//! fold into the EWMA never exceeds the contention that actually
+//! happened — an over-count is a spurious contention spike that widens
+//! every batch on the core (the failure `observe`'s doc comment calls
+//! out); an under-count is one EWMA step of delay and explicitly
+//! tolerated. The planted-bug twin advances the contended watermark with
+//! the load-then-store `fetch_max` forbids: a claim winner that stalls
+//! between its load and its store lets a second winner consume the same
+//! contended delta, and the stalled store then drags the watermark
+//! backward — the checker must find the double-count.
+
+use interleave::atomic::AtomicUsize;
+use interleave::{model_expect_violation, model_with, Options};
+use std::sync::Arc;
+
+/// `fetch_max` as the CAS loop it abbreviates (each attempt one
+/// scheduling point, like the real RMW under contention). Returns the
+/// previous value.
+fn fetch_max(counter: &AtomicUsize, v: usize) -> usize {
+    loop {
+        let cur = counter.load();
+        if cur >= v {
+            return cur;
+        }
+        if counter.compare_exchange(cur, v).is_ok() {
+            return cur;
+        }
+    }
+}
+
+/// The claim protocol of `observe`, stripped to its two watermarks.
+struct Window {
+    last_acq: AtomicUsize,
+    last_cont: AtomicUsize,
+}
+
+impl Window {
+    fn new() -> Self {
+        Window {
+            last_acq: AtomicUsize::new(0),
+            last_cont: AtomicUsize::new(0),
+        }
+    }
+
+    /// One sample against cumulative totals `(acq, cont)`; returns the
+    /// contended delta this sampler folded into its EWMA (0 for losers).
+    /// `torn` selects the planted-bug watermark update.
+    fn sample(&self, acq: usize, cont: usize, torn: bool) -> usize {
+        let prev_a = self.last_acq.load();
+        let delta_a = acq.saturating_sub(prev_a);
+        if delta_a == 0 {
+            return 0;
+        }
+        if self.last_acq.compare_exchange(prev_a, acq).is_err() {
+            return 0; // a racing sampler won this window
+        }
+        let prev_c = if torn {
+            // BUG: load-then-store. A stall between the two lets another
+            // winner read the pre-update watermark (double-count) and the
+            // late store drags the watermark backward.
+            let prev = self.last_cont.load();
+            self.last_cont.store(cont.max(prev));
+            prev
+        } else {
+            fetch_max(&self.last_cont, cont)
+        };
+        cont.saturating_sub(prev_c).min(delta_a)
+    }
+}
+
+/// Two samplers read the cumulative counters at different instants: the
+/// early one saw a contended burst (10 acquisitions, all contended), the
+/// late one saw 10 further *uncontended* acquisitions on top. True total
+/// contention: 10 — any higher fold is a spurious spike.
+fn run(torn: bool) {
+    let w = Arc::new(Window::new());
+    let w2 = w.clone();
+    let early = interleave::thread::spawn(move || w2.sample(10, 10, torn));
+    let late = w.sample(20, 10, torn);
+    let early = early.join();
+    assert!(
+        early + late <= 10,
+        "spurious contention: samplers folded {} of 10 contended events",
+        early + late
+    );
+}
+
+#[test]
+fn claim_cas_plus_fetch_max_never_double_counts_contention() {
+    let report = model_with(
+        Options {
+            preemption_bound: Some(2),
+            ..Options::default()
+        },
+        || run(false),
+    );
+    assert!(report.schedules > 5, "the race was really explored");
+}
+
+#[test]
+fn checker_finds_the_torn_watermark_double_count() {
+    // The schedule: the early sampler claims acq 0→10, loads the
+    // contended watermark (0), and stalls. The late sampler claims
+    // 10→20, still reads watermark 0, and folds a contended delta of 10;
+    // the early one wakes, stores its stale 10 over the watermark, and
+    // folds its own 10 — the same 10 contended events counted twice,
+    // reported as 20 where 10 happened.
+    let failure = model_expect_violation(
+        Options {
+            preemption_bound: Some(2),
+            ..Options::default()
+        },
+        || run(true),
+    );
+    assert!(
+        failure.message.contains("spurious contention"),
+        "unexpected failure: {failure}"
+    );
+}

@@ -1,0 +1,114 @@
+//! Exhaustive interleaving checks of the per-socket span decay —
+//! `crates/pioman/src/manager.rs` (`SocketTier::maybe_decay_span`): the
+//! O(sockets) park probe trusts `(pending > 0, span admits core)` as its
+//! only view of a whole socket, so a span clear that races an enqueue
+//! must never leave a pending task's bits missing — a probe that misses
+//! here misses *forever* (nothing re-ORs the bits until another enqueue),
+//! which is the stale-span parking stall.
+//!
+//! The protocol under test is the swap-recheck-restore dance: the
+//! decayer `swap`s the span to zero, re-reads the pending hint, and
+//! restores the swapped bits if the socket turned out non-empty. The
+//! planted-bug twin clears with a plain unconditional wipe — the exact
+//! shortcut the restore exists to forbid — and the checker must find the
+//! schedule where a concurrent enqueue's bits are wiped while its task
+//! stays pending.
+
+use interleave::atomic::AtomicUsize;
+use interleave::{model_expect_violation, model_with, Options};
+use std::sync::Arc;
+
+/// Decrement (`fetch_sub(1)`) via wrap-around `fetch_add`.
+fn dec(counter: &AtomicUsize) {
+    counter.fetch_add(usize::MAX);
+}
+
+/// One socket's probe-facing aggregates: the pending hint and the span
+/// word (a bitmask of eligible cores, here one bit per task id).
+struct SocketAggregates {
+    pending: AtomicUsize,
+    span: AtomicUsize,
+}
+
+impl SocketAggregates {
+    fn new() -> Self {
+        SocketAggregates {
+            pending: AtomicUsize::new(0),
+            span: AtomicUsize::new(0),
+        }
+    }
+
+    /// `note_enqueued`: hint first, then the span OR.
+    fn enqueue(&self, bit: usize) {
+        self.pending.fetch_add(1);
+        self.span.fetch_or(bit);
+    }
+
+    /// `note_removed` + `maybe_decay_span`: retire the hint; a removal
+    /// that (by its own observation) drained the socket decays the span —
+    /// swap out the bits, re-check the hint, restore if non-empty.
+    fn remove_and_decay(&self, restore: bool) {
+        let was = self.pending.load();
+        dec(&self.pending);
+        if was != 1 {
+            return;
+        }
+        let cleared = self.span.swap(0);
+        if restore && self.pending.load() > 0 && cleared != 0 {
+            self.span.fetch_or(cleared);
+        }
+        // The twin simply keeps the wipe: no recheck, no restore.
+    }
+}
+
+/// The shared scenario: one old task (bit 1) is being removed — and its
+/// removal triggers the decay — while a new task (bit 2) is concurrently
+/// enqueued. At quiescence exactly one task is pending, and the probe
+/// contract requires its bit to be visible.
+fn run(restore: bool) {
+    let sock = Arc::new(SocketAggregates::new());
+    sock.pending.store(1);
+    sock.span.store(1);
+    let s2 = sock.clone();
+    let enqueuer = interleave::thread::spawn(move || s2.enqueue(2));
+    sock.remove_and_decay(restore);
+    enqueuer.join();
+    assert_eq!(sock.pending.peek(), 1, "one task pending at quiescence");
+    assert!(
+        sock.span.peek() & 2 != 0,
+        "stale span: pending task invisible to the O(sockets) probe"
+    );
+}
+
+#[test]
+fn decay_racing_an_enqueue_never_hides_the_pending_task() {
+    let report = model_with(
+        Options {
+            preemption_bound: Some(2),
+            ..Options::default()
+        },
+        || run(true),
+    );
+    assert!(report.schedules > 5, "the race was really explored");
+    // Note the asymmetry the model proves: the restore may resurrect the
+    // *removed* task's bit 1 (a stale over-approximation costing one
+    // wasted probe) — what it can never do is lose bit 2.
+}
+
+#[test]
+fn checker_finds_the_unconditional_wipe_stale_span() {
+    // Enqueue lands completely (hint 2, span 1|2), then the removal's
+    // decay swaps the span to zero and — without the recheck — leaves it
+    // there: pending 1, span 0, probe blind. The checker must find it.
+    let failure = model_expect_violation(
+        Options {
+            preemption_bound: Some(2),
+            ..Options::default()
+        },
+        || run(false),
+    );
+    assert!(
+        failure.message.contains("stale span"),
+        "unexpected failure: {failure}"
+    );
+}

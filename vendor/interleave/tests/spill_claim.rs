@@ -1,0 +1,160 @@
+//! Exhaustive interleaving checks of the socket-overflow spill/claim
+//! accounting — `crates/pioman/src/manager.rs` (`TaskManager::spill` /
+//! `claim_overflow`): spillers push relocated tasks into the overflow
+//! lanes and advance the unlocked `overflow_len` hint with a `fetch_add`,
+//! while claimers gate on the hint, pop, and retire it one `fetch_sub`
+//! per task actually taken.
+//!
+//! The lane structure itself is covered by the `msqueue`/`qos_lanes`
+//! models; what only an interleaving explorer can prove is the *hint
+//! protocol*: however spillers and claimers race, every spilled task is
+//! eventually visible to a hint-gated claimer (no lost spill) and the
+//! hint settles to the exact queue depth. The planted-bug twin replaces
+//! the spiller's `fetch_add` with the load-then-store it guards against:
+//! two racing spills publish one task's worth of hint, the second task
+//! becomes invisible to every gate-respecting claimer, and the checker
+//! must find that schedule.
+
+use interleave::atomic::AtomicUsize;
+use interleave::sync::Lock;
+use interleave::{model_expect_violation, model_with, Options};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Decrement on the modeled counter (`fetch_sub(1)`: the modeled atomics
+/// expose only `fetch_add`, and `usize` wrap-around is the same RMW).
+fn dec(counter: &AtomicUsize) {
+    counter.fetch_add(usize::MAX);
+}
+
+/// The overflow tier distilled to its accounting: the lanes collapse to
+/// one locked deque (their internals are proven elsewhere), the unlocked
+/// depth hint keeps its exact update protocol.
+struct Overflow {
+    lanes: Lock<VecDeque<usize>>,
+    len: AtomicUsize,
+}
+
+impl Overflow {
+    fn new() -> Self {
+        Overflow {
+            lanes: Lock::new(VecDeque::new()),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// `TaskManager::spill`'s per-task publication: push, then advance
+    /// the hint with an atomic RMW.
+    fn spill(&self, task: usize) {
+        self.lanes.lock().push_back(task);
+        self.len.fetch_add(1);
+    }
+
+    /// The planted bug: a torn load-then-store hint update. Two racing
+    /// spillers can both read `n` and both publish `n + 1`.
+    fn spill_racy(&self, task: usize) {
+        self.lanes.lock().push_back(task);
+        let n = self.len.load();
+        self.len.store(n + 1);
+    }
+
+    /// `claim_overflow`: gate on the hint, bound the pops by the depth at
+    /// arrival, retire the hint only for tasks actually popped.
+    fn claim(&self) -> Vec<usize> {
+        let mut taken = Vec::new();
+        let mut pass = self.len.load();
+        while pass > 0 {
+            let Some(task) = self.lanes.lock().pop_front() else {
+                break;
+            };
+            pass -= 1;
+            dec(&self.len);
+            taken.push(task);
+        }
+        taken
+    }
+
+    /// Explorer-side drain **respecting the hint gate**, exactly like a
+    /// real claimer: a task the settled hint does not cover stays
+    /// stranded — which is the lost-spill outcome the assertions reject.
+    fn drain_gated(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        while self.len.peek() > 0 {
+            let task = self
+                .lanes
+                .lock()
+                .pop_front()
+                .expect("hint covered a task that is not there");
+            dec(&self.len);
+            out.push(task);
+        }
+        out
+    }
+}
+
+#[test]
+fn racing_spills_and_claims_never_strand_a_task() {
+    let report = model_with(
+        Options {
+            preemption_bound: Some(2),
+            ..Options::default()
+        },
+        || {
+            let ovf = Arc::new(Overflow::new());
+            let o2 = ovf.clone();
+            let o3 = ovf.clone();
+            let spiller = interleave::thread::spawn(move || {
+                o2.spill(2);
+                o2.spill(3);
+            });
+            let claimer = interleave::thread::spawn(move || o3.claim());
+            ovf.spill(4);
+            let claimed = claimer.join();
+            spiller.join();
+            let mut all = claimed;
+            all.extend(ovf.drain_gated());
+            assert!(
+                ovf.lanes.lock().is_empty(),
+                "lost spill: task invisible to the hint gate"
+            );
+            all.sort_unstable();
+            assert_eq!(
+                all,
+                vec![2, 3, 4],
+                "every spilled task claimed exactly once"
+            );
+        },
+    );
+    assert!(report.schedules > 100, "the race was really explored");
+}
+
+#[test]
+fn checker_finds_the_torn_hint_lost_spill() {
+    // Two concurrent spills through the load-then-store twin: both read
+    // len = 0 and both store 1, so the settled hint covers one task while
+    // the lanes hold two — every gate-respecting claimer stops early and
+    // the second task is stranded forever. The checker must find that
+    // schedule; this is the proof the `fetch_add` above is load-bearing.
+    let failure = model_expect_violation(
+        Options {
+            preemption_bound: Some(2),
+            ..Options::default()
+        },
+        || {
+            let ovf = Arc::new(Overflow::new());
+            let o2 = ovf.clone();
+            let spiller = interleave::thread::spawn(move || o2.spill_racy(2));
+            ovf.spill_racy(3);
+            spiller.join();
+            let _ = ovf.drain_gated();
+            assert!(
+                ovf.lanes.lock().is_empty(),
+                "lost spill: task invisible to the hint gate"
+            );
+        },
+    );
+    assert!(
+        failure.message.contains("lost spill"),
+        "unexpected failure: {failure}"
+    );
+}

@@ -1,0 +1,127 @@
+//! Exhaustive interleaving checks of the socket-aggregated steal-wake
+//! scan — `crates/pioman/src/manager.rs` (`wake_for_steal` +
+//! `note_parked`): the waker skips a whole socket's candidate run when
+//! its parked count reads zero, so the count is a *gate in front of* the
+//! per-core parked flags the PR-4 handshake already proved safe
+//! (`park_wake` model). That gate is only sound because a parking worker
+//! publishes its **entire** park intent — flag and socket count — before
+//! the final work check that commits it to sleep: a waker that misses
+//! the count then provably enqueued before the worker's final check, so
+//! the worker sees the work and goes back to the keypoint instead.
+//!
+//! The planted-bug twin publishes the count *after* the final work check
+//! (the "aggregate lags the flag" hazard): the waker skips the socket on
+//! count 0, the worker then bumps the count and sleeps on its stale
+//! check — a lost wake the checker must find.
+
+use interleave::atomic::{AtomicBool, AtomicUsize};
+use interleave::{model, model_expect_violation, Options};
+use std::sync::Arc;
+
+struct WakeModel {
+    /// Victim queue depth (the waker's reason to recruit).
+    len: AtomicUsize,
+    /// The worker's parked flag (`CoreState::parked`).
+    parked: AtomicBool,
+    /// The socket's parked-worker count (`SocketTier::parked`) — the
+    /// waker's O(sockets) short-circuit.
+    socket_parked: AtomicUsize,
+    /// Pending unpark token (persists until consumed, like the real
+    /// `std::thread` token).
+    token: AtomicBool,
+    /// Outcome: the worker committed to sleep.
+    slept: AtomicBool,
+}
+
+impl WakeModel {
+    fn new() -> Self {
+        WakeModel {
+            len: AtomicUsize::new(0),
+            parked: AtomicBool::new(false),
+            socket_parked: AtomicUsize::new(0),
+            token: AtomicBool::new(false),
+            slept: AtomicBool::new(false),
+        }
+    }
+
+    /// The worker's pre-park sequence. `count_first` is the real
+    /// protocol (`note_parked` publishes flag and socket count, then the
+    /// worker re-checks for work); `false` is the planted bug (the
+    /// count published only after the final check).
+    fn worker(&self, count_first: bool) {
+        self.parked.store(true);
+        if count_first {
+            self.socket_parked.fetch_add(1);
+        }
+        let work = self.len.load();
+        if !count_first {
+            self.socket_parked.fetch_add(1);
+        }
+        if work == 0 {
+            if !self.token.swap(false) {
+                self.slept.store(true);
+            }
+        } else {
+            // Back to the keypoint: retract the park intent.
+            self.parked.store(false);
+            self.socket_parked.store(0);
+        }
+    }
+
+    /// `wake_for_steal` after a backlog-crossing enqueue: enqueue, skip
+    /// the socket when its count reads zero, else scan the flag and
+    /// deliver the token.
+    fn waker(&self) {
+        self.len.fetch_add(1);
+        if self.socket_parked.load() == 0 {
+            return; // socket "has no parked worker" — scan skipped
+        }
+        if self.parked.load() {
+            self.token.store(true);
+        }
+    }
+}
+
+fn check(m: &WakeModel) {
+    // The contract: a sleeping worker with work queued must have a token
+    // pending (a token landing after the sleep decision still wakes the
+    // real parker; a stale token with no work is one spurious loop).
+    if m.slept.peek() && m.len.peek() > 0 {
+        assert!(
+            m.token.peek(),
+            "lost wake: worker asleep, backlog queued, socket scan skipped"
+        );
+    }
+}
+
+#[test]
+fn count_published_before_the_final_check_never_loses_a_wake() {
+    let report = model(|| {
+        let m = Arc::new(WakeModel::new());
+        let m2 = m.clone();
+        let waker = interleave::thread::spawn(move || m2.waker());
+        m.worker(true);
+        waker.join();
+        check(&m);
+    });
+    assert!(report.schedules > 5, "the race was really explored");
+}
+
+#[test]
+fn checker_finds_the_lagging_count_lost_wake() {
+    // The schedule: worker sets its flag and loads len = 0; the waker
+    // enqueues, reads socket count 0, and skips the whole socket without
+    // ever looking at the flag; the worker bumps the count and sleeps.
+    let failure = model_expect_violation(Options::default(), || {
+        let m = Arc::new(WakeModel::new());
+        let m2 = m.clone();
+        let waker = interleave::thread::spawn(move || m2.waker());
+        m.worker(false); // BUG: count lags the final work check
+        waker.join();
+        check(&m);
+    });
+    assert!(
+        failure.message.contains("lost wake"),
+        "unexpected failure: {failure}"
+    );
+}
